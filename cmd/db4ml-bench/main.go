@@ -1,0 +1,50 @@
+// Command db4ml-bench regenerates the tables and figures of the paper's
+// evaluation (Section 7). Each experiment prints the same rows/series the
+// paper reports, at a laptop-friendly scale (see DESIGN.md for the
+// dataset substitutions).
+//
+// Usage:
+//
+//	db4ml-bench -list
+//	db4ml-bench -exp fig8
+//	db4ml-bench -exp all -workers 16 -runs 5
+//	db4ml-bench -exp fig12 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"db4ml/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (fig1, tab1, fig8, fig9, fig10a, fig10b, fig11, tab2, fig12, fig13, fig14, or all)")
+	workers := flag.Int("workers", 0, "maximum worker count for core sweeps (default 2×GOMAXPROCS, min 8)")
+	runs := flag.Int("runs", 0, "repetitions per timed configuration (default 3)")
+	quick := flag.Bool("quick", false, "shrink datasets and sweeps for a fast smoke run")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := experiments.Options{
+		Out:        os.Stdout,
+		MaxWorkers: *workers,
+		Runs:       *runs,
+		Quick:      *quick,
+	}
+	if err := experiments.Run(*exp, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "db4ml-bench:", err)
+		os.Exit(1)
+	}
+}

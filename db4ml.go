@@ -1,0 +1,229 @@
+// Package db4ml is the public API of this DB4ML reproduction: an in-memory
+// database kernel with machine-learning support (Jasny et al., SIGMOD
+// 2020). It exposes the paper's programming model — ML-tables queried and
+// updated by classical transactions, plus user-defined ML algorithms
+// written as iterative transactions and executed by a parallel engine
+// under ML-specific isolation levels (synchronous, asynchronous,
+// bounded staleness).
+//
+// A minimal session:
+//
+//	db := db4ml.Open()
+//	nodes, _ := db.CreateTable("Node",
+//		db4ml.Column{Name: "NodeID", Type: db4ml.Int64},
+//		db4ml.Column{Name: "PR", Type: db4ml.Float64})
+//	... bulk load, then run an ML algorithm:
+//	stats, _ := db.RunML(db4ml.MLRun{
+//		Isolation: db4ml.MLOptions{Level: db4ml.Asynchronous},
+//		Attach:    []db4ml.Attachment{{Table: nodes}},
+//		Subs:      mySubTransactions,
+//	})
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package db4ml
+
+import (
+	"fmt"
+
+	"db4ml/internal/exec"
+	"db4ml/internal/isolation"
+	"db4ml/internal/itx"
+	"db4ml/internal/numa"
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+	"db4ml/internal/txn"
+)
+
+// Re-exported building blocks. These are aliases, so values flow freely
+// between the facade and the internal packages.
+type (
+	// Table is an ML-table: an MVCC-versioned, partitionable in-memory
+	// table usable by both OLTP transactions and ML algorithms.
+	Table = table.Table
+	// Column declares one table column.
+	Column = table.Column
+	// RowID identifies a row within a table.
+	RowID = table.RowID
+	// Payload is a row image; see Schema.NewPayload.
+	Payload = storage.Payload
+	// Timestamp is a logical commit timestamp.
+	Timestamp = storage.Timestamp
+	// Txn is a snapshot-isolation OLTP transaction.
+	Txn = txn.Txn
+	// IterativeTransaction is the paper's Listing-1 interface: Begin
+	// caches tx_state, Execute runs one iteration, Validate returns
+	// Commit, Rollback, or Done.
+	IterativeTransaction = itx.Sub
+	// Ctx mediates an iterative transaction's reads and writes under the
+	// chosen ML isolation level.
+	Ctx = itx.Ctx
+	// Action is an iterative transaction's validate verdict.
+	Action = itx.Action
+	// MLOptions selects the ML isolation level for one uber-transaction.
+	MLOptions = isolation.Options
+	// ExecStats reports what one ML run did.
+	ExecStats = exec.Stats
+	// Topology is the simulated NUMA layout used for worker pinning and
+	// data partitioning.
+	Topology = numa.Topology
+)
+
+// Column types.
+const (
+	Int64   = table.Int64
+	Float64 = table.Float64
+)
+
+// Validate verdicts (Listing 1's T_Action).
+const (
+	Commit   = itx.Commit
+	Rollback = itx.Rollback
+	Done     = itx.Done
+)
+
+// ML isolation levels (Section 4.2).
+const (
+	Synchronous      = isolation.Synchronous
+	Asynchronous     = isolation.Asynchronous
+	BoundedStaleness = isolation.BoundedStaleness
+)
+
+// ErrConflict is returned by Txn.Commit when another transaction committed
+// a conflicting write first, including an ML uber-transaction holding an
+// in-flight iterative version of a written row.
+var ErrConflict = txn.ErrConflict
+
+// DB is one database instance: a set of ML-tables sharing a transaction
+// manager and timestamp oracle.
+type DB struct {
+	mgr    *txn.Manager
+	tables map[string]*Table
+}
+
+// Open creates an empty database.
+func Open() *DB {
+	return &DB{mgr: txn.NewManager(), tables: make(map[string]*Table)}
+}
+
+// CreateTable adds a new, empty ML-table.
+func (db *DB) CreateTable(name string, cols ...Column) (*Table, error) {
+	if _, exists := db.tables[name]; exists {
+		return nil, fmt.Errorf("db4ml: table %q already exists", name)
+	}
+	schema, err := table.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	t := table.New(name, schema)
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns a table by name, or nil.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// Begin starts an OLTP transaction on the most recent stable snapshot.
+func (db *DB) Begin() *Txn { return db.mgr.Begin() }
+
+// BulkLoad appends rows to tbl in one atomic publish: either every row is
+// visible (all with the same timestamp) or, on error, the load stops and
+// the loaded prefix remains — use fresh tables for loading.
+func (db *DB) BulkLoad(tbl *Table, rows []Payload) error {
+	var err error
+	db.mgr.PublishAt(func(ts Timestamp) {
+		for _, r := range rows {
+			if _, e := tbl.Append(ts, r); e != nil {
+				err = e
+				return
+			}
+		}
+	})
+	return err
+}
+
+// Stable returns the newest fully published commit timestamp; reads at
+// Stable observe a consistent snapshot.
+func (db *DB) Stable() Timestamp { return db.mgr.Stable() }
+
+// Manager exposes the underlying transaction manager for advanced uses
+// (the experiment harness and the internal ML implementations take it
+// directly).
+func (db *DB) Manager() *txn.Manager { return db.mgr }
+
+// Attachment names one table (and optionally a row subset) an ML run will
+// update. Versions overrides the per-record snapshot-slot count; 0 uses
+// the isolation level's default (Section 5.1 optimizations).
+type Attachment struct {
+	Table    *Table
+	Rows     []RowID
+	Versions int
+}
+
+// MLRun describes one ML algorithm execution: which tables it updates,
+// the sub-transactions to drive to convergence, and how to run them.
+type MLRun struct {
+	// Isolation selects the synchronization scheme.
+	Isolation MLOptions
+	// Workers is the number of worker goroutines (default GOMAXPROCS).
+	Workers int
+	// Regions overrides the simulated NUMA region count (default: the
+	// paper's 8-cores-per-region layout).
+	Regions int
+	// BatchSize is the scheduling batch size (default 256).
+	BatchSize int
+	// MaxIterations force-retires sub-transactions after that many
+	// committed iterations (0 = run to convergence).
+	MaxIterations uint64
+	// Attach lists the tables the algorithm updates.
+	Attach []Attachment
+	// Subs are the user-defined iterative transactions.
+	Subs []IterativeTransaction
+	// RegionOf routes sub-transaction i to a NUMA region; nil spreads
+	// round-robin.
+	RegionOf func(i int) int
+	// IterationHook runs before every sub-transaction execution
+	// (experiments use it to inject stragglers).
+	IterationHook func(worker int)
+	// ConvergeTogether (synchronous level only) retires sub-transactions
+	// collectively at the first round where every live one votes Done —
+	// the global convergence criterion of bulk-synchronous engines. Use
+	// it when a sub-transaction's value can become momentarily stable
+	// while its inputs still change (e.g. PageRank).
+	ConvergeTogether bool
+}
+
+// RunML executes one ML algorithm as an uber-transaction: it installs
+// iterative records on the attached tables, drives the sub-transactions to
+// convergence, and atomically publishes the result. On error the
+// uber-transaction is aborted and the tables are untouched.
+func (db *DB) RunML(run MLRun) (ExecStats, error) {
+	u, err := itx.BeginUber(db.mgr, run.Isolation)
+	if err != nil {
+		return ExecStats{}, err
+	}
+	for _, a := range run.Attach {
+		v := a.Versions
+		if v == 0 {
+			v = u.DefaultVersions()
+		}
+		if err := u.Attach(a.Table, a.Rows, v); err != nil {
+			_ = u.Abort()
+			return ExecStats{}, err
+		}
+	}
+	cfg := exec.Config{
+		Workers:          run.Workers,
+		BatchSize:        run.BatchSize,
+		MaxIterations:    run.MaxIterations,
+		IterationHook:    run.IterationHook,
+		ConvergeTogether: run.ConvergeTogether,
+	}
+	if run.Regions > 0 {
+		cfg.Topology = numa.NewTopology(run.Regions, cfg.Resolved().Workers)
+	}
+	stats := exec.New(cfg, run.Isolation).Run(run.Subs, run.RegionOf)
+	if _, err := u.Commit(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

@@ -1,0 +1,3 @@
+module db4ml
+
+go 1.22

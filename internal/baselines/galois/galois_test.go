@@ -1,0 +1,76 @@
+package galois
+
+import (
+	"testing"
+
+	"db4ml/internal/graph"
+	"db4ml/internal/metrics"
+)
+
+func TestMatchesReferenceSmall(t *testing.T) {
+	g, err := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 3}, {From: 2, To: 3}, {From: 3, To: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := graph.PageRankRef(g, 0.85, 1e-12, 500)
+	got, iters := PageRank(g, Config{Workers: 2, Epsilon: 1e-12, MaxIters: 500})
+	if iters < 2 {
+		t.Fatalf("converged after %d iterations", iters)
+	}
+	if d := metrics.MaxAbsDiff(want, got); d > 1e-9 {
+		t.Fatalf("max diff vs reference = %v", d)
+	}
+}
+
+func TestMatchesReferenceGenerated(t *testing.T) {
+	g := graph.BarabasiAlbert(1500, 10, 3)
+	want, _ := graph.PageRankRef(g, 0.85, 1e-10, 200)
+	for _, workers := range []int{1, 4} {
+		got, _ := PageRank(g, Config{Workers: workers, Epsilon: 1e-10, MaxIters: 200})
+		if d := metrics.MaxAbsDiff(want, got); d > 1e-8 {
+			t.Fatalf("workers=%d: max diff vs reference = %v", workers, d)
+		}
+		if acc := metrics.PairwiseAccuracy(want, got, 0, 1); acc < 0.9999 {
+			t.Fatalf("workers=%d: pairwise accuracy %v", workers, acc)
+		}
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	// Synchronous pull PageRank is deterministic: worker count must not
+	// change the result at all (double buffering, barrier per round).
+	g := graph.ErdosRenyi(800, 4000, 5)
+	a, itersA := PageRank(g, Config{Workers: 1, Epsilon: 1e-10})
+	b, itersB := PageRank(g, Config{Workers: 3, Epsilon: 1e-10})
+	if itersA != itersB {
+		t.Fatalf("iteration counts differ: %d vs %d", itersA, itersB)
+	}
+	if d := metrics.MaxAbsDiff(a, b); d != 0 {
+		t.Fatalf("results differ across worker counts by %v", d)
+	}
+}
+
+func TestMaxItersCap(t *testing.T) {
+	g := graph.ErdosRenyi(200, 1000, 5)
+	_, iters := PageRank(g, Config{Workers: 2, Epsilon: 0, MaxIters: 7})
+	if iters != 7 {
+		t.Fatalf("iters = %d, want cap 7", iters)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, _ := graph.FromEdges(0, nil)
+	ranks, iters := PageRank(g, Config{})
+	if ranks != nil || iters != 0 {
+		t.Fatal("empty graph produced output")
+	}
+}
+
+func TestChunkSizeIrrelevantToResult(t *testing.T) {
+	g := graph.BarabasiAlbert(500, 6, 9)
+	a, _ := PageRank(g, Config{Workers: 2, ChunkSize: 1, Epsilon: 1e-10})
+	b, _ := PageRank(g, Config{Workers: 2, ChunkSize: 4096, Epsilon: 1e-10})
+	if d := metrics.MaxAbsDiff(a, b); d != 0 {
+		t.Fatalf("chunk size changed result by %v", d)
+	}
+}

@@ -1,0 +1,115 @@
+// Package hogwild reimplements the Hogwild! baseline (Niu et al., NIPS
+// 2011): lock-free parallel SGD where every worker updates one shared
+// model vector with no coordination whatsoever. The original C++ uses
+// plain racy stores; here each parameter is a 64-bit word accessed with
+// relaxed atomics, which keeps the lock-free read-modify-write races (lost
+// updates and all) while staying clean under the Go race detector.
+//
+// Hogwild! is deliberately NUMA-oblivious — the single shared model is the
+// reason it stops scaling across sockets in Figures 12 and 13.
+package hogwild
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"db4ml/internal/svm"
+)
+
+// Model is a shared parameter vector with relaxed-atomic access. It
+// implements svm.Model; concurrent Adds may lose updates, exactly like
+// Hogwild!'s unsynchronized writes.
+type Model []uint64
+
+// NewModel allocates a zeroed model with the given number of features.
+func NewModel(features int) Model { return make(Model, features) }
+
+// Get returns parameter i.
+func (m Model) Get(i int32) float64 {
+	return math.Float64frombits(atomic.LoadUint64(&m[i]))
+}
+
+// Add performs a racy read-modify-write of parameter i.
+func (m Model) Add(i int32, delta float64) {
+	v := math.Float64frombits(atomic.LoadUint64(&m[i]))
+	atomic.StoreUint64(&m[i], math.Float64bits(v+delta))
+}
+
+// Snapshot copies the model into a plain vector for evaluation.
+func (m Model) Snapshot() svm.VecModel {
+	out := make(svm.VecModel, len(m))
+	for i := range m {
+		out[i] = m.Get(int32(i))
+	}
+	return out
+}
+
+// Config mirrors the paper's SGD setup (Algorithm 3): 20 epochs, step size
+// 5e-2, step decay 0.8.
+type Config struct {
+	Workers   int
+	Epochs    int
+	StepSize  float64
+	StepDecay float64
+	Lambda    float64
+	Seed      int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 20
+	}
+	if c.StepSize == 0 {
+		c.StepSize = 5e-2
+	}
+	if c.StepDecay == 0 {
+		c.StepDecay = 0.8
+	}
+	return c
+}
+
+// Train runs Hogwild! over train and returns the shared model. Each worker
+// owns a contiguous range of the (pre-shuffled) samples and per epoch draws
+// |range| samples from it uniformly at random, matching the paper's
+// randomSample(lowKey, highKey) loop.
+func Train(train []svm.Sample, features int, cfg Config) Model {
+	cfg = cfg.withDefaults()
+	model := NewModel(features)
+	if len(train) == 0 {
+		return model
+	}
+	workers := cfg.Workers
+	if workers > len(train) {
+		workers = len(train)
+	}
+	per := len(train) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if w == workers-1 {
+			hi = len(train)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			gamma := cfg.StepSize
+			for epoch := 0; epoch < cfg.Epochs; epoch++ {
+				for i := lo; i < hi; i++ {
+					s := train[lo+rng.Intn(hi-lo)]
+					svm.Step(model, s, gamma, cfg.Lambda)
+				}
+				gamma *= cfg.StepDecay
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return model
+}

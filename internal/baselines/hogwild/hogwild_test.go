@@ -1,0 +1,70 @@
+package hogwild
+
+import (
+	"testing"
+
+	"db4ml/internal/svm"
+)
+
+func dataset(t *testing.T) ([]svm.Sample, []svm.Sample, int) {
+	t.Helper()
+	const features = 30
+	train, test := svm.Generate(svm.GenSpec{
+		Train: 4000, Test: 800, Features: features, Density: 1, Noise: 0.05, Seed: 17,
+	})
+	return train, test, features
+}
+
+func TestModelAtomicRoundTrip(t *testing.T) {
+	m := NewModel(4)
+	m.Add(2, 1.5)
+	m.Add(2, 1.0)
+	if got := m.Get(2); got != 2.5 {
+		t.Fatalf("Get = %v", got)
+	}
+	snap := m.Snapshot()
+	if snap[2] != 2.5 || len(snap) != 4 {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+}
+
+func TestTrainLearns(t *testing.T) {
+	train, test, features := dataset(t)
+	m := Train(train, features, Config{Workers: 4, Epochs: 15, Lambda: 1e-5, Seed: 1})
+	if acc := svm.Accuracy(m.Snapshot(), test); acc < 0.85 {
+		t.Fatalf("test accuracy = %v", acc)
+	}
+}
+
+func TestSingleWorkerMatchesMultiWorkerQuality(t *testing.T) {
+	train, test, features := dataset(t)
+	m1 := Train(train, features, Config{Workers: 1, Epochs: 10, Lambda: 1e-5, Seed: 1})
+	m4 := Train(train, features, Config{Workers: 4, Epochs: 10, Lambda: 1e-5, Seed: 1})
+	a1 := svm.Accuracy(m1.Snapshot(), test)
+	a4 := svm.Accuracy(m4.Snapshot(), test)
+	if a4 < a1-0.05 {
+		t.Fatalf("parallel accuracy %v far below sequential %v", a4, a1)
+	}
+}
+
+func TestTrainEmpty(t *testing.T) {
+	m := Train(nil, 5, Config{Workers: 2})
+	for i := range m {
+		if m.Get(int32(i)) != 0 {
+			t.Fatal("training on empty data moved the model")
+		}
+	}
+}
+
+func TestMoreWorkersThanSamples(t *testing.T) {
+	train, _ := svm.Generate(svm.GenSpec{Train: 3, Features: 4, Density: 1, Seed: 2})
+	// Must not panic or divide by zero.
+	Train(train, 4, Config{Workers: 16, Epochs: 2, Seed: 2})
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Epochs != 20 || c.StepSize != 5e-2 || c.StepDecay != 0.8 {
+		t.Fatalf("paper defaults wrong: %+v", c)
+	}
+}

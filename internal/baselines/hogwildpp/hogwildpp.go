@@ -1,0 +1,159 @@
+// Package hogwildpp reimplements the Hogwild++ baseline (Zhang et al.,
+// ICDM 2016): decentralized asynchronous SGD for NUMA machines. Instead of
+// one shared model, every NUMA cluster trains its own replica on its own
+// partition of the data; a token circulates around the cluster ring, and
+// the cluster holding the token periodically mixes its replica with its
+// successor's (weighted averaging with decaying weight), which is how
+// updates propagate between sockets without cross-socket write traffic.
+// The final model is the average of all replicas.
+package hogwildpp
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"db4ml/internal/numa"
+	"db4ml/internal/svm"
+)
+
+// replica is one cluster's model with relaxed-atomic access.
+type replica []uint64
+
+func (m replica) Get(i int32) float64 {
+	return math.Float64frombits(atomic.LoadUint64(&m[i]))
+}
+
+func (m replica) Add(i int32, delta float64) {
+	v := math.Float64frombits(atomic.LoadUint64(&m[i]))
+	atomic.StoreUint64(&m[i], math.Float64bits(v+delta))
+}
+
+// Config mirrors the Hogwild++ settings the paper reports (Section 7.3).
+type Config struct {
+	Workers int
+	// Topology fixes the cluster layout; defaults to
+	// numa.PaperTopology(Workers).
+	Topology numa.Topology
+	Epochs   int
+	StepSize float64
+	// StepDecay multiplies the step size after each epoch.
+	StepDecay float64
+	Lambda    float64
+	// Beta is the replica mixing weight; defaults to 0.5 (the balanced
+	// averaging of the Hogwild++ paper's default schedule).
+	Beta float64
+	// SyncInterval is the number of samples a cluster processes between
+	// token checks; defaults to 1024.
+	SyncInterval int
+	Seed         int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Topology.Regions == 0 {
+		c.Topology = numa.PaperTopology(c.Workers)
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 20
+	}
+	if c.StepSize == 0 {
+		c.StepSize = 5e-2
+	}
+	if c.StepDecay == 0 {
+		c.StepDecay = 0.8
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.5
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 1024
+	}
+	return c
+}
+
+// Train runs Hogwild++ and returns the averaged final model.
+func Train(train []svm.Sample, features int, cfg Config) svm.VecModel {
+	cfg = cfg.withDefaults()
+	if len(train) == 0 {
+		return make(svm.VecModel, features)
+	}
+	clusters := cfg.Topology.Regions
+	replicas := make([]replica, clusters)
+	for c := range replicas {
+		replicas[c] = make(replica, features)
+	}
+	// token holds the id of the cluster allowed to mix next.
+	var token atomic.Int32
+
+	workers := cfg.Workers
+	if workers > len(train) {
+		workers = len(train)
+	}
+	top := numa.NewTopology(clusters, workers)
+	clusters = top.Regions
+	per := len(train) / workers
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if w == workers-1 {
+			hi = len(train)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			cluster := top.RegionOf(w)
+			model := replicas[cluster]
+			// The first worker of each cluster performs the token mixing.
+			mixer := w == cluster
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			gamma := cfg.StepSize
+			sinceSync := 0
+			for epoch := 0; epoch < cfg.Epochs; epoch++ {
+				for i := lo; i < hi; i++ {
+					s := train[lo+rng.Intn(hi-lo)]
+					svm.Step(model, s, gamma, cfg.Lambda)
+					sinceSync++
+					if mixer && sinceSync >= cfg.SyncInterval {
+						sinceSync = 0
+						if int(token.Load()) == cluster && clusters > 1 {
+							mix(model, replicas[(cluster+1)%clusters], cfg.Beta)
+							token.Store(int32((cluster + 1) % clusters))
+						}
+					}
+				}
+				gamma *= cfg.StepDecay
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	out := make(svm.VecModel, features)
+	for i := range out {
+		sum := 0.0
+		for c := range replicas {
+			sum += replicas[c].Get(int32(i))
+		}
+		out[i] = sum / float64(len(replicas))
+	}
+	return out
+}
+
+// mix blends src into dst and pulls src toward the blend: after mixing,
+// dst' = (1-β)·dst + β·src and src' = β·dst + (1-β)·src. The stores are
+// relaxed — training continues concurrently, like Hogwild++'s lock-free
+// token exchange.
+func mix(src, dst replica, beta float64) {
+	for i := range dst {
+		d := dst.Get(int32(i))
+		s := src.Get(int32(i))
+		atomic.StoreUint64(&dst[i], math.Float64bits((1-beta)*d+beta*s))
+		atomic.StoreUint64(&src[i], math.Float64bits(beta*d+(1-beta)*s))
+	}
+}

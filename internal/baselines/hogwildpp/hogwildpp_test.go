@@ -1,0 +1,90 @@
+package hogwildpp
+
+import (
+	"testing"
+
+	"db4ml/internal/numa"
+	"db4ml/internal/svm"
+)
+
+func dataset(t *testing.T) ([]svm.Sample, []svm.Sample, int) {
+	t.Helper()
+	const features = 30
+	train, test := svm.Generate(svm.GenSpec{
+		Train: 4000, Test: 800, Features: features, Density: 1, Noise: 0.05, Seed: 23,
+	})
+	return train, test, features
+}
+
+func TestTrainLearnsSingleCluster(t *testing.T) {
+	train, test, features := dataset(t)
+	m := Train(train, features, Config{
+		Workers: 2, Topology: numa.NewTopology(1, 2),
+		Epochs: 15, Lambda: 1e-5, Seed: 1,
+	})
+	if acc := svm.Accuracy(m, test); acc < 0.85 {
+		t.Fatalf("single-cluster accuracy = %v", acc)
+	}
+}
+
+func TestTrainLearnsMultiCluster(t *testing.T) {
+	train, test, features := dataset(t)
+	m := Train(train, features, Config{
+		Workers: 4, Topology: numa.NewTopology(4, 4),
+		Epochs: 15, Lambda: 1e-5, Seed: 1, SyncInterval: 256,
+	})
+	if acc := svm.Accuracy(m, test); acc < 0.85 {
+		t.Fatalf("multi-cluster accuracy = %v (token mixing failed to propagate)", acc)
+	}
+}
+
+func TestReplicaMixingPropagates(t *testing.T) {
+	// With token mixing disabled (huge interval), per-cluster replicas
+	// trained on label-disjoint partitions disagree; mixing must pull the
+	// averaged model above either extreme's test accuracy on the full
+	// distribution. Here we simply check mix() math.
+	a := make(replica, 2)
+	b := make(replica, 2)
+	a.Add(0, 1.0)
+	b.Add(0, 3.0)
+	mix(a, b, 0.5)
+	if got := b.Get(0); got != 2.0 {
+		t.Fatalf("dst after mix = %v, want 2.0", got)
+	}
+	if got := a.Get(0); got != 2.0 {
+		t.Fatalf("src after mix = %v, want 2.0", got)
+	}
+	// Asymmetric beta.
+	a2 := make(replica, 1)
+	b2 := make(replica, 1)
+	a2.Add(0, 1.0) // src
+	mix(a2, b2, 0.25)
+	if got := b2.Get(0); got != 0.25 {
+		t.Fatalf("dst after beta=0.25 mix = %v, want 0.25", got)
+	}
+}
+
+func TestFinalModelIsReplicaAverage(t *testing.T) {
+	train, _ := svm.Generate(svm.GenSpec{Train: 64, Features: 8, Density: 1, Seed: 5})
+	m := Train(train, 8, Config{
+		Workers: 2, Topology: numa.NewTopology(2, 2),
+		Epochs: 1, Seed: 5, SyncInterval: 1 << 30, // no mixing
+	})
+	if len(m) != 8 {
+		t.Fatalf("model width = %d", len(m))
+	}
+}
+
+func TestTrainEmpty(t *testing.T) {
+	m := Train(nil, 3, Config{Workers: 2})
+	if len(m) != 3 {
+		t.Fatal("empty training returned wrong width")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Epochs != 20 || c.StepSize != 5e-2 || c.StepDecay != 0.8 || c.Beta != 0.5 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+}

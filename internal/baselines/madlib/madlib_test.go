@@ -1,0 +1,114 @@
+package madlib
+
+import (
+	"testing"
+
+	"db4ml/internal/graph"
+	"db4ml/internal/metrics"
+	"db4ml/internal/ml/pagerank"
+	"db4ml/internal/txn"
+)
+
+func load(t *testing.T, g *graph.Graph) (*txn.Manager, ranksFn) {
+	t.Helper()
+	mgr := txn.NewManager()
+	node, edge, err := pagerank.LoadTables(mgr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr, func(cfg Config) ([]float64, int) {
+		ranks, iters, err := PageRank(node, edge, mgr.Stable(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ranks, iters
+	}
+}
+
+type ranksFn func(Config) ([]float64, int)
+
+func TestMatchesReferenceSmall(t *testing.T) {
+	g, err := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 3}, {From: 2, To: 3}, {From: 3, To: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := graph.PageRankRef(g, 0.85, 1e-12, 500)
+	_, run := load(t, g)
+	got, iters := run(Config{Epsilon: 1e-12, MaxIters: 500})
+	if iters < 2 {
+		t.Fatalf("converged after %d iterations", iters)
+	}
+	if d := metrics.MaxAbsDiff(want, got); d > 1e-9 {
+		t.Fatalf("max diff vs reference = %v", d)
+	}
+}
+
+func TestMatchesReferenceGenerated(t *testing.T) {
+	g := graph.BarabasiAlbert(400, 6, 11)
+	want, _ := graph.PageRankRef(g, 0.85, 1e-10, 200)
+	_, run := load(t, g)
+	got, _ := run(Config{Epsilon: 1e-10, MaxIters: 200})
+	if d := metrics.MaxAbsDiff(want, got); d > 1e-8 {
+		t.Fatalf("max diff vs reference = %v", d)
+	}
+}
+
+func TestDanglingTargetsGetBaseRank(t *testing.T) {
+	// Node 2 has no incoming edges: its rank must be exactly (1-d)/N.
+	g, _ := graph.FromEdges(3, []graph.Edge{{From: 2, To: 0}, {From: 0, To: 1}, {From: 1, To: 0}})
+	_, run := load(t, g)
+	got, _ := run(Config{Epsilon: 1e-12, MaxIters: 300})
+	want := (1 - 0.85) / 3
+	if diff := got[2] - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("no-incoming node rank = %v, want %v", got[2], want)
+	}
+}
+
+func TestMaxItersCap(t *testing.T) {
+	g := graph.ErdosRenyi(100, 400, 2)
+	_, run := load(t, g)
+	_, iters := run(Config{Epsilon: 0, MaxIters: 4})
+	if iters != 4 {
+		t.Fatalf("iters = %d, want 4", iters)
+	}
+}
+
+func TestSnapshotIsolationOfDriver(t *testing.T) {
+	// The driver reads a fixed snapshot: OLTP updates during the run are
+	// invisible (here: committed before the driver starts reading vs after
+	// the snapshot was taken).
+	g := graph.ErdosRenyi(50, 200, 4)
+	mgr := txn.NewManager()
+	node, edge, err := pagerank.LoadTables(mgr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := mgr.Stable()
+	// Commit a rank change after the snapshot.
+	tx := mgr.Begin()
+	p, _ := tx.Read(node, 0)
+	p.SetFloat64(1, 42)
+	if err := tx.Write(node, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ranksA, _, err := PageRank(node, edge, snap, Config{Epsilon: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := graph.PageRankRef(g, 0.85, 1e-10, 100)
+	if d := metrics.MaxAbsDiff(want, ranksA); d > 1e-8 {
+		t.Fatalf("snapshot run diverged: %v", d)
+	}
+}
+
+func TestEmptyTables(t *testing.T) {
+	g, _ := graph.FromEdges(0, nil)
+	_, run := load(t, g)
+	ranks, iters := run(Config{})
+	if len(ranks) != 0 || iters != 0 {
+		t.Fatal("empty input produced output")
+	}
+}

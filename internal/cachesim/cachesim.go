@@ -1,0 +1,154 @@
+// Package cachesim is a set-associative LRU cache simulator standing in
+// for the hardware performance counters the paper reads (L1 and LLC misses
+// in Figures 10(a), 11 and 14). Experiments replay the address trace of an
+// instrumented hot loop — the real addresses of the Go objects involved —
+// through a two-level hierarchy modeled after the evaluation machine's
+// Xeon E7-8830 (32 KiB 8-way L1D, 24 MiB 24-way LLC, 64-byte lines) and
+// report per-level miss counts.
+//
+// The simulator is single-threaded by design: the paper's
+// micro-architectural analyses are all single-thread experiments.
+package cachesim
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// LineBytes is the cache-line size.
+	LineBytes int
+}
+
+// Validate reports whether the geometry is consistent.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cachesim: non-positive geometry %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cachesim: line size %d not a power of two", c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.Ways * c.LineBytes)
+	if sets <= 0 {
+		return fmt.Errorf("cachesim: %+v has no sets", c)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cachesim: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg       Config
+	sets      [][]uint64 // per set: line tags in LRU order, front = MRU
+	setMask   uint64
+	lineShift uint
+	accesses  uint64
+	misses    uint64
+}
+
+// NewCache builds a cache level; it panics on invalid geometry (configs
+// are static in this repo).
+func NewCache(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nSets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	c := &Cache{cfg: cfg, sets: make([][]uint64, nSets), setMask: uint64(nSets - 1)}
+	for i := range c.sets {
+		c.sets[i] = make([]uint64, 0, cfg.Ways)
+	}
+	for ls := cfg.LineBytes; ls > 1; ls >>= 1 {
+		c.lineShift++
+	}
+	return c
+}
+
+// Touch accesses the line containing addr and returns false on a miss
+// (after installing the line).
+func (c *Cache) Touch(addr uint64) bool {
+	c.accesses++
+	line := addr >> c.lineShift
+	set := c.sets[line&c.setMask]
+	for i, tag := range set {
+		if tag == line {
+			// Move to front (MRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return true
+		}
+	}
+	c.misses++
+	if len(set) < c.cfg.Ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = line
+	c.sets[line&c.setMask] = set
+	return false
+}
+
+// Accesses returns the number of Touch calls.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Misses returns the number of misses.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Reset zeroes counters and empties the cache.
+func (c *Cache) Reset() {
+	c.accesses, c.misses = 0, 0
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+}
+
+// Hierarchy is an L1 + LLC stack: L1 misses fall through to the LLC.
+type Hierarchy struct {
+	L1  *Cache
+	LLC *Cache
+}
+
+// NewXeonE78830 models the paper's evaluation CPU: 32 KiB 8-way L1D and a
+// 24 MiB 24-way shared LLC, 64-byte lines.
+func NewXeonE78830() *Hierarchy {
+	return &Hierarchy{
+		L1:  NewCache(Config{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64}),
+		LLC: NewCache(Config{SizeBytes: 24 << 20, Ways: 24, LineBytes: 64}),
+	}
+}
+
+// Access simulates a load/store of size bytes at addr, touching every
+// cache line the access spans.
+func (h *Hierarchy) Access(addr uint64, size int) {
+	if size <= 0 {
+		size = 1
+	}
+	first := addr &^ 63
+	last := (addr + uint64(size) - 1) &^ 63
+	for line := first; line <= last; line += 64 {
+		if !h.L1.Touch(line) {
+			h.LLC.Touch(line)
+		}
+	}
+}
+
+// Stats is a snapshot of the hierarchy's counters.
+type Stats struct {
+	Accesses  uint64
+	L1Misses  uint64
+	LLCMisses uint64
+}
+
+// Stats returns the current counters.
+func (h *Hierarchy) Stats() Stats {
+	return Stats{Accesses: h.L1.Accesses(), L1Misses: h.L1.Misses(), LLCMisses: h.LLC.Misses()}
+}
+
+// Reset zeroes the whole hierarchy.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.LLC.Reset()
+}

@@ -1,0 +1,168 @@
+// Package checkpoint persists ML-table snapshots to an io.Writer and
+// restores them, so trained models and loaded datasets survive process
+// restarts. The paper's prototype is purely in-memory; this is the natural
+// extension its Section 1 hints at ("can be extended towards disk-based
+// DBMSs"). The format is a small self-describing binary layout
+// (little-endian, length-prefixed), stdlib only.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+	"db4ml/internal/txn"
+)
+
+// magic identifies checkpoint streams; the version byte guards layout
+// changes.
+var magic = [4]byte{'D', 'B', '4', 'M'}
+
+const formatVersion = 1
+
+// Save writes the snapshot of tbl visible at ts. Index definitions are not
+// persisted (they are cheap to rebuild and their set lives in application
+// code).
+func Save(w io.Writer, tbl *table.Table, ts storage.Timestamp) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(formatVersion); err != nil {
+		return err
+	}
+	if err := writeString(bw, tbl.Name()); err != nil {
+		return err
+	}
+	cols := tbl.Schema().Columns()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(cols))); err != nil {
+		return err
+	}
+	for _, c := range cols {
+		if err := writeString(bw, c.Name); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(c.Type)); err != nil {
+			return err
+		}
+	}
+	// Collect the visible rows first so the count prefix is exact.
+	var rows []storage.Payload
+	tbl.Scan(ts, func(_ table.RowID, p storage.Payload) bool {
+		rows = append(rows, p.Clone())
+		return true
+	})
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(rows))); err != nil {
+		return err
+	}
+	for _, p := range rows {
+		for _, slot := range p {
+			if err := binary.Write(bw, binary.LittleEndian, slot); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores a table saved by Save into mgr's database, publishing all
+// rows atomically at a fresh commit timestamp.
+func Load(r io.Reader, mgr *txn.Manager) (*table.Table, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q", m)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported format version %d", ver)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	var nCols uint32
+	if err := binary.Read(br, binary.LittleEndian, &nCols); err != nil {
+		return nil, err
+	}
+	if nCols > 1<<16 {
+		return nil, fmt.Errorf("checkpoint: implausible column count %d", nCols)
+	}
+	cols := make([]table.Column, nCols)
+	for i := range cols {
+		cname, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		t, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if table.ColType(t) != table.Int64 && table.ColType(t) != table.Float64 {
+			return nil, fmt.Errorf("checkpoint: unknown column type %d", t)
+		}
+		cols[i] = table.Column{Name: cname, Type: table.ColType(t)}
+	}
+	schema, err := table.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	var nRows uint64
+	if err := binary.Read(br, binary.LittleEndian, &nRows); err != nil {
+		return nil, err
+	}
+	tbl := table.New(name, schema)
+	width := schema.Width()
+	payload := schema.NewPayload()
+	var loadErr error
+	mgr.PublishAt(func(ts storage.Timestamp) {
+		for row := uint64(0); row < nRows; row++ {
+			for i := 0; i < width; i++ {
+				if err := binary.Read(br, binary.LittleEndian, &payload[i]); err != nil {
+					loadErr = fmt.Errorf("checkpoint: row %d: %w", row, err)
+					return
+				}
+			}
+			if _, err := tbl.Append(ts, payload); err != nil {
+				loadErr = err
+				return
+			}
+		}
+	})
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	return tbl, nil
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("checkpoint: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

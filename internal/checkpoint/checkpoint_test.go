@@ -1,0 +1,159 @@
+package checkpoint
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+	"db4ml/internal/txn"
+)
+
+func sampleTable(t *testing.T, mgr *txn.Manager, n int) *table.Table {
+	t.Helper()
+	tbl := table.New("Model", table.MustSchema(
+		table.Column{Name: "ID", Type: table.Int64},
+		table.Column{Name: "W", Type: table.Float64},
+	))
+	mgr.PublishAt(func(ts storage.Timestamp) {
+		for i := 0; i < n; i++ {
+			p := tbl.Schema().NewPayload()
+			p.SetInt64(0, int64(i))
+			p.SetFloat64(1, float64(i)*1.5)
+			if _, err := tbl.Append(ts, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	return tbl
+}
+
+func TestRoundTrip(t *testing.T) {
+	mgr := txn.NewManager()
+	tbl := sampleTable(t, mgr, 100)
+	var buf bytes.Buffer
+	if err := Save(&buf, tbl, mgr.Stable()); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr2 := txn.NewManager()
+	got, err := Load(&buf, mgr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "Model" || got.NumRows() != 100 {
+		t.Fatalf("restored table = %s/%d rows", got.Name(), got.NumRows())
+	}
+	cols := got.Schema().Columns()
+	if cols[0].Name != "ID" || cols[0].Type != table.Int64 || cols[1].Name != "W" || cols[1].Type != table.Float64 {
+		t.Fatalf("restored schema = %+v", cols)
+	}
+	for i := 0; i < 100; i++ {
+		p, ok := got.Read(table.RowID(i), mgr2.Stable())
+		if !ok {
+			t.Fatalf("row %d invisible after load", i)
+		}
+		if p.Int64(0) != int64(i) || p.Float64(1) != float64(i)*1.5 {
+			t.Fatalf("row %d = %v", i, p)
+		}
+	}
+}
+
+func TestSaveSnapshotSemantics(t *testing.T) {
+	mgr := txn.NewManager()
+	tbl := sampleTable(t, mgr, 2)
+	snap := mgr.Stable()
+	// Commit a change after the snapshot.
+	tx := mgr.Begin()
+	p, _ := tx.Read(tbl, 0)
+	p.SetFloat64(1, 999)
+	if err := tx.Write(tbl, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, tbl, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, txn.NewManager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := got.Read(0, storage.InfTS-1)
+	if q.Float64(1) == 999 {
+		t.Fatal("checkpoint captured a post-snapshot commit")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"bad magic": "NOPE....",
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in), txn.NewManager()); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	mgr := txn.NewManager()
+	tbl := sampleTable(t, mgr, 1)
+	var buf bytes.Buffer
+	if err := Save(&buf, tbl, mgr.Stable()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // version byte
+	if _, err := Load(bytes.NewReader(b), txn.NewManager()); err == nil {
+		t.Fatal("wrong format version accepted")
+	}
+}
+
+func TestLoadTruncatedStream(t *testing.T) {
+	mgr := txn.NewManager()
+	tbl := sampleTable(t, mgr, 50)
+	var buf bytes.Buffer
+	if err := Save(&buf, tbl, mgr.Stable()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, 9, len(full) / 2, len(full) - 1} {
+		if _, err := Load(bytes.NewReader(full[:cut]), txn.NewManager()); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestEmptyTableRoundTrip(t *testing.T) {
+	mgr := txn.NewManager()
+	tbl := table.New("Empty", table.MustSchema(table.Column{Name: "x", Type: table.Int64}))
+	var buf bytes.Buffer
+	if err := Save(&buf, tbl, mgr.Stable()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, txn.NewManager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 {
+		t.Fatal("empty table restored with rows")
+	}
+}
+
+func TestSaveWriterError(t *testing.T) {
+	mgr := txn.NewManager()
+	tbl := sampleTable(t, mgr, 10)
+	if err := Save(failingWriter{}, tbl, mgr.Stable()); err == nil {
+		t.Fatal("writer error swallowed")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }

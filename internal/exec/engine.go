@@ -1,0 +1,403 @@
+// Package exec implements DB4ML's execution engine for iterative
+// sub-transactions (Section 4.1 and Figure 2). Sub-transactions are
+// pre-grouped into batches (Section 5.2) that circulate through per-NUMA-
+// region lock-free queues; worker goroutines — stand-ins for the paper's
+// core-pinned threads — pop a batch from their region's queue, run one
+// iteration of every live sub-transaction in it, and re-enqueue the batch
+// until it has converged batch-wise.
+//
+// The synchronous isolation level replaces queue circulation with a
+// per-iteration barrier (Section 5.1): every round, workers first execute
+// all live sub-transactions (writes buffered), synchronize, then validate
+// and install — a parallelized bulk-synchronous execution with no version
+// checking at all.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"db4ml/internal/isolation"
+	"db4ml/internal/itx"
+	"db4ml/internal/numa"
+	"db4ml/internal/queue"
+)
+
+// DefaultBatchSize is the paper's optimal batch size (Figure 10(b)).
+const DefaultBatchSize = 256
+
+// Config tunes the executor.
+type Config struct {
+	// Workers is the number of worker goroutines; defaults to
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Topology is the simulated NUMA layout; defaults to
+	// numa.PaperTopology(Workers).
+	Topology numa.Topology
+	// BatchSize is the number of sub-transactions per scheduling batch;
+	// defaults to DefaultBatchSize.
+	BatchSize int
+	// MaxIterations, when nonzero, force-retires any sub-transaction that
+	// has committed this many iterations without returning Done. It
+	// implements the paper's "pre-set and fixed number of iterations"
+	// convergence cap.
+	MaxIterations uint64
+	// IterationHook, when non-nil, runs before every sub-transaction
+	// execution with the worker id. Experiments use it to inject
+	// stragglers (Figure 9).
+	IterationHook func(worker int)
+	// ConvergeTogether (synchronous level only) retires sub-transactions
+	// collectively: a Done verdict counts as a vote, and everyone retires
+	// only in a round where every live sub-transaction voted Done. This
+	// is the global convergence criterion of bulk-synchronous engines
+	// like Galois — a node whose value is momentarily stable keeps
+	// recomputing while its neighborhood still moves, which is required
+	// for DB4ML's synchronous PageRank to reproduce Galois' exact
+	// fixpoint (Section 7.2.1).
+	ConvergeTogether bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Topology.Regions == 0 {
+		c.Topology = numa.PaperTopology(c.Workers)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	return c
+}
+
+// Resolved returns the configuration with all defaults filled in, so
+// callers can see the worker count and topology a Run will actually use.
+func (c Config) Resolved() Config { return c.withDefaults() }
+
+// Stats reports what one Run did.
+type Stats struct {
+	// Executions counts Execute calls (including rolled-back iterations).
+	Executions uint64
+	// Commits counts iterations whose updates were installed.
+	Commits uint64
+	// Rollbacks counts iterations discarded by user request or staleness
+	// violation.
+	Rollbacks uint64
+	// ForcedStops counts sub-transactions retired by MaxIterations.
+	ForcedStops uint64
+	// Rounds counts barrier rounds (synchronous level only).
+	Rounds uint64
+	// Elapsed is the wall-clock duration of the Run.
+	Elapsed time.Duration
+	// AvgWorkerBusy and MaxWorkerBusy aggregate the time each worker
+	// spent actually processing sub-transactions (excluding idle
+	// spinning), the per-worker runtime Figure 9 reports.
+	AvgWorkerBusy time.Duration
+	MaxWorkerBusy time.Duration
+}
+
+// Engine executes the sub-transactions of one uber-transaction.
+type Engine struct {
+	cfg  Config
+	opts isolation.Options
+}
+
+// New builds an engine for the given configuration and isolation options.
+func New(cfg Config, opts isolation.Options) *Engine {
+	return &Engine{cfg: cfg.withDefaults(), opts: opts}
+}
+
+// sched is one scheduled sub-transaction with its reusable context.
+type sched struct {
+	sub       itx.Sub
+	ctx       *itx.Ctx
+	begun     bool
+	converged bool
+	action    itx.Action // sync level: verdict carried between phases
+}
+
+// batch groups sub-transactions for scheduling; the queues hold batches,
+// not individual sub-transactions (Section 5.2).
+type batch struct {
+	subs []*sched
+	live int64 // non-converged subs in this batch; owned by the processing worker
+}
+
+// Run drives subs until every one of them converged (or hit
+// MaxIterations). regionOf assigns each sub-transaction (by its index) to
+// a NUMA region for queue routing and should match the data partitioning;
+// nil distributes round-robin. Run blocks until completion.
+func (e *Engine) Run(subs []itx.Sub, regionOf func(i int) int) Stats {
+	start := time.Now()
+	regions := e.cfg.Topology.Regions
+	if regionOf == nil {
+		regionOf = func(i int) int { return i % regions }
+	}
+	perRegion := make([][]*sched, regions)
+	for i, sub := range subs {
+		s := &sched{sub: sub, ctx: itx.NewCtx(e.opts, -1)}
+		r := regionOf(i) % regions
+		if r < 0 {
+			r = 0
+		}
+		perRegion[r] = append(perRegion[r], s)
+	}
+
+	var stats Stats
+	if e.opts.Level == isolation.Synchronous {
+		e.runSync(perRegion, &stats)
+	} else {
+		e.runQueued(perRegion, &stats)
+	}
+	stats.Elapsed = time.Since(start)
+	return stats
+}
+
+// counters aggregates hot-path statistics with atomics.
+type counters struct {
+	executions  atomic.Uint64
+	commits     atomic.Uint64
+	rollbacks   atomic.Uint64
+	forcedStops atomic.Uint64
+	busy        []atomic.Int64 // per-worker processing nanoseconds
+}
+
+func newCounters(workers int) *counters {
+	return &counters{busy: make([]atomic.Int64, workers)}
+}
+
+func (c *counters) into(stats *Stats) {
+	stats.Executions += c.executions.Load()
+	stats.Commits += c.commits.Load()
+	stats.Rollbacks += c.rollbacks.Load()
+	stats.ForcedStops += c.forcedStops.Load()
+	var sum, max int64
+	for i := range c.busy {
+		b := c.busy[i].Load()
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if len(c.busy) > 0 {
+		stats.AvgWorkerBusy = time.Duration(sum / int64(len(c.busy)))
+		stats.MaxWorkerBusy = time.Duration(max)
+	}
+}
+
+// runQueued is the asynchronous / bounded-staleness scheduler: batches
+// circulate through per-region lock-free queues until batch-wise
+// convergence (step 4/5 of Figure 2).
+func (e *Engine) runQueued(perRegion [][]*sched, stats *Stats) {
+	regions := len(perRegion)
+	queues := make([]*queue.Queue[*batch], regions)
+	var remaining atomic.Int64
+	for r := range queues {
+		queues[r] = queue.New[*batch]()
+		for lo := 0; lo < len(perRegion[r]); lo += e.cfg.BatchSize {
+			hi := lo + e.cfg.BatchSize
+			if hi > len(perRegion[r]) {
+				hi = len(perRegion[r])
+			}
+			b := &batch{subs: perRegion[r][lo:hi], live: int64(hi - lo)}
+			remaining.Add(b.live)
+			queues[r].Push(b)
+		}
+	}
+
+	cnt := newCounters(e.cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < e.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			region := e.cfg.Topology.RegionOf(w)
+			q := queues[region]
+			for remaining.Load() > 0 {
+				b, ok := q.Pop()
+				if !ok {
+					// The region's work is drained or in flight on other
+					// workers; yield instead of spinning hard.
+					runtime.Gosched()
+					continue
+				}
+				t0 := time.Now()
+				committed := e.processBatch(w, b, cnt, &remaining)
+				cnt.busy[w].Add(int64(time.Since(t0)))
+				if b.live > 0 {
+					q.Push(b)
+					if committed == 0 {
+						// Every live sub-transaction rolled back (e.g.
+						// SSP-throttled behind a straggler): back off
+						// instead of spin-retrying at full speed.
+						time.Sleep(50 * time.Microsecond)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	cnt.into(stats)
+}
+
+// processBatch runs one iteration of every live sub-transaction in b and
+// returns the number of committed iterations.
+func (e *Engine) processBatch(w int, b *batch, cnt *counters, remaining *atomic.Int64) int {
+	committed := 0
+	for _, s := range b.subs {
+		if s.converged {
+			continue
+		}
+		if e.cfg.IterationHook != nil {
+			e.cfg.IterationHook(w)
+		}
+		s.ctx.SetWorker(w)
+		if !s.begun {
+			s.sub.Begin(s.ctx)
+			s.begun = true
+		}
+		s.sub.Execute(s.ctx)
+		cnt.executions.Add(1)
+		action := s.sub.Validate(s.ctx)
+		converged, rolledBack := s.ctx.Finalize(action)
+		if rolledBack {
+			cnt.rollbacks.Add(1)
+		} else {
+			cnt.commits.Add(1)
+			committed++
+		}
+		if !converged && e.cfg.MaxIterations > 0 && s.ctx.Iteration() >= e.cfg.MaxIterations {
+			converged = true
+			cnt.forcedStops.Add(1)
+		}
+		if converged {
+			s.converged = true
+			b.live--
+			remaining.Add(-1)
+		}
+	}
+	return committed
+}
+
+// runSync is the synchronous scheduler: lockstep rounds separated by
+// barriers, writes installed only after every execution of the round
+// finished, so reads always observe exactly the previous round's snapshots
+// with zero version checking (Section 5.1).
+func (e *Engine) runSync(perRegion [][]*sched, stats *Stats) {
+	// Static work assignment: worker w owns every sched at position k of
+	// its region where k ≡ (w's rank within the region).
+	shards := make([][]*sched, e.cfg.Workers)
+	rankInRegion := make([]int, e.cfg.Workers)
+	regionRank := make([]int, e.cfg.Topology.Regions)
+	for w := 0; w < e.cfg.Workers; w++ {
+		r := e.cfg.Topology.RegionOf(w)
+		rankInRegion[w] = regionRank[r]
+		regionRank[r]++
+	}
+	for w := 0; w < e.cfg.Workers; w++ {
+		r := e.cfg.Topology.RegionOf(w)
+		workersHere := e.cfg.Topology.WorkersIn(r)
+		for k := rankInRegion[w]; k < len(perRegion[r]); k += workersHere {
+			shards[w] = append(shards[w], perRegion[r][k])
+		}
+	}
+
+	remaining := int64(0)
+	for _, rg := range perRegion {
+		remaining += int64(len(rg))
+	}
+	cnt := newCounters(e.cfg.Workers)
+	var left atomic.Int64
+	left.Store(remaining)
+
+	for round := uint64(1); left.Load() > 0; round++ {
+		if e.cfg.MaxIterations > 0 && round > e.cfg.MaxIterations {
+			// Retire whatever is still live.
+			for _, sh := range shards {
+				for _, s := range sh {
+					if !s.converged {
+						s.converged = true
+						cnt.forcedStops.Add(1)
+						left.Add(-1)
+					}
+				}
+			}
+			break
+		}
+		stats.Rounds++
+		// Phase A: execute everything, writes stay buffered.
+		e.parallel(shards, cnt, func(w int, s *sched) {
+			if e.cfg.IterationHook != nil {
+				e.cfg.IterationHook(w)
+			}
+			s.ctx.SetWorker(w)
+			if !s.begun {
+				s.sub.Begin(s.ctx)
+				s.begun = true
+			}
+			s.sub.Execute(s.ctx)
+			cnt.executions.Add(1)
+			s.action = s.sub.Validate(s.ctx)
+		})
+		// Barrier, then phase B: install and settle verdicts.
+		var doneVotes atomic.Int64
+		liveThisRound := left.Load()
+		e.parallel(shards, cnt, func(w int, s *sched) {
+			action := s.action
+			if e.cfg.ConvergeTogether && action == itx.Done {
+				// Vote, but keep iterating until the whole round agrees.
+				doneVotes.Add(1)
+				action = itx.Commit
+			}
+			converged, rolledBack := s.ctx.Finalize(action)
+			if rolledBack {
+				cnt.rollbacks.Add(1)
+			} else {
+				cnt.commits.Add(1)
+			}
+			if converged {
+				s.converged = true
+				left.Add(-1)
+			}
+		})
+		if e.cfg.ConvergeTogether && doneVotes.Load() == liveThisRound {
+			// Unanimous: the global fixpoint is reached; retire everyone.
+			for _, sh := range shards {
+				for _, s := range sh {
+					if !s.converged {
+						s.converged = true
+						left.Add(-1)
+					}
+				}
+			}
+		}
+	}
+	cnt.into(stats)
+}
+
+// parallel runs fn over every live sched of every shard, one goroutine per
+// worker, and waits for all of them — the barrier between phases. Each
+// worker's processing time is charged to its busy counter.
+func (e *Engine) parallel(shards [][]*sched, cnt *counters, fn func(w int, s *sched)) {
+	var wg sync.WaitGroup
+	for w := range shards {
+		if len(shards[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t0 := time.Now()
+			for _, s := range shards[w] {
+				if s.converged {
+					continue
+				}
+				fn(w, s)
+			}
+			cnt.busy[w].Add(int64(time.Since(t0)))
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,110 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 7). Each Fig*/Table* function runs one experiment at
+// a laptop-friendly scale and prints the same rows/series the paper
+// reports; the cmd/db4ml-bench binary and the repository's benchmarks are
+// thin wrappers around them. DESIGN.md carries the per-experiment index,
+// EXPERIMENTS.md the measured-vs-paper comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"text/tabwriter"
+	"time"
+)
+
+// rngInt63n draws from the global (mutex-guarded) source — used by
+// straggler hooks that run on several workers at once.
+func rngInt63n(n int64) int64 { return rand.Int63n(n) }
+
+// Options tunes all experiments.
+type Options struct {
+	// Out receives the experiment's printed table.
+	Out io.Writer
+	// MaxWorkers bounds the core sweeps; defaults to
+	// max(8, 2·GOMAXPROCS) so the shape past physical cores is visible.
+	MaxWorkers int
+	// Runs is how many times timed configurations repeat (averaged);
+	// defaults to 3 (the paper's Figure 1 averages 5).
+	Runs int
+	// Quick shrinks datasets and sweeps for use in unit tests and smoke
+	// runs.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	if o.MaxWorkers <= 0 {
+		o.MaxWorkers = 2 * runtime.GOMAXPROCS(0)
+		if o.MaxWorkers < 8 {
+			o.MaxWorkers = 8
+		}
+	}
+	if o.Runs <= 0 {
+		if o.Quick {
+			o.Runs = 1
+		} else {
+			o.Runs = 3
+		}
+	}
+	return o
+}
+
+// workerSweep returns the core-count series of the scalability figures:
+// powers of two from 1 to MaxWorkers (the paper sweeps 1–64).
+func (o Options) workerSweep() []int {
+	var out []int
+	for w := 1; w <= o.MaxWorkers; w *= 2 {
+		out = append(out, w)
+	}
+	return out
+}
+
+// timed runs fn `runs` times and returns the mean wall-clock duration.
+func timed(runs int, fn func()) time.Duration {
+	var total time.Duration
+	for i := 0; i < runs; i++ {
+		t0 := time.Now()
+		fn()
+		total += time.Since(t0)
+	}
+	return total / time.Duration(runs)
+}
+
+// tab creates an aligned table writer with a header row.
+func tab(w io.Writer, headers ...string) *tabwriter.Writer {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for i, h := range headers {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, h)
+	}
+	fmt.Fprintln(tw)
+	return tw
+}
+
+func row(tw *tabwriter.Writer, cells ...any) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		switch v := c.(type) {
+		case float64:
+			fmt.Fprintf(tw, "%.4g", v)
+		case time.Duration:
+			fmt.Fprintf(tw, "%.2fms", float64(v)/1e6)
+		default:
+			fmt.Fprintf(tw, "%v", v)
+		}
+	}
+	fmt.Fprintln(tw)
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"db4ml/internal/cachesim"
+	"db4ml/internal/storage"
+)
+
+// Fig11 reproduces Figure 11: the overhead of physically storing 1–64
+// intermediate versions per iterative record, measured for one PageRank
+// iteration on the gplus stand-in. "Cycles" are wall-clock time of the
+// real loop; L1/LLC misses come from replaying the loop's address trace
+// through the cache simulator (the reproduction's substitute for PMU
+// counters, see DESIGN.md). All numbers are relative to a single version.
+func Fig11(opts Options) error {
+	opts = opts.withDefaults()
+	g := prGraph("gplus", opts.Quick)
+	n := g.NumNodes()
+	versionCounts := []int{1, 2, 4, 8, 16, 32, 64}
+	if opts.Quick {
+		versionCounts = []int{1, 4, 16}
+	}
+
+	type sample struct {
+		cycles    time.Duration
+		l1Misses  uint64
+		llcMisses uint64
+	}
+	results := make([]sample, 0, len(versionCounts))
+
+	for _, nv := range versionCounts {
+		recs := make([]*storage.IterativeRecord, n)
+		init := storage.Payload{0}
+		init.SetFloat64(0, 1/float64(n))
+		for v := range recs {
+			recs[v] = storage.NewIterativeRecord(init, nv)
+		}
+		buf := make(storage.Payload, 1)
+		out := make(storage.Payload, 1)
+		iteration := func() {
+			for v := int32(0); int(v) < n; v++ {
+				sum := 0.0
+				for _, u := range g.InNeighbors(v) {
+					recs[u].ReadRecent(buf)
+					sum += buf.Float64(0) / float64(g.OutDegree(u))
+				}
+				out.SetFloat64(0, 0.15/float64(n)+0.85*sum)
+				recs[v].Install(out)
+			}
+		}
+		iteration() // warm up and advance the circular buffers
+		iteration()
+		elapsed := timed(opts.Runs, iteration)
+
+		// Address-trace replay of the same access pattern.
+		h := cachesim.NewXeonE78830()
+		for v := int32(0); int(v) < n; v++ {
+			for _, u := range g.InNeighbors(v) {
+				r := recs[u]
+				latest := r.Latest()
+				h.Access(uint64(r.HeaderAddr()), 8)
+				h.Access(uint64(r.SlotMetaAddr(latest)), 16)
+				h.Access(uint64(r.SlotDataAddr(latest, 0)), 8)
+			}
+			r := recs[v]
+			next := r.Latest() + 1
+			h.Access(uint64(r.HeaderAddr()), 8)
+			h.Access(uint64(r.SlotMetaAddr(next)), 16)
+			h.Access(uint64(r.SlotDataAddr(next, 0)), 8)
+		}
+		st := h.Stats()
+		results = append(results, sample{cycles: elapsed, l1Misses: st.L1Misses, llcMisses: st.LLCMisses})
+	}
+
+	header(opts.Out, fmt.Sprintf("Figure 11: overhead of storing multiple versions (gplus stand-in, %d nodes; relative to 1 version)", n))
+	tw := tab(opts.Out, "versions", "cycles (rel)", "L1 misses (rel)", "LLC misses (rel)")
+	base := results[0]
+	for i, nv := range versionCounts {
+		r := results[i]
+		row(tw, nv,
+			float64(r.cycles)/float64(base.cycles),
+			ratio(r.l1Misses, base.l1Misses),
+			ratio(r.llcMisses, base.llcMisses))
+	}
+	return tw.Flush()
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return float64(a)
+	}
+	return float64(a) / float64(b)
+}

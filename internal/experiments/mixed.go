@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"db4ml/internal/exec"
+	"db4ml/internal/ml/sgd"
+	"db4ml/internal/oltpbench"
+	"db4ml/internal/svm"
+	"db4ml/internal/txn"
+)
+
+// Mixed is an extra experiment (not a paper figure): it quantifies Section
+// 2.1's coexistence claim by measuring SmallBank-style OLTP throughput on
+// ML-tables, alone and while a DB4ML SGD uber-transaction trains in the
+// same database instance.
+func Mixed(opts Options) error {
+	opts = opts.withDefaults()
+	accounts := 1024
+	perClient := 3000
+	clients := 2
+	epochs := 200
+	if opts.Quick {
+		perClient = 300
+		epochs = 20
+	}
+
+	runOLTP := func(withML bool) (oltpbench.Stats, error) {
+		mgr := txn.NewManager()
+		bank, err := oltpbench.Setup(mgr, accounts, 1000)
+		if err != nil {
+			return oltpbench.Stats{}, err
+		}
+		var wg sync.WaitGroup
+		if withML {
+			train, _ := svm.Generate(svm.GenSpec{
+				Train: 5000, Features: 64, Density: 1, Noise: 0.05, Seed: 9,
+			})
+			tables, err := sgd.LoadTables(mgr, train, 64, 9)
+			if err != nil {
+				return oltpbench.Stats{}, err
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Long-running training keeps the ML side busy for the
+				// whole OLTP measurement window.
+				_, _ = sgd.Run(mgr, tables, sgd.Config{
+					Exec:   exec.Config{Workers: 1},
+					Epochs: epochs, Lambda: 1e-5, Seed: 9,
+				})
+			}()
+		}
+		stats, err := bank.Run(clients, perClient, oltpbench.DefaultMix, 7)
+		wg.Wait()
+		return stats, err
+	}
+
+	alone, err := runOLTP(false)
+	if err != nil {
+		return err
+	}
+	mixed, err := runOLTP(true)
+	if err != nil {
+		return err
+	}
+
+	header(opts.Out, fmt.Sprintf("Mixed workload (extra): SmallBank OLTP on ML-tables, %d clients x %d txns", clients, perClient))
+	tw := tab(opts.Out, "configuration", "committed", "conflicts", "throughput (txn/s)")
+	row(tw, "OLTP alone", alone.Committed, alone.Conflicts, alone.Throughput())
+	row(tw, "OLTP + running DB4ML SGD", mixed.Committed, mixed.Conflicts, mixed.Throughput())
+	return tw.Flush()
+}

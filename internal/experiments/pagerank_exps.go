@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"db4ml/internal/baselines/galois"
+	"db4ml/internal/baselines/madlib"
+	"db4ml/internal/exec"
+	"db4ml/internal/graph"
+	"db4ml/internal/isolation"
+	"db4ml/internal/metrics"
+	"db4ml/internal/ml/pagerank"
+	"db4ml/internal/numa"
+	"db4ml/internal/table"
+	"db4ml/internal/txn"
+)
+
+// prScaleDiv holds the default down-scaling of each PageRank dataset (see
+// DESIGN.md: synthetic stand-ins preserve density and skew; sizes shrink
+// to laptop scale). Quick mode shrinks a further 8x.
+var prScaleDiv = map[string]int{
+	"wikivote": 1,
+	"gplus":    32,
+	"patents":  512,
+	"pld":      2048,
+}
+
+func prGraph(name string, quick bool) *graph.Graph {
+	d, err := graph.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	div := prScaleDiv[name]
+	if quick {
+		div *= 8
+	}
+	return d.Generate(div)
+}
+
+func loadPR(g *graph.Graph) (*txn.Manager, *table.Table, *table.Table) {
+	mgr := txn.NewManager()
+	node, edge, err := pagerank.LoadTables(mgr, g)
+	if err != nil {
+		panic(err)
+	}
+	return mgr, node, edge
+}
+
+// timedDB4ML measures pagerank.Run alone, averaged over runs: tables are
+// reloaded fresh outside the timed region (loading is not part of the
+// paper's measured runtime — the data is assumed resident in the DBMS),
+// while everything the uber-transaction itself does (spawning
+// sub-transactions, get_neighbors via the indexes, execution, commit)
+// stays inside it.
+func timedDB4ML(runs int, g *graph.Graph, cfg pagerank.Config) time.Duration {
+	var total time.Duration
+	for r := 0; r < runs; r++ {
+		mgr, node, edge := loadPR(g)
+		t0 := time.Now()
+		if _, err := pagerank.Run(mgr, node, edge, cfg); err != nil {
+			panic(err)
+		}
+		total += time.Since(t0)
+	}
+	return total / time.Duration(runs)
+}
+
+// Fig1 reproduces Figure 1: PageRank runtime on the Wikivote graph for
+// DB4ML vs Galois vs MADlib, averaged over Options.Runs (the paper
+// averages 5). All three engines run the same fixed number of iterations
+// so per-iteration cost is compared; their convergence equivalence is
+// covered by unit tests.
+func Fig1(opts Options) error {
+	opts = opts.withDefaults()
+	g := prGraph("wikivote", opts.Quick)
+	iters := 30
+	if opts.Quick {
+		iters = 5
+	}
+	workers := runtime.GOMAXPROCS(0)
+
+	var db4mlTime, galoisTime, madlibTime time.Duration
+
+	db4mlTime = timedDB4ML(opts.Runs, g, pagerank.Config{
+		Exec:      exec.Config{Workers: workers, MaxIterations: uint64(iters)},
+		Isolation: isolation.Options{Level: isolation.Synchronous},
+		Epsilon:   -1,
+	})
+	galoisTime = timed(opts.Runs, func() {
+		galois.PageRank(g, galois.Config{Workers: workers, Epsilon: 0, MaxIters: iters})
+	})
+	mgr, node, edge := loadPR(g)
+	madlibTime = timed(opts.Runs, func() {
+		if _, _, err := madlib.PageRank(node, edge, mgr.Stable(), madlib.Config{Epsilon: 0, MaxIters: iters}); err != nil {
+			panic(err)
+		}
+	})
+
+	header(opts.Out, fmt.Sprintf("Figure 1: PageRank on wikivote (%d nodes, %d edges, %d iterations, %d workers, avg of %d)",
+		g.NumNodes(), g.NumEdges(), iters, workers, opts.Runs))
+	tw := tab(opts.Out, "system", "runtime", "vs DB4ML")
+	row(tw, "DB4ML (sync)", db4mlTime, 1.0)
+	row(tw, "Galois (sync pull)", galoisTime, float64(galoisTime)/float64(db4mlTime))
+	row(tw, "MADlib (BSP SQL)", madlibTime, float64(madlibTime)/float64(db4mlTime))
+	return tw.Flush()
+}
+
+// Table1 reproduces Table 1: the PageRank datasets — paper sizes alongside
+// the generated stand-ins actually used.
+func Table1(opts Options) error {
+	opts = opts.withDefaults()
+	header(opts.Out, "Table 1: PageRank datasets (paper vs generated stand-in)")
+	tw := tab(opts.Out, "dataset", "paper nodes", "paper edges", "gen nodes", "gen edges", "gen avg-deg", "gen skew")
+	for _, d := range graph.Datasets {
+		if d.Name == "wikivote" {
+			continue // Table 1 lists the three scalability datasets
+		}
+		g := prGraph(d.Name, opts.Quick)
+		st := graph.Summarize(g)
+		row(tw, d.Name, d.PaperNodes, d.PaperEdges, st.Nodes, st.Edges, st.AvgOutDegree, st.Skew)
+	}
+	return tw.Flush()
+}
+
+// Fig8 reproduces Figure 8: PageRank runtime scalability of DB4ML
+// (synchronous) vs Galois across cores on gplus, patents, and pld
+// stand-ins.
+func Fig8(opts Options) error {
+	opts = opts.withDefaults()
+	datasets := []string{"gplus", "patents", "pld"}
+	if opts.Quick {
+		datasets = datasets[:1]
+	}
+	iters := 20
+	if opts.Quick {
+		iters = 3
+	}
+	header(opts.Out, fmt.Sprintf("Figure 8: PageRank runtime, 1-%d workers, %d iterations", opts.MaxWorkers, iters))
+	tw := tab(opts.Out, "dataset", "workers", "DB4ML", "Galois", "DB4ML speedup", "Galois speedup")
+	for _, name := range datasets {
+		g := prGraph(name, opts.Quick)
+		var base1, base2 time.Duration
+		for _, w := range opts.workerSweep() {
+			dbt := timedDB4ML(opts.Runs, g, pagerank.Config{
+				Exec:      exec.Config{Workers: w, MaxIterations: uint64(iters)},
+				Isolation: isolation.Options{Level: isolation.Synchronous},
+				Epsilon:   -1,
+			})
+			gat := timed(opts.Runs, func() {
+				galois.PageRank(g, galois.Config{Workers: w, Epsilon: 0, MaxIters: iters})
+			})
+			if w == 1 {
+				base1, base2 = dbt, gat
+			}
+			row(tw, name, w, dbt, gat,
+				float64(base1)/float64(dbt), float64(base2)/float64(gat))
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig9 reproduces Figure 9: runtime and pair-wise accuracy of the three
+// ML isolation levels on the gplus stand-in with a fixed number of
+// iterations, with and without an injected straggler. The paper's
+// straggler sleeps U(0,100ms) per iteration at full gplus scale; the sleep
+// here is scaled down with the dataset (U(0,1ms)) so its relative cost is
+// comparable.
+func Fig9(opts Options) error {
+	opts = opts.withDefaults()
+	g := prGraph("gplus", opts.Quick)
+	iters := uint64(36)
+	if opts.Quick {
+		iters = 6
+	}
+	// The paper uses 4 workers; never oversubscribe the host, though —
+	// with more workers than cores the Go scheduler itself creates
+	// stragglers (long descheduled stretches), contaminating the
+	// no-straggler baseline.
+	workers := 4
+	if n := runtime.GOMAXPROCS(0); workers > n {
+		workers = n
+	}
+
+	// Ground truth: converged synchronous ranking (the paper's baseline
+	// for pair-wise accuracy).
+	mgr, node, edge := loadPR(g)
+	truth, err := pagerank.Run(mgr, node, edge, pagerank.Config{
+		Exec:      exec.Config{Workers: workers},
+		Isolation: isolation.Options{Level: isolation.Synchronous},
+		Epsilon:   1e-10,
+	})
+	if err != nil {
+		return err
+	}
+
+	type level struct {
+		name string
+		iso  isolation.Options
+	}
+	// Bounded staleness uses the SSP clock rule (isolation.ClockBound):
+	// with PageRank's single writer per tuple, that is the semantics under
+	// which the bound actually constrains execution — see the option's
+	// documentation.
+	levels := []level{
+		{"sync", isolation.Options{Level: isolation.Synchronous}},
+		{"bounded(S=2)", isolation.Options{Level: isolation.BoundedStaleness, Staleness: 2, ClockBound: true}},
+		{"bounded(S=10)", isolation.Options{Level: isolation.BoundedStaleness, Staleness: 10, ClockBound: true}},
+		{"async", isolation.Options{Level: isolation.Asynchronous}},
+	}
+	// The paper's straggler sleeps U(0, 100ms) per iteration on the full
+	// gplus graph; scaled with the smaller stand-in, U(0, 1ms) keeps the
+	// straggler's share of the runtime comparable.
+	straggler := func(worker int) {
+		if worker == workers-1 {
+			time.Sleep(time.Duration(rngInt63n(1_000_000)))
+		}
+	}
+
+	header(opts.Out, fmt.Sprintf("Figure 9: isolation levels on gplus stand-in (%d nodes, %d iterations, %d workers)",
+		g.NumNodes(), iters, workers))
+	tw := tab(opts.Out, "straggler", "isolation", "avg worker runtime", "rank accuracy", "pairwise accuracy")
+	for _, withStraggler := range []bool{false, true} {
+		for _, lv := range levels {
+			cfg := pagerank.Config{
+				Exec: exec.Config{
+					Workers: workers,
+					// One region per worker: each worker owns its range
+					// partition of the nodes, so a straggling worker's
+					// partition actually lags (the paper's workers are
+					// pinned to cores with partitioned data).
+					Topology:      numa.NewTopology(workers, workers),
+					MaxIterations: iters,
+				},
+				Isolation: lv.iso,
+				Epsilon:   -1,
+			}
+			if withStraggler {
+				cfg.Exec.IterationHook = straggler
+			}
+			mgr, node, edge := loadPR(g)
+			res, err := pagerank.Run(mgr, node, edge, cfg)
+			if err != nil {
+				return err
+			}
+			pos := metrics.PositionAccuracy(truth.Ranks, res.Ranks)
+			pair := metrics.PairwiseAccuracy(truth.Ranks, res.Ranks, 1<<18, 1)
+			row(tw, withStraggler, lv.name, res.Stats.AvgWorkerBusy,
+				fmt.Sprintf("%.1f%%", pos*100), fmt.Sprintf("%.4f", pair))
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig10a reproduces Figure 10(a): the share of time spent in transaction
+// machinery vs the actual PageRank computation at batch size 1 on a single
+// core.
+func Fig10a(opts Options) error {
+	opts = opts.withDefaults()
+	g := prGraph("gplus", opts.Quick)
+	iters := uint64(10)
+	if opts.Quick {
+		iters = 3
+	}
+	var execNanos atomic.Int64
+	mgr, node, edge := loadPR(g)
+	res, err := pagerank.Run(mgr, node, edge, pagerank.Config{
+		Exec:         exec.Config{Workers: 1, BatchSize: 1, MaxIterations: iters},
+		Isolation:    isolation.Options{Level: isolation.Asynchronous},
+		Epsilon:      -1,
+		ExecuteNanos: &execNanos,
+	})
+	if err != nil {
+		return err
+	}
+	// The paper measures the share of cycles inside one PageRank
+	// transaction that go to transaction-related methods vs the actual
+	// computation. Worker busy time covers exactly the per-transaction
+	// processing (Begin/Execute/Validate/commit) and excludes queue
+	// waits, so machinery = busy - execute.
+	total := float64(res.Stats.AvgWorkerBusy) // 1 worker: avg == total
+	compute := float64(execNanos.Load())
+	if compute > total {
+		compute = total
+	}
+	header(opts.Out, "Figure 10(a): cycle breakdown, batch size 1, 1 core (gplus stand-in)")
+	tw := tab(opts.Out, "component", "share")
+	row(tw, "PageRank computation", fmt.Sprintf("%.1f%%", 100*compute/total))
+	row(tw, "transaction machinery", fmt.Sprintf("%.1f%%", 100*(total-compute)/total))
+	return tw.Flush()
+}
+
+// Fig10b reproduces Figure 10(b): runtime vs batch size, normalized to
+// batch size 256, with a fixed number of iterations.
+func Fig10b(opts Options) error {
+	opts = opts.withDefaults()
+	datasets := []string{"gplus", "patents"}
+	if opts.Quick {
+		datasets = datasets[:1]
+	}
+	iters := uint64(36)
+	if opts.Quick {
+		iters = 4
+	}
+	batches := []int{1, 4, 16, 64, 256, 512, 1024}
+	header(opts.Out, fmt.Sprintf("Figure 10(b): batch size sweep, %d iterations, %d workers (normalized to 256)", iters, opts.MaxWorkers/2))
+	tw := tab(opts.Out, "dataset", "batch", "runtime", "normalized")
+	for _, name := range datasets {
+		g := prGraph(name, opts.Quick)
+		times := make(map[int]time.Duration, len(batches))
+		for _, bs := range batches {
+			times[bs] = timedDB4ML(opts.Runs, g, pagerank.Config{
+				Exec:      exec.Config{Workers: opts.MaxWorkers / 2, BatchSize: bs, MaxIterations: iters},
+				Isolation: isolation.Options{Level: isolation.Asynchronous},
+				Epsilon:   -1,
+			})
+		}
+		for _, bs := range batches {
+			row(tw, name, bs, times[bs], float64(times[bs])/float64(times[256]))
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,108 @@
+package graph
+
+import "fmt"
+
+// Dataset describes one PageRank input of the paper (Table 1 plus the
+// Wikivote graph of Figure 1) together with a generator that reproduces
+// its shape at a configurable fraction of the original size. The paper's
+// datasets are real SNAP/WDC downloads; this reproduction substitutes
+// synthetic graphs with matching density and degree skew (see DESIGN.md).
+type Dataset struct {
+	// Name matches the paper ("wikivote", "gplus", "patents", "pld").
+	Name string
+	// PaperNodes and PaperEdges are the sizes reported by the paper.
+	PaperNodes int64
+	PaperEdges int64
+	// Generate builds the stand-in graph scaled so it has roughly
+	// PaperNodes/scaleDiv nodes with the original edge density. scaleDiv
+	// < 1 is treated as 1 (full scale).
+	Generate func(scaleDiv int) *Graph
+}
+
+// Datasets is the catalog of PageRank inputs, in the paper's order.
+var Datasets = []Dataset{
+	{
+		// Figure 1 runs on wiki-Vote: 7,115 nodes, 103,689 edges, a dense
+		// social voting graph. Small enough to generate at full scale.
+		Name:       "wikivote",
+		PaperNodes: 7115,
+		PaperEdges: 103689,
+		Generate: func(scaleDiv int) *Graph {
+			n, m := scaled(7115, 103689, scaleDiv)
+			return BarabasiAlbert(n, int(m/int64(n)), 7115)
+		},
+	},
+	{
+		// gplus: social circles graph, extremely dense (avg degree ~168)
+		// and heavily skewed — Barabási–Albert preferential attachment.
+		Name:       "gplus",
+		PaperNodes: 107614,
+		PaperEdges: 18112696,
+		Generate: func(scaleDiv int) *Graph {
+			n, m := scaled(107614, 18112696, scaleDiv)
+			return BarabasiAlbert(n, int(m/int64(n)), 107614)
+		},
+	},
+	{
+		// patents: citation network, sparse (avg degree ~6) and much more
+		// uniform than a social graph — Erdős–Rényi is the closest shape.
+		Name:       "patents",
+		PaperNodes: 3774768,
+		PaperEdges: 22637404,
+		Generate: func(scaleDiv int) *Graph {
+			n, m := scaled(3774768, 22637404, scaleDiv)
+			return ErdosRenyi(n, m, 3774768)
+		},
+	},
+	{
+		// pld: web hyperlink graph (pay-level domains), skewed web
+		// structure — RMAT with the standard Graph500 parameters.
+		Name:       "pld",
+		PaperNodes: 39497204,
+		PaperEdges: 704376276,
+		Generate: func(scaleDiv int) *Graph {
+			n, m := scaled(39497204, 704376276, scaleDiv)
+			scale := log2ceil(n)
+			ef := int(m / int64(uint64(1)<<scale))
+			if ef < 1 {
+				ef = 1
+			}
+			return RMAT(scale, ef, 0.57, 0.19, 0.19, 39497204)
+		},
+	},
+}
+
+// ByName returns the catalog entry with the given name.
+func ByName(name string) (Dataset, error) {
+	for _, d := range Datasets {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("graph: unknown dataset %q", name)
+}
+
+// scaled shrinks (nodes, edges) by scaleDiv while preserving density and
+// keeping at least 64 nodes.
+func scaled(nodes, edges int64, scaleDiv int) (int, int64) {
+	if scaleDiv < 1 {
+		scaleDiv = 1
+	}
+	n := nodes / int64(scaleDiv)
+	if n < 64 {
+		n = 64
+	}
+	m := edges * n / nodes
+	if m < n {
+		m = n
+	}
+	return int(n), m
+}
+
+func log2ceil(n int) int {
+	s := 0
+	for (1 << s) < n {
+		s++
+	}
+	return s
+}

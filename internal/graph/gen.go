@@ -1,0 +1,82 @@
+package graph
+
+import "math/rand"
+
+// ErdosRenyi generates a uniform random directed graph with n nodes and m
+// edges (G(n, m) model, sampling with replacement). Deterministic for a
+// given seed.
+func ErdosRenyi(n int, m int64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{From: int32(rng.Intn(n)), To: int32(rng.Intn(n))}
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err) // generated ids are in range by construction
+	}
+	return g
+}
+
+// BarabasiAlbert generates a directed preferential-attachment graph: each
+// new node draws k out-edges whose targets are picked proportionally to
+// current in-degree (plus one, so isolated nodes stay reachable). The
+// result has the heavy-tailed in-degree distribution of social graphs like
+// the paper's gplus dataset. Deterministic for a given seed.
+func BarabasiAlbert(n, k int, seed int64) *Graph {
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, n*k)
+	// targets holds one entry per (in-degree + 1) unit of attachment mass.
+	targets := make([]int32, 0, n*(k+1))
+	for v := 0; v < n; v++ {
+		targets = append(targets, int32(v))
+		for e := 0; e < k && v > 0; e++ {
+			to := targets[rng.Intn(len(targets)-1)] // exclude v's own fresh entry
+			edges = append(edges, Edge{From: int32(v), To: to})
+			targets = append(targets, to)
+		}
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// RMAT generates a recursive-matrix (Kronecker-like) graph with 2^scale
+// nodes and edgeFactor × 2^scale edges using partition probabilities
+// (a, b, c, d). RMAT graphs reproduce the skewed degree distribution and
+// community structure of web graphs like the paper's pld dataset.
+// Deterministic for a given seed.
+func RMAT(scale int, edgeFactor int, a, b, c float64, seed int64) *Graph {
+	n := 1 << scale
+	m := int64(edgeFactor) * int64(n)
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, m)
+	for i := range edges {
+		var from, to int32
+		for bit := scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left quadrant: neither bit set
+			case r < a+b:
+				to |= 1 << bit
+			case r < a+b+c:
+				from |= 1 << bit
+			default:
+				from |= 1 << bit
+				to |= 1 << bit
+			}
+		}
+		edges[i] = Edge{From: from, To: to}
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

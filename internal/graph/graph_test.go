@@ -1,0 +1,291 @@
+package graph
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 0
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g, err := FromEdges(4, []Edge{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFromEdgesBasic(t *testing.T) {
+	g := diamond(t)
+	if g.NumNodes() != 4 || g.NumEdges() != 5 {
+		t.Fatalf("size = (%d, %d)", g.NumNodes(), g.NumEdges())
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(3) != 2 || g.OutDegree(3) != 1 {
+		t.Fatal("degrees wrong")
+	}
+	out := append([]int32(nil), g.OutNeighbors(0)...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) != 2 || out[0] != 1 || out[1] != 2 {
+		t.Fatalf("OutNeighbors(0) = %v", out)
+	}
+	in := append([]int32(nil), g.InNeighbors(3)...)
+	sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+	if len(in) != 2 || in[0] != 1 || in[1] != 2 {
+		t.Fatalf("InNeighbors(3) = %v", in)
+	}
+}
+
+func TestFromEdgesRejectsOutOfRange(t *testing.T) {
+	if _, err := FromEdges(2, []Edge{{0, 2}}); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	if _, err := FromEdges(2, []Edge{{-1, 0}}); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := FromEdges(-1, nil); err == nil {
+		t.Fatal("negative node count accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph not empty")
+	}
+	st := Summarize(g)
+	if st.Nodes != 0 {
+		t.Fatal("stats of empty graph")
+	}
+}
+
+func TestSelfLoopsAndDuplicatesKept(t *testing.T) {
+	g, err := FromEdges(2, []Edge{{0, 0}, {0, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 || g.OutDegree(0) != 3 || g.InDegree(1) != 2 {
+		t.Fatal("self loops or duplicates dropped")
+	}
+}
+
+// Property: in/out adjacency are transposes of each other.
+func TestCSRTransposeProperty(t *testing.T) {
+	f := func(raw []uint16, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		edges := make([]Edge, 0, len(raw)/2*2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{From: int32(int(raw[i]) % n), To: int32(int(raw[i+1]) % n)})
+		}
+		g, err := FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		type pair struct{ f, t int32 }
+		fwd := map[pair]int{}
+		for v := int32(0); int(v) < n; v++ {
+			for _, to := range g.OutNeighbors(v) {
+				fwd[pair{v, to}]++
+			}
+		}
+		for v := int32(0); int(v) < n; v++ {
+			for _, from := range g.InNeighbors(v) {
+				fwd[pair{from, v}]--
+			}
+		}
+		for _, c := range fwd {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := diamond(t)
+	edges := g.Edges()
+	g2, err := FromEdges(4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("Edges() round trip lost edges")
+	}
+}
+
+func TestErdosRenyiShape(t *testing.T) {
+	g := ErdosRenyi(1000, 5000, 1)
+	if g.NumNodes() != 1000 || g.NumEdges() != 5000 {
+		t.Fatalf("ER shape = (%d, %d)", g.NumNodes(), g.NumEdges())
+	}
+	// Determinism.
+	g2 := ErdosRenyi(1000, 5000, 1)
+	if g2.OutNeighbors(0)[0] != g.OutNeighbors(0)[0] {
+		t.Fatal("ER not deterministic for fixed seed")
+	}
+	g3 := ErdosRenyi(1000, 5000, 2)
+	if g3.NumEdges() != 5000 {
+		t.Fatal("different seed changed edge count")
+	}
+}
+
+func TestBarabasiAlbertSkew(t *testing.T) {
+	g := BarabasiAlbert(2000, 8, 42)
+	st := Summarize(g)
+	if st.Nodes != 2000 {
+		t.Fatalf("BA nodes = %d", st.Nodes)
+	}
+	er := Summarize(ErdosRenyi(2000, st.Edges, 42))
+	if st.Skew <= 2*er.Skew {
+		t.Fatalf("BA skew %.1f not clearly heavier than ER skew %.1f", st.Skew, er.Skew)
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(10, 8, 0.57, 0.19, 0.19, 7)
+	if g.NumNodes() != 1024 || g.NumEdges() != 8*1024 {
+		t.Fatalf("RMAT shape = (%d, %d)", g.NumNodes(), g.NumEdges())
+	}
+	st := Summarize(g)
+	if st.Skew < 3 {
+		t.Fatalf("RMAT skew %.1f suspiciously uniform", st.Skew)
+	}
+}
+
+func TestParseEdgeList(t *testing.T) {
+	in := `# comment line
+10 20
+20 30
+
+10 30
+`
+	g, orig, err := ParseEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("parsed shape = (%d, %d)", g.NumNodes(), g.NumEdges())
+	}
+	if orig[0] != 10 || orig[1] != 20 || orig[2] != 30 {
+		t.Fatalf("original ids = %v", orig)
+	}
+	if g.OutDegree(0) != 2 { // node "10"
+		t.Fatal("adjacency of densified node wrong")
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	if _, _, err := ParseEdgeList(strings.NewReader("1\n")); err == nil {
+		t.Fatal("single-field line accepted")
+	}
+	if _, _, err := ParseEdgeList(strings.NewReader("a b\n")); err == nil {
+		t.Fatal("non-numeric ids accepted")
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	g := ErdosRenyi(50, 200, 3)
+	var sb strings.Builder
+	if err := WriteEdgeList(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := ParseEdgeList(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip edges %d != %d", g2.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestDatasetCatalog(t *testing.T) {
+	names := map[string]bool{}
+	for _, d := range Datasets {
+		names[d.Name] = true
+		if d.PaperNodes <= 0 || d.PaperEdges <= 0 {
+			t.Errorf("%s: missing paper sizes", d.Name)
+		}
+	}
+	for _, want := range []string{"wikivote", "gplus", "patents", "pld"} {
+		if !names[want] {
+			t.Errorf("catalog missing %q", want)
+		}
+	}
+	if _, err := ByName("gplus"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestDatasetGenerationScaled(t *testing.T) {
+	for _, d := range Datasets {
+		div := int(d.PaperNodes / 1000)
+		if div < 1 {
+			div = 1
+		}
+		g := d.Generate(div)
+		if g.NumNodes() < 64 {
+			t.Errorf("%s: scaled graph too small: %d nodes", d.Name, g.NumNodes())
+		}
+		paperDensity := float64(d.PaperEdges) / float64(d.PaperNodes)
+		gotDensity := float64(g.NumEdges()) / float64(g.NumNodes())
+		if gotDensity < paperDensity/4 || gotDensity > paperDensity*4 {
+			t.Errorf("%s: density %.1f far from paper's %.1f", d.Name, gotDensity, paperDensity)
+		}
+	}
+}
+
+func TestPageRankRefProperties(t *testing.T) {
+	g := diamond(t)
+	ranks, iters := PageRankRef(g, 0.85, 1e-12, 500)
+	if iters <= 1 {
+		t.Fatalf("converged suspiciously fast: %d iterations", iters)
+	}
+	sum := 0.0
+	for _, r := range ranks {
+		if r <= 0 {
+			t.Fatalf("non-positive rank %v", r)
+		}
+		sum += r
+	}
+	// With no dangling nodes the ranks form a probability distribution.
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("ranks sum to %v, want ~1", sum)
+	}
+	// Node 3 has two strong in-links; node 0 receives all of 3's mass.
+	if !(ranks[3] > ranks[1] && ranks[0] > ranks[1]) {
+		t.Fatalf("ranking implausible: %v", ranks)
+	}
+	if ranks[1] != ranks[2] {
+		t.Fatalf("symmetric nodes differ: %v vs %v", ranks[1], ranks[2])
+	}
+}
+
+func TestPageRankRefIterationCap(t *testing.T) {
+	g := ErdosRenyi(100, 500, 9)
+	_, iters := PageRankRef(g, 0.85, 0, 5) // epsilon 0 never converges
+	if iters != 5 {
+		t.Fatalf("iteration cap ignored: %d", iters)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := diamond(t)
+	st := Summarize(g)
+	if st.Nodes != 4 || st.Edges != 5 || st.MaxOutDegree != 2 || st.MaxInDegree != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseEdgeList reads a whitespace-separated "from to" edge list in the
+// SNAP dataset format: one edge per line, '#' lines are comments. Node ids
+// may be sparse; they are densified to [0, n) in first-appearance order.
+// It returns the graph and the mapping from dense id back to the original
+// id.
+func ParseEdgeList(r io.Reader) (*Graph, []int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	idOf := make(map[int64]int32)
+	var original []int64
+	dense := func(raw int64) int32 {
+		if id, ok := idOf[raw]; ok {
+			return id
+		}
+		id := int32(len(original))
+		idOf[raw] = id
+		original = append(original, raw)
+		return id
+	}
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: want 'from to', got %q", line, text)
+		}
+		from, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		to, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		edges = append(edges, Edge{From: dense(from), To: dense(to)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	g, err := FromEdges(len(original), edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, original, nil
+}
+
+// WriteEdgeList writes the graph in the same format ParseEdgeList reads.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for v := int32(0); int(v) < g.NumNodes(); v++ {
+		for _, to := range g.OutNeighbors(v) {
+			if _, err := fmt.Fprintf(bw, "%d\t%d\n", v, to); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

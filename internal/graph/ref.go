@@ -1,0 +1,39 @@
+package graph
+
+// PageRankRef is the sequential reference PageRank every engine in this
+// repository is validated against. It evaluates Equation (1) of the paper
+// with damping factor d, running pull-based Jacobi iterations until either
+// no rank moves by more than epsilon or maxIters is reached. It returns the
+// ranks and the number of iterations executed.
+func PageRankRef(g *Graph, d, epsilon float64, maxIters int) ([]float64, int) {
+	n := g.NumNodes()
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for v := range cur {
+		cur[v] = 1.0 / float64(n)
+	}
+	base := (1 - d) / float64(n)
+	iters := 0
+	for iters < maxIters {
+		iters++
+		moved := false
+		for v := int32(0); int(v) < n; v++ {
+			sum := 0.0
+			for _, u := range g.InNeighbors(v) {
+				if deg := g.OutDegree(u); deg > 0 {
+					sum += cur[u] / float64(deg)
+				}
+			}
+			nv := base + d*sum
+			next[v] = nv
+			if diff := nv - cur[v]; diff > epsilon || diff < -epsilon {
+				moved = true
+			}
+		}
+		cur, next = next, cur
+		if !moved {
+			break
+		}
+	}
+	return cur, iters
+}

@@ -1,0 +1,43 @@
+package graph
+
+import "fmt"
+
+// Stats summarizes a graph for the dataset tables (Table 1 format).
+type Stats struct {
+	Nodes        int
+	Edges        int64
+	AvgOutDegree float64
+	MaxOutDegree int
+	MaxInDegree  int
+	// Skew is MaxInDegree / AvgInDegree — a crude heavy-tail indicator
+	// used to check that generated stand-ins preserve the originals'
+	// degree skew.
+	Skew float64
+}
+
+// Summarize computes stats for g.
+func Summarize(g *Graph) Stats {
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	if s.Nodes == 0 {
+		return s
+	}
+	for v := int32(0); int(v) < s.Nodes; v++ {
+		if d := g.OutDegree(v); d > s.MaxOutDegree {
+			s.MaxOutDegree = d
+		}
+		if d := g.InDegree(v); d > s.MaxInDegree {
+			s.MaxInDegree = d
+		}
+	}
+	avg := float64(s.Edges) / float64(s.Nodes)
+	s.AvgOutDegree = avg
+	if avg > 0 {
+		s.Skew = float64(s.MaxInDegree) / avg
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d edges=%d avg-deg=%.1f max-out=%d max-in=%d skew=%.1f",
+		s.Nodes, s.Edges, s.AvgOutDegree, s.MaxOutDegree, s.MaxInDegree, s.Skew)
+}

@@ -1,0 +1,205 @@
+package index
+
+import "sync"
+
+// btreeDegree is the maximum number of keys per node; chosen so a leaf fits
+// in a couple of cache lines.
+const btreeDegree = 64
+
+// BTree is an in-memory B+tree from int64 keys to uint64 row ids with
+// unique keys. Inserting an existing key overwrites its value. The tree is
+// guarded by a single RWMutex: scans and lookups proceed concurrently,
+// writers are exclusive — ML workloads build indexes once and then only
+// read them, so writer throughput is not the bottleneck.
+type BTree struct {
+	mu   sync.RWMutex
+	root *btreeNode
+	size int
+}
+
+type btreeNode struct {
+	keys     []int64
+	vals     []uint64     // leaf only
+	children []*btreeNode // interior only
+	next     *btreeNode   // leaf-level sibling link for range scans
+}
+
+func (n *btreeNode) leaf() bool { return n.children == nil }
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &btreeNode{}}
+}
+
+// Len returns the number of keys in the tree.
+func (t *BTree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// search returns the index of the first key >= k in node keys.
+func search(keys []int64, k int64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under key.
+func (t *BTree) Get(key int64) (uint64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for !n.leaf() {
+		i := search(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			i++
+		}
+		n = n.children[i]
+	}
+	i := search(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.vals[i], true
+	}
+	return 0, false
+}
+
+// Insert stores value under key, overwriting any previous value.
+func (t *BTree) Insert(key int64, value uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	mid, right := t.insert(t.root, key, value)
+	if right != nil {
+		t.root = &btreeNode{
+			keys:     []int64{mid},
+			children: []*btreeNode{t.root, right},
+		}
+	}
+}
+
+// insert adds key to the subtree at n. If n overflows it splits, returning
+// the separator key and the new right sibling.
+func (t *BTree) insert(n *btreeNode, key int64, value uint64) (int64, *btreeNode) {
+	if n.leaf() {
+		i := search(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			n.vals[i] = value
+			return 0, nil
+		}
+		n.keys = append(n.keys, 0)
+		n.vals = append(n.vals, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i] = key
+		n.vals[i] = value
+		t.size++
+		if len(n.keys) <= btreeDegree {
+			return 0, nil
+		}
+		return t.splitLeaf(n)
+	}
+	i := search(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		i++
+	}
+	mid, right := t.insert(n.children[i], key, value)
+	if right == nil {
+		return 0, nil
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = mid
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+	if len(n.keys) <= btreeDegree {
+		return 0, nil
+	}
+	return t.splitInterior(n)
+}
+
+func (t *BTree) splitLeaf(n *btreeNode) (int64, *btreeNode) {
+	mid := len(n.keys) / 2
+	right := &btreeNode{
+		keys: append([]int64(nil), n.keys[mid:]...),
+		vals: append([]uint64(nil), n.vals[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid:mid]
+	n.vals = n.vals[:mid:mid]
+	n.next = right
+	return right.keys[0], right
+}
+
+func (t *BTree) splitInterior(n *btreeNode) (int64, *btreeNode) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &btreeNode{
+		keys:     append([]int64(nil), n.keys[mid+1:]...),
+		children: append([]*btreeNode(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, right
+}
+
+// Range calls fn for every (key, value) with lo <= key <= hi in ascending
+// key order, stopping early if fn returns false.
+func (t *BTree) Range(lo, hi int64, fn func(key int64, value uint64) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for !n.leaf() {
+		i := search(n.keys, lo)
+		if i < len(n.keys) && n.keys[i] == lo {
+			i++
+		}
+		n = n.children[i]
+	}
+	for n != nil {
+		for i := search(n.keys, lo); i < len(n.keys); i++ {
+			if n.keys[i] > hi {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Min returns the smallest key, or false on an empty tree.
+func (t *BTree) Min() (int64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	if len(n.keys) == 0 {
+		return 0, false
+	}
+	return n.keys[0], true
+}
+
+// Max returns the largest key, or false on an empty tree.
+func (t *BTree) Max() (int64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	if len(n.keys) == 0 {
+		return 0, false
+	}
+	return n.keys[len(n.keys)-1], true
+}

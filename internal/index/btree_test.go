@@ -1,0 +1,193 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeEmpty(t *testing.T) {
+	bt := NewBTree()
+	if bt.Len() != 0 {
+		t.Fatalf("empty tree Len = %d", bt.Len())
+	}
+	if _, ok := bt.Get(1); ok {
+		t.Fatal("Get on empty tree succeeded")
+	}
+	if _, ok := bt.Min(); ok {
+		t.Fatal("Min on empty tree succeeded")
+	}
+	if _, ok := bt.Max(); ok {
+		t.Fatal("Max on empty tree succeeded")
+	}
+	calls := 0
+	bt.Range(-100, 100, func(int64, uint64) bool { calls++; return true })
+	if calls != 0 {
+		t.Fatal("Range on empty tree visited keys")
+	}
+}
+
+func TestBTreeInsertGetSequential(t *testing.T) {
+	bt := NewBTree()
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		bt.Insert(i, uint64(i)*3)
+	}
+	if bt.Len() != n {
+		t.Fatalf("Len = %d, want %d", bt.Len(), n)
+	}
+	for i := int64(0); i < n; i++ {
+		if v, ok := bt.Get(i); !ok || v != uint64(i)*3 {
+			t.Fatalf("Get(%d) = (%d, %v)", i, v, ok)
+		}
+	}
+	if _, ok := bt.Get(n); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+}
+
+func TestBTreeInsertGetRandom(t *testing.T) {
+	bt := NewBTree()
+	rng := rand.New(rand.NewSource(42))
+	ref := make(map[int64]uint64)
+	for i := 0; i < 20000; i++ {
+		k := int64(rng.Intn(5000)) - 2500
+		v := rng.Uint64()
+		bt.Insert(k, v)
+		ref[k] = v
+	}
+	if bt.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d (overwrites must not grow the tree)", bt.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got, ok := bt.Get(k); !ok || got != v {
+			t.Fatalf("Get(%d) = (%d, %v), want (%d, true)", k, got, ok, v)
+		}
+	}
+}
+
+func TestBTreeOverwrite(t *testing.T) {
+	bt := NewBTree()
+	bt.Insert(1, 10)
+	bt.Insert(1, 20)
+	if v, _ := bt.Get(1); v != 20 {
+		t.Fatalf("overwrite lost: Get(1) = %d", v)
+	}
+	if bt.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", bt.Len())
+	}
+}
+
+func TestBTreeRange(t *testing.T) {
+	bt := NewBTree()
+	for i := int64(0); i < 1000; i += 2 { // even keys only
+		bt.Insert(i, uint64(i))
+	}
+	var got []int64
+	bt.Range(100, 120, func(k int64, v uint64) bool {
+		if v != uint64(k) {
+			t.Fatalf("Range value mismatch at key %d: %d", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	want := []int64{100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120}
+	if len(got) != len(want) {
+		t.Fatalf("Range keys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBTreeRangeEarlyStop(t *testing.T) {
+	bt := NewBTree()
+	for i := int64(0); i < 100; i++ {
+		bt.Insert(i, uint64(i))
+	}
+	visits := 0
+	bt.Range(0, 99, func(k int64, v uint64) bool {
+		visits++
+		return visits < 5
+	})
+	if visits != 5 {
+		t.Fatalf("Range visited %d keys after early stop, want 5", visits)
+	}
+}
+
+func TestBTreeMinMax(t *testing.T) {
+	bt := NewBTree()
+	keys := []int64{50, -3, 999, 0, 17}
+	for _, k := range keys {
+		bt.Insert(k, uint64(k))
+	}
+	if mn, ok := bt.Min(); !ok || mn != -3 {
+		t.Fatalf("Min = (%d, %v), want (-3, true)", mn, ok)
+	}
+	if mx, ok := bt.Max(); !ok || mx != 999 {
+		t.Fatalf("Max = (%d, %v), want (999, true)", mx, ok)
+	}
+}
+
+// Property: a full-range scan returns exactly the sorted set of inserted
+// keys, regardless of insertion order.
+func TestBTreeSortedScanProperty(t *testing.T) {
+	f := func(keys []int64) bool {
+		bt := NewBTree()
+		ref := make(map[int64]bool)
+		for _, k := range keys {
+			bt.Insert(k, uint64(k))
+			ref[k] = true
+		}
+		want := make([]int64, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		var got []int64
+		bt.Range(-1<<63, 1<<63-1, func(k int64, _ uint64) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBTreeDeepSplits(t *testing.T) {
+	bt := NewBTree()
+	// Descending insertion exercises left-heavy splits.
+	const n = 50000
+	for i := int64(n); i > 0; i-- {
+		bt.Insert(i, uint64(i))
+	}
+	if bt.Len() != n {
+		t.Fatalf("Len = %d, want %d", bt.Len(), n)
+	}
+	count := 0
+	prev := int64(-1)
+	bt.Range(1, n, func(k int64, _ uint64) bool {
+		if k <= prev {
+			t.Fatalf("scan out of order: %d after %d", k, prev)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("scan visited %d keys, want %d", count, n)
+	}
+}

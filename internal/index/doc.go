@@ -1,0 +1,10 @@
+// Package index provides the secondary-index structures DB4ML's ML-tables
+// use: a sharded hash index for point lookups (the paper indexes Node.NodeID
+// and Sample.RandID this way) and an in-memory B+tree for ordered access and
+// range scans (used by range partitioning and key-range assignment of SGD
+// sub-transactions).
+//
+// Both structures map int64 keys to uint64 row ids. Multi-valued keys are
+// supported by the hash index (the paper's Edge.NID_To index maps one target
+// node to many edges).
+package index

@@ -1,0 +1,91 @@
+package index
+
+import "sync"
+
+// hashShards must be a power of two so shard selection is a mask.
+const hashShards = 64
+
+// Hash is a sharded hash index from int64 keys to one or more uint64 row
+// ids. It is safe for concurrent use; reads take a shared lock on a single
+// shard only.
+type Hash struct {
+	shards [hashShards]hashShard
+}
+
+type hashShard struct {
+	mu sync.RWMutex
+	m  map[int64][]uint64
+}
+
+// NewHash returns an empty hash index.
+func NewHash() *Hash {
+	h := &Hash{}
+	for i := range h.shards {
+		h.shards[i].m = make(map[int64][]uint64)
+	}
+	return h
+}
+
+func (h *Hash) shard(key int64) *hashShard {
+	// Fibonacci hashing spreads sequential keys across shards.
+	return &h.shards[(uint64(key)*0x9E3779B97F4A7C15)>>(64-6)]
+}
+
+// Insert adds a (key, row) pair. Duplicate keys accumulate rows in
+// insertion order.
+func (h *Hash) Insert(key int64, row uint64) {
+	s := h.shard(key)
+	s.mu.Lock()
+	s.m[key] = append(s.m[key], row)
+	s.mu.Unlock()
+}
+
+// Get returns the first row id stored under key.
+func (h *Hash) Get(key int64) (uint64, bool) {
+	s := h.shard(key)
+	s.mu.RLock()
+	rows := s.m[key]
+	s.mu.RUnlock()
+	if len(rows) == 0 {
+		return 0, false
+	}
+	return rows[0], true
+}
+
+// GetAll returns a copy of every row id stored under key, in insertion
+// order.
+func (h *Hash) GetAll(key int64) []uint64 {
+	s := h.shard(key)
+	s.mu.RLock()
+	rows := s.m[key]
+	out := make([]uint64, len(rows))
+	copy(out, rows)
+	s.mu.RUnlock()
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Delete removes every row stored under key and reports whether the key was
+// present.
+func (h *Hash) Delete(key int64) bool {
+	s := h.shard(key)
+	s.mu.Lock()
+	_, ok := s.m[key]
+	delete(s.m, key)
+	s.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of distinct keys.
+func (h *Hash) Len() int {
+	n := 0
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,108 @@
+package index
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHashInsertGet(t *testing.T) {
+	h := NewHash()
+	if _, ok := h.Get(1); ok {
+		t.Fatal("Get on empty index succeeded")
+	}
+	h.Insert(1, 100)
+	h.Insert(2, 200)
+	if v, ok := h.Get(1); !ok || v != 100 {
+		t.Fatalf("Get(1) = (%d, %v), want (100, true)", v, ok)
+	}
+	if v, ok := h.Get(2); !ok || v != 200 {
+		t.Fatalf("Get(2) = (%d, %v), want (200, true)", v, ok)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", h.Len())
+	}
+}
+
+func TestHashMultiValue(t *testing.T) {
+	h := NewHash()
+	h.Insert(7, 1)
+	h.Insert(7, 2)
+	h.Insert(7, 3)
+	got := h.GetAll(7)
+	want := []uint64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("GetAll = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GetAll = %v, want %v (insertion order)", got, want)
+		}
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len counts rows not keys: %d", h.Len())
+	}
+	if v, ok := h.Get(7); !ok || v != 1 {
+		t.Fatalf("Get on multi-value key = (%d, %v), want first row", v, ok)
+	}
+}
+
+func TestHashGetAllCopies(t *testing.T) {
+	h := NewHash()
+	h.Insert(1, 10)
+	got := h.GetAll(1)
+	got[0] = 999
+	if v, _ := h.Get(1); v != 10 {
+		t.Fatal("GetAll returned a slice aliasing index internals")
+	}
+}
+
+func TestHashDelete(t *testing.T) {
+	h := NewHash()
+	h.Insert(5, 50)
+	if !h.Delete(5) {
+		t.Fatal("Delete of present key returned false")
+	}
+	if h.Delete(5) {
+		t.Fatal("Delete of absent key returned true")
+	}
+	if _, ok := h.Get(5); ok {
+		t.Fatal("key readable after Delete")
+	}
+}
+
+func TestHashNegativeKeys(t *testing.T) {
+	h := NewHash()
+	h.Insert(-1, 11)
+	h.Insert(-1<<62, 22)
+	if v, ok := h.Get(-1); !ok || v != 11 {
+		t.Fatal("negative key lookup failed")
+	}
+	if v, ok := h.Get(-1 << 62); !ok || v != 22 {
+		t.Fatal("large negative key lookup failed")
+	}
+}
+
+func TestHashConcurrent(t *testing.T) {
+	h := NewHash()
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := int64(g*perG + i)
+				h.Insert(key, uint64(key)*2)
+				if v, ok := h.Get(key); !ok || v != uint64(key)*2 {
+					t.Errorf("read-own-insert failed for key %d", key)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Len() != goroutines*perG {
+		t.Fatalf("Len = %d, want %d", h.Len(), goroutines*perG)
+	}
+}

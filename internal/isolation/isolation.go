@@ -1,0 +1,78 @@
+// Package isolation defines DB4ML's ML isolation levels (Section 4.2).
+// They coordinate the visibility of intermediate model updates between the
+// iterative sub-transactions of one uber-transaction:
+//
+//   - Synchronous: parallelized bulk-synchronous execution — every
+//     sub-transaction of iteration k reads only snapshots of iteration k-1.
+//     Implemented with a per-iteration barrier (Section 5.1), which removes
+//     all version checking.
+//   - Asynchronous: Hogwild!-style — read whatever is newest, install with
+//     plain atomic stores, no checks. Fastest; converges for sparse
+//     problems only.
+//   - BoundedStaleness: reads may use any snapshot whose version lies in
+//     [IterCounter-S, IterCounter]; violations detected at commit roll the
+//     iteration back.
+package isolation
+
+import "fmt"
+
+// Level selects the synchronization scheme for one uber-transaction's
+// sub-transactions.
+type Level int
+
+const (
+	// Synchronous runs iterations in lockstep behind a barrier.
+	Synchronous Level = iota
+	// Asynchronous runs with no coordination at all.
+	Asynchronous
+	// BoundedStaleness allows at most S intervening updates between a read
+	// and the commit that used it.
+	BoundedStaleness
+)
+
+func (l Level) String() string {
+	switch l {
+	case Synchronous:
+		return "synchronous"
+	case Asynchronous:
+		return "asynchronous"
+	case BoundedStaleness:
+		return "bounded-staleness"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// Options carries the isolation configuration of one uber-transaction.
+type Options struct {
+	Level Level
+	// Staleness is the bound S for BoundedStaleness; ignored otherwise.
+	Staleness uint64
+	// SingleWriterHint tells the engine that every tuple is updated by at
+	// most one sub-transaction (true for PageRank, where a node's rank is
+	// written only by its own sub-transaction). Under this hint bounded
+	// staleness needs only a single stored version (Section 5.1), because
+	// staleness can be checked from iteration counters alone.
+	SingleWriterHint bool
+	// ClockBound additionally enforces stale-synchronous-parallel clocks
+	// under BoundedStaleness (Cipar et al., the paper's reference [7]): a
+	// sub-transaction committing its own iteration k must not have read
+	// any snapshot older than iteration k-S, so fast sub-transactions can
+	// run at most S iterations ahead of the slowest one and roll back
+	// until it catches up. This is the semantics under which bounded
+	// staleness differs from asynchronous execution for single-writer
+	// algorithms like PageRank (Figure 9). Only meaningful for
+	// fixed-iteration runs: with convergence-based retirement, a retired
+	// neighbor's clock stops and its readers would roll back forever.
+	ClockBound bool
+}
+
+// Validate reports whether the combination is usable.
+func (o Options) Validate() error {
+	switch o.Level {
+	case Synchronous, Asynchronous, BoundedStaleness:
+		return nil
+	default:
+		return fmt.Errorf("isolation: unknown level %d", int(o.Level))
+	}
+}

@@ -1,0 +1,37 @@
+package isolation
+
+import "testing"
+
+func TestLevelString(t *testing.T) {
+	cases := map[Level]string{
+		Synchronous:      "synchronous",
+		Asynchronous:     "asynchronous",
+		BoundedStaleness: "bounded-staleness",
+	}
+	for level, want := range cases {
+		if got := level.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(level), got, want)
+		}
+	}
+	if Level(42).String() == "" {
+		t.Error("unknown level has empty String")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	valid := []Options{
+		{Level: Synchronous},
+		{Level: Asynchronous},
+		{Level: BoundedStaleness, Staleness: 5},
+		{Level: BoundedStaleness, Staleness: 0}, // S=0 is sequential-consistency-tight but legal
+		{Level: Asynchronous, SingleWriterHint: true},
+	}
+	for _, o := range valid {
+		if err := o.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", o, err)
+		}
+	}
+	if err := (Options{Level: Level(7)}).Validate(); err == nil {
+		t.Error("invalid level accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package itx
+
+import (
+	"testing"
+
+	"db4ml/internal/isolation"
+	"db4ml/internal/storage"
+)
+
+func clockOpts(s uint64) isolation.Options {
+	return isolation.Options{
+		Level:            isolation.BoundedStaleness,
+		Staleness:        s,
+		SingleWriterHint: true,
+		ClockBound:       true,
+	}
+}
+
+// A fast sub-transaction reading a lagging record must roll back once its
+// own clock runs more than S ahead of the read snapshot.
+func TestClockBoundThrottlesFastReader(t *testing.T) {
+	lagging := storage.NewIterativeRecord(storage.Payload{0}, 1)
+	mine := storage.NewIterativeRecord(storage.Payload{0}, 1)
+	ctx := NewCtx(clockOpts(2), 0)
+	out := make(storage.Payload, 1)
+	// Iterations 1 and 2 commit fine (own clock within S of the lagging
+	// record's iteration 0).
+	for i := 0; i < 2; i++ {
+		ctx.Read(lagging, out)
+		ctx.Write(mine, storage.Payload{uint64(i)})
+		if _, rolledBack := ctx.Finalize(Commit); rolledBack {
+			t.Fatalf("iteration %d rolled back within clock bound", i)
+		}
+	}
+	// Iteration 3 would commit clock 3 from a clock-0 read: violation.
+	ctx.Read(lagging, out)
+	ctx.Write(mine, storage.Payload{9})
+	if _, rolledBack := ctx.Finalize(Commit); !rolledBack {
+		t.Fatal("commit 3 iterations ahead of a clock-0 read succeeded")
+	}
+	if ctx.Iteration() != 2 {
+		t.Fatalf("rolled-back iteration advanced the clock: %d", ctx.Iteration())
+	}
+	// Once the lagging record catches up, the retry commits.
+	lagging.InstallRelaxed(storage.Payload{5})
+	ctx.Read(lagging, out)
+	ctx.Write(mine, storage.Payload{9})
+	if _, rolledBack := ctx.Finalize(Commit); rolledBack {
+		t.Fatal("retry after catch-up still rolled back")
+	}
+}
+
+// Without ClockBound the same pattern never rolls back (the overwrite rule
+// alone is vacuous for single-writer records).
+func TestNoClockBoundNeverThrottlesSingleWriter(t *testing.T) {
+	lagging := storage.NewIterativeRecord(storage.Payload{0}, 1)
+	mine := storage.NewIterativeRecord(storage.Payload{0}, 1)
+	opts := clockOpts(2)
+	opts.ClockBound = false
+	ctx := NewCtx(opts, 0)
+	out := make(storage.Payload, 1)
+	for i := 0; i < 20; i++ {
+		ctx.Read(lagging, out)
+		ctx.Write(mine, storage.Payload{uint64(i)})
+		if _, rolledBack := ctx.Finalize(Commit); rolledBack {
+			t.Fatalf("iteration %d rolled back without clock bound", i)
+		}
+	}
+}
+
+// Reading one's own record never violates the clock rule: its iteration
+// trails the committing clock by exactly one.
+func TestClockBoundSelfReadsAlwaysFresh(t *testing.T) {
+	mine := storage.NewIterativeRecord(storage.Payload{0}, 1)
+	ctx := NewCtx(clockOpts(1), 0)
+	out := make(storage.Payload, 1)
+	for i := 0; i < 10; i++ {
+		ctx.Read(mine, out)
+		ctx.Write(mine, storage.Payload{uint64(i)})
+		if _, rolledBack := ctx.Finalize(Commit); rolledBack {
+			t.Fatalf("self-read iteration %d rolled back", i)
+		}
+	}
+}

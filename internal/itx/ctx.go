@@ -1,0 +1,188 @@
+package itx
+
+import (
+	"db4ml/internal/isolation"
+	"db4ml/internal/storage"
+)
+
+// Ctx is the per-sub-transaction execution context. It mediates every
+// access to iterative records according to the uber-transaction's isolation
+// level, and it is reused across the sub-transaction's iterations so the
+// hot path allocates nothing.
+type Ctx struct {
+	opts      isolation.Options
+	worker    int
+	iteration uint64
+
+	reads     []readEntry
+	rowWrites []rowWrite
+	colWrites []colWrite
+	arena     []uint64 // backing storage for buffered row writes
+}
+
+type readEntry struct {
+	rec  *storage.IterativeRecord
+	iter uint64
+}
+
+type rowWrite struct {
+	rec    *storage.IterativeRecord
+	off, n int // slice of arena
+}
+
+type colWrite struct {
+	rec  *storage.IterativeRecord
+	col  int
+	bits uint64
+}
+
+// NewCtx builds a context enforcing opts for a sub-transaction run by the
+// given worker.
+func NewCtx(opts isolation.Options, worker int) *Ctx {
+	return &Ctx{opts: opts, worker: worker}
+}
+
+// Worker returns the id of the worker currently driving this
+// sub-transaction.
+func (c *Ctx) Worker() int { return c.worker }
+
+// SetWorker is called by the executor when a different worker picks the
+// sub-transaction's batch up.
+func (c *Ctx) SetWorker(w int) { c.worker = w }
+
+// Iteration returns the number of successfully committed iterations of
+// this sub-transaction so far (0 during the first attempt).
+func (c *Ctx) Iteration() uint64 { return c.iteration }
+
+// Options returns the isolation options in force.
+func (c *Ctx) Options() isolation.Options { return c.opts }
+
+// Read copies the record's current snapshot into out under the
+// uber-transaction's isolation level:
+//
+//   - Synchronous: a relaxed read; the executor's barrier guarantees that
+//     the only installed snapshots are from the previous iteration.
+//   - Asynchronous: a relaxed read of the newest (possibly torn) state.
+//   - BoundedStaleness: a consistent seqlock read (or a relaxed read under
+//     the single-writer hint), recorded so staleness can be validated at
+//     commit.
+//
+// It returns the iteration number of the snapshot read.
+func (c *Ctx) Read(rec *storage.IterativeRecord, out storage.Payload) uint64 {
+	switch c.opts.Level {
+	case isolation.BoundedStaleness:
+		var iter uint64
+		if c.opts.SingleWriterHint {
+			iter = rec.ReadRelaxed(out)
+		} else {
+			iter = rec.ReadRecent(out)
+		}
+		c.reads = append(c.reads, readEntry{rec, iter})
+		return iter
+	default:
+		return rec.ReadRelaxed(out)
+	}
+}
+
+// ReadCol reads a single column without copying the whole row — the SGD
+// hot path. Under bounded staleness the access is recorded like Read.
+func (c *Ctx) ReadCol(rec *storage.IterativeRecord, col int) uint64 {
+	if c.opts.Level == isolation.BoundedStaleness {
+		iter := rec.Latest()
+		c.reads = append(c.reads, readEntry{rec, iter})
+	}
+	return rec.LoadRelaxed(col)
+}
+
+// Write buffers a full-row update of rec. The payload is copied into the
+// context's arena; it is installed when the iteration commits.
+func (c *Ctx) Write(rec *storage.IterativeRecord, payload storage.Payload) {
+	off := len(c.arena)
+	c.arena = append(c.arena, payload...)
+	c.rowWrites = append(c.rowWrites, rowWrite{rec: rec, off: off, n: len(payload)})
+}
+
+// WriteCol updates a single column. Under the asynchronous level the store
+// is installed immediately, Hogwild!-style, so sibling sub-transactions
+// (and later samples of the same iteration) observe it right away; under
+// the other levels it is buffered until commit.
+func (c *Ctx) WriteCol(rec *storage.IterativeRecord, col int, bits uint64) {
+	if c.opts.Level == isolation.Asynchronous {
+		rec.StoreRelaxed(col, bits)
+		return
+	}
+	c.colWrites = append(c.colWrites, colWrite{rec: rec, col: col, bits: bits})
+}
+
+// Finalize ends the current iteration attempt with the sub-transaction's
+// validate verdict. It reports whether the sub-transaction converged and
+// whether the iteration was rolled back (either requested by the user or
+// forced by a staleness violation, Section 4.1). A rolled-back iteration
+// leaves no trace and the sub-transaction repeats it.
+func (c *Ctx) Finalize(action Action) (converged, rolledBack bool) {
+	if action == Rollback {
+		c.clear()
+		return false, true
+	}
+	if c.opts.Level == isolation.BoundedStaleness && c.stalenessViolated() {
+		c.clear()
+		return false, true
+	}
+	c.installWrites()
+	c.clear()
+	c.iteration++
+	return action == Done, false
+}
+
+// stalenessViolated reports whether any value read this iteration violates
+// the staleness bound: superseded by more than S newer snapshots between
+// read and commit, or — under ClockBound — older than the committing
+// sub-transaction's own iteration minus S (the SSP clock rule).
+func (c *Ctx) stalenessViolated() bool {
+	s := c.opts.Staleness
+	own := c.iteration + 1 // iteration being committed
+	for _, r := range c.reads {
+		if latest := r.rec.Latest(); latest > r.iter && latest-r.iter > s {
+			return true
+		}
+		if c.opts.ClockBound && own > r.iter+s {
+			return true
+		}
+	}
+	return false
+}
+
+// installWrites publishes the buffered writes using the cheapest mechanism
+// the isolation level allows (Section 5.1): relaxed single-version stores
+// for synchronous (the barrier provides the ordering) and asynchronous
+// levels as well as bounded staleness under the single-writer hint; the
+// general multi-version seqlock install otherwise.
+func (c *Ctx) installWrites() {
+	general := c.opts.Level == isolation.BoundedStaleness && !c.opts.SingleWriterHint
+	for _, w := range c.rowWrites {
+		data := c.arena[w.off : w.off+w.n]
+		// The relaxed fast path only exists for single-version records;
+		// multi-version records always take the seqlock install so their
+		// snapshot array stays consistent.
+		if general || w.rec.NumVersions() > 1 {
+			w.rec.Install(data)
+		} else {
+			w.rec.InstallRelaxed(data)
+		}
+	}
+	for i, w := range c.colWrites {
+		w.rec.StoreRelaxed(w.col, w.bits)
+		// Bump each record's counter once per iteration, not once per
+		// column, so staleness is counted in iterations.
+		if i == len(c.colWrites)-1 || c.colWrites[i+1].rec != w.rec {
+			w.rec.AddCounter()
+		}
+	}
+}
+
+func (c *Ctx) clear() {
+	c.reads = c.reads[:0]
+	c.rowWrites = c.rowWrites[:0]
+	c.colWrites = c.colWrites[:0]
+	c.arena = c.arena[:0]
+}

@@ -1,0 +1,58 @@
+// Package itx implements DB4ML's programming model for iterative
+// transactions (Section 2.3, Listing 1). Users add an ML algorithm by
+// implementing the Sub interface — one iteration of the algorithm per
+// Execute call — and an uber-transaction (Uber) that installs iterative
+// records on the tables the algorithm updates, spawns the sub-transactions,
+// and commits the converged result globally.
+//
+// Sub-transactions interact with ML-table state exclusively through their
+// Ctx, which enforces the uber-transaction's isolation level: it tracks
+// reads for bounded-staleness validation, buffers writes, and installs them
+// on commit with the cheapest mechanism the level allows (Section 5.1).
+package itx
+
+import "fmt"
+
+// Action is the verdict of a sub-transaction's Validate call (the T_Action
+// enum of Listing 1).
+type Action int
+
+const (
+	// Commit publishes the iteration's updates to the sibling
+	// sub-transactions and re-schedules the sub-transaction.
+	Commit Action = iota
+	// Rollback discards the iteration's updates and re-schedules the
+	// sub-transaction to repeat the iteration.
+	Rollback
+	// Done publishes the updates and retires the sub-transaction: it has
+	// converged.
+	Done
+)
+
+func (a Action) String() string {
+	switch a {
+	case Commit:
+		return "COMMIT"
+	case Rollback:
+		return "ROLLBACK"
+	case Done:
+		return "DONE"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Sub is an iterative sub-transaction. Implementations keep their
+// transaction-local state (tx_state in the paper) in their own fields:
+// Begin is called exactly once before the first iteration and typically
+// caches row handles and algorithm parameters; Execute runs one iteration;
+// Validate decides what happens to the iteration's updates.
+//
+// A Sub is always driven by a single worker at a time, so its fields need
+// no synchronization of their own; all shared state must go through the
+// Ctx.
+type Sub interface {
+	Begin(ctx *Ctx)
+	Execute(ctx *Ctx)
+	Validate(ctx *Ctx) Action
+}

@@ -1,0 +1,113 @@
+package itx
+
+import (
+	"errors"
+	"fmt"
+
+	"db4ml/internal/isolation"
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+	"db4ml/internal/txn"
+)
+
+// ErrUberDone is returned when a committed or aborted uber-transaction is
+// used again.
+var ErrUberDone = errors.New("itx: uber-transaction already finished")
+
+// Uber is the top-level transaction of a running ML algorithm (Section
+// 2.1). It fixes the snapshot all sub-transactions start from, owns the
+// iterative records installed on the attached tables, and makes the final
+// result visible to the rest of the DBMS atomically when it commits.
+type Uber struct {
+	mgr      *txn.Manager
+	opts     isolation.Options
+	snapshot storage.Timestamp
+	attached []attachment
+	done     bool
+}
+
+type attachment struct {
+	tbl  *table.Table
+	rows []table.RowID // nil means all rows
+}
+
+// BeginUber starts an uber-transaction under the given isolation options.
+// Its begin timestamp T_TB is the manager's current stable snapshot, which
+// every sub-transaction inherits (Section 4.1).
+func BeginUber(mgr *txn.Manager, opts isolation.Options) (*Uber, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Uber{mgr: mgr, opts: opts, snapshot: mgr.Stable()}, nil
+}
+
+// Snapshot returns the uber-transaction's begin timestamp T_TB.
+func (u *Uber) Snapshot() storage.Timestamp { return u.snapshot }
+
+// Options returns the isolation options shared by all sub-transactions.
+func (u *Uber) Options() isolation.Options { return u.opts }
+
+// DefaultVersions returns the number of intermediate snapshot slots each
+// iterative record needs under the uber-transaction's isolation level: one
+// for the single-version fast paths, S+2 for general bounded staleness (a
+// reader must find some snapshot in [IterCounter-S, IterCounter] even while
+// the newest slot is mid-write).
+func (u *Uber) DefaultVersions() int {
+	if u.opts.Level == isolation.BoundedStaleness && !u.opts.SingleWriterHint {
+		return int(u.opts.Staleness) + 2
+	}
+	return 1
+}
+
+// Attach installs iterative records (with nVersions snapshot slots; use
+// DefaultVersions unless an experiment dictates otherwise) on the given
+// rows of tbl — all rows when rows is nil — seeded from the
+// uber-transaction's snapshot. The records stay invisible to every other
+// transaction until Commit.
+func (u *Uber) Attach(tbl *table.Table, rows []table.RowID, nVersions int) error {
+	if u.done {
+		return ErrUberDone
+	}
+	if err := tbl.StartIterative(u.snapshot, nVersions, rows); err != nil {
+		return err
+	}
+	u.attached = append(u.attached, attachment{tbl: tbl, rows: rows})
+	return nil
+}
+
+// Commit publishes the latest intermediate snapshot of every attached row
+// as a new global version and returns the commit timestamp T_TE. Call it
+// only after every sub-transaction converged.
+func (u *Uber) Commit() (storage.Timestamp, error) {
+	if u.done {
+		return 0, ErrUberDone
+	}
+	var firstErr error
+	ts := u.mgr.PublishAt(func(ts storage.Timestamp) {
+		for _, a := range u.attached {
+			if err := a.tbl.CommitIterative(ts, a.rows); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("itx: commit of table %s: %w", a.tbl.Name(), err)
+			}
+		}
+	})
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	u.done = true
+	return ts, nil
+}
+
+// Abort discards all in-flight iterative state, restoring every attached
+// table to its pre-uber-transaction version chains.
+func (u *Uber) Abort() error {
+	if u.done {
+		return ErrUberDone
+	}
+	for _, a := range u.attached {
+		if err := a.tbl.AbortIterative(a.rows); err != nil {
+			return fmt.Errorf("itx: abort of table %s: %w", a.tbl.Name(), err)
+		}
+	}
+	u.done = true
+	return nil
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPairwiseAccuracyIdentical(t *testing.T) {
+	a := []float64{3, 1, 2, 5, 4}
+	if got := PairwiseAccuracy(a, a, 0, 1); got != 1 {
+		t.Fatalf("self accuracy = %v", got)
+	}
+}
+
+func TestPairwiseAccuracyReversed(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{4, 3, 2, 1}
+	if got := PairwiseAccuracy(a, b, 0, 1); got != 0 {
+		t.Fatalf("reversed accuracy = %v, want 0", got)
+	}
+}
+
+func TestPairwiseAccuracyHalf(t *testing.T) {
+	// Swapping two adjacent ranks out of 4 flips 1 of 6 pairs.
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 1, 3, 4}
+	want := 5.0 / 6.0
+	if got := PairwiseAccuracy(a, b, 0, 1); got != want {
+		t.Fatalf("accuracy = %v, want %v", got, want)
+	}
+}
+
+func TestPairwiseAccuracyTies(t *testing.T) {
+	a := []float64{1, 1}
+	b := []float64{1, 2}
+	if got := PairwiseAccuracy(a, b, 0, 1); got != 0 {
+		t.Fatalf("tie vs non-tie counted as agreement: %v", got)
+	}
+	if got := PairwiseAccuracy(a, a, 0, 1); got != 1 {
+		t.Fatalf("tie vs tie = %v", got)
+	}
+}
+
+func TestPairwiseAccuracySampledConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 5000 // above the exact limit
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = rng.Float64()
+	}
+	// got = ref: sampled estimate must be exactly 1.
+	if got := PairwiseAccuracy(ref, ref, 10000, 3); got != 1 {
+		t.Fatalf("sampled self accuracy = %v", got)
+	}
+	// Perturb half the entries; accuracy must drop noticeably but stay
+	// above that of a random ranking (~0.5).
+	gotRanks := append([]float64(nil), ref...)
+	for i := 0; i < n; i += 2 {
+		gotRanks[i] = rng.Float64()
+	}
+	acc := PairwiseAccuracy(ref, gotRanks, 200000, 3)
+	if acc <= 0.5 || acc >= 0.99 {
+		t.Fatalf("perturbed accuracy = %v, expected in (0.5, 0.99)", acc)
+	}
+	// Deterministic for a fixed seed.
+	if acc2 := PairwiseAccuracy(ref, gotRanks, 200000, 3); acc2 != acc {
+		t.Fatal("sampled accuracy not deterministic")
+	}
+}
+
+func TestPairwiseAccuracyDegenerate(t *testing.T) {
+	if PairwiseAccuracy(nil, nil, 0, 1) != 1 {
+		t.Fatal("empty rankings should trivially agree")
+	}
+	if PairwiseAccuracy([]float64{1}, []float64{9}, 0, 1) != 1 {
+		t.Fatal("single-element rankings should trivially agree")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	PairwiseAccuracy([]float64{1}, []float64{1, 2}, 0, 1)
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if got := MaxAbsDiff([]float64{1, 5, 3}, []float64{2, 2, 3}); got != 3 {
+		t.Fatalf("MaxAbsDiff = %v", got)
+	}
+	if got := MaxAbsDiff(nil, nil); got != 0 {
+		t.Fatalf("empty MaxAbsDiff = %v", got)
+	}
+}
+
+func TestL1Diff(t *testing.T) {
+	if got := L1Diff([]float64{1, 5}, []float64{2, 3}); got != 3 {
+		t.Fatalf("L1Diff = %v", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	got := Speedup(10, []float64{10, 5, 2.5, 0})
+	want := []float64{1, 2, 4, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Speedup = %v", got)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import "testing"
+
+func TestPositionAccuracyIdentical(t *testing.T) {
+	a := []float64{5, 1, 3, 2}
+	if got := PositionAccuracy(a, a); got != 1 {
+		t.Fatalf("self accuracy = %v", got)
+	}
+}
+
+func TestPositionAccuracySwap(t *testing.T) {
+	a := []float64{4, 3, 2, 1}
+	b := []float64{3, 4, 2, 1} // items 0,1 swap places
+	if got := PositionAccuracy(a, b); got != 0.5 {
+		t.Fatalf("accuracy = %v, want 0.5", got)
+	}
+}
+
+func TestPositionAccuracyRotation(t *testing.T) {
+	// Rotating every item's rank by one leaves no position matching.
+	a := []float64{4, 3, 2, 1}
+	b := []float64{1, 4, 3, 2}
+	if got := PositionAccuracy(a, b); got != 0 {
+		t.Fatalf("accuracy = %v, want 0", got)
+	}
+}
+
+func TestPositionAccuracyTiesDeterministic(t *testing.T) {
+	a := []float64{1, 1, 1}
+	if got := PositionAccuracy(a, a); got != 1 {
+		t.Fatalf("tied self accuracy = %v", got)
+	}
+	// Equal-score items order by index on both sides, so a tie-only
+	// difference does not flap across runs.
+	b := []float64{2, 2, 2}
+	if got := PositionAccuracy(a, b); got != 1 {
+		t.Fatalf("tied cross accuracy = %v", got)
+	}
+}
+
+func TestPositionAccuracyStricterThanPairwise(t *testing.T) {
+	// One value dropped from top to bottom shifts every intermediate
+	// position: pairwise accuracy stays high, position accuracy collapses.
+	n := 100
+	ref := make([]float64, n)
+	got := make([]float64, n)
+	for i := range ref {
+		ref[i] = float64(n - i)
+		got[i] = ref[i]
+	}
+	got[0] = 0 // former top item now ranks last
+	pos := PositionAccuracy(ref, got)
+	pair := PairwiseAccuracy(ref, got, 0, 1)
+	if pos != 0 {
+		t.Fatalf("position accuracy = %v, want 0 (every position shifted)", pos)
+	}
+	if pair < 0.9 {
+		t.Fatalf("pairwise accuracy = %v, want > 0.9", pair)
+	}
+}
+
+func TestPositionAccuracyEmptyAndMismatch(t *testing.T) {
+	if PositionAccuracy(nil, nil) != 1 {
+		t.Fatal("empty rankings should trivially agree")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	PositionAccuracy([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,297 @@
+// Package pagerank implements the paper's first use case (Section 6.1):
+// PageRank as user-defined iterative transactions inside DB4ML. The graph
+// lives in two ML-tables — Node(NodeID, PR) and Edge(NID_From, NID_To) —
+// with a hash index on Edge.NID_To to retrieve a node's in-neighbors. The
+// uber-transaction (Algorithm 1) spawns one iterative sub-transaction per
+// node; each sub-transaction (Algorithm 2) caches its node's and
+// neighbors' record handles in its tx_state and re-evaluates Equation (1)
+// per iteration until its rank moves less than epsilon.
+package pagerank
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"db4ml/internal/exec"
+	"db4ml/internal/graph"
+	"db4ml/internal/isolation"
+	"db4ml/internal/itx"
+	"db4ml/internal/numa"
+	"db4ml/internal/partition"
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+	"db4ml/internal/txn"
+)
+
+// Column layout of the Node table.
+const (
+	ColNodeID = 0
+	ColPR     = 1
+)
+
+// LoadTables loads g into fresh Node and Edge ML-tables, committed through
+// the manager so they are immediately visible. Node RowIDs equal node ids
+// (dense load); ranks are initialized to 1/N. Indexes: hash on Node.NodeID
+// and on Edge.NID_To (the paper's access paths).
+func LoadTables(mgr *txn.Manager, g *graph.Graph) (node, edge *table.Table, err error) {
+	node = table.New("Node", table.MustSchema(
+		table.Column{Name: "NodeID", Type: table.Int64},
+		table.Column{Name: "PR", Type: table.Float64},
+	))
+	edge = table.New("Edge", table.MustSchema(
+		table.Column{Name: "NID_From", Type: table.Int64},
+		table.Column{Name: "NID_To", Type: table.Int64},
+	))
+	n := g.NumNodes()
+	var loadErr error
+	mgr.PublishAt(func(ts storage.Timestamp) {
+		np := node.Schema().NewPayload()
+		for v := 0; v < n; v++ {
+			np.SetInt64(ColNodeID, int64(v))
+			np.SetFloat64(ColPR, 1/float64(n))
+			if _, err := node.Append(ts, np); err != nil {
+				loadErr = err
+				return
+			}
+		}
+		ep := edge.Schema().NewPayload()
+		for v := int32(0); int(v) < n; v++ {
+			for _, to := range g.OutNeighbors(v) {
+				ep.SetInt64(0, int64(v))
+				ep.SetInt64(1, int64(to))
+				if _, err := edge.Append(ts, ep); err != nil {
+					loadErr = err
+					return
+				}
+			}
+		}
+	})
+	if loadErr != nil {
+		return nil, nil, loadErr
+	}
+	if err := node.CreateHashIndex("NodeID"); err != nil {
+		return nil, nil, err
+	}
+	if err := edge.CreateHashIndex("NID_To"); err != nil {
+		return nil, nil, err
+	}
+	return node, edge, nil
+}
+
+// Config tunes one PageRank uber-transaction.
+type Config struct {
+	// Exec configures the executor (workers, topology, batch size,
+	// MaxIterations cap, straggler hook).
+	Exec exec.Config
+	// Isolation selects the ML isolation level. PageRank is single-writer
+	// per tuple, so SingleWriterHint is forced on unless Versions
+	// overrides the storage layout.
+	Isolation isolation.Options
+	// Damping defaults to 0.85 (the paper's choice).
+	Damping float64
+	// Epsilon is the per-node convergence threshold; defaults to 1e-9.
+	// With exec.Config.MaxIterations set, epsilon may be 0 to run a fixed
+	// number of iterations (Figures 9 and 10).
+	Epsilon float64
+	// Versions, when nonzero, overrides the number of snapshot slots per
+	// iterative record (Figure 11 scales it 1–64). Zero uses the
+	// isolation level's default.
+	Versions int
+	// ExecuteNanos, when non-nil, accumulates the wall-clock nanoseconds
+	// spent inside Execute — the pure PageRank computation — so the
+	// transaction-machinery share of a run can be derived (Figure 10(a)).
+	ExecuteNanos *atomic.Int64
+	// Partition selects how nodes map to NUMA regions; the default is
+	// Range, the scheme the paper's baselines use.
+	Partition partition.Scheme
+	// Traffic, when non-nil, accounts the NUMA locality of every
+	// (node, in-neighbor) access pair under the chosen partitioning —
+	// each pair is dereferenced once per iteration, so the counter is the
+	// per-iteration local/remote access profile.
+	Traffic *numa.Traffic
+}
+
+// Result is the outcome of one PageRank run.
+type Result struct {
+	// Ranks holds the final PageRank per node id.
+	Ranks []float64
+	// Stats is the executor's account of the run.
+	Stats exec.Stats
+	// CommitTS is the uber-transaction's commit timestamp T_TE.
+	CommitTS storage.Timestamp
+}
+
+// sub is the iterative sub-transaction of Algorithm 2. Fields are its
+// tx_state: the node's own record handle, the neighbors' handles and
+// out-degrees (cached once in Begin), and the current/previous rank.
+type sub struct {
+	node    *table.Table
+	row     table.RowID
+	inRows  []table.RowID
+	outDegs []float64
+
+	myRec *storage.IterativeRecord
+	nRecs []*storage.IterativeRecord
+
+	pr, oldPR     float64
+	base, damping float64
+	epsilon       float64
+	buf           storage.Payload
+	profile       *atomic.Int64
+}
+
+func (s *sub) Begin(ctx *itx.Ctx) {
+	s.myRec = s.node.IterRecord(s.row)
+	s.nRecs = make([]*storage.IterativeRecord, len(s.inRows))
+	for i, r := range s.inRows {
+		s.nRecs[i] = s.node.IterRecord(r)
+	}
+	s.inRows = nil // handles cached; row ids no longer needed
+	s.pr = 0
+	s.oldPR = 0
+	s.buf = make(storage.Payload, 2)
+	s.buf.SetInt64(ColNodeID, int64(s.row))
+}
+
+func (s *sub) Execute(ctx *itx.Ctx) {
+	var t0 time.Time
+	if s.profile != nil {
+		t0 = time.Now()
+		defer func() { s.profile.Add(int64(time.Since(t0))) }()
+	}
+	sum := 0.0
+	for i, rec := range s.nRecs {
+		sum += math.Float64frombits(ctx.ReadCol(rec, ColPR)) / s.outDegs[i]
+	}
+	s.oldPR = s.pr
+	s.pr = s.base + s.damping*sum
+	s.buf.SetFloat64(ColPR, s.pr)
+	ctx.Write(s.myRec, s.buf)
+}
+
+func (s *sub) Validate(ctx *itx.Ctx) itx.Action {
+	if d := s.pr - s.oldPR; d <= s.epsilon && d >= -s.epsilon && ctx.Iteration() > 0 {
+		return itx.Done
+	}
+	return itx.Commit
+}
+
+// Run executes PageRank as one uber-transaction over the loaded tables and
+// commits the result, making it globally visible. Node RowIDs must equal
+// node ids (as produced by LoadTables).
+func Run(mgr *txn.Manager, node, edge *table.Table, cfg Config) (Result, error) {
+	if cfg.Damping == 0 {
+		cfg.Damping = 0.85
+	}
+	if cfg.Epsilon == 0 && cfg.Exec.MaxIterations == 0 {
+		cfg.Epsilon = 1e-9
+	}
+	// PageRank updates each tuple from exactly one sub-transaction.
+	if cfg.Versions == 0 {
+		cfg.Isolation.SingleWriterHint = true
+	}
+
+	// Under the synchronous level, match Galois' global convergence: a
+	// node's rank can move again after a quiet round while its upstream
+	// still changes, so nodes retire together at the global fixpoint
+	// (Section 7.2.1: "designed ... to match Galois convergence criteria
+	// and thus results in the same ranking and PageRank values").
+	if cfg.Isolation.Level == isolation.Synchronous {
+		cfg.Exec.ConvergeTogether = true
+	}
+
+	u, err := itx.BeginUber(mgr, cfg.Isolation)
+	if err != nil {
+		return Result{}, err
+	}
+	versions := cfg.Versions
+	if versions == 0 {
+		versions = u.DefaultVersions()
+	}
+	if err := u.Attach(node, nil, versions); err != nil {
+		return Result{}, err
+	}
+
+	n := node.NumRows()
+	base := (1 - cfg.Damping) / float64(n)
+	// Partition nodes across NUMA regions (range partitioning, like the
+	// baselines) and route each sub-transaction to its region's queue.
+	engine := exec.New(cfg.Exec, cfg.Isolation)
+	topo := cfg.Exec.Resolved().Topology
+	node.SetPartitioner(partition.New(cfg.Partition, topo.Regions, uint64(n)))
+
+	// Out-degrees, computed once by the uber-transaction at its snapshot.
+	fromCol := edge.Schema().MustCol("NID_From")
+	outDeg := make([]float64, n)
+	edge.Scan(u.Snapshot(), func(_ table.RowID, p storage.Payload) bool {
+		outDeg[p.Int64(fromCol)]++
+		return true
+	})
+
+	subs := make([]itx.Sub, n)
+	for v := 0; v < n; v++ {
+		neighbors, degs, err := neighborsOf(node, edge, u.Snapshot(), int64(v), outDeg)
+		if err != nil {
+			_ = u.Abort()
+			return Result{}, err
+		}
+		if cfg.Traffic != nil {
+			own := node.PartitionOf(table.RowID(v))
+			for _, nb := range neighbors {
+				cfg.Traffic.Record(own, node.PartitionOf(nb))
+			}
+		}
+		subs[v] = &sub{
+			node: node, row: table.RowID(v),
+			inRows: neighbors, outDegs: degs,
+			base: base, damping: cfg.Damping, epsilon: cfg.Epsilon,
+			profile: cfg.ExecuteNanos,
+		}
+	}
+	stats := engine.Run(subs, func(i int) int { return node.PartitionOf(table.RowID(i)) })
+
+	ts, err := u.Commit()
+	if err != nil {
+		return Result{}, err
+	}
+	ranks := make([]float64, n)
+	for v := 0; v < n; v++ {
+		p, ok := node.Read(table.RowID(v), ts)
+		if !ok {
+			return Result{}, fmt.Errorf("pagerank: row %d unreadable after commit", v)
+		}
+		ranks[v] = p.Float64(ColPR)
+	}
+	return Result{Ranks: ranks, Stats: stats, CommitTS: ts}, nil
+}
+
+// neighborsOf resolves a node's in-neighbors through the Edge table's
+// NID_To index — the get_neighbors step of Algorithm 1 — pairing each with
+// its precomputed out-degree.
+func neighborsOf(node, edge *table.Table, ts storage.Timestamp, id int64, outDeg []float64) ([]table.RowID, []float64, error) {
+	edgeRows, err := edge.Lookup("NID_To", id)
+	if err != nil {
+		return nil, nil, err
+	}
+	fromCol := edge.Schema().MustCol("NID_From")
+	neighbors := make([]table.RowID, 0, len(edgeRows))
+	degs := make([]float64, 0, len(edgeRows))
+	for _, er := range edgeRows {
+		// Hot path of uber-transaction setup: read the edge tuple in
+		// place instead of through the cloning Read.
+		c := edge.Chain(er)
+		if c == nil {
+			continue
+		}
+		rec := c.VisibleAt(ts)
+		if rec == nil {
+			continue
+		}
+		from := rec.Payload.Int64(fromCol)
+		neighbors = append(neighbors, table.RowID(from))
+		degs = append(degs, outDeg[from])
+	}
+	return neighbors, degs, nil
+}

@@ -1,0 +1,111 @@
+// Package numa simulates the multi-socket NUMA topology of the paper's
+// evaluation machine (8 regions × 8 cores). Go cannot pin goroutines to
+// cores or allocate on specific sockets, so the topology here is a
+// *placement model*: it decides which region a worker belongs to and which
+// partition of the data that region owns, and it accounts local vs. remote
+// accesses so experiments can verify that the engine's NUMA-aware layout
+// (per-region queues, region-partitioned tables, Section 5.2) actually
+// eliminates cross-region traffic. The structural effects the paper
+// attributes to NUMA awareness — private queues, partitioned data, no
+// cross-region writes — are all reproduced; only the physical memory
+// latency is not.
+package numa
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Topology describes a machine as a set of NUMA regions with workers spread
+// evenly across them.
+type Topology struct {
+	Regions int // number of NUMA regions (sockets)
+	Workers int // total worker threads
+}
+
+// NewTopology builds a topology with the given number of regions and total
+// workers. Regions is clamped to [1, workers] so every region has at least
+// one worker.
+func NewTopology(regions, workers int) Topology {
+	if workers < 1 {
+		workers = 1
+	}
+	if regions < 1 {
+		regions = 1
+	}
+	if regions > workers {
+		regions = workers
+	}
+	return Topology{Regions: regions, Workers: workers}
+}
+
+// PaperTopology mirrors the evaluation machine of the paper: 8 NUMA regions,
+// 8 cores each, for a total of workers cores (workers ≤ 64 uses
+// ceil(workers/8) regions like the paper's core sweeps do).
+func PaperTopology(workers int) Topology {
+	regions := (workers + 7) / 8
+	if regions > 8 {
+		regions = 8
+	}
+	return NewTopology(regions, workers)
+}
+
+// RegionOf returns the region a worker is "pinned" to. Workers fill regions
+// round-robin so every core sweep uses all regions as evenly as possible,
+// matching how the paper spreads threads across sockets.
+func (t Topology) RegionOf(worker int) int {
+	return worker % t.Regions
+}
+
+// WorkersIn returns the number of workers pinned to region r.
+func (t Topology) WorkersIn(r int) int {
+	n := t.Workers / t.Regions
+	if worker := t.Workers % t.Regions; r < worker {
+		n++
+	}
+	return n
+}
+
+func (t Topology) String() string {
+	return fmt.Sprintf("numa(%d regions, %d workers)", t.Regions, t.Workers)
+}
+
+// Traffic counts local vs. remote (cross-region) data accesses. Experiments
+// use it to verify the engine's locality claims; the hot paths only touch it
+// when tracing is enabled.
+type Traffic struct {
+	local  atomic.Uint64
+	remote atomic.Uint64
+}
+
+// Record notes one access by a worker in workerRegion to data owned by
+// dataRegion.
+func (c *Traffic) Record(workerRegion, dataRegion int) {
+	if workerRegion == dataRegion {
+		c.local.Add(1)
+	} else {
+		c.remote.Add(1)
+	}
+}
+
+// Local returns the number of same-region accesses recorded.
+func (c *Traffic) Local() uint64 { return c.local.Load() }
+
+// Remote returns the number of cross-region accesses recorded.
+func (c *Traffic) Remote() uint64 { return c.remote.Load() }
+
+// RemoteFraction returns the fraction of accesses that crossed regions,
+// or 0 if nothing was recorded.
+func (c *Traffic) RemoteFraction() float64 {
+	l, r := c.Local(), c.Remote()
+	if l+r == 0 {
+		return 0
+	}
+	return float64(r) / float64(l+r)
+}
+
+// Reset zeroes both counters.
+func (c *Traffic) Reset() {
+	c.local.Store(0)
+	c.remote.Store(0)
+}

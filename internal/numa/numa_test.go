@@ -1,0 +1,110 @@
+package numa
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTopologyClamps(t *testing.T) {
+	cases := []struct {
+		regions, workers         int
+		wantRegions, wantWorkers int
+	}{
+		{8, 64, 8, 64},
+		{8, 4, 4, 4},   // regions clamp to workers
+		{0, 4, 1, 4},   // at least one region
+		{4, 0, 1, 1},   // at least one worker
+		{-3, -5, 1, 1}, // nonsense input
+	}
+	for _, c := range cases {
+		top := NewTopology(c.regions, c.workers)
+		if top.Regions != c.wantRegions || top.Workers != c.wantWorkers {
+			t.Errorf("NewTopology(%d, %d) = %v, want (%d regions, %d workers)",
+				c.regions, c.workers, top, c.wantRegions, c.wantWorkers)
+		}
+	}
+}
+
+func TestPaperTopology(t *testing.T) {
+	cases := []struct {
+		workers, wantRegions int
+	}{
+		{1, 1}, {8, 1}, {9, 2}, {16, 2}, {64, 8}, {128, 8},
+	}
+	for _, c := range cases {
+		top := PaperTopology(c.workers)
+		if top.Regions != c.wantRegions {
+			t.Errorf("PaperTopology(%d).Regions = %d, want %d", c.workers, top.Regions, c.wantRegions)
+		}
+	}
+}
+
+func TestRegionAssignmentBalanced(t *testing.T) {
+	f := func(regions, workers uint8) bool {
+		top := NewTopology(int(regions%16), int(workers%128))
+		counts := make([]int, top.Regions)
+		for w := 0; w < top.Workers; w++ {
+			r := top.RegionOf(w)
+			if r < 0 || r >= top.Regions {
+				return false
+			}
+			counts[r]++
+		}
+		min, max := top.Workers, 0
+		for r, c := range counts {
+			if c != top.WorkersIn(r) {
+				return false
+			}
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		return max-min <= 1 // even spread
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	var tr Traffic
+	if tr.RemoteFraction() != 0 {
+		t.Fatal("empty counter has nonzero remote fraction")
+	}
+	tr.Record(0, 0)
+	tr.Record(0, 1)
+	tr.Record(1, 1)
+	tr.Record(2, 0)
+	if tr.Local() != 2 || tr.Remote() != 2 {
+		t.Fatalf("local/remote = %d/%d, want 2/2", tr.Local(), tr.Remote())
+	}
+	if tr.RemoteFraction() != 0.5 {
+		t.Fatalf("RemoteFraction = %f, want 0.5", tr.RemoteFraction())
+	}
+	tr.Reset()
+	if tr.Local() != 0 || tr.Remote() != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+}
+
+func TestTrafficConcurrent(t *testing.T) {
+	var tr Traffic
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Record(g%2, i%2)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Local()+tr.Remote() != 8000 {
+		t.Fatalf("lost updates: %d + %d != 8000", tr.Local(), tr.Remote())
+	}
+}

@@ -1,0 +1,214 @@
+// Package oltpbench is a SmallBank-style OLTP workload for ML-tables: the
+// paper's premise is that DB4ML's storage keeps serving classical
+// transactional workloads while ML algorithms run (Section 2.1), so this
+// package provides the classical side — a two-table bank schema, a
+// transaction mix (balance checks, deposits, transfers), and a concurrent
+// runner with first-committer-wins retry — used by tests and the mixed-
+// workload benchmark to validate and quantify that claim.
+package oltpbench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+	"db4ml/internal/txn"
+)
+
+// Column layout shared by both tables.
+const (
+	ColID      = 0
+	ColBalance = 1
+)
+
+// Bank bundles the workload's tables.
+type Bank struct {
+	Checking *table.Table
+	Savings  *table.Table
+	Accounts int
+	mgr      *txn.Manager
+}
+
+// Setup creates and loads the bank with the given number of accounts, each
+// holding initialBalance in both tables.
+func Setup(mgr *txn.Manager, accounts int, initialBalance float64) (*Bank, error) {
+	if accounts < 1 {
+		return nil, fmt.Errorf("oltpbench: need at least one account")
+	}
+	schema := table.MustSchema(
+		table.Column{Name: "ID", Type: table.Int64},
+		table.Column{Name: "Balance", Type: table.Float64},
+	)
+	checking := table.New("Checking", schema)
+	savings := table.New("Savings", schema)
+	var loadErr error
+	mgr.PublishAt(func(ts storage.Timestamp) {
+		p := schema.NewPayload()
+		for i := 0; i < accounts; i++ {
+			p.SetInt64(ColID, int64(i))
+			p.SetFloat64(ColBalance, initialBalance)
+			if _, err := checking.Append(ts, p); err != nil {
+				loadErr = err
+				return
+			}
+			if _, err := savings.Append(ts, p); err != nil {
+				loadErr = err
+				return
+			}
+		}
+	})
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	return &Bank{Checking: checking, Savings: savings, Accounts: accounts, mgr: mgr}, nil
+}
+
+// TotalBalance sums every balance at the current stable snapshot — the
+// conservation invariant the transfer mix must preserve.
+func (b *Bank) TotalBalance() float64 {
+	tx := b.mgr.Begin()
+	total := 0.0
+	for i := 0; i < b.Accounts; i++ {
+		if p, ok := tx.Read(b.Checking, table.RowID(i)); ok {
+			total += p.Float64(ColBalance)
+		}
+		if p, ok := tx.Read(b.Savings, table.RowID(i)); ok {
+			total += p.Float64(ColBalance)
+		}
+	}
+	return total
+}
+
+// Mix is the workload composition in percent; the remainder goes to
+// Balance (read-only) transactions.
+type Mix struct {
+	// DepositPct is the share of single-row deposit transactions.
+	DepositPct int
+	// TransferPct is the share of two-row checking→savings transfers.
+	TransferPct int
+}
+
+// DefaultMix is a write-heavy mix: 40% deposits, 30% transfers, 30%
+// balance checks.
+var DefaultMix = Mix{DepositPct: 40, TransferPct: 30}
+
+// Stats reports a run.
+type Stats struct {
+	Committed uint64
+	Conflicts uint64
+	Elapsed   time.Duration
+}
+
+// Throughput returns committed transactions per second.
+func (s Stats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Committed) / s.Elapsed.Seconds()
+}
+
+// Run executes txnsPerClient transactions on each of clients goroutines,
+// retrying on write-write conflicts, and returns aggregate stats.
+func (b *Bank) Run(clients, txnsPerClient int, mix Mix, seed int64) (Stats, error) {
+	var committed, conflicts atomic.Uint64
+	var firstErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			for i := 0; i < txnsPerClient; i++ {
+				if err := b.one(rng, mix, &conflicts); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				committed.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	stats := Stats{Committed: committed.Load(), Conflicts: conflicts.Load(), Elapsed: time.Since(start)}
+	if err, _ := firstErr.Load().(error); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// one runs a single transaction of the mix to successful commit.
+func (b *Bank) one(rng *rand.Rand, mix Mix, conflicts *atomic.Uint64) error {
+	kind := rng.Intn(100)
+	acct := table.RowID(rng.Intn(b.Accounts))
+	amount := float64(rng.Intn(100) + 1)
+	for {
+		var err error
+		switch {
+		case kind < mix.DepositPct:
+			err = b.deposit(acct, amount)
+		case kind < mix.DepositPct+mix.TransferPct:
+			err = b.transfer(acct, amount)
+		default:
+			err = b.balance(acct)
+		}
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, txn.ErrConflict) {
+			return err
+		}
+		conflicts.Add(1)
+	}
+}
+
+func (b *Bank) deposit(acct table.RowID, amount float64) error {
+	tx := b.mgr.Begin()
+	p, ok := tx.Read(b.Checking, acct)
+	if !ok {
+		return fmt.Errorf("oltpbench: account %d missing", acct)
+	}
+	p.SetFloat64(ColBalance, p.Float64(ColBalance)+amount)
+	if err := tx.Write(b.Checking, acct, p); err != nil {
+		return err
+	}
+	return tx.Commit()
+}
+
+// transfer moves amount from checking to savings of the same account —
+// a two-table atomic update.
+func (b *Bank) transfer(acct table.RowID, amount float64) error {
+	tx := b.mgr.Begin()
+	c, ok := tx.Read(b.Checking, acct)
+	if !ok {
+		return fmt.Errorf("oltpbench: account %d missing", acct)
+	}
+	s, ok := tx.Read(b.Savings, acct)
+	if !ok {
+		return fmt.Errorf("oltpbench: savings %d missing", acct)
+	}
+	c.SetFloat64(ColBalance, c.Float64(ColBalance)-amount)
+	s.SetFloat64(ColBalance, s.Float64(ColBalance)+amount)
+	if err := tx.Write(b.Checking, acct, c); err != nil {
+		return err
+	}
+	if err := tx.Write(b.Savings, acct, s); err != nil {
+		return err
+	}
+	return tx.Commit()
+}
+
+func (b *Bank) balance(acct table.RowID) error {
+	tx := b.mgr.Begin()
+	if _, ok := tx.Read(b.Checking, acct); !ok {
+		return fmt.Errorf("oltpbench: account %d missing", acct)
+	}
+	if _, ok := tx.Read(b.Savings, acct); !ok {
+		return fmt.Errorf("oltpbench: savings %d missing", acct)
+	}
+	return tx.Commit()
+}

@@ -1,0 +1,87 @@
+// Package partition implements the data-partitioning schemes DB4ML offers
+// for NUMA locality (Section 5.2): hash, round-robin, and range
+// partitioning. A Partitioner maps a row id to the partition (NUMA region)
+// that owns it; tables use it to group rows, and the execution engine uses
+// the same mapping to route sub-transactions to the owning region's queue.
+package partition
+
+import "fmt"
+
+// Scheme selects a partitioning strategy.
+type Scheme int
+
+const (
+	// Range assigns contiguous row-id ranges to partitions, as the
+	// paper's PageRank and both baselines do for their input data. It is
+	// the zero value: graph workloads depend on contiguous partitions for
+	// locality, so an unset scheme must never scatter rows.
+	Range Scheme = iota
+	// RoundRobin assigns row i to partition i % n. The paper's SGD use
+	// case splits the GlobalParameter table this way to spread write load
+	// over all memory controllers.
+	RoundRobin
+	// Hash scatters rows by a multiplicative hash of their id.
+	Hash
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case RoundRobin:
+		return "round-robin"
+	case Range:
+		return "range"
+	case Hash:
+		return "hash"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Partitioner maps row ids to one of N partitions.
+type Partitioner struct {
+	scheme Scheme
+	n      uint64
+	rows   uint64 // total rows, used by Range
+	per    uint64 // rows per partition, used by Range
+}
+
+// New builds a partitioner over n partitions. totalRows is required by the
+// Range scheme and ignored by the others; passing 0 rows with Range yields
+// a single-partition mapping.
+func New(scheme Scheme, n int, totalRows uint64) Partitioner {
+	if n < 1 {
+		n = 1
+	}
+	p := Partitioner{scheme: scheme, n: uint64(n), rows: totalRows}
+	if scheme == Range {
+		p.per = (totalRows + p.n - 1) / p.n
+		if p.per == 0 {
+			p.per = 1
+		}
+	}
+	return p
+}
+
+// N returns the number of partitions.
+func (p Partitioner) N() int { return int(p.n) }
+
+// Scheme returns the partitioning scheme.
+func (p Partitioner) Scheme() Scheme { return p.scheme }
+
+// Of returns the partition owning row.
+func (p Partitioner) Of(row uint64) int {
+	switch p.scheme {
+	case RoundRobin:
+		return int(row % p.n)
+	case Range:
+		part := row / p.per
+		if part >= p.n {
+			part = p.n - 1
+		}
+		return int(part)
+	case Hash:
+		return int((row * 0x9E3779B97F4A7C15 >> 33) % p.n)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,106 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundRobin(t *testing.T) {
+	p := New(RoundRobin, 4, 0)
+	for row := uint64(0); row < 100; row++ {
+		if got := p.Of(row); got != int(row%4) {
+			t.Fatalf("Of(%d) = %d, want %d", row, got, row%4)
+		}
+	}
+}
+
+func TestRangeContiguous(t *testing.T) {
+	p := New(Range, 4, 100)
+	// 100 rows over 4 partitions: 25 each.
+	checks := []struct {
+		row  uint64
+		want int
+	}{
+		{0, 0}, {24, 0}, {25, 1}, {49, 1}, {50, 2}, {75, 3}, {99, 3},
+	}
+	for _, c := range checks {
+		if got := p.Of(c.row); got != c.want {
+			t.Errorf("Of(%d) = %d, want %d", c.row, got, c.want)
+		}
+	}
+}
+
+func TestRangeUnevenRows(t *testing.T) {
+	p := New(Range, 3, 10) // per = 4: rows 0-3, 4-7, 8-9
+	wants := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2}
+	for row, want := range wants {
+		if got := p.Of(uint64(row)); got != want {
+			t.Errorf("Of(%d) = %d, want %d", row, got, want)
+		}
+	}
+	// Out-of-range rows clamp into the last partition rather than escaping.
+	if got := p.Of(1000); got != 2 {
+		t.Errorf("Of(1000) = %d, want clamp to 2", got)
+	}
+}
+
+func TestRangeZeroRows(t *testing.T) {
+	p := New(Range, 4, 0)
+	if got := p.Of(0); got < 0 || got >= 4 {
+		t.Fatalf("Of(0) = %d out of range with zero totalRows", got)
+	}
+}
+
+func TestHashSpread(t *testing.T) {
+	p := New(Hash, 8, 0)
+	counts := make([]int, 8)
+	const rows = 80000
+	for row := uint64(0); row < rows; row++ {
+		counts[p.Of(row)]++
+	}
+	for part, c := range counts {
+		// Every partition should hold 12.5% ± 2% of sequential row ids.
+		frac := float64(c) / rows
+		if frac < 0.105 || frac > 0.145 {
+			t.Errorf("hash partition %d holds %.1f%% of rows, want ~12.5%%", part, frac*100)
+		}
+	}
+}
+
+func TestInRangeProperty(t *testing.T) {
+	f := func(schemeRaw uint8, nRaw uint8, rows uint16, row uint64) bool {
+		scheme := Scheme(schemeRaw % 3)
+		n := int(nRaw%16) + 1
+		p := New(scheme, n, uint64(rows))
+		got := p.Of(row)
+		return got >= 0 && got < n && p.N() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingularPartition(t *testing.T) {
+	for _, s := range []Scheme{RoundRobin, Range, Hash} {
+		p := New(s, 1, 50)
+		for row := uint64(0); row < 100; row += 7 {
+			if p.Of(row) != 0 {
+				t.Errorf("%v single partition returned nonzero", s)
+			}
+		}
+	}
+	// n < 1 clamps to 1.
+	p := New(RoundRobin, 0, 0)
+	if p.N() != 1 || p.Of(12345) != 0 {
+		t.Error("n=0 did not clamp to a single partition")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if RoundRobin.String() != "round-robin" || Range.String() != "range" || Hash.String() != "hash" {
+		t.Error("Scheme.String mismatch")
+	}
+	if Scheme(99).String() == "" {
+		t.Error("unknown scheme has empty String")
+	}
+}

@@ -1,0 +1,93 @@
+// Package queue provides the lock-free multi-producer multi-consumer queue
+// DB4ML's executor uses to (re-)schedule batches of iterative
+// sub-transactions (step 1/2 in Figure 2). It is a Michael–Scott queue:
+// enqueue and dequeue each succeed with a small bounded number of CAS
+// operations and never block each other.
+package queue
+
+import "sync/atomic"
+
+type node[T any] struct {
+	value T
+	next  atomic.Pointer[node[T]]
+}
+
+// Queue is an unbounded lock-free FIFO queue. The zero value is not usable;
+// call New.
+type Queue[T any] struct {
+	head atomic.Pointer[node[T]] // sentinel; head.next is the front
+	tail atomic.Pointer[node[T]]
+	size atomic.Int64
+}
+
+// New returns an empty queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	sentinel := &node[T]{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Push appends v to the back of the queue.
+func (q *Queue[T]) Push(v T) {
+	n := &node[T]{value: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			// Tail lagging behind; help advance it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			q.size.Add(1)
+			return
+		}
+	}
+}
+
+// Pop removes and returns the front element, or false if the queue is
+// empty at the time of the call.
+func (q *Queue[T]) Pop() (T, bool) {
+	var zero T
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			return zero, false
+		}
+		if head == tail {
+			// Tail lagging behind a concurrent push; help advance it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		// The value is read speculatively before the CAS decides the
+		// winner; losers discard their copy. The node is not scrubbed
+		// after a win — a concurrent loser may still be reading it — so
+		// the value lives until the node itself is collected.
+		v := next.value
+		if q.head.CompareAndSwap(head, next) {
+			q.size.Add(-1)
+			return v, true
+		}
+	}
+}
+
+// Len returns the approximate number of queued elements. It is exact when
+// no push or pop is in flight.
+func (q *Queue[T]) Len() int {
+	n := q.size.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,154 @@
+package queue
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int]()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue succeeded")
+	}
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = (%d, %v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on drained queue succeeded")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	q := New[string]()
+	q.Push("a")
+	q.Push("b")
+	if v, _ := q.Pop(); v != "a" {
+		t.Fatalf("got %q", v)
+	}
+	q.Push("c")
+	if v, _ := q.Pop(); v != "b" {
+		t.Fatalf("got %q", v)
+	}
+	if v, _ := q.Pop(); v != "c" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New[int]()
+	const producers = 4
+	const consumers = 4
+	const perP = 5000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				q.Push(p*perP + i)
+			}
+		}(p)
+	}
+	var consumed [consumers][]int
+	var cg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func(c int) {
+			defer cg.Done()
+			for {
+				v, ok := q.Pop()
+				if ok {
+					consumed[c] = append(consumed[c], v)
+					continue
+				}
+				select {
+				case <-done:
+					// Drain whatever is left after producers stopped.
+					for {
+						v, ok := q.Pop()
+						if !ok {
+							return
+						}
+						consumed[c] = append(consumed[c], v)
+					}
+				default:
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(done)
+	cg.Wait()
+
+	var all []int
+	for _, batch := range consumed {
+		all = append(all, batch...)
+	}
+	if len(all) != producers*perP {
+		t.Fatalf("consumed %d values, want %d", len(all), producers*perP)
+	}
+	sort.Ints(all)
+	for i, v := range all {
+		if v != i {
+			t.Fatalf("value %d missing or duplicated (found %d at rank %d)", i, v, i)
+		}
+	}
+}
+
+// Per-producer FIFO: values from one producer must be consumed in their
+// production order even under contention.
+func TestPerProducerOrderPreserved(t *testing.T) {
+	q := New[[2]int]() // (producer, seq)
+	const producers = 3
+	const perP = 3000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				q.Push([2]int{p, i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	lastSeq := map[int]int{0: -1, 1: -1, 2: -1}
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if v[1] <= lastSeq[v[0]] {
+			t.Fatalf("producer %d seq %d observed after %d", v[0], v[1], lastSeq[v[0]])
+		}
+		lastSeq[v[0]] = v[1]
+	}
+	for p, last := range lastSeq {
+		if last != perP-1 {
+			t.Fatalf("producer %d: last seq %d, want %d", p, last, perP-1)
+		}
+	}
+}
+
+func TestPointerValuesReleased(t *testing.T) {
+	type big struct{ buf [1024]byte }
+	q := New[*big]()
+	q.Push(&big{})
+	if v, ok := q.Pop(); !ok || v == nil {
+		t.Fatal("pointer round trip failed")
+	}
+}

@@ -1,0 +1,78 @@
+package relational
+
+import "sort"
+
+// AggKind selects the aggregation function.
+type AggKind int
+
+const (
+	// Sum adds a float64 expression per group.
+	Sum AggKind = iota
+	// Count counts tuples per group.
+	Count
+)
+
+// hashAggregate groups the child by an int64 key and aggregates one
+// expression. Output tuples are (group, agg) with the group key ascending
+// so results are deterministic.
+type hashAggregate struct {
+	child Op
+	key   func(Tuple) int64
+	arg   func(Tuple) float64
+	kind  AggKind
+	cols  []string
+
+	keys []int64
+	accs map[int64]float64
+	pos  int
+	buf  Tuple
+}
+
+// NewHashAggregate returns a grouped aggregation: SELECT key, agg(arg)
+// GROUP BY key, emitted in ascending key order. arg may be nil for Count.
+func NewHashAggregate(child Op, kind AggKind, keyCol, aggCol string, key func(Tuple) int64, arg func(Tuple) float64) Op {
+	return &hashAggregate{
+		child: child, key: key, arg: arg, kind: kind,
+		cols: []string{keyCol, aggCol},
+		buf:  make(Tuple, 2),
+	}
+}
+
+func (a *hashAggregate) Open() {
+	a.child.Open()
+	a.accs = make(map[int64]float64)
+	for {
+		t, ok := a.child.Next()
+		if !ok {
+			break
+		}
+		k := a.key(t)
+		switch a.kind {
+		case Sum:
+			a.accs[k] += a.arg(t)
+		case Count:
+			a.accs[k]++
+		}
+	}
+	a.child.Close()
+	a.keys = a.keys[:0]
+	for k := range a.accs {
+		a.keys = append(a.keys, k)
+	}
+	sort.Slice(a.keys, func(i, j int) bool { return a.keys[i] < a.keys[j] })
+	a.pos = 0
+}
+
+func (a *hashAggregate) Close()            {}
+func (a *hashAggregate) Columns() []string { return a.cols }
+
+func (a *hashAggregate) Next() (Tuple, bool) {
+	if a.pos >= len(a.keys) {
+		return nil, false
+	}
+	k := a.keys[a.pos]
+	a.pos++
+	a.buf.SetInt64(0, k)
+	a.buf.SetFloat64(1, a.accs[k])
+	return a.buf, true
+}

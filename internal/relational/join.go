@@ -1,0 +1,95 @@
+package relational
+
+// hashJoin is an equi-join: the build side is hashed on Open, the probe
+// side streams. Output tuples are probe columns followed by build columns.
+// In left-outer mode, probe tuples without a match are emitted with
+// zero-valued build columns.
+type hashJoin struct {
+	build, probe       Op
+	buildKey, probeKey func(Tuple) int64
+	outer              bool
+
+	table      map[int64][]Tuple
+	buildWidth int
+	cols       []string
+	buf        Tuple
+
+	pending []Tuple // remaining build matches for the current probe tuple
+	current Tuple   // current probe tuple
+}
+
+// NewHashJoin returns an inner equi-join of probe ⨝ build.
+func NewHashJoin(probe, build Op, probeKey, buildKey func(Tuple) int64) Op {
+	return newJoin(probe, build, probeKey, buildKey, false)
+}
+
+// NewHashLeftJoin returns a left-outer equi-join: every probe tuple is
+// emitted at least once, with zeroed build columns when unmatched (SQL
+// NULLs coalesced to 0, which is what the MADlib PageRank query needs for
+// nodes without incoming edges).
+func NewHashLeftJoin(probe, build Op, probeKey, buildKey func(Tuple) int64) Op {
+	return newJoin(probe, build, probeKey, buildKey, true)
+}
+
+func newJoin(probe, build Op, probeKey, buildKey func(Tuple) int64, outer bool) Op {
+	cols := append([]string(nil), probe.Columns()...)
+	cols = append(cols, build.Columns()...)
+	return &hashJoin{
+		build: build, probe: probe,
+		buildKey: buildKey, probeKey: probeKey,
+		outer:      outer,
+		buildWidth: len(build.Columns()),
+		cols:       cols,
+		buf:        make(Tuple, len(cols)),
+	}
+}
+
+func (j *hashJoin) Open() {
+	j.build.Open()
+	j.table = make(map[int64][]Tuple)
+	for {
+		t, ok := j.build.Next()
+		if !ok {
+			break
+		}
+		k := j.buildKey(t)
+		j.table[k] = append(j.table[k], t.Clone())
+	}
+	j.build.Close()
+	j.probe.Open()
+	j.pending, j.current = nil, nil
+}
+
+func (j *hashJoin) Close()            { j.probe.Close() }
+func (j *hashJoin) Columns() []string { return j.cols }
+
+func (j *hashJoin) Next() (Tuple, bool) {
+	for {
+		if len(j.pending) > 0 {
+			match := j.pending[0]
+			j.pending = j.pending[1:]
+			copy(j.buf, j.current)
+			copy(j.buf[len(j.current):], match)
+			return j.buf, true
+		}
+		t, ok := j.probe.Next()
+		if !ok {
+			return nil, false
+		}
+		matches := j.table[j.probeKey(t)]
+		if len(matches) == 0 {
+			if !j.outer {
+				continue
+			}
+			copy(j.buf, t)
+			for i := len(t); i < len(j.buf); i++ {
+				j.buf[i] = 0
+			}
+			return j.buf, true
+		}
+		// Copy the probe tuple: it may alias a child buffer that the next
+		// probe call overwrites while matches remain pending.
+		j.current = append(j.current[:0], t...)
+		j.pending = matches
+	}
+}

@@ -1,0 +1,175 @@
+// Package relational is a small Volcano-style relational query engine used
+// by the MADlib baseline. MADlib runs ML algorithms as driver programs that
+// issue one bulk SQL query per iteration against PostgreSQL (Section 1 and
+// 8 of the paper); this package supplies the corresponding executor —
+// table scans over ML-table snapshots, filter, project, hash join (inner
+// and left outer), and hash aggregation — with full materialization
+// between iterations, which is exactly the bulk-synchronous execution
+// model whose overhead Figure 1 quantifies.
+package relational
+
+import (
+	"fmt"
+
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+)
+
+// Tuple is one row flowing through the operator tree; columns use the same
+// 64-bit bit-cast encoding as the storage layer.
+type Tuple = storage.Payload
+
+// Relation is a fully materialized intermediate result.
+type Relation struct {
+	Cols []string
+	Rows []Tuple
+}
+
+// ColIndex returns the position of the named column.
+func (r *Relation) ColIndex(name string) (int, error) {
+	for i, c := range r.Cols {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("relational: no column %q", name)
+}
+
+// Op is a Volcano-style pull iterator. Next returns ok=false at the end of
+// the stream. Returned tuples may alias operator-internal buffers and are
+// valid only until the following Next call; Collect copies them.
+type Op interface {
+	Open()
+	Next() (Tuple, bool)
+	Close()
+	Columns() []string
+}
+
+// Collect drains op into a materialized relation.
+func Collect(op Op) *Relation {
+	op.Open()
+	defer op.Close()
+	out := &Relation{Cols: append([]string(nil), op.Columns()...)}
+	for {
+		t, ok := op.Next()
+		if !ok {
+			return out
+		}
+		out.Rows = append(out.Rows, t.Clone())
+	}
+}
+
+// scan iterates a materialized relation.
+type scan struct {
+	rel *Relation
+	pos int
+}
+
+// NewScan returns an operator streaming rel's rows.
+func NewScan(rel *Relation) Op { return &scan{rel: rel} }
+
+func (s *scan) Open()             { s.pos = 0 }
+func (s *scan) Close()            {}
+func (s *scan) Columns() []string { return s.rel.Cols }
+func (s *scan) Next() (Tuple, bool) {
+	if s.pos >= len(s.rel.Rows) {
+		return nil, false
+	}
+	t := s.rel.Rows[s.pos]
+	s.pos++
+	return t, true
+}
+
+// tableScan streams the snapshot of an ML-table at a fixed timestamp —
+// the in-database access path of the MADlib baseline.
+type tableScan struct {
+	tbl  *table.Table
+	ts   storage.Timestamp
+	pos  int
+	n    int
+	cols []string
+}
+
+// NewTableScan returns an operator streaming the version of every row of
+// tbl visible at ts.
+func NewTableScan(tbl *table.Table, ts storage.Timestamp) Op {
+	cols := make([]string, tbl.Schema().Width())
+	for i, c := range tbl.Schema().Columns() {
+		cols[i] = c.Name
+	}
+	return &tableScan{tbl: tbl, ts: ts, cols: cols}
+}
+
+func (s *tableScan) Open() {
+	s.pos = 0
+	s.n = s.tbl.NumRows()
+}
+func (s *tableScan) Close()            {}
+func (s *tableScan) Columns() []string { return s.cols }
+func (s *tableScan) Next() (Tuple, bool) {
+	for s.pos < s.n {
+		row := table.RowID(s.pos)
+		s.pos++
+		if p, ok := s.tbl.Read(row, s.ts); ok {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// filter drops tuples failing a predicate.
+type filter struct {
+	child Op
+	pred  func(Tuple) bool
+}
+
+// NewFilter returns a selection operator.
+func NewFilter(child Op, pred func(Tuple) bool) Op {
+	return &filter{child: child, pred: pred}
+}
+
+func (f *filter) Open()             { f.child.Open() }
+func (f *filter) Close()            { f.child.Close() }
+func (f *filter) Columns() []string { return f.child.Columns() }
+func (f *filter) Next() (Tuple, bool) {
+	for {
+		t, ok := f.child.Next()
+		if !ok {
+			return nil, false
+		}
+		if f.pred(t) {
+			return t, true
+		}
+	}
+}
+
+// project maps tuples through scalar expressions.
+type project struct {
+	child Op
+	cols  []string
+	exprs []func(Tuple) uint64
+	buf   Tuple
+}
+
+// NewProject returns a projection computing each output column with the
+// corresponding expression.
+func NewProject(child Op, cols []string, exprs []func(Tuple) uint64) Op {
+	if len(cols) != len(exprs) {
+		panic("relational: project columns/exprs mismatch")
+	}
+	return &project{child: child, cols: cols, exprs: exprs, buf: make(Tuple, len(cols))}
+}
+
+func (p *project) Open()             { p.child.Open() }
+func (p *project) Close()            { p.child.Close() }
+func (p *project) Columns() []string { return p.cols }
+func (p *project) Next() (Tuple, bool) {
+	t, ok := p.child.Next()
+	if !ok {
+		return nil, false
+	}
+	for i, e := range p.exprs {
+		p.buf[i] = e(t)
+	}
+	return p.buf, true
+}

@@ -1,0 +1,268 @@
+package relational
+
+import (
+	"testing"
+
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+	"db4ml/internal/txn"
+)
+
+func rel(cols []string, rows ...[]float64) *Relation {
+	r := &Relation{Cols: cols}
+	for _, vals := range rows {
+		t := make(Tuple, len(vals))
+		for i, v := range vals {
+			// Column 0 is conventionally an int key in these tests.
+			if i == 0 {
+				t.SetInt64(i, int64(v))
+			} else {
+				t.SetFloat64(i, v)
+			}
+		}
+		r.Rows = append(r.Rows, t)
+	}
+	return r
+}
+
+func TestScanAndCollect(t *testing.T) {
+	in := rel([]string{"id", "v"}, []float64{1, 10}, []float64{2, 20})
+	out := Collect(NewScan(in))
+	if len(out.Rows) != 2 || out.Cols[1] != "v" {
+		t.Fatalf("collected %+v", out)
+	}
+	if out.Rows[1].Float64(1) != 20 {
+		t.Fatalf("row values wrong: %v", out.Rows[1])
+	}
+	// Collect must deep-copy.
+	out.Rows[0].SetFloat64(1, 999)
+	if in.Rows[0].Float64(1) == 999 {
+		t.Fatal("Collect aliased input rows")
+	}
+}
+
+func TestColIndex(t *testing.T) {
+	r := rel([]string{"a", "b"})
+	if i, err := r.ColIndex("b"); err != nil || i != 1 {
+		t.Fatalf("ColIndex = (%d, %v)", i, err)
+	}
+	if _, err := r.ColIndex("z"); err == nil {
+		t.Fatal("missing column found")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	in := rel([]string{"id", "v"}, []float64{1, 10}, []float64{2, 20}, []float64{3, 30})
+	out := Collect(NewFilter(NewScan(in), func(t Tuple) bool { return t.Float64(1) >= 20 }))
+	if len(out.Rows) != 2 {
+		t.Fatalf("filter kept %d rows", len(out.Rows))
+	}
+	if out.Rows[0].Int64(0) != 2 {
+		t.Fatalf("wrong rows kept: %v", out.Rows)
+	}
+}
+
+func TestProject(t *testing.T) {
+	in := rel([]string{"id", "v"}, []float64{1, 10}, []float64{2, 20})
+	op := NewProject(NewScan(in),
+		[]string{"id", "double"},
+		[]func(Tuple) uint64{
+			func(t Tuple) uint64 { return t[0] },
+			func(t Tuple) uint64 {
+				var out storage.Payload = make(storage.Payload, 1)
+				out.SetFloat64(0, t.Float64(1)*2)
+				return out[0]
+			},
+		})
+	out := Collect(op)
+	if out.Rows[1].Float64(1) != 40 {
+		t.Fatalf("projection wrong: %v", out.Rows)
+	}
+	if out.Cols[1] != "double" {
+		t.Fatalf("projected columns: %v", out.Cols)
+	}
+}
+
+func TestProjectPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched project accepted")
+		}
+	}()
+	NewProject(NewScan(rel([]string{"a"})), []string{"x", "y"}, []func(Tuple) uint64{func(Tuple) uint64 { return 0 }})
+}
+
+func TestHashJoinInner(t *testing.T) {
+	left := rel([]string{"id", "lv"}, []float64{1, 10}, []float64{2, 20}, []float64{3, 30})
+	right := rel([]string{"rid", "rv"}, []float64{2, 200}, []float64{3, 300}, []float64{3, 333})
+	out := Collect(NewHashJoin(
+		NewScan(left), NewScan(right),
+		func(t Tuple) int64 { return t.Int64(0) },
+		func(t Tuple) int64 { return t.Int64(0) },
+	))
+	// id=1 unmatched, id=2 matches once, id=3 matches twice.
+	if len(out.Rows) != 3 {
+		t.Fatalf("inner join produced %d rows: %+v", len(out.Rows), out.Rows)
+	}
+	if len(out.Cols) != 4 {
+		t.Fatalf("join columns: %v", out.Cols)
+	}
+	for _, row := range out.Rows {
+		if row.Int64(0) != row.Int64(2) {
+			t.Fatalf("join key mismatch in row %v", row)
+		}
+	}
+}
+
+func TestHashLeftJoin(t *testing.T) {
+	left := rel([]string{"id", "lv"}, []float64{1, 10}, []float64{2, 20})
+	right := rel([]string{"rid", "rv"}, []float64{2, 200})
+	out := Collect(NewHashLeftJoin(
+		NewScan(left), NewScan(right),
+		func(t Tuple) int64 { return t.Int64(0) },
+		func(t Tuple) int64 { return t.Int64(0) },
+	))
+	if len(out.Rows) != 2 {
+		t.Fatalf("left join produced %d rows", len(out.Rows))
+	}
+	// Unmatched row 1 has zeroed right columns.
+	if out.Rows[0].Int64(0) != 1 || out.Rows[0].Float64(3) != 0 {
+		t.Fatalf("unmatched row wrong: %v", out.Rows[0])
+	}
+	if out.Rows[1].Float64(3) != 200 {
+		t.Fatalf("matched row wrong: %v", out.Rows[1])
+	}
+}
+
+func TestHashJoinDuplicateProbeBufferSafety(t *testing.T) {
+	// A probe tuple with multiple matches must not be corrupted by the
+	// probe child's buffer reuse (project reuses its buffer).
+	probe := NewProject(
+		NewScan(rel([]string{"id"}, []float64{7}, []float64{8})),
+		[]string{"id"},
+		[]func(Tuple) uint64{func(t Tuple) uint64 { return t[0] }},
+	)
+	build := rel([]string{"bid", "bv"}, []float64{7, 1}, []float64{7, 2}, []float64{8, 3})
+	out := Collect(NewHashJoin(
+		probe, NewScan(build),
+		func(t Tuple) int64 { return t.Int64(0) },
+		func(t Tuple) int64 { return t.Int64(0) },
+	))
+	if len(out.Rows) != 3 {
+		t.Fatalf("rows = %d", len(out.Rows))
+	}
+	for _, r := range out.Rows {
+		if r.Int64(0) != r.Int64(1) {
+			t.Fatalf("probe buffer corruption: %v", r)
+		}
+	}
+}
+
+func TestHashAggregateSumAndCount(t *testing.T) {
+	in := rel([]string{"g", "v"},
+		[]float64{1, 10}, []float64{2, 5}, []float64{1, 32}, []float64{2, 5})
+	sum := Collect(NewHashAggregate(NewScan(in), Sum, "g", "total",
+		func(t Tuple) int64 { return t.Int64(0) },
+		func(t Tuple) float64 { return t.Float64(1) }))
+	if len(sum.Rows) != 2 {
+		t.Fatalf("groups = %d", len(sum.Rows))
+	}
+	if sum.Rows[0].Int64(0) != 1 || sum.Rows[0].Float64(1) != 42 {
+		t.Fatalf("sum group 1 = %v", sum.Rows[0])
+	}
+	if sum.Rows[1].Float64(1) != 10 {
+		t.Fatalf("sum group 2 = %v", sum.Rows[1])
+	}
+	cnt := Collect(NewHashAggregate(NewScan(in), Count, "g", "n",
+		func(t Tuple) int64 { return t.Int64(0) }, nil))
+	if cnt.Rows[0].Float64(1) != 2 || cnt.Rows[1].Float64(1) != 2 {
+		t.Fatalf("counts = %v", cnt.Rows)
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	out := Collect(NewHashAggregate(NewScan(rel([]string{"g", "v"})), Sum, "g", "s",
+		func(t Tuple) int64 { return t.Int64(0) },
+		func(t Tuple) float64 { return t.Float64(1) }))
+	if len(out.Rows) != 0 {
+		t.Fatal("aggregate of empty input produced rows")
+	}
+}
+
+func TestTableScanSnapshot(t *testing.T) {
+	m := txn.NewManager()
+	tbl := table.New("Node", table.MustSchema(
+		table.Column{Name: "NodeID", Type: table.Int64},
+		table.Column{Name: "PR", Type: table.Float64},
+	))
+	m.PublishAt(func(ts storage.Timestamp) {
+		for i := 0; i < 5; i++ {
+			p := tbl.Schema().NewPayload()
+			p.SetInt64(0, int64(i))
+			p.SetFloat64(1, float64(i))
+			if _, err := tbl.Append(ts, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	snapTS := m.Stable()
+	// A later OLTP update must not show up in the earlier snapshot scan.
+	tx := m.Begin()
+	p, _ := tx.Read(tbl, 0)
+	p.SetFloat64(1, 99)
+	if err := tx.Write(tbl, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	out := Collect(NewTableScan(tbl, snapTS))
+	if len(out.Rows) != 5 {
+		t.Fatalf("scan rows = %d", len(out.Rows))
+	}
+	if out.Rows[0].Float64(1) != 0 {
+		t.Fatalf("snapshot scan saw later commit: %v", out.Rows[0])
+	}
+	if out.Cols[0] != "NodeID" || out.Cols[1] != "PR" {
+		t.Fatalf("scan columns = %v", out.Cols)
+	}
+	now := Collect(NewTableScan(tbl, m.Stable()))
+	if now.Rows[0].Float64(1) != 99 {
+		t.Fatal("current scan missed the commit")
+	}
+}
+
+// A composed pipeline resembling one MADlib PageRank iteration:
+// SELECT e.to, SUM(n.pr / d.cnt) FROM edge e JOIN node n ON e.from=n.id
+// JOIN outdeg d ON e.from=d.id GROUP BY e.to.
+func TestComposedPipeline(t *testing.T) {
+	edge := rel([]string{"from", "to"}, []float64{1, 2}, []float64{1, 3}, []float64{2, 3})
+	// encode "to" as int in col 1: rebuild rows properly
+	edge.Rows[0].SetInt64(1, 2)
+	edge.Rows[1].SetInt64(1, 3)
+	edge.Rows[2].SetInt64(1, 3)
+	node := rel([]string{"id", "pr"}, []float64{1, 0.6}, []float64{2, 0.4}, []float64{3, 0})
+	outdeg := Collect(NewHashAggregate(NewScan(edge), Count, "id", "cnt",
+		func(t Tuple) int64 { return t.Int64(0) }, nil))
+	joined := NewHashJoin(
+		NewHashJoin(NewScan(edge), NewScan(node),
+			func(t Tuple) int64 { return t.Int64(0) },
+			func(t Tuple) int64 { return t.Int64(0) }),
+		NewScan(outdeg),
+		func(t Tuple) int64 { return t.Int64(0) },
+		func(t Tuple) int64 { return t.Int64(0) },
+	)
+	contrib := Collect(NewHashAggregate(joined, Sum, "to", "incoming",
+		func(t Tuple) int64 { return t.Int64(1) },
+		func(t Tuple) float64 { return t.Float64(3) / t.Float64(5) }))
+	if len(contrib.Rows) != 2 {
+		t.Fatalf("contrib groups = %d: %v", len(contrib.Rows), contrib.Rows)
+	}
+	// Node 2 receives 0.6/2; node 3 receives 0.6/2 + 0.4/1.
+	if got := contrib.Rows[0].Float64(1); got != 0.3 {
+		t.Fatalf("node 2 incoming = %v", got)
+	}
+	if got := contrib.Rows[1].Float64(1); got != 0.7 {
+		t.Fatalf("node 3 incoming = %v", got)
+	}
+}

@@ -1,0 +1,89 @@
+package relational
+
+import "sort"
+
+// sortOp materializes its child on Open and emits tuples in key order —
+// the ORDER BY of the mini engine (MADlib-style drivers use it for top-k
+// result inspection; it is also what the PageRank examples' "top 10 nodes"
+// query would run through).
+type sortOp struct {
+	child Op
+	less  func(a, b Tuple) bool
+	rows  []Tuple
+	pos   int
+}
+
+// NewSort returns an operator emitting the child's tuples ordered by less.
+// The child is fully materialized on Open.
+func NewSort(child Op, less func(a, b Tuple) bool) Op {
+	return &sortOp{child: child, less: less}
+}
+
+// NewSortByFloat orders by the float64 column col, descending when desc.
+func NewSortByFloat(child Op, col int, desc bool) Op {
+	return NewSort(child, func(a, b Tuple) bool {
+		if desc {
+			return a.Float64(col) > b.Float64(col)
+		}
+		return a.Float64(col) < b.Float64(col)
+	})
+}
+
+func (s *sortOp) Open() {
+	s.child.Open()
+	s.rows = s.rows[:0]
+	for {
+		t, ok := s.child.Next()
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, t.Clone())
+	}
+	s.child.Close()
+	sort.SliceStable(s.rows, func(i, j int) bool { return s.less(s.rows[i], s.rows[j]) })
+	s.pos = 0
+}
+
+func (s *sortOp) Close()            {}
+func (s *sortOp) Columns() []string { return s.child.Columns() }
+
+func (s *sortOp) Next() (Tuple, bool) {
+	if s.pos >= len(s.rows) {
+		return nil, false
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, true
+}
+
+// limitOp truncates the stream after n tuples (LIMIT n).
+type limitOp struct {
+	child Op
+	n     int
+	seen  int
+}
+
+// NewLimit returns an operator passing through at most n tuples.
+func NewLimit(child Op, n int) Op {
+	return &limitOp{child: child, n: n}
+}
+
+func (l *limitOp) Open() {
+	l.child.Open()
+	l.seen = 0
+}
+
+func (l *limitOp) Close()            { l.child.Close() }
+func (l *limitOp) Columns() []string { return l.child.Columns() }
+
+func (l *limitOp) Next() (Tuple, bool) {
+	if l.seen >= l.n {
+		return nil, false
+	}
+	t, ok := l.child.Next()
+	if !ok {
+		return nil, false
+	}
+	l.seen++
+	return t, true
+}

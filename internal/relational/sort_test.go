@@ -1,0 +1,68 @@
+package relational
+
+import "testing"
+
+func TestSortByFloatAscDesc(t *testing.T) {
+	in := rel([]string{"id", "v"}, []float64{1, 3}, []float64{2, 1}, []float64{3, 2})
+	asc := Collect(NewSortByFloat(NewScan(in), 1, false))
+	if asc.Rows[0].Float64(1) != 1 || asc.Rows[2].Float64(1) != 3 {
+		t.Fatalf("asc order wrong: %v", asc.Rows)
+	}
+	desc := Collect(NewSortByFloat(NewScan(in), 1, true))
+	if desc.Rows[0].Float64(1) != 3 || desc.Rows[2].Float64(1) != 1 {
+		t.Fatalf("desc order wrong: %v", desc.Rows)
+	}
+	if desc.Cols[1] != "v" {
+		t.Fatalf("columns lost: %v", desc.Cols)
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	in := rel([]string{"id", "v"}, []float64{1, 5}, []float64{2, 5}, []float64{3, 5})
+	out := Collect(NewSortByFloat(NewScan(in), 1, false))
+	for i, want := range []int64{1, 2, 3} {
+		if out.Rows[i].Int64(0) != want {
+			t.Fatalf("stable order broken: %v", out.Rows)
+		}
+	}
+}
+
+func TestSortEmptyAndReopen(t *testing.T) {
+	in := rel([]string{"id", "v"})
+	op := NewSort(NewScan(in), func(a, b Tuple) bool { return a.Float64(1) < b.Float64(1) })
+	out := Collect(op)
+	if len(out.Rows) != 0 {
+		t.Fatal("sorted empty input produced rows")
+	}
+	// Re-Open after adding rows re-materializes.
+	p := make(Tuple, 2)
+	p.SetInt64(0, 9)
+	in.Rows = append(in.Rows, p)
+	out = Collect(op)
+	if len(out.Rows) != 1 {
+		t.Fatal("sort did not re-materialize on reopen")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	in := rel([]string{"id", "v"}, []float64{1, 1}, []float64{2, 2}, []float64{3, 3})
+	out := Collect(NewLimit(NewScan(in), 2))
+	if len(out.Rows) != 2 || out.Rows[1].Int64(0) != 2 {
+		t.Fatalf("limit output: %v", out.Rows)
+	}
+	if got := Collect(NewLimit(NewScan(in), 0)); len(got.Rows) != 0 {
+		t.Fatal("LIMIT 0 emitted rows")
+	}
+	if got := Collect(NewLimit(NewScan(in), 10)); len(got.Rows) != 3 {
+		t.Fatal("limit larger than input truncated")
+	}
+}
+
+func TestTopKPipeline(t *testing.T) {
+	// SELECT id, v ORDER BY v DESC LIMIT 2 — the top-k idiom.
+	in := rel([]string{"id", "v"}, []float64{1, 0.1}, []float64{2, 0.9}, []float64{3, 0.5}, []float64{4, 0.7})
+	out := Collect(NewLimit(NewSortByFloat(NewScan(in), 1, true), 2))
+	if len(out.Rows) != 2 || out.Rows[0].Int64(0) != 2 || out.Rows[1].Int64(0) != 4 {
+		t.Fatalf("top-2 = %v", out.Rows)
+	}
+}

@@ -1,0 +1,17 @@
+// Package storage implements the MVCC storage manager of DB4ML.
+//
+// The layout follows the Hekaton-style design of Larson et al. that the
+// paper builds on (Section 3.1): every record version carries a Begin and an
+// End timestamp that define its valid lifetime, plus a pointer to the
+// previous version. New versions are installed at the head of a per-row
+// version chain with a compare-and-swap, so readers never block writers.
+//
+// The package extends that layout with iterative records (Section 3.2):
+// a record variant owned by one uber-transaction whose payload is a
+// fixed-size circular array of intermediate versions ("iterative
+// snapshots"). Sub-transactions of the uber-transaction publish a new
+// snapshot by bumping the record's IterCounter and writing slot
+// IterCounter % len(slots); other transactions cannot see these in-flight
+// versions until the uber-transaction commits and sets the record's Begin
+// timestamp.
+package storage

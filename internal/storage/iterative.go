@@ -1,0 +1,298 @@
+package storage
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// IterativeRecord is the payload extension an uber-transaction installs on
+// every row its sub-transactions update (Figure 4 in the paper). It holds a
+// monotonically increasing IterCounter and a fixed-size circular array of
+// intermediate versions. Committing sub-transactions bump the counter and
+// write slot counter % len(slots); the array never grows, so iterative
+// processing allocates nothing.
+//
+// Each slot is protected by a sequence lock: the slot's seq field is
+// (iter+1)<<1 when it stably holds snapshot iter, odd while a writer is
+// copying, and 0 while the slot has never been written. Readers copy the
+// slot and re-check seq, retrying on a torn read. Writers never wait for
+// readers.
+//
+// For the asynchronous isolation level the seqlock is bypassed entirely:
+// InstallRelaxed and ReadRelaxed use per-word atomic stores and loads on
+// slot 0, mirroring Hogwild!-style lock-free updates where tuples may be
+// observed torn across columns.
+type IterativeRecord struct {
+	iterCounter atomic.Uint64
+	width       int
+	slots       []iterSlot
+	// data0 caches slots[0].data so the relaxed fast paths reach the
+	// payload with one indirection instead of two.
+	data0 []uint64
+}
+
+type iterSlot struct {
+	seq  atomic.Uint64
+	data []uint64
+}
+
+const emptySlotSeq = 0
+
+func stableSeq(iter uint64) uint64 { return (iter + 1) << 1 }
+
+// NewIterativeRecord builds an iterative record whose snapshot array holds
+// nVersions intermediate versions, seeded with initial as snapshot 0 (the
+// state every sub-transaction of the uber-transaction sees in its first
+// iteration). nVersions must be at least 1.
+func NewIterativeRecord(initial Payload, nVersions int) *IterativeRecord {
+	if nVersions < 1 {
+		panic("storage: iterative record needs at least one version slot")
+	}
+	r := &IterativeRecord{width: len(initial), slots: make([]iterSlot, nVersions)}
+	for i := range r.slots {
+		r.slots[i].data = make([]uint64, len(initial))
+	}
+	copy(r.slots[0].data, initial)
+	r.data0 = r.slots[0].data
+	r.slots[0].seq.Store(stableSeq(0))
+	return r
+}
+
+// NewIterativeRecordBatch builds one iterative record per row of a table
+// region at once, packing the record headers, slot descriptors, and
+// snapshot data into three contiguous slabs. This is the "tuple format"
+// optimization the paper's engine relies on (Section 7.2.1): sequential
+// rows land on adjacent cache lines, so scanning neighbors' model values
+// behaves like the packed arrays of the specialized engines instead of
+// chasing per-row allocations. seed(i) provides row i's snapshot 0.
+func NewIterativeRecordBatch(n, width, nVersions int, seed func(i int) Payload) []*IterativeRecord {
+	if nVersions < 1 {
+		panic("storage: iterative record needs at least one version slot")
+	}
+	recs := make([]IterativeRecord, n)
+	slots := make([]iterSlot, n*nVersions)
+	data := make([]uint64, n*nVersions*width)
+	out := make([]*IterativeRecord, n)
+	for i := 0; i < n; i++ {
+		r := &recs[i]
+		r.width = width
+		r.slots = slots[i*nVersions : (i+1)*nVersions : (i+1)*nVersions]
+		for v := 0; v < nVersions; v++ {
+			off := (i*nVersions + v) * width
+			r.slots[v].data = data[off : off+width : off+width]
+		}
+		copy(r.slots[0].data, seed(i))
+		r.data0 = r.slots[0].data
+		r.slots[0].seq.Store(stableSeq(0))
+		out[i] = r
+	}
+	return out
+}
+
+// Width returns the number of 64-bit columns per snapshot.
+func (r *IterativeRecord) Width() int { return r.width }
+
+// NumVersions returns the capacity of the circular snapshot array.
+func (r *IterativeRecord) NumVersions() int { return len(r.slots) }
+
+// Latest returns the current IterCounter, i.e. the iteration number of the
+// newest committed snapshot.
+func (r *IterativeRecord) Latest() uint64 { return r.iterCounter.Load() }
+
+// Install commits payload as the next intermediate snapshot and returns its
+// iteration number. If several sub-transactions install concurrently, each
+// gets a distinct iteration; a writer that loses the wrap-around race to a
+// newer snapshot on the same slot drops its write, which is the correct
+// outcome (the newer snapshot supersedes it).
+func (r *IterativeRecord) Install(payload Payload) uint64 {
+	iter := r.iterCounter.Add(1)
+	slot := &r.slots[iter%uint64(len(r.slots))]
+	for {
+		cur := slot.seq.Load()
+		if cur&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		if cur != emptySlotSeq && cur >= stableSeq(iter) {
+			return iter // a newer snapshot already occupies the slot
+		}
+		if slot.seq.CompareAndSwap(cur, stableSeq(iter)|1) {
+			break
+		}
+	}
+	for i, v := range payload {
+		atomic.StoreUint64(&slot.data[i], v)
+	}
+	slot.seq.Store(stableSeq(iter))
+	return iter
+}
+
+// ReadVersion copies snapshot iter into out and reports whether that exact
+// snapshot was still available (false once it has been overwritten by a
+// snapshot len(slots) iterations newer, or while it is being written).
+func (r *IterativeRecord) ReadVersion(iter uint64, out Payload) bool {
+	slot := &r.slots[iter%uint64(len(r.slots))]
+	want := stableSeq(iter)
+	for {
+		s := slot.seq.Load()
+		if s != want {
+			return false
+		}
+		for i := range out {
+			out[i] = atomic.LoadUint64(&slot.data[i])
+		}
+		if slot.seq.Load() == want {
+			return true
+		}
+	}
+}
+
+// ReadRecent copies the most recent readable snapshot into out and returns
+// its iteration number. It prefers the newest snapshot and falls back to
+// older ones while a writer is mid-copy, so it never blocks on writers.
+func (r *IterativeRecord) ReadRecent(out Payload) uint64 {
+	for {
+		latest := r.iterCounter.Load()
+		iter := latest
+		for i := 0; i < len(r.slots); i++ {
+			if r.ReadVersion(iter, out) {
+				return iter
+			}
+			if iter == 0 {
+				break
+			}
+			iter--
+		}
+		runtime.Gosched()
+	}
+}
+
+// ReadAtMost copies the newest snapshot whose iteration does not exceed
+// maxIter into out. It returns the snapshot's iteration and false when every
+// candidate at or below maxIter has already been overwritten, which callers
+// treat as a staleness violation.
+func (r *IterativeRecord) ReadAtMost(maxIter uint64, out Payload) (uint64, bool) {
+	iter := r.iterCounter.Load()
+	if iter > maxIter {
+		iter = maxIter
+	}
+	for i := 0; i < len(r.slots); i++ {
+		if r.ReadVersion(iter, out) {
+			return iter, true
+		}
+		if iter == 0 {
+			return 0, false
+		}
+		iter--
+	}
+	return 0, false
+}
+
+// LatestSnapshot returns a copy of the most recent snapshot. Used by the
+// uber-transaction at commit time to materialize the final result.
+func (r *IterativeRecord) LatestSnapshot() Payload {
+	out := make(Payload, r.width)
+	r.ReadRecent(out)
+	return out
+}
+
+// publishStamp advances slot 0's seqlock stamp to iter (monotonically), so
+// versioned readers — LatestSnapshot at uber-commit in particular — can
+// find snapshots written through the relaxed fast paths. Relaxed and
+// seqlock installs are never mixed on one record (the isolation level is
+// fixed per uber-transaction), so the CAS cannot corrupt an in-flight
+// seqlock write.
+func (r *IterativeRecord) publishStamp(iter uint64) {
+	slot := &r.slots[0]
+	for {
+		cur := slot.seq.Load()
+		if cur >= stableSeq(iter) {
+			return
+		}
+		if slot.seq.CompareAndSwap(cur, stableSeq(iter)) {
+			return
+		}
+	}
+}
+
+// InstallRelaxed publishes payload Hogwild!-style: each column is stored
+// with an independent atomic word store into slot 0, with no slot-level
+// consistency. The iteration counter is still bumped so staleness can be
+// tracked. Used by the asynchronous isolation level's single-version fast
+// path (Section 5.1); the record must have been created with a single
+// version slot.
+func (r *IterativeRecord) InstallRelaxed(payload Payload) uint64 {
+	data := r.data0
+	for i, v := range payload {
+		atomic.StoreUint64(&data[i], v)
+	}
+	iter := r.iterCounter.Add(1)
+	r.publishStamp(iter)
+	return iter
+}
+
+// ReadRelaxed copies slot 0 into out with per-word atomic loads. The copy
+// may be torn across columns, exactly like concurrent Hogwild! readers.
+// It returns the iteration counter observed before the copy.
+func (r *IterativeRecord) ReadRelaxed(out Payload) uint64 {
+	iter := r.iterCounter.Load()
+	data := r.data0
+	for i := range out {
+		out[i] = atomic.LoadUint64(&data[i])
+	}
+	return iter
+}
+
+// StoreRelaxed atomically stores one column of slot 0 without bumping the
+// iteration counter. Hot loops (e.g. SGD model updates touching a few
+// coordinates) use it to avoid whole-row copies.
+func (r *IterativeRecord) StoreRelaxed(col int, bits uint64) {
+	atomic.StoreUint64(&r.data0[col], bits)
+}
+
+// LoadRelaxed atomically loads one column of slot 0.
+func (r *IterativeRecord) LoadRelaxed(col int) uint64 {
+	return atomic.LoadUint64(&r.data0[col])
+}
+
+// AddCounter bumps the iteration counter by one without writing data, used
+// when relaxed column stores already published the values.
+func (r *IterativeRecord) AddCounter() uint64 {
+	iter := r.iterCounter.Add(1)
+	r.publishStamp(iter)
+	return iter
+}
+
+// NewIterativeVersion wraps an iterative record into a version-chain Record
+// that is invisible to other transactions (Begin = InfTS) until the owning
+// uber-transaction commits and calls SetBegin with its commit timestamp.
+func NewIterativeVersion(initial Payload, nVersions int) *Record {
+	rec := &Record{
+		Payload: initial.Clone(),
+		Iter:    NewIterativeRecord(initial, nVersions),
+	}
+	rec.begin.Store(uint64(InfTS))
+	rec.end.Store(uint64(InfTS))
+	return rec
+}
+
+// NewIterativeVersionBatch is the slab-allocating equivalent of calling
+// NewIterativeVersion for every row of a table region (see
+// NewIterativeRecordBatch): record headers, iterative records, snapshot
+// slots and payloads all live in contiguous memory.
+func NewIterativeVersionBatch(n, width, nVersions int, seed func(i int) Payload) []*Record {
+	iters := NewIterativeRecordBatch(n, width, nVersions, seed)
+	recs := make([]Record, n)
+	payloads := make([]uint64, n*width)
+	out := make([]*Record, n)
+	for i := 0; i < n; i++ {
+		r := &recs[i]
+		r.Payload = payloads[i*width : (i+1)*width : (i+1)*width]
+		copy(r.Payload, seed(i))
+		r.Iter = iters[i]
+		r.begin.Store(uint64(InfTS))
+		r.end.Store(uint64(InfTS))
+		out[i] = r
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package storage
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestIterativeRecordInitialSnapshot(t *testing.T) {
+	r := NewIterativeRecord(Payload{10, 20}, 3)
+	if r.Latest() != 0 {
+		t.Fatalf("fresh record Latest() = %d, want 0", r.Latest())
+	}
+	out := make(Payload, 2)
+	if !r.ReadVersion(0, out) {
+		t.Fatal("snapshot 0 unreadable on fresh record")
+	}
+	if out[0] != 10 || out[1] != 20 {
+		t.Fatalf("snapshot 0 = %v, want [10 20]", out)
+	}
+	if got := r.ReadRecent(out); got != 0 {
+		t.Fatalf("ReadRecent iteration = %d, want 0", got)
+	}
+}
+
+func TestIterativeRecordPanicsOnZeroVersions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewIterativeRecord(_, 0) did not panic")
+		}
+	}()
+	NewIterativeRecord(Payload{1}, 0)
+}
+
+func TestIterativeInstallAdvancesCounter(t *testing.T) {
+	r := NewIterativeRecord(Payload{0}, 4)
+	for i := 1; i <= 10; i++ {
+		got := r.Install(Payload{uint64(i)})
+		if got != uint64(i) {
+			t.Fatalf("Install #%d returned iteration %d", i, got)
+		}
+	}
+	out := make(Payload, 1)
+	if iter := r.ReadRecent(out); iter != 10 || out[0] != 10 {
+		t.Fatalf("ReadRecent = (iter %d, %v), want (10, [10])", iter, out)
+	}
+}
+
+func TestIterativeCircularOverwrite(t *testing.T) {
+	const n = 3
+	r := NewIterativeRecord(Payload{0}, n)
+	for i := 1; i <= 7; i++ {
+		r.Install(Payload{uint64(i)})
+	}
+	out := make(Payload, 1)
+	// Snapshots 7, 6, 5 live in the 3 slots; everything older is gone.
+	for iter := uint64(5); iter <= 7; iter++ {
+		if !r.ReadVersion(iter, out) || out[0] != iter {
+			t.Errorf("snapshot %d unreadable or wrong: ok=%v val=%v", iter, r.ReadVersion(iter, out), out)
+		}
+	}
+	for iter := uint64(0); iter <= 4; iter++ {
+		if r.ReadVersion(iter, out) {
+			t.Errorf("overwritten snapshot %d still readable", iter)
+		}
+	}
+}
+
+func TestIterativeReadAtMost(t *testing.T) {
+	r := NewIterativeRecord(Payload{0}, 4)
+	for i := 1; i <= 6; i++ {
+		r.Install(Payload{uint64(i)})
+	}
+	out := make(Payload, 1)
+	iter, ok := r.ReadAtMost(5, out)
+	if !ok || iter != 5 || out[0] != 5 {
+		t.Fatalf("ReadAtMost(5) = (%d, %v) val %v, want snapshot 5", iter, ok, out)
+	}
+	iter, ok = r.ReadAtMost(100, out)
+	if !ok || iter != 6 {
+		t.Fatalf("ReadAtMost(100) = (%d, %v), want latest snapshot 6", iter, ok)
+	}
+	if _, ok = r.ReadAtMost(1, out); ok {
+		t.Fatal("ReadAtMost(1) succeeded although snapshot 1 was overwritten")
+	}
+}
+
+func TestIterativeSingleVersionKeepsLatestOnly(t *testing.T) {
+	r := NewIterativeRecord(Payload{0}, 1)
+	for i := 1; i <= 5; i++ {
+		r.Install(Payload{uint64(i)})
+	}
+	out := make(Payload, 1)
+	if iter := r.ReadRecent(out); iter != 5 || out[0] != 5 {
+		t.Fatalf("single-version record ReadRecent = (%d, %v), want (5, [5])", iter, out)
+	}
+}
+
+func TestIterativeRelaxedPath(t *testing.T) {
+	r := NewIterativeRecord(Payload{0, 0}, 1)
+	r.InstallRelaxed(Payload{11, 22})
+	out := make(Payload, 2)
+	iter := r.ReadRelaxed(out)
+	if iter != 1 || out[0] != 11 || out[1] != 22 {
+		t.Fatalf("relaxed round trip = iter %d, %v", iter, out)
+	}
+	r.StoreRelaxed(1, math.Float64bits(2.5))
+	if math.Float64frombits(r.LoadRelaxed(1)) != 2.5 {
+		t.Fatal("StoreRelaxed/LoadRelaxed column round trip failed")
+	}
+	if r.AddCounter() != 2 {
+		t.Fatal("AddCounter did not advance")
+	}
+}
+
+// Concurrent writers must produce unique iterations and readers must never
+// observe a torn snapshot (snapshot columns are written as {i, i}).
+func TestIterativeConcurrentSeqlockConsistency(t *testing.T) {
+	r := NewIterativeRecord(Payload{0, 0}, 4)
+	const writers = 4
+	const perW = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	torn := make(chan Payload, 1)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make(Payload, 2)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.ReadRecent(out)
+				if out[0] != out[1] {
+					select {
+					case torn <- out.Clone():
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func() {
+			defer ww.Done()
+			for i := 0; i < perW; i++ {
+				iter := r.iterCounter.Load() + 1
+				r.Install(Payload{iter, iter})
+			}
+		}()
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	select {
+	case p := <-torn:
+		t.Fatalf("reader observed torn snapshot %v", p)
+	default:
+	}
+	if r.Latest() != writers*perW {
+		t.Fatalf("counter = %d after %d installs", r.Latest(), writers*perW)
+	}
+}
+
+// Property: after any sequence of installs, ReadRecent returns the payload
+// of the highest installed iteration.
+func TestIterativeRecentIsNewestProperty(t *testing.T) {
+	f := func(vals []uint64, nSlots uint8) bool {
+		n := int(nSlots%8) + 1
+		r := NewIterativeRecord(Payload{0}, n)
+		for _, v := range vals {
+			r.Install(Payload{v})
+		}
+		out := make(Payload, 1)
+		iter := r.ReadRecent(out)
+		if iter != uint64(len(vals)) {
+			return false
+		}
+		if len(vals) == 0 {
+			return out[0] == 0
+		}
+		return out[0] == vals[len(vals)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIterativeVersionWrapperFields(t *testing.T) {
+	rec := NewIterativeVersion(Payload{42}, 2)
+	if rec.Iter == nil {
+		t.Fatal("wrapper has no iterative record")
+	}
+	if rec.Begin() != InfTS {
+		t.Fatalf("fresh iterative version Begin = %d, want InfTS", rec.Begin())
+	}
+	if rec.Payload[0] != 42 {
+		t.Fatalf("wrapper payload = %v, want [42]", rec.Payload)
+	}
+	if rec.Iter.Width() != 1 || rec.Iter.NumVersions() != 2 {
+		t.Fatalf("wrapper iterative record shape wrong: width %d versions %d", rec.Iter.Width(), rec.Iter.NumVersions())
+	}
+}

@@ -1,0 +1,55 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPayloadFloat64RoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		p := make(Payload, 1)
+		p.SetFloat64(0, v)
+		got := p.Float64(0)
+		if math.IsNaN(v) {
+			return math.IsNaN(got)
+		}
+		return got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPayloadInt64RoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		p := make(Payload, 1)
+		p.SetInt64(0, v)
+		return p.Int64(0) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPayloadMixedColumns(t *testing.T) {
+	p := make(Payload, 3)
+	p.SetInt64(0, -42)
+	p.SetFloat64(1, 3.25)
+	p.SetInt64(2, 7)
+	if p.Int64(0) != -42 || p.Float64(1) != 3.25 || p.Int64(2) != 7 {
+		t.Fatalf("mixed columns corrupted: %v", p)
+	}
+}
+
+func TestPayloadCloneIndependent(t *testing.T) {
+	p := Payload{1, 2, 3}
+	c := p.Clone()
+	c[0] = 99
+	if p[0] != 1 {
+		t.Fatalf("Clone shares backing array: original mutated to %v", p)
+	}
+	if len(c) != len(p) {
+		t.Fatalf("Clone length %d, want %d", len(c), len(p))
+	}
+}

@@ -1,0 +1,74 @@
+package storage
+
+import "testing"
+
+func chainWithVersions(begins ...Timestamp) *VersionChain {
+	c := NewVersionChain(nil)
+	var prev *Record
+	for i, b := range begins {
+		r := NewRecord(b, Payload{uint64(i)})
+		if !c.Install(prev, r) {
+			panic("install failed")
+		}
+		prev = r
+	}
+	return c
+}
+
+func TestPruneDropsInvisibleVersions(t *testing.T) {
+	c := chainWithVersions(10, 20, 30, 40)
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// Watermark 25: the version at 20 is still visible to a reader at 25,
+	// so only the version at 10 can go.
+	if dropped := c.Prune(25); dropped != 1 {
+		t.Fatalf("Prune(25) dropped %d, want 1", dropped)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len after prune = %d", c.Len())
+	}
+	// Reads at or after the watermark are unaffected.
+	if r := c.VisibleAt(25); r == nil || r.Payload[0] != 1 {
+		t.Fatalf("VisibleAt(25) = %v after prune", r)
+	}
+	if r := c.VisibleAt(45); r == nil || r.Payload[0] != 3 {
+		t.Fatalf("VisibleAt(45) = %v after prune", r)
+	}
+}
+
+func TestPruneEverythingOld(t *testing.T) {
+	c := chainWithVersions(10, 20, 30)
+	if dropped := c.Prune(100); dropped != 2 {
+		t.Fatalf("dropped %d, want 2", dropped)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestPruneNothingVisible(t *testing.T) {
+	c := chainWithVersions(10, 20)
+	// Watermark below every Begin: nothing is prunable.
+	if dropped := c.Prune(5); dropped != 0 {
+		t.Fatalf("dropped %d, want 0", dropped)
+	}
+	if c.Len() != 2 {
+		t.Fatal("prune below chain altered it")
+	}
+}
+
+func TestPruneIdempotent(t *testing.T) {
+	c := chainWithVersions(10, 20, 30)
+	c.Prune(35)
+	if dropped := c.Prune(35); dropped != 0 {
+		t.Fatalf("second prune dropped %d", dropped)
+	}
+}
+
+func TestPruneEmptyChain(t *testing.T) {
+	c := NewVersionChain(nil)
+	if c.Prune(10) != 0 || c.Len() != 0 {
+		t.Fatal("empty chain prune misbehaved")
+	}
+}

@@ -1,0 +1,160 @@
+package storage
+
+import "sync/atomic"
+
+// Record is one committed version of a row (Figure 3 in the paper). The
+// header holds the Begin and End timestamps that bound the version's valid
+// lifetime; Prev points at the version it superseded. Records are immutable
+// once installed except for the End timestamp, which the superseding
+// transaction stamps when it installs the next version, and the Iter field,
+// which only iterative records use.
+type Record struct {
+	begin atomic.Uint64
+	end   atomic.Uint64
+
+	// Payload is the row image of this version. For iterative records it
+	// is the latest converged snapshot (see IterativeRecord).
+	Payload Payload
+
+	// Deleted marks this version as a tombstone: the row does not exist
+	// for transactions reading in its lifetime. The chain keeps the
+	// tombstone so snapshot reads before the delete still see the row.
+	Deleted bool
+
+	// Prev is the previous version in the chain, nil for the first.
+	Prev *Record
+
+	// Iter is non-nil when this version is an iterative record created by
+	// an uber-transaction.
+	Iter *IterativeRecord
+}
+
+// NewRecord builds a version valid from begin until superseded.
+func NewRecord(begin Timestamp, payload Payload) *Record {
+	r := &Record{Payload: payload}
+	r.begin.Store(uint64(begin))
+	r.end.Store(uint64(InfTS))
+	return r
+}
+
+// Begin returns the timestamp at which this version became valid.
+func (r *Record) Begin() Timestamp { return Timestamp(r.begin.Load()) }
+
+// End returns the timestamp at which this version stopped being valid
+// (InfTS while it is the most recent one).
+func (r *Record) End() Timestamp { return Timestamp(r.end.Load()) }
+
+// SetBegin publishes the version as of ts. Uber-transactions use this to
+// flip an in-flight iterative record (begin = InfTS, invisible to everyone)
+// to globally visible at their commit timestamp.
+func (r *Record) SetBegin(ts Timestamp) { r.begin.Store(uint64(ts)) }
+
+// SetEnd stamps the end of the version's lifetime.
+func (r *Record) SetEnd(ts Timestamp) { r.end.Store(uint64(ts)) }
+
+// Publish makes an in-flight version (installed with Begin = InfTS, e.g. an
+// iterative record) globally visible as of ts and closes its predecessor's
+// lifetime so version lifetimes stay disjoint.
+func (r *Record) Publish(ts Timestamp) {
+	r.SetBegin(ts)
+	if r.Prev != nil {
+		r.Prev.SetEnd(ts)
+	}
+}
+
+// VisibleAt reports whether this version is the one a transaction reading
+// at ts must observe: begin <= ts < end.
+func (r *Record) VisibleAt(ts Timestamp) bool {
+	return r.Begin() <= ts && ts < r.End()
+}
+
+// VersionChain is the per-row list of versions, newest first. Install uses
+// compare-and-swap so concurrent writers serialize without locks and
+// readers traverse without blocking.
+type VersionChain struct {
+	head atomic.Pointer[Record]
+}
+
+// NewVersionChain returns a chain seeded with an initial version, or an
+// empty chain if initial is nil.
+func NewVersionChain(initial *Record) *VersionChain {
+	c := &VersionChain{}
+	if initial != nil {
+		c.head.Store(initial)
+	}
+	return c
+}
+
+// Head returns the most recent version, committed or not, or nil for an
+// empty chain.
+func (c *VersionChain) Head() *Record { return c.head.Load() }
+
+// Install makes r the new head if the current head is still expected.
+// It returns false when another writer won the race, in which case the
+// caller must abort (first-committer-wins). On success the superseded
+// version's End is stamped with r's Begin.
+func (c *VersionChain) Install(expected, r *Record) bool {
+	r.Prev = expected
+	if !c.head.CompareAndSwap(expected, r) {
+		return false
+	}
+	if expected != nil {
+		expected.SetEnd(r.Begin())
+	}
+	return true
+}
+
+// Unwind removes head from the chain, restoring its predecessor, and
+// reopens the predecessor's lifetime. It is used to discard an in-flight
+// (never published) version, e.g. when an uber-transaction aborts. It
+// returns false if head is no longer the chain head.
+func (c *VersionChain) Unwind(head *Record) bool {
+	if !c.head.CompareAndSwap(head, head.Prev) {
+		return false
+	}
+	if head.Prev != nil {
+		head.Prev.SetEnd(InfTS)
+	}
+	return true
+}
+
+// VisibleAt walks the chain and returns the version visible at ts, or nil
+// if the row did not exist at ts.
+func (c *VersionChain) VisibleAt(ts Timestamp) *Record {
+	for r := c.Head(); r != nil; r = r.Prev {
+		if r.VisibleAt(ts) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Prune garbage-collects versions that no transaction reading at or after
+// watermark can see: it finds the newest version with Begin <= watermark
+// and cuts its Prev link, returning the number of versions dropped.
+// Callers must guarantee no active transaction has a begin timestamp below
+// watermark (in this repo: the transaction manager's oldest active
+// snapshot). Safe against concurrent readers — they either hold the old
+// sub-chain (still intact) or start from the head.
+func (c *VersionChain) Prune(watermark Timestamp) int {
+	for r := c.Head(); r != nil; r = r.Prev {
+		if r.Begin() <= watermark {
+			dropped := 0
+			for p := r.Prev; p != nil; p = p.Prev {
+				dropped++
+			}
+			r.Prev = nil
+			return dropped
+		}
+	}
+	return 0
+}
+
+// Len returns the number of versions in the chain.
+func (c *VersionChain) Len() int {
+	n := 0
+	for r := c.Head(); r != nil; r = r.Prev {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,29 @@
+package storage
+
+import "sync/atomic"
+
+// Timestamp is a logical commit timestamp drawn from a global Oracle.
+// Timestamp 0 is reserved as "before all transactions".
+type Timestamp uint64
+
+// InfTS marks a version as the most recent one: its valid lifetime has no
+// upper bound yet.
+const InfTS Timestamp = ^Timestamp(0)
+
+// Oracle hands out monotonically increasing timestamps. It is safe for
+// concurrent use. The zero value is ready to use and starts at 1.
+type Oracle struct {
+	counter atomic.Uint64
+}
+
+// Next returns a fresh, never-before-seen timestamp.
+func (o *Oracle) Next() Timestamp {
+	return Timestamp(o.counter.Add(1))
+}
+
+// Current returns the most recently issued timestamp, or 0 if none has been
+// issued yet. A transaction beginning at Current() sees every version
+// committed so far.
+func (o *Oracle) Current() Timestamp {
+	return Timestamp(o.counter.Load())
+}

@@ -1,0 +1,69 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestOracleStartsAtZero(t *testing.T) {
+	var o Oracle
+	if got := o.Current(); got != 0 {
+		t.Fatalf("Current() = %d before any Next(), want 0", got)
+	}
+}
+
+func TestOracleMonotonic(t *testing.T) {
+	var o Oracle
+	prev := Timestamp(0)
+	for i := 0; i < 1000; i++ {
+		ts := o.Next()
+		if ts <= prev {
+			t.Fatalf("Next() = %d not greater than previous %d", ts, prev)
+		}
+		prev = ts
+	}
+	if o.Current() != prev {
+		t.Fatalf("Current() = %d, want %d", o.Current(), prev)
+	}
+}
+
+func TestOracleConcurrentUnique(t *testing.T) {
+	var o Oracle
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	results := make([][]Timestamp, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]Timestamp, perG)
+			for i := range out {
+				out[i] = o.Next()
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[Timestamp]bool, goroutines*perG)
+	for _, out := range results {
+		for _, ts := range out {
+			if seen[ts] {
+				t.Fatalf("timestamp %d issued twice", ts)
+			}
+			seen[ts] = true
+		}
+	}
+	if len(seen) != goroutines*perG {
+		t.Fatalf("got %d unique timestamps, want %d", len(seen), goroutines*perG)
+	}
+}
+
+func TestInfTSIsMax(t *testing.T) {
+	var o Oracle
+	for i := 0; i < 100; i++ {
+		if ts := o.Next(); ts >= InfTS {
+			t.Fatalf("issued timestamp %d reached InfTS", ts)
+		}
+	}
+}

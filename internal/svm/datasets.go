@@ -1,0 +1,83 @@
+package svm
+
+import "fmt"
+
+// Dataset couples the paper's LIBSVM dataset shapes (Table 2) with
+// generators producing synthetic stand-ins at a configurable fraction of
+// the original size. Density figures approximate the published nonzero
+// ratios of the original datasets; they drive the same cache behaviour the
+// paper's micro-architectural analysis depends on (few features that fit
+// in cache: covtype/susy; many features that do not: rcv1/news20).
+type Dataset struct {
+	Name string
+	// Paper sizes from Table 2.
+	PaperTrain    int64
+	PaperTest     int64
+	PaperFeatures int64
+	// Density is the approximate nonzero fraction per sample.
+	Density float64
+	// Defaults for training, matching the paper's SGD setup (Section 7.3).
+	Lambda float64
+}
+
+// SGDDatasets is the catalog in the paper's order.
+var SGDDatasets = []Dataset{
+	{Name: "rcv1", PaperTrain: 677399, PaperTest: 20242, PaperFeatures: 47236, Density: 0.0016, Lambda: 1e-5},
+	{Name: "susy", PaperTrain: 4500000, PaperTest: 500000, PaperFeatures: 18, Density: 1, Lambda: 1e-5},
+	{Name: "epsilon", PaperTrain: 400000, PaperTest: 100000, PaperFeatures: 2000, Density: 1, Lambda: 1e-5},
+	{Name: "news20", PaperTrain: 16000, PaperTest: 3996, PaperFeatures: 1355191, Density: 0.00034, Lambda: 1e-5},
+	{Name: "covtype", PaperTrain: 464810, PaperTest: 116202, PaperFeatures: 54, Density: 0.81, Lambda: 1e-5},
+}
+
+// SGDByName returns the catalog entry with the given name.
+func SGDByName(name string) (Dataset, error) {
+	for _, d := range SGDDatasets {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("svm: unknown dataset %q", name)
+}
+
+// Generate builds a scaled stand-in: sample counts shrink by scaleDiv
+// (min 256 train / 64 test); the feature space shrinks by the square root
+// of scaleDiv so sparse datasets keep many more features than samples per
+// core, preserving their cache-unfriendliness relative to the dense ones.
+func (d Dataset) Generate(scaleDiv int) (train, test []Sample, features int) {
+	if scaleDiv < 1 {
+		scaleDiv = 1
+	}
+	nTrain := int(d.PaperTrain / int64(scaleDiv))
+	if nTrain < 256 {
+		nTrain = 256
+	}
+	nTest := int(d.PaperTest / int64(scaleDiv))
+	if nTest < 64 {
+		nTest = 64
+	}
+	features = int(d.PaperFeatures)
+	if scaleDiv > 1 {
+		features = int(d.PaperFeatures / int64(isqrt(scaleDiv)))
+	}
+	if features < 8 {
+		features = 8
+	}
+	spec := GenSpec{
+		Train:    nTrain,
+		Test:     nTest,
+		Features: features,
+		Density:  d.Density,
+		Noise:    0.05,
+		Seed:     int64(len(d.Name))*1e6 + d.PaperFeatures,
+	}
+	train, test = Generate(spec)
+	return train, test, features
+}
+
+func isqrt(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}

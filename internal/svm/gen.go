@@ -1,0 +1,121 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GenSpec describes a synthetic binary classification problem whose shape
+// (sample count, dimensionality, sparsity) mirrors one of the paper's
+// LIBSVM datasets. Samples are drawn around a hidden ground-truth
+// hyperplane with label noise, so a linear SVM can learn them and accuracy
+// curves behave like real data.
+type GenSpec struct {
+	Train    int
+	Test     int
+	Features int
+	// Density is the fraction of nonzero features per sample; 1 generates
+	// dense vectors.
+	Density float64
+	// Noise is the probability of flipping a label.
+	Noise float64
+	Seed  int64
+}
+
+// Generate materializes the dataset.
+func Generate(spec GenSpec) (train, test []Sample) {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	// Hidden hyperplane; heavier weights on a small subset of features so
+	// sparse samples still usually touch informative coordinates.
+	truth := make([]float64, spec.Features)
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	nnz := int(float64(spec.Features) * spec.Density)
+	if nnz < 1 {
+		nnz = 1
+	}
+	if nnz > spec.Features {
+		nnz = spec.Features
+	}
+	gen := func(n int) []Sample {
+		out := make([]Sample, n)
+		for s := range out {
+			x := drawSparse(rng, spec.Features, nnz)
+			score := 0.0
+			for k, i := range x.Idx {
+				score += truth[i] * x.Val[k]
+			}
+			label := 1.0
+			if score < 0 {
+				label = -1.0
+			}
+			if rng.Float64() < spec.Noise {
+				label = -label
+			}
+			out[s] = Sample{X: x, Label: label}
+		}
+		return out
+	}
+	return gen(spec.Train), gen(spec.Test)
+}
+
+// drawSparse picks nnz distinct coordinates (sorted) with N(0,1) values,
+// normalized to unit L2 norm like the preprocessed LIBSVM datasets.
+func drawSparse(rng *rand.Rand, features, nnz int) SparseVec {
+	var idx []int32
+	if nnz >= features {
+		idx = make([]int32, features)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+	} else {
+		// Floyd's algorithm for a sorted distinct sample.
+		seen := make(map[int32]bool, nnz)
+		for j := features - nnz; j < features; j++ {
+			t := int32(rng.Intn(j + 1))
+			if seen[t] {
+				t = int32(j)
+			}
+			seen[t] = true
+		}
+		idx = make([]int32, 0, nnz)
+		for i := range seen {
+			idx = append(idx, i)
+		}
+		sortInt32(idx)
+	}
+	val := make([]float64, len(idx))
+	norm := 0.0
+	for k := range val {
+		val[k] = rng.NormFloat64()
+		norm += val[k] * val[k]
+	}
+	if norm > 0 {
+		inv := 1 / math.Sqrt(norm)
+		for k := range val {
+			val[k] *= inv
+		}
+	}
+	return SparseVec{Idx: idx, Val: val}
+}
+
+func sortInt32(a []int32) {
+	// Insertion sort is fine: nnz per sample is small for sparse data, and
+	// dense vectors are generated pre-sorted.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// Shuffle permutes samples deterministically. The paper shuffles the
+// Sample table before the uber-transaction starts so key-range partitions
+// are random samples.
+func Shuffle(samples []Sample, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(samples), func(i, j int) {
+		samples[i], samples[j] = samples[j], samples[i]
+	})
+}

@@ -1,0 +1,55 @@
+package svm
+
+import "math"
+
+// Logistic regression on the same sparse substrate: the paper's SGD
+// machinery is algorithm-agnostic (any per-sample gradient works with the
+// iterative-transaction mapping of Section 6.2), and logistic loss is the
+// other classic binary-classification objective. Labels are ±1.
+
+// LogisticStep performs one SGD step on L2-regularized logistic loss
+//
+//	min_w  λ/2 ||w||² + Σ log(1 + exp(−y ⟨w, x⟩))
+//
+// touching only the sample's nonzero coordinates (diagonal regularization
+// scaling like Step). It returns the sample's pre-update probability of
+// the positive class.
+func LogisticStep(m Model, s Sample, gamma, lambda float64) float64 {
+	z := Dot(m, s.X)
+	p := 1 / (1 + math.Exp(-z))
+	// dLoss/dz for label y∈{+1,-1}: σ(z) - 1{y=+1}.
+	target := 0.0
+	if s.Label > 0 {
+		target = 1
+	}
+	g := p - target
+	nnz := float64(s.X.NNZ())
+	if nnz == 0 {
+		return p
+	}
+	shrink := gamma * lambda / nnz
+	for k, i := range s.X.Idx {
+		m.Add(i, -gamma*g*s.X.Val[k]-shrink*m.Get(i))
+	}
+	return p
+}
+
+// LogisticLoss returns the regularized negative log-likelihood.
+func LogisticLoss(m Model, samples []Sample, lambda float64, features int) float64 {
+	loss := 0.0
+	for _, s := range samples {
+		z := s.Label * Dot(m, s.X)
+		// log(1+exp(-z)), stable for large |z|.
+		if z > 0 {
+			loss += math.Log1p(math.Exp(-z))
+		} else {
+			loss += -z + math.Log1p(math.Exp(z))
+		}
+	}
+	reg := 0.0
+	for i := 0; i < features; i++ {
+		w := m.Get(int32(i))
+		reg += w * w
+	}
+	return loss + lambda/2*reg
+}

@@ -1,0 +1,75 @@
+package svm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogisticStepDirection(t *testing.T) {
+	m := make(VecModel, 2)
+	s := Sample{X: SparseVec{Idx: []int32{0, 1}, Val: []float64{1, 1}}, Label: 1}
+	p := LogisticStep(m, s, 0.5, 0)
+	if p != 0.5 {
+		t.Fatalf("zero-model probability = %v, want 0.5", p)
+	}
+	if m[0] <= 0 || m[1] <= 0 {
+		t.Fatalf("update direction wrong: %v", m)
+	}
+	// Negative label pushes the other way.
+	m2 := make(VecModel, 2)
+	LogisticStep(m2, Sample{X: s.X, Label: -1}, 0.5, 0)
+	if m2[0] >= 0 {
+		t.Fatalf("negative-label update direction wrong: %v", m2)
+	}
+}
+
+func TestLogisticStepEmptySample(t *testing.T) {
+	m := VecModel{3}
+	if p := LogisticStep(m, Sample{Label: 1}, 0.1, 0.5); p != 0.5 {
+		t.Fatalf("empty sample p = %v", p)
+	}
+	if m[0] != 3 {
+		t.Fatal("empty sample moved the model")
+	}
+}
+
+func TestLogisticLossStable(t *testing.T) {
+	m := VecModel{100}
+	sPos := Sample{X: SparseVec{Idx: []int32{0}, Val: []float64{1}}, Label: 1}
+	sNeg := Sample{X: SparseVec{Idx: []int32{0}, Val: []float64{1}}, Label: -1}
+	lossPos := LogisticLoss(m, []Sample{sPos}, 0, 1)
+	lossNeg := LogisticLoss(m, []Sample{sNeg}, 0, 1)
+	if math.IsInf(lossPos, 0) || math.IsNaN(lossPos) || lossPos > 1e-10 {
+		t.Fatalf("confident correct loss = %v", lossPos)
+	}
+	if math.IsInf(lossNeg, 0) || math.IsNaN(lossNeg) {
+		t.Fatalf("confident wrong loss overflowed: %v", lossNeg)
+	}
+	if lossNeg < 99 {
+		t.Fatalf("confident wrong loss = %v, want ~100", lossNeg)
+	}
+	// L2 term.
+	if got := LogisticLoss(VecModel{3}, nil, 2, 1); got != 9 {
+		t.Fatalf("pure L2 = %v", got)
+	}
+}
+
+func TestLogisticRegressionLearns(t *testing.T) {
+	train, test := Generate(GenSpec{Train: 3000, Test: 600, Features: 25, Density: 1, Noise: 0.05, Seed: 31})
+	m := make(VecModel, 25)
+	before := LogisticLoss(m, train, 1e-5, 25)
+	gamma := 0.5
+	for epoch := 0; epoch < 12; epoch++ {
+		for _, s := range train {
+			LogisticStep(m, s, gamma, 1e-5)
+		}
+		gamma *= 0.8
+	}
+	after := LogisticLoss(m, train, 1e-5, 25)
+	if after >= before/2 {
+		t.Fatalf("logistic loss barely moved: %v -> %v", before, after)
+	}
+	if acc := Accuracy(m, test); acc < 0.85 {
+		t.Fatalf("test accuracy = %v", acc)
+	}
+}

@@ -1,0 +1,118 @@
+// Package svm provides the linear-SVM substrate for the SGD use case
+// (Section 6.2): sparse feature vectors, the Hogwild!-style sparse SGD
+// update rule (equation (2) of the paper), binary-classification dataset
+// generators mirroring the shapes of the LIBSVM datasets in Table 2, and
+// train/test evaluation.
+//
+// Models are accessed through the Model interface so the same training
+// loop runs against plain arrays (the Hogwild!/Hogwild++ baselines) and
+// DB4ML's GlobalParameter ML-table.
+package svm
+
+// SparseVec is a sparse feature vector with strictly increasing indices.
+type SparseVec struct {
+	Idx []int32
+	Val []float64
+}
+
+// NNZ returns the number of stored (nonzero) entries.
+func (v SparseVec) NNZ() int { return len(v.Idx) }
+
+// Sample is one labeled training or test example; Label is +1 or -1.
+type Sample struct {
+	X     SparseVec
+	Label float64
+}
+
+// Model is a mutable parameter vector. Implementations may be racy
+// (Hogwild!-style lock-free updates) — the algorithm tolerates it.
+type Model interface {
+	// Get returns parameter i.
+	Get(i int32) float64
+	// Add atomically-or-racily adds delta to parameter i.
+	Add(i int32, delta float64)
+}
+
+// VecModel is the plain-array model used by the baselines and tests. It is
+// NOT safe for concurrent use; the baselines wrap it in atomics.
+type VecModel []float64
+
+// Get returns parameter i.
+func (m VecModel) Get(i int32) float64 { return m[i] }
+
+// Add adds delta to parameter i.
+func (m VecModel) Add(i int32, delta float64) { m[i] += delta }
+
+// Dot returns the inner product of the model with a sparse vector.
+func Dot(m Model, x SparseVec) float64 {
+	s := 0.0
+	for k, i := range x.Idx {
+		s += m.Get(i) * x.Val[k]
+	}
+	return s
+}
+
+// Step performs one SGD step on the hinge-loss linear SVM
+//
+//	min_w  λ/2 ||w||² + Σ max(0, 1 − y ⟨w, x⟩)
+//
+// touching only the sample's nonzero coordinates, like Hogwild!'s
+// diagonally-scaled update x_v ← x_v − γ b_v G_e(x): the L2 shrinkage is
+// applied to the touched coordinates only, scaled by 1/nnz so its expected
+// effect matches the full gradient. It returns true when the sample was
+// inside the margin (i.e. the loss part contributed a gradient).
+func Step(m Model, s Sample, gamma, lambda float64) bool {
+	margin := s.Label * Dot(m, s.X)
+	active := margin < 1
+	nnz := float64(s.X.NNZ())
+	if nnz == 0 {
+		return false
+	}
+	shrink := gamma * lambda / nnz
+	for k, i := range s.Idx() {
+		g := shrink * m.Get(i)
+		if active {
+			g -= gamma * s.Label * s.X.Val[k]
+		}
+		m.Add(i, -g)
+	}
+	return active
+}
+
+// Idx exposes the sample's nonzero coordinate indices.
+func (s Sample) Idx() []int32 { return s.X.Idx }
+
+// HingeLoss returns the regularized objective over samples.
+func HingeLoss(m Model, samples []Sample, lambda float64, features int) float64 {
+	loss := 0.0
+	for _, s := range samples {
+		if v := 1 - s.Label*Dot(m, s.X); v > 0 {
+			loss += v
+		}
+	}
+	reg := 0.0
+	for i := 0; i < features; i++ {
+		w := m.Get(int32(i))
+		reg += w * w
+	}
+	return loss + lambda/2*reg
+}
+
+// Accuracy returns the fraction of samples whose sign(⟨w, x⟩) matches the
+// label.
+func Accuracy(m Model, samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		pred := 1.0
+		if Dot(m, s.X) < 0 {
+			pred = -1.0
+		}
+		if pred == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}

@@ -1,0 +1,255 @@
+package svm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	m := VecModel{1, 2, 3, 4}
+	x := SparseVec{Idx: []int32{0, 2}, Val: []float64{0.5, 2}}
+	if got := Dot(m, x); got != 0.5+6 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := Dot(m, SparseVec{}); got != 0 {
+		t.Fatalf("empty Dot = %v", got)
+	}
+}
+
+func TestStepMovesTowardLabel(t *testing.T) {
+	m := make(VecModel, 3)
+	s := Sample{X: SparseVec{Idx: []int32{0, 1}, Val: []float64{1, 1}}, Label: 1}
+	if !Step(m, s, 0.1, 0) {
+		t.Fatal("sample inside margin reported inactive")
+	}
+	if m[0] <= 0 || m[1] <= 0 || m[2] != 0 {
+		t.Fatalf("update direction wrong: %v", m)
+	}
+	before := Dot(m, s.X)
+	Step(m, s, 0.1, 0)
+	if after := Dot(m, s.X); after <= before {
+		t.Fatalf("margin did not improve: %v -> %v", before, after)
+	}
+}
+
+func TestStepSkipsOutsideMargin(t *testing.T) {
+	m := VecModel{10, 0}
+	s := Sample{X: SparseVec{Idx: []int32{0}, Val: []float64{1}}, Label: 1}
+	if Step(m, s, 0.1, 0) {
+		t.Fatal("sample far outside margin reported active")
+	}
+	if m[0] != 10 {
+		t.Fatalf("inactive step with zero lambda changed model: %v", m)
+	}
+}
+
+func TestStepRegularizationShrinks(t *testing.T) {
+	m := VecModel{10, 10}
+	s := Sample{X: SparseVec{Idx: []int32{0}, Val: []float64{1}}, Label: 1}
+	Step(m, s, 0.1, 1.0)
+	if m[0] >= 10 {
+		t.Fatalf("lambda shrinkage missing: %v", m)
+	}
+	if m[1] != 10 {
+		t.Fatalf("untouched coordinate regularized: %v", m)
+	}
+}
+
+func TestStepEmptySample(t *testing.T) {
+	m := VecModel{1}
+	if Step(m, Sample{Label: 1}, 0.1, 0.1) {
+		t.Fatal("empty sample reported active")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	m := VecModel{1, -1}
+	samples := []Sample{
+		{X: SparseVec{Idx: []int32{0}, Val: []float64{1}}, Label: 1},  // pred +1 ok
+		{X: SparseVec{Idx: []int32{1}, Val: []float64{1}}, Label: -1}, // pred -1 ok
+		{X: SparseVec{Idx: []int32{0}, Val: []float64{-1}}, Label: 1}, // pred -1 wrong
+		{X: SparseVec{Idx: []int32{0}, Val: []float64{2}}, Label: -1}, // pred +1 wrong
+	}
+	if got := Accuracy(m, samples); got != 0.5 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if Accuracy(m, nil) != 0 {
+		t.Fatal("Accuracy of empty set nonzero")
+	}
+}
+
+func TestHingeLoss(t *testing.T) {
+	m := VecModel{0, 0}
+	samples := []Sample{{X: SparseVec{Idx: []int32{0}, Val: []float64{1}}, Label: 1}}
+	if got := HingeLoss(m, samples, 0, 2); got != 1 {
+		t.Fatalf("zero-model hinge loss = %v, want 1", got)
+	}
+	m = VecModel{3, 4}
+	if got := HingeLoss(m, nil, 2, 2); got != 25 {
+		t.Fatalf("pure L2 loss = %v, want 25", got)
+	}
+}
+
+func TestSGDDecreasesLoss(t *testing.T) {
+	train, _ := Generate(GenSpec{Train: 500, Test: 0, Features: 20, Density: 1, Noise: 0, Seed: 1})
+	m := make(VecModel, 20)
+	before := HingeLoss(m, train, 1e-4, 20)
+	gamma := 0.05
+	for epoch := 0; epoch < 10; epoch++ {
+		for _, s := range train {
+			Step(m, s, gamma, 1e-4)
+		}
+		gamma *= 0.8
+	}
+	after := HingeLoss(m, train, 1e-4, 20)
+	if after >= before/2 {
+		t.Fatalf("SGD barely reduced loss: %v -> %v", before, after)
+	}
+	if acc := Accuracy(m, train); acc < 0.9 {
+		t.Fatalf("train accuracy %v after 10 epochs on clean data", acc)
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	train, test := Generate(GenSpec{Train: 100, Test: 40, Features: 50, Density: 0.2, Noise: 0, Seed: 3})
+	if len(train) != 100 || len(test) != 40 {
+		t.Fatalf("sizes = (%d, %d)", len(train), len(test))
+	}
+	for _, s := range train {
+		if s.Label != 1 && s.Label != -1 {
+			t.Fatalf("label %v", s.Label)
+		}
+		if s.X.NNZ() != 10 {
+			t.Fatalf("nnz = %d, want 10", s.X.NNZ())
+		}
+		norm := 0.0
+		for k, i := range s.X.Idx {
+			if i < 0 || i >= 50 {
+				t.Fatalf("index %d out of range", i)
+			}
+			if k > 0 && s.X.Idx[k-1] >= i {
+				t.Fatalf("indices not strictly increasing: %v", s.X.Idx)
+			}
+			norm += s.X.Val[k] * s.X.Val[k]
+		}
+		if math.Abs(norm-1) > 1e-9 {
+			t.Fatalf("sample not unit norm: %v", norm)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(GenSpec{Train: 10, Features: 8, Density: 1, Seed: 7})
+	b, _ := Generate(GenSpec{Train: 10, Features: 8, Density: 1, Seed: 7})
+	for i := range a {
+		if a[i].Label != b[i].Label || a[i].X.Val[0] != b[i].X.Val[0] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestGenerateLearnable(t *testing.T) {
+	// A model trained on the synthetic data must beat chance on held-out
+	// test data — the generator encodes a real hyperplane.
+	train, test := Generate(GenSpec{Train: 2000, Test: 500, Features: 30, Density: 1, Noise: 0.05, Seed: 11})
+	m := make(VecModel, 30)
+	gamma := 0.05
+	for epoch := 0; epoch < 15; epoch++ {
+		for _, s := range train {
+			Step(m, s, gamma, 1e-5)
+		}
+		gamma *= 0.8
+	}
+	if acc := Accuracy(m, test); acc < 0.85 {
+		t.Fatalf("test accuracy %v, want > 0.85", acc)
+	}
+}
+
+func TestShuffleDeterministicPermutation(t *testing.T) {
+	mk := func() []Sample {
+		s := make([]Sample, 100)
+		for i := range s {
+			s[i].Label = float64(i)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	Shuffle(a, 5)
+	Shuffle(b, 5)
+	moved := false
+	seen := map[float64]bool{}
+	for i := range a {
+		if a[i].Label != b[i].Label {
+			t.Fatal("Shuffle not deterministic")
+		}
+		if a[i].Label != float64(i) {
+			moved = true
+		}
+		seen[a[i].Label] = true
+	}
+	if !moved {
+		t.Fatal("Shuffle was identity")
+	}
+	if len(seen) != 100 {
+		t.Fatal("Shuffle lost samples")
+	}
+}
+
+func TestSparseIndicesSortedProperty(t *testing.T) {
+	f := func(seed int64, featRaw, nnzRaw uint8) bool {
+		features := int(featRaw%200) + 2
+		density := float64(nnzRaw%100+1) / 100
+		train, _ := Generate(GenSpec{Train: 3, Features: features, Density: density, Seed: seed})
+		for _, s := range train {
+			for k := 1; k < len(s.X.Idx); k++ {
+				if s.X.Idx[k-1] >= s.X.Idx[k] {
+					return false
+				}
+			}
+			if s.X.NNZ() > features {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSGDDatasetCatalog(t *testing.T) {
+	if len(SGDDatasets) != 5 {
+		t.Fatalf("catalog has %d datasets, want 5 (Table 2)", len(SGDDatasets))
+	}
+	for _, want := range []string{"rcv1", "susy", "epsilon", "news20", "covtype"} {
+		d, err := SGDByName(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.PaperTrain <= 0 || d.PaperFeatures <= 0 || d.Density <= 0 || d.Density > 1 {
+			t.Errorf("%s: bad catalog row %+v", want, d)
+		}
+	}
+	if _, err := SGDByName("mnist"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestDatasetGenerateScaled(t *testing.T) {
+	d, _ := SGDByName("covtype")
+	train, test, features := d.Generate(1000)
+	if len(train) < 256 || len(test) < 64 {
+		t.Fatalf("scaled sizes too small: %d/%d", len(train), len(test))
+	}
+	if features < 8 {
+		t.Fatalf("features = %d", features)
+	}
+	for _, s := range train[:10] {
+		for _, i := range s.X.Idx {
+			if int(i) >= features {
+				t.Fatalf("feature index %d >= %d", i, features)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package table implements DB4ML's ML-tables: schema-typed, partitioned,
+// in-memory tables whose rows are MVCC version chains from
+// internal/storage. ML-tables serve classical transactional workloads
+// through the txn package and iterative ML workloads through iterative
+// records installed by uber-transactions (Sections 2.1 and 3).
+package table
+
+import (
+	"fmt"
+
+	"db4ml/internal/storage"
+)
+
+// ColType is the storage type of a column. Every column occupies one 64-bit
+// payload slot.
+type ColType int
+
+const (
+	// Int64 stores signed integers (ids, keys, counters).
+	Int64 ColType = iota
+	// Float64 stores floating point model parameters and features.
+	Float64
+)
+
+func (t ColType) String() string {
+	switch t {
+	case Int64:
+		return "INT64"
+	case Float64:
+		return "FLOAT64"
+	default:
+		return fmt.Sprintf("coltype(%d)", int(t))
+	}
+}
+
+// Column is one named, typed column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes a table's columns. The zero value is an empty schema.
+type Schema struct {
+	cols   []Column
+	byName map[string]int
+}
+
+// NewSchema builds a schema from columns. Column names must be unique and
+// non-empty.
+func NewSchema(cols ...Column) (Schema, error) {
+	s := Schema{cols: append([]Column(nil), cols...), byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return Schema{}, fmt.Errorf("table: column %d has empty name", i)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return Schema{}, fmt.Errorf("table: duplicate column %q", c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for statically known
+// schemas.
+func MustSchema(cols ...Column) Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Width returns the number of columns (payload slots per row).
+func (s Schema) Width() int { return len(s.cols) }
+
+// Columns returns the column definitions in order.
+func (s Schema) Columns() []Column { return s.cols }
+
+// Col returns the index of the named column, or an error if absent.
+func (s Schema) Col(name string) (int, error) {
+	i, ok := s.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("table: no column %q", name)
+	}
+	return i, nil
+}
+
+// MustCol is Col that panics on error, for statically known columns.
+func (s Schema) MustCol(name string) int {
+	i, err := s.Col(name)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// NewPayload allocates an empty row matching the schema width.
+func (s Schema) NewPayload() storage.Payload {
+	return make(storage.Payload, len(s.cols))
+}

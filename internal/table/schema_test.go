@@ -1,0 +1,69 @@
+package table
+
+import "testing"
+
+func TestNewSchemaValid(t *testing.T) {
+	s, err := NewSchema(Column{"id", Int64}, Column{"pr", Float64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Width() != 2 {
+		t.Fatalf("Width = %d, want 2", s.Width())
+	}
+	if i := s.MustCol("pr"); i != 1 {
+		t.Fatalf("MustCol(pr) = %d, want 1", i)
+	}
+	if _, err := s.Col("missing"); err == nil {
+		t.Fatal("Col on missing column succeeded")
+	}
+	if got := len(s.Columns()); got != 2 {
+		t.Fatalf("Columns() length = %d", got)
+	}
+}
+
+func TestNewSchemaRejectsDuplicates(t *testing.T) {
+	if _, err := NewSchema(Column{"x", Int64}, Column{"x", Float64}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+}
+
+func TestNewSchemaRejectsEmptyName(t *testing.T) {
+	if _, err := NewSchema(Column{"", Int64}); err == nil {
+		t.Fatal("empty column name accepted")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema did not panic on invalid schema")
+		}
+	}()
+	MustSchema(Column{"", Int64})
+}
+
+func TestMustColPanics(t *testing.T) {
+	s := MustSchema(Column{"a", Int64})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCol did not panic on missing column")
+		}
+	}()
+	s.MustCol("nope")
+}
+
+func TestNewPayloadWidth(t *testing.T) {
+	s := MustSchema(Column{"a", Int64}, Column{"b", Float64}, Column{"c", Float64})
+	if p := s.NewPayload(); len(p) != 3 {
+		t.Fatalf("NewPayload length = %d, want 3", len(p))
+	}
+}
+
+func TestColTypeString(t *testing.T) {
+	if Int64.String() != "INT64" || Float64.String() != "FLOAT64" {
+		t.Error("ColType.String mismatch")
+	}
+	if ColType(9).String() == "" {
+		t.Error("unknown ColType has empty String")
+	}
+}

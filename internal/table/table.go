@@ -1,0 +1,224 @@
+package table
+
+import (
+	"fmt"
+	"sync"
+
+	"db4ml/internal/index"
+	"db4ml/internal/partition"
+	"db4ml/internal/storage"
+)
+
+// RowID identifies a row slot within one table. Row ids are dense and
+// assigned in insertion order, so they double as positions for range
+// partitioning.
+type RowID uint64
+
+// Table is one ML-table: an append-only array of MVCC version chains plus
+// optional secondary indexes and a partitioning scheme for NUMA locality.
+type Table struct {
+	name   string
+	schema Schema
+
+	mu   sync.RWMutex
+	rows []*storage.VersionChain
+
+	idxMu   sync.RWMutex
+	hashIdx map[string]*index.Hash
+	treeIdx map[string]*index.BTree
+
+	part partition.Partitioner
+}
+
+// New creates an empty table with the given schema, partitioned with a
+// single partition until SetPartitioner is called.
+func New(name string, schema Schema) *Table {
+	return &Table{
+		name:    name,
+		schema:  schema,
+		hashIdx: make(map[string]*index.Hash),
+		treeIdx: make(map[string]*index.BTree),
+		part:    partition.New(partition.Range, 1, 0),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// NumRows returns the number of row slots (including rows whose newest
+// version may be invisible to a given snapshot).
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// SetPartitioner installs the partitioning scheme used to map rows to NUMA
+// regions. Call it after loading so Range partitioning knows the row count.
+func (t *Table) SetPartitioner(p partition.Partitioner) { t.part = p }
+
+// PartitionOf returns the NUMA partition owning row.
+func (t *Table) PartitionOf(row RowID) int { return t.part.Of(uint64(row)) }
+
+// Partitioner returns the current partitioning scheme.
+func (t *Table) Partitioner() partition.Partitioner { return t.part }
+
+// Append adds a new row whose first version is valid from ts, returning its
+// RowID. Payload length must match the schema width; the payload is cloned.
+// Hash and tree indexes are maintained for every indexed column.
+func (t *Table) Append(ts storage.Timestamp, payload storage.Payload) (RowID, error) {
+	if len(payload) != t.schema.Width() {
+		return 0, fmt.Errorf("table %s: payload width %d, schema width %d", t.name, len(payload), t.schema.Width())
+	}
+	rec := storage.NewRecord(ts, payload.Clone())
+	t.mu.Lock()
+	id := RowID(len(t.rows))
+	t.rows = append(t.rows, storage.NewVersionChain(rec))
+	t.mu.Unlock()
+
+	t.idxMu.RLock()
+	for col, idx := range t.hashIdx {
+		idx.Insert(payload.Int64(t.schema.MustCol(col)), uint64(id))
+	}
+	for col, idx := range t.treeIdx {
+		idx.Insert(payload.Int64(t.schema.MustCol(col)), uint64(id))
+	}
+	t.idxMu.RUnlock()
+	return id, nil
+}
+
+// Chain returns the version chain of row, or nil if the row does not exist.
+// The chain pointer is stable for the lifetime of the table, so hot paths
+// (sub-transaction tx_state) may cache it.
+func (t *Table) Chain(row RowID) *storage.VersionChain {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(row) >= len(t.rows) {
+		return nil
+	}
+	return t.rows[row]
+}
+
+// Read returns a copy of the row version visible at ts, or false if the row
+// does not exist at ts (never created, or deleted by then).
+func (t *Table) Read(row RowID, ts storage.Timestamp) (storage.Payload, bool) {
+	c := t.Chain(row)
+	if c == nil {
+		return nil, false
+	}
+	rec := c.VisibleAt(ts)
+	if rec == nil || rec.Deleted {
+		return nil, false
+	}
+	return rec.Payload.Clone(), true
+}
+
+// Scan calls fn with every row visible at ts, in RowID order, stopping
+// early if fn returns false.
+func (t *Table) Scan(ts storage.Timestamp, fn func(row RowID, payload storage.Payload) bool) {
+	n := t.NumRows()
+	for i := 0; i < n; i++ {
+		c := t.Chain(RowID(i))
+		if c == nil {
+			continue
+		}
+		rec := c.VisibleAt(ts)
+		if rec == nil || rec.Deleted {
+			continue
+		}
+		if !fn(RowID(i), rec.Payload) {
+			return
+		}
+	}
+}
+
+// CreateHashIndex builds a hash index on column col over all current rows
+// using their newest committed versions, then maintains it on Append.
+func (t *Table) CreateHashIndex(col string) error {
+	ci, err := t.schema.Col(col)
+	if err != nil {
+		return err
+	}
+	idx := index.NewHash()
+	t.fillIndex(ci, func(key int64, row uint64) { idx.Insert(key, row) })
+	t.idxMu.Lock()
+	t.hashIdx[col] = idx
+	t.idxMu.Unlock()
+	return nil
+}
+
+// CreateTreeIndex builds an ordered index on column col over all current
+// rows, then maintains it on Append. Keys must be unique per row for tree
+// indexes; duplicate keys keep the most recently inserted row.
+func (t *Table) CreateTreeIndex(col string) error {
+	ci, err := t.schema.Col(col)
+	if err != nil {
+		return err
+	}
+	idx := index.NewBTree()
+	t.fillIndex(ci, func(key int64, row uint64) { idx.Insert(key, row) })
+	t.idxMu.Lock()
+	t.treeIdx[col] = idx
+	t.idxMu.Unlock()
+	return nil
+}
+
+func (t *Table) fillIndex(ci int, add func(key int64, row uint64)) {
+	n := t.NumRows()
+	for i := 0; i < n; i++ {
+		c := t.Chain(RowID(i))
+		if c == nil {
+			continue
+		}
+		if head := c.Head(); head != nil {
+			add(head.Payload.Int64(ci), uint64(i))
+		}
+	}
+}
+
+// HashIndex returns the hash index on col, or nil if none exists.
+func (t *Table) HashIndex(col string) *index.Hash {
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	return t.hashIdx[col]
+}
+
+// TreeIndex returns the ordered index on col, or nil if none exists.
+func (t *Table) TreeIndex(col string) *index.BTree {
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	return t.treeIdx[col]
+}
+
+// Prune garbage-collects row versions invisible to every transaction
+// reading at or after watermark (Hekaton-style version GC), returning the
+// number of versions dropped. The caller must pass a watermark no newer
+// than the oldest active transaction's snapshot.
+func (t *Table) Prune(watermark storage.Timestamp) int {
+	dropped := 0
+	n := t.NumRows()
+	for i := 0; i < n; i++ {
+		if c := t.Chain(RowID(i)); c != nil {
+			dropped += c.Prune(watermark)
+		}
+	}
+	return dropped
+}
+
+// Lookup returns the row ids whose indexed column col equals key, using the
+// hash index. It returns an error if no hash index exists on col.
+func (t *Table) Lookup(col string, key int64) ([]RowID, error) {
+	idx := t.HashIndex(col)
+	if idx == nil {
+		return nil, fmt.Errorf("table %s: no hash index on %q", t.name, col)
+	}
+	raw := idx.GetAll(key)
+	out := make([]RowID, len(raw))
+	for i, r := range raw {
+		out[i] = RowID(r)
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package table
+
+import (
+	"testing"
+
+	"db4ml/internal/storage"
+)
+
+// deleteRow installs a tombstone version on the row at ts.
+func deleteRow(t *testing.T, tbl *Table, row RowID, ts storage.Timestamp) {
+	t.Helper()
+	c := tbl.Chain(row)
+	head := c.Head()
+	tomb := storage.NewRecord(ts, tbl.Schema().NewPayload())
+	tomb.Deleted = true
+	if !c.Install(head, tomb) {
+		t.Fatal("tombstone install failed")
+	}
+}
+
+func TestStartIterativeSkipsDeletedRows(t *testing.T) {
+	tbl := newNodeTable(t, 4)
+	deleteRow(t, tbl, 2, 5)
+	if err := tbl.StartIterative(10, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.IterRecord(2) != nil {
+		t.Fatal("deleted row got an iterative record")
+	}
+	if tbl.IterRecord(0) == nil || tbl.IterRecord(3) == nil {
+		t.Fatal("live rows missing iterative records")
+	}
+	if err := tbl.CommitIterative(20, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Deleted row stays deleted after the ML commit.
+	if _, ok := tbl.Read(2, 25); ok {
+		t.Fatal("ML commit resurrected a deleted row")
+	}
+	if _, ok := tbl.Read(0, 25); !ok {
+		t.Fatal("live row unreadable after ML commit")
+	}
+}
+
+func TestStartIterativeExplicitDeletedRowFails(t *testing.T) {
+	tbl := newNodeTable(t, 2)
+	deleteRow(t, tbl, 1, 5)
+	if err := tbl.StartIterative(10, 1, []RowID{1}); err == nil {
+		t.Fatal("explicit attach of deleted row accepted")
+	}
+}
+
+func TestAbortIterativeWithSkippedRows(t *testing.T) {
+	tbl := newNodeTable(t, 3)
+	deleteRow(t, tbl, 0, 5)
+	if err := tbl.StartIterative(10, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AbortIterative(nil); err != nil {
+		t.Fatalf("abort with skipped rows failed: %v", err)
+	}
+	// Everything restored; a fresh attach works.
+	if err := tbl.StartIterative(11, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartIterativeRowInvisibleAtSnapshot(t *testing.T) {
+	tbl := newNodeTable(t, 2)
+	// Append a row that only becomes visible at ts 50.
+	p := tbl.Schema().NewPayload()
+	p.SetInt64(0, 99)
+	if _, err := tbl.Append(50, p); err != nil {
+		t.Fatal(err)
+	}
+	// Whole-table attach at snapshot 10 skips it.
+	if err := tbl.StartIterative(10, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.IterRecord(2) != nil {
+		t.Fatal("future row got an iterative record")
+	}
+	if err := tbl.CommitIterative(60, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The future row is untouched and still visible from its own ts.
+	got, ok := tbl.Read(2, 70)
+	if !ok || got.Int64(0) != 99 {
+		t.Fatalf("future row corrupted: (%v, %v)", got, ok)
+	}
+}

@@ -1,0 +1,117 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+)
+
+func TestDeleteVisibility(t *testing.T) {
+	m := NewManager()
+	tbl := accountsTable(t, m, 3, 100)
+	before := m.Begin() // snapshot with the row alive
+	tx := m.Begin()
+	if err := tx.Delete(tbl, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Read-your-deletes.
+	if _, ok := tx.Read(tbl, 1); ok {
+		t.Fatal("deleted row readable inside the deleting transaction")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Earlier snapshot still sees the row.
+	if _, ok := before.Read(tbl, 1); !ok {
+		t.Fatal("pre-delete snapshot lost the row")
+	}
+	// New snapshots do not.
+	if _, ok := m.Begin().Read(tbl, 1); ok {
+		t.Fatal("deleted row visible to later snapshot")
+	}
+	// Scan skips it too.
+	count := 0
+	tbl.Scan(m.Stable(), func(_ table.RowID, _ storage.Payload) bool {
+		count++
+		return true
+	})
+	if count != 2 {
+		t.Fatalf("scan visited %d rows after delete, want 2", count)
+	}
+}
+
+func TestDeleteAbsentRow(t *testing.T) {
+	m := NewManager()
+	tbl := accountsTable(t, m, 1, 100)
+	tx := m.Begin()
+	if err := tx.Delete(tbl, 42); err == nil {
+		t.Fatal("delete of absent row accepted")
+	}
+	// Double delete within one transaction: second must fail (row gone
+	// from this transaction's view).
+	tx2 := m.Begin()
+	if err := tx2.Delete(tbl, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Delete(tbl, 0); err == nil {
+		t.Fatal("second delete of same row accepted")
+	}
+}
+
+func TestDeleteConflict(t *testing.T) {
+	m := NewManager()
+	tbl := accountsTable(t, m, 1, 100)
+	t1 := m.Begin()
+	t2 := m.Begin()
+	if err := t1.Delete(tbl, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := t2.Read(tbl, 0)
+	p.SetFloat64(1, 5)
+	if err := t2.Write(tbl, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("write over concurrent delete = %v, want conflict", err)
+	}
+}
+
+func TestWriteAfterDeleteInSameTxnResurrects(t *testing.T) {
+	m := NewManager()
+	tbl := accountsTable(t, m, 1, 100)
+	tx := m.Begin()
+	if err := tx.Delete(tbl, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := tbl.Schema().NewPayload()
+	p.SetInt64(0, 0)
+	p.SetFloat64(1, 7)
+	if err := tx.Write(tbl, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m.Begin().Read(tbl, 0)
+	if !ok || got.Float64(1) != 7 {
+		t.Fatalf("resurrected row = (%v, %v)", got, ok)
+	}
+}
+
+func TestDeleteAbortLeavesRow(t *testing.T) {
+	m := NewManager()
+	tbl := accountsTable(t, m, 1, 100)
+	tx := m.Begin()
+	if err := tx.Delete(tbl, 0); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if _, ok := m.Begin().Read(tbl, 0); !ok {
+		t.Fatal("aborted delete removed the row")
+	}
+}

@@ -1,0 +1,125 @@
+package txn
+
+import (
+	"math/rand"
+	"testing"
+
+	"db4ml/internal/table"
+)
+
+// Model-based test: a long random stream of single-threaded transactions
+// (reads, writes, deletes, inserts, aborts) is applied both to the real
+// engine and to a plain map oracle. Because execution is sequential, every
+// commit must succeed and the visible state must match the oracle exactly
+// after every transaction.
+func TestRandomWorkloadMatchesOracle(t *testing.T) {
+	m := NewManager()
+	tbl := table.New("T", table.MustSchema(
+		table.Column{Name: "ID", Type: table.Int64},
+		table.Column{Name: "V", Type: table.Float64},
+	))
+	oracle := map[table.RowID]float64{}
+	var rows []table.RowID
+
+	rng := rand.New(rand.NewSource(99))
+	const txns = 600
+	for i := 0; i < txns; i++ {
+		tx := m.Begin()
+		shadow := map[table.RowID]*float64{} // this txn's pending view (nil = deleted)
+		var inserts []float64
+		ops := rng.Intn(6) + 1
+		for o := 0; o < ops; o++ {
+			switch op := rng.Intn(10); {
+			case op < 4 && len(rows) > 0: // read
+				r := rows[rng.Intn(len(rows))]
+				p, ok := tx.Read(tbl, r)
+				want, exists := oracle[r]
+				if sh, pending := shadow[r]; pending {
+					if sh == nil {
+						exists = false
+					} else {
+						want, exists = *sh, true
+					}
+				}
+				if ok != exists {
+					t.Fatalf("txn %d: Read(%d) ok=%v, oracle exists=%v", i, r, ok, exists)
+				}
+				if ok && p.Float64(1) != want {
+					t.Fatalf("txn %d: Read(%d) = %v, oracle %v", i, r, p.Float64(1), want)
+				}
+			case op < 7 && len(rows) > 0: // write
+				r := rows[rng.Intn(len(rows))]
+				if _, ok := tx.Read(tbl, r); !ok {
+					continue // deleted; writing would resurrect, skip for clarity
+				}
+				v := rng.Float64() * 100
+				p := tbl.Schema().NewPayload()
+				p.SetInt64(0, int64(r))
+				p.SetFloat64(1, v)
+				if err := tx.Write(tbl, r, p); err != nil {
+					t.Fatalf("txn %d: write: %v", i, err)
+				}
+				vv := v
+				shadow[r] = &vv
+			case op < 8 && len(rows) > 0: // delete
+				r := rows[rng.Intn(len(rows))]
+				if _, ok := tx.Read(tbl, r); !ok {
+					continue
+				}
+				if err := tx.Delete(tbl, r); err != nil {
+					t.Fatalf("txn %d: delete: %v", i, err)
+				}
+				shadow[r] = nil
+			default: // insert
+				v := rng.Float64() * 100
+				p := tbl.Schema().NewPayload()
+				p.SetFloat64(1, v)
+				if err := tx.Insert(tbl, p); err != nil {
+					t.Fatalf("txn %d: insert: %v", i, err)
+				}
+				inserts = append(inserts, v)
+			}
+		}
+		if rng.Intn(5) == 0 {
+			tx.Abort()
+			continue // oracle unchanged
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("txn %d: sequential commit failed: %v", i, err)
+		}
+		for r, sh := range shadow {
+			if sh == nil {
+				delete(oracle, r)
+			} else {
+				oracle[r] = *sh
+			}
+		}
+		for k, r := range tx.InsertedRows() {
+			oracle[r] = inserts[k]
+			rows = append(rows, r)
+		}
+
+		// Full-state check against the oracle via a fresh snapshot.
+		check := m.Begin()
+		seen := 0
+		for _, r := range rows {
+			p, ok := check.Read(tbl, r)
+			want, exists := oracle[r]
+			if ok != exists {
+				t.Fatalf("after txn %d: row %d visible=%v oracle=%v", i, r, ok, exists)
+			}
+			if ok {
+				seen++
+				if p.Float64(1) != want {
+					t.Fatalf("after txn %d: row %d = %v, oracle %v", i, r, p.Float64(1), want)
+				}
+			}
+		}
+		if seen != len(oracle) {
+			t.Fatalf("after txn %d: %d visible rows, oracle has %d", i, seen, len(oracle))
+		}
+	}
+	if len(rows) == 0 {
+		t.Fatal("workload never inserted anything")
+	}
+}

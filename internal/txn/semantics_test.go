@@ -1,0 +1,145 @@
+package txn
+
+import "testing"
+
+// TestWriteSkewAllowed documents the isolation level: DB4ML's OLTP side is
+// snapshot isolation (first-committer-wins on write-write conflicts), like
+// the Hekaton design it follows — NOT serializable. Two transactions that
+// read the same two rows and write disjoint rows both commit, even though
+// no serial order produces that result. This is intentional and matches
+// the paper's storage manager (Section 3.1).
+func TestWriteSkewAllowed(t *testing.T) {
+	m := NewManager()
+	tbl := accountsTable(t, m, 2, 100)
+	t1 := m.Begin()
+	t2 := m.Begin()
+	// Both enforce "sum must stay >= 0" by checking the snapshot sum and
+	// withdrawing from different accounts.
+	p10, _ := t1.Read(tbl, 0)
+	p11, _ := t1.Read(tbl, 1)
+	if p10.Float64(1)+p11.Float64(1) < 150 {
+		t.Fatal("setup")
+	}
+	p10.SetFloat64(1, p10.Float64(1)-150)
+	if err := t1.Write(tbl, 0, p10); err != nil {
+		t.Fatal(err)
+	}
+	p20, _ := t2.Read(tbl, 0)
+	p21, _ := t2.Read(tbl, 1)
+	if p20.Float64(1)+p21.Float64(1) < 150 {
+		t.Fatal("setup")
+	}
+	p21.SetFloat64(1, p21.Float64(1)-150)
+	if err := t2.Write(tbl, 1, p21); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("write skew rejected: %v — SI should allow disjoint write sets", err)
+	}
+	a, _ := m.Begin().Read(tbl, 0)
+	b, _ := m.Begin().Read(tbl, 1)
+	if a.Float64(1)+b.Float64(1) != -100 {
+		t.Fatalf("unexpected final state: %v + %v", a.Float64(1), b.Float64(1))
+	}
+}
+
+// TestInsertMaintainsIndexes: rows inserted through a transaction become
+// visible in the table's indexes once committed.
+func TestInsertMaintainsIndexes(t *testing.T) {
+	m := NewManager()
+	tbl := accountsTable(t, m, 3, 10)
+	if err := tbl.CreateHashIndex("ID"); err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin()
+	p := tbl.Schema().NewPayload()
+	p.SetInt64(0, 777)
+	p.SetFloat64(1, 1)
+	if err := tx.Insert(tbl, p); err != nil {
+		t.Fatal(err)
+	}
+	if rows, _ := tbl.Lookup("ID", 777); len(rows) != 0 {
+		t.Fatal("uncommitted insert visible in index")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tbl.Lookup("ID", 777)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("Lookup after commit = (%v, %v)", rows, err)
+	}
+	got, ok := m.Begin().Read(tbl, rows[0])
+	if !ok || got.Int64(0) != 777 {
+		t.Fatalf("indexed row = (%v, %v)", got, ok)
+	}
+}
+
+// TestTablePruneAfterUpdates: version GC drops superseded versions while
+// keeping every read at or after the watermark correct.
+func TestTablePruneAfterUpdates(t *testing.T) {
+	m := NewManager()
+	tbl := accountsTable(t, m, 1, 0)
+	for i := 0; i < 10; i++ {
+		tx := m.Begin()
+		p, _ := tx.Read(tbl, 0)
+		p.SetFloat64(1, float64(i+1))
+		if err := tx.Write(tbl, 0, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chain := tbl.Chain(0)
+	if chain.Len() != 11 {
+		t.Fatalf("chain length = %d, want 11", chain.Len())
+	}
+	dropped := tbl.Prune(m.Stable())
+	if dropped != 10 {
+		t.Fatalf("Prune dropped %d, want 10", dropped)
+	}
+	got, ok := m.Begin().Read(tbl, 0)
+	if !ok || got.Float64(1) != 10 {
+		t.Fatalf("read after prune = (%v, %v)", got, ok)
+	}
+	// And the table remains writable.
+	tx := m.Begin()
+	p, _ := tx.Read(tbl, 0)
+	p.SetFloat64(1, 42)
+	if err := tx.Write(tbl, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPruneDoesNotBreakOlderSnapshotHeldBeforePrune: a transaction that
+// began before the prune watermark is the caller's responsibility (the
+// watermark contract); one that begins at the watermark still reads
+// correctly.
+func TestPruneWatermarkContract(t *testing.T) {
+	m := NewManager()
+	tbl := accountsTable(t, m, 1, 1)
+	tx0 := m.Begin() // snapshot at load time
+	for i := 0; i < 3; i++ {
+		tx := m.Begin()
+		p, _ := tx.Read(tbl, 0)
+		p.SetFloat64(1, float64(100+i))
+		if err := tx.Write(tbl, 0, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Prune only up to tx0's snapshot: tx0 must still read its version.
+	tbl.Prune(tx0.BeginTS())
+	got, ok := tx0.Read(tbl, 0)
+	if !ok || got.Float64(1) != 1 {
+		t.Fatalf("pre-prune snapshot read = (%v, %v), want original value", got, ok)
+	}
+}

@@ -1,0 +1,297 @@
+// Package txn implements classical transactions over ML-tables: snapshot
+// isolation with first-committer-wins write-conflict handling, the
+// transaction model the paper's storage manager inherits from Larson et
+// al.'s main-memory MVCC design. Uber-transactions (package itx) are built
+// on top of these transactions, which keeps ML-tables fully usable by
+// normal OLTP workloads while an ML algorithm runs.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+)
+
+// ErrConflict is returned by Commit when another transaction committed a
+// conflicting write first (first-committer-wins) or holds an in-flight
+// version of a row in the write set.
+var ErrConflict = errors.New("txn: write-write conflict")
+
+// ErrDone is returned when a committed or aborted transaction is used.
+var ErrDone = errors.New("txn: transaction already finished")
+
+// Manager hands out transactions against a shared timestamp oracle.
+//
+// Transactions begin at the manager's *stable* timestamp — the newest
+// commit timestamp whose writes are fully published — never at the raw
+// oracle value. Without this distinction a transaction could begin exactly
+// at a commit timestamp mid-publish, read the pre-commit versions, and
+// still pass first-committer-wins validation, losing the earlier commit's
+// update. Publishing is serialized by commitMu, so the stable watermark
+// advances only over complete snapshots.
+type Manager struct {
+	oracle   *storage.Oracle
+	commitMu sync.Mutex
+	stable   atomic.Uint64
+}
+
+// NewManager creates a transaction manager with a fresh oracle.
+func NewManager() *Manager {
+	return &Manager{oracle: &storage.Oracle{}}
+}
+
+// Oracle exposes the manager's timestamp oracle, shared with bulk loaders
+// and uber-transactions.
+func (m *Manager) Oracle() *storage.Oracle { return m.oracle }
+
+// Stable returns the newest fully published commit timestamp. Reads at
+// Stable() observe a consistent snapshot.
+func (m *Manager) Stable() storage.Timestamp {
+	return storage.Timestamp(m.stable.Load())
+}
+
+// PublishAt draws a fresh commit timestamp, runs publish with it while
+// holding the commit lock, then advances the stable watermark past it.
+// Every path that makes new versions visible — transaction commits, bulk
+// loads, uber-transaction commits — must go through PublishAt so
+// transactions never begin inside a half-published snapshot.
+func (m *Manager) PublishAt(publish func(ts storage.Timestamp)) storage.Timestamp {
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	ts := m.oracle.Next()
+	publish(ts)
+	m.stable.Store(uint64(ts))
+	return ts
+}
+
+// Begin starts a transaction reading the most recent stable snapshot.
+func (m *Manager) Begin() *Txn {
+	return &Txn{m: m, beginTS: m.Stable(), writeIdx: make(map[writeKey]int)}
+}
+
+type txnState int
+
+const (
+	active txnState = iota
+	committed
+	aborted
+)
+
+type writeKey struct {
+	tbl *table.Table
+	row table.RowID
+}
+
+type writeOp struct {
+	key     writeKey
+	payload storage.Payload
+	delete  bool
+}
+
+type insertOp struct {
+	tbl     *table.Table
+	payload storage.Payload
+}
+
+// Txn is a snapshot-isolation transaction. All reads observe the snapshot
+// at Begin; writes are buffered and installed atomically at Commit. A Txn
+// must be used from a single goroutine.
+type Txn struct {
+	m        *Manager
+	beginTS  storage.Timestamp
+	state    txnState
+	writes   []writeOp
+	writeIdx map[writeKey]int
+	inserts  []insertOp
+	inserted []table.RowID
+}
+
+// BeginTS returns the transaction's snapshot timestamp.
+func (tx *Txn) BeginTS() storage.Timestamp { return tx.beginTS }
+
+// Read returns a copy of the row as of the transaction snapshot, with
+// read-your-writes (and read-your-deletes) semantics for rows this
+// transaction has written.
+func (tx *Txn) Read(tbl *table.Table, row table.RowID) (storage.Payload, bool) {
+	if tx.state != active {
+		return nil, false
+	}
+	if i, ok := tx.writeIdx[writeKey{tbl, row}]; ok {
+		if tx.writes[i].delete {
+			return nil, false
+		}
+		return tx.writes[i].payload.Clone(), true
+	}
+	return tbl.Read(row, tx.beginTS)
+}
+
+// Write buffers a full-row update. The payload is cloned. The write becomes
+// visible to other transactions only after Commit succeeds.
+func (tx *Txn) Write(tbl *table.Table, row table.RowID, payload storage.Payload) error {
+	if tx.state != active {
+		return ErrDone
+	}
+	if len(payload) != tbl.Schema().Width() {
+		return fmt.Errorf("txn: payload width %d, schema width %d", len(payload), tbl.Schema().Width())
+	}
+	key := writeKey{tbl, row}
+	if i, ok := tx.writeIdx[key]; ok {
+		copy(tx.writes[i].payload, payload)
+		tx.writes[i].delete = false
+		return nil
+	}
+	tx.writeIdx[key] = len(tx.writes)
+	tx.writes = append(tx.writes, writeOp{key: key, payload: payload.Clone()})
+	return nil
+}
+
+// Delete buffers the removal of a row. After a successful Commit the row
+// is invisible to transactions whose snapshot is at or after the commit;
+// earlier snapshots still see it (a tombstone version is installed, not a
+// physical removal). Deleting an absent row is an error.
+func (tx *Txn) Delete(tbl *table.Table, row table.RowID) error {
+	if tx.state != active {
+		return ErrDone
+	}
+	if _, ok := tx.Read(tbl, row); !ok {
+		return fmt.Errorf("txn: delete of absent row %d", row)
+	}
+	key := writeKey{tbl, row}
+	if i, ok := tx.writeIdx[key]; ok {
+		tx.writes[i].delete = true
+		return nil
+	}
+	tx.writeIdx[key] = len(tx.writes)
+	tx.writes = append(tx.writes, writeOp{
+		key:     key,
+		payload: tbl.Schema().NewPayload(),
+		delete:  true,
+	})
+	return nil
+}
+
+// UpdateCol reads the row, applies fn to column col, and buffers the
+// result — the common read-modify-write step of OLTP workloads.
+func (tx *Txn) UpdateCol(tbl *table.Table, row table.RowID, col int, fn func(old uint64) uint64) error {
+	p, ok := tx.Read(tbl, row)
+	if !ok {
+		return fmt.Errorf("txn: row %d not visible", row)
+	}
+	p[col] = fn(p[col])
+	return tx.Write(tbl, row, p)
+}
+
+// Insert buffers a new row for tbl; it is appended with the commit
+// timestamp when the transaction commits. The new RowID is available from
+// InsertedRows after Commit.
+func (tx *Txn) Insert(tbl *table.Table, payload storage.Payload) error {
+	if tx.state != active {
+		return ErrDone
+	}
+	if len(payload) != tbl.Schema().Width() {
+		return fmt.Errorf("txn: payload width %d, schema width %d", len(payload), tbl.Schema().Width())
+	}
+	tx.inserts = append(tx.inserts, insertOp{tbl: tbl, payload: payload.Clone()})
+	return nil
+}
+
+// InsertedRows returns the RowIDs assigned to this transaction's inserts,
+// in Insert order. Valid only after a successful Commit.
+func (tx *Txn) InsertedRows() []table.RowID { return tx.inserted }
+
+// Abort discards all buffered writes.
+func (tx *Txn) Abort() {
+	if tx.state == active {
+		tx.state = aborted
+	}
+}
+
+// Commit atomically installs the write set. The protocol is two-phase:
+// first every written row gets an invisible pending version (Begin = InfTS)
+// installed with a CAS — failing if any row has a newer committed version
+// than the snapshot or a pending version from another transaction — then a
+// commit timestamp is drawn and every pending version is published. On
+// conflict, already-installed pending versions are unwound and ErrConflict
+// is returned; the transaction is finished either way.
+func (tx *Txn) Commit() error {
+	if tx.state != active {
+		return ErrDone
+	}
+	// Deterministic install order keeps conflict behaviour reproducible.
+	order := make([]int, len(tx.writes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		wa, wb := tx.writes[order[a]], tx.writes[order[b]]
+		if wa.key.tbl != wb.key.tbl {
+			return wa.key.tbl.Name() < wb.key.tbl.Name()
+		}
+		return wa.key.row < wb.key.row
+	})
+
+	installed := make([]*storage.Record, 0, len(tx.writes))
+	chains := make([]*storage.VersionChain, 0, len(tx.writes))
+	unwind := func() {
+		for i := len(installed) - 1; i >= 0; i-- {
+			chains[i].Unwind(installed[i])
+		}
+	}
+	for _, i := range order {
+		w := tx.writes[i]
+		chain := w.key.tbl.Chain(w.key.row)
+		if chain == nil {
+			unwind()
+			tx.state = aborted
+			return fmt.Errorf("txn: row %d vanished", w.key.row)
+		}
+		head := chain.Head()
+		if head != nil {
+			if head.Begin() == storage.InfTS {
+				// In-flight version from another transaction (or an
+				// uber-transaction's iterative record).
+				unwind()
+				tx.state = aborted
+				return ErrConflict
+			}
+			if head.Begin() > tx.beginTS {
+				// Someone committed after our snapshot: first committer won.
+				unwind()
+				tx.state = aborted
+				return ErrConflict
+			}
+		}
+		pending := storage.NewRecord(0, w.payload)
+		pending.Deleted = w.delete
+		pending.SetBegin(storage.InfTS)
+		if !chain.Install(head, pending) {
+			unwind()
+			tx.state = aborted
+			return ErrConflict
+		}
+		installed = append(installed, pending)
+		chains = append(chains, chain)
+	}
+
+	tx.m.PublishAt(func(commitTS storage.Timestamp) {
+		for _, rec := range installed {
+			rec.Publish(commitTS)
+		}
+		for _, ins := range tx.inserts {
+			row, err := ins.tbl.Append(commitTS, ins.payload)
+			if err != nil {
+				// Inserts were validated at buffer time; failure here means
+				// a schema change mid-flight, which tables do not support.
+				panic(fmt.Sprintf("txn: insert failed at commit: %v", err))
+			}
+			tx.inserted = append(tx.inserted, row)
+		}
+	})
+	tx.state = committed
+	return nil
+}
