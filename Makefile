@@ -1,0 +1,24 @@
+# Tier-1 gate: everything `make check` runs must stay green.
+.PHONY: check build vet test test-race-short bench-smoke
+
+check: build vet test test-race-short
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Race gate over the concurrency-bearing kernel packages. -short skips the
+# long all-experiment sweeps; the dedicated queue/storage/exec/itx stress
+# tests all still run.
+test-race-short:
+	go test -race -short ./internal/...
+
+# One fast pass over the benchmark harness to catch bit-rot without a full
+# benchmark run.
+bench-smoke:
+	go test -bench=BenchmarkObserverOverhead -benchtime=1x -run '^$$' .

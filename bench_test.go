@@ -17,6 +17,7 @@ import (
 	"db4ml/internal/isolation"
 	"db4ml/internal/itx"
 	"db4ml/internal/ml/pagerank"
+	"db4ml/internal/obs"
 	"db4ml/internal/queue"
 	"db4ml/internal/storage"
 	"db4ml/internal/txn"
@@ -268,6 +269,26 @@ func BenchmarkAblationTxStateCache(b *testing.B) {
 	}
 	b.Run("cached-tx-state", func(b *testing.B) { run(b, true) })
 	b.Run("uncached-lookups", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkObserverOverhead guards the telemetry layer's cost contract:
+// with Observer nil the engine's hot paths pay a single nil-check, so the
+// observer-off variant must stay within noise of the pre-telemetry engine;
+// observer-on shows the actual price of collection. Compare the two
+// sub-benchmarks to see the overhead of enabling telemetry.
+func BenchmarkObserverOverhead(b *testing.B) {
+	g := benchGraph()
+	run := func(b *testing.B, o *obs.Observer) {
+		for i := 0; i < b.N; i++ {
+			runPR(b, pagerank.Config{
+				Exec:      exec.Config{Workers: 4, MaxIterations: 10, Observer: o},
+				Isolation: isolation.Options{Level: isolation.Asynchronous},
+				Epsilon:   -1,
+			}, g)
+		}
+	}
+	b.Run("observer-off", func(b *testing.B) { run(b, nil) })
+	b.Run("observer-on", func(b *testing.B) { run(b, obs.New()) })
 }
 
 // --- Hot-path micro-benchmarks -------------------------------------------

@@ -9,6 +9,7 @@
 //	db4ml-bench -exp fig8
 //	db4ml-bench -exp all -workers 16 -runs 5
 //	db4ml-bench -exp fig12 -quick
+//	db4ml-bench -exp fig9 -quick -telemetry
 package main
 
 import (
@@ -24,6 +25,7 @@ func main() {
 	workers := flag.Int("workers", 0, "maximum worker count for core sweeps (default 2×GOMAXPROCS, min 8)")
 	runs := flag.Int("runs", 0, "repetitions per timed configuration (default 3)")
 	quick := flag.Bool("quick", false, "shrink datasets and sweeps for a fast smoke run")
+	telemetry := flag.Bool("telemetry", false, "attach an engine observer to selected configurations and print their telemetry snapshots (JSON) after each experiment")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -42,6 +44,7 @@ func main() {
 		MaxWorkers: *workers,
 		Runs:       *runs,
 		Quick:      *quick,
+		Telemetry:  *telemetry,
 	}
 	if err := experiments.Run(*exp, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "db4ml-bench:", err)

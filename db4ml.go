@@ -29,6 +29,7 @@ import (
 	"db4ml/internal/isolation"
 	"db4ml/internal/itx"
 	"db4ml/internal/numa"
+	"db4ml/internal/obs"
 	"db4ml/internal/storage"
 	"db4ml/internal/table"
 	"db4ml/internal/txn"
@@ -66,7 +67,17 @@ type (
 	// Topology is the simulated NUMA layout used for worker pinning and
 	// data partitioning.
 	Topology = numa.Topology
+	// Observer collects engine telemetry for one ML run: per-worker
+	// counters, queue/liveness gauges, and a convergence time series. See
+	// NewObserver and MLRun.Observer.
+	Observer = obs.Observer
+	// TelemetrySnapshot is an Observer's exportable state.
+	TelemetrySnapshot = obs.Snapshot
 )
+
+// NewObserver creates a telemetry observer to pass in MLRun.Observer. One
+// observer serves one run at a time; rerunning resets it.
+func NewObserver() *Observer { return obs.New() }
 
 // Column types.
 const (
@@ -184,6 +195,10 @@ type MLRun struct {
 	// IterationHook runs before every sub-transaction execution
 	// (experiments use it to inject stragglers).
 	IterationHook func(worker int)
+	// Observer, when non-nil, collects engine telemetry for this run
+	// (counters, gauges, convergence series). nil keeps telemetry fully
+	// disabled at zero cost. See NewObserver.
+	Observer *Observer
 	// ConvergeTogether (synchronous level only) retires sub-transactions
 	// collectively at the first round where every live one votes Done —
 	// the global convergence criterion of bulk-synchronous engines. Use
@@ -217,6 +232,7 @@ func (db *DB) RunML(run MLRun) (ExecStats, error) {
 		MaxIterations:    run.MaxIterations,
 		IterationHook:    run.IterationHook,
 		ConvergeTogether: run.ConvergeTogether,
+		Observer:         run.Observer,
 	}
 	if run.Regions > 0 {
 		cfg.Topology = numa.NewTopology(run.Regions, cfg.Resolved().Workers)

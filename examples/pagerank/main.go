@@ -129,6 +129,7 @@ func main() {
 		}
 	}
 
+	observer := db4ml.NewObserver()
 	stats, err := db.RunML(db4ml.MLRun{
 		Isolation: db4ml.MLOptions{Level: db4ml.Synchronous},
 		Workers:   4,
@@ -137,12 +138,24 @@ func main() {
 		// PageRank needs Galois-style global convergence: a node's rank
 		// can move again after a quiet round while upstream still changes.
 		ConvergeTogether: true,
+		Observer:         observer,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("PageRank converged: %d rounds, %d commits, %v\n",
 		stats.Rounds, stats.Commits, stats.Elapsed.Round(1000))
+
+	// The observer saw the whole run: print how many sub-transactions were
+	// still live after each round (the engine's convergence curve).
+	snap := observer.Snapshot()
+	fmt.Print("live sub-transactions per round:")
+	for _, s := range snap.Convergence {
+		fmt.Printf(" %d", s.Live)
+	}
+	fmt.Printf("\nworkers %d, executions %d, commit rate %.1f%%\n",
+		snap.Workers, snap.Counters.Executions,
+		100*float64(snap.Counters.Commits)/float64(snap.Counters.Executions))
 
 	// Read the committed ranks back through a normal transaction and
 	// compare with the sequential reference.

@@ -14,6 +14,7 @@
 package exec
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -22,11 +23,25 @@ import (
 	"db4ml/internal/isolation"
 	"db4ml/internal/itx"
 	"db4ml/internal/numa"
+	"db4ml/internal/obs"
 	"db4ml/internal/queue"
 )
 
 // DefaultBatchSize is the paper's optimal batch size (Figure 10(b)).
 const DefaultBatchSize = 256
+
+// defaultAttemptFactor derives the livelock backstop: when MaxIterations is
+// set but MaxAttempts is not, a sub-transaction is force-retired after
+// MaxIterations×defaultAttemptFactor finalized attempts (committed or
+// rolled back). A run would need a sustained rollback ratio above
+// (factor-1)/factor ≈ 98% — perpetual rollback, not ordinary staleness
+// churn — before the backstop fires ahead of the iteration cap.
+const defaultAttemptFactor = 64
+
+// sampleInterval is the convergence-series cadence of the queued
+// schedulers' telemetry sampler (the synchronous scheduler samples per
+// round instead).
+const sampleInterval = 2 * time.Millisecond
 
 // Config tunes the executor.
 type Config struct {
@@ -44,6 +59,23 @@ type Config struct {
 	// implements the paper's "pre-set and fixed number of iterations"
 	// convergence cap.
 	MaxIterations uint64
+	// MaxAttempts, when nonzero, force-retires any sub-transaction after
+	// this many finalized attempts, counting rolled-back iterations that
+	// MaxIterations ignores. It is the livelock backstop: a sub-transaction
+	// that perpetually rolls back (e.g. SSP-throttled behind a straggler
+	// that never advances) commits nothing and would otherwise circulate
+	// forever. Defaults to MaxIterations×64 when MaxIterations is set.
+	MaxAttempts uint64
+	// DisableWorkStealing turns off the queued schedulers' cross-region
+	// work stealing, strictly confining every batch to the workers of its
+	// home region. Useful for locality measurements; costs idle cores when
+	// regionOf skews work toward few regions.
+	DisableWorkStealing bool
+	// Observer, when non-nil, collects run telemetry (per-worker counters,
+	// queue-depth gauges, a convergence time series; see internal/obs).
+	// When nil — the default — every telemetry site in the hot path is a
+	// single pointer nil-check.
+	Observer *obs.Observer
 	// IterationHook, when non-nil, runs before every sub-transaction
 	// execution with the worker id. Experiments use it to inject
 	// stragglers (Figure 9).
@@ -69,6 +101,13 @@ func (c Config) withDefaults() Config {
 	if c.BatchSize <= 0 {
 		c.BatchSize = DefaultBatchSize
 	}
+	if c.MaxAttempts == 0 && c.MaxIterations > 0 {
+		if c.MaxIterations > math.MaxUint64/defaultAttemptFactor {
+			c.MaxAttempts = math.MaxUint64
+		} else {
+			c.MaxAttempts = c.MaxIterations * defaultAttemptFactor
+		}
+	}
 	return c
 }
 
@@ -85,15 +124,22 @@ type Stats struct {
 	// Rollbacks counts iterations discarded by user request or staleness
 	// violation.
 	Rollbacks uint64
-	// ForcedStops counts sub-transactions retired by MaxIterations.
+	// ForcedStops counts sub-transactions retired by MaxIterations or the
+	// MaxAttempts livelock backstop.
 	ForcedStops uint64
+	// Steals counts batches popped from another region's queue by workers
+	// whose own region was drained (queued schedulers only).
+	Steals uint64
 	// Rounds counts barrier rounds (synchronous level only).
 	Rounds uint64
 	// Elapsed is the wall-clock duration of the Run.
 	Elapsed time.Duration
 	// AvgWorkerBusy and MaxWorkerBusy aggregate the time each worker
 	// spent actually processing sub-transactions (excluding idle
-	// spinning), the per-worker runtime Figure 9 reports.
+	// spinning), the per-worker runtime Figure 9 reports. The average is
+	// taken over workers with nonzero busy time: workers that never
+	// received a shard or batch (more workers than work) would otherwise
+	// dilute it toward zero.
 	AvgWorkerBusy time.Duration
 	MaxWorkerBusy time.Duration
 }
@@ -122,6 +168,7 @@ type sched struct {
 // not individual sub-transactions (Section 5.2).
 type batch struct {
 	subs []*sched
+	home int   // region whose queue the batch recirculates through
 	live int64 // non-converged subs in this batch; owned by the processing worker
 }
 
@@ -131,6 +178,9 @@ type batch struct {
 // nil distributes round-robin. Run blocks until completion.
 func (e *Engine) Run(subs []itx.Sub, regionOf func(i int) int) Stats {
 	start := time.Now()
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.BeginRun(e.cfg.Workers)
+	}
 	regions := e.cfg.Topology.Regions
 	if regionOf == nil {
 		regionOf = func(i int) int { return i % regions }
@@ -138,6 +188,7 @@ func (e *Engine) Run(subs []itx.Sub, regionOf func(i int) int) Stats {
 	perRegion := make([][]*sched, regions)
 	for i, sub := range subs {
 		s := &sched{sub: sub, ctx: itx.NewCtx(e.opts, -1)}
+		s.ctx.SetObserver(e.cfg.Observer)
 		r := regionOf(i) % regions
 		if r < 0 {
 			r = 0
@@ -161,6 +212,7 @@ type counters struct {
 	commits     atomic.Uint64
 	rollbacks   atomic.Uint64
 	forcedStops atomic.Uint64
+	steals      atomic.Uint64
 	busy        []atomic.Int64 // per-worker processing nanoseconds
 }
 
@@ -173,23 +225,32 @@ func (c *counters) into(stats *Stats) {
 	stats.Commits += c.commits.Load()
 	stats.Rollbacks += c.rollbacks.Load()
 	stats.ForcedStops += c.forcedStops.Load()
+	stats.Steals += c.steals.Load()
 	var sum, max int64
+	active := 0
 	for i := range c.busy {
 		b := c.busy[i].Load()
 		sum += b
+		if b > 0 {
+			active++
+		}
 		if b > max {
 			max = b
 		}
 	}
-	if len(c.busy) > 0 {
-		stats.AvgWorkerBusy = time.Duration(sum / int64(len(c.busy)))
+	if active > 0 {
+		stats.AvgWorkerBusy = time.Duration(sum / int64(active))
 		stats.MaxWorkerBusy = time.Duration(max)
 	}
 }
 
 // runQueued is the asynchronous / bounded-staleness scheduler: batches
 // circulate through per-region lock-free queues until batch-wise
-// convergence (step 4/5 of Figure 2).
+// convergence (step 4/5 of Figure 2). A worker whose region queue is
+// drained steals batches from other regions' queues instead of idling
+// (unless Config.DisableWorkStealing); stolen batches are pushed back to
+// their home queue so data affinity is restored as soon as the home
+// region's workers catch up.
 func (e *Engine) runQueued(perRegion [][]*sched, stats *Stats) {
 	regions := len(perRegion)
 	queues := make([]*queue.Queue[*batch], regions)
@@ -201,13 +262,16 @@ func (e *Engine) runQueued(perRegion [][]*sched, stats *Stats) {
 			if hi > len(perRegion[r]) {
 				hi = len(perRegion[r])
 			}
-			b := &batch{subs: perRegion[r][lo:hi], live: int64(hi - lo)}
+			b := &batch{subs: perRegion[r][lo:hi], home: r, live: int64(hi - lo)}
 			remaining.Add(b.live)
 			queues[r].Push(b)
 		}
 	}
 
 	cnt := newCounters(e.cfg.Workers)
+	o := e.cfg.Observer
+	stopSampler := e.startSampler(o, cnt, &remaining)
+
 	var wg sync.WaitGroup
 	for w := 0; w < e.cfg.Workers; w++ {
 		wg.Add(1)
@@ -215,19 +279,49 @@ func (e *Engine) runQueued(perRegion [][]*sched, stats *Stats) {
 			defer wg.Done()
 			region := e.cfg.Topology.RegionOf(w)
 			q := queues[region]
+			steal := !e.cfg.DisableWorkStealing && regions > 1
 			for remaining.Load() > 0 {
 				b, ok := q.Pop()
+				if !ok && steal {
+					// Local queue drained: fall back to stealing a batch
+					// from another region so a skewed regionOf does not
+					// leave this core spinning until global completion.
+					for off := 1; off < regions; off++ {
+						if b, ok = queues[(region+off)%regions].Pop(); ok {
+							cnt.steals.Add(1)
+							if o != nil {
+								o.Inc(w, obs.Steals)
+							}
+							break
+						}
+					}
+				}
 				if !ok {
-					// The region's work is drained or in flight on other
-					// workers; yield instead of spinning hard.
+					// Everything is drained or in flight on other workers;
+					// yield instead of spinning hard.
 					runtime.Gosched()
 					continue
 				}
+				if o != nil {
+					o.ObserveQueueDepth(queues[b.home].Len())
+					o.ObserveLive(remaining.Load())
+				}
 				t0 := time.Now()
 				committed := e.processBatch(w, b, cnt, &remaining)
-				cnt.busy[w].Add(int64(time.Since(t0)))
+				busy := int64(time.Since(t0))
+				cnt.busy[w].Add(busy)
+				if o != nil {
+					o.AddBusy(w, busy)
+				}
 				if b.live > 0 {
-					q.Push(b)
+					// Always recirculate through the batch's home queue:
+					// a stolen batch returns to its own region as soon as
+					// this pass ends, so stealing never migrates data
+					// affinity permanently.
+					queues[b.home].Push(b)
+					if o != nil {
+						o.Inc(w, obs.Recirculations)
+					}
 					if committed == 0 {
 						// Every live sub-transaction rolled back (e.g.
 						// SSP-throttled behind a straggler): back off
@@ -239,12 +333,48 @@ func (e *Engine) runQueued(perRegion [][]*sched, stats *Stats) {
 		}(w)
 	}
 	wg.Wait()
+	stopSampler()
 	cnt.into(stats)
+}
+
+// startSampler launches the periodic convergence sampler when telemetry is
+// enabled and returns the function that stops it and records the final
+// sample. With a nil observer it does nothing.
+func (e *Engine) startSampler(o *obs.Observer, cnt *counters, remaining *atomic.Int64) func() {
+	if o == nil {
+		return func() {}
+	}
+	record := func() {
+		o.RecordSample(remaining.Load(), cnt.commits.Load(), cnt.rollbacks.Load())
+	}
+	record() // t=0 point: everything live
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(sampleInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				record()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		record() // final point: run complete
+	}
 }
 
 // processBatch runs one iteration of every live sub-transaction in b and
 // returns the number of committed iterations.
 func (e *Engine) processBatch(w int, b *batch, cnt *counters, remaining *atomic.Int64) int {
+	o := e.cfg.Observer
 	committed := 0
 	for _, s := range b.subs {
 		if s.converged {
@@ -260,17 +390,38 @@ func (e *Engine) processBatch(w int, b *batch, cnt *counters, remaining *atomic.
 		}
 		s.sub.Execute(s.ctx)
 		cnt.executions.Add(1)
+		if o != nil {
+			o.Inc(w, obs.Executions)
+		}
 		action := s.sub.Validate(s.ctx)
 		converged, rolledBack := s.ctx.Finalize(action)
 		if rolledBack {
 			cnt.rollbacks.Add(1)
 		} else {
 			cnt.commits.Add(1)
+			if o != nil {
+				o.Inc(w, obs.Commits)
+			}
 			committed++
 		}
-		if !converged && e.cfg.MaxIterations > 0 && s.ctx.Iteration() >= e.cfg.MaxIterations {
-			converged = true
-			cnt.forcedStops.Add(1)
+		if !converged {
+			// Two force-stop rules: the paper's fixed-iteration cap on
+			// *committed* iterations, and the attempt backstop that also
+			// counts rollbacks — without it a perpetually rolled-back
+			// sub-transaction never retires and Run livelocks.
+			if e.cfg.MaxIterations > 0 && s.ctx.Iteration() >= e.cfg.MaxIterations {
+				converged = true
+				cnt.forcedStops.Add(1)
+				if o != nil {
+					o.Inc(w, obs.ForcedStopIters)
+				}
+			} else if e.cfg.MaxAttempts > 0 && s.ctx.Attempts() >= e.cfg.MaxAttempts {
+				converged = true
+				cnt.forcedStops.Add(1)
+				if o != nil {
+					o.Inc(w, obs.ForcedStopAttempts)
+				}
+			}
 		}
 		if converged {
 			s.converged = true
@@ -309,8 +460,12 @@ func (e *Engine) runSync(perRegion [][]*sched, stats *Stats) {
 		remaining += int64(len(rg))
 	}
 	cnt := newCounters(e.cfg.Workers)
+	o := e.cfg.Observer
 	var left atomic.Int64
 	left.Store(remaining)
+	if o != nil {
+		o.RecordSample(left.Load(), 0, 0)
+	}
 
 	for round := uint64(1); left.Load() > 0; round++ {
 		if e.cfg.MaxIterations > 0 && round > e.cfg.MaxIterations {
@@ -320,6 +475,9 @@ func (e *Engine) runSync(perRegion [][]*sched, stats *Stats) {
 					if !s.converged {
 						s.converged = true
 						cnt.forcedStops.Add(1)
+						if o != nil {
+							o.Inc(0, obs.ForcedStopIters)
+						}
 						left.Add(-1)
 					}
 				}
@@ -339,6 +497,9 @@ func (e *Engine) runSync(perRegion [][]*sched, stats *Stats) {
 			}
 			s.sub.Execute(s.ctx)
 			cnt.executions.Add(1)
+			if o != nil {
+				o.Inc(w, obs.Executions)
+			}
 			s.action = s.sub.Validate(s.ctx)
 		})
 		// Barrier, then phase B: install and settle verdicts.
@@ -356,6 +517,9 @@ func (e *Engine) runSync(perRegion [][]*sched, stats *Stats) {
 				cnt.rollbacks.Add(1)
 			} else {
 				cnt.commits.Add(1)
+				if o != nil {
+					o.Inc(w, obs.Commits)
+				}
 			}
 			if converged {
 				s.converged = true
@@ -372,6 +536,11 @@ func (e *Engine) runSync(perRegion [][]*sched, stats *Stats) {
 					}
 				}
 			}
+		}
+		if o != nil {
+			// One convergence-series point per barrier round.
+			o.ObserveLive(left.Load())
+			o.RecordSample(left.Load(), cnt.commits.Load(), cnt.rollbacks.Load())
 		}
 	}
 	cnt.into(stats)
@@ -396,8 +565,23 @@ func (e *Engine) parallel(shards [][]*sched, cnt *counters, fn func(w int, s *sc
 				}
 				fn(w, s)
 			}
-			cnt.busy[w].Add(int64(time.Since(t0)))
+			busy := int64(time.Since(t0))
+			cnt.busy[w].Add(busy)
+			if e.cfg.Observer != nil {
+				e.cfg.Observer.AddBusy(w, busy)
+			}
 		}(w)
 	}
 	wg.Wait()
+}
+
+// Snapshot exports the telemetry collected by the configured observer
+// (internal/obs); ok is false when Config.Observer is nil. It may be
+// called while Run is in flight (a progress report) or afterwards (the
+// full account of the last run).
+func (e *Engine) Snapshot() (snap obs.Snapshot, ok bool) {
+	if e.cfg.Observer == nil {
+		return obs.Snapshot{}, false
+	}
+	return e.cfg.Observer.Snapshot(), true
 }

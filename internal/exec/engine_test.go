@@ -245,7 +245,11 @@ func TestRegionRoutingKeepsWorkInRegion(t *testing.T) {
 		subs[i] = recorders[i]
 	}
 	regionOf := func(i int) int { return i % 2 }
-	e := New(Config{Workers: 4, Topology: top, BatchSize: 2}, isolation.Options{Level: isolation.Asynchronous})
+	// Stealing off: this test pins queue *routing* — every batch is
+	// processed only by its home region's workers. The steal fallback is
+	// covered by TestWorkStealingDrainsSkewedRegion.
+	e := New(Config{Workers: 4, Topology: top, BatchSize: 2, DisableWorkStealing: true},
+		isolation.Options{Level: isolation.Asynchronous})
 	e.Run(subs, regionOf)
 	for i, r := range recorders {
 		wantRegion := i % 2

@@ -13,6 +13,9 @@ import (
 	"runtime"
 	"text/tabwriter"
 	"time"
+
+	"db4ml/internal/exec"
+	"db4ml/internal/obs"
 )
 
 // rngInt63n draws from the global (mutex-guarded) source — used by
@@ -32,6 +35,11 @@ type Options struct {
 	// Quick shrinks datasets and sweeps for use in unit tests and smoke
 	// runs.
 	Quick bool
+	// Telemetry attaches an engine observer to selected configurations and
+	// appends their telemetry snapshots (JSON) after the experiment's
+	// table. Off by default: a nil observer keeps the engine's hot paths
+	// untouched.
+	Telemetry bool
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +70,27 @@ func (o Options) workerSweep() []int {
 		out = append(out, w)
 	}
 	return out
+}
+
+// observe attaches a fresh observer to cfg when Options.Telemetry is on
+// and returns a dump function that prints the run's telemetry snapshot as
+// labelled JSON. With telemetry off, both the attachment and the dump are
+// no-ops. Callers collect the dump functions and invoke them after the
+// experiment's table has been flushed, so JSON never interleaves with rows.
+func (o Options) observe(cfg *exec.Config, label string) func() {
+	if !o.Telemetry {
+		return func() {}
+	}
+	ob := obs.New()
+	cfg.Observer = ob
+	return func() {
+		js, err := ob.Snapshot().JSON()
+		if err != nil {
+			fmt.Fprintf(o.Out, "\n-- telemetry: %s -- error: %v\n", label, err)
+			return
+		}
+		fmt.Fprintf(o.Out, "\n-- telemetry: %s --\n%s\n", label, js)
+	}
 }
 
 // timed runs fn `runs` times and returns the mean wall-clock duration.

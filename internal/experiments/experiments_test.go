@@ -87,6 +87,29 @@ func TestFig9Quick(t *testing.T) {
 	}
 }
 
+// With Options.Telemetry set, experiments that wire an observer append its
+// JSON snapshot after the table.
+func TestFig9TelemetryDump(t *testing.T) {
+	var buf strings.Builder
+	opts := quickOpts(&buf)
+	opts.Telemetry = true
+	if err := Fig9(opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"-- telemetry: fig9 sync straggler=false --",
+		"-- telemetry: fig9 async straggler=true --",
+		`"executions"`,
+		`"per_worker"`,
+		`"convergence"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestFig10aQuick(t *testing.T) {
 	var buf strings.Builder
 	if err := Fig10a(quickOpts(&buf)); err != nil {

@@ -140,15 +140,23 @@ func Fig8(opts Options) error {
 	}
 	header(opts.Out, fmt.Sprintf("Figure 8: PageRank runtime, 1-%d workers, %d iterations", opts.MaxWorkers, iters))
 	tw := tab(opts.Out, "dataset", "workers", "DB4ML", "Galois", "DB4ML speedup", "Galois speedup")
+	var dumps []func()
+	sweep := opts.workerSweep()
 	for _, name := range datasets {
 		g := prGraph(name, opts.Quick)
 		var base1, base2 time.Duration
-		for _, w := range opts.workerSweep() {
-			dbt := timedDB4ML(opts.Runs, g, pagerank.Config{
+		for _, w := range sweep {
+			cfg := pagerank.Config{
 				Exec:      exec.Config{Workers: w, MaxIterations: uint64(iters)},
 				Isolation: isolation.Options{Level: isolation.Synchronous},
 				Epsilon:   -1,
-			})
+			}
+			// Telemetry for the widest configuration of each dataset — the
+			// one whose scheduling behavior the figure is about.
+			if w == sweep[len(sweep)-1] {
+				dumps = append(dumps, opts.observe(&cfg.Exec, fmt.Sprintf("fig8 %s %d workers", name, w)))
+			}
+			dbt := timedDB4ML(opts.Runs, g, cfg)
 			gat := timed(opts.Runs, func() {
 				galois.PageRank(g, galois.Config{Workers: w, Epsilon: 0, MaxIters: iters})
 			})
@@ -159,7 +167,13 @@ func Fig8(opts Options) error {
 				float64(base1)/float64(dbt), float64(base2)/float64(gat))
 		}
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, dump := range dumps {
+		dump()
+	}
+	return nil
 }
 
 // Fig9 reproduces Figure 9: runtime and pair-wise accuracy of the three
@@ -222,6 +236,7 @@ func Fig9(opts Options) error {
 	header(opts.Out, fmt.Sprintf("Figure 9: isolation levels on gplus stand-in (%d nodes, %d iterations, %d workers)",
 		g.NumNodes(), iters, workers))
 	tw := tab(opts.Out, "straggler", "isolation", "avg worker runtime", "rank accuracy", "pairwise accuracy")
+	var dumps []func()
 	for _, withStraggler := range []bool{false, true} {
 		for _, lv := range levels {
 			cfg := pagerank.Config{
@@ -240,6 +255,8 @@ func Fig9(opts Options) error {
 			if withStraggler {
 				cfg.Exec.IterationHook = straggler
 			}
+			dumps = append(dumps, opts.observe(&cfg.Exec,
+				fmt.Sprintf("fig9 %s straggler=%v", lv.name, withStraggler)))
 			mgr, node, edge := loadPR(g)
 			res, err := pagerank.Run(mgr, node, edge, cfg)
 			if err != nil {
@@ -251,7 +268,13 @@ func Fig9(opts Options) error {
 				fmt.Sprintf("%.1f%%", pos*100), fmt.Sprintf("%.4f", pair))
 		}
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, dump := range dumps {
+		dump()
+	}
+	return nil
 }
 
 // Fig10a reproduces Figure 10(a): the share of time spent in transaction

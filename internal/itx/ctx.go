@@ -2,6 +2,7 @@ package itx
 
 import (
 	"db4ml/internal/isolation"
+	"db4ml/internal/obs"
 	"db4ml/internal/storage"
 )
 
@@ -13,8 +14,11 @@ type Ctx struct {
 	opts      isolation.Options
 	worker    int
 	iteration uint64
+	attempts  uint64
+	obs       *obs.Observer // nil when telemetry is disabled
 
 	reads     []readEntry
+	readIdx   map[*storage.IterativeRecord]int // rec -> index into reads
 	rowWrites []rowWrite
 	colWrites []colWrite
 	arena     []uint64 // backing storage for buffered row writes
@@ -54,6 +58,15 @@ func (c *Ctx) SetWorker(w int) { c.worker = w }
 // this sub-transaction so far (0 during the first attempt).
 func (c *Ctx) Iteration() uint64 { return c.iteration }
 
+// Attempts returns the number of finalized iteration attempts, committed or
+// rolled back. Unlike Iteration it advances under perpetual rollback, which
+// is what the executor's livelock backstop keys on.
+func (c *Ctx) Attempts() uint64 { return c.attempts }
+
+// SetObserver attaches a telemetry observer; the context reports rollback
+// causes (user-requested vs. staleness violation) through it. nil disables.
+func (c *Ctx) SetObserver(o *obs.Observer) { c.obs = o }
+
 // Options returns the isolation options in force.
 func (c *Ctx) Options() isolation.Options { return c.opts }
 
@@ -87,11 +100,42 @@ func (c *Ctx) Read(rec *storage.IterativeRecord, out storage.Payload) uint64 {
 // ReadCol reads a single column without copying the whole row — the SGD
 // hot path. Under bounded staleness the access is recorded like Read.
 func (c *Ctx) ReadCol(rec *storage.IterativeRecord, col int) uint64 {
+	bits := rec.LoadRelaxed(col)
 	if c.opts.Level == isolation.BoundedStaleness {
-		iter := rec.Latest()
-		c.reads = append(c.reads, readEntry{rec, iter})
+		// Stamp the read with the counter observed *after* the load: an
+		// install landing between the two then yields a stamp newer than
+		// the value, never older — stamping first would charge the already-
+		// observed install as staleness and roll the iteration back
+		// spuriously.
+		c.noteRead(rec, rec.Latest())
 	}
-	return rec.LoadRelaxed(col)
+	return bits
+}
+
+// noteRead records a bounded-staleness column read, keeping at most one
+// entry per record (with the oldest observed iteration — the strictest
+// bound, equivalent to validating every entry separately). Column loops
+// that sweep one record (SGD over the model row) hit the last-entry fast
+// path; arbitrary interleavings fall back to the index map. Either way
+// stalenessViolated is O(distinct records), not O(column reads).
+func (c *Ctx) noteRead(rec *storage.IterativeRecord, iter uint64) {
+	if n := len(c.reads); n > 0 && c.reads[n-1].rec == rec {
+		if iter < c.reads[n-1].iter {
+			c.reads[n-1].iter = iter
+		}
+		return
+	}
+	if c.readIdx == nil {
+		c.readIdx = make(map[*storage.IterativeRecord]int)
+	}
+	if j, ok := c.readIdx[rec]; ok {
+		if iter < c.reads[j].iter {
+			c.reads[j].iter = iter
+		}
+		return
+	}
+	c.readIdx[rec] = len(c.reads)
+	c.reads = append(c.reads, readEntry{rec, iter})
 }
 
 // Write buffers a full-row update of rec. The payload is copied into the
@@ -120,11 +164,18 @@ func (c *Ctx) WriteCol(rec *storage.IterativeRecord, col int, bits uint64) {
 // forced by a staleness violation, Section 4.1). A rolled-back iteration
 // leaves no trace and the sub-transaction repeats it.
 func (c *Ctx) Finalize(action Action) (converged, rolledBack bool) {
+	c.attempts++
 	if action == Rollback {
+		if c.obs != nil {
+			c.obs.Inc(c.worker, obs.UserRollbacks)
+		}
 		c.clear()
 		return false, true
 	}
 	if c.opts.Level == isolation.BoundedStaleness && c.stalenessViolated() {
+		if c.obs != nil {
+			c.obs.Inc(c.worker, obs.StalenessRollbacks)
+		}
 		c.clear()
 		return false, true
 	}
@@ -182,6 +233,9 @@ func (c *Ctx) installWrites() {
 
 func (c *Ctx) clear() {
 	c.reads = c.reads[:0]
+	if len(c.readIdx) > 0 {
+		clear(c.readIdx)
+	}
 	c.rowWrites = c.rowWrites[:0]
 	c.colWrites = c.colWrites[:0]
 	c.arena = c.arena[:0]

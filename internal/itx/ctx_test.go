@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"db4ml/internal/isolation"
+	"db4ml/internal/obs"
 	"db4ml/internal/storage"
 )
 
@@ -214,6 +215,127 @@ func TestCtxWorkerBookkeeping(t *testing.T) {
 	}
 	if ctx.Options().Level != isolation.Asynchronous {
 		t.Fatal("Options() wrong")
+	}
+}
+
+func TestAttemptsCountRollbacksToo(t *testing.T) {
+	ctx := NewCtx(asyncOpts(), 0)
+	ctx.Finalize(Commit)
+	ctx.Finalize(Rollback)
+	ctx.Finalize(Rollback)
+	ctx.Finalize(Commit)
+	if ctx.Iteration() != 2 {
+		t.Fatalf("Iteration = %d, want 2 (commits only)", ctx.Iteration())
+	}
+	if ctx.Attempts() != 4 {
+		t.Fatalf("Attempts = %d, want 4 (commits and rollbacks)", ctx.Attempts())
+	}
+}
+
+func TestAttemptsCountStalenessRollbacks(t *testing.T) {
+	rec := storage.NewIterativeRecord(storage.Payload{0}, 8)
+	ctx := NewCtx(boundedOpts(1, false), 0)
+	out := make(storage.Payload, 1)
+	ctx.Read(rec, out)
+	rec.Install(storage.Payload{1})
+	rec.Install(storage.Payload{2})
+	if _, rolledBack := ctx.Finalize(Commit); !rolledBack {
+		t.Fatal("expected staleness rollback")
+	}
+	if ctx.Attempts() != 1 || ctx.Iteration() != 0 {
+		t.Fatalf("Attempts = %d, Iteration = %d after staleness rollback", ctx.Attempts(), ctx.Iteration())
+	}
+}
+
+func TestReadColDedupsPerRecord(t *testing.T) {
+	a := storage.NewIterativeRecord(storage.Payload{1, 2, 3}, 8)
+	b := storage.NewIterativeRecord(storage.Payload{4, 5, 6}, 8)
+	ctx := NewCtx(boundedOpts(10, false), 0)
+	// A column sweep over one record must collapse to a single entry (the
+	// SGD hot path: one model row, thousands of column reads).
+	for i := 0; i < 100; i++ {
+		ctx.ReadCol(a, i%3)
+	}
+	if len(ctx.reads) != 1 {
+		t.Fatalf("reads = %d entries after 100 column reads of one record, want 1", len(ctx.reads))
+	}
+	// Interleaved records dedup through the index map, not just the
+	// last-entry fast path.
+	for i := 0; i < 50; i++ {
+		ctx.ReadCol(a, 0)
+		ctx.ReadCol(b, 0)
+	}
+	if len(ctx.reads) != 2 {
+		t.Fatalf("reads = %d entries for 2 interleaved records, want 2", len(ctx.reads))
+	}
+	// The dedup state resets with the iteration.
+	ctx.Finalize(Commit)
+	ctx.ReadCol(a, 0)
+	if len(ctx.reads) != 1 {
+		t.Fatalf("reads = %d after Finalize + one read, want 1", len(ctx.reads))
+	}
+}
+
+func TestReadColDedupKeepsOldestIteration(t *testing.T) {
+	rec := storage.NewIterativeRecord(storage.Payload{0}, 8)
+	ctx := NewCtx(boundedOpts(1, false), 0)
+	ctx.ReadCol(rec, 0) // stamped with iteration 0
+	rec.Install(storage.Payload{1})
+	rec.Install(storage.Payload{2})
+	ctx.ReadCol(rec, 0) // stamped with iteration 2, merged into the entry
+	if len(ctx.reads) != 1 {
+		t.Fatalf("reads = %d entries, want 1", len(ctx.reads))
+	}
+	if ctx.reads[0].iter != 0 {
+		t.Fatalf("deduped entry iter = %d, want 0 (the oldest observed — the strictest bound)", ctx.reads[0].iter)
+	}
+	// The merged entry still triggers the violation the first read earned.
+	if _, rolledBack := ctx.Finalize(Commit); !rolledBack {
+		t.Fatal("dedup lost the staleness violation of the older read")
+	}
+}
+
+// TestReadColStampsAfterLoad: the staleness stamp is taken after the value
+// load, so installs that land before the read cannot be double-counted
+// against the bound. (The old order — stamp, then load — charged an
+// install racing between the two as staleness the reader never suffered.)
+func TestReadColStampsAfterLoad(t *testing.T) {
+	rec := storage.NewIterativeRecord(storage.Payload{0}, 8)
+	// Advance through the column path (StoreRelaxed + AddCounter), the same
+	// way SGD publishes model updates that ReadCol observes.
+	for i := 1; i <= 5; i++ {
+		rec.StoreRelaxed(0, uint64(i))
+		rec.AddCounter()
+	}
+	ctx := NewCtx(boundedOpts(0, false), 0) // S = 0: any post-read install violates
+	if got := ctx.ReadCol(rec, 0); got != 5 {
+		t.Fatalf("ReadCol = %d, want the latest install", got)
+	}
+	if ctx.reads[0].iter != 5 {
+		t.Fatalf("read stamped iteration %d, want 5 (the state actually observed)", ctx.reads[0].iter)
+	}
+	if _, rolledBack := ctx.Finalize(Commit); rolledBack {
+		t.Fatal("spurious staleness rollback: no install happened after the read")
+	}
+}
+
+func TestCtxObserverCountsRollbackCauses(t *testing.T) {
+	o := obs.New()
+	o.BeginRun(1)
+	rec := storage.NewIterativeRecord(storage.Payload{0}, 8)
+	ctx := NewCtx(boundedOpts(0, false), 0)
+	ctx.SetObserver(o)
+	ctx.Finalize(Rollback) // user rollback
+	ctx.ReadCol(rec, 0)
+	rec.Install(storage.Payload{1})
+	if _, rolledBack := ctx.Finalize(Commit); !rolledBack {
+		t.Fatal("expected staleness rollback")
+	}
+	ctx.Finalize(Commit) // clean commit: no rollback counters
+	snap := o.Snapshot()
+	if snap.Counters.UserRollbacks != 1 || snap.Counters.StalenessRollbacks != 1 {
+		t.Fatalf("rollback split = user %d / staleness %d, want 1 / 1",
+			snap.Counters.UserRollbacks, snap.Counters.StalenessRollbacks)
 	}
 }
 

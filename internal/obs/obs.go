@@ -1,0 +1,314 @@
+// Package obs is the engine's telemetry layer: per-worker-sharded event
+// counters, low-frequency gauges, and a convergence time series, collected
+// while an uber-transaction runs and exported as a JSON-serializable
+// Snapshot. The paper's whole evaluation (Figures 8–10: per-worker
+// runtimes, commit/rollback behaviour, convergence progress) is built on
+// exactly these measurements; this package makes them observable mid-run
+// instead of only through the final exec.Stats.
+//
+// Design constraints:
+//
+//   - Disabled must be free. A nil *Observer is the off state; every hot
+//     path in the executor guards its telemetry with a single nil-check
+//     and touches nothing else.
+//   - Enabled must be cheap. Counters are sharded per worker (one padded
+//     cache line each) so concurrent workers never contend on a counter
+//     word; gauges and the convergence series are sampled at scheduling
+//     granularity, not per record access.
+//   - One Observer serves one Run at a time. The executor calls BeginRun,
+//     which resets all state; Snapshot may be called during or after the
+//     run (counters are atomics, the series is mutex-guarded).
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one per-worker event counter.
+type Counter int
+
+const (
+	// Executions counts Execute calls, including rolled-back iterations.
+	Executions Counter = iota
+	// Commits counts iterations whose updates were installed.
+	Commits
+	// UserRollbacks counts iterations discarded because Validate returned
+	// Rollback.
+	UserRollbacks
+	// StalenessRollbacks counts iterations discarded by a bounded-staleness
+	// violation at commit time.
+	StalenessRollbacks
+	// ForcedStopIters counts sub-transactions retired by the committed-
+	// iteration cap (Config.MaxIterations).
+	ForcedStopIters
+	// ForcedStopAttempts counts sub-transactions retired by the attempt cap
+	// (Config.MaxAttempts) — the livelock backstop for perpetual rollback.
+	ForcedStopAttempts
+	// Steals counts batches a worker popped from another region's queue
+	// because its own region was drained.
+	Steals
+	// Recirculations counts batches re-enqueued because they still held
+	// live sub-transactions after a pass.
+	Recirculations
+
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	"executions",
+	"commits",
+	"user_rollbacks",
+	"staleness_rollbacks",
+	"forced_stop_iterations",
+	"forced_stop_attempts",
+	"steals",
+	"recirculations",
+}
+
+func (c Counter) String() string {
+	if c >= 0 && c < numCounters {
+		return counterNames[c]
+	}
+	return "counter(?)"
+}
+
+// shard is one worker's counter block, padded so adjacent workers' shards
+// never share a cache line.
+type shard struct {
+	counts [numCounters]atomic.Uint64
+	busy   atomic.Int64 // processing nanoseconds
+	_      [128 - (numCounters*8+8)%128]byte
+}
+
+// gauge tracks a sampled quantity: last observed value, maximum, and the
+// running sum/count for the average.
+type gauge struct {
+	last atomic.Int64
+	max  atomic.Int64
+	sum  atomic.Int64
+	n    atomic.Int64
+}
+
+func (g *gauge) observe(v int64) {
+	g.last.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+	g.sum.Add(v)
+	g.n.Add(1)
+}
+
+func (g *gauge) reset() {
+	g.last.Store(0)
+	g.max.Store(0)
+	g.sum.Store(0)
+	g.n.Store(0)
+}
+
+func (g *gauge) snapshot() GaugeStats {
+	s := GaugeStats{Last: g.last.Load(), Max: g.max.Load(), Samples: g.n.Load()}
+	if s.Samples > 0 {
+		s.Avg = float64(g.sum.Load()) / float64(s.Samples)
+	}
+	return s
+}
+
+// maxSeriesLen bounds the convergence series; when full, the series is
+// decimated (every other sample dropped) so arbitrarily long runs keep a
+// bounded, progressively coarser trace.
+const maxSeriesLen = 2048
+
+// Observer collects one engine run's telemetry. The zero value is not
+// usable; call New. A nil *Observer means telemetry is disabled.
+type Observer struct {
+	start   time.Time
+	workers int
+	shards  []shard
+
+	queueDepth gauge // region queue length, sampled per scheduling pass
+	liveSubs   gauge // non-retired sub-transactions, sampled per pass
+
+	mu     sync.Mutex
+	series []Sample
+}
+
+// New returns an idle observer. The executor sizes it via BeginRun.
+func New() *Observer {
+	return &Observer{start: time.Now(), workers: 1, shards: make([]shard, 1)}
+}
+
+// BeginRun resets all telemetry and sizes the per-worker shards; the
+// executor calls it at the start of every Run.
+func (o *Observer) BeginRun(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	o.start = time.Now()
+	o.workers = workers
+	o.shards = make([]shard, workers)
+	o.queueDepth.reset()
+	o.liveSubs.reset()
+	o.mu.Lock()
+	o.series = nil
+	o.mu.Unlock()
+}
+
+func (o *Observer) shard(worker int) *shard {
+	if worker < 0 || worker >= len(o.shards) {
+		worker = 0
+	}
+	return &o.shards[worker]
+}
+
+// Inc bumps worker's counter c by one.
+func (o *Observer) Inc(worker int, c Counter) {
+	o.shard(worker).counts[c].Add(1)
+}
+
+// AddBusy charges nanos of processing time to worker.
+func (o *Observer) AddBusy(worker int, nanos int64) {
+	o.shard(worker).busy.Add(nanos)
+}
+
+// ObserveQueueDepth records a queue-length sample.
+func (o *Observer) ObserveQueueDepth(depth int) {
+	o.queueDepth.observe(int64(depth))
+}
+
+// ObserveLive records a live-sub-transaction count sample.
+func (o *Observer) ObserveLive(live int64) {
+	o.liveSubs.observe(live)
+}
+
+// RecordSample appends one point to the convergence series: the number of
+// still-live sub-transactions and the cumulative commit/rollback counts at
+// this moment. The executor calls it per synchronous round, or from a
+// periodic sampler under the queued schedulers.
+func (o *Observer) RecordSample(live int64, commits, rollbacks uint64) {
+	s := Sample{
+		ElapsedMicros: time.Since(o.start).Microseconds(),
+		Live:          live,
+		Commits:       commits,
+		Rollbacks:     rollbacks,
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.series) >= maxSeriesLen {
+		keep := o.series[:0]
+		for i := 0; i < len(o.series); i += 2 {
+			keep = append(keep, o.series[i])
+		}
+		o.series = keep
+	}
+	o.series = append(o.series, s)
+}
+
+// Sample is one convergence-series point.
+type Sample struct {
+	// ElapsedMicros is the time since the run started.
+	ElapsedMicros int64 `json:"elapsed_us"`
+	// Live is the number of not-yet-retired sub-transactions.
+	Live int64 `json:"live"`
+	// Commits and Rollbacks are cumulative counts at sample time.
+	Commits   uint64 `json:"commits"`
+	Rollbacks uint64 `json:"rollbacks"`
+	// CommitRate is the commit throughput (commits/s) since the previous
+	// sample, filled in by Snapshot.
+	CommitRate float64 `json:"commit_rate_per_sec"`
+}
+
+// CounterTotals aggregates the event counters across workers.
+type CounterTotals struct {
+	Executions           uint64 `json:"executions"`
+	Commits              uint64 `json:"commits"`
+	Rollbacks            uint64 `json:"rollbacks"` // user + staleness
+	UserRollbacks        uint64 `json:"user_rollbacks"`
+	StalenessRollbacks   uint64 `json:"staleness_rollbacks"`
+	ForcedStopIterations uint64 `json:"forced_stop_iterations"`
+	ForcedStopAttempts   uint64 `json:"forced_stop_attempts"`
+	Steals               uint64 `json:"steals"`
+	Recirculations       uint64 `json:"recirculations"`
+}
+
+// WorkerStats is one worker's share of the run — the paper's Figure 9
+// per-worker runtime breakdown.
+type WorkerStats struct {
+	Worker             int    `json:"worker"`
+	Executions         uint64 `json:"executions"`
+	Commits            uint64 `json:"commits"`
+	UserRollbacks      uint64 `json:"user_rollbacks"`
+	StalenessRollbacks uint64 `json:"staleness_rollbacks"`
+	Steals             uint64 `json:"steals"`
+	BusyNanos          int64  `json:"busy_ns"`
+}
+
+// GaugeStats summarizes a sampled gauge.
+type GaugeStats struct {
+	Last    int64   `json:"last"`
+	Max     int64   `json:"max"`
+	Avg     float64 `json:"avg"`
+	Samples int64   `json:"samples"`
+}
+
+// Snapshot is a self-contained export of one run's telemetry.
+type Snapshot struct {
+	Workers     int           `json:"workers"`
+	Counters    CounterTotals `json:"counters"`
+	PerWorker   []WorkerStats `json:"per_worker"`
+	QueueDepth  GaugeStats    `json:"queue_depth"`
+	LiveSubs    GaugeStats    `json:"live_subs"`
+	Convergence []Sample      `json:"convergence"`
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Snapshot aggregates the current telemetry. Safe to call concurrently
+// with a running engine (counters are read atomically; a snapshot taken
+// mid-run is a consistent-enough progress report, not a barrier).
+func (o *Observer) Snapshot() Snapshot {
+	snap := Snapshot{Workers: o.workers}
+	for w := range o.shards {
+		sh := &o.shards[w]
+		ws := WorkerStats{
+			Worker:             w,
+			Executions:         sh.counts[Executions].Load(),
+			Commits:            sh.counts[Commits].Load(),
+			UserRollbacks:      sh.counts[UserRollbacks].Load(),
+			StalenessRollbacks: sh.counts[StalenessRollbacks].Load(),
+			Steals:             sh.counts[Steals].Load(),
+			BusyNanos:          sh.busy.Load(),
+		}
+		snap.PerWorker = append(snap.PerWorker, ws)
+		snap.Counters.Executions += ws.Executions
+		snap.Counters.Commits += ws.Commits
+		snap.Counters.UserRollbacks += ws.UserRollbacks
+		snap.Counters.StalenessRollbacks += ws.StalenessRollbacks
+		snap.Counters.Steals += ws.Steals
+		snap.Counters.ForcedStopIterations += sh.counts[ForcedStopIters].Load()
+		snap.Counters.ForcedStopAttempts += sh.counts[ForcedStopAttempts].Load()
+		snap.Counters.Recirculations += sh.counts[Recirculations].Load()
+	}
+	snap.Counters.Rollbacks = snap.Counters.UserRollbacks + snap.Counters.StalenessRollbacks
+	snap.QueueDepth = o.queueDepth.snapshot()
+	snap.LiveSubs = o.liveSubs.snapshot()
+
+	o.mu.Lock()
+	snap.Convergence = append([]Sample(nil), o.series...)
+	o.mu.Unlock()
+	for i := 1; i < len(snap.Convergence); i++ {
+		cur, prev := &snap.Convergence[i], snap.Convergence[i-1]
+		if dt := cur.ElapsedMicros - prev.ElapsedMicros; dt > 0 {
+			cur.CommitRate = float64(cur.Commits-prev.Commits) / (float64(dt) / 1e6)
+		}
+	}
+	return snap
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterShardingAndAggregation(t *testing.T) {
+	o := New()
+	o.BeginRun(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				o.Inc(w, Executions)
+			}
+			o.Inc(w, Commits)
+			o.AddBusy(w, int64(w)*100)
+		}(w)
+	}
+	wg.Wait()
+	snap := o.Snapshot()
+	if snap.Counters.Executions != 4000 || snap.Counters.Commits != 4 {
+		t.Fatalf("totals = %+v", snap.Counters)
+	}
+	for w, ws := range snap.PerWorker {
+		if ws.Executions != 1000 {
+			t.Fatalf("worker %d executions = %d, want 1000", w, ws.Executions)
+		}
+		if ws.BusyNanos != int64(w)*100 {
+			t.Fatalf("worker %d busy = %d", w, ws.BusyNanos)
+		}
+	}
+}
+
+func TestWorkerIndexClamped(t *testing.T) {
+	o := New()
+	o.BeginRun(2)
+	o.Inc(-1, Commits)
+	o.Inc(99, Commits)
+	snap := o.Snapshot()
+	if snap.PerWorker[0].Commits != 2 {
+		t.Fatalf("out-of-range workers not clamped to shard 0: %+v", snap.PerWorker)
+	}
+}
+
+func TestBeginRunResets(t *testing.T) {
+	o := New()
+	o.BeginRun(2)
+	o.Inc(0, Commits)
+	o.ObserveQueueDepth(7)
+	o.RecordSample(5, 1, 0)
+	o.BeginRun(3)
+	snap := o.Snapshot()
+	if snap.Workers != 3 || snap.Counters.Commits != 0 ||
+		snap.QueueDepth.Samples != 0 || len(snap.Convergence) != 0 {
+		t.Fatalf("state survived BeginRun: %+v", snap)
+	}
+}
+
+func TestGaugeStats(t *testing.T) {
+	o := New()
+	o.BeginRun(1)
+	for _, v := range []int{3, 9, 6} {
+		o.ObserveQueueDepth(v)
+	}
+	g := o.Snapshot().QueueDepth
+	if g.Last != 6 || g.Max != 9 || g.Avg != 6 || g.Samples != 3 {
+		t.Fatalf("gauge = %+v", g)
+	}
+}
+
+func TestSeriesDecimationKeepsBoundedCoarserTrace(t *testing.T) {
+	o := New()
+	o.BeginRun(1)
+	n := maxSeriesLen*2 + 100
+	for i := 0; i < n; i++ {
+		o.RecordSample(int64(n-i), uint64(i), 0)
+	}
+	series := o.Snapshot().Convergence
+	if len(series) > maxSeriesLen {
+		t.Fatalf("series length %d exceeds cap %d", len(series), maxSeriesLen)
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i].Commits <= series[i-1].Commits {
+			t.Fatalf("decimation broke sample order at %d", i)
+		}
+	}
+	if last := series[len(series)-1]; last.Live != 1 {
+		t.Fatalf("newest sample lost by decimation: %+v", last)
+	}
+}
+
+func TestSnapshotCommitRate(t *testing.T) {
+	o := New()
+	o.BeginRun(1)
+	o.RecordSample(10, 0, 0)
+	time.Sleep(2 * time.Millisecond) // a measurable elapsed-time delta
+	o.RecordSample(0, 500, 0)
+	series := o.Snapshot().Convergence
+	if series[0].CommitRate != 0 {
+		t.Fatalf("first sample has a commit rate: %+v", series[0])
+	}
+	if series[1].CommitRate <= 0 {
+		t.Fatalf("commit rate not derived: %+v", series[1])
+	}
+}
+
+func TestCounterString(t *testing.T) {
+	if Executions.String() != "executions" || StalenessRollbacks.String() != "staleness_rollbacks" {
+		t.Fatal("counter names wrong")
+	}
+	if Counter(numCounters).String() != "counter(?)" {
+		t.Fatal("out-of-range counter name")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	o := New()
+	o.BeginRun(2)
+	o.Inc(1, StalenessRollbacks)
+	o.RecordSample(1, 0, 1)
+	js, err := o.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters.StalenessRollbacks != 1 || back.Counters.Rollbacks != 1 {
+		t.Fatalf("round trip lost counters: %+v", back.Counters)
+	}
+}

@@ -1,0 +1,92 @@
+package queue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLenBoundsUnderConcurrency pins the accuracy contract of the
+// approximate Len: while pushes and pops are in flight it must stay within
+// [0, totalPushed] — the size counter is updated after the linking CAS, so
+// the raw value can transiently undershoot but the clamp must hide that —
+// and once the queue is quiescent it must be exact.
+func TestLenBoundsUnderConcurrency(t *testing.T) {
+	q := New[int]()
+	const producers = 4
+	const consumers = 3
+	const perP = 4000
+	const keep = 500 // left in the queue at the end, per producer
+
+	var popped atomic.Int64
+	wantPops := int64(producers * (perP - keep))
+
+	var stop atomic.Bool
+	var samplerErr atomic.Pointer[string]
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		for !stop.Load() {
+			n := q.Len()
+			if n < 0 || n > producers*perP {
+				msg := "Len out of bounds"
+				samplerErr.Store(&msg)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				q.Push(p*perP + i)
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := popped.Load()
+				if n >= wantPops {
+					return
+				}
+				if !popped.CompareAndSwap(n, n+1) {
+					continue // another consumer claimed this pop
+				}
+				for {
+					if _, ok := q.Pop(); ok {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stop.Store(true)
+	samplerWG.Wait()
+	if msg := samplerErr.Load(); msg != nil {
+		t.Fatal(*msg)
+	}
+
+	// Quiescent: no push or pop in flight, so Len is exact.
+	if got, want := q.Len(), producers*keep; got != want {
+		t.Fatalf("quiescent Len = %d, want %d", got, want)
+	}
+	for i := 0; i < producers*keep; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("queue drained after %d pops, Len had promised %d", i, producers*keep)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue still non-empty past the promised length")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d on empty queue", q.Len())
+	}
+}

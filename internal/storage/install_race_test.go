@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestInstallWrapAroundSupersede hammers a small circular snapshot array
+// with concurrent installers so slots wrap around many times, then checks
+// the supersede rule: every install gets a distinct iteration, and each
+// slot ends up holding exactly the newest snapshot of its residue class —
+// a writer that lost the wrap-around race to a newer snapshot must have
+// dropped its write rather than clobbering it.
+func TestInstallWrapAroundSupersede(t *testing.T) {
+	const (
+		slots      = 4
+		writers    = 8
+		perW       = 1000
+		total      = writers * perW
+		readerProc = 2
+	)
+	rec := NewIterativeRecord(Payload{0, 0}, slots)
+
+	// payloads[iter] is the (two identical words) payload installed as
+	// snapshot iter, recorded by the writer that got that iteration.
+	payloads := make([]uint64, total+1)
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got := make(map[uint64]uint64, perW)
+			for i := 0; i < perW; i++ {
+				v := uint64(w*perW + i + 1)
+				iter := rec.Install(Payload{v, v})
+				got[iter] = v
+			}
+			mu.Lock()
+			for iter, v := range got {
+				if payloads[iter] != 0 {
+					mu.Unlock()
+					panic("duplicate iteration returned by Install")
+				}
+				payloads[iter] = v
+			}
+			mu.Unlock()
+		}(w)
+	}
+
+	// Concurrent readers: a seqlock snapshot must never be torn, so the two
+	// words are always equal no matter how the writers race.
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	var torn sync.Once
+	var tornVal [2]uint64
+	for r := 0; r < readerProc; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			out := make(Payload, 2)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec.ReadRecent(out)
+				if out[0] != out[1] {
+					torn.Do(func() { tornVal = [2]uint64{out[0], out[1]} })
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if tornVal != [2]uint64{} {
+		t.Fatalf("torn seqlock read: words %d != %d", tornVal[0], tornVal[1])
+	}
+
+	if rec.Latest() != total {
+		t.Fatalf("Latest = %d, want %d", rec.Latest(), total)
+	}
+	for iter := uint64(1); iter <= total; iter++ {
+		if payloads[iter] == 0 {
+			t.Fatalf("iteration %d never returned by any Install", iter)
+		}
+	}
+
+	// Each slot holds the newest snapshot of its residue class: the top
+	// `slots` iterations are readable with the payload their installer
+	// recorded, every older iteration has been superseded.
+	out := make(Payload, 2)
+	for r := 0; r < slots; r++ {
+		maxIter := uint64(total - (total-r)%slots)
+		if maxIter%slots != uint64(r) {
+			t.Fatalf("test bug: maxIter %d not in residue class %d", maxIter, r)
+		}
+		if !rec.ReadVersion(maxIter, out) {
+			t.Fatalf("newest snapshot %d of slot %d not readable", maxIter, r)
+		}
+		if out[0] != payloads[maxIter] || out[1] != payloads[maxIter] {
+			t.Fatalf("slot %d holds %v, want payload %d of iteration %d (superseded write leaked through)",
+				r, out, payloads[maxIter], maxIter)
+		}
+		if rec.ReadVersion(maxIter-slots, out) {
+			t.Fatalf("superseded snapshot %d still readable from slot %d", maxIter-slots, r)
+		}
+	}
+}
