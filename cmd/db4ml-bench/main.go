@@ -10,6 +10,13 @@
 //	db4ml-bench -exp all -workers 16 -runs 5
 //	db4ml-bench -exp fig12 -quick
 //	db4ml-bench -exp fig9 -quick -telemetry
+//	db4ml-bench -exp concurrent -telemetry
+//
+// With -telemetry, each instrumented job appends one labelled JSON
+// telemetry snapshot (per-worker counters, queue gauges, convergence
+// series) after its experiment's table; concurrent jobs get one snapshot
+// each, tagged with the job's label. An -exp all run executes every
+// experiment even when one fails and exits nonzero if any did.
 package main
 
 import (
@@ -21,11 +28,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig1, tab1, fig8, fig9, fig10a, fig10b, fig11, tab2, fig12, fig13, fig14, or all)")
+	exp := flag.String("exp", "", "experiment id (see -list), or all to run every experiment (failures are aggregated; exit is nonzero if any failed)")
 	workers := flag.Int("workers", 0, "maximum worker count for core sweeps (default 2×GOMAXPROCS, min 8)")
 	runs := flag.Int("runs", 0, "repetitions per timed configuration (default 3)")
 	quick := flag.Bool("quick", false, "shrink datasets and sweeps for a fast smoke run")
-	telemetry := flag.Bool("telemetry", false, "attach an engine observer to selected configurations and print their telemetry snapshots (JSON) after each experiment")
+	telemetry := flag.Bool("telemetry", false, "attach an engine observer to selected configurations and print one labelled telemetry snapshot (JSON) per job after each experiment")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 

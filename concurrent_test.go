@@ -1,0 +1,214 @@
+package db4ml
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"db4ml/internal/oltpbench"
+)
+
+func loadCounters(t *testing.T, db *DB, name string, n int) *Table {
+	t.Helper()
+	tbl, err := db.CreateTable(name,
+		Column{Name: "ID", Type: Int64},
+		Column{Name: "Value", Type: Float64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]Payload, n)
+	for i := range rows {
+		p := tbl.Schema().NewPayload()
+		p.SetInt64(0, int64(i))
+		p.SetFloat64(1, 0)
+		rows[i] = p
+	}
+	if err := db.BulkLoad(tbl, rows); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func submitCounterJob(t *testing.T, db *DB, tbl *Table, n int, target float64, label string, o *Observer) *JobHandle {
+	t.Helper()
+	subs := make([]IterativeTransaction, n)
+	for i := range subs {
+		subs[i] = &incSub{tbl: tbl, row: RowID(i), target: target}
+	}
+	h, err := db.SubmitML(context.Background(), MLRun{
+		Isolation: MLOptions{Level: Asynchronous},
+		Label:     label,
+		BatchSize: 8,
+		Attach:    []Attachment{{Table: tbl}},
+		Subs:      subs,
+		Observer:  o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestSubmitMLConcurrentJobsWithOLTP is the headline scenario of the
+// persistent engine: one DB, whose pool was started once at Open, drives
+// two ML uber-transactions concurrently while a SmallBank OLTP workload
+// hammers unrelated tables of the same database. Both jobs must converge
+// with exact per-job stats and disjoint, correctly labelled telemetry.
+func TestSubmitMLConcurrentJobsWithOLTP(t *testing.T) {
+	db := Open(WithWorkers(4))
+	defer db.Close()
+
+	const nA, targetA = 48, 9.0
+	const nB, targetB = 32, 6.0
+	tblA := loadCounters(t, db, "A", nA)
+	tblB := loadCounters(t, db, "B", nB)
+
+	bank, err := oltpbench.Setup(db.Manager(), 64, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := bank.TotalBalance()
+
+	oa, ob := NewObserver(), NewObserver()
+	ha := submitCounterJob(t, db, tblA, nA, targetA, "job-a", oa)
+	hb := submitCounterJob(t, db, tblB, nB, targetB, "job-b", ob)
+
+	// The classical side keeps committing while both ML jobs are in flight.
+	var wg sync.WaitGroup
+	var oltp oltpbench.Stats
+	var oltpErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		oltp, oltpErr = bank.Run(4, 200, oltpbench.Mix{TransferPct: 100}, 11)
+	}()
+
+	statsA, errA := ha.Wait()
+	statsB, errB := hb.Wait()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("job errors: a=%v b=%v", errA, errB)
+	}
+	if oltpErr != nil {
+		t.Fatalf("oltp: %v", oltpErr)
+	}
+
+	// Per-job stats are disjoint and exact: every sub commits once per
+	// increment, nothing bleeds between jobs.
+	if statsA.Commits != nA*uint64(targetA) {
+		t.Fatalf("job-a commits = %d, want %d", statsA.Commits, nA*int(targetA))
+	}
+	if statsB.Commits != nB*uint64(targetB) {
+		t.Fatalf("job-b commits = %d, want %d", statsB.Commits, nB*int(targetB))
+	}
+
+	// Telemetry snapshots are per job: right label, right commit count.
+	snapA, snapB := oa.Snapshot(), ob.Snapshot()
+	if snapA.Job != "job-a" || snapB.Job != "job-b" {
+		t.Fatalf("snapshot labels %q/%q", snapA.Job, snapB.Job)
+	}
+	if snapA.Counters.Commits != statsA.Commits || snapB.Counters.Commits != statsB.Commits {
+		t.Fatalf("telemetry bled between jobs: a=%d/%d b=%d/%d",
+			snapA.Counters.Commits, statsA.Commits, snapB.Counters.Commits, statsB.Commits)
+	}
+
+	// Both results are published and correct.
+	for i := 0; i < nA; i++ {
+		if p, _ := db.Begin().Read(tblA, RowID(i)); p.Float64(1) != targetA {
+			t.Fatalf("tblA row %d = %v", i, p.Float64(1))
+		}
+	}
+	for i := 0; i < nB; i++ {
+		if p, _ := db.Begin().Read(tblB, RowID(i)); p.Float64(1) != targetB {
+			t.Fatalf("tblB row %d = %v", i, p.Float64(1))
+		}
+	}
+
+	// The OLTP side committed everything and transfers conserved money.
+	if oltp.Committed != 4*200 {
+		t.Fatalf("oltp committed %d of %d", oltp.Committed, 4*200)
+	}
+	if after := bank.TotalBalance(); after != before {
+		t.Fatalf("transfer mix leaked money: %v -> %v", before, after)
+	}
+}
+
+// TestSubmitMLContextCancel: cancelling the context aborts the
+// uber-transaction — the job stops early, Wait reports the context error,
+// and no updates become visible.
+func TestSubmitMLContextCancel(t *testing.T) {
+	db := Open(WithWorkers(2))
+	defer db.Close()
+	tbl := loadCounters(t, db, "C", 4)
+
+	subs := make([]IterativeTransaction, 4)
+	for i := range subs {
+		subs[i] = &incSub{tbl: tbl, row: RowID(i), target: 1 << 40}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	h, err := db.SubmitML(ctx, MLRun{
+		Isolation: MLOptions{Level: Asynchronous},
+		BatchSize: 1,
+		Attach:    []Attachment{{Table: tbl}},
+		Subs:      subs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h.Stats().Commits == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if _, err := h.Wait(); err != context.Canceled {
+		t.Fatalf("Wait after ctx cancel = %v, want context.Canceled", err)
+	}
+	// Aborted: the table still reads its bulk-loaded zeros.
+	if p, _ := db.Begin().Read(tbl, 0); p.Float64(1) != 0 {
+		t.Fatalf("cancelled run leaked writes: row 0 = %v", p.Float64(1))
+	}
+	// The table is reusable by a fresh run.
+	if _, err := db.RunML(MLRun{
+		Isolation: MLOptions{Level: Asynchronous},
+		Attach:    []Attachment{{Table: tbl}},
+		Subs:      []IterativeTransaction{&incSub{tbl: tbl, row: 0, target: 2}},
+	}); err != nil {
+		t.Fatalf("table unusable after cancelled run: %v", err)
+	}
+}
+
+// TestDBCloseDrainsAndRejects: Close waits for in-flight jobs, then
+// further submissions fail with ErrClosed.
+func TestDBCloseDrainsAndRejects(t *testing.T) {
+	db := Open(WithWorkers(2), WithRegions(2))
+	tbl := loadCounters(t, db, "D", 8)
+	subs := make([]IterativeTransaction, 8)
+	for i := range subs {
+		subs[i] = &incSub{tbl: tbl, row: RowID(i), target: 5}
+	}
+	h, err := db.SubmitML(context.Background(), MLRun{
+		Isolation: MLOptions{Level: Asynchronous},
+		BatchSize: 2,
+		Attach:    []Attachment{{Table: tbl}},
+		Subs:      subs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if stats, err := h.Wait(); err != nil || stats.Commits != 8*5 {
+		t.Fatalf("drained job: stats=%+v err=%v", stats, err)
+	}
+	if _, err := db.SubmitML(context.Background(), MLRun{Isolation: MLOptions{Level: Asynchronous}}); err != ErrClosed {
+		t.Fatalf("SubmitML after Close = %v, want ErrClosed", err)
+	}
+	if _, err := db.RunML(MLRun{Isolation: MLOptions{Level: Asynchronous}}); err != ErrClosed {
+		t.Fatalf("RunML after Close = %v, want ErrClosed", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal("Close not idempotent:", err)
+	}
+}

@@ -23,7 +23,9 @@
 package db4ml
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"db4ml/internal/exec"
 	"db4ml/internal/isolation"
@@ -104,16 +106,79 @@ const (
 // in-flight iterative version of a written row.
 var ErrConflict = txn.ErrConflict
 
+// ErrClosed is returned by SubmitML and RunML after DB.Close.
+var ErrClosed = fmt.Errorf("db4ml: database closed")
+
+// ErrJobCancelled is reported by JobHandle.Wait when the job was cancelled
+// (via JobHandle.Cancel; a context cancellation surfaces the context's
+// error instead).
+var ErrJobCancelled = exec.ErrJobCancelled
+
 // DB is one database instance: a set of ML-tables sharing a transaction
-// manager and timestamp oracle.
+// manager, a timestamp oracle, and one persistent execution pool. The pool's
+// workers — stand-ins for the paper's core-pinned threads — start at Open
+// and serve every ML run submitted to this DB, interleaving concurrent
+// uber-transactions; Close drains and stops them.
 type DB struct {
 	mgr    *txn.Manager
 	tables map[string]*Table
+	pool   *exec.Pool
+
+	mu     sync.Mutex
+	closed bool
 }
 
-// Open creates an empty database.
-func Open() *DB {
-	return &DB{mgr: txn.NewManager(), tables: make(map[string]*Table)}
+// Option configures Open.
+type Option func(*openConfig)
+
+type openConfig struct {
+	workers int
+	regions int
+}
+
+// WithWorkers sets the size of the database's worker pool (default
+// GOMAXPROCS).
+func WithWorkers(n int) Option { return func(c *openConfig) { c.workers = n } }
+
+// WithRegions overrides the simulated NUMA region count of the pool's
+// topology (default: the paper's 8-cores-per-region layout). The region
+// count is clamped to the worker count so every region has a worker.
+func WithRegions(n int) Option { return func(c *openConfig) { c.regions = n } }
+
+// Open creates an empty database and starts its worker pool. Call Close
+// when done to stop the workers.
+func Open(opts ...Option) *DB {
+	var oc openConfig
+	for _, o := range opts {
+		o(&oc)
+	}
+	cfg := exec.Config{Workers: oc.workers}
+	if oc.regions > 0 {
+		cfg.Topology = numa.NewTopology(oc.regions, cfg.Resolved().Workers)
+	}
+	pool, err := exec.NewPool(cfg)
+	if err != nil {
+		// Unreachable: NewTopology clamps regions to the worker count, so
+		// the only validated constraint always holds.
+		panic("db4ml: " + err.Error())
+	}
+	return &DB{mgr: txn.NewManager(), tables: make(map[string]*Table), pool: pool}
+}
+
+// Close drains the in-flight ML jobs and stops the worker pool. Further
+// SubmitML/RunML calls fail with ErrClosed; OLTP transactions and reads
+// keep working. Close is idempotent.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	pool := db.pool
+	db.mu.Unlock()
+	pool.Close()
+	return nil
 }
 
 // CreateTable adds a new, empty ML-table.
@@ -175,10 +240,15 @@ type Attachment struct {
 type MLRun struct {
 	// Isolation selects the synchronization scheme.
 	Isolation MLOptions
-	// Workers is the number of worker goroutines (default GOMAXPROCS).
+	// Label names the run in telemetry snapshots (default "job-<id>").
+	Label string
+	// Workers, when nonzero, runs the job on a throwaway private pool of
+	// that many workers instead of the database's shared pool. Zero — the
+	// recommended setting — uses the shared pool, where concurrent ML runs
+	// interleave on one set of cores.
 	Workers int
-	// Regions overrides the simulated NUMA region count (default: the
-	// paper's 8-cores-per-region layout).
+	// Regions, like Workers, forces a throwaway private pool with that
+	// simulated NUMA region count.
 	Regions int
 	// BatchSize is the scheduling batch size (default 256).
 	BatchSize int
@@ -207,14 +277,63 @@ type MLRun struct {
 	ConvergeTogether bool
 }
 
-// RunML executes one ML algorithm as an uber-transaction: it installs
-// iterative records on the attached tables, drives the sub-transactions to
-// convergence, and atomically publishes the result. On error the
-// uber-transaction is aborted and the tables are untouched.
-func (db *DB) RunML(run MLRun) (ExecStats, error) {
+// JobHandle tracks one in-flight ML run submitted with SubmitML.
+type JobHandle struct {
+	job   *exec.Job
+	done  chan struct{}
+	stats ExecStats
+	err   error
+}
+
+// Wait blocks until the job finished (including the uber-transaction's
+// commit or abort) and returns its final stats. Stats are meaningful even
+// on error: a cancelled job reports the work done before the cancellation
+// took effect.
+func (h *JobHandle) Wait() (ExecStats, error) {
+	<-h.done
+	return h.stats, h.err
+}
+
+// Cancel asks the job to stop: its remaining sub-transactions retire at
+// the next scheduling point, the uber-transaction aborts (no updates
+// become visible), and Wait reports ErrJobCancelled.
+func (h *JobHandle) Cancel() { h.job.Cancel() }
+
+// Stats returns a live snapshot while the job runs, or the final stats
+// once it finished.
+func (h *JobHandle) Stats() ExecStats {
+	select {
+	case <-h.done:
+		return h.stats
+	default:
+		return h.job.Stats()
+	}
+}
+
+// Done returns a channel closed when the job (and its commit/abort) is
+// finished.
+func (h *JobHandle) Done() <-chan struct{} { return h.done }
+
+// SubmitML starts one ML algorithm as an uber-transaction on the
+// database's shared worker pool and returns without waiting: it installs
+// iterative records on the attached tables, then drives the
+// sub-transactions to convergence concurrently with any other in-flight
+// jobs. On success the result is atomically published; on error or
+// cancellation the uber-transaction is aborted and the tables are
+// untouched. Cancelling ctx cancels the job (Wait then reports ctx's
+// error).
+func (db *DB) SubmitML(ctx context.Context, run MLRun) (*JobHandle, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	pool := db.pool
+	db.mu.Unlock()
+
 	u, err := itx.BeginUber(db.mgr, run.Isolation)
 	if err != nil {
-		return ExecStats{}, err
+		return nil, err
 	}
 	for _, a := range run.Attach {
 		v := a.Versions
@@ -223,23 +342,83 @@ func (db *DB) RunML(run MLRun) (ExecStats, error) {
 		}
 		if err := u.Attach(a.Table, a.Rows, v); err != nil {
 			_ = u.Abort()
-			return ExecStats{}, err
+			return nil, err
 		}
 	}
-	cfg := exec.Config{
-		Workers:          run.Workers,
+
+	// Legacy per-run sizing: a throwaway private pool, closed when the job
+	// finishes.
+	private := false
+	if run.Workers > 0 || run.Regions > 0 {
+		cfg := exec.Config{Workers: run.Workers}
+		if run.Regions > 0 {
+			cfg.Topology = numa.NewTopology(run.Regions, cfg.Resolved().Workers)
+		}
+		p, err := exec.NewPool(cfg)
+		if err != nil {
+			_ = u.Abort()
+			return nil, err
+		}
+		pool, private = p, true
+	}
+
+	job, err := pool.Submit(run.Subs, run.Isolation, exec.JobConfig{
 		BatchSize:        run.BatchSize,
 		MaxIterations:    run.MaxIterations,
+		RegionOf:         run.RegionOf,
 		IterationHook:    run.IterationHook,
 		ConvergeTogether: run.ConvergeTogether,
 		Observer:         run.Observer,
+		Label:            run.Label,
+	})
+	if err != nil {
+		if private {
+			pool.Close()
+		}
+		_ = u.Abort()
+		if err == exec.ErrPoolClosed {
+			err = ErrClosed
+		}
+		return nil, err
 	}
-	if run.Regions > 0 {
-		cfg.Topology = numa.NewTopology(run.Regions, cfg.Resolved().Workers)
+
+	h := &JobHandle{job: job, done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		if ctx.Done() != nil {
+			select {
+			case <-ctx.Done():
+				job.Cancel()
+			case <-job.Done():
+			}
+		}
+		stats, err := job.Wait()
+		if private {
+			pool.Close()
+		}
+		h.stats = stats
+		if err != nil {
+			_ = u.Abort()
+			if err == exec.ErrJobCancelled && ctx.Err() != nil {
+				err = ctx.Err()
+			}
+			h.err = err
+			return
+		}
+		if _, err := u.Commit(); err != nil {
+			h.err = err
+		}
+	}()
+	return h, nil
+}
+
+// RunML executes one ML algorithm as an uber-transaction and blocks until
+// it finished — SubmitML followed by Wait. On error the uber-transaction
+// is aborted and the tables are untouched.
+func (db *DB) RunML(run MLRun) (ExecStats, error) {
+	h, err := db.SubmitML(context.Background(), run)
+	if err != nil {
+		return ExecStats{}, err
 	}
-	stats := exec.New(cfg, run.Isolation).Run(run.Subs, run.RegionOf)
-	if _, err := u.Commit(); err != nil {
-		return stats, err
-	}
-	return stats, nil
+	return h.Wait()
 }

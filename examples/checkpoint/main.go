@@ -63,6 +63,7 @@ func main() {
 	}
 	defer f.Close()
 	db2 := db4ml.Open()
+	defer db2.Close()
 	restored, err := checkpoint.Load(f, db2.Manager())
 	if err != nil {
 		log.Fatal(err)

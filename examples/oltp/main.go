@@ -54,6 +54,7 @@ func (s *smoother) Validate(ctx *db4ml.Ctx) db4ml.Action {
 
 func main() {
 	db := db4ml.Open()
+	defer db.Close()
 	accounts, err := db.CreateTable("Account",
 		db4ml.Column{Name: "ID", Type: db4ml.Int64},
 		db4ml.Column{Name: "Balance", Type: db4ml.Float64})

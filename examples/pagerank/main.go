@@ -72,6 +72,7 @@ func main() {
 	// A small scale-free graph standing in for a web/social graph.
 	g := graph.BarabasiAlbert(2000, 8, 42)
 	db := db4ml.Open()
+	defer db.Close()
 
 	node, err := db.CreateTable("Node",
 		db4ml.Column{Name: "NodeID", Type: db4ml.Int64},

@@ -45,6 +45,7 @@ func (h *halver) Validate(ctx *db4ml.Ctx) db4ml.Action {
 
 func main() {
 	db := db4ml.Open()
+	defer db.Close()
 
 	// 1. Create an ML-table and bulk load it.
 	values, err := db.CreateTable("Values",

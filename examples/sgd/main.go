@@ -85,6 +85,7 @@ func main() {
 	svm.Shuffle(train, 7)
 
 	db := db4ml.Open()
+	defer db.Close()
 	params, err := db.CreateTable("GlobalParameter",
 		db4ml.Column{Name: "ParamID", Type: db4ml.Int64},
 		db4ml.Column{Name: "Value", Type: db4ml.Float64})

@@ -1,22 +1,24 @@
 // Package exec implements DB4ML's execution engine for iterative
-// sub-transactions (Section 4.1 and Figure 2). Sub-transactions are
-// pre-grouped into batches (Section 5.2) that circulate through per-NUMA-
-// region lock-free queues; worker goroutines — stand-ins for the paper's
-// core-pinned threads — pop a batch from their region's queue, run one
-// iteration of every live sub-transaction in it, and re-enqueue the batch
-// until it has converged batch-wise.
+// sub-transactions (Section 4.1 and Figure 2). The engine is a persistent
+// Pool of worker goroutines — stand-ins for the paper's core-pinned
+// threads — pinned to simulated NUMA regions and started once; each
+// uber-transaction submitted to the pool becomes a Job whose
+// sub-transactions are pre-grouped into batches (Section 5.2) that
+// circulate through the job's per-region lock-free queues. Workers
+// round-robin across the jobs active in their region, so many
+// uber-transactions make progress concurrently on one set of cores.
 //
 // The synchronous isolation level replaces queue circulation with a
-// per-iteration barrier (Section 5.1): every round, workers first execute
-// all live sub-transactions (writes buffered), synchronize, then validate
-// and install — a parallelized bulk-synchronous execution with no version
-// checking at all.
+// cooperative per-job barrier (Section 5.1): every round, workers first
+// execute all live sub-transactions (writes buffered), then — once every
+// batch of the round arrived — validate and install. The barrier is
+// per-job state, so a synchronous job never stalls the pool's other jobs.
 package exec
 
 import (
+	"fmt"
 	"math"
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -24,7 +26,6 @@ import (
 	"db4ml/internal/itx"
 	"db4ml/internal/numa"
 	"db4ml/internal/obs"
-	"db4ml/internal/queue"
 )
 
 // DefaultBatchSize is the paper's optimal batch size (Figure 10(b)).
@@ -43,7 +44,16 @@ const defaultAttemptFactor = 64
 // round instead).
 const sampleInterval = 2 * time.Millisecond
 
-// Config tunes the executor.
+func deriveMaxAttempts(maxIterations uint64) uint64 {
+	if maxIterations > math.MaxUint64/defaultAttemptFactor {
+		return math.MaxUint64
+	}
+	return maxIterations * defaultAttemptFactor
+}
+
+// Config tunes the executor. Workers, Topology, and DisableWorkStealing
+// describe the pool; the remaining fields describe one job and are carried
+// into its JobConfig by the convenience runners.
 type Config struct {
 	// Workers is the number of worker goroutines; defaults to
 	// runtime.GOMAXPROCS(0).
@@ -66,10 +76,10 @@ type Config struct {
 	// that never advances) commits nothing and would otherwise circulate
 	// forever. Defaults to MaxIterations×64 when MaxIterations is set.
 	MaxAttempts uint64
-	// DisableWorkStealing turns off the queued schedulers' cross-region
-	// work stealing, strictly confining every batch to the workers of its
-	// home region. Useful for locality measurements; costs idle cores when
-	// regionOf skews work toward few regions.
+	// DisableWorkStealing turns off the pool's cross-region work stealing,
+	// strictly confining every batch to the workers of its home region.
+	// Useful for locality measurements; costs idle cores when regionOf
+	// skews work toward few regions.
 	DisableWorkStealing bool
 	// Observer, when non-nil, collects run telemetry (per-worker counters,
 	// queue-depth gauges, a convergence time series; see internal/obs).
@@ -89,6 +99,9 @@ type Config struct {
 	// for DB4ML's synchronous PageRank to reproduce Galois' exact
 	// fixpoint (Section 7.2.1).
 	ConvergeTogether bool
+	// Label names the run's job in telemetry snapshots; defaults to
+	// "job-<id>".
+	Label string
 }
 
 func (c Config) withDefaults() Config {
@@ -102,11 +115,7 @@ func (c Config) withDefaults() Config {
 		c.BatchSize = DefaultBatchSize
 	}
 	if c.MaxAttempts == 0 && c.MaxIterations > 0 {
-		if c.MaxIterations > math.MaxUint64/defaultAttemptFactor {
-			c.MaxAttempts = math.MaxUint64
-		} else {
-			c.MaxAttempts = c.MaxIterations * defaultAttemptFactor
-		}
+		c.MaxAttempts = deriveMaxAttempts(c.MaxIterations)
 	}
 	return c
 }
@@ -115,7 +124,35 @@ func (c Config) withDefaults() Config {
 // callers can see the worker count and topology a Run will actually use.
 func (c Config) Resolved() Config { return c.withDefaults() }
 
-// Stats reports what one Run did.
+// Validate rejects configurations that could not execute: a topology with
+// more regions than workers leaves at least one region without any worker,
+// and batches routed there starve forever once work stealing is disabled.
+// Defaults are applied before checking, so a zero Config is valid.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Topology.Regions > c.Workers {
+		return fmt.Errorf(
+			"exec: %d workers cannot serve %d NUMA regions: a region would have no worker and its queue would starve once work stealing is disabled",
+			c.Workers, c.Topology.Regions)
+	}
+	return nil
+}
+
+// jobConfig extracts the per-job fields of c for a Pool submission.
+func (c Config) jobConfig(regionOf func(i int) int) JobConfig {
+	return JobConfig{
+		BatchSize:        c.BatchSize,
+		MaxIterations:    c.MaxIterations,
+		MaxAttempts:      c.MaxAttempts,
+		RegionOf:         regionOf,
+		IterationHook:    c.IterationHook,
+		ConvergeTogether: c.ConvergeTogether,
+		Observer:         c.Observer,
+		Label:            c.Label,
+	}
+}
+
+// Stats reports what one job did.
 type Stats struct {
 	// Executions counts Execute calls (including rolled-back iterations).
 	Executions uint64
@@ -132,78 +169,16 @@ type Stats struct {
 	Steals uint64
 	// Rounds counts barrier rounds (synchronous level only).
 	Rounds uint64
-	// Elapsed is the wall-clock duration of the Run.
+	// Elapsed is the wall-clock duration of the job.
 	Elapsed time.Duration
 	// AvgWorkerBusy and MaxWorkerBusy aggregate the time each worker
 	// spent actually processing sub-transactions (excluding idle
 	// spinning), the per-worker runtime Figure 9 reports. The average is
 	// taken over workers with nonzero busy time: workers that never
-	// received a shard or batch (more workers than work) would otherwise
-	// dilute it toward zero.
+	// received a batch (more workers than work) would otherwise dilute it
+	// toward zero.
 	AvgWorkerBusy time.Duration
 	MaxWorkerBusy time.Duration
-}
-
-// Engine executes the sub-transactions of one uber-transaction.
-type Engine struct {
-	cfg  Config
-	opts isolation.Options
-}
-
-// New builds an engine for the given configuration and isolation options.
-func New(cfg Config, opts isolation.Options) *Engine {
-	return &Engine{cfg: cfg.withDefaults(), opts: opts}
-}
-
-// sched is one scheduled sub-transaction with its reusable context.
-type sched struct {
-	sub       itx.Sub
-	ctx       *itx.Ctx
-	begun     bool
-	converged bool
-	action    itx.Action // sync level: verdict carried between phases
-}
-
-// batch groups sub-transactions for scheduling; the queues hold batches,
-// not individual sub-transactions (Section 5.2).
-type batch struct {
-	subs []*sched
-	home int   // region whose queue the batch recirculates through
-	live int64 // non-converged subs in this batch; owned by the processing worker
-}
-
-// Run drives subs until every one of them converged (or hit
-// MaxIterations). regionOf assigns each sub-transaction (by its index) to
-// a NUMA region for queue routing and should match the data partitioning;
-// nil distributes round-robin. Run blocks until completion.
-func (e *Engine) Run(subs []itx.Sub, regionOf func(i int) int) Stats {
-	start := time.Now()
-	if e.cfg.Observer != nil {
-		e.cfg.Observer.BeginRun(e.cfg.Workers)
-	}
-	regions := e.cfg.Topology.Regions
-	if regionOf == nil {
-		regionOf = func(i int) int { return i % regions }
-	}
-	perRegion := make([][]*sched, regions)
-	for i, sub := range subs {
-		s := &sched{sub: sub, ctx: itx.NewCtx(e.opts, -1)}
-		s.ctx.SetObserver(e.cfg.Observer)
-		r := regionOf(i) % regions
-		if r < 0 {
-			r = 0
-		}
-		perRegion[r] = append(perRegion[r], s)
-	}
-
-	var stats Stats
-	if e.opts.Level == isolation.Synchronous {
-		e.runSync(perRegion, &stats)
-	} else {
-		e.runQueued(perRegion, &stats)
-	}
-	stats.Elapsed = time.Since(start)
-	return stats
 }
 
 // counters aggregates hot-path statistics with atomics.
@@ -244,335 +219,74 @@ func (c *counters) into(stats *Stats) {
 	}
 }
 
-// runQueued is the asynchronous / bounded-staleness scheduler: batches
-// circulate through per-region lock-free queues until batch-wise
-// convergence (step 4/5 of Figure 2). A worker whose region queue is
-// drained steals batches from other regions' queues instead of idling
-// (unless Config.DisableWorkStealing); stolen batches are pushed back to
-// their home queue so data affinity is restored as soon as the home
-// region's workers catch up.
-func (e *Engine) runQueued(perRegion [][]*sched, stats *Stats) {
-	regions := len(perRegion)
-	queues := make([]*queue.Queue[*batch], regions)
-	var remaining atomic.Int64
-	for r := range queues {
-		queues[r] = queue.New[*batch]()
-		for lo := 0; lo < len(perRegion[r]); lo += e.cfg.BatchSize {
-			hi := lo + e.cfg.BatchSize
-			if hi > len(perRegion[r]) {
-				hi = len(perRegion[r])
-			}
-			b := &batch{subs: perRegion[r][lo:hi], home: r, live: int64(hi - lo)}
-			remaining.Add(b.live)
-			queues[r].Push(b)
-		}
-	}
-
-	cnt := newCounters(e.cfg.Workers)
-	o := e.cfg.Observer
-	stopSampler := e.startSampler(o, cnt, &remaining)
-
-	var wg sync.WaitGroup
-	for w := 0; w < e.cfg.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			region := e.cfg.Topology.RegionOf(w)
-			q := queues[region]
-			steal := !e.cfg.DisableWorkStealing && regions > 1
-			for remaining.Load() > 0 {
-				b, ok := q.Pop()
-				if !ok && steal {
-					// Local queue drained: fall back to stealing a batch
-					// from another region so a skewed regionOf does not
-					// leave this core spinning until global completion.
-					for off := 1; off < regions; off++ {
-						if b, ok = queues[(region+off)%regions].Pop(); ok {
-							cnt.steals.Add(1)
-							if o != nil {
-								o.Inc(w, obs.Steals)
-							}
-							break
-						}
-					}
-				}
-				if !ok {
-					// Everything is drained or in flight on other workers;
-					// yield instead of spinning hard.
-					runtime.Gosched()
-					continue
-				}
-				if o != nil {
-					o.ObserveQueueDepth(queues[b.home].Len())
-					o.ObserveLive(remaining.Load())
-				}
-				t0 := time.Now()
-				committed := e.processBatch(w, b, cnt, &remaining)
-				busy := int64(time.Since(t0))
-				cnt.busy[w].Add(busy)
-				if o != nil {
-					o.AddBusy(w, busy)
-				}
-				if b.live > 0 {
-					// Always recirculate through the batch's home queue:
-					// a stolen batch returns to its own region as soon as
-					// this pass ends, so stealing never migrates data
-					// affinity permanently.
-					queues[b.home].Push(b)
-					if o != nil {
-						o.Inc(w, obs.Recirculations)
-					}
-					if committed == 0 {
-						// Every live sub-transaction rolled back (e.g.
-						// SSP-throttled behind a straggler): back off
-						// instead of spin-retrying at full speed.
-						time.Sleep(50 * time.Microsecond)
-					}
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	stopSampler()
-	cnt.into(stats)
+// sched is one scheduled sub-transaction with its reusable context.
+type sched struct {
+	sub       itx.Sub
+	ctx       *itx.Ctx
+	begun     bool
+	converged bool
+	action    itx.Action // sync level: verdict carried between phases
 }
 
-// startSampler launches the periodic convergence sampler when telemetry is
-// enabled and returns the function that stops it and records the final
-// sample. With a nil observer it does nothing.
-func (e *Engine) startSampler(o *obs.Observer, cnt *counters, remaining *atomic.Int64) func() {
-	if o == nil {
-		return func() {}
-	}
-	record := func() {
-		o.RecordSample(remaining.Load(), cnt.commits.Load(), cnt.rollbacks.Load())
-	}
-	record() // t=0 point: everything live
-	done := make(chan struct{})
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		tick := time.NewTicker(sampleInterval)
-		defer tick.Stop()
-		for {
-			select {
-			case <-done:
-				return
-			case <-tick.C:
-				record()
-			}
-		}
-	}()
-	return func() {
-		close(done)
-		wg.Wait()
-		record() // final point: run complete
-	}
+// batch groups sub-transactions for scheduling; the queues hold batches,
+// not individual sub-transactions (Section 5.2).
+type batch struct {
+	subs []*sched
+	home int   // region whose queue the batch recirculates through
+	live int64 // non-converged subs in this batch; owned by the processing worker
 }
 
-// processBatch runs one iteration of every live sub-transaction in b and
-// returns the number of committed iterations.
-func (e *Engine) processBatch(w int, b *batch, cnt *counters, remaining *atomic.Int64) int {
-	o := e.cfg.Observer
-	committed := 0
-	for _, s := range b.subs {
-		if s.converged {
-			continue
-		}
-		if e.cfg.IterationHook != nil {
-			e.cfg.IterationHook(w)
-		}
-		s.ctx.SetWorker(w)
-		if !s.begun {
-			s.sub.Begin(s.ctx)
-			s.begun = true
-		}
-		s.sub.Execute(s.ctx)
-		cnt.executions.Add(1)
-		if o != nil {
-			o.Inc(w, obs.Executions)
-		}
-		action := s.sub.Validate(s.ctx)
-		converged, rolledBack := s.ctx.Finalize(action)
-		if rolledBack {
-			cnt.rollbacks.Add(1)
-		} else {
-			cnt.commits.Add(1)
-			if o != nil {
-				o.Inc(w, obs.Commits)
-			}
-			committed++
-		}
-		if !converged {
-			// Two force-stop rules: the paper's fixed-iteration cap on
-			// *committed* iterations, and the attempt backstop that also
-			// counts rollbacks — without it a perpetually rolled-back
-			// sub-transaction never retires and Run livelocks.
-			if e.cfg.MaxIterations > 0 && s.ctx.Iteration() >= e.cfg.MaxIterations {
-				converged = true
-				cnt.forcedStops.Add(1)
-				if o != nil {
-					o.Inc(w, obs.ForcedStopIters)
-				}
-			} else if e.cfg.MaxAttempts > 0 && s.ctx.Attempts() >= e.cfg.MaxAttempts {
-				converged = true
-				cnt.forcedStops.Add(1)
-				if o != nil {
-					o.Inc(w, obs.ForcedStopAttempts)
-				}
-			}
-		}
-		if converged {
-			s.converged = true
-			b.live--
-			remaining.Add(-1)
-		}
+// Run drives subs to convergence on a throwaway pool: it builds a Pool
+// from cfg, submits one job, waits, and shuts the pool down. regionOf
+// assigns each sub-transaction (by its index) to a NUMA region for queue
+// routing and should match the data partitioning; nil distributes
+// round-robin. Long-lived callers should hold a Pool and use RunOn.
+func Run(cfg Config, opts isolation.Options, subs []itx.Sub, regionOf func(i int) int) (Stats, error) {
+	p, err := NewPool(cfg)
+	if err != nil {
+		return Stats{}, err
 	}
-	return committed
+	defer p.Close()
+	return RunOn(p, cfg, opts, subs, regionOf)
 }
 
-// runSync is the synchronous scheduler: lockstep rounds separated by
-// barriers, writes installed only after every execution of the round
-// finished, so reads always observe exactly the previous round's snapshots
-// with zero version checking (Section 5.1).
-func (e *Engine) runSync(perRegion [][]*sched, stats *Stats) {
-	// Static work assignment: worker w owns every sched at position k of
-	// its region where k ≡ (w's rank within the region).
-	shards := make([][]*sched, e.cfg.Workers)
-	rankInRegion := make([]int, e.cfg.Workers)
-	regionRank := make([]int, e.cfg.Topology.Regions)
-	for w := 0; w < e.cfg.Workers; w++ {
-		r := e.cfg.Topology.RegionOf(w)
-		rankInRegion[w] = regionRank[r]
-		regionRank[r]++
+// RunOn drives subs to convergence as one job on an existing pool,
+// blocking until it finished. Only the per-job fields of cfg are used (the
+// pool fixes workers, topology, and stealing); a nil pool falls back to
+// Run's throwaway pool.
+func RunOn(p *Pool, cfg Config, opts isolation.Options, subs []itx.Sub, regionOf func(i int) int) (Stats, error) {
+	if p == nil {
+		return Run(cfg, opts, subs, regionOf)
 	}
-	for w := 0; w < e.cfg.Workers; w++ {
-		r := e.cfg.Topology.RegionOf(w)
-		workersHere := e.cfg.Topology.WorkersIn(r)
-		for k := rankInRegion[w]; k < len(perRegion[r]); k += workersHere {
-			shards[w] = append(shards[w], perRegion[r][k])
-		}
+	j, err := p.Submit(subs, opts, cfg.jobConfig(regionOf))
+	if err != nil {
+		return Stats{}, err
 	}
-
-	remaining := int64(0)
-	for _, rg := range perRegion {
-		remaining += int64(len(rg))
-	}
-	cnt := newCounters(e.cfg.Workers)
-	o := e.cfg.Observer
-	var left atomic.Int64
-	left.Store(remaining)
-	if o != nil {
-		o.RecordSample(left.Load(), 0, 0)
-	}
-
-	for round := uint64(1); left.Load() > 0; round++ {
-		if e.cfg.MaxIterations > 0 && round > e.cfg.MaxIterations {
-			// Retire whatever is still live.
-			for _, sh := range shards {
-				for _, s := range sh {
-					if !s.converged {
-						s.converged = true
-						cnt.forcedStops.Add(1)
-						if o != nil {
-							o.Inc(0, obs.ForcedStopIters)
-						}
-						left.Add(-1)
-					}
-				}
-			}
-			break
-		}
-		stats.Rounds++
-		// Phase A: execute everything, writes stay buffered.
-		e.parallel(shards, cnt, func(w int, s *sched) {
-			if e.cfg.IterationHook != nil {
-				e.cfg.IterationHook(w)
-			}
-			s.ctx.SetWorker(w)
-			if !s.begun {
-				s.sub.Begin(s.ctx)
-				s.begun = true
-			}
-			s.sub.Execute(s.ctx)
-			cnt.executions.Add(1)
-			if o != nil {
-				o.Inc(w, obs.Executions)
-			}
-			s.action = s.sub.Validate(s.ctx)
-		})
-		// Barrier, then phase B: install and settle verdicts.
-		var doneVotes atomic.Int64
-		liveThisRound := left.Load()
-		e.parallel(shards, cnt, func(w int, s *sched) {
-			action := s.action
-			if e.cfg.ConvergeTogether && action == itx.Done {
-				// Vote, but keep iterating until the whole round agrees.
-				doneVotes.Add(1)
-				action = itx.Commit
-			}
-			converged, rolledBack := s.ctx.Finalize(action)
-			if rolledBack {
-				cnt.rollbacks.Add(1)
-			} else {
-				cnt.commits.Add(1)
-				if o != nil {
-					o.Inc(w, obs.Commits)
-				}
-			}
-			if converged {
-				s.converged = true
-				left.Add(-1)
-			}
-		})
-		if e.cfg.ConvergeTogether && doneVotes.Load() == liveThisRound {
-			// Unanimous: the global fixpoint is reached; retire everyone.
-			for _, sh := range shards {
-				for _, s := range sh {
-					if !s.converged {
-						s.converged = true
-						left.Add(-1)
-					}
-				}
-			}
-		}
-		if o != nil {
-			// One convergence-series point per barrier round.
-			o.ObserveLive(left.Load())
-			o.RecordSample(left.Load(), cnt.commits.Load(), cnt.rollbacks.Load())
-		}
-	}
-	cnt.into(stats)
+	return j.Wait()
 }
 
-// parallel runs fn over every live sched of every shard, one goroutine per
-// worker, and waits for all of them — the barrier between phases. Each
-// worker's processing time is charged to its busy counter.
-func (e *Engine) parallel(shards [][]*sched, cnt *counters, fn func(w int, s *sched)) {
-	var wg sync.WaitGroup
-	for w := range shards {
-		if len(shards[w]) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			t0 := time.Now()
-			for _, s := range shards[w] {
-				if s.converged {
-					continue
-				}
-				fn(w, s)
-			}
-			busy := int64(time.Since(t0))
-			cnt.busy[w].Add(busy)
-			if e.cfg.Observer != nil {
-				e.cfg.Observer.AddBusy(w, busy)
-			}
-		}(w)
+// Engine is the one-shot convenience wrapper around Run, kept for callers
+// that drive a single uber-transaction start-to-finish.
+type Engine struct {
+	cfg  Config
+	opts isolation.Options
+}
+
+// New builds an engine for the given configuration and isolation options.
+func New(cfg Config, opts isolation.Options) *Engine {
+	return &Engine{cfg: cfg.withDefaults(), opts: opts}
+}
+
+// Run drives subs until every one of them converged (or hit
+// MaxIterations); it blocks until completion. It panics on a Config or
+// isolation combination Pool.Submit would reject — use Run/RunOn for an
+// error instead (the historical Engine signature has no error result).
+func (e *Engine) Run(subs []itx.Sub, regionOf func(i int) int) Stats {
+	stats, err := Run(e.cfg, e.opts, subs, regionOf)
+	if err != nil {
+		panic("exec: " + err.Error())
 	}
-	wg.Wait()
+	return stats
 }
 
 // Snapshot exports the telemetry collected by the configured observer

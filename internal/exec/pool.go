@@ -1,0 +1,755 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"db4ml/internal/isolation"
+	"db4ml/internal/itx"
+	"db4ml/internal/numa"
+	"db4ml/internal/obs"
+	"db4ml/internal/queue"
+)
+
+// ErrPoolClosed is returned by Pool.Submit after Close has begun.
+var ErrPoolClosed = errors.New("exec: pool closed")
+
+// ErrJobCancelled is returned by Job.Wait when the job was retired by
+// Cancel before it converged.
+var ErrJobCancelled = errors.New("exec: job cancelled")
+
+// JobConfig tunes one job — one uber-transaction's worth of
+// sub-transactions — submitted to a Pool. Worker count, topology, and
+// work stealing are properties of the Pool; everything per-run lives here.
+type JobConfig struct {
+	// BatchSize is the number of sub-transactions per scheduling batch;
+	// defaults to DefaultBatchSize.
+	BatchSize int
+	// MaxIterations force-retires a sub-transaction after that many
+	// committed iterations (0 = run to convergence).
+	MaxIterations uint64
+	// MaxAttempts force-retires a sub-transaction after that many finalized
+	// attempts, the livelock backstop; defaults to MaxIterations×64 when
+	// MaxIterations is set.
+	MaxAttempts uint64
+	// RegionOf routes sub-transaction i to a NUMA region queue; nil
+	// spreads round-robin.
+	RegionOf func(i int) int
+	// IterationHook runs before every sub-transaction execution with the
+	// worker id.
+	IterationHook func(worker int)
+	// ConvergeTogether (synchronous level only) retires sub-transactions
+	// collectively at the first round where every live one votes Done.
+	ConvergeTogether bool
+	// Observer, when non-nil, collects this job's telemetry; its snapshot
+	// is tagged with the job's label. One observer serves one job at a
+	// time — give concurrent jobs separate observers.
+	Observer *obs.Observer
+	// Label names the job in telemetry snapshots; defaults to "job-<id>".
+	Label string
+}
+
+func (jc JobConfig) withDefaults() JobConfig {
+	if jc.BatchSize <= 0 {
+		jc.BatchSize = DefaultBatchSize
+	}
+	if jc.MaxAttempts == 0 && jc.MaxIterations > 0 {
+		jc.MaxAttempts = deriveMaxAttempts(jc.MaxIterations)
+	}
+	return jc
+}
+
+// Pool is the persistent execution engine: a fixed set of worker
+// goroutines, each pinned to a simulated NUMA region, started once and
+// shared by every job submitted until Close. Batches from concurrent jobs
+// interleave through per-region scheduling — a worker's pass round-robins
+// across the jobs with work queued in its region — so one long training
+// job cannot starve another.
+type Pool struct {
+	topo     numa.Topology
+	workers  int
+	stealing bool
+
+	// gen/waiters implement worker parking without lost wakeups: a worker
+	// reads gen, re-checks the queues, and sleeps only while gen is
+	// unchanged; every push bumps gen before checking waiters, so either
+	// the sleeper sees the new gen or the pusher sees the waiter.
+	gen     atomic.Uint64
+	waiters atomic.Int64
+
+	jobs   atomic.Pointer[[]*Job] // copy-on-write active-job list
+	rr     []atomic.Uint64        // per-region round-robin job cursor
+	nextID atomic.Uint64
+	closed atomic.Bool
+
+	mu      sync.Mutex
+	cond    *sync.Cond // workers park here
+	drained *sync.Cond // Close waits here for active jobs
+	closing bool
+	active  int
+
+	wg sync.WaitGroup
+}
+
+// NewPool validates cfg (see Config.Validate), starts cfg.Workers worker
+// goroutines, and returns the running pool. Only the pool-level fields of
+// cfg are used: Workers, Topology, DisableWorkStealing.
+func NewPool(cfg Config) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pool{
+		topo:     cfg.Topology,
+		workers:  cfg.Workers,
+		stealing: !cfg.DisableWorkStealing && cfg.Topology.Regions > 1,
+		rr:       make([]atomic.Uint64, cfg.Topology.Regions),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.drained = sync.NewCond(&p.mu)
+	empty := make([]*Job, 0)
+	p.jobs.Store(&empty)
+	for w := 0; w < p.workers; w++ {
+		p.wg.Add(1)
+		go p.worker(w)
+	}
+	return p, nil
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Topology returns the pool's simulated NUMA layout.
+func (p *Pool) Topology() numa.Topology { return p.topo }
+
+// Close gracefully shuts the pool down: it stops admitting jobs, waits for
+// every active job to finish, and joins the workers. Safe to call more
+// than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closing = true
+	for p.active > 0 {
+		p.drained.Wait()
+	}
+	p.mu.Unlock()
+	if !p.closed.Swap(true) {
+		p.gen.Add(1)
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+	p.wg.Wait()
+}
+
+// notify wakes parked workers after new batches were pushed.
+func (p *Pool) notify() {
+	p.gen.Add(1)
+	if p.waiters.Load() > 0 {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// Submit schedules subs as one job under the given isolation options and
+// returns immediately; drive the result through the returned Job. Batches
+// are routed to region queues via jc.RegionOf and processed by the pool's
+// workers alongside every other active job.
+func (p *Pool) Submit(subs []itx.Sub, opts isolation.Options, jc JobConfig) (*Job, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	jc = jc.withDefaults()
+	regions := p.topo.Regions
+	regionOf := jc.RegionOf
+	if regionOf == nil {
+		regionOf = func(i int) int { return i % regions }
+	}
+
+	j := &Job{
+		pool:     p,
+		opts:     opts,
+		cfg:      jc,
+		state:    itx.NewJobState(int64(len(subs)), jc.MaxIterations, jc.MaxAttempts),
+		cnt:      newCounters(p.workers),
+		rq:       make([]*queue.Queue[*batch], regions),
+		syncMode: opts.Level == isolation.Synchronous,
+		done:     make(chan struct{}),
+		start:    time.Now(),
+	}
+	for r := range j.rq {
+		j.rq[r] = queue.New[*batch]()
+	}
+	perRegion := make([][]*sched, regions)
+	for i, sub := range subs {
+		s := &sched{sub: sub, ctx: itx.NewCtx(opts, -1)}
+		s.ctx.SetObserver(jc.Observer)
+		r := regionOf(i) % regions
+		if r < 0 {
+			r = 0
+		}
+		perRegion[r] = append(perRegion[r], s)
+	}
+	for r := range perRegion {
+		for lo := 0; lo < len(perRegion[r]); lo += jc.BatchSize {
+			hi := lo + jc.BatchSize
+			if hi > len(perRegion[r]) {
+				hi = len(perRegion[r])
+			}
+			j.batches = append(j.batches, &batch{subs: perRegion[r][lo:hi], home: r, live: int64(hi - lo)})
+		}
+	}
+
+	p.mu.Lock()
+	if p.closing {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	j.id = p.nextID.Add(1)
+	j.label = jc.Label
+	if j.label == "" {
+		j.label = fmt.Sprintf("job-%d", j.id)
+	}
+	p.active++
+	p.addJobLocked(j)
+	p.mu.Unlock()
+
+	if o := jc.Observer; o != nil {
+		o.BeginRun(p.workers)
+		o.SetJob(j.label)
+		o.RecordSample(j.state.Live(), 0, 0) // t=0 point: everything live
+	}
+	j.stopSampler = j.startSampler()
+
+	if len(j.batches) == 0 {
+		p.finishJob(j)
+		return j, nil
+	}
+	if j.syncMode {
+		j.roundLive = j.state.Live()
+		j.pushActive()
+	} else {
+		for _, b := range j.batches {
+			j.rq[b.home].Push(b)
+		}
+		p.notify()
+	}
+	return j, nil
+}
+
+func (p *Pool) addJobLocked(j *Job) {
+	old := *p.jobs.Load()
+	next := make([]*Job, 0, len(old)+1)
+	next = append(next, old...)
+	next = append(next, j)
+	p.jobs.Store(&next)
+}
+
+func (p *Pool) removeJob(j *Job) {
+	p.mu.Lock()
+	old := *p.jobs.Load()
+	next := make([]*Job, 0, len(old))
+	for _, o := range old {
+		if o != j {
+			next = append(next, o)
+		}
+	}
+	p.jobs.Store(&next)
+	p.active--
+	if p.active == 0 {
+		p.drained.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// worker is the long-lived scheduling loop of one pool worker: pop a batch
+// from the home region (round-robinning across jobs), fall back to
+// stealing from other regions, park when everything is drained.
+func (p *Pool) worker(w int) {
+	defer p.wg.Done()
+	region := p.topo.RegionOf(w)
+	regions := p.topo.Regions
+	for {
+		g := p.gen.Load()
+		j, b, stolen := p.tryPop(region, regions)
+		if b == nil {
+			if p.closed.Load() {
+				return
+			}
+			p.waiters.Add(1)
+			p.mu.Lock()
+			for p.gen.Load() == g && !p.closed.Load() {
+				p.cond.Wait()
+			}
+			p.mu.Unlock()
+			p.waiters.Add(-1)
+			continue
+		}
+		if stolen {
+			j.cnt.steals.Add(1)
+			if o := j.cfg.Observer; o != nil {
+				o.Inc(w, obs.Steals)
+			}
+		}
+		j.running.Add(1)
+		if j.syncMode {
+			p.processSync(w, j, b)
+		} else {
+			p.processQueued(w, j, b)
+		}
+		if j.running.Add(-1) == 0 && j.state.Live() == 0 {
+			p.finishJob(j)
+		}
+	}
+}
+
+// tryPop returns a batch from the worker's own region, or — when stealing
+// is enabled — from the nearest region with queued work.
+func (p *Pool) tryPop(region, regions int) (*Job, *batch, bool) {
+	if j, b := p.popRegion(region); b != nil {
+		return j, b, false
+	}
+	if p.stealing {
+		for off := 1; off < regions; off++ {
+			if j, b := p.popRegion((region + off) % regions); b != nil {
+				return j, b, true
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// popRegion round-robins across the active jobs with work queued in region
+// r — the fairness rule that interleaves concurrent uber-transactions
+// instead of draining them in submission order.
+func (p *Pool) popRegion(r int) (*Job, *batch) {
+	jobs := *p.jobs.Load()
+	n := len(jobs)
+	if n == 0 {
+		return nil, nil
+	}
+	start := int(p.rr[r].Add(1) % uint64(n))
+	for k := 0; k < n; k++ {
+		j := jobs[(start+k)%n]
+		if b, ok := j.rq[r].Pop(); ok {
+			return j, b
+		}
+	}
+	return nil, nil
+}
+
+// processQueued handles one batch pass of an asynchronous or
+// bounded-staleness job: run one iteration of every live sub-transaction,
+// then recirculate the batch through its home queue if work remains.
+func (p *Pool) processQueued(w int, j *Job, b *batch) {
+	if j.cancelled.Load() {
+		j.drainBatch(b)
+		return
+	}
+	o := j.cfg.Observer
+	if o != nil {
+		o.ObserveQueueDepth(j.rq[b.home].Len())
+		o.ObserveLive(j.state.Live())
+	}
+	t0 := time.Now()
+	committed := p.runBatchIteration(w, j, b)
+	busy := int64(time.Since(t0))
+	j.cnt.busy[w].Add(busy)
+	if o != nil {
+		o.AddBusy(w, busy)
+	}
+	if b.live > 0 {
+		// Always recirculate through the batch's home queue: a stolen
+		// batch returns to its own region as soon as this pass ends, so
+		// stealing never migrates data affinity permanently.
+		j.rq[b.home].Push(b)
+		if o != nil {
+			o.Inc(w, obs.Recirculations)
+		}
+		p.notify()
+		if committed == 0 {
+			// Every live sub-transaction rolled back (e.g. SSP-throttled
+			// behind a straggler): back off instead of spin-retrying.
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// runBatchIteration runs one iteration of every live sub-transaction in b
+// and returns the number of committed iterations.
+func (p *Pool) runBatchIteration(w int, j *Job, b *batch) int {
+	o := j.cfg.Observer
+	committed := 0
+	for _, s := range b.subs {
+		if s.converged {
+			continue
+		}
+		if j.cfg.IterationHook != nil {
+			j.cfg.IterationHook(w)
+		}
+		s.ctx.SetWorker(w)
+		if !s.begun {
+			s.sub.Begin(s.ctx)
+			s.begun = true
+		}
+		s.sub.Execute(s.ctx)
+		j.cnt.executions.Add(1)
+		if o != nil {
+			o.Inc(w, obs.Executions)
+		}
+		action := s.sub.Validate(s.ctx)
+		converged, rolledBack := s.ctx.Finalize(action)
+		if rolledBack {
+			j.cnt.rollbacks.Add(1)
+		} else {
+			j.cnt.commits.Add(1)
+			if o != nil {
+				o.Inc(w, obs.Commits)
+			}
+			committed++
+		}
+		if !converged {
+			switch j.state.ShouldForceStop(s.ctx) {
+			case itx.ForceIterations:
+				converged = true
+				j.cnt.forcedStops.Add(1)
+				if o != nil {
+					o.Inc(w, obs.ForcedStopIters)
+				}
+			case itx.ForceAttempts:
+				converged = true
+				j.cnt.forcedStops.Add(1)
+				if o != nil {
+					o.Inc(w, obs.ForcedStopAttempts)
+				}
+			}
+		}
+		if converged {
+			s.converged = true
+			b.live--
+			j.state.Retire(1)
+		}
+	}
+	return committed
+}
+
+// Synchronous phases: every round executes all live sub-transactions with
+// writes buffered, then — after a barrier — validates and installs.
+const (
+	phaseExecute int32 = iota
+	phaseInstall
+)
+
+// processSync handles one batch pass of a synchronous job. The barrier is
+// cooperative and per-job: batches carry the job's current phase, each
+// processed batch arrives at the barrier, and the last arriver flips the
+// phase (or ends the round) and re-pushes the live batches — no worker
+// ever blocks, so concurrent jobs keep flowing through the same pool.
+func (p *Pool) processSync(w int, j *Job, b *batch) {
+	o := j.cfg.Observer
+	phase := j.phase.Load()
+	t0 := time.Now()
+	if !j.cancelled.Load() {
+		if phase == phaseExecute {
+			for _, s := range b.subs {
+				if s.converged {
+					continue
+				}
+				if j.cfg.IterationHook != nil {
+					j.cfg.IterationHook(w)
+				}
+				s.ctx.SetWorker(w)
+				if !s.begun {
+					s.sub.Begin(s.ctx)
+					s.begun = true
+				}
+				s.sub.Execute(s.ctx)
+				j.cnt.executions.Add(1)
+				if o != nil {
+					o.Inc(w, obs.Executions)
+				}
+				s.action = s.sub.Validate(s.ctx)
+			}
+		} else {
+			for _, s := range b.subs {
+				if s.converged {
+					continue
+				}
+				action := s.action
+				if j.cfg.ConvergeTogether && action == itx.Done {
+					// Vote, but keep iterating until the whole round agrees.
+					j.votes.Add(1)
+					action = itx.Commit
+				}
+				converged, rolledBack := s.ctx.Finalize(action)
+				if rolledBack {
+					j.cnt.rollbacks.Add(1)
+				} else {
+					j.cnt.commits.Add(1)
+					if o != nil {
+						o.Inc(w, obs.Commits)
+					}
+				}
+				if converged {
+					s.converged = true
+					b.live--
+					j.state.Retire(1)
+				}
+			}
+		}
+	}
+	busy := int64(time.Since(t0))
+	j.cnt.busy[w].Add(busy)
+	if o != nil {
+		o.AddBusy(w, busy)
+	}
+	if j.arrived.Add(1) == j.inFlight.Load() {
+		p.syncBarrier(w, j, phase)
+	}
+}
+
+// syncBarrier runs on the worker whose batch arrived last. After the
+// execute phase it flips to install; after the install phase it settles
+// the round: collective convergence, the iteration cap, telemetry, and —
+// if work remains — the next round's execute phase.
+func (p *Pool) syncBarrier(w int, j *Job, phase int32) {
+	if phase == phaseExecute {
+		if j.cancelled.Load() {
+			j.retireAll()
+			return
+		}
+		j.phase.Store(phaseInstall)
+		j.arrived.Store(0)
+		j.pushActive()
+		return
+	}
+	r := j.rounds.Add(1)
+	o := j.cfg.Observer
+	if j.cancelled.Load() {
+		j.retireAll()
+	} else if j.cfg.ConvergeTogether && j.roundLive > 0 && j.votes.Load() == j.roundLive {
+		// Unanimous: the global fixpoint is reached; retire everyone.
+		j.retireAll()
+	} else if j.cfg.MaxIterations > 0 && r >= j.cfg.MaxIterations && j.state.Live() > 0 {
+		j.retireForced(w)
+	}
+	live := j.state.Live()
+	if o != nil {
+		// One convergence-series point per barrier round.
+		o.ObserveLive(live)
+		o.RecordSample(live, j.cnt.commits.Load(), j.cnt.rollbacks.Load())
+	}
+	if live == 0 {
+		return // the running-batch countdown finishes the job
+	}
+	j.votes.Store(0)
+	j.roundLive = live
+	j.phase.Store(phaseExecute)
+	j.arrived.Store(0)
+	j.pushActive()
+}
+
+// pushActive re-enqueues every batch that still has live sub-transactions
+// for the next phase. inFlight is stored before the first push so an
+// arriving worker can never observe a stale barrier size.
+func (j *Job) pushActive() {
+	n := int64(0)
+	for _, b := range j.batches {
+		if b.live > 0 {
+			n++
+		}
+	}
+	j.inFlight.Store(n)
+	for _, b := range j.batches {
+		if b.live > 0 {
+			j.rq[b.home].Push(b)
+		}
+	}
+	j.pool.notify()
+}
+
+// retireAll retires every live sub-transaction without touching the stats
+// counters (collective convergence, cancellation).
+func (j *Job) retireAll() {
+	n := int64(0)
+	for _, b := range j.batches {
+		for _, s := range b.subs {
+			if !s.converged {
+				s.converged = true
+				b.live--
+				n++
+			}
+		}
+	}
+	if n > 0 {
+		j.state.Retire(n)
+	}
+}
+
+// retireForced retires every live sub-transaction, charging each to the
+// iteration-cap counters.
+func (j *Job) retireForced(w int) {
+	o := j.cfg.Observer
+	n := int64(0)
+	for _, b := range j.batches {
+		for _, s := range b.subs {
+			if !s.converged {
+				s.converged = true
+				b.live--
+				n++
+				j.cnt.forcedStops.Add(1)
+				if o != nil {
+					o.Inc(w, obs.ForcedStopIters)
+				}
+			}
+		}
+	}
+	if n > 0 {
+		j.state.Retire(n)
+	}
+}
+
+// drainBatch retires a cancelled job's batch without running it.
+func (j *Job) drainBatch(b *batch) {
+	n := int64(0)
+	for _, s := range b.subs {
+		if !s.converged {
+			s.converged = true
+			b.live--
+			n++
+		}
+	}
+	if n > 0 {
+		j.state.Retire(n)
+	}
+}
+
+// finishJob settles a job exactly once: stop the sampler, freeze the
+// stats, deregister from the pool, and release waiters.
+func (p *Pool) finishJob(j *Job) {
+	if !j.finished.CompareAndSwap(false, true) {
+		return
+	}
+	j.stopSampler()
+	j.final.Rounds = j.rounds.Load()
+	j.final.Elapsed = time.Since(j.start)
+	j.cnt.into(&j.final)
+	if j.cancelled.Load() {
+		j.err = ErrJobCancelled
+	}
+	p.removeJob(j)
+	close(j.done)
+}
+
+// Job is one uber-transaction's execution in flight on a Pool: its
+// batches, isolation options, convergence state, and counters. Concurrent
+// jobs on the same pool are fully independent — each has its own queues,
+// barrier, caps, and observer.
+type Job struct {
+	id    uint64
+	label string
+	pool  *Pool
+	opts  isolation.Options
+	cfg   JobConfig
+
+	state   *itx.JobState
+	rq      []*queue.Queue[*batch] // per-region queues holding this job's batches
+	batches []*batch
+	cnt     *counters
+	start   time.Time
+
+	// Synchronous-barrier state; see processSync.
+	syncMode  bool
+	phase     atomic.Int32
+	inFlight  atomic.Int64 // batches pushed for the current phase
+	arrived   atomic.Int64 // batches that completed the current phase
+	votes     atomic.Int64 // ConvergeTogether Done votes this round
+	roundLive int64        // live subs at round start; written only at barriers
+	rounds    atomic.Uint64
+
+	running     atomic.Int64 // batches being processed right now
+	cancelled   atomic.Bool
+	finished    atomic.Bool
+	stopSampler func()
+	final       Stats
+	err         error
+	done        chan struct{}
+}
+
+// ID returns the pool-unique job id.
+func (j *Job) ID() uint64 { return j.id }
+
+// Label returns the telemetry label (JobConfig.Label or "job-<id>").
+func (j *Job) Label() string { return j.label }
+
+// Done returns a channel closed when the job has finished.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finished and returns its final stats. The
+// error is ErrJobCancelled when the job was cancelled.
+func (j *Job) Wait() (Stats, error) {
+	<-j.done
+	return j.final, j.err
+}
+
+// Cancel asks the job to stop: queued batches are drained instead of
+// executed, and a synchronous job stops at its next barrier. Wait then
+// returns ErrJobCancelled. Cancelling a finished job is a no-op.
+func (j *Job) Cancel() {
+	if j.finished.Load() {
+		return
+	}
+	j.cancelled.Store(true)
+}
+
+// Stats returns the final stats of a finished job, or a live snapshot of a
+// running one.
+func (j *Job) Stats() Stats {
+	select {
+	case <-j.done:
+		return j.final
+	default:
+	}
+	var s Stats
+	s.Rounds = j.rounds.Load()
+	s.Elapsed = time.Since(j.start)
+	j.cnt.into(&s)
+	return s
+}
+
+// startSampler launches the periodic convergence sampler of the queued
+// schedulers when telemetry is enabled; the synchronous scheduler samples
+// per barrier round instead. Returns the stop function.
+func (j *Job) startSampler() func() {
+	o := j.cfg.Observer
+	if o == nil || j.syncMode {
+		return func() {}
+	}
+	record := func() {
+		o.RecordSample(j.state.Live(), j.cnt.commits.Load(), j.cnt.rollbacks.Load())
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(sampleInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				record()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		record() // final point: job complete
+	}
+}

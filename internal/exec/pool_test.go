@@ -1,0 +1,293 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"db4ml/internal/isolation"
+	"db4ml/internal/numa"
+	"db4ml/internal/obs"
+)
+
+func async() isolation.Options { return isolation.Options{Level: isolation.Asynchronous} }
+
+// TestPoolRunsConcurrentJobs: one pool, started once, drives several
+// independent jobs submitted together; each job's stats must account for
+// exactly its own sub-transactions.
+func TestPoolRunsConcurrentJobs(t *testing.T) {
+	p, err := NewPool(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const jobsN = 3
+	const n = 24
+	const target = 5
+	jobs := make([]*Job, jobsN)
+	for i := range jobs {
+		subs, recs := newCounterSubs(n, target)
+		j, err := p.Submit(subs, async(), JobConfig{BatchSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+		_ = recs
+	}
+	for i, j := range jobs {
+		stats, err := j.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if stats.Commits != n*target {
+			t.Fatalf("job %d commits = %d, want %d", i, stats.Commits, n*target)
+		}
+		if stats.Rollbacks != 0 || stats.ForcedStops != 0 {
+			t.Fatalf("job %d: unexpected rollbacks/forced stops: %+v", i, stats)
+		}
+	}
+}
+
+// TestPoolMixedIsolationJobs: a synchronous job (with its per-job barrier)
+// and an asynchronous job share the pool without interfering.
+func TestPoolMixedIsolationJobs(t *testing.T) {
+	p, err := NewPool(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const n = 12
+	const target = 4
+	syncSubs, _ := newCounterSubs(n, target)
+	asyncSubs, _ := newCounterSubs(n, target)
+	js, err := p.Submit(syncSubs, isolation.Options{Level: isolation.Synchronous}, JobConfig{BatchSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := p.Submit(asyncSubs, async(), JobConfig{BatchSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncStats, err := js.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncStats, err := ja.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syncStats.Rounds != target {
+		t.Fatalf("sync job rounds = %d, want %d", syncStats.Rounds, target)
+	}
+	if syncStats.Commits != n*target || asyncStats.Commits != n*target {
+		t.Fatalf("commits sync=%d async=%d, want %d each", syncStats.Commits, asyncStats.Commits, n*target)
+	}
+	if asyncStats.Rounds != 0 {
+		t.Fatalf("async job counted %d barrier rounds", asyncStats.Rounds)
+	}
+}
+
+// TestPoolPerJobObserverDisjoint: concurrent jobs with separate observers
+// produce disjoint, correctly labelled snapshots.
+func TestPoolPerJobObserverDisjoint(t *testing.T) {
+	p, err := NewPool(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	type run struct {
+		job *Job
+		o   *obs.Observer
+		n   uint64
+	}
+	runs := []run{{n: 40}, {n: 15}}
+	labels := []string{"alpha", "beta"}
+	for i := range runs {
+		runs[i].o = obs.New()
+		subs, _ := newCounterSubs(int(runs[i].n), 3)
+		j, err := p.Submit(subs, async(), JobConfig{BatchSize: 8, Observer: runs[i].o, Label: labels[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[i].job = j
+	}
+	for i := range runs {
+		if _, err := runs[i].job.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range runs {
+		snap := runs[i].o.Snapshot()
+		if snap.Job != labels[i] {
+			t.Fatalf("snapshot %d labelled %q, want %q", i, snap.Job, labels[i])
+		}
+		if want := runs[i].n * 3; snap.Counters.Commits != want {
+			t.Fatalf("job %q snapshot commits = %d, want %d (telemetry interleaved across jobs?)",
+				labels[i], snap.Counters.Commits, want)
+		}
+		if len(snap.Convergence) < 2 {
+			t.Fatalf("job %q convergence series too short: %d", labels[i], len(snap.Convergence))
+		}
+		if last := snap.Convergence[len(snap.Convergence)-1]; last.Live != 0 {
+			t.Fatalf("job %q final sample live = %d", labels[i], last.Live)
+		}
+	}
+}
+
+// TestPoolCloseRejectsSubmit: Close drains active jobs, then Submit fails
+// with ErrPoolClosed; Close is idempotent.
+func TestPoolCloseRejectsSubmit(t *testing.T) {
+	p, err := NewPool(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, _ := newCounterSubs(8, 3)
+	j, err := p.Submit(subs, async(), JobConfig{BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("Close returned with a job still active")
+	}
+	if stats, err := j.Wait(); err != nil || stats.Commits != 8*3 {
+		t.Fatalf("drained job: stats=%+v err=%v", stats, err)
+	}
+	if _, err := p.Submit(subs, async(), JobConfig{}); err != ErrPoolClosed {
+		t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+// TestJobCancel: a cancelled job retires early, Wait reports
+// ErrJobCancelled, and the pool keeps serving other jobs.
+func TestJobCancel(t *testing.T) {
+	p, err := NewPool(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// An endless job: counterSub never reaches its huge target.
+	subs, _ := newCounterSubs(4, 1<<40)
+	j, err := p.Submit(subs, async(), JobConfig{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j.Stats().Commits == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	j.Cancel()
+	if _, err := j.Wait(); err != ErrJobCancelled {
+		t.Fatalf("Wait after Cancel = %v, want ErrJobCancelled", err)
+	}
+
+	// The pool is still fully usable.
+	subs2, _ := newCounterSubs(6, 2)
+	j2, err := p.Submit(subs2, async(), JobConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats, err := j2.Wait(); err != nil || stats.Commits != 12 {
+		t.Fatalf("post-cancel job: stats=%+v err=%v", stats, err)
+	}
+}
+
+// TestJobCancelSync: a synchronous job stops at its next barrier.
+func TestJobCancelSync(t *testing.T) {
+	p, err := NewPool(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	subs, _ := newCounterSubs(4, 1<<40)
+	j, err := p.Submit(subs, isolation.Options{Level: isolation.Synchronous}, JobConfig{BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j.Stats().Rounds == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	j.Cancel()
+	if _, err := j.Wait(); err != ErrJobCancelled {
+		t.Fatalf("Wait after Cancel = %v, want ErrJobCancelled", err)
+	}
+}
+
+// TestConfigValidateRejectsStarvingRegions: more regions than workers
+// must be rejected up front instead of hanging a region's queue.
+func TestConfigValidateRejectsStarvingRegions(t *testing.T) {
+	bad := Config{Workers: 2, Topology: numa.Topology{Regions: 4, Workers: 4}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted a topology with worker-less regions")
+	}
+	if _, err := NewPool(bad); err == nil {
+		t.Fatal("NewPool accepted a topology with worker-less regions")
+	}
+	if _, err := Run(bad, async(), nil, nil); err == nil {
+		t.Fatal("Run accepted a topology with worker-less regions")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Engine.Run did not panic on an invalid config")
+		}
+	}()
+	New(bad, async()).Run(nil, nil)
+}
+
+// TestPoolSubmitManyFromGoroutines: concurrent Submit/Wait from many
+// goroutines against one pool.
+func TestPoolSubmitManyFromGoroutines(t *testing.T) {
+	p, err := NewPool(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			subs, _ := newCounterSubs(10, 4)
+			stats, err := RunOn(p, Config{BatchSize: 3}, async(), subs, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if stats.Commits != 40 {
+				errs <- errCommits(stats.Commits)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errCommits uint64
+
+func (e errCommits) Error() string { return "unexpected commit count" }
+
+// TestEmptyJob: submitting no subs completes immediately.
+func TestEmptyJob(t *testing.T) {
+	p, err := NewPool(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	j, err := p.Submit(nil, async(), JobConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats, err := j.Wait(); err != nil || stats.Executions != 0 {
+		t.Fatalf("empty job: stats=%+v err=%v", stats, err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"db4ml/internal/isolation"
 	"db4ml/internal/itx"
+	"db4ml/internal/numa"
 	"db4ml/internal/storage"
 )
 
@@ -26,10 +27,15 @@ func TestSyncStragglerStallsEveryone(t *testing.T) {
 			time.Sleep(2 * time.Millisecond)
 		}
 	}
-	sync := New(Config{Workers: 2, BatchSize: 2, IterationHook: hook},
-		isolation.Options{Level: isolation.Synchronous})
+	// Pin the straggler's ownership: two single-worker regions without
+	// stealing, so worker 1 must process every odd-indexed sub itself and
+	// the pool cannot load-balance around it.
+	sync := New(Config{
+		Workers: 2, BatchSize: 2, IterationHook: hook,
+		Topology: numa.NewTopology(2, 2), DisableWorkStealing: true,
+	}, isolation.Options{Level: isolation.Synchronous})
 	syncStats := sync.Run(mkSubs(), nil)
-	// Worker 1 owns ~n/2 subs; each round costs it ≥ (n/2)·2ms, and the
+	// Worker 1 owns n/2 subs; each round costs it ≥ (n/2)·2ms, and the
 	// barrier makes the whole round that slow.
 	minSync := time.Duration(iters*(n/2)*2) * time.Millisecond
 	if syncStats.Elapsed < minSync {

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"db4ml/internal/exec"
+	"db4ml/internal/isolation"
+	"db4ml/internal/ml/pagerank"
+	"db4ml/internal/ml/sgd"
+	"db4ml/internal/txn"
+)
+
+// TestConcurrentJobsMatchSequentialStats is the acceptance scenario of the
+// persistent engine: one pool, started once, runs an async PageRank job
+// and a bounded-staleness SGD job to convergence both sequentially and
+// concurrently; each job's per-job stats must match its sequential
+// baseline (exactly for SGD's fixed epoch budget, within tolerance for
+// async PageRank, whose convergence point depends on interleaving).
+func TestConcurrentJobsMatchSequentialStats(t *testing.T) {
+	g := prGraph("wikivote", true)
+	data := sgdDataset("covtype", true)
+	const prIters = 5
+	const epochs = 3
+
+	pool, err := exec.NewPool(exec.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	mgr := txn.NewManager()
+
+	runPR := func() exec.Stats {
+		node, edge, err := pagerank.LoadTables(mgr, g)
+		if err != nil {
+			t.Error(err)
+			return exec.Stats{}
+		}
+		res, err := pagerank.Run(mgr, node, edge, pagerank.Config{
+			Pool:      pool,
+			Exec:      exec.Config{MaxIterations: prIters},
+			Isolation: isolation.Options{Level: isolation.Asynchronous},
+		})
+		if err != nil {
+			t.Error(err)
+			return exec.Stats{}
+		}
+		return res.Stats
+	}
+	runSGD := func() exec.Stats {
+		tables, err := sgd.LoadTables(mgr, data.train, data.features, 1)
+		if err != nil {
+			t.Error(err)
+			return exec.Stats{}
+		}
+		res, err := sgd.Run(mgr, tables, sgd.Config{
+			Pool:      pool,
+			Isolation: &isolation.Options{Level: isolation.BoundedStaleness, Staleness: 64},
+			Epochs:    epochs, Lambda: data.lambda, Seed: 1,
+		})
+		if err != nil {
+			t.Error(err)
+			return exec.Stats{}
+		}
+		return res.Stats
+	}
+
+	seqPR := runPR()
+	seqSGD := runSGD()
+
+	var conPR, conSGD exec.Stats
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); conPR = runPR() }()
+	go func() { defer wg.Done(); conSGD = runSGD() }()
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// SGD runs a fixed number of epochs per sub-transaction: identical
+	// commit counts, no forced stops, in both modes.
+	if conSGD.Commits != seqSGD.Commits {
+		t.Fatalf("sgd commits: concurrent %d != sequential %d", conSGD.Commits, seqSGD.Commits)
+	}
+	if seqSGD.ForcedStops != 0 || conSGD.ForcedStops != 0 {
+		t.Fatalf("sgd forced stops: seq %d con %d", seqSGD.ForcedStops, conSGD.ForcedStops)
+	}
+
+	// Async PageRank retires each node at its own fixpoint; interleaving
+	// shifts exactly when a node's rank stops moving, so commit counts are
+	// equal within tolerance, not bit-identical.
+	lo, hi := seqPR.Commits*9/10, seqPR.Commits*11/10
+	if conPR.Commits < lo || conPR.Commits > hi {
+		t.Fatalf("pagerank commits diverged: concurrent %d vs sequential %d (tolerance ±10%%)",
+			conPR.Commits, seqPR.Commits)
+	}
+}

@@ -10,7 +10,7 @@ func quickOpts(buf *strings.Builder) Options {
 }
 
 func TestRegistryCoversEveryPaperExperiment(t *testing.T) {
-	want := []string{"fig1", "tab1", "fig8", "fig9", "fig10a", "fig10b", "fig11", "tab2", "fig12", "fig13", "fig14", "locality", "mixed"}
+	want := []string{"fig1", "tab1", "fig8", "fig9", "fig10a", "fig10b", "fig11", "tab2", "fig12", "fig13", "fig14", "locality", "mixed", "concurrent"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -231,6 +231,41 @@ func TestMixedQuick(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{"OLTP alone", "running DB4ML SGD", "throughput"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentQuick(t *testing.T) {
+	var buf strings.Builder
+	if err := Concurrent(quickOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"shared pool", "pagerank", "sgd", "sequential", "concurrent", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentTelemetryPerJob(t *testing.T) {
+	var buf strings.Builder
+	opts := quickOpts(&buf)
+	opts.Telemetry = true
+	if err := Concurrent(opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"-- telemetry: pagerank sequential --",
+		"-- telemetry: sgd sequential --",
+		"-- telemetry: pagerank concurrent --",
+		"-- telemetry: sgd concurrent --",
+		`"job": "pagerank concurrent"`,
+		`"job": "sgd concurrent"`,
+	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}

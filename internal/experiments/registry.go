@@ -1,6 +1,9 @@
 package experiments
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // registry maps experiment ids (as used by `db4ml-bench -exp`) to their
 // runners, in the paper's order.
@@ -22,18 +25,22 @@ var registry = []struct {
 	{"fig14", Fig14, "SGD micro-architecture: cycles and L1 misses per sample"},
 	{"locality", Locality, "extra: NUMA locality by partitioning scheme"},
 	{"mixed", Mixed, "extra: OLTP throughput with and without a running ML uber-transaction"},
+	{"concurrent", Concurrent, "extra: concurrent ML jobs on one shared worker pool vs sequential"},
 }
 
 // Run executes the experiment with the given id, or every experiment when
-// id is "all".
+// id is "all". An "all" run keeps going past a failing experiment so one
+// broken figure does not mask the rest; the failures are aggregated into
+// the returned error.
 func Run(id string, opts Options) error {
 	if id == "all" {
+		var errs []error
 		for _, e := range registry {
 			if err := e.fn(opts); err != nil {
-				return fmt.Errorf("%s: %w", e.id, err)
+				errs = append(errs, fmt.Errorf("%s: %w", e.id, err))
 			}
 		}
-		return nil
+		return errors.Join(errs...)
 	}
 	for _, e := range registry {
 		if e.id == id {

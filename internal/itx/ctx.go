@@ -22,7 +22,18 @@ type Ctx struct {
 	rowWrites []rowWrite
 	colWrites []colWrite
 	arena     []uint64 // backing storage for buffered row writes
+
+	// bumped tracks which records already had their IterCounter advanced
+	// this iteration, so interleaved column-write runs (A,B,A) bump each
+	// record exactly once. The linear scan covers the common few-record
+	// case; bumpIdx takes over past bumpedScanMax distinct records.
+	bumped  []*storage.IterativeRecord
+	bumpIdx map[*storage.IterativeRecord]struct{}
 }
+
+// bumpedScanMax is the crossover from linear scan to map lookup for the
+// per-iteration counter-bump dedup set.
+const bumpedScanMax = 16
 
 type readEntry struct {
 	rec  *storage.IterativeRecord
@@ -224,11 +235,43 @@ func (c *Ctx) installWrites() {
 	for i, w := range c.colWrites {
 		w.rec.StoreRelaxed(w.col, w.bits)
 		// Bump each record's counter once per iteration, not once per
-		// column, so staleness is counted in iterations.
-		if i == len(c.colWrites)-1 || c.colWrites[i+1].rec != w.rec {
+		// column, so staleness is counted in iterations. Consecutive writes
+		// to the same record (a column sweep) are handled by run detection
+		// alone; when the record shows up again after other records in
+		// between (A,B,A), the bumped set prevents a second bump, which
+		// would double-charge readers' staleness budgets.
+		if i+1 < len(c.colWrites) && c.colWrites[i+1].rec == w.rec {
+			continue
+		}
+		if c.firstBump(w.rec) {
 			w.rec.AddCounter()
 		}
 	}
+}
+
+// firstBump records rec in the per-iteration bump set and reports whether
+// it was absent before (i.e. whether the caller should bump its counter).
+func (c *Ctx) firstBump(rec *storage.IterativeRecord) bool {
+	if c.bumpIdx != nil {
+		if _, ok := c.bumpIdx[rec]; ok {
+			return false
+		}
+		c.bumpIdx[rec] = struct{}{}
+		return true
+	}
+	for _, r := range c.bumped {
+		if r == rec {
+			return false
+		}
+	}
+	c.bumped = append(c.bumped, rec)
+	if len(c.bumped) > bumpedScanMax {
+		c.bumpIdx = make(map[*storage.IterativeRecord]struct{}, 2*bumpedScanMax)
+		for _, r := range c.bumped {
+			c.bumpIdx[r] = struct{}{}
+		}
+	}
+	return true
 }
 
 func (c *Ctx) clear() {
@@ -239,4 +282,8 @@ func (c *Ctx) clear() {
 	c.rowWrites = c.rowWrites[:0]
 	c.colWrites = c.colWrites[:0]
 	c.arena = c.arena[:0]
+	c.bumped = c.bumped[:0]
+	if len(c.bumpIdx) > 0 {
+		clear(c.bumpIdx)
+	}
 }

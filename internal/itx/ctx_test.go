@@ -355,3 +355,57 @@ func TestCtxArenaReuseAcrossIterations(t *testing.T) {
 		t.Fatalf("Iteration = %d", ctx.Iteration())
 	}
 }
+
+// Regression: interleaved column writes to the same record (A,B,A) must
+// bump its IterCounter once per iteration, not once per write run —
+// double bumps inflate the staleness every reader is charged with.
+func TestInstallWritesBumpOncePerRecordPerIteration(t *testing.T) {
+	a := storage.NewIterativeRecord(storage.Payload{0}, 1)
+	b := storage.NewIterativeRecord(storage.Payload{0}, 1)
+	ctx := NewCtx(boundedOpts(4, true), 0)
+	ctx.WriteCol(a, 0, 1)
+	ctx.WriteCol(b, 0, 2)
+	ctx.WriteCol(a, 0, 3)
+	if _, rolledBack := ctx.Finalize(Commit); rolledBack {
+		t.Fatal("unexpected rollback")
+	}
+	if a.Latest() != 1 {
+		t.Fatalf("interleaved writes bumped A's counter %d times in one iteration", a.Latest())
+	}
+	if b.Latest() != 1 {
+		t.Fatalf("B's counter = %d, want 1", b.Latest())
+	}
+	// The dedup set is per iteration: the next iteration bumps again, and
+	// a consecutive run still counts as one bump.
+	ctx.WriteCol(a, 0, 4)
+	ctx.WriteCol(a, 0, 5)
+	ctx.Finalize(Commit)
+	if a.Latest() != 2 {
+		t.Fatalf("A's counter = %d after two iterations, want 2", a.Latest())
+	}
+}
+
+// The dedup must hold past the linear-scan crossover into the map path.
+func TestInstallWritesBumpDedupManyRecords(t *testing.T) {
+	const n = 3 * bumpedScanMax
+	recs := make([]*storage.IterativeRecord, n)
+	for i := range recs {
+		recs[i] = storage.NewIterativeRecord(storage.Payload{0}, 1)
+	}
+	ctx := NewCtx(boundedOpts(8, true), 0)
+	for iter := uint64(1); iter <= 2; iter++ {
+		// Two interleaved passes over every record.
+		for _, rec := range recs {
+			ctx.WriteCol(rec, 0, iter)
+		}
+		for _, rec := range recs {
+			ctx.WriteCol(rec, 0, iter+10)
+		}
+		ctx.Finalize(Commit)
+		for i, rec := range recs {
+			if rec.Latest() != iter {
+				t.Fatalf("iteration %d: record %d counter = %d, want %d", iter, i, rec.Latest(), iter)
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package itx
+
+import "sync/atomic"
+
+// ForceStop says why a sub-transaction must be retired before it converged
+// on its own, if at all.
+type ForceStop int
+
+const (
+	// ForceNone: the sub-transaction may keep iterating.
+	ForceNone ForceStop = iota
+	// ForceIterations: the committed-iteration cap was reached (the
+	// paper's "pre-set and fixed number of iterations").
+	ForceIterations
+	// ForceAttempts: the finalized-attempt cap was reached — the livelock
+	// backstop for sub-transactions that perpetually roll back.
+	ForceAttempts
+)
+
+// JobState is the per-job lifecycle state of one uber-transaction's
+// sub-transactions while a shared executor drives them: how many are still
+// live, and the caps that force-retire stragglers. One executor pool runs
+// many jobs concurrently; each job tracks its own convergence through its
+// own JobState, so one uber-transaction finishing never depends on another.
+type JobState struct {
+	maxIterations uint64
+	maxAttempts   uint64
+	live          atomic.Int64
+}
+
+// NewJobState tracks subs live sub-transactions under the given caps
+// (0 disables a cap).
+func NewJobState(subs int64, maxIterations, maxAttempts uint64) *JobState {
+	s := &JobState{maxIterations: maxIterations, maxAttempts: maxAttempts}
+	s.live.Store(subs)
+	return s
+}
+
+// Live returns the number of not-yet-retired sub-transactions.
+func (s *JobState) Live() int64 { return s.live.Load() }
+
+// Converged reports whether every sub-transaction has been retired.
+func (s *JobState) Converged() bool { return s.live.Load() == 0 }
+
+// Retire removes n sub-transactions from the live count and returns the
+// new count.
+func (s *JobState) Retire(n int64) int64 { return s.live.Add(-n) }
+
+// ShouldForceStop checks a sub-transaction's context against the job's
+// caps: the iteration cap counts committed iterations only, the attempt
+// cap also counts rollbacks.
+func (s *JobState) ShouldForceStop(c *Ctx) ForceStop {
+	if s.maxIterations > 0 && c.Iteration() >= s.maxIterations {
+		return ForceIterations
+	}
+	if s.maxAttempts > 0 && c.Attempts() >= s.maxAttempts {
+		return ForceAttempts
+	}
+	return ForceNone
+}

@@ -1,0 +1,50 @@
+package itx
+
+import "testing"
+
+func TestJobStateRetire(t *testing.T) {
+	s := NewJobState(3, 0, 0)
+	if s.Live() != 3 || s.Converged() {
+		t.Fatalf("fresh state: live=%d converged=%v", s.Live(), s.Converged())
+	}
+	if got := s.Retire(2); got != 1 {
+		t.Fatalf("Retire(2) = %d, want 1", got)
+	}
+	if got := s.Retire(1); got != 0 || !s.Converged() {
+		t.Fatalf("after final retire: live=%d converged=%v", got, s.Converged())
+	}
+}
+
+func TestJobStateForceStopCaps(t *testing.T) {
+	ctx := NewCtx(asyncOpts(), 0)
+
+	uncapped := NewJobState(1, 0, 0)
+	if got := uncapped.ShouldForceStop(ctx); got != ForceNone {
+		t.Fatalf("uncapped ShouldForceStop = %v", got)
+	}
+
+	// Two committed iterations.
+	for i := 0; i < 2; i++ {
+		if _, rolledBack := ctx.Finalize(Commit); rolledBack {
+			t.Fatal("unexpected rollback")
+		}
+	}
+	iterCap := NewJobState(1, 2, 0)
+	if got := iterCap.ShouldForceStop(ctx); got != ForceIterations {
+		t.Fatalf("at iteration cap: ShouldForceStop = %v, want ForceIterations", got)
+	}
+
+	// A rollback advances attempts but not iterations, so only the attempt
+	// cap sees it.
+	if _, rolledBack := ctx.Finalize(Rollback); !rolledBack {
+		t.Fatal("Finalize(Rollback) did not roll back")
+	}
+	attemptCap := NewJobState(1, 0, 3)
+	if got := attemptCap.ShouldForceStop(ctx); got != ForceAttempts {
+		t.Fatalf("at attempt cap: ShouldForceStop = %v, want ForceAttempts", got)
+	}
+	looseIterCap := NewJobState(1, 3, 0)
+	if got := looseIterCap.ShouldForceStop(ctx); got != ForceNone {
+		t.Fatalf("rollback counted toward iteration cap: %v", got)
+	}
+}

@@ -85,6 +85,11 @@ type Config struct {
 	// Exec configures the executor (workers, topology, batch size,
 	// MaxIterations cap, straggler hook).
 	Exec exec.Config
+	// Pool, when non-nil, runs the uber-transaction as one job on this
+	// shared worker pool (alongside other concurrent jobs) instead of a
+	// throwaway per-run pool; the pool then fixes workers and topology,
+	// and only the per-job fields of Exec apply.
+	Pool *exec.Pool
 	// Isolation selects the ML isolation level. PageRank is single-writer
 	// per tuple, so SingleWriterHint is forced on unless Versions
 	// overrides the storage layout.
@@ -218,8 +223,10 @@ func Run(mgr *txn.Manager, node, edge *table.Table, cfg Config) (Result, error) 
 	base := (1 - cfg.Damping) / float64(n)
 	// Partition nodes across NUMA regions (range partitioning, like the
 	// baselines) and route each sub-transaction to its region's queue.
-	engine := exec.New(cfg.Exec, cfg.Isolation)
 	topo := cfg.Exec.Resolved().Topology
+	if cfg.Pool != nil {
+		topo = cfg.Pool.Topology()
+	}
 	node.SetPartitioner(partition.New(cfg.Partition, topo.Regions, uint64(n)))
 
 	// Out-degrees, computed once by the uber-transaction at its snapshot.
@@ -250,7 +257,12 @@ func Run(mgr *txn.Manager, node, edge *table.Table, cfg Config) (Result, error) 
 			profile: cfg.ExecuteNanos,
 		}
 	}
-	stats := engine.Run(subs, func(i int) int { return node.PartitionOf(table.RowID(i)) })
+	stats, err := exec.RunOn(cfg.Pool, cfg.Exec, cfg.Isolation, subs,
+		func(i int) int { return node.PartitionOf(table.RowID(i)) })
+	if err != nil {
+		_ = u.Abort()
+		return Result{}, err
+	}
 
 	ts, err := u.Commit()
 	if err != nil {

@@ -118,7 +118,18 @@ const (
 // Config tunes one SGD uber-transaction; zero values take the paper's
 // settings (20 epochs, step 5e-2, decay 0.8, asynchronous isolation).
 type Config struct {
-	Exec      exec.Config
+	Exec exec.Config
+	// Pool, when non-nil, runs the uber-transaction as one job on this
+	// shared worker pool (alongside other concurrent jobs) instead of a
+	// throwaway per-run pool; the pool then fixes workers and topology,
+	// and only the per-job fields of Exec apply.
+	Pool *exec.Pool
+	// Isolation overrides the ML isolation level; nil keeps the paper's
+	// Hogwild!-style asynchronous default. (A pointer, because the zero
+	// Options value means Synchronous.) Bounded staleness turns the model
+	// writes into buffered per-iteration installs with staleness-validated
+	// reads — the SSP-flavoured variant.
+	Isolation *isolation.Options
 	Epochs    int
 	StepSize  float64
 	StepDecay float64
@@ -256,8 +267,17 @@ func (s *sub) Validate(ctx *itx.Ctx) itx.Action {
 func Run(mgr *txn.Manager, tables *Tables, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	iso := isolation.Options{Level: isolation.Asynchronous}
+	if cfg.Isolation != nil {
+		iso = *cfg.Isolation
+	}
 	resolved := cfg.Exec.Resolved()
-	regions := resolved.Topology.Regions
+	topo := resolved.Topology
+	workers := resolved.Workers
+	if cfg.Pool != nil {
+		topo = cfg.Pool.Topology()
+		workers = cfg.Pool.Workers()
+	}
+	regions := topo.Regions
 
 	// Replica tables must exist before the uber-transaction fixes its
 	// snapshot, or their rows would be invisible to StartIterative.
@@ -287,7 +307,7 @@ func Run(mgr *txn.Manager, tables *Tables, cfg Config) (Result, error) {
 
 	// One sub-transaction per worker core (Algorithm 3), each owning a
 	// contiguous key range of the shuffled Sample table.
-	nSubs := resolved.Workers
+	nSubs := workers
 	rows := len(tables.Store)
 	if nSubs > rows {
 		nSubs = rows
@@ -305,7 +325,7 @@ func Run(mgr *txn.Manager, tables *Tables, cfg Config) (Result, error) {
 		if i == nSubs-1 {
 			high = int64(rows - 1)
 		}
-		region := resolved.Topology.RegionOf(i)
+		region := topo.RegionOf(i)
 		subs[i] = &sub{
 			tables: tables, replica: rs, region: region,
 			lowKey: low, highKey: high, snapshot: u.Snapshot(),
@@ -315,8 +335,11 @@ func Run(mgr *txn.Manager, tables *Tables, cfg Config) (Result, error) {
 		}
 		seenRegion[region] = true
 	}
-	engine := exec.New(cfg.Exec, iso)
-	stats := engine.Run(subs, func(i int) int { return resolved.Topology.RegionOf(i) })
+	stats, err := exec.RunOn(cfg.Pool, cfg.Exec, iso, subs, func(i int) int { return topo.RegionOf(i) })
+	if err != nil {
+		_ = u.Abort()
+		return Result{}, err
+	}
 
 	ts, err := u.Commit()
 	if err != nil {

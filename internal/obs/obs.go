@@ -135,6 +135,7 @@ type Observer struct {
 	liveSubs   gauge // non-retired sub-transactions, sampled per pass
 
 	mu     sync.Mutex
+	job    string // label of the job this run's telemetry belongs to
 	series []Sample
 }
 
@@ -155,7 +156,17 @@ func (o *Observer) BeginRun(workers int) {
 	o.queueDepth.reset()
 	o.liveSubs.reset()
 	o.mu.Lock()
+	o.job = ""
 	o.series = nil
+	o.mu.Unlock()
+}
+
+// SetJob tags this run's telemetry with the owning job's label, so
+// snapshots taken from concurrent uber-transactions stay attributable.
+// The executor calls it right after BeginRun.
+func (o *Observer) SetJob(label string) {
+	o.mu.Lock()
+	o.job = label
 	o.mu.Unlock()
 }
 
@@ -258,6 +269,9 @@ type GaugeStats struct {
 
 // Snapshot is a self-contained export of one run's telemetry.
 type Snapshot struct {
+	// Job is the label of the job the telemetry belongs to (empty when the
+	// run was not tagged via SetJob).
+	Job         string        `json:"job,omitempty"`
 	Workers     int           `json:"workers"`
 	Counters    CounterTotals `json:"counters"`
 	PerWorker   []WorkerStats `json:"per_worker"`
@@ -302,6 +316,7 @@ func (o *Observer) Snapshot() Snapshot {
 	snap.LiveSubs = o.liveSubs.snapshot()
 
 	o.mu.Lock()
+	snap.Job = o.job
 	snap.Convergence = append([]Sample(nil), o.series...)
 	o.mu.Unlock()
 	for i := 1; i < len(snap.Convergence); i++ {

@@ -148,20 +148,29 @@ func (r *IterativeRecord) ReadVersion(iter uint64, out Payload) bool {
 }
 
 // ReadRecent copies the most recent readable snapshot into out and returns
-// its iteration number. It prefers the newest snapshot and falls back to
-// older ones while a writer is mid-copy, so it never blocks on writers.
+// its iteration number. It scans for the slot with the newest stable stamp
+// rather than deriving the slot from the counter: records updated through
+// relaxed column stores advance the counter and stamp slot 0 (AddCounter)
+// without ever filling the other slots, so a counter-derived probe could
+// target permanently empty slots and spin. Falling back to an older stable
+// slot while a writer is mid-copy means it never blocks on writers.
 func (r *IterativeRecord) ReadRecent(out Payload) uint64 {
 	for {
-		latest := r.iterCounter.Load()
-		iter := latest
-		for i := 0; i < len(r.slots); i++ {
-			if r.ReadVersion(iter, out) {
-				return iter
+		best := -1
+		var bestSeq uint64
+		for i := range r.slots {
+			if s := r.slots[i].seq.Load(); s&1 == 0 && s != emptySlotSeq && s > bestSeq {
+				bestSeq, best = s, i
 			}
-			if iter == 0 {
-				break
+		}
+		if best >= 0 {
+			slot := &r.slots[best]
+			for i := range out {
+				out[i] = atomic.LoadUint64(&slot.data[i])
 			}
-			iter--
+			if slot.seq.Load() == bestSeq {
+				return bestSeq>>1 - 1
+			}
 		}
 		runtime.Gosched()
 	}

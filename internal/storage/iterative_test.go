@@ -208,3 +208,23 @@ func TestIterativeVersionWrapperFields(t *testing.T) {
 		t.Fatalf("wrapper iterative record shape wrong: width %d versions %d", rec.Iter.Width(), rec.Iter.NumVersions())
 	}
 }
+
+// TestIterativeRecentAfterRelaxedColumnStores: a multi-version record
+// updated only through StoreRelaxed+AddCounter stamps slot 0 but never
+// fills the other slots; ReadRecent must still terminate and return the
+// newest state instead of probing the empty counter-derived slots forever.
+func TestIterativeRecentAfterRelaxedColumnStores(t *testing.T) {
+	r := NewIterativeRecord(Payload{0, 0}, 4)
+	for i := 1; i <= 7; i++ { // 7 % 4 != 0: the failure mode's shape
+		r.StoreRelaxed(0, uint64(i))
+		r.StoreRelaxed(1, uint64(2*i))
+		r.AddCounter()
+	}
+	out := make(Payload, 2)
+	if iter := r.ReadRecent(out); iter != 7 {
+		t.Fatalf("ReadRecent iter = %d, want 7", iter)
+	}
+	if out[0] != 7 || out[1] != 14 {
+		t.Fatalf("ReadRecent payload = %v, want [7 14]", out)
+	}
+}
