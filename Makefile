@@ -1,5 +1,5 @@
 # Tier-1 gate: everything `make check` runs must stay green.
-.PHONY: check build vet test test-race-short bench-smoke
+.PHONY: check build vet test test-race-short bench-smoke chaos fuzz
 
 check: build vet test test-race-short
 
@@ -22,3 +22,17 @@ test-race-short:
 # benchmark run.
 bench-smoke:
 	go test -bench=BenchmarkObserverOverhead -benchtime=1x -run '^$$' .
+
+# Seeded fault-injection sweep: 8 fault schedules per isolation level,
+# every recorded history checked against the isolation contracts. A failing
+# seed is replayable with `go test ./internal/check -run TestInvariantSweep`
+# or check.RunTrial directly.
+chaos:
+	go run ./cmd/db4ml-bench -exp chaos -seeds 8
+
+# Short coverage-guided fuzz pass over the storage payload codec and the
+# iterative-record install/read seqlock. The committed corpus under
+# internal/storage/testdata/fuzz seeds both targets.
+fuzz:
+	go test -fuzz '^FuzzPayloadRoundTrip$$' -fuzztime 30s -run '^$$' ./internal/storage
+	go test -fuzz '^FuzzRecordInstall$$' -fuzztime 30s -run '^$$' ./internal/storage

@@ -1,4 +1,4 @@
-package db4ml
+package db4ml_test
 
 // Benchmark harness: one benchmark per table and figure of the paper's
 // evaluation (each delegates to the experiment runner in quick mode; run
@@ -8,6 +8,8 @@ package db4ml
 // storage and scheduling primitives.
 
 import (
+	"db4ml"
+
 	"io"
 	"testing"
 
@@ -147,7 +149,7 @@ type uncachedPRSub struct {
 
 type nodeTable struct {
 	tbl interface {
-		IterRecord(row RowID) *storage.IterativeRecord
+		IterRecord(row db4ml.RowID) *storage.IterativeRecord
 	}
 	inOf  [][]int32
 	degOf []float64
@@ -157,11 +159,11 @@ func (s *uncachedPRSub) Begin(ctx *itx.Ctx) { s.buf = make(storage.Payload, 2) }
 func (s *uncachedPRSub) Execute(ctx *itx.Ctx) {
 	sum := 0.0
 	for _, u := range s.node.inOf[s.row] {
-		rec := s.node.tbl.IterRecord(RowID(u)) // re-resolve every time
+		rec := s.node.tbl.IterRecord(db4ml.RowID(u)) // re-resolve every time
 		ctx.Read(rec, s.buf)
 		sum += s.buf.Float64(1) / s.node.degOf[u]
 	}
-	rec := s.node.tbl.IterRecord(RowID(s.row))
+	rec := s.node.tbl.IterRecord(db4ml.RowID(s.row))
 	s.buf.SetInt64(0, int64(s.row))
 	s.buf.SetFloat64(1, 0.15+s.damping*sum)
 	ctx.Write(rec, s.buf)
@@ -188,10 +190,10 @@ type cachedPRSub struct {
 
 func (s *cachedPRSub) Begin(ctx *itx.Ctx) {
 	s.buf = make(storage.Payload, 2)
-	s.myRec = s.node.tbl.IterRecord(RowID(s.row))
+	s.myRec = s.node.tbl.IterRecord(db4ml.RowID(s.row))
 	s.nRecs = make([]*storage.IterativeRecord, len(s.node.inOf[s.row]))
 	for i, u := range s.node.inOf[s.row] {
-		s.nRecs[i] = s.node.tbl.IterRecord(RowID(u))
+		s.nRecs[i] = s.node.tbl.IterRecord(db4ml.RowID(u))
 	}
 }
 
@@ -219,8 +221,8 @@ func (s *cachedPRSub) Validate(ctx *itx.Ctx) itx.Action {
 // for transaction-local storage).
 func BenchmarkAblationTxStateCache(b *testing.B) {
 	g := benchGraph()
-	mkSubs := func(tbl *Table, nt *nodeTable, cached bool) []IterativeTransaction {
-		subs := make([]IterativeTransaction, g.NumNodes())
+	mkSubs := func(tbl *db4ml.Table, nt *nodeTable, cached bool) []db4ml.IterativeTransaction {
+		subs := make([]db4ml.IterativeTransaction, g.NumNodes())
 		for v := range subs {
 			if cached {
 				subs[v] = &cachedPRSub{node: nt, row: v, iters: 10, damping: 0.85}
@@ -232,14 +234,14 @@ func BenchmarkAblationTxStateCache(b *testing.B) {
 	}
 	run := func(b *testing.B, cached bool) {
 		for i := 0; i < b.N; i++ {
-			db := Open()
+			db := db4ml.Open()
 			tbl, err := db.CreateTable("Node",
-				Column{Name: "NodeID", Type: Int64},
-				Column{Name: "PR", Type: Float64})
+				db4ml.Column{Name: "NodeID", Type: db4ml.Int64},
+				db4ml.Column{Name: "PR", Type: db4ml.Float64})
 			if err != nil {
 				b.Fatal(err)
 			}
-			rows := make([]Payload, g.NumNodes())
+			rows := make([]db4ml.Payload, g.NumNodes())
 			for v := range rows {
 				p := tbl.Schema().NewPayload()
 				p.SetInt64(0, int64(v))
@@ -257,10 +259,10 @@ func BenchmarkAblationTxStateCache(b *testing.B) {
 					nt.degOf[v] = 1
 				}
 			}
-			if _, err := db.RunML(MLRun{
-				Isolation: MLOptions{Level: Asynchronous},
+			if _, err := db.RunML(db4ml.MLRun{
+				Isolation: db4ml.MLOptions{Level: db4ml.Asynchronous},
 				Workers:   4,
-				Attach:    []Attachment{{Table: tbl}},
+				Attach:    []db4ml.Attachment{{Table: tbl}},
 				Subs:      mkSubs(tbl, nt, cached),
 			}); err != nil {
 				b.Fatal(err)
@@ -323,14 +325,14 @@ func BenchmarkIterativeReadRelaxed(b *testing.B) {
 }
 
 func BenchmarkOLTPCommit(b *testing.B) {
-	db := Open()
+	db := db4ml.Open()
 	tbl, err := db.CreateTable("Account",
-		Column{Name: "ID", Type: Int64},
-		Column{Name: "Balance", Type: Float64})
+		db4ml.Column{Name: "ID", Type: db4ml.Int64},
+		db4ml.Column{Name: "Balance", Type: db4ml.Float64})
 	if err != nil {
 		b.Fatal(err)
 	}
-	rows := make([]Payload, 1024)
+	rows := make([]db4ml.Payload, 1024)
 	for i := range rows {
 		p := tbl.Schema().NewPayload()
 		p.SetInt64(0, int64(i))
@@ -342,7 +344,7 @@ func BenchmarkOLTPCommit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tx := db.Begin()
-		row := RowID(i % 1024)
+		row := db4ml.RowID(i % 1024)
 		p, _ := tx.Read(tbl, row)
 		p.SetFloat64(1, p.Float64(1)+1)
 		if err := tx.Write(tbl, row, p); err != nil {
@@ -354,7 +356,7 @@ func BenchmarkOLTPCommit(b *testing.B) {
 	}
 }
 
-func topo(regions, workers int) (t Topology) {
+func topo(regions, workers int) (t db4ml.Topology) {
 	t.Regions = regions
 	t.Workers = workers
 	return t

@@ -11,6 +11,7 @@
 //	db4ml-bench -exp fig12 -quick
 //	db4ml-bench -exp fig9 -quick -telemetry
 //	db4ml-bench -exp concurrent -telemetry
+//	db4ml-bench -exp chaos -seeds 8
 //
 // With -telemetry, each instrumented job appends one labelled JSON
 // telemetry snapshot (per-worker counters, queue gauges, convergence
@@ -33,6 +34,7 @@ func main() {
 	runs := flag.Int("runs", 0, "repetitions per timed configuration (default 3)")
 	quick := flag.Bool("quick", false, "shrink datasets and sweeps for a fast smoke run")
 	telemetry := flag.Bool("telemetry", false, "attach an engine observer to selected configurations and print one labelled telemetry snapshot (JSON) per job after each experiment")
+	seeds := flag.Int("seeds", 0, "fault schedules per isolation level for -exp chaos (default 8, 4 with -quick)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -52,6 +54,7 @@ func main() {
 		Runs:       *runs,
 		Quick:      *quick,
 		Telemetry:  *telemetry,
+		Seeds:      *seeds,
 	}
 	if err := experiments.Run(*exp, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "db4ml-bench:", err)

@@ -2,6 +2,8 @@ package db4ml
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -210,5 +212,101 @@ func TestDBCloseDrainsAndRejects(t *testing.T) {
 	}
 	if err := db.Close(); err != nil {
 		t.Fatal("Close not idempotent:", err)
+	}
+}
+
+// TestDBCloseRacesSubmitAndCancel hammers the Close/SubmitML/Cancel
+// triangle under the race detector: several goroutines submit and cancel
+// jobs while two concurrent closers shut the database down. The invariant
+// under test: the moment any Close returns, every accepted job's
+// uber-transaction has finished its commit or abort — no publish is still
+// in flight — and every table is in a terminal state (fully committed or
+// untouched). Close used to return after draining the pool but before the
+// handle goroutines published, and a second concurrent Close returned
+// immediately without waiting for the first's drain.
+func TestDBCloseRacesSubmitAndCancel(t *testing.T) {
+	const submitters, jobsPer, rows = 4, 6, 4
+	const target = 3.0
+	db := Open(WithWorkers(4), WithRegions(2))
+
+	tables := make([][]*Table, submitters)
+	for s := range tables {
+		tables[s] = make([]*Table, jobsPer)
+		for j := range tables[s] {
+			tables[s][j] = loadCounters(t, db, fmt.Sprintf("race-%d-%d", s, j), rows)
+		}
+	}
+
+	var mu sync.Mutex
+	var handles []*JobHandle
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			<-start
+			for j := 0; j < jobsPer; j++ {
+				tbl := tables[s][j]
+				subs := make([]IterativeTransaction, rows)
+				for i := range subs {
+					subs[i] = &incSub{tbl: tbl, row: RowID(i), target: target}
+				}
+				h, err := db.SubmitML(context.Background(), MLRun{
+					Isolation: MLOptions{Level: Asynchronous},
+					BatchSize: 1,
+					Attach:    []Attachment{{Table: tbl}},
+					Subs:      subs,
+				})
+				if err != nil {
+					if err != ErrClosed {
+						t.Errorf("submitter %d job %d: %v", s, j, err)
+					}
+					return // database closed under us: expected
+				}
+				if j%2 == 1 {
+					h.Cancel()
+				}
+				mu.Lock()
+				handles = append(handles, h)
+				mu.Unlock()
+			}
+		}(s)
+	}
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			runtime.Gosched()
+			if err := db.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	// Every handle here was accepted before Close marked the database
+	// closed, so Close's return guarantees its commit/abort completed.
+	mu.Lock()
+	defer mu.Unlock()
+	for i, h := range handles {
+		select {
+		case <-h.Done():
+		default:
+			t.Fatalf("handle %d still in flight after Close returned", i)
+		}
+	}
+	for s := range tables {
+		for j, tbl := range tables[s] {
+			p, ok := db.Begin().Read(tbl, 0)
+			if !ok {
+				t.Fatalf("table %d-%d unreadable after Close", s, j)
+			}
+			if v := p.Float64(1); v != 0 && v != target {
+				t.Fatalf("table %d-%d in non-terminal state %v (want 0 or %v)", s, j, v, target)
+			}
+		}
 	}
 }

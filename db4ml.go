@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sync"
 
+	"db4ml/internal/chaos"
 	"db4ml/internal/exec"
 	"db4ml/internal/isolation"
 	"db4ml/internal/itx"
@@ -75,7 +76,27 @@ type (
 	Observer = obs.Observer
 	// TelemetrySnapshot is an Observer's exportable state.
 	TelemetrySnapshot = obs.Snapshot
+	// FaultInjector perturbs engine scheduling at the chaos injection
+	// points — deterministic, seed-replayable fault injection for tests and
+	// experiments (see internal/chaos and chaos.NewSeeded). Production runs
+	// leave it nil.
+	FaultInjector = chaos.Injector
 )
+
+// RunRecorder receives one ML run's isolation-relevant history: every
+// mediated read, validation, install, and barrier flip (exec.Recorder), plus
+// the uber-transaction's final commit or abort. internal/check implements it
+// to validate the paper's isolation contracts post-hoc; nil disables
+// recording at zero cost. Implementations are called concurrently.
+type RunRecorder interface {
+	exec.Recorder
+	// RecordUberCommit: the uber-transaction committed; its result became
+	// visible to OLTP transactions at timestamp ts.
+	RecordUberCommit(ts Timestamp)
+	// RecordUberAbort: the uber-transaction aborted; none of its updates
+	// ever became visible.
+	RecordUberAbort()
+}
 
 // NewObserver creates a telemetry observer to pass in MLRun.Observer. One
 // observer serves one run at a time; rerunning resets it.
@@ -126,6 +147,11 @@ type DB struct {
 
 	mu     sync.Mutex
 	closed bool
+	// handles tracks every SubmitML handle goroutine so Close can wait for
+	// the uber-transactions' commits/aborts, not just the pool drain: the
+	// pool finishes a job before the handle goroutine publishes its result,
+	// and "Close returned" must mean "no ML commit is still in flight".
+	handles sync.WaitGroup
 }
 
 // Option configures Open.
@@ -134,6 +160,7 @@ type Option func(*openConfig)
 type openConfig struct {
 	workers int
 	regions int
+	chaos   chaos.Injector
 }
 
 // WithWorkers sets the size of the database's worker pool (default
@@ -145,6 +172,12 @@ func WithWorkers(n int) Option { return func(c *openConfig) { c.workers = n } }
 // count is clamped to the worker count so every region has a worker.
 func WithRegions(n int) Option { return func(c *openConfig) { c.regions = n } }
 
+// WithChaos attaches a fault injector to the database's worker pool, which
+// perturbs cross-region work stealing. Per-run injection points are
+// configured separately via MLRun.Chaos (usually with the same injector).
+// Test/experiment only; see internal/chaos.
+func WithChaos(inj FaultInjector) Option { return func(c *openConfig) { c.chaos = inj } }
+
 // Open creates an empty database and starts its worker pool. Call Close
 // when done to stop the workers.
 func Open(opts ...Option) *DB {
@@ -152,7 +185,7 @@ func Open(opts ...Option) *DB {
 	for _, o := range opts {
 		o(&oc)
 	}
-	cfg := exec.Config{Workers: oc.workers}
+	cfg := exec.Config{Workers: oc.workers, Chaos: oc.chaos}
 	if oc.regions > 0 {
 		cfg.Topology = numa.NewTopology(oc.regions, cfg.Resolved().Workers)
 	}
@@ -165,19 +198,18 @@ func Open(opts ...Option) *DB {
 	return &DB{mgr: txn.NewManager(), tables: make(map[string]*Table), pool: pool}
 }
 
-// Close drains the in-flight ML jobs and stops the worker pool. Further
-// SubmitML/RunML calls fail with ErrClosed; OLTP transactions and reads
-// keep working. Close is idempotent.
+// Close drains the in-flight ML jobs — including each uber-transaction's
+// final commit or abort — and stops the worker pool. Further SubmitML/RunML
+// calls fail with ErrClosed; OLTP transactions and reads keep working.
+// Close is idempotent, and every concurrent Close waits for the full drain
+// rather than returning early while another Close is still draining.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
-		return nil
-	}
 	db.closed = true
 	pool := db.pool
 	db.mu.Unlock()
 	pool.Close()
+	db.handles.Wait()
 	return nil
 }
 
@@ -275,6 +307,13 @@ type MLRun struct {
 	// it when a sub-transaction's value can become momentarily stable
 	// while its inputs still change (e.g. PageRank).
 	ConvergeTogether bool
+	// Chaos, when non-nil, injects deterministic scheduling faults into
+	// this run (see internal/chaos). Test/experiment only.
+	Chaos FaultInjector
+	// Recorder, when non-nil, records this run's isolation-relevant
+	// history for post-hoc invariant checking (see internal/check). nil
+	// keeps recording fully disabled at zero cost.
+	Recorder RunRecorder
 }
 
 // JobHandle tracks one in-flight ML run submitted with SubmitML.
@@ -328,11 +367,16 @@ func (db *DB) SubmitML(ctx context.Context, run MLRun) (*JobHandle, error) {
 		db.mu.Unlock()
 		return nil, ErrClosed
 	}
+	// Registered under the same critical section as the closed check, so a
+	// concurrent Close either rejects this submission or waits for its
+	// commit/abort; every error return below must deregister.
+	db.handles.Add(1)
 	pool := db.pool
 	db.mu.Unlock()
 
 	u, err := itx.BeginUber(db.mgr, run.Isolation)
 	if err != nil {
+		db.handles.Done()
 		return nil, err
 	}
 	for _, a := range run.Attach {
@@ -342,6 +386,7 @@ func (db *DB) SubmitML(ctx context.Context, run MLRun) (*JobHandle, error) {
 		}
 		if err := u.Attach(a.Table, a.Rows, v); err != nil {
 			_ = u.Abort()
+			db.handles.Done()
 			return nil, err
 		}
 	}
@@ -357,6 +402,7 @@ func (db *DB) SubmitML(ctx context.Context, run MLRun) (*JobHandle, error) {
 		p, err := exec.NewPool(cfg)
 		if err != nil {
 			_ = u.Abort()
+			db.handles.Done()
 			return nil, err
 		}
 		pool, private = p, true
@@ -370,12 +416,15 @@ func (db *DB) SubmitML(ctx context.Context, run MLRun) (*JobHandle, error) {
 		ConvergeTogether: run.ConvergeTogether,
 		Observer:         run.Observer,
 		Label:            run.Label,
+		Chaos:            run.Chaos,
+		Recorder:         run.Recorder,
 	})
 	if err != nil {
 		if private {
 			pool.Close()
 		}
 		_ = u.Abort()
+		db.handles.Done()
 		if err == exec.ErrPoolClosed {
 			err = ErrClosed
 		}
@@ -384,6 +433,7 @@ func (db *DB) SubmitML(ctx context.Context, run MLRun) (*JobHandle, error) {
 
 	h := &JobHandle{job: job, done: make(chan struct{})}
 	go func() {
+		defer db.handles.Done()
 		defer close(h.done)
 		if ctx.Done() != nil {
 			select {
@@ -399,14 +449,25 @@ func (db *DB) SubmitML(ctx context.Context, run MLRun) (*JobHandle, error) {
 		h.stats = stats
 		if err != nil {
 			_ = u.Abort()
+			if run.Recorder != nil {
+				run.Recorder.RecordUberAbort()
+			}
 			if err == exec.ErrJobCancelled && ctx.Err() != nil {
 				err = ctx.Err()
 			}
 			h.err = err
 			return
 		}
-		if _, err := u.Commit(); err != nil {
+		ts, err := u.Commit()
+		if err != nil {
+			if run.Recorder != nil {
+				run.Recorder.RecordUberAbort()
+			}
 			h.err = err
+			return
+		}
+		if run.Recorder != nil {
+			run.Recorder.RecordUberCommit(ts)
 		}
 	}()
 	return h, nil

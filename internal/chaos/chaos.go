@@ -1,0 +1,253 @@
+// Package chaos is the kernel's fault-injection layer. It defines a small
+// Injector interface the execution engine (internal/exec), the iterative
+// transaction contexts (internal/itx), and the storage layer consult at
+// well-known scheduling points, plus a seeded, deterministic implementation
+// (Seeded) whose fault decisions are a pure function of (seed, worker,
+// point, call index). Production runs pass a nil Injector and pay a single
+// pointer nil-check per site; chaos runs replay any failing schedule by
+// re-running with the same seed.
+//
+// The injector never changes the semantics the engine promises — it only
+// explores schedules the engine must already tolerate: worker stalls and
+// preemptions, delays between a sub-transaction's validation and its
+// install, forced ROLLBACK storms, steal/recirculation perturbation, and
+// job cancellation mid-batch. The one deliberate exception is
+// OmitStalenessCheck, a contract breaker emitted only when
+// Config.BreakStaleness is set: internal/check's tests use it to prove the
+// invariant checker actually catches a broken staleness bound.
+package chaos
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Point identifies where in the engine a fault decision is being made.
+type Point uint8
+
+const (
+	// BatchStart: a worker popped a batch and is about to process it.
+	BatchStart Point = iota
+	// Validate: a sub-transaction's verdict was computed but not yet
+	// finalized — faults here widen the read-to-commit window.
+	Validate
+	// Install: inside Finalize, between staleness validation and the
+	// write install.
+	Install
+	// Steal: a worker is about to steal from another region's queue.
+	Steal
+	// Recirculate: a still-live batch is about to be re-enqueued.
+	Recirculate
+
+	numPoints
+)
+
+func (p Point) String() string {
+	switch p {
+	case BatchStart:
+		return "batch-start"
+	case Validate:
+		return "validate"
+	case Install:
+		return "install"
+	case Steal:
+		return "steal"
+	case Recirculate:
+		return "recirculate"
+	default:
+		return "point(?)"
+	}
+}
+
+// Fault is the perturbation an injection site must apply; None means run
+// undisturbed.
+type Fault uint8
+
+const (
+	// None: no fault; proceed normally.
+	None Fault = iota
+	// Stall: sleep for StallDuration before proceeding.
+	Stall
+	// Preempt: yield the processor (runtime.Gosched) before proceeding.
+	Preempt
+	// ForceRollback: override the sub-transaction's verdict with Rollback,
+	// forcing the iteration to repeat.
+	ForceRollback
+	// SkipSteal: pretend the victim region's queue was empty.
+	SkipSteal
+	// CancelJob: cancel the owning job mid-batch.
+	CancelJob
+	// OmitStalenessCheck: skip bounded-staleness validation and commit
+	// anyway. This breaks the isolation contract on purpose; it exists only
+	// so internal/check can prove its checker catches real violations.
+	OmitStalenessCheck
+)
+
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case Stall:
+		return "stall"
+	case Preempt:
+		return "preempt"
+	case ForceRollback:
+		return "force-rollback"
+	case SkipSteal:
+		return "skip-steal"
+	case CancelJob:
+		return "cancel-job"
+	case OmitStalenessCheck:
+		return "omit-staleness-check"
+	default:
+		return "fault(?)"
+	}
+}
+
+// StallDuration is how long injection sites sleep on a Stall fault — long
+// enough to reorder schedules, short enough that chaos sweeps stay fast.
+const StallDuration = 25 * time.Microsecond
+
+// Injector decides, at each injection point, which fault (if any) the call
+// site must apply. Implementations are called concurrently from every
+// worker and must be safe for concurrent use. A nil Injector disables
+// injection entirely.
+type Injector interface {
+	Perturb(p Point, worker int) Fault
+}
+
+// Config sets the per-point fault probabilities of a Seeded injector. All
+// probabilities are in [0, 1]; the zero Config injects nothing.
+type Config struct {
+	// StallProb is the probability of a Stall at BatchStart, Validate,
+	// Install, and Recirculate points.
+	StallProb float64
+	// PreemptProb is the probability of a Preempt at BatchStart and
+	// Recirculate points.
+	PreemptProb float64
+	// RollbackProb is the probability of a ForceRollback at Validate
+	// points — the forced-ROLLBACK storm knob.
+	RollbackProb float64
+	// SkipStealProb is the probability of a SkipSteal at Steal points.
+	SkipStealProb float64
+	// CancelAfter, when nonzero, emits exactly one CancelJob fault at the
+	// Nth BatchStart point observed across all workers.
+	CancelAfter uint64
+	// BreakStaleness makes every Install point return OmitStalenessCheck,
+	// deliberately breaking the bounded-staleness contract. Test-only: it
+	// exists to verify the invariant checker catches violations.
+	BreakStaleness bool
+}
+
+// DefaultConfig returns a moderately hostile configuration: frequent small
+// stalls and preemptions, a rollback storm, and steal perturbation, but no
+// cancellation and no contract breaking.
+func DefaultConfig() Config {
+	return Config{
+		StallProb:     0.10,
+		PreemptProb:   0.15,
+		RollbackProb:  0.20,
+		SkipStealProb: 0.25,
+	}
+}
+
+// stream is one worker's call counter, padded so concurrent workers never
+// share a cache line.
+type stream struct {
+	n atomic.Uint64
+	_ [120]byte
+}
+
+// Seeded is a deterministic Injector: the fault at a site is a pure
+// function of (seed, worker, point, per-worker call index), so a failing
+// schedule is replayable from its seed alone — worker interleaving changes
+// which decision lands where in wall-clock time, but never the decision
+// sequence each worker observes.
+type Seeded struct {
+	seed    uint64
+	cfg     Config
+	streams []stream
+	starts  atomic.Uint64 // BatchStart points seen, for CancelAfter
+	faults  atomic.Uint64 // non-None decisions handed out
+}
+
+// NewSeeded builds a deterministic injector for a pool of `workers`
+// workers. Out-of-range worker ids are clamped onto stream 0.
+func NewSeeded(seed int64, workers int, cfg Config) *Seeded {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Seeded{seed: uint64(seed), cfg: cfg, streams: make([]stream, workers)}
+}
+
+// Seed returns the injector's seed, for replay bookkeeping.
+func (s *Seeded) Seed() int64 { return int64(s.seed) }
+
+// Faults returns how many non-None faults the injector has handed out.
+func (s *Seeded) Faults() uint64 { return s.faults.Load() }
+
+// Perturb implements Injector.
+func (s *Seeded) Perturb(p Point, worker int) Fault {
+	f := s.decide(p, worker)
+	if f != None {
+		s.faults.Add(1)
+	}
+	return f
+}
+
+func (s *Seeded) decide(p Point, worker int) Fault {
+	if worker < 0 || worker >= len(s.streams) {
+		worker = 0
+	}
+	if p == BatchStart && s.cfg.CancelAfter > 0 && s.starts.Add(1) == s.cfg.CancelAfter {
+		return CancelJob
+	}
+	n := s.streams[worker].n.Add(1)
+	u := uniform(s.seed, uint64(worker), uint64(p), n)
+	switch p {
+	case BatchStart:
+		if u < s.cfg.StallProb {
+			return Stall
+		}
+		if u < s.cfg.StallProb+s.cfg.PreemptProb {
+			return Preempt
+		}
+	case Validate:
+		if u < s.cfg.RollbackProb {
+			return ForceRollback
+		}
+		if u < s.cfg.RollbackProb+s.cfg.StallProb {
+			return Stall
+		}
+	case Install:
+		if s.cfg.BreakStaleness {
+			return OmitStalenessCheck
+		}
+		if u < s.cfg.StallProb {
+			return Stall
+		}
+	case Steal:
+		if u < s.cfg.SkipStealProb {
+			return SkipSteal
+		}
+	case Recirculate:
+		if u < s.cfg.PreemptProb {
+			return Preempt
+		}
+		if u < s.cfg.PreemptProb+s.cfg.StallProb {
+			return Stall
+		}
+	}
+	return None
+}
+
+// uniform hashes (seed, worker, point, n) into [0, 1) with splitmix64.
+func uniform(seed, worker, point, n uint64) float64 {
+	x := seed ^ worker*0x9e3779b97f4a7c15 ^ point<<56 ^ n*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

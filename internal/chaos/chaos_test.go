@@ -1,0 +1,129 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+)
+
+// Same seed, same per-worker call sequence → identical fault decisions,
+// regardless of how calls from different workers interleave.
+func TestSeededIsDeterministicPerWorkerStream(t *testing.T) {
+	cfg := DefaultConfig()
+	record := func(shuffle bool) [][]Fault {
+		inj := NewSeeded(42, 4, cfg)
+		out := make([][]Fault, 4)
+		if !shuffle {
+			for w := 0; w < 4; w++ {
+				for i := 0; i < 200; i++ {
+					out[w] = append(out[w], inj.Perturb(Point(i%int(numPoints)), w))
+				}
+			}
+			return out
+		}
+		// Same per-worker call sequences, driven concurrently.
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				seq := make([]Fault, 0, 200)
+				for i := 0; i < 200; i++ {
+					seq = append(seq, inj.Perturb(Point(i%int(numPoints)), w))
+				}
+				mu.Lock()
+				out[w] = seq
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+		return out
+	}
+	a, b := record(false), record(true)
+	for w := range a {
+		for i := range a[w] {
+			if a[w][i] != b[w][i] {
+				t.Fatalf("worker %d call %d: %v (sequential) vs %v (concurrent)", w, i, a[w][i], b[w][i])
+			}
+		}
+	}
+}
+
+func TestSeededDifferentSeedsDiffer(t *testing.T) {
+	a := NewSeeded(1, 1, DefaultConfig())
+	b := NewSeeded(2, 1, DefaultConfig())
+	same := true
+	for i := 0; i < 500 && same; i++ {
+		p := Point(i % int(numPoints))
+		if a.Perturb(p, 0) != b.Perturb(p, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 500-fault sequences")
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	inj := NewSeeded(7, 2, Config{})
+	for i := 0; i < 1000; i++ {
+		if f := inj.Perturb(Point(i%int(numPoints)), i%2); f != None {
+			t.Fatalf("zero config injected %v", f)
+		}
+	}
+	if inj.Faults() != 0 {
+		t.Fatalf("Faults() = %d, want 0", inj.Faults())
+	}
+}
+
+func TestCancelAfterFiresExactlyOnce(t *testing.T) {
+	inj := NewSeeded(3, 2, Config{CancelAfter: 5})
+	cancels := 0
+	for i := 0; i < 100; i++ {
+		if inj.Perturb(BatchStart, i%2) == CancelJob {
+			cancels++
+			if i != 4 {
+				t.Fatalf("CancelJob at call %d, want call 4", i)
+			}
+		}
+	}
+	if cancels != 1 {
+		t.Fatalf("CancelJob fired %d times, want 1", cancels)
+	}
+}
+
+func TestBreakStalenessEmitsAtInstallOnly(t *testing.T) {
+	inj := NewSeeded(9, 1, Config{BreakStaleness: true})
+	for i := 0; i < 50; i++ {
+		if f := inj.Perturb(Install, 0); f != OmitStalenessCheck {
+			t.Fatalf("Install point returned %v, want OmitStalenessCheck", f)
+		}
+		if f := inj.Perturb(Validate, 0); f == OmitStalenessCheck {
+			t.Fatal("OmitStalenessCheck leaked to a non-Install point")
+		}
+	}
+}
+
+func TestRollbackStormProbability(t *testing.T) {
+	inj := NewSeeded(11, 1, Config{RollbackProb: 0.5})
+	storms := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if inj.Perturb(Validate, 0) == ForceRollback {
+			storms++
+		}
+	}
+	if storms < n/3 || storms > 2*n/3 {
+		t.Fatalf("rollback storm rate %d/%d far from configured 0.5", storms, n)
+	}
+	if inj.Faults() != uint64(storms) {
+		t.Fatalf("Faults() = %d, want %d", inj.Faults(), storms)
+	}
+}
+
+func TestOutOfRangeWorkerClamped(t *testing.T) {
+	inj := NewSeeded(13, 2, DefaultConfig())
+	// Must not panic; clamps onto stream 0.
+	inj.Perturb(BatchStart, -1)
+	inj.Perturb(Validate, 99)
+}

@@ -1,0 +1,185 @@
+package check
+
+import (
+	"fmt"
+
+	"db4ml/internal/exec"
+	"db4ml/internal/isolation"
+	"db4ml/internal/storage"
+)
+
+// Violation is one contract breach found in a recorded history, anchored to
+// the event that exposes it.
+type Violation struct {
+	// Contract names the breached contract: "bounded-staleness",
+	// "sync-barrier", or "visibility".
+	Contract string
+	// Event is the exposing event (its Seq locates it in the full log).
+	Event Event
+	// Msg explains the breach.
+	Msg string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violation at event %d (%s, job %s, worker %d, sub %d): %s",
+		v.Contract, v.Event.Seq, v.Event.Kind, v.Event.Job, v.Event.Worker, v.Event.Sub, v.Msg)
+}
+
+// Report is the outcome of checking one job's history: every violation
+// found plus how much evidence each contract was checked against, so a
+// green report over an empty history cannot masquerade as a passing one.
+type Report struct {
+	Violations []Violation
+	// StalenessChecked counts committed validation events examined.
+	StalenessChecked int
+	// BarrierChecked counts reads and installs examined against barrier
+	// windows.
+	BarrierChecked int
+	// VisibilityChecked counts probe events examined.
+	VisibilityChecked int
+}
+
+// Ok reports whether no contract was violated.
+func (r Report) Ok() bool { return len(r.Violations) == 0 }
+
+func (r *Report) add(contract string, e Event, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Contract: contract, Event: e, Msg: fmt.Sprintf(format, args...)})
+}
+
+// CheckStaleness validates contract 1 on job's events: every read a
+// committed iteration relied on must lie in [IterCounter-S, IterCounter] of
+// its record at validation time, where the validation event carries exactly
+// the counter evidence the engine's own staleness check weighed. A rolled-
+// back iteration may violate the bound (that is why it rolled back); a
+// committed one never may.
+func CheckStaleness(events []Event, job string, s uint64) Report {
+	var rep Report
+	for _, e := range events {
+		if e.Job != job || e.Kind != KindValidation || !e.Committed {
+			continue
+		}
+		rep.StalenessChecked++
+		if e.Latest > e.ReadIter && e.Latest-e.ReadIter > s {
+			rep.add("bounded-staleness", e,
+				"committed read of record %d at iteration %d with counter %d: staleness %d exceeds bound %d",
+				e.Rec, e.ReadIter, e.Latest, e.Latest-e.ReadIter, s)
+		}
+	}
+	return rep
+}
+
+// CheckSyncBarrier validates contract 2 on job's events: replaying the
+// barrier flips, every install must land inside an install phase, every
+// read inside an execute phase, and an execute-phase read of round r must
+// observe at most r installed snapshots (the synchronous level's "reads see
+// exactly the previous iteration" guarantee; fewer than r is legal when an
+// iteration rolled back and installed nothing).
+//
+// The log order is sound evidence: a worker's installs are appended before
+// it arrives at the barrier, the flip is appended by the last arriver
+// before any batch of the next phase is pushed, and the History mutex
+// serializes the appends, so no install can legitimately appear outside its
+// phase window in the log.
+func CheckSyncBarrier(events []Event, job string) Report {
+	var rep Report
+	phase := exec.PhaseExecute
+	round := uint64(0)
+	seen := false // a barrier event was recorded; without one, windows are unknown
+	for _, e := range events {
+		if e.Job != job {
+			continue
+		}
+		switch e.Kind {
+		case KindBarrier:
+			phase, round, seen = e.Phase, e.Round, true
+		case KindInstall:
+			if !seen {
+				continue
+			}
+			rep.BarrierChecked++
+			if phase != exec.PhaseInstall {
+				rep.add("sync-barrier", e,
+					"install on record %d during the execute phase of round %d", e.Rec, round)
+			}
+		case KindRead:
+			if !seen {
+				continue
+			}
+			rep.BarrierChecked++
+			if phase != exec.PhaseExecute {
+				rep.add("sync-barrier", e,
+					"read of record %d during the install phase of round %d", e.Rec, round)
+			} else if e.ReadIter > round {
+				rep.add("sync-barrier", e,
+					"read of record %d in round %d observed snapshot %d from a future round",
+					e.Rec, round, e.ReadIter)
+			}
+		}
+	}
+	return rep
+}
+
+// VisibilityRule tells CheckVisibility which probed values are legal before
+// and after the uber-transaction's commit timestamp.
+type VisibilityRule struct {
+	// Before reports whether value is a legal pre-commit read of row — the
+	// state the table held before the run started. Applied to every probe
+	// when the run aborted or never committed.
+	Before func(row int64, value uint64) bool
+	// After reports whether value is a legal post-commit read of row — the
+	// run's final state.
+	After func(row int64, value uint64) bool
+}
+
+// CheckVisibility validates contract 3 on job's events: probes with a begin
+// timestamp before the run's commit timestamp (or any probe, when the run
+// aborted) must see pre-run state — nothing written by the uncommitted
+// uber-transaction — and probes at or past the commit timestamp must see
+// the final committed state.
+func CheckVisibility(events []Event, job string, rule VisibilityRule) Report {
+	var rep Report
+	committed := false
+	var commitTS storage.Timestamp
+	for _, e := range events {
+		if e.Job == job && e.Kind == KindUberCommit {
+			committed, commitTS = true, e.TS
+		}
+	}
+	for _, e := range events {
+		if e.Job != job || e.Kind != KindProbe {
+			continue
+		}
+		rep.VisibilityChecked++
+		if committed && e.TS >= commitTS {
+			if !rule.After(e.Row, e.Value) {
+				rep.add("visibility", e,
+					"probe at ts %d (commit ts %d) read %d from row %d: not the committed final state",
+					e.TS, commitTS, e.Value, e.Row)
+			}
+		} else if !rule.Before(e.Row, e.Value) {
+			rep.add("visibility", e,
+				"probe at ts %d read %d from row %d: observed uncommitted uber-transaction state",
+				e.TS, e.Value, e.Row)
+		}
+	}
+	return rep
+}
+
+// Check runs every contract applicable to the job's isolation level and
+// merges the reports: staleness for BoundedStaleness, the barrier contract
+// for Synchronous, and — when a rule is given — visibility for every level.
+func Check(events []Event, job string, opts isolation.Options, rule *VisibilityRule) Report {
+	var rep Report
+	switch opts.Level {
+	case isolation.BoundedStaleness:
+		rep = CheckStaleness(events, job, opts.Staleness)
+	case isolation.Synchronous:
+		rep = CheckSyncBarrier(events, job)
+	}
+	if rule != nil {
+		vis := CheckVisibility(events, job, *rule)
+		rep.Violations = append(rep.Violations, vis.Violations...)
+		rep.VisibilityChecked = vis.VisibilityChecked
+	}
+	return rep
+}

@@ -1,0 +1,168 @@
+package check
+
+import (
+	"testing"
+
+	"db4ml/internal/exec"
+	"db4ml/internal/isolation"
+	"db4ml/internal/itx"
+	"db4ml/internal/storage"
+)
+
+func TestHistoryRecordsInOrderWithDenseRecordIDs(t *testing.T) {
+	h := NewHistory()
+	r := h.Job("j")
+	recA := storage.NewIterativeRecord(storage.Payload{0}, 2)
+	recB := storage.NewIterativeRecord(storage.Payload{0}, 2)
+
+	r.ObserveRead(1, 0, 0, recA, 0, 0)
+	r.ObserveRead(2, 1, 0, recB, 0, 0)
+	r.ObserveInstall(1, 0, 0, recA, 1)
+	r.ObserveValidation(1, 0, 0, recA, 0, 1, true)
+	r.ObserveOutcome(1, 0, 0, itx.Commit, true)
+	r.RecordBarrier(3, exec.PhaseInstall)
+	r.RecordUberCommit(42)
+	r.RecordUberAbort()
+	h.Probe("j", 7, 5, 99)
+
+	ev := h.Events()
+	if len(ev) != 9 || h.Len() != 9 {
+		t.Fatalf("recorded %d events, want 9", len(ev))
+	}
+	for i, e := range ev {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		if e.Job != "j" {
+			t.Fatalf("event %d has job %q", i, e.Job)
+		}
+	}
+	if ev[0].Rec != 0 || ev[1].Rec != 1 || ev[2].Rec != 0 {
+		t.Fatalf("record ids not dense/stable: %d %d %d", ev[0].Rec, ev[1].Rec, ev[2].Rec)
+	}
+	if ev[2].Kind != KindInstall || ev[2].Latest != 1 || ev[2].Slot != 1 {
+		t.Fatalf("install event mangled: %+v", ev[2])
+	}
+	if ev[5].Round != 3 || ev[5].Phase != exec.PhaseInstall {
+		t.Fatalf("barrier event mangled: %+v", ev[5])
+	}
+	if ev[6].TS != 42 {
+		t.Fatalf("uber-commit ts = %d", ev[6].TS)
+	}
+	if ev[8].Row != 5 || ev[8].Value != 99 || ev[8].TS != 7 {
+		t.Fatalf("probe event mangled: %+v", ev[8])
+	}
+}
+
+func TestCheckStaleness(t *testing.T) {
+	events := []Event{
+		// Within bound: staleness 2 with S=2.
+		{Kind: KindValidation, Job: "j", Rec: 0, ReadIter: 3, Latest: 5, Committed: true},
+		// Rolled back: exempt no matter how stale.
+		{Kind: KindValidation, Job: "j", Rec: 0, ReadIter: 0, Latest: 9, Committed: false},
+		// Other job: ignored.
+		{Kind: KindValidation, Job: "other", Rec: 0, ReadIter: 0, Latest: 9, Committed: true},
+		// Committed beyond the bound: the violation.
+		{Kind: KindValidation, Job: "j", Seq: 3, Rec: 1, ReadIter: 2, Latest: 5, Committed: true},
+	}
+	rep := CheckStaleness(events, "j", 2)
+	if rep.StalenessChecked != 2 {
+		t.Fatalf("checked %d committed validations, want 2", rep.StalenessChecked)
+	}
+	if len(rep.Violations) != 1 || rep.Violations[0].Event.Seq != 3 {
+		t.Fatalf("violations = %v, want exactly the seq-3 event", rep.Violations)
+	}
+	if rep.Ok() {
+		t.Fatal("report with violations claims Ok")
+	}
+	if clean := CheckStaleness(events[:3], "j", 2); !clean.Ok() || clean.StalenessChecked != 1 {
+		t.Fatalf("clean history misjudged: %+v", clean)
+	}
+}
+
+func TestCheckSyncBarrier(t *testing.T) {
+	ok := []Event{
+		{Kind: KindBarrier, Job: "j", Round: 0, Phase: exec.PhaseExecute},
+		{Kind: KindRead, Job: "j", Rec: 0, ReadIter: 0},
+		{Kind: KindBarrier, Job: "j", Round: 0, Phase: exec.PhaseInstall},
+		{Kind: KindInstall, Job: "j", Rec: 0, Latest: 1},
+		{Kind: KindBarrier, Job: "j", Round: 1, Phase: exec.PhaseExecute},
+		{Kind: KindRead, Job: "j", Rec: 0, ReadIter: 1},
+	}
+	if rep := CheckSyncBarrier(ok, "j"); !rep.Ok() || rep.BarrierChecked != 3 {
+		t.Fatalf("legal history misjudged: %+v", rep)
+	}
+
+	crossInstall := append(append([]Event{}, ok[:2]...),
+		Event{Kind: KindInstall, Job: "j", Seq: 9, Rec: 0, Latest: 1})
+	rep := CheckSyncBarrier(crossInstall, "j")
+	if len(rep.Violations) != 1 || rep.Violations[0].Event.Seq != 9 {
+		t.Fatalf("execute-phase install not flagged: %+v", rep)
+	}
+
+	crossRead := append(append([]Event{}, ok[:4]...),
+		Event{Kind: KindRead, Job: "j", Seq: 9, Rec: 0, ReadIter: 1})
+	rep = CheckSyncBarrier(crossRead, "j")
+	if len(rep.Violations) != 1 || rep.Violations[0].Event.Seq != 9 {
+		t.Fatalf("install-phase read not flagged: %+v", rep)
+	}
+
+	future := append(append([]Event{}, ok...),
+		Event{Kind: KindRead, Job: "j", Seq: 9, Rec: 0, ReadIter: 2})
+	rep = CheckSyncBarrier(future, "j")
+	if len(rep.Violations) != 1 || rep.Violations[0].Event.Seq != 9 {
+		t.Fatalf("future-snapshot read not flagged: %+v", rep)
+	}
+}
+
+func TestCheckVisibility(t *testing.T) {
+	rule := VisibilityRule{
+		Before: func(row int64, v uint64) bool { return v == 0 },
+		After:  func(row int64, v uint64) bool { return v == 10 },
+	}
+	committed := []Event{
+		{Kind: KindProbe, Job: "j", TS: 5, Row: 0, Value: 0},
+		{Kind: KindUberCommit, Job: "j", TS: 7},
+		{Kind: KindProbe, Job: "j", TS: 8, Row: 0, Value: 10},
+	}
+	if rep := CheckVisibility(committed, "j", rule); !rep.Ok() || rep.VisibilityChecked != 2 {
+		t.Fatalf("legal committed history misjudged: %+v", rep)
+	}
+
+	leak := append(append([]Event{}, committed...),
+		Event{Kind: KindProbe, Job: "j", Seq: 9, TS: 6, Row: 0, Value: 4})
+	rep := CheckVisibility(leak, "j", rule)
+	if len(rep.Violations) != 1 || rep.Violations[0].Event.Seq != 9 {
+		t.Fatalf("pre-commit leak not flagged: %+v", rep)
+	}
+
+	// After an abort every probe must see pre-run state, timestamps or not.
+	aborted := []Event{
+		{Kind: KindUberAbort, Job: "j"},
+		{Kind: KindProbe, Job: "j", TS: 100, Row: 0, Value: 0},
+		{Kind: KindProbe, Job: "j", Seq: 2, TS: 101, Row: 0, Value: 10},
+	}
+	rep = CheckVisibility(aborted, "j", rule)
+	if len(rep.Violations) != 1 || rep.Violations[0].Event.Seq != 2 {
+		t.Fatalf("post-abort leak not flagged: %+v", rep)
+	}
+}
+
+func TestCheckDispatchesPerLevel(t *testing.T) {
+	events := []Event{
+		{Kind: KindValidation, Job: "j", ReadIter: 0, Latest: 9, Committed: true},
+		{Kind: KindBarrier, Job: "j", Round: 0, Phase: exec.PhaseExecute},
+		{Kind: KindInstall, Job: "j", Latest: 1},
+	}
+	if rep := Check(events, "j", isolation.Options{Level: isolation.BoundedStaleness, Staleness: 2}, nil); len(rep.Violations) != 1 {
+		t.Fatalf("bounded dispatch: %+v", rep)
+	}
+	if rep := Check(events, "j", isolation.Options{Level: isolation.Synchronous}, nil); len(rep.Violations) != 1 {
+		t.Fatalf("sync dispatch: %+v", rep)
+	}
+	// Asynchronous has no staleness or barrier contract; only visibility
+	// applies, and without a rule the report is empty.
+	if rep := Check(events, "j", isolation.Options{Level: isolation.Asynchronous}, nil); !rep.Ok() {
+		t.Fatalf("async dispatch: %+v", rep)
+	}
+}

@@ -1,0 +1,229 @@
+// Package check validates DB4ML's isolation contracts post-hoc. A History
+// records the isolation-relevant events of one or more ML runs — every
+// mediated read with the record counter it observed, the per-read staleness
+// evidence weighed at commit time, every snapshot install, the synchronous
+// scheduler's barrier phase flips, the uber-transaction's final commit or
+// abort, and concurrent OLTP probe reads — and the checkers replay the
+// resulting totally ordered log against the paper's three contracts:
+//
+//  1. Bounded staleness (Section 4.2): every read a committed iteration
+//     used lies in [IterCounter-S, IterCounter] at validation time.
+//  2. Synchronous isolation: no sub-transaction reads across the barrier —
+//     installs happen only in install phases, reads only in execute phases,
+//     and an execute-phase read of round r sees at most r installed
+//     snapshots.
+//  3. Uber-transaction visibility: nothing written by an uncommitted
+//     uber-transaction is visible to OLTP readers; after commit, readers at
+//     or past the commit timestamp see the final state.
+//
+// Combined with internal/chaos (deterministic, seeded fault injection) this
+// forms the repo's schedule-replay harness: a failing seed reproduces the
+// exact fault sequence, and the recorded history pinpoints the violating
+// event.
+package check
+
+import (
+	"fmt"
+	"sync"
+
+	"db4ml/internal/itx"
+	"db4ml/internal/storage"
+)
+
+// Kind classifies one history event.
+type Kind int
+
+const (
+	// KindRead: a sub-transaction read snapshot ReadIter of record Rec
+	// while its counter stood at Latest.
+	KindRead Kind = iota
+	// KindValidation: at finalize, the read of Rec at ReadIter was weighed
+	// against the record's then-current counter Latest; Committed reports
+	// whether the iteration's writes were installed.
+	KindValidation
+	// KindInstall: the iteration installed a snapshot on Rec, advancing its
+	// counter to Latest (stored in slot Slot).
+	KindInstall
+	// KindOutcome: one finalize finished with verdict Action; Committed is
+	// false for rollbacks.
+	KindOutcome
+	// KindBarrier: the synchronous scheduler flipped to Phase of Round.
+	KindBarrier
+	// KindProbe: an OLTP transaction with begin timestamp TS read Value
+	// from Row of an attached table while the run was in flight.
+	KindProbe
+	// KindUberCommit: the uber-transaction committed at timestamp TS.
+	KindUberCommit
+	// KindUberAbort: the uber-transaction aborted.
+	KindUberAbort
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRead:
+		return "read"
+	case KindValidation:
+		return "validation"
+	case KindInstall:
+		return "install"
+	case KindOutcome:
+		return "outcome"
+	case KindBarrier:
+		return "barrier"
+	case KindProbe:
+		return "probe"
+	case KindUberCommit:
+		return "uber-commit"
+	case KindUberAbort:
+		return "uber-abort"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one entry of the recorded history. Only the fields relevant to
+// its Kind are meaningful (see the Kind constants).
+type Event struct {
+	Seq    int    // position in the totally ordered log
+	Kind   Kind   //
+	Job    string // label of the run the event belongs to
+	Worker int    // worker that emitted the event
+	Sub    int    // sub-transaction index within its job
+	Iter   uint64 // sub's committed-iteration count when emitted
+
+	Rec      int    // dense id of the iterative record touched
+	Slot     int    // snapshot-array slot an install landed in
+	ReadIter uint64 // iteration of the snapshot read / validated
+	Latest   uint64 // record counter observed (reads, validations) or reached (installs)
+
+	Committed bool       // validations, outcomes
+	Action    itx.Action // outcomes
+
+	Round uint64 // barriers
+	Phase int32  // barriers (exec.PhaseExecute / exec.PhaseInstall)
+
+	Row   int64             // probes
+	Value uint64            // probes
+	TS    storage.Timestamp // probes (begin), uber-commits (commit)
+}
+
+// History is a mutex-sequenced event log shared by every recorder derived
+// from it. The mutex both protects the slice and supplies the total order
+// the checkers rely on: an event's Seq reflects real time at the instant it
+// was appended, so cross-worker orderings established by the engine's own
+// synchronization (a barrier flip before a re-push, an install before a
+// barrier arrival) are preserved in the log.
+type History struct {
+	mu     sync.Mutex
+	events []Event
+	recIDs map[*storage.IterativeRecord]int
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{recIDs: make(map[*storage.IterativeRecord]int)}
+}
+
+// Len returns the number of recorded events.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.events)
+}
+
+// Events returns a copy of the log in append order.
+func (h *History) Events() []Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Event(nil), h.events...)
+}
+
+// append assigns the next sequence number and the record's dense id.
+func (h *History) append(e Event, rec *storage.IterativeRecord) {
+	h.mu.Lock()
+	if rec != nil {
+		id, ok := h.recIDs[rec]
+		if !ok {
+			id = len(h.recIDs)
+			h.recIDs[rec] = id
+		}
+		e.Rec = id
+		e.Slot = rec.SlotFor(e.Latest)
+	} else {
+		e.Rec = -1
+	}
+	e.Seq = len(h.events)
+	h.events = append(h.events, e)
+	h.mu.Unlock()
+}
+
+// Probe records one concurrent OLTP read of an attached row: a transaction
+// with begin timestamp ts observed value in row. The visibility checker
+// compares ts against the run's commit timestamp.
+func (h *History) Probe(job string, ts storage.Timestamp, row int64, value uint64) {
+	h.append(Event{Kind: KindProbe, Job: job, Worker: -1, Sub: -1, TS: ts, Row: row, Value: value}, nil)
+}
+
+// Job derives a recorder for one ML run, tagging every event with the given
+// label. The returned recorder satisfies the facade's RunRecorder interface
+// (itx.Recorder + barrier flips + uber commit/abort); events from several
+// jobs interleave in the shared log and are separated again by label at
+// check time.
+func (h *History) Job(label string) *JobRecorder {
+	return &JobRecorder{h: h, label: label}
+}
+
+// JobRecorder funnels one run's events into its History.
+type JobRecorder struct {
+	h     *History
+	label string
+}
+
+// ObserveRead implements itx.Recorder.
+func (r *JobRecorder) ObserveRead(worker, sub int, iter uint64, rec *storage.IterativeRecord, readIter, counter uint64) {
+	r.h.append(Event{
+		Kind: KindRead, Job: r.label, Worker: worker, Sub: sub, Iter: iter,
+		ReadIter: readIter, Latest: counter,
+	}, rec)
+}
+
+// ObserveValidation implements itx.Recorder.
+func (r *JobRecorder) ObserveValidation(worker, sub int, iter uint64, rec *storage.IterativeRecord, readIter, latest uint64, committed bool) {
+	r.h.append(Event{
+		Kind: KindValidation, Job: r.label, Worker: worker, Sub: sub, Iter: iter,
+		ReadIter: readIter, Latest: latest, Committed: committed,
+	}, rec)
+}
+
+// ObserveInstall implements itx.Recorder.
+func (r *JobRecorder) ObserveInstall(worker, sub int, iter uint64, rec *storage.IterativeRecord, counter uint64) {
+	r.h.append(Event{
+		Kind: KindInstall, Job: r.label, Worker: worker, Sub: sub, Iter: iter,
+		Latest: counter,
+	}, rec)
+}
+
+// ObserveOutcome implements itx.Recorder.
+func (r *JobRecorder) ObserveOutcome(worker, sub int, iter uint64, action itx.Action, committed bool) {
+	r.h.append(Event{
+		Kind: KindOutcome, Job: r.label, Worker: worker, Sub: sub, Iter: iter,
+		Action: action, Committed: committed,
+	}, nil)
+}
+
+// RecordBarrier implements exec.Recorder.
+func (r *JobRecorder) RecordBarrier(round uint64, phase int32) {
+	r.h.append(Event{
+		Kind: KindBarrier, Job: r.label, Worker: -1, Sub: -1, Round: round, Phase: phase,
+	}, nil)
+}
+
+// RecordUberCommit implements the facade's RunRecorder.
+func (r *JobRecorder) RecordUberCommit(ts storage.Timestamp) {
+	r.h.append(Event{Kind: KindUberCommit, Job: r.label, Worker: -1, Sub: -1, TS: ts}, nil)
+}
+
+// RecordUberAbort implements the facade's RunRecorder.
+func (r *JobRecorder) RecordUberAbort() {
+	r.h.append(Event{Kind: KindUberAbort, Job: r.label, Worker: -1, Sub: -1}, nil)
+}

@@ -1,0 +1,261 @@
+package check
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"db4ml"
+	"db4ml/internal/chaos"
+	"db4ml/internal/isolation"
+	"db4ml/internal/itx"
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+)
+
+// TrialConfig describes one chaos trial: a seeded fault schedule applied to
+// a real engine run whose recorded history is checked against the isolation
+// contracts. The same (Seed, Level, Workers, Chaos) tuple replays the same
+// fault schedule, which is what makes a failing trial debuggable.
+type TrialConfig struct {
+	// Seed drives the deterministic fault injector.
+	Seed int64
+	// Level is the isolation level under test.
+	Level isolation.Options
+	// Workers sizes the database's worker pool (2 NUMA regions when >1).
+	Workers int
+	// Subs is the number of sub-transactions in the counter ring.
+	Subs int
+	// Target is the value every sub-transaction counts its row up to.
+	Target uint64
+	// Chaos sets the fault probabilities (chaos.DefaultConfig for a storm,
+	// the zero value for a fault-free control run).
+	Chaos chaos.Config
+}
+
+// TrialResult reports one trial: the contract-check report, whether the job
+// was cancelled mid-run (by a chaos CancelJob fault), and how much evidence
+// the trial produced.
+type TrialResult struct {
+	Report    Report
+	Cancelled bool
+	// Faults is the number of faults the injector fired into the run.
+	Faults uint64
+	// Events is the recorded history length.
+	Events int
+	Stats  db4ml.ExecStats
+}
+
+// LevelOptions returns the sweep's isolation options for a level: S=2 for
+// bounded staleness, defaults otherwise.
+func LevelOptions(level isolation.Level) isolation.Options {
+	opts := isolation.Options{Level: level}
+	if level == isolation.BoundedStaleness {
+		opts.Staleness = 2
+	}
+	return opts
+}
+
+// counterSub is the sweep workload: sub-transaction i owns row i of a ring
+// and counts it 0,1,...,target, one increment per committed iteration,
+// reading neighbor row (i+1)%n each iteration purely to create cross-sub
+// staleness and barrier pressure. The final table state is itself an
+// oracle: a completed run must leave every row exactly at target (an
+// increment lost to a fault schedule shows up as a smaller value), and a
+// cancelled run must leave the pre-run zeros.
+//
+// Writes use one mechanism per isolation level — full-row Write under
+// bounded staleness and synchronous, immediate relaxed column stores under
+// asynchronous — because mixing seqlock installs and relaxed column stores
+// on one record is not supported by the storage layer. The written row is
+// tag-replicated (both columns equal), so a torn row is detectable.
+type counterSub struct {
+	tbl      *table.Table
+	row, nbr table.RowID
+	target   uint64
+	level    isolation.Level
+
+	rec, nrec *storage.IterativeRecord
+	buf, nbuf storage.Payload
+	reached   uint64 // value this iteration wrote
+}
+
+func (s *counterSub) Begin(c *itx.Ctx) {
+	s.rec = s.tbl.IterRecord(s.row)
+	s.nrec = s.tbl.IterRecord(s.nbr)
+	s.buf = make(storage.Payload, 2)
+	s.nbuf = make(storage.Payload, 2)
+}
+
+func (s *counterSub) Execute(c *itx.Ctx) {
+	c.Read(s.nrec, s.nbuf) // neighbor read: staleness pressure only
+	c.Read(s.rec, s.buf)
+	next := s.buf[0] + 1
+	if next > s.target {
+		// Asynchronous stores survive forced rollbacks (Hogwild semantics),
+		// so a re-executed iteration must not count past the target.
+		next = s.target
+	}
+	s.reached = next
+	if s.level == isolation.Asynchronous {
+		c.WriteCol(s.rec, 0, next)
+		c.WriteCol(s.rec, 1, next)
+	} else {
+		s.buf[0], s.buf[1] = next, next
+		c.Write(s.rec, s.buf)
+	}
+}
+
+func (s *counterSub) Validate(c *itx.Ctx) itx.Action {
+	if s.reached >= s.target {
+		return itx.Done
+	}
+	return itx.Commit
+}
+
+// RunTrial executes one chaos trial end to end: open a database with the
+// seeded injector, run the counter-ring workload under the trial's
+// isolation level with history recording on, probe the table from
+// concurrent OLTP transactions the whole time, then check the recorded
+// history against every applicable contract and the final table state
+// against the workload oracle. The returned error reports harness or
+// oracle failures; contract breaches land in the report.
+func RunTrial(cfg TrialConfig) (TrialResult, error) {
+	var res TrialResult
+	if cfg.Subs < 2 || cfg.Target == 0 || cfg.Workers < 1 {
+		return res, fmt.Errorf("check: degenerate trial config %+v", cfg)
+	}
+	inj := chaos.NewSeeded(cfg.Seed, cfg.Workers, cfg.Chaos)
+	regions := 1
+	if cfg.Workers > 1 {
+		regions = 2
+	}
+	db := db4ml.Open(db4ml.WithWorkers(cfg.Workers), db4ml.WithRegions(regions), db4ml.WithChaos(inj))
+	defer db.Close()
+
+	tbl, err := db.CreateTable("chaos_ring",
+		db4ml.Column{Name: "V", Type: db4ml.Int64},
+		db4ml.Column{Name: "VTag", Type: db4ml.Int64})
+	if err != nil {
+		return res, err
+	}
+	rows := make([]storage.Payload, cfg.Subs)
+	for i := range rows {
+		rows[i] = storage.Payload{0, 0}
+	}
+	if err := db.BulkLoad(tbl, rows); err != nil {
+		return res, err
+	}
+
+	if cfg.Level.Level == isolation.BoundedStaleness && !cfg.Level.SingleWriterHint {
+		// Widen the seqlock's mid-copy window so readers actually exercise
+		// their retry/fallback paths under the fault schedule.
+		storage.SetInstallHook(func(iter uint64, slot int) { runtime.Gosched() })
+		defer storage.SetInstallHook(nil)
+	}
+
+	subs := make([]db4ml.IterativeTransaction, cfg.Subs)
+	for i := range subs {
+		subs[i] = &counterSub{
+			tbl:    tbl,
+			row:    table.RowID(i),
+			nbr:    table.RowID((i + 1) % cfg.Subs),
+			target: cfg.Target,
+			level:  cfg.Level.Level,
+		}
+	}
+
+	hist := NewHistory()
+	label := fmt.Sprintf("chaos-%s-seed%d-w%d", cfg.Level.Level, cfg.Seed, cfg.Workers)
+
+	// Concurrent OLTP probes: sweep every ring row over and over while the
+	// run is in flight, logging each observation with the reading
+	// transaction's begin timestamp. The visibility checker later splits
+	// them at the commit timestamp.
+	probe := func() {
+		tx := db.Begin()
+		for r := 0; r < cfg.Subs; r++ {
+			if p, ok := tx.Read(tbl, table.RowID(r)); ok {
+				hist.Probe(label, tx.BeginTS(), int64(r), p[0])
+			}
+		}
+		tx.Abort()
+	}
+	stopProbes := make(chan struct{})
+	var probeWG sync.WaitGroup
+	probeWG.Add(1)
+	go func() {
+		defer probeWG.Done()
+		for {
+			select {
+			case <-stopProbes:
+				return
+			default:
+			}
+			probe()
+			runtime.Gosched()
+		}
+	}()
+
+	h, err := db.SubmitML(context.Background(), db4ml.MLRun{
+		Isolation: cfg.Level,
+		Label:     label,
+		BatchSize: 2,
+		Attach:    []db4ml.Attachment{{Table: tbl}},
+		Subs:      subs,
+		Chaos:     inj,
+		Recorder:  hist.Job(label),
+	})
+	if err != nil {
+		close(stopProbes)
+		probeWG.Wait()
+		return res, err
+	}
+	stats, err := h.Wait()
+	close(stopProbes)
+	probeWG.Wait()
+	res.Stats = stats
+	res.Faults = inj.Faults()
+	switch {
+	case err == nil:
+		res.Cancelled = false
+	case errors.Is(err, db4ml.ErrJobCancelled):
+		res.Cancelled = true
+	default:
+		return res, err
+	}
+	probe() // guaranteed post-commit/post-abort observations
+
+	// Workload oracle on the final stable state: a committed run left every
+	// row exactly at target (a smaller value is a lost increment, a larger
+	// one a double-count), a cancelled run left the pre-run zeros.
+	want := cfg.Target
+	if res.Cancelled {
+		want = 0
+	}
+	tx := db.Begin()
+	for r := 0; r < cfg.Subs; r++ {
+		p, ok := tx.Read(tbl, table.RowID(r))
+		if !ok {
+			tx.Abort()
+			return res, fmt.Errorf("final read of row %d failed", r)
+		}
+		if p[0] != want || p[1] != want {
+			tx.Abort()
+			return res, fmt.Errorf("row %d ended at (%d,%d), want (%d,%d) (cancelled=%v)",
+				r, p[0], p[1], want, want, res.Cancelled)
+		}
+	}
+	tx.Abort()
+
+	events := hist.Events()
+	res.Events = len(events)
+	rule := VisibilityRule{
+		Before: func(row int64, v uint64) bool { return v == 0 },
+		After:  func(row int64, v uint64) bool { return v == cfg.Target },
+	}
+	res.Report = Check(events, label, cfg.Level, &rule)
+	return res, nil
+}

@@ -22,11 +22,24 @@ import (
 	"sync/atomic"
 	"time"
 
+	"db4ml/internal/chaos"
 	"db4ml/internal/isolation"
 	"db4ml/internal/itx"
 	"db4ml/internal/numa"
 	"db4ml/internal/obs"
 )
+
+// Recorder extends the per-context history recorder (itx.Recorder) with
+// executor-level events: the synchronous scheduler reports every barrier
+// phase flip through it, which is what lets internal/check validate that no
+// read or install ever crosses the barrier. A nil Recorder disables
+// recording at zero cost.
+type Recorder interface {
+	itx.Recorder
+	// RecordBarrier: the job's cooperative barrier flipped to the given
+	// phase (PhaseExecute or PhaseInstall) of the given round.
+	RecordBarrier(round uint64, phase int32)
+}
 
 // DefaultBatchSize is the paper's optimal batch size (Figure 10(b)).
 const DefaultBatchSize = 256
@@ -102,6 +115,15 @@ type Config struct {
 	// Label names the run's job in telemetry snapshots; defaults to
 	// "job-<id>".
 	Label string
+	// Chaos, when non-nil, injects scheduling faults (stalls, preemption,
+	// forced rollbacks, steal perturbation, mid-batch cancellation) at the
+	// pool's and the job's injection points. Test/experiment only; nil —
+	// the default — keeps every site a single nil-check. See internal/chaos.
+	Chaos chaos.Injector
+	// Recorder, when non-nil, records the run's isolation-relevant history
+	// (reads, validations, installs, barrier flips) for post-hoc invariant
+	// checking. See internal/check.
+	Recorder Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +171,8 @@ func (c Config) jobConfig(regionOf func(i int) int) JobConfig {
 		ConvergeTogether: c.ConvergeTogether,
 		Observer:         c.Observer,
 		Label:            c.Label,
+		Chaos:            c.Chaos,
+		Recorder:         c.Recorder,
 	}
 }
 

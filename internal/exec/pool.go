@@ -3,10 +3,12 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"db4ml/internal/chaos"
 	"db4ml/internal/isolation"
 	"db4ml/internal/itx"
 	"db4ml/internal/numa"
@@ -50,6 +52,14 @@ type JobConfig struct {
 	Observer *obs.Observer
 	// Label names the job in telemetry snapshots; defaults to "job-<id>".
 	Label string
+	// Chaos, when non-nil, perturbs this job's scheduling at the chaos
+	// injection points (batch start, post-validate, recirculation); see
+	// internal/chaos. Steal perturbation is pool-level (Config.Chaos).
+	Chaos chaos.Injector
+	// Recorder, when non-nil, receives this job's isolation-relevant
+	// history (reads, validations, installs, barrier flips) for post-hoc
+	// invariant checking; see internal/check.
+	Recorder Recorder
 }
 
 func (jc JobConfig) withDefaults() JobConfig {
@@ -72,6 +82,7 @@ type Pool struct {
 	topo     numa.Topology
 	workers  int
 	stealing bool
+	chaos    chaos.Injector // nil in production; perturbs steals (Config.Chaos)
 
 	// gen/waiters implement worker parking without lost wakeups: a worker
 	// reads gen, re-checks the queues, and sleeps only while gen is
@@ -106,6 +117,7 @@ func NewPool(cfg Config) (*Pool, error) {
 		topo:     cfg.Topology,
 		workers:  cfg.Workers,
 		stealing: !cfg.DisableWorkStealing && cfg.Topology.Regions > 1,
+		chaos:    cfg.Chaos,
 		rr:       make([]atomic.Uint64, cfg.Topology.Regions),
 	}
 	p.cond = sync.NewCond(&p.mu)
@@ -187,6 +199,13 @@ func (p *Pool) Submit(subs []itx.Sub, opts isolation.Options, jc JobConfig) (*Jo
 	for i, sub := range subs {
 		s := &sched{sub: sub, ctx: itx.NewCtx(opts, -1)}
 		s.ctx.SetObserver(jc.Observer)
+		s.ctx.SetSub(i)
+		if jc.Recorder != nil {
+			s.ctx.SetRecorder(jc.Recorder)
+		}
+		if jc.Chaos != nil {
+			s.ctx.SetChaos(jc.Chaos)
+		}
 		r := regionOf(i) % regions
 		if r < 0 {
 			r = 0
@@ -230,6 +249,10 @@ func (p *Pool) Submit(subs []itx.Sub, opts isolation.Options, jc JobConfig) (*Jo
 	}
 	if j.syncMode {
 		j.roundLive = j.state.Live()
+		if jc.Recorder != nil {
+			// Round 0's execute phase opens before any batch is visible.
+			jc.Recorder.RecordBarrier(0, PhaseExecute)
+		}
 		j.pushActive()
 	} else {
 		for _, b := range j.batches {
@@ -274,7 +297,7 @@ func (p *Pool) worker(w int) {
 	regions := p.topo.Regions
 	for {
 		g := p.gen.Load()
-		j, b, stolen := p.tryPop(region, regions)
+		j, b, stolen := p.tryPop(w, region, regions)
 		if b == nil {
 			if p.closed.Load() {
 				return
@@ -307,12 +330,18 @@ func (p *Pool) worker(w int) {
 }
 
 // tryPop returns a batch from the worker's own region, or — when stealing
-// is enabled — from the nearest region with queued work.
-func (p *Pool) tryPop(region, regions int) (*Job, *batch, bool) {
+// is enabled — from the nearest region with queued work. A chaos injector
+// on the pool can veto individual steal attempts (SkipSteal), perturbing
+// which worker ends up with cross-region work without ever losing a batch:
+// a skipped batch stays queued for its home region or the next thief.
+func (p *Pool) tryPop(w, region, regions int) (*Job, *batch, bool) {
 	if j, b := p.popRegion(region); b != nil {
 		return j, b, false
 	}
 	if p.stealing {
+		if p.chaos != nil && p.chaos.Perturb(chaos.Steal, w) == chaos.SkipSteal {
+			return nil, nil, false
+		}
 		for off := 1; off < regions; off++ {
 			if j, b := p.popRegion((region + off) % regions); b != nil {
 				return j, b, true
@@ -341,10 +370,69 @@ func (p *Pool) popRegion(r int) (*Job, *batch) {
 	return nil, nil
 }
 
+// injectBatchFault consults the job's chaos injector at the start of a
+// batch pass: a Stall simulates an OS-descheduled worker, a Preempt yields
+// the processor mid-schedule, and CancelJob cancels the whole job as if the
+// client gave up mid-batch. Faults are counted in telemetry so runs can
+// report how much perturbation they absorbed.
+func (p *Pool) injectBatchFault(w int, j *Job) {
+	inj := j.cfg.Chaos
+	if inj == nil {
+		return
+	}
+	f := inj.Perturb(chaos.BatchStart, w)
+	if f == chaos.None {
+		return
+	}
+	if o := j.cfg.Observer; o != nil {
+		o.Inc(w, obs.ChaosFaults)
+	}
+	switch f {
+	case chaos.Stall:
+		time.Sleep(chaos.StallDuration)
+	case chaos.Preempt:
+		runtime.Gosched()
+	case chaos.CancelJob:
+		j.Cancel()
+	}
+}
+
+// perturbVerdict consults the job's chaos injector right after a
+// sub-transaction's Validate verdict: a Stall or Preempt widens the window
+// between validation and finalize (the classic TOCTOU gap the isolation
+// machinery must tolerate), and ForceRollback discards an otherwise
+// committable iteration — the rollback-storm fault. Rollback verdicts pass
+// through untouched: there is nothing left to take away.
+func (p *Pool) perturbVerdict(w int, j *Job, action itx.Action) itx.Action {
+	inj := j.cfg.Chaos
+	if inj == nil {
+		return action
+	}
+	f := inj.Perturb(chaos.Validate, w)
+	if f == chaos.None {
+		return action
+	}
+	if o := j.cfg.Observer; o != nil {
+		o.Inc(w, obs.ChaosFaults)
+	}
+	switch f {
+	case chaos.Stall:
+		time.Sleep(chaos.StallDuration)
+	case chaos.Preempt:
+		runtime.Gosched()
+	case chaos.ForceRollback:
+		if action != itx.Rollback {
+			return itx.Rollback
+		}
+	}
+	return action
+}
+
 // processQueued handles one batch pass of an asynchronous or
 // bounded-staleness job: run one iteration of every live sub-transaction,
 // then recirculate the batch through its home queue if work remains.
 func (p *Pool) processQueued(w int, j *Job, b *batch) {
+	p.injectBatchFault(w, j)
 	if j.cancelled.Load() {
 		j.drainBatch(b)
 		return
@@ -362,6 +450,17 @@ func (p *Pool) processQueued(w int, j *Job, b *batch) {
 		o.AddBusy(w, busy)
 	}
 	if b.live > 0 {
+		if inj := j.cfg.Chaos; inj != nil {
+			// Recirculation point: delay or yield before the re-push so the
+			// batch re-enters its queue at a perturbed position relative to
+			// the job's other batches.
+			switch inj.Perturb(chaos.Recirculate, w) {
+			case chaos.Stall:
+				time.Sleep(chaos.StallDuration)
+			case chaos.Preempt:
+				runtime.Gosched()
+			}
+		}
 		// Always recirculate through the batch's home queue: a stolen
 		// batch returns to its own region as soon as this pass ends, so
 		// stealing never migrates data affinity permanently.
@@ -400,7 +499,7 @@ func (p *Pool) runBatchIteration(w int, j *Job, b *batch) int {
 		if o != nil {
 			o.Inc(w, obs.Executions)
 		}
-		action := s.sub.Validate(s.ctx)
+		action := p.perturbVerdict(w, j, s.sub.Validate(s.ctx))
 		converged, rolledBack := s.ctx.Finalize(action)
 		if rolledBack {
 			j.cnt.rollbacks.Add(1)
@@ -438,9 +537,11 @@ func (p *Pool) runBatchIteration(w int, j *Job, b *batch) int {
 
 // Synchronous phases: every round executes all live sub-transactions with
 // writes buffered, then — after a barrier — validates and installs.
+// Exported because Recorder.RecordBarrier reports them and internal/check
+// replays them when validating the no-read-across-the-barrier contract.
 const (
-	phaseExecute int32 = iota
-	phaseInstall
+	PhaseExecute int32 = iota
+	PhaseInstall
 )
 
 // processSync handles one batch pass of a synchronous job. The barrier is
@@ -449,11 +550,12 @@ const (
 // phase (or ends the round) and re-pushes the live batches — no worker
 // ever blocks, so concurrent jobs keep flowing through the same pool.
 func (p *Pool) processSync(w int, j *Job, b *batch) {
+	p.injectBatchFault(w, j)
 	o := j.cfg.Observer
 	phase := j.phase.Load()
 	t0 := time.Now()
 	if !j.cancelled.Load() {
-		if phase == phaseExecute {
+		if phase == PhaseExecute {
 			for _, s := range b.subs {
 				if s.converged {
 					continue
@@ -471,7 +573,7 @@ func (p *Pool) processSync(w int, j *Job, b *batch) {
 				if o != nil {
 					o.Inc(w, obs.Executions)
 				}
-				s.action = s.sub.Validate(s.ctx)
+				s.action = p.perturbVerdict(w, j, s.sub.Validate(s.ctx))
 			}
 		} else {
 			for _, s := range b.subs {
@@ -516,12 +618,17 @@ func (p *Pool) processSync(w int, j *Job, b *batch) {
 // the round: collective convergence, the iteration cap, telemetry, and —
 // if work remains — the next round's execute phase.
 func (p *Pool) syncBarrier(w int, j *Job, phase int32) {
-	if phase == phaseExecute {
+	if phase == PhaseExecute {
 		if j.cancelled.Load() {
 			j.retireAll()
 			return
 		}
-		j.phase.Store(phaseInstall)
+		if rec := j.cfg.Recorder; rec != nil {
+			// Logged before the phase store and the re-push, so every install
+			// of the coming phase lands after this event in the history.
+			rec.RecordBarrier(j.rounds.Load(), PhaseInstall)
+		}
+		j.phase.Store(PhaseInstall)
 		j.arrived.Store(0)
 		j.pushActive()
 		return
@@ -547,7 +654,10 @@ func (p *Pool) syncBarrier(w int, j *Job, phase int32) {
 	}
 	j.votes.Store(0)
 	j.roundLive = live
-	j.phase.Store(phaseExecute)
+	if rec := j.cfg.Recorder; rec != nil {
+		rec.RecordBarrier(r, PhaseExecute)
+	}
+	j.phase.Store(PhaseExecute)
 	j.arrived.Store(0)
 	j.pushActive()
 }

@@ -137,8 +137,8 @@ func TestSnapshotWithoutObserver(t *testing.T) {
 // that used to livelock Run under MaxIterations.
 type alwaysRollbackSub struct{}
 
-func (alwaysRollbackSub) Begin(ctx *itx.Ctx)             {}
-func (alwaysRollbackSub) Execute(ctx *itx.Ctx)           {}
+func (alwaysRollbackSub) Begin(ctx *itx.Ctx)               {}
+func (alwaysRollbackSub) Execute(ctx *itx.Ctx)             {}
 func (alwaysRollbackSub) Validate(ctx *itx.Ctx) itx.Action { return itx.Rollback }
 
 // TestAlwaysRollbackTerminates is the livelock regression test: a

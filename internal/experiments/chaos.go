@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"db4ml/internal/chaos"
+	"db4ml/internal/check"
+	"db4ml/internal/isolation"
+)
+
+// Chaos is an extra experiment (not a paper figure): a seeded fault-injection
+// sweep over the engine's three ML isolation levels. Each trial opens a real
+// database with a deterministic chaos injector (worker stalls, preemption,
+// forced rollback storms, steal vetoes, optional mid-run cancellation),
+// records every read/write/validation/barrier/probe into a history, and
+// checks the history against the paper's isolation contracts: bounded reads
+// stay within [IterCounter−S, IterCounter], synchronous jobs never cross the
+// barrier, and nothing from an uncommitted uber-transaction is visible to
+// OLTP readers. Any violation fails the experiment and prints the (seed,
+// level, workers) tuple that replays it.
+func Chaos(opts Options) error {
+	opts = opts.withDefaults()
+	workers := opts.MaxWorkers
+	if workers > 4 {
+		workers = 4
+	}
+	if workers < 2 {
+		workers = 2
+	}
+	target := uint64(30)
+	if opts.Quick {
+		target = 12
+	}
+
+	header(opts.Out, fmt.Sprintf(
+		"Chaos sweep (extra): %d seeds x 3 isolation levels, %d workers, fault schedule replayable per seed", opts.Seeds, workers))
+	tw := tab(opts.Out, "level", "seed", "faults", "events", "staleness", "barrier", "visibility", "cancelled", "violations")
+
+	var failures []error
+	totalTrials, totalFaults := 0, uint64(0)
+	for _, level := range isolation.Levels() {
+		for seed := int64(1); seed <= int64(opts.Seeds); seed++ {
+			cfg := check.TrialConfig{
+				Seed:    seed,
+				Level:   check.LevelOptions(level),
+				Workers: workers,
+				Subs:    8,
+				Target:  target,
+				Chaos:   chaos.DefaultConfig(),
+			}
+			if seed%3 == 0 {
+				// Every third seed cancels the job mid-run, exercising the
+				// abort side of the visibility contract.
+				cfg.Chaos.CancelAfter = 40
+			}
+			res, err := check.RunTrial(cfg)
+			if err != nil {
+				return fmt.Errorf("chaos trial level=%s seed=%d workers=%d: %w", level, seed, workers, err)
+			}
+			totalTrials++
+			totalFaults += res.Faults
+			row(tw, level, seed, res.Faults, res.Events,
+				res.Report.StalenessChecked, res.Report.BarrierChecked, res.Report.VisibilityChecked,
+				res.Cancelled, len(res.Report.Violations))
+			for _, v := range res.Report.Violations {
+				failures = append(failures, fmt.Errorf(
+					"level=%s seed=%d workers=%d: %s", level, seed, workers, v))
+			}
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(opts.Out, "%d trials, %d injected faults, %d contract violations\n",
+		totalTrials, totalFaults, len(failures))
+	return errors.Join(failures...)
+}

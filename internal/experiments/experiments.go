@@ -40,6 +40,9 @@ type Options struct {
 	// table. Off by default: a nil observer keeps the engine's hot paths
 	// untouched.
 	Telemetry bool
+	// Seeds is how many fault schedules the chaos experiment replays per
+	// isolation level; defaults to 8 (4 under Quick).
+	Seeds int
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +60,13 @@ func (o Options) withDefaults() Options {
 			o.Runs = 1
 		} else {
 			o.Runs = 3
+		}
+	}
+	if o.Seeds <= 0 {
+		if o.Quick {
+			o.Seeds = 4
+		} else {
+			o.Seeds = 8
 		}
 	}
 	return o

@@ -10,7 +10,7 @@ func quickOpts(buf *strings.Builder) Options {
 }
 
 func TestRegistryCoversEveryPaperExperiment(t *testing.T) {
-	want := []string{"fig1", "tab1", "fig8", "fig9", "fig10a", "fig10b", "fig11", "tab2", "fig12", "fig13", "fig14", "locality", "mixed", "concurrent"}
+	want := []string{"fig1", "tab1", "fig8", "fig9", "fig10a", "fig10b", "fig11", "tab2", "fig12", "fig13", "fig14", "locality", "mixed", "concurrent", "chaos"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -265,6 +265,22 @@ func TestConcurrentTelemetryPerJob(t *testing.T) {
 		"-- telemetry: sgd concurrent --",
 		`"job": "pagerank concurrent"`,
 		`"job": "sgd concurrent"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChaosQuick(t *testing.T) {
+	var buf strings.Builder
+	if err := Chaos(quickOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Chaos sweep", "synchronous", "asynchronous", "bounded-staleness",
+		"injected faults", "0 contract violations",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)

@@ -26,6 +26,7 @@ var registry = []struct {
 	{"locality", Locality, "extra: NUMA locality by partitioning scheme"},
 	{"mixed", Mixed, "extra: OLTP throughput with and without a running ML uber-transaction"},
 	{"concurrent", Concurrent, "extra: concurrent ML jobs on one shared worker pool vs sequential"},
+	{"chaos", Chaos, "extra: seeded fault-injection sweep checked against the isolation contracts"},
 }
 
 // Run executes the experiment with the given id, or every experiment when

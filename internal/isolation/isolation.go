@@ -43,6 +43,12 @@ func (l Level) String() string {
 	}
 }
 
+// Levels returns every isolation level, in declaration order. Sweeps (the
+// chaos harness in particular) iterate it instead of hard-coding the list.
+func Levels() []Level {
+	return []Level{Synchronous, Asynchronous, BoundedStaleness}
+}
+
 // Options carries the isolation configuration of one uber-transaction.
 type Options struct {
 	Level Level

@@ -1,10 +1,36 @@
 package itx
 
 import (
+	"runtime"
+	"time"
+
+	"db4ml/internal/chaos"
 	"db4ml/internal/isolation"
 	"db4ml/internal/obs"
 	"db4ml/internal/storage"
 )
+
+// Recorder receives the isolation-relevant history of a sub-transaction:
+// every mediated read, the per-read staleness evidence weighed at commit
+// time, every snapshot install, and each attempt's outcome. internal/check
+// implements it to validate the isolation contracts post-hoc; a nil
+// Recorder (the default) costs the hot path one pointer nil-check per site.
+// Implementations are called concurrently from every worker.
+type Recorder interface {
+	// ObserveRead: the sub-transaction read snapshot readIter of rec while
+	// the record's iteration counter stood at counter.
+	ObserveRead(worker, sub int, attempt uint64, rec *storage.IterativeRecord, readIter, counter uint64)
+	// ObserveValidation: at finalize time, the read of rec at readIter was
+	// validated against the record's then-current counter latest; committed
+	// says whether the iteration's writes were installed.
+	ObserveValidation(worker, sub int, iter uint64, rec *storage.IterativeRecord, readIter, latest uint64, committed bool)
+	// ObserveInstall: the iteration installed a snapshot on rec, advancing
+	// its counter to counter.
+	ObserveInstall(worker, sub int, iter uint64, rec *storage.IterativeRecord, counter uint64)
+	// ObserveOutcome: one finalize finished with the given verdict;
+	// committed is false for rollbacks (user-requested or staleness).
+	ObserveOutcome(worker, sub int, iter uint64, action Action, committed bool)
+}
 
 // Ctx is the per-sub-transaction execution context. It mediates every
 // access to iterative records according to the uber-transaction's isolation
@@ -13,11 +39,15 @@ import (
 type Ctx struct {
 	opts      isolation.Options
 	worker    int
+	sub       int
 	iteration uint64
 	attempts  uint64
-	obs       *obs.Observer // nil when telemetry is disabled
+	obs       *obs.Observer  // nil when telemetry is disabled
+	rec       Recorder       // nil when history recording is disabled
+	chaos     chaos.Injector // nil when fault injection is disabled
 
 	reads     []readEntry
+	latests   []uint64                         // per-read counters sampled at validation (recording only)
 	readIdx   map[*storage.IterativeRecord]int // rec -> index into reads
 	rowWrites []rowWrite
 	colWrites []colWrite
@@ -78,6 +108,21 @@ func (c *Ctx) Attempts() uint64 { return c.attempts }
 // causes (user-requested vs. staleness violation) through it. nil disables.
 func (c *Ctx) SetObserver(o *obs.Observer) { c.obs = o }
 
+// SetSub tags the context with the sub-transaction's index within its job,
+// so recorded history events are attributable. The executor sets it at
+// submission.
+func (c *Ctx) SetSub(i int) { c.sub = i }
+
+// Sub returns the sub-transaction's index within its job.
+func (c *Ctx) Sub() int { return c.sub }
+
+// SetRecorder attaches a history recorder (see Recorder). nil disables.
+func (c *Ctx) SetRecorder(r Recorder) { c.rec = r }
+
+// SetChaos attaches a fault injector consulted at the context's Install
+// point (between staleness validation and write install). nil disables.
+func (c *Ctx) SetChaos(inj chaos.Injector) { c.chaos = inj }
+
 // Options returns the isolation options in force.
 func (c *Ctx) Options() isolation.Options { return c.opts }
 
@@ -102,9 +147,16 @@ func (c *Ctx) Read(rec *storage.IterativeRecord, out storage.Payload) uint64 {
 			iter = rec.ReadRecent(out)
 		}
 		c.reads = append(c.reads, readEntry{rec, iter})
+		if c.rec != nil {
+			c.rec.ObserveRead(c.worker, c.sub, c.iteration, rec, iter, rec.Latest())
+		}
 		return iter
 	default:
-		return rec.ReadRelaxed(out)
+		iter := rec.ReadRelaxed(out)
+		if c.rec != nil {
+			c.rec.ObserveRead(c.worker, c.sub, c.iteration, rec, iter, rec.Latest())
+		}
+		return iter
 	}
 }
 
@@ -119,6 +171,10 @@ func (c *Ctx) ReadCol(rec *storage.IterativeRecord, col int) uint64 {
 		// observed install as staleness and roll the iteration back
 		// spuriously.
 		c.noteRead(rec, rec.Latest())
+	}
+	if c.rec != nil {
+		latest := rec.Latest()
+		c.rec.ObserveRead(c.worker, c.sub, c.iteration, rec, latest, latest)
 	}
 	return bits
 }
@@ -176,21 +232,52 @@ func (c *Ctx) WriteCol(rec *storage.IterativeRecord, col int, bits uint64) {
 // leaves no trace and the sub-transaction repeats it.
 func (c *Ctx) Finalize(action Action) (converged, rolledBack bool) {
 	c.attempts++
+	skipCheck := false
+	if c.chaos != nil {
+		switch c.chaos.Perturb(chaos.Install, c.worker) {
+		case chaos.Stall:
+			time.Sleep(chaos.StallDuration)
+		case chaos.Preempt:
+			runtime.Gosched()
+		case chaos.OmitStalenessCheck:
+			skipCheck = true
+		}
+	}
 	if action == Rollback {
 		if c.obs != nil {
 			c.obs.Inc(c.worker, obs.UserRollbacks)
 		}
-		c.clear()
-		return false, true
-	}
-	if c.opts.Level == isolation.BoundedStaleness && c.stalenessViolated() {
-		if c.obs != nil {
-			c.obs.Inc(c.worker, obs.StalenessRollbacks)
+		if c.rec != nil {
+			c.rec.ObserveOutcome(c.worker, c.sub, c.iteration, action, false)
 		}
 		c.clear()
 		return false, true
 	}
+	if c.opts.Level == isolation.BoundedStaleness {
+		violated := c.stalenessViolated()
+		if skipCheck {
+			// Chaos contract breaker (test-only): commit regardless. The
+			// recorded validation evidence keeps the true counters, so the
+			// post-hoc checker must flag the violation this commits.
+			violated = false
+		}
+		if violated {
+			if c.obs != nil {
+				c.obs.Inc(c.worker, obs.StalenessRollbacks)
+			}
+			c.recordValidations(false)
+			if c.rec != nil {
+				c.rec.ObserveOutcome(c.worker, c.sub, c.iteration, action, false)
+			}
+			c.clear()
+			return false, true
+		}
+	}
+	c.recordValidations(true)
 	c.installWrites()
+	if c.rec != nil {
+		c.rec.ObserveOutcome(c.worker, c.sub, c.iteration, action, true)
+	}
 	c.clear()
 	c.iteration++
 	return action == Done, false
@@ -199,19 +286,47 @@ func (c *Ctx) Finalize(action Action) (converged, rolledBack bool) {
 // stalenessViolated reports whether any value read this iteration violates
 // the staleness bound: superseded by more than S newer snapshots between
 // read and commit, or — under ClockBound — older than the committing
-// sub-transaction's own iteration minus S (the SSP clock rule).
+// sub-transaction's own iteration minus S (the SSP clock rule). When a
+// recorder is attached it also captures, per read, the counter value the
+// decision was based on (into c.latests, aligned with c.reads), so the
+// recorded evidence is exactly what validation saw — re-sampling later
+// would race with concurrent installs and accuse correct commits.
 func (c *Ctx) stalenessViolated() bool {
 	s := c.opts.Staleness
 	own := c.iteration + 1 // iteration being committed
+	record := c.rec != nil
+	if record {
+		c.latests = c.latests[:0]
+	}
+	violated := false
 	for _, r := range c.reads {
-		if latest := r.rec.Latest(); latest > r.iter && latest-r.iter > s {
-			return true
+		latest := r.rec.Latest()
+		if record {
+			c.latests = append(c.latests, latest)
+		}
+		if latest > r.iter && latest-r.iter > s {
+			violated = true
 		}
 		if c.opts.ClockBound && own > r.iter+s {
+			violated = true
+		}
+		if violated && !record {
 			return true
 		}
 	}
-	return false
+	return violated
+}
+
+// recordValidations emits one validation event per tracked read with the
+// counter evidence captured by stalenessViolated. No-op without a recorder
+// or outside bounded staleness (c.reads stays empty on the other levels).
+func (c *Ctx) recordValidations(committed bool) {
+	if c.rec == nil || len(c.reads) == 0 || len(c.latests) != len(c.reads) {
+		return
+	}
+	for i, r := range c.reads {
+		c.rec.ObserveValidation(c.worker, c.sub, c.iteration, r.rec, r.iter, c.latests[i], committed)
+	}
 }
 
 // installWrites publishes the buffered writes using the cheapest mechanism
@@ -226,10 +341,14 @@ func (c *Ctx) installWrites() {
 		// The relaxed fast path only exists for single-version records;
 		// multi-version records always take the seqlock install so their
 		// snapshot array stays consistent.
+		var iter uint64
 		if general || w.rec.NumVersions() > 1 {
-			w.rec.Install(data)
+			iter = w.rec.Install(data)
 		} else {
-			w.rec.InstallRelaxed(data)
+			iter = w.rec.InstallRelaxed(data)
+		}
+		if c.rec != nil {
+			c.rec.ObserveInstall(c.worker, c.sub, c.iteration, w.rec, iter)
 		}
 	}
 	for i, w := range c.colWrites {
@@ -244,7 +363,10 @@ func (c *Ctx) installWrites() {
 			continue
 		}
 		if c.firstBump(w.rec) {
-			w.rec.AddCounter()
+			iter := w.rec.AddCounter()
+			if c.rec != nil {
+				c.rec.ObserveInstall(c.worker, c.sub, c.iteration, w.rec, iter)
+			}
 		}
 	}
 }
@@ -276,6 +398,7 @@ func (c *Ctx) firstBump(rec *storage.IterativeRecord) bool {
 
 func (c *Ctx) clear() {
 	c.reads = c.reads[:0]
+	c.latests = c.latests[:0]
 	if len(c.readIdx) > 0 {
 		clear(c.readIdx)
 	}

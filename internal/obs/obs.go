@@ -53,6 +53,10 @@ const (
 	// Recirculations counts batches re-enqueued because they still held
 	// live sub-transactions after a pass.
 	Recirculations
+	// ChaosFaults counts injected faults (internal/chaos) the run absorbed:
+	// stalls, preemptions, forced rollbacks, and mid-batch cancellations.
+	// Always zero in production runs.
+	ChaosFaults
 
 	numCounters
 )
@@ -66,6 +70,7 @@ var counterNames = [numCounters]string{
 	"forced_stop_attempts",
 	"steals",
 	"recirculations",
+	"chaos_faults",
 }
 
 func (c Counter) String() string {
@@ -245,6 +250,7 @@ type CounterTotals struct {
 	ForcedStopAttempts   uint64 `json:"forced_stop_attempts"`
 	Steals               uint64 `json:"steals"`
 	Recirculations       uint64 `json:"recirculations"`
+	ChaosFaults          uint64 `json:"chaos_faults,omitempty"`
 }
 
 // WorkerStats is one worker's share of the run — the paper's Figure 9
@@ -310,6 +316,7 @@ func (o *Observer) Snapshot() Snapshot {
 		snap.Counters.ForcedStopIterations += sh.counts[ForcedStopIters].Load()
 		snap.Counters.ForcedStopAttempts += sh.counts[ForcedStopAttempts].Load()
 		snap.Counters.Recirculations += sh.counts[Recirculations].Load()
+		snap.Counters.ChaosFaults += sh.counts[ChaosFaults].Load()
 	}
 	snap.Counters.Rollbacks = snap.Counters.UserRollbacks + snap.Counters.StalenessRollbacks
 	snap.QueueDepth = o.queueDepth.snapshot()

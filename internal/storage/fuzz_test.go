@@ -1,0 +1,211 @@
+package storage
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// FuzzPayloadRoundTrip drives the payload encode/decode surface — int64 and
+// float64 bit-casting, cloning, and the whole-row and single-column
+// install/read paths of IterativeRecord — with fuzz-chosen values and
+// shapes. Values must round-trip bit-exactly (NaNs included) through every
+// path a sub-transaction can take.
+func FuzzPayloadRoundTrip(f *testing.F) {
+	f.Add(uint64(0), int64(-1), 3.1415, uint64(4))
+	f.Add(uint64(1<<63), int64(math.MinInt64), math.Inf(1), uint64(1))
+	f.Add(uint64(0xdeadbeef), int64(42), math.NaN(), uint64(7))
+	f.Add(uint64(1), int64(0), -0.0, uint64(2))
+	f.Fuzz(func(t *testing.T, a uint64, b int64, c float64, shape uint64) {
+		width := int(shape%8) + 1
+		nVersions := int(shape/8%4) + 1
+
+		p := make(Payload, width)
+		for i := range p {
+			p[i] = a + uint64(i)
+		}
+		// Typed accessors round-trip bit-exactly on every slot.
+		for i := 0; i < width; i++ {
+			p.SetInt64(i, b)
+			if got := p.Int64(i); got != b {
+				t.Fatalf("slot %d: Int64 round trip %d -> %d", i, b, got)
+			}
+			p.SetFloat64(i, c)
+			if got := p.Float64(i); math.Float64bits(got) != math.Float64bits(c) {
+				t.Fatalf("slot %d: Float64 round trip %v -> %v", i, c, got)
+			}
+		}
+		// Clone is an independent copy.
+		clone := p.Clone()
+		for i := range p {
+			p[i] = ^p[i]
+		}
+		if math.Float64bits(clone.Float64(width-1)) != math.Float64bits(c) {
+			t.Fatal("Clone shares storage with its source")
+		}
+
+		// Whole-row round trip through a fresh record: snapshot 0 is the
+		// seeded payload under both read paths.
+		rec := NewIterativeRecord(clone, nVersions)
+		out := make(Payload, width)
+		if iter := rec.ReadRelaxed(out); iter != 0 {
+			t.Fatalf("fresh record ReadRelaxed iter = %d", iter)
+		}
+		for i := range out {
+			if out[i] != clone[i] {
+				t.Fatalf("ReadRelaxed slot %d: %x != %x", i, out[i], clone[i])
+			}
+		}
+		if iter := rec.ReadRecent(out); iter != 0 {
+			t.Fatalf("fresh record ReadRecent iter = %d", iter)
+		}
+
+		// Installed snapshots come back bit-exact and versioned.
+		next := clone.Clone()
+		for i := range next {
+			next[i] = uint64(b) ^ uint64(i)
+		}
+		if iter := rec.Install(next); iter != 1 {
+			t.Fatalf("first Install iter = %d", iter)
+		}
+		if iter := rec.ReadRecent(out); iter != 1 {
+			t.Fatalf("ReadRecent after Install iter = %d", iter)
+		}
+		for i := range out {
+			if out[i] != next[i] {
+				t.Fatalf("ReadRecent slot %d: %x != %x", i, out[i], next[i])
+			}
+		}
+		if nVersions > 1 {
+			if ok := rec.ReadVersion(0, out); !ok {
+				t.Fatal("snapshot 0 lost with free version slots")
+			}
+			for i := range out {
+				if out[i] != clone[i] {
+					t.Fatalf("ReadVersion(0) slot %d: %x != %x", i, out[i], clone[i])
+				}
+			}
+		}
+
+		// Single-column stores round-trip and never disturb neighbors.
+		col := int(shape % uint64(width))
+		rec.StoreRelaxed(col, a)
+		if got := rec.LoadRelaxed(col); got != a {
+			t.Fatalf("column %d round trip %x -> %x", col, a, got)
+		}
+		if s := rec.SlotFor(rec.Latest()); s < 0 || s >= nVersions {
+			t.Fatalf("SlotFor out of range: %d of %d", s, nVersions)
+		}
+	})
+}
+
+// FuzzRecordInstall hammers one iterative record with concurrent seqlock
+// installs and consistent readers under fuzz-chosen shapes. Every install
+// writes a self-consistent row (all columns equal to a per-install tag), so
+// any mixed row observed through ReadRecent/ReadVersion is a torn read the
+// seqlock failed to prevent.
+func FuzzRecordInstall(f *testing.F) {
+	f.Add(int64(1), uint64(3), uint64(2), uint64(2), uint64(8))
+	f.Add(int64(42), uint64(1), uint64(1), uint64(3), uint64(16))
+	f.Add(int64(-7), uint64(6), uint64(4), uint64(4), uint64(12))
+	f.Fuzz(func(t *testing.T, seed int64, wRaw, nvRaw, writersRaw, roundsRaw uint64) {
+		width := int(wRaw%6) + 1
+		nVersions := int(nvRaw%5) + 1
+		writers := int(writersRaw%4) + 1
+		rounds := int(roundsRaw%24) + 1
+
+		row := func(tag uint64) Payload {
+			p := make(Payload, width)
+			for i := range p {
+				p[i] = tag
+			}
+			return p
+		}
+		rec := NewIterativeRecord(row(0), nVersions)
+		var tags sync.Map // iteration -> tag it was installed with
+		tags.Store(uint64(0), uint64(0))
+
+		var wg sync.WaitGroup
+		done := make(chan struct{})
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					tag := uint64(seed)*0x9e3779b97f4a7c15 + uint64(w)<<32 + uint64(r) + 1
+					iter := rec.Install(row(tag))
+					tags.Store(iter, tag)
+				}
+			}(w)
+		}
+
+		var readerWG sync.WaitGroup
+		readErr := make(chan string, 1)
+		for rd := 0; rd < 2; rd++ {
+			readerWG.Add(1)
+			go func() {
+				defer readerWG.Done()
+				out := make(Payload, width)
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					iter := rec.ReadRecent(out)
+					for i := 1; i < width; i++ {
+						if out[i] != out[0] {
+							select {
+							case readErr <- "torn ReadRecent row":
+							default:
+							}
+							return
+						}
+					}
+					// The tag is published to the map after Install returns,
+					// so a very fresh iteration may not be mapped yet; when it
+					// is, the row must carry exactly that install's tag.
+					if tag, ok := tags.Load(iter); ok && out[0] != tag.(uint64) {
+						select {
+						case readErr <- "ReadRecent row does not match its iteration's tag":
+						default:
+						}
+						return
+					}
+				}
+			}()
+		}
+
+		wg.Wait()
+		close(done)
+		readerWG.Wait()
+		select {
+		case msg := <-readErr:
+			t.Fatal(msg)
+		default:
+		}
+
+		// The counter accounts for every install exactly once.
+		if got, want := rec.Latest(), uint64(writers*rounds); got != want {
+			t.Fatalf("counter = %d after %d installs", got, want)
+		}
+		// The final quiescent state is readable and self-consistent.
+		out := make(Payload, width)
+		iter := rec.ReadRecent(out)
+		if iter > rec.Latest() {
+			t.Fatalf("ReadRecent iter %d beyond counter %d", iter, rec.Latest())
+		}
+		for i := 1; i < width; i++ {
+			if out[i] != out[0] {
+				t.Fatal("torn row at quiescence")
+			}
+		}
+		if tag, ok := tags.Load(iter); ok && out[0] != tag.(uint64) {
+			t.Fatalf("quiescent row %x does not match iteration %d's tag %x", out[0], iter, tag)
+		}
+		// ReadAtMost finds some snapshot at or below the counter.
+		if got, ok := rec.ReadAtMost(rec.Latest(), out); ok && got > rec.Latest() {
+			t.Fatalf("ReadAtMost returned future iteration %d", got)
+		}
+	})
+}

@@ -1,0 +1,27 @@
+package storage
+
+import "sync/atomic"
+
+// InstallHook is a fault-injection point for the seqlock install path: when
+// set, it runs inside IterativeRecord.Install after the writer has claimed
+// the slot (seq odd) and before the payload copy, with the iteration being
+// installed and its target slot. Delaying here keeps the slot mid-write for
+// longer, forcing concurrent readers onto their retry/fallback paths — the
+// window the chaos harness (internal/chaos, internal/check) stresses.
+//
+// The production cost of the hook is one atomic pointer load per seqlock
+// install; nil (the default) injects nothing. Set it before any engine runs
+// and clear it (SetInstallHook(nil)) afterwards; it is global, so chaos
+// tests using it must not run in parallel with other engine tests.
+type InstallHook func(iter uint64, slot int)
+
+var installHook atomic.Pointer[InstallHook]
+
+// SetInstallHook installs (or, with nil, clears) the global install hook.
+func SetInstallHook(h InstallHook) {
+	if h == nil {
+		installHook.Store(nil)
+		return
+	}
+	installHook.Store(&h)
+}

@@ -99,6 +99,13 @@ func (r *IterativeRecord) NumVersions() int { return len(r.slots) }
 // newest committed snapshot.
 func (r *IterativeRecord) Latest() uint64 { return r.iterCounter.Load() }
 
+// SlotFor returns the index of the snapshot-array slot iteration iter
+// occupies — the slot tag the history recorder (internal/check) attaches to
+// install events.
+func (r *IterativeRecord) SlotFor(iter uint64) int {
+	return int(iter % uint64(len(r.slots)))
+}
+
 // Install commits payload as the next intermediate snapshot and returns its
 // iteration number. If several sub-transactions install concurrently, each
 // gets a distinct iteration; a writer that loses the wrap-around race to a
@@ -119,6 +126,11 @@ func (r *IterativeRecord) Install(payload Payload) uint64 {
 		if slot.seq.CompareAndSwap(cur, stableSeq(iter)|1) {
 			break
 		}
+	}
+	if h := installHook.Load(); h != nil {
+		// Fault injection (see InstallHook): the slot is claimed and odd;
+		// stalling here widens the torn-write window readers must survive.
+		(*h)(iter, r.SlotFor(iter))
 	}
 	for i, v := range payload {
 		atomic.StoreUint64(&slot.data[i], v)
