@@ -1,5 +1,5 @@
 # Tier-1 gate: everything `make check` runs must stay green.
-.PHONY: check build vet test test-race-short bench-smoke chaos fuzz
+.PHONY: check build vet test test-race-short bench-smoke chaos fuzz resilience staticcheck
 
 check: build vet test test-race-short
 
@@ -29,6 +29,19 @@ bench-smoke:
 # or check.RunTrial directly.
 chaos:
 	go run ./cmd/db4ml-bench -exp chaos -seeds 8
+
+# Chaos-backed supervision gate: every panic-containment, watchdog,
+# deadline, retry, and admission test under the race detector, then one
+# quick pass of the resilience experiment (burst of flaky/spinning jobs
+# against a live fault injector, oracle-checked).
+resilience:
+	go test -race -timeout 5m -run 'Panic|Watchdog|Stall|Deadline|Retry|Overload|Admission|Degradation|ChaosRetry|GoroutineLeak' . ./internal/exec ./internal/resilience
+	go run ./cmd/db4ml-bench -exp resilience -quick
+
+# Optional deeper static analysis; no-op when staticcheck is not on PATH
+# (the container image does not bake it in, CI installs it).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
 
 # Short coverage-guided fuzz pass over the storage payload codec and the
 # iterative-record install/read seqlock. The committed corpus under

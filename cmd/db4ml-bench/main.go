@@ -35,6 +35,9 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink datasets and sweeps for a fast smoke run")
 	telemetry := flag.Bool("telemetry", false, "attach an engine observer to selected configurations and print one labelled telemetry snapshot (JSON) per job after each experiment")
 	seeds := flag.Int("seeds", 0, "fault schedules per isolation level for -exp chaos (default 8, 4 with -quick)")
+	deadline := flag.Duration("deadline", 0, "per-job wall-clock budget for -exp resilience (default 300ms, 200ms with -quick)")
+	retries := flag.Int("retries", 0, "whole-job retry budget after a failed attempt for -exp resilience (default 3)")
+	maxinflight := flag.Int("maxinflight", 0, "admitted concurrent ML jobs for -exp resilience (default 3)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -49,12 +52,15 @@ func main() {
 		os.Exit(2)
 	}
 	opts := experiments.Options{
-		Out:        os.Stdout,
-		MaxWorkers: *workers,
-		Runs:       *runs,
-		Quick:      *quick,
-		Telemetry:  *telemetry,
-		Seeds:      *seeds,
+		Out:         os.Stdout,
+		MaxWorkers:  *workers,
+		Runs:        *runs,
+		Quick:       *quick,
+		Telemetry:   *telemetry,
+		Seeds:       *seeds,
+		Deadline:    *deadline,
+		Retries:     *retries,
+		MaxInflight: *maxinflight,
 	}
 	if err := experiments.Run(*exp, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "db4ml-bench:", err)

@@ -26,6 +26,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"db4ml/internal/chaos"
 	"db4ml/internal/exec"
@@ -33,6 +35,7 @@ import (
 	"db4ml/internal/itx"
 	"db4ml/internal/numa"
 	"db4ml/internal/obs"
+	"db4ml/internal/resilience"
 	"db4ml/internal/storage"
 	"db4ml/internal/table"
 	"db4ml/internal/txn"
@@ -81,6 +84,11 @@ type (
 	// experiments (see internal/chaos and chaos.NewSeeded). Production runs
 	// leave it nil.
 	FaultInjector = chaos.Injector
+	// RetryPolicy governs whole-job abort-retry on SubmitML/RunML: failed
+	// attempts whose uber-transaction aborted (so no state is visible) are
+	// resubmitted with deterministic exponential backoff. See WithRetry and
+	// MLRun.Retry.
+	RetryPolicy = resilience.RetryPolicy
 )
 
 // RunRecorder receives one ML run's isolation-relevant history: every
@@ -135,6 +143,25 @@ var ErrClosed = fmt.Errorf("db4ml: database closed")
 // error instead).
 var ErrJobCancelled = exec.ErrJobCancelled
 
+// Supervision-layer errors (see internal/resilience). Classify with
+// errors.Is; the matched error also carries evidence retrievable with
+// errors.As (resilience.PanicError, StallError, DeadlineError).
+var (
+	// ErrJobPanicked: a sub-transaction callback panicked; the panic was
+	// contained, the uber-transaction aborted, and the stack is attached.
+	ErrJobPanicked = resilience.ErrJobPanicked
+	// ErrJobStalled: the progress watchdog saw no iteration heartbeat for
+	// the configured stall window and retired the job.
+	ErrJobStalled = resilience.ErrJobStalled
+	// ErrJobDeadline: the job ran past its wall-clock deadline before
+	// converging and was retired.
+	ErrJobDeadline = resilience.ErrJobDeadline
+	// ErrOverloaded: admission control rejected the submission — the
+	// in-flight ML job limit (WithMaxInflight) was reached and waiting was
+	// not enabled (WithAdmissionWait).
+	ErrOverloaded = resilience.ErrOverloaded
+)
+
 // DB is one database instance: a set of ML-tables sharing a transaction
 // manager, a timestamp oracle, and one persistent execution pool. The pool's
 // workers — stand-ins for the paper's core-pinned threads — start at Open
@@ -144,6 +171,15 @@ type DB struct {
 	mgr    *txn.Manager
 	tables map[string]*Table
 	pool   *exec.Pool
+
+	// Supervision defaults applied to every run unless MLRun overrides
+	// them, plus the admission gate bounding concurrent ML jobs.
+	deadline  time.Duration
+	stall     time.Duration
+	retry     RetryPolicy
+	gate      *resilience.Gate
+	admitWait bool
+	degrade   func(pressure float64, batch int) int
 
 	mu     sync.Mutex
 	closed bool
@@ -158,9 +194,15 @@ type DB struct {
 type Option func(*openConfig)
 
 type openConfig struct {
-	workers int
-	regions int
-	chaos   chaos.Injector
+	workers     int
+	regions     int
+	chaos       chaos.Injector
+	deadline    time.Duration
+	stall       time.Duration
+	retry       RetryPolicy
+	maxInflight int
+	admitWait   bool
+	degrade     func(pressure float64, batch int) int
 }
 
 // WithWorkers sets the size of the database's worker pool (default
@@ -177,6 +219,67 @@ func WithRegions(n int) Option { return func(c *openConfig) { c.regions = n } }
 // configured separately via MLRun.Chaos (usually with the same injector).
 // Test/experiment only; see internal/chaos.
 func WithChaos(inj FaultInjector) Option { return func(c *openConfig) { c.chaos = inj } }
+
+// WithDeadline sets the default wall-clock budget for every ML run: a job
+// that has not converged within d is retired and Wait reports
+// ErrJobDeadline. MLRun.Deadline overrides it per run; 0 disables.
+func WithDeadline(d time.Duration) Option { return func(c *openConfig) { c.deadline = d } }
+
+// WithStallTimeout arms the default progress watchdog: a job with no
+// iteration heartbeat for d — a sub-transaction wedged in user code, a
+// scheduling livelock — is convicted and Wait reports ErrJobStalled.
+// MLRun.StallTimeout overrides it per run; 0 disables.
+func WithStallTimeout(d time.Duration) Option { return func(c *openConfig) { c.stall = d } }
+
+// WithRetry sets the default abort-retry policy: a run that fails with a
+// retryable error (by default panicked or stalled jobs — the
+// uber-transaction aborted, so the rerun is side-effect-free) is
+// resubmitted up to p.MaxAttempts times with deterministic backoff.
+// MLRun.Retry overrides it per run.
+func WithRetry(p RetryPolicy) Option { return func(c *openConfig) { c.retry = p } }
+
+// WithMaxInflight bounds the number of concurrently admitted ML jobs
+// (SubmitML calls in flight, including retries and final commit/abort). At
+// the limit, SubmitML fast-fails with ErrOverloaded — load shedding —
+// unless WithAdmissionWait is also set. n <= 0 leaves admission unbounded.
+func WithMaxInflight(n int) Option { return func(c *openConfig) { c.maxInflight = n } }
+
+// WithAdmissionWait makes a SubmitML that hits the WithMaxInflight limit
+// block until a slot frees (or its ctx is cancelled) instead of
+// fast-failing with ErrOverloaded.
+func WithAdmissionWait() Option { return func(c *openConfig) { c.admitWait = true } }
+
+// WithDegradation installs a batch-size degradation hook: on every
+// admission the hook maps (gate pressure in [0,1], the run's resolved batch
+// size) to the batch size actually used, letting the engine trade peak
+// throughput for finer-grained scheduling under load. A nil fn installs
+// DefaultDegradation. Without WithMaxInflight there is no pressure signal
+// and the hook never shrinks anything.
+func WithDegradation(fn func(pressure float64, batch int) int) Option {
+	return func(c *openConfig) {
+		if fn == nil {
+			fn = DefaultDegradation
+		}
+		c.degrade = fn
+	}
+}
+
+// DefaultDegradation is the built-in degradation policy: at pressure ≥ 0.75
+// the batch size is quartered, at ≥ 0.5 halved, floored at 16. Smaller
+// batches reach scheduling points (and cancellation/deadline checks) more
+// often, smoothing latency when the pool is oversubscribed.
+func DefaultDegradation(pressure float64, batch int) int {
+	switch {
+	case pressure >= 0.75:
+		batch /= 4
+	case pressure >= 0.5:
+		batch /= 2
+	}
+	if batch < 16 {
+		batch = 16
+	}
+	return batch
+}
 
 // Open creates an empty database and starts its worker pool. Call Close
 // when done to stop the workers.
@@ -195,7 +298,17 @@ func Open(opts ...Option) *DB {
 		// the only validated constraint always holds.
 		panic("db4ml: " + err.Error())
 	}
-	return &DB{mgr: txn.NewManager(), tables: make(map[string]*Table), pool: pool}
+	return &DB{
+		mgr:       txn.NewManager(),
+		tables:    make(map[string]*Table),
+		pool:      pool,
+		deadline:  oc.deadline,
+		stall:     oc.stall,
+		retry:     oc.retry,
+		gate:      resilience.NewGate(oc.maxInflight),
+		admitWait: oc.admitWait,
+		degrade:   oc.degrade,
+	}
 }
 
 // Close drains the in-flight ML jobs — including each uber-transaction's
@@ -287,6 +400,19 @@ type MLRun struct {
 	// MaxIterations force-retires sub-transactions after that many
 	// committed iterations (0 = run to convergence).
 	MaxIterations uint64
+	// Deadline is this run's wall-clock budget; past it the job is retired
+	// and Wait reports ErrJobDeadline. 0 uses the database default
+	// (WithDeadline), which may itself be disabled.
+	Deadline time.Duration
+	// StallTimeout arms the progress watchdog for this run: no iteration
+	// heartbeat for that long convicts the job with ErrJobStalled. 0 uses
+	// the database default (WithStallTimeout).
+	StallTimeout time.Duration
+	// Retry overrides the database's abort-retry policy (WithRetry) for
+	// this run; nil inherits the default. Retried attempts reuse this
+	// MLRun verbatim — retry is safe because each failed attempt's
+	// uber-transaction aborted without publishing anything.
+	Retry *RetryPolicy
 	// Attach lists the tables the algorithm updates.
 	Attach []Attachment
 	// Subs are the user-defined iterative transactions.
@@ -316,18 +442,24 @@ type MLRun struct {
 	Recorder RunRecorder
 }
 
-// JobHandle tracks one in-flight ML run submitted with SubmitML.
+// JobHandle tracks one in-flight ML run submitted with SubmitML. Under a
+// retry policy one handle spans every attempt: the job pointer is swapped
+// on resubmission and Wait resolves only when the final attempt committed
+// or failed terminally.
 type JobHandle struct {
-	job   *exec.Job
-	done  chan struct{}
-	stats ExecStats
-	err   error
+	job        atomic.Pointer[exec.Job]
+	attempts   atomic.Int32
+	done       chan struct{}
+	cancelOnce sync.Once
+	cancelCh   chan struct{}
+	stats      ExecStats
+	err        error
 }
 
 // Wait blocks until the job finished (including the uber-transaction's
-// commit or abort) and returns its final stats. Stats are meaningful even
-// on error: a cancelled job reports the work done before the cancellation
-// took effect.
+// commit or abort, and any retries) and returns its final stats. Stats are
+// meaningful even on error: a cancelled job reports the work done before
+// the cancellation took effect; a retried job reports its last attempt.
 func (h *JobHandle) Wait() (ExecStats, error) {
 	<-h.done
 	return h.stats, h.err
@@ -335,8 +467,13 @@ func (h *JobHandle) Wait() (ExecStats, error) {
 
 // Cancel asks the job to stop: its remaining sub-transactions retire at
 // the next scheduling point, the uber-transaction aborts (no updates
-// become visible), and Wait reports ErrJobCancelled.
-func (h *JobHandle) Cancel() { h.job.Cancel() }
+// become visible), no further retry attempts are made, and Wait reports
+// ErrJobCancelled.
+func (h *JobHandle) Cancel() { h.cancelOnce.Do(func() { close(h.cancelCh) }) }
+
+// Attempts returns how many times the run has been submitted to the engine
+// so far: 1 without retries, more when the retry policy resubmitted it.
+func (h *JobHandle) Attempts() int { return int(h.attempts.Load()) }
 
 // Stats returns a live snapshot while the job runs, or the final stats
 // once it finished.
@@ -345,7 +482,7 @@ func (h *JobHandle) Stats() ExecStats {
 	case <-h.done:
 		return h.stats
 	default:
-		return h.job.Stats()
+		return h.job.Load().Stats()
 	}
 }
 
@@ -374,43 +511,24 @@ func (db *DB) SubmitML(ctx context.Context, run MLRun) (*JobHandle, error) {
 	pool := db.pool
 	db.mu.Unlock()
 
-	u, err := itx.BeginUber(db.mgr, run.Isolation)
-	if err != nil {
+	// Admission control: the slot spans the whole run — every retry attempt
+	// plus the final commit/abort — so WithMaxInflight bounds real engine
+	// load, not just the momentary submission rate.
+	if err := db.gate.Acquire(ctx, db.admitWait); err != nil {
 		db.handles.Done()
+		if run.Observer != nil && err == resilience.ErrOverloaded {
+			run.Observer.Inc(0, obs.LoadSheds)
+		}
 		return nil, err
 	}
-	for _, a := range run.Attach {
-		v := a.Versions
-		if v == 0 {
-			v = u.DefaultVersions()
-		}
-		if err := u.Attach(a.Table, a.Rows, v); err != nil {
-			_ = u.Abort()
-			db.handles.Done()
-			return nil, err
-		}
-	}
 
-	// Legacy per-run sizing: a throwaway private pool, closed when the job
-	// finishes.
-	private := false
-	if run.Workers > 0 || run.Regions > 0 {
-		cfg := exec.Config{Workers: run.Workers}
-		if run.Regions > 0 {
-			cfg.Topology = numa.NewTopology(run.Regions, cfg.Resolved().Workers)
-		}
-		p, err := exec.NewPool(cfg)
-		if err != nil {
-			_ = u.Abort()
-			db.handles.Done()
-			return nil, err
-		}
-		pool, private = p, true
-	}
-
-	job, err := pool.Submit(run.Subs, run.Isolation, exec.JobConfig{
+	// Resolve the effective supervision settings: per-run values override
+	// the database defaults.
+	cfg := exec.JobConfig{
 		BatchSize:        run.BatchSize,
 		MaxIterations:    run.MaxIterations,
+		Deadline:         run.Deadline,
+		StallTimeout:     run.StallTimeout,
 		RegionOf:         run.RegionOf,
 		IterationHook:    run.IterationHook,
 		ConvergeTogether: run.ConvergeTogether,
@@ -418,12 +536,78 @@ func (db *DB) SubmitML(ctx context.Context, run MLRun) (*JobHandle, error) {
 		Label:            run.Label,
 		Chaos:            run.Chaos,
 		Recorder:         run.Recorder,
-	})
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = db.deadline
+	}
+	if cfg.StallTimeout <= 0 {
+		cfg.StallTimeout = db.stall
+	}
+	policy := db.retry
+	if run.Retry != nil {
+		policy = *run.Retry
+	}
+	if db.degrade != nil {
+		batch := cfg.BatchSize
+		if batch <= 0 {
+			batch = exec.DefaultBatchSize
+		}
+		cfg.BatchSize = db.degrade(db.gate.Pressure(), batch)
+	}
+
+	// begin opens one attempt's uber-transaction and installs the iterative
+	// records; each retry repeats it from scratch, since the failed
+	// attempt's Abort tore everything down.
+	begin := func() (*itx.Uber, error) {
+		u, err := itx.BeginUber(db.mgr, run.Isolation)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range run.Attach {
+			v := a.Versions
+			if v == 0 {
+				v = u.DefaultVersions()
+			}
+			if err := u.Attach(a.Table, a.Rows, v); err != nil {
+				_ = u.Abort()
+				return nil, err
+			}
+		}
+		return u, nil
+	}
+
+	u, err := begin()
+	if err != nil {
+		db.gate.Release()
+		db.handles.Done()
+		return nil, err
+	}
+
+	// Legacy per-run sizing: a throwaway private pool, shared across retry
+	// attempts and closed when the handle resolves.
+	private := false
+	if run.Workers > 0 || run.Regions > 0 {
+		pcfg := exec.Config{Workers: run.Workers}
+		if run.Regions > 0 {
+			pcfg.Topology = numa.NewTopology(run.Regions, pcfg.Resolved().Workers)
+		}
+		p, err := exec.NewPool(pcfg)
+		if err != nil {
+			_ = u.Abort()
+			db.gate.Release()
+			db.handles.Done()
+			return nil, err
+		}
+		pool, private = p, true
+	}
+
+	job, err := pool.Submit(run.Subs, run.Isolation, cfg)
 	if err != nil {
 		if private {
 			pool.Close()
 		}
 		_ = u.Abort()
+		db.gate.Release()
 		db.handles.Done()
 		if err == exec.ErrPoolClosed {
 			err = ErrClosed
@@ -431,46 +615,114 @@ func (db *DB) SubmitML(ctx context.Context, run MLRun) (*JobHandle, error) {
 		return nil, err
 	}
 
-	h := &JobHandle{job: job, done: make(chan struct{})}
-	go func() {
-		defer db.handles.Done()
-		defer close(h.done)
-		if ctx.Done() != nil {
-			select {
-			case <-ctx.Done():
-				job.Cancel()
-			case <-job.Done():
-			}
+	h := &JobHandle{done: make(chan struct{}), cancelCh: make(chan struct{})}
+	h.job.Store(job)
+	h.attempts.Store(1)
+	go db.supervise(ctx, h, u, pool, private, run, cfg, policy, begin)
+	return h, nil
+}
+
+// supervise drives one SubmitML handle to resolution: it watches the
+// in-flight attempt, commits on success, aborts on failure, and — when the
+// retry policy allows — backs off and resubmits. It owns h.stats/h.err and
+// closes h.done exactly once, after the last attempt's commit or abort, so
+// "Wait returned" always means "nothing of this run is still in flight".
+func (db *DB) supervise(ctx context.Context, h *JobHandle, u *itx.Uber,
+	pool *exec.Pool, private bool, run MLRun, cfg exec.JobConfig,
+	policy RetryPolicy, begin func() (*itx.Uber, error)) {
+	defer db.handles.Done()
+	defer db.gate.Release()
+	defer close(h.done)
+	if private {
+		defer pool.Close()
+	}
+	abort := func() {
+		_ = u.Abort()
+		if run.Recorder != nil {
+			run.Recorder.RecordUberAbort()
+		}
+	}
+	for attempt := 1; ; attempt++ {
+		job := h.job.Load()
+		// The watcher is inline — not a separate goroutine — so job
+		// completion releases it immediately even when ctx is never
+		// cancelled: nothing here can outlive the handle. (A nil
+		// ctx.Done() channel simply never fires.)
+		select {
+		case <-ctx.Done():
+			job.Cancel()
+		case <-h.cancelCh:
+			job.Cancel()
+		case <-job.Done():
 		}
 		stats, err := job.Wait()
-		if private {
-			pool.Close()
-		}
 		h.stats = stats
-		if err != nil {
-			_ = u.Abort()
+		if err == nil {
+			ts, cerr := u.Commit()
+			if cerr != nil {
+				if run.Recorder != nil {
+					run.Recorder.RecordUberAbort()
+				}
+				h.err = cerr
+				return
+			}
 			if run.Recorder != nil {
-				run.Recorder.RecordUberAbort()
+				run.Recorder.RecordUberCommit(ts)
 			}
-			if err == exec.ErrJobCancelled && ctx.Err() != nil {
-				err = ctx.Err()
-			}
+			return
+		}
+		abort()
+		if err == exec.ErrJobCancelled && ctx.Err() != nil {
+			err = ctx.Err()
+		}
+		delay, retry := policy.ShouldRetry(err, attempt)
+		if !retry || ctx.Err() != nil || cancelled(h.cancelCh) {
 			h.err = err
 			return
 		}
-		ts, err := u.Commit()
-		if err != nil {
-			if run.Recorder != nil {
-				run.Recorder.RecordUberAbort()
-			}
+		// Deterministic backoff; a cancellation during the sleep resolves
+		// the handle with the attempt's error immediately.
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			h.err = ctx.Err()
+			return
+		case <-h.cancelCh:
+			timer.Stop()
 			h.err = err
 			return
 		}
-		if run.Recorder != nil {
-			run.Recorder.RecordUberCommit(ts)
+		nu, berr := begin()
+		if berr != nil {
+			h.err = berr
+			return
 		}
-	}()
-	return h, nil
+		u = nu
+		nj, serr := pool.Submit(run.Subs, run.Isolation, cfg)
+		if serr != nil {
+			abort()
+			h.err = serr
+			return
+		}
+		h.job.Store(nj)
+		h.attempts.Store(int32(attempt + 1))
+		if run.Observer != nil {
+			// Submit's BeginRun reset the counters; re-establish the
+			// cumulative retry count for this handle.
+			run.Observer.Add(0, obs.Retries, uint64(attempt))
+		}
+	}
+}
+
+func cancelled(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 // RunML executes one ML algorithm as an uber-transaction and blocks until

@@ -124,6 +124,14 @@ type Config struct {
 	// (reads, validations, installs, barrier flips) for post-hoc invariant
 	// checking. See internal/check.
 	Recorder Recorder
+	// Deadline, when nonzero, bounds the job's wall-clock runtime; past it
+	// the job is retired with resilience.ErrJobDeadline. See
+	// JobConfig.Deadline.
+	Deadline time.Duration
+	// StallTimeout, when nonzero, arms the progress watchdog that convicts
+	// jobs whose iteration heartbeat stops (resilience.ErrJobStalled). See
+	// JobConfig.StallTimeout.
+	StallTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -173,6 +181,8 @@ func (c Config) jobConfig(regionOf func(i int) int) JobConfig {
 		Label:            c.Label,
 		Chaos:            c.Chaos,
 		Recorder:         c.Recorder,
+		Deadline:         c.Deadline,
+		StallTimeout:     c.StallTimeout,
 	}
 }
 
@@ -191,6 +201,9 @@ type Stats struct {
 	// Steals counts batches popped from another region's queue by workers
 	// whose own region was drained (queued schedulers only).
 	Steals uint64
+	// Panics counts panics the supervision layer contained during this job
+	// (each one failed the job with resilience.ErrJobPanicked).
+	Panics uint64
 	// Rounds counts barrier rounds (synchronous level only).
 	Rounds uint64
 	// Elapsed is the wall-clock duration of the job.
@@ -212,6 +225,7 @@ type counters struct {
 	rollbacks   atomic.Uint64
 	forcedStops atomic.Uint64
 	steals      atomic.Uint64
+	panics      atomic.Uint64
 	busy        []atomic.Int64 // per-worker processing nanoseconds
 }
 
@@ -225,6 +239,7 @@ func (c *counters) into(stats *Stats) {
 	stats.Rollbacks += c.rollbacks.Load()
 	stats.ForcedStops += c.forcedStops.Load()
 	stats.Steals += c.steals.Load()
+	stats.Panics += c.panics.Load()
 	var sum, max int64
 	active := 0
 	for i := range c.busy {

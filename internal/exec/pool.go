@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"db4ml/internal/numa"
 	"db4ml/internal/obs"
 	"db4ml/internal/queue"
+	"db4ml/internal/resilience"
 )
 
 // ErrPoolClosed is returned by Pool.Submit after Close has begun.
@@ -60,6 +62,17 @@ type JobConfig struct {
 	// history (reads, validations, installs, barrier flips) for post-hoc
 	// invariant checking; see internal/check.
 	Recorder Recorder
+	// Deadline, when nonzero, bounds the job's wall-clock runtime: past it
+	// the job is retired and Wait reports resilience.ErrJobDeadline.
+	// Enforcement is two-layered — a cooperative per-finalize check
+	// (itx.ForceDeadline) retires active-but-nonconvergent jobs mid-batch,
+	// and the watchdog timer catches jobs whose batches stopped flowing.
+	Deadline time.Duration
+	// StallTimeout, when nonzero, arms the progress watchdog: a job whose
+	// iteration heartbeat does not advance for this long is convicted and
+	// Wait reports resilience.ErrJobStalled — even when a worker is wedged
+	// inside user code and can never reach a scheduling point.
+	StallTimeout time.Duration
 }
 
 func (jc JobConfig) withDefaults() JobConfig {
@@ -242,6 +255,11 @@ func (p *Pool) Submit(subs []itx.Sub, opts isolation.Options, jc JobConfig) (*Jo
 		o.RecordSample(j.state.Live(), 0, 0) // t=0 point: everything live
 	}
 	j.stopSampler = j.startSampler()
+	// Atomic handoff: the watchdog's own expire path may reach finishJob
+	// (stall conviction) concurrently with this store; a nil load there
+	// simply skips the stop, which is correct — an expired chain is dead.
+	stopWD := j.startWatchdog()
+	j.stopWatchdog.Store(&stopWD)
 
 	if len(j.batches) == 0 {
 		p.finishJob(j)
@@ -318,15 +336,62 @@ func (p *Pool) worker(w int) {
 			}
 		}
 		j.running.Add(1)
-		if j.syncMode {
-			p.processSync(w, j, b)
-		} else {
-			p.processQueued(w, j, b)
-		}
+		p.processBatch(w, j, b)
 		if j.running.Add(-1) == 0 && j.state.Live() == 0 {
 			p.finishJob(j)
 		}
 	}
+}
+
+// processBatch runs one batch pass under panic containment: every
+// sub-transaction callback (Begin/Execute/Validate), iteration hook,
+// Finalize, and the engine's own scheduling code for this pass execute
+// inside guard, so a panic becomes a job-level abort (the job fails with
+// resilience.ErrJobPanicked and drains) while the worker survives to serve
+// the pool's other jobs. The sync barrier's arrival accounting runs outside
+// the guarded phase so a panicking batch still arrives — otherwise the
+// job's other batches would wait at the barrier forever.
+func (p *Pool) processBatch(w int, j *Job, b *batch) {
+	if j.syncMode {
+		phase := j.phase.Load()
+		p.guard(w, j, func() { p.processSyncPhase(w, j, b, phase) })
+		if j.arrived.Add(1) == j.inFlight.Load() {
+			if !p.guard(w, j, func() { p.syncBarrier(w, j, phase) }) && j.state.Live() > 0 {
+				// The barrier panicked before retiring or re-pushing the
+				// round's batches. Every user-supplied callback the barrier
+				// runs (Recorder.RecordBarrier) fires before any batch is
+				// re-published, so this worker still owns the round
+				// exclusively and can retire it.
+				j.retireAll()
+			}
+		}
+	} else {
+		if !p.guard(w, j, func() { p.processQueued(w, j, b) }) {
+			// The panicked batch never reached its recirculation point;
+			// retire its sub-transactions so the drained job can finish.
+			j.drainBatch(b)
+		}
+	}
+}
+
+// guard runs fn under recover, converting a panic — from user callbacks or
+// the engine's own batch processing — into a job failure carrying the stack
+// (resilience.PanicError). Reports whether fn completed without panicking.
+func (p *Pool) guard(w int, j *Job, fn func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.fail(&resilience.PanicError{Value: r, Stack: debug.Stack(), Worker: w})
+			j.cnt.panics.Add(1)
+			if o := j.cfg.Observer; o != nil {
+				o.Inc(w, obs.Panics)
+			}
+			// Wake parked workers: the job's remaining batches must be
+			// popped and drained for the job to finish.
+			p.notify()
+		}
+	}()
+	fn()
+	return true
 }
 
 // tryPop returns a batch from the worker's own region, or — when stealing
@@ -449,6 +514,12 @@ func (p *Pool) processQueued(w int, j *Job, b *batch) {
 	if o != nil {
 		o.AddBusy(w, busy)
 	}
+	if j.cancelled.Load() {
+		// Cancelled (or failed) mid-pass: retire the rest of the batch now
+		// instead of recirculating it for a drain-only pass.
+		j.drainBatch(b)
+		return
+	}
 	if b.live > 0 {
 		if inj := j.cfg.Chaos; inj != nil {
 			// Recirculation point: delay or yield before the re-push so the
@@ -486,6 +557,11 @@ func (p *Pool) runBatchIteration(w int, j *Job, b *batch) int {
 		if s.converged {
 			continue
 		}
+		if j.cancelled.Load() {
+			// Cancelled, failed, or deadline-retired mid-batch: stop
+			// executing; the caller drains what remains.
+			break
+		}
 		if j.cfg.IterationHook != nil {
 			j.cfg.IterationHook(w)
 		}
@@ -495,6 +571,7 @@ func (p *Pool) runBatchIteration(w int, j *Job, b *batch) int {
 			s.begun = true
 		}
 		s.sub.Execute(s.ctx)
+		j.beats.Add(1)
 		j.cnt.executions.Add(1)
 		if o != nil {
 			o.Inc(w, obs.Executions)
@@ -524,6 +601,16 @@ func (p *Pool) runBatchIteration(w int, j *Job, b *batch) int {
 				if o != nil {
 					o.Inc(w, obs.ForcedStopAttempts)
 				}
+			case itx.ForceDeadline:
+				// The deadline passed mid-batch: retire this sub, fail the
+				// job (first failure wins), and let the cancellation drain
+				// retire the rest.
+				converged = true
+				j.cnt.forcedStops.Add(1)
+				j.fail(&resilience.DeadlineError{Deadline: j.cfg.Deadline})
+				if o != nil {
+					o.Inc(w, obs.DeadlineAborts)
+				}
 			}
 		}
 		if converged {
@@ -544,21 +631,26 @@ const (
 	PhaseInstall
 )
 
-// processSync handles one batch pass of a synchronous job. The barrier is
-// cooperative and per-job: batches carry the job's current phase, each
-// processed batch arrives at the barrier, and the last arriver flips the
+// processSyncPhase handles one batch pass of a synchronous job's current
+// phase. The barrier is cooperative and per-job: batches carry the job's
+// current phase, each processed batch arrives at the barrier (in
+// processBatch, outside the panic guard), and the last arriver flips the
 // phase (or ends the round) and re-pushes the live batches — no worker
 // ever blocks, so concurrent jobs keep flowing through the same pool.
-func (p *Pool) processSync(w int, j *Job, b *batch) {
+func (p *Pool) processSyncPhase(w int, j *Job, b *batch, phase int32) {
 	p.injectBatchFault(w, j)
 	o := j.cfg.Observer
-	phase := j.phase.Load()
 	t0 := time.Now()
 	if !j.cancelled.Load() {
 		if phase == PhaseExecute {
 			for _, s := range b.subs {
 				if s.converged {
 					continue
+				}
+				if j.cancelled.Load() {
+					// Cancelled or failed mid-phase: the barrier retires the
+					// round; unexecuted verdicts are never consulted.
+					break
 				}
 				if j.cfg.IterationHook != nil {
 					j.cfg.IterationHook(w)
@@ -569,6 +661,7 @@ func (p *Pool) processSync(w int, j *Job, b *batch) {
 					s.begun = true
 				}
 				s.sub.Execute(s.ctx)
+				j.beats.Add(1)
 				j.cnt.executions.Add(1)
 				if o != nil {
 					o.Inc(w, obs.Executions)
@@ -580,6 +673,9 @@ func (p *Pool) processSync(w int, j *Job, b *batch) {
 				if s.converged {
 					continue
 				}
+				if j.cancelled.Load() {
+					break
+				}
 				action := s.action
 				if j.cfg.ConvergeTogether && action == itx.Done {
 					// Vote, but keep iterating until the whole round agrees.
@@ -587,6 +683,7 @@ func (p *Pool) processSync(w int, j *Job, b *batch) {
 					action = itx.Commit
 				}
 				converged, rolledBack := s.ctx.Finalize(action)
+				j.beats.Add(1)
 				if rolledBack {
 					j.cnt.rollbacks.Add(1)
 				} else {
@@ -607,9 +704,6 @@ func (p *Pool) processSync(w int, j *Job, b *batch) {
 	j.cnt.busy[w].Add(busy)
 	if o != nil {
 		o.AddBusy(w, busy)
-	}
-	if j.arrived.Add(1) == j.inFlight.Load() {
-		p.syncBarrier(w, j, phase)
 	}
 }
 
@@ -737,21 +831,64 @@ func (j *Job) drainBatch(b *batch) {
 	}
 }
 
-// finishJob settles a job exactly once: stop the sampler, freeze the
-// stats, deregister from the pool, and release waiters.
+// finishJob settles a job exactly once: stop the watchdog and sampler,
+// freeze the stats, deregister from the pool, and release waiters. The
+// watchdog's stall conviction calls it directly (from the watchdog
+// goroutine) when a wedged worker can never reach a scheduling point, so
+// everything here must tolerate workers still touching the job's counters
+// afterwards — they only ever see the frozen copy through Wait/Stats.
 func (p *Pool) finishJob(j *Job) {
 	if !j.finished.CompareAndSwap(false, true) {
 		return
+	}
+	if f := j.stopWatchdog.Load(); f != nil {
+		(*f)()
 	}
 	j.stopSampler()
 	j.final.Rounds = j.rounds.Load()
 	j.final.Elapsed = time.Since(j.start)
 	j.cnt.into(&j.final)
-	if j.cancelled.Load() {
+	if f := j.failure.Load(); f != nil {
+		j.err = f.err
+	} else if j.cancelled.Load() {
 		j.err = ErrJobCancelled
 	}
 	p.removeJob(j)
 	close(j.done)
+}
+
+// startWatchdog arms the job's deadline/stall supervision when configured;
+// returns the stop function (a no-op when unconfigured). On deadline expiry
+// the job fails and drains cooperatively; on a stall conviction the job is
+// additionally force-finished, because a worker wedged inside user code may
+// never return to drain it — Wait must not hang on a job that stopped
+// making progress.
+func (j *Job) startWatchdog() func() {
+	cfg := resilience.WatchConfig{Deadline: j.cfg.Deadline, StallTimeout: j.cfg.StallTimeout}
+	if cfg.Deadline <= 0 && cfg.StallTimeout <= 0 {
+		return func() {}
+	}
+	p := j.pool
+	return resilience.Watch(cfg, j.beats.Load, func(err error) {
+		if errors.Is(err, resilience.ErrJobDeadline) {
+			// Arm the cooperative half: per-finalize ForceDeadline checks
+			// retire an active-but-nonconvergent job mid-batch without the
+			// hot path ever reading the clock.
+			j.state.ExpireDeadline()
+		}
+		j.fail(err)
+		if o := j.cfg.Observer; o != nil {
+			if errors.Is(err, resilience.ErrJobStalled) {
+				o.Inc(0, obs.StallAborts)
+			} else {
+				o.Inc(0, obs.DeadlineAborts)
+			}
+		}
+		p.notify()
+		if errors.Is(err, resilience.ErrJobStalled) {
+			p.finishJob(j)
+		}
+	})
 }
 
 // Job is one uber-transaction's execution in flight on a Pool: its
@@ -780,14 +917,40 @@ type Job struct {
 	roundLive int64        // live subs at round start; written only at barriers
 	rounds    atomic.Uint64
 
-	running     atomic.Int64 // batches being processed right now
-	cancelled   atomic.Bool
-	finished    atomic.Bool
+	running   atomic.Int64 // batches being processed right now
+	cancelled atomic.Bool
+	finished  atomic.Bool
+
+	// Supervision state: beats is the iteration heartbeat the watchdog
+	// samples; failure holds the first terminal error (panic, stall,
+	// deadline) and wins over plain cancellation in Wait.
+	beats        atomic.Uint64
+	failure      atomic.Pointer[jobFailure]
+	stopWatchdog atomic.Pointer[func()]
+
 	stopSampler func()
 	final       Stats
 	err         error
 	done        chan struct{}
 }
+
+// jobFailure boxes a job's terminal error for atomic first-writer-wins
+// publication.
+type jobFailure struct{ err error }
+
+// fail records the job's terminal error — the first failure wins — and
+// cancels the job so queued batches drain instead of executing. Wait then
+// reports the failure instead of ErrJobCancelled.
+func (j *Job) fail(err error) {
+	if j.failure.CompareAndSwap(nil, &jobFailure{err: err}) {
+		j.cancelled.Store(true)
+	}
+}
+
+// Beats returns the job's iteration heartbeat count: one tick per
+// sub-transaction execution (and per synchronous finalize). The watchdog
+// samples it; tests use it to assert progress.
+func (j *Job) Beats() uint64 { return j.beats.Load() }
 
 // ID returns the pool-unique job id.
 func (j *Job) ID() uint64 { return j.id }

@@ -1,0 +1,262 @@
+package exec
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"db4ml/internal/isolation"
+	"db4ml/internal/itx"
+	"db4ml/internal/resilience"
+	"db4ml/internal/storage"
+)
+
+// panicSub panics on its Nth execution (1-based); before and after, it
+// behaves like a counter sub that converges at target.
+type panicSub struct {
+	rec     *storage.IterativeRecord
+	target  uint64
+	panicAt int64
+	execs   *atomic.Int64 // shared across subs so "the job's Nth execution" is well-defined
+	buf     storage.Payload
+	reached uint64
+}
+
+func (s *panicSub) Begin(c *itx.Ctx) { s.buf = make(storage.Payload, 1) }
+func (s *panicSub) Execute(c *itx.Ctx) {
+	if s.execs.Add(1) == s.panicAt {
+		panic("planted sub-transaction panic")
+	}
+	c.Read(s.rec, s.buf)
+	s.buf[0]++
+	s.reached = s.buf[0]
+	c.Write(s.rec, s.buf)
+}
+func (s *panicSub) Validate(c *itx.Ctx) itx.Action {
+	if s.reached >= s.target {
+		return itx.Done
+	}
+	return itx.Commit
+}
+
+// blockSub blocks inside Execute until release is closed — a wedged worker.
+type blockSub struct {
+	rec     *storage.IterativeRecord
+	release chan struct{}
+	blocked chan struct{} // closed once the sub is inside Execute
+	once    atomic.Bool
+}
+
+func (s *blockSub) Begin(c *itx.Ctx) {}
+func (s *blockSub) Execute(c *itx.Ctx) {
+	if s.once.CompareAndSwap(false, true) {
+		close(s.blocked)
+	}
+	<-s.release
+}
+func (s *blockSub) Validate(c *itx.Ctx) itx.Action { return itx.Done }
+
+// spinSub never converges: it commits forever (no Done, no caps).
+type spinSub struct {
+	rec *storage.IterativeRecord
+	buf storage.Payload
+}
+
+func (s *spinSub) Begin(c *itx.Ctx) { s.buf = make(storage.Payload, 1) }
+func (s *spinSub) Execute(c *itx.Ctx) {
+	c.Read(s.rec, s.buf)
+	s.buf[0]++
+	c.Write(s.rec, s.buf)
+}
+func (s *spinSub) Validate(c *itx.Ctx) itx.Action { return itx.Commit }
+
+func newPanicJob(n int, target uint64, panicAt int64) []itx.Sub {
+	execs := &atomic.Int64{}
+	subs := make([]itx.Sub, n)
+	for i := range subs {
+		subs[i] = &panicSub{
+			rec:     storage.NewIterativeRecord(storage.Payload{0}, 1),
+			target:  target,
+			panicAt: panicAt,
+			execs:   execs,
+		}
+	}
+	return subs
+}
+
+// TestPanicContainedQueued: a panic in an asynchronous job's Execute must
+// become ErrJobPanicked from Wait — with the stack attached — not a process
+// crash, and the pool must keep serving other jobs afterwards.
+func TestPanicContainedQueued(t *testing.T) {
+	p, err := NewPool(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	j, err := p.Submit(newPanicJob(16, 50, 20), async(), JobConfig{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := j.Wait()
+	if !errors.Is(err, resilience.ErrJobPanicked) {
+		t.Fatalf("Wait = %v, want ErrJobPanicked", err)
+	}
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T does not carry a PanicError", err)
+	}
+	if pe.Value != "planted sub-transaction panic" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "Execute") {
+		t.Fatalf("stack does not point at the panicking callback:\n%s", pe.Stack)
+	}
+	if stats.Panics != 1 {
+		t.Fatalf("Stats.Panics = %d, want 1", stats.Panics)
+	}
+
+	// The pool survived: a healthy job still runs to convergence.
+	subs, _ := newCounterSubs(32, 5)
+	j2, err := p.Submit(subs, async(), JobConfig{BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j2.Wait(); err != nil {
+		t.Fatalf("pool unusable after contained panic: %v", err)
+	}
+}
+
+// TestPanicContainedSync: the same containment under the synchronous
+// barrier — the panicking batch must still arrive so the round ends.
+func TestPanicContainedSync(t *testing.T) {
+	p, err := NewPool(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	j, err := p.Submit(newPanicJob(16, 50, 20), isolation.Options{Level: isolation.Synchronous}, JobConfig{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var werr error
+	go func() { _, werr = j.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("synchronous job hung after a contained panic")
+	}
+	if !errors.Is(werr, resilience.ErrJobPanicked) {
+		t.Fatalf("Wait = %v, want ErrJobPanicked", werr)
+	}
+}
+
+// TestWatchdogConvictsStalledJob: a worker wedged inside Execute must not
+// hang Wait; the watchdog convicts the job with ErrJobStalled while the
+// wedged worker is still blocked.
+func TestWatchdogConvictsStalledJob(t *testing.T) {
+	p, err := NewPool(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bs := &blockSub{
+		rec:     storage.NewIterativeRecord(storage.Payload{0}, 1),
+		release: make(chan struct{}),
+		blocked: make(chan struct{}),
+	}
+	j, err := p.Submit([]itx.Sub{bs}, async(), JobConfig{BatchSize: 1, StallTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-bs.blocked
+	start := time.Now()
+	_, werr := j.Wait()
+	if !errors.Is(werr, resilience.ErrJobStalled) {
+		t.Fatalf("Wait = %v, want ErrJobStalled", werr)
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("stall conviction took %v", e)
+	}
+	// Release the wedged worker; the pool must drain and close cleanly.
+	close(bs.release)
+	p.Close()
+}
+
+// TestDeadlineRetiresNonConvergentJob: the acceptance scenario — a planted
+// job that never votes Done and has no iteration cap must be retired with
+// ErrJobDeadline within its deadline (plus scheduling slack), not hang.
+func TestDeadlineRetiresNonConvergentJob(t *testing.T) {
+	for _, level := range []isolation.Level{isolation.Asynchronous, isolation.Synchronous} {
+		p, err := NewPool(Config{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs := make([]itx.Sub, 8)
+		for i := range subs {
+			subs[i] = &spinSub{rec: storage.NewIterativeRecord(storage.Payload{0}, 1)}
+		}
+		const deadline = 150 * time.Millisecond
+		start := time.Now()
+		j, err := p.Submit(subs, isolation.Options{Level: level}, JobConfig{BatchSize: 2, Deadline: deadline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, werr := j.Wait()
+		elapsed := time.Since(start)
+		if !errors.Is(werr, resilience.ErrJobDeadline) {
+			t.Fatalf("%v: Wait = %v, want ErrJobDeadline", level, werr)
+		}
+		if elapsed > 10*deadline {
+			t.Fatalf("%v: deadline enforced only after %v", level, elapsed)
+		}
+		if stats.Executions == 0 {
+			t.Fatalf("%v: job retired before doing any work", level)
+		}
+		if j.Beats() == 0 {
+			t.Fatalf("%v: no heartbeats recorded", level)
+		}
+		p.Close()
+	}
+}
+
+// TestDeadlineDoesNotFireOnConvergedJob: a job that converges well inside
+// its deadline must report success.
+func TestDeadlineDoesNotFireOnConvergedJob(t *testing.T) {
+	p, err := NewPool(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	subs, _ := newCounterSubs(32, 5)
+	j, err := p.Submit(subs, async(), JobConfig{BatchSize: 8, Deadline: 30 * time.Second, StallTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(); err != nil {
+		t.Fatalf("healthy job under watchdog failed: %v", err)
+	}
+}
+
+// TestFailureWinsOverCancellation: a job that both panicked and was
+// cancelled reports the failure — the richer verdict — from Wait.
+func TestFailureWinsOverCancellation(t *testing.T) {
+	p, err := NewPool(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	j, err := p.Submit(newPanicJob(8, 1_000_000, 5), async(), JobConfig{BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	j.Cancel() // post-failure cancel must not mask the panic
+	if _, werr := j.Wait(); !errors.Is(werr, resilience.ErrJobPanicked) {
+		t.Fatalf("Wait = %v, want ErrJobPanicked", werr)
+	}
+}

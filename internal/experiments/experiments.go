@@ -43,6 +43,15 @@ type Options struct {
 	// Seeds is how many fault schedules the chaos experiment replays per
 	// isolation level; defaults to 8 (4 under Quick).
 	Seeds int
+	// Deadline is the per-job wall-clock budget the resilience experiment
+	// applies (db4ml-bench -deadline); 0 uses the experiment's default.
+	Deadline time.Duration
+	// Retries is the resilience experiment's whole-job retry budget after
+	// a failed attempt (db4ml-bench -retries); 0 uses the default.
+	Retries int
+	// MaxInflight bounds the resilience experiment's concurrently admitted
+	// jobs (db4ml-bench -maxinflight); 0 uses the default.
+	MaxInflight int
 }
 
 func (o Options) withDefaults() Options {

@@ -27,6 +27,7 @@ var registry = []struct {
 	{"mixed", Mixed, "extra: OLTP throughput with and without a running ML uber-transaction"},
 	{"concurrent", Concurrent, "extra: concurrent ML jobs on one shared worker pool vs sequential"},
 	{"chaos", Chaos, "extra: seeded fault-injection sweep checked against the isolation contracts"},
+	{"resilience", Resilience, "extra: supervision under chaos — shed/retried/panicked/retired counts per burst trial"},
 }
 
 // Run executes the experiment with the given id, or every experiment when

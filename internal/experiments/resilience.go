@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"db4ml"
+	"db4ml/internal/chaos"
+	"db4ml/internal/storage"
+)
+
+// Resilience is an extra experiment (not a paper figure): it drives the
+// supervision layer the way an overloaded production deployment would. Each
+// trial opens one admission-controlled database and fires a burst of ML
+// jobs at it under a seeded chaos schedule — healthy jobs, jobs with a
+// planted one-shot panic (recovered by abort-retry), and never-converging
+// jobs (retired by the deadline) — then verifies the outcome against the
+// uber-transaction contract: every committed job left exactly its expected
+// table state, every retired job left nothing, and nothing hung or crashed.
+// The per-trial row reports how much supervision actually happened: load
+// sheds, whole-job retries, contained panics, deadline retirements, and
+// injected faults.
+func Resilience(opts Options) error {
+	opts = opts.withDefaults()
+	deadline := opts.Deadline
+	if deadline <= 0 {
+		deadline = 300 * time.Millisecond
+		if opts.Quick {
+			deadline = 200 * time.Millisecond
+		}
+	}
+	retries := opts.Retries
+	if retries <= 0 {
+		retries = 3
+	}
+	maxInflight := opts.MaxInflight
+	if maxInflight <= 0 {
+		maxInflight = 3
+	}
+	jobs := 12
+	rows := 16
+	if opts.Quick {
+		jobs, rows = 8, 8
+	}
+	const target = 8.0
+	// Job mix: index%4==1 plants a one-shot panic (needs one retry),
+	// index%4==3 never converges (needs the deadline); the rest are healthy.
+	kind := func(i int) string {
+		switch i % 4 {
+		case 1:
+			return "flaky"
+		case 3:
+			return "spin"
+		default:
+			return "healthy"
+		}
+	}
+
+	fmt.Fprintf(opts.Out, "Resilience: %d-job bursts, max in-flight %d, %d retries, %v deadline, chaos %+v\n\n",
+		jobs, maxInflight, retries, deadline, chaos.DefaultConfig())
+	tw := tab(opts.Out, "seed", "jobs", "committed", "deadline_retired", "sheds", "retries", "panics", "faults", "oracle")
+
+	for trial := 0; trial < opts.Seeds; trial++ {
+		seed := int64(trial + 1)
+		inj := chaos.NewSeeded(seed, 8, chaos.DefaultConfig())
+		db := db4ml.Open(
+			db4ml.WithWorkers(4),
+			db4ml.WithDeadline(deadline),
+			db4ml.WithRetry(db4ml.RetryPolicy{MaxAttempts: retries + 1, BaseBackoff: 2 * time.Millisecond, Seed: seed}),
+			db4ml.WithMaxInflight(maxInflight),
+			db4ml.WithDegradation(nil), // default pressure→batch curve
+		)
+
+		tables := make([]*db4ml.Table, jobs)
+		for i := range tables {
+			tbl, err := db.CreateTable(fmt.Sprintf("C%d", i),
+				db4ml.Column{Name: "ID", Type: db4ml.Int64},
+				db4ml.Column{Name: "V", Type: db4ml.Float64})
+			if err != nil {
+				db.Close()
+				return err
+			}
+			load := make([]db4ml.Payload, rows)
+			for r := range load {
+				p := tbl.Schema().NewPayload()
+				p.SetInt64(0, int64(r))
+				load[r] = p
+			}
+			if err := db.BulkLoad(tbl, load); err != nil {
+				db.Close()
+				return err
+			}
+			tables[i] = tbl
+		}
+
+		var (
+			sheds     uint64
+			handles   = make([]*db4ml.JobHandle, jobs)
+			submitErr error
+			wg        sync.WaitGroup
+		)
+		for i := 0; i < jobs; i++ {
+			var panics int64
+			if kind(i) == "flaky" {
+				panics = 1
+			}
+			run := db4ml.MLRun{
+				Isolation: db4ml.MLOptions{Level: db4ml.Asynchronous},
+				Label:     fmt.Sprintf("resilience-%s-%d", kind(i), i),
+				BatchSize: 4,
+				Attach:    []db4ml.Attachment{{Table: tables[i]}},
+				Subs:      burstSubs(tables[i], rows, target, panics, kind(i) == "spin"),
+				Chaos:     inj,
+			}
+			// Fast-fail admission: a shed submission is counted and
+			// re-offered until a slot frees — the burst is heavier than the
+			// gate allows by construction.
+			for {
+				h, err := db.SubmitML(context.Background(), run)
+				if err == nil {
+					handles[i] = h
+					break
+				}
+				if errors.Is(err, db4ml.ErrOverloaded) {
+					sheds++
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				submitErr = err
+				break
+			}
+			if submitErr != nil {
+				break
+			}
+			wg.Add(1)
+			go func(h *db4ml.JobHandle) {
+				defer wg.Done()
+				_, _ = h.Wait()
+			}(handles[i])
+		}
+		wg.Wait()
+		if submitErr != nil {
+			db.Close()
+			return submitErr
+		}
+
+		committed, retired, retriesSeen, panicsSeen := 0, 0, 0, 0
+		oracle := "ok"
+		fail := func(format string, args ...any) {
+			if oracle == "ok" {
+				oracle = fmt.Sprintf(format, args...)
+			}
+		}
+		for i, h := range handles {
+			_, err := h.Wait()
+			extra := h.Attempts() - 1
+			retriesSeen += extra
+			if kind(i) == "flaky" {
+				panicsSeen += extra // each extra attempt recovered one planted panic
+			}
+			switch {
+			case err == nil:
+				committed++
+				for r, v := range readBurstRows(db, tables[i], rows) {
+					if v != target {
+						fail("job %d row %d = %v, want %v", i, r, v, target)
+					}
+				}
+				if kind(i) == "spin" {
+					fail("non-convergent job %d committed", i)
+				}
+			case errors.Is(err, db4ml.ErrJobDeadline):
+				retired++
+				for r, v := range readBurstRows(db, tables[i], rows) {
+					if v != 0 {
+						fail("retired job %d row %d = %v, want 0", i, r, v)
+					}
+				}
+				if kind(i) != "spin" {
+					fail("job %d (%s) hit the deadline", i, kind(i))
+				}
+			default:
+				fail("job %d (%s) failed terminally: %v", i, kind(i), err)
+			}
+		}
+		db.Close()
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			seed, jobs, committed, retired, sheds, retriesSeen, panicsSeen, inj.Faults(), oracle)
+		if oracle != "ok" {
+			tw.Flush()
+			return fmt.Errorf("resilience: seed %d violated the outcome oracle: %s", seed, oracle)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintf(opts.Out, "\nEvery job either committed its exact result (possibly after retries) or was retired with a typed error; aborted attempts left nothing behind.\n")
+	return nil
+}
+
+// burstSub is the experiment workload: a per-row counter that optionally
+// panics (sharing a budget with its job's siblings) or never converges.
+type burstSub struct {
+	tbl        *db4ml.Table
+	row        db4ml.RowID
+	target     float64
+	spin       bool
+	panicsLeft *atomic.Int64
+	rec        *storage.IterativeRecord
+	buf        db4ml.Payload
+	cur        float64
+}
+
+func (s *burstSub) Begin(ctx *db4ml.Ctx) {
+	s.rec = s.tbl.IterRecord(s.row)
+	s.buf = make(db4ml.Payload, 2)
+}
+
+func (s *burstSub) Execute(ctx *db4ml.Ctx) {
+	if s.panicsLeft != nil && s.panicsLeft.Load() > 0 && s.panicsLeft.Add(-1) >= 0 {
+		panic("resilience experiment: planted panic")
+	}
+	ctx.Read(s.rec, s.buf)
+	s.cur = s.buf.Float64(1) + 1
+	s.buf.SetFloat64(1, s.cur)
+	ctx.Write(s.rec, s.buf)
+}
+
+func (s *burstSub) Validate(ctx *db4ml.Ctx) db4ml.Action {
+	if !s.spin && s.cur >= s.target {
+		return db4ml.Done
+	}
+	return db4ml.Commit
+}
+
+func burstSubs(tbl *db4ml.Table, rows int, target float64, panics int64, spin bool) []db4ml.IterativeTransaction {
+	var budget *atomic.Int64
+	if panics > 0 {
+		budget = &atomic.Int64{}
+		budget.Store(panics)
+	}
+	subs := make([]db4ml.IterativeTransaction, rows)
+	for r := range subs {
+		subs[r] = &burstSub{tbl: tbl, row: db4ml.RowID(r), target: target, spin: spin, panicsLeft: budget}
+	}
+	return subs
+}
+
+func readBurstRows(db *db4ml.DB, tbl *db4ml.Table, rows int) []float64 {
+	tx := db.Begin()
+	out := make([]float64, rows)
+	for r := range out {
+		if p, ok := tx.Read(tbl, db4ml.RowID(r)); ok {
+			out[r] = p.Float64(1)
+		}
+	}
+	return out
+}

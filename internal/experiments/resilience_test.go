@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestResilienceQuick runs the burst trials end to end in quick mode: the
+// oracle column must read ok for every seed (all jobs committed exactly or
+// were retired with a typed error), and supervision must actually have
+// fired (sheds, retries, contained panics all nonzero in the report).
+func TestResilienceQuick(t *testing.T) {
+	var buf strings.Builder
+	opts := quickOpts(&buf)
+	opts.Seeds = 2
+	opts.Deadline = 150 * time.Millisecond
+	if err := Resilience(opts); err != nil {
+		t.Fatalf("resilience experiment failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, col := range []string{"committed", "deadline_retired", "sheds", "retries", "panics", "oracle"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("report missing column %q:\n%s", col, out)
+		}
+	}
+	if strings.Contains(out, "violated") {
+		t.Fatalf("oracle violation:\n%s", out)
+	}
+}

@@ -1,6 +1,8 @@
 package itx
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+)
 
 // ForceStop says why a sub-transaction must be retired before it converged
 // on its own, if at all.
@@ -15,6 +17,11 @@ const (
 	// ForceAttempts: the finalized-attempt cap was reached — the livelock
 	// backstop for sub-transactions that perpetually roll back.
 	ForceAttempts
+	// ForceDeadline: the job's wall-clock deadline passed — the cooperative
+	// half of the supervision layer's deadline enforcement. The watchdog
+	// flips a flag at expiry and every finalize observes it, so a huge
+	// batch retires mid-pass without the hot path ever reading the clock.
+	ForceDeadline
 )
 
 // JobState is the per-job lifecycle state of one uber-transaction's
@@ -25,6 +32,7 @@ const (
 type JobState struct {
 	maxIterations uint64
 	maxAttempts   uint64
+	expired       atomic.Bool // set by the watchdog when the deadline passes
 	live          atomic.Int64
 }
 
@@ -35,6 +43,12 @@ func NewJobState(subs int64, maxIterations, maxAttempts uint64) *JobState {
 	s.live.Store(subs)
 	return s
 }
+
+// ExpireDeadline marks the job's wall-clock budget as spent: every
+// subsequent ShouldForceStop call answers ForceDeadline. The watchdog
+// calls it at expiry; keeping the hot path to one atomic bool load (no
+// time.Now) costs only the watchdog's poll interval in deadline precision.
+func (s *JobState) ExpireDeadline() { s.expired.Store(true) }
 
 // Live returns the number of not-yet-retired sub-transactions.
 func (s *JobState) Live() int64 { return s.live.Load() }
@@ -55,6 +69,9 @@ func (s *JobState) ShouldForceStop(c *Ctx) ForceStop {
 	}
 	if s.maxAttempts > 0 && c.Attempts() >= s.maxAttempts {
 		return ForceAttempts
+	}
+	if s.expired.Load() {
+		return ForceDeadline
 	}
 	return ForceNone
 }

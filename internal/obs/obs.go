@@ -57,6 +57,22 @@ const (
 	// stalls, preemptions, forced rollbacks, and mid-batch cancellations.
 	// Always zero in production runs.
 	ChaosFaults
+	// Panics counts panics the supervision layer contained and converted
+	// into job-level aborts (internal/resilience.ErrJobPanicked).
+	Panics
+	// Retries counts whole-job resubmissions by the facade's abort-retry
+	// loop (charged to worker 0: retry is a job-level, not worker-level,
+	// event).
+	Retries
+	// StallAborts counts jobs the progress watchdog convicted
+	// (resilience.ErrJobStalled).
+	StallAborts
+	// DeadlineAborts counts jobs retired for exceeding their wall-clock
+	// deadline (resilience.ErrJobDeadline).
+	DeadlineAborts
+	// LoadSheds counts submissions the admission gate fast-failed with
+	// resilience.ErrOverloaded.
+	LoadSheds
 
 	numCounters
 )
@@ -71,6 +87,11 @@ var counterNames = [numCounters]string{
 	"steals",
 	"recirculations",
 	"chaos_faults",
+	"panics",
+	"retries",
+	"stall_aborts",
+	"deadline_aborts",
+	"load_sheds",
 }
 
 func (c Counter) String() string {
@@ -187,6 +208,12 @@ func (o *Observer) Inc(worker int, c Counter) {
 	o.shard(worker).counts[c].Add(1)
 }
 
+// Add bumps worker's counter c by n. The facade's retry loop uses it to
+// re-establish the attempt count after a resubmission resets the observer.
+func (o *Observer) Add(worker int, c Counter, n uint64) {
+	o.shard(worker).counts[c].Add(n)
+}
+
 // AddBusy charges nanos of processing time to worker.
 func (o *Observer) AddBusy(worker int, nanos int64) {
 	o.shard(worker).busy.Add(nanos)
@@ -251,6 +278,11 @@ type CounterTotals struct {
 	Steals               uint64 `json:"steals"`
 	Recirculations       uint64 `json:"recirculations"`
 	ChaosFaults          uint64 `json:"chaos_faults,omitempty"`
+	Panics               uint64 `json:"panics,omitempty"`
+	Retries              uint64 `json:"retries,omitempty"`
+	StallAborts          uint64 `json:"stall_aborts,omitempty"`
+	DeadlineAborts       uint64 `json:"deadline_aborts,omitempty"`
+	LoadSheds            uint64 `json:"load_sheds,omitempty"`
 }
 
 // WorkerStats is one worker's share of the run — the paper's Figure 9
@@ -317,6 +349,11 @@ func (o *Observer) Snapshot() Snapshot {
 		snap.Counters.ForcedStopAttempts += sh.counts[ForcedStopAttempts].Load()
 		snap.Counters.Recirculations += sh.counts[Recirculations].Load()
 		snap.Counters.ChaosFaults += sh.counts[ChaosFaults].Load()
+		snap.Counters.Panics += sh.counts[Panics].Load()
+		snap.Counters.Retries += sh.counts[Retries].Load()
+		snap.Counters.StallAborts += sh.counts[StallAborts].Load()
+		snap.Counters.DeadlineAborts += sh.counts[DeadlineAborts].Load()
+		snap.Counters.LoadSheds += sh.counts[LoadSheds].Load()
 	}
 	snap.Counters.Rollbacks = snap.Counters.UserRollbacks + snap.Counters.StalenessRollbacks
 	snap.QueueDepth = o.queueDepth.snapshot()

@@ -1,0 +1,95 @@
+package resilience
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Gate is the admission controller: a bounded count of in-flight ML jobs.
+// Submissions acquire a slot before the uber-transaction begins and release
+// it when the job (including every retry attempt) finishes, so the limit
+// bounds real engine load, not just momentary submission rate. A nil *Gate
+// admits everything at zero cost.
+type Gate struct {
+	sem  chan struct{}
+	shed atomic.Uint64
+}
+
+// NewGate builds a gate admitting at most max concurrent jobs; max <= 0
+// returns nil (unbounded).
+func NewGate(max int) *Gate {
+	if max <= 0 {
+		return nil
+	}
+	return &Gate{sem: make(chan struct{}, max)}
+}
+
+// Acquire claims one slot. With wait=false it fast-fails with ErrOverloaded
+// when the gate is full (load shedding); with wait=true it blocks until a
+// slot frees or ctx is cancelled. A nil gate always admits.
+func (g *Gate) Acquire(ctx context.Context, wait bool) error {
+	if g == nil {
+		return nil
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if !wait {
+		g.shed.Add(1)
+		return ErrOverloaded
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by Acquire. A nil gate is a no-op.
+func (g *Gate) Release() {
+	if g == nil {
+		return
+	}
+	select {
+	case <-g.sem:
+	default:
+		panic("resilience: Gate.Release without Acquire")
+	}
+}
+
+// InFlight returns the number of currently held slots (0 for a nil gate).
+func (g *Gate) InFlight() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.sem)
+}
+
+// Capacity returns the admission limit (0 for a nil gate).
+func (g *Gate) Capacity() int {
+	if g == nil {
+		return 0
+	}
+	return cap(g.sem)
+}
+
+// Pressure returns the load fraction in [0, 1]: held slots over capacity.
+// The facade's degradation hook keys batch-size shrinking on it. A nil gate
+// reports 0 — no admission control, no pressure signal.
+func (g *Gate) Pressure() float64 {
+	if g == nil {
+		return 0
+	}
+	return float64(len(g.sem)) / float64(cap(g.sem))
+}
+
+// Shed returns how many submissions the gate fast-failed with ErrOverloaded.
+func (g *Gate) Shed() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.shed.Load()
+}

@@ -1,0 +1,101 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateFastFail(t *testing.T) {
+	g := NewGate(2)
+	ctx := context.Background()
+	if err := g.Acquire(ctx, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(ctx, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(ctx, false); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full gate returned %v, want ErrOverloaded", err)
+	}
+	if g.Shed() != 1 || g.InFlight() != 2 || g.Capacity() != 2 {
+		t.Fatalf("gate accounting off: shed=%d inflight=%d cap=%d", g.Shed(), g.InFlight(), g.Capacity())
+	}
+	if p := g.Pressure(); p != 1 {
+		t.Fatalf("pressure = %v, want 1", p)
+	}
+	g.Release()
+	if err := g.Acquire(ctx, false); err != nil {
+		t.Fatalf("slot not reusable after release: %v", err)
+	}
+}
+
+func TestGateWait(t *testing.T) {
+	g := NewGate(1)
+	ctx := context.Background()
+	if err := g.Acquire(ctx, true); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		acquired <- g.Acquire(ctx, true)
+	}()
+	select {
+	case err := <-acquired:
+		t.Fatalf("waiting acquire returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Release()
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiting acquire never got the released slot")
+	}
+	wg.Wait()
+	if g.Shed() != 0 {
+		t.Fatalf("waiting mode shed %d submissions", g.Shed())
+	}
+}
+
+func TestGateWaitHonorsContext(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Acquire(context.Background(), true); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(ctx, true); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled wait returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestNilGate(t *testing.T) {
+	var g *Gate = NewGate(0)
+	if g != nil {
+		t.Fatal("NewGate(0) must be nil (unbounded)")
+	}
+	if err := g.Acquire(context.Background(), false); err != nil {
+		t.Fatal(err)
+	}
+	g.Release()
+	if g.InFlight() != 0 || g.Capacity() != 0 || g.Pressure() != 0 || g.Shed() != 0 {
+		t.Fatal("nil gate must report zeros")
+	}
+}
+
+func TestGateReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced Release did not panic")
+		}
+	}()
+	NewGate(1).Release()
+}

@@ -1,0 +1,224 @@
+// Package resilience is the kernel's supervision layer: the error taxonomy
+// of retired ML jobs, a deterministic retry policy, a per-job progress
+// watchdog, and a bounded admission gate. It exists because the
+// uber-transaction model makes whole-job recovery a first-class primitive —
+// an aborted, panicked, or stalled job left no state visible (Section 4 of
+// the paper), so retrying it from scratch is always safe — but only if the
+// engine survives the fault in the first place: a panic must become a
+// job-level abort instead of a process crash, a wedged worker must be
+// convicted instead of hanging Wait forever, and a submission storm must be
+// shed instead of oversubscribing the pool.
+//
+// The package is a leaf (standard library only): internal/exec consumes the
+// watchdog and the panic errors, the db4ml facade consumes the retry policy
+// and the gate, and tests consume all of it directly.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors of the supervision layer. The concrete error types below
+// wrap them, so callers classify failures with errors.Is and retrieve the
+// evidence (stack, quiet window, budget) with errors.As.
+var (
+	// ErrJobPanicked: a sub-transaction callback (Begin/Execute/Validate),
+	// an iteration hook, or the engine's own batch processing panicked; the
+	// supervisor contained it and aborted the job.
+	ErrJobPanicked = errors.New("resilience: job panicked")
+	// ErrJobStalled: the job's progress watchdog saw no iteration heartbeat
+	// for the configured window and retired the job.
+	ErrJobStalled = errors.New("resilience: job stalled")
+	// ErrJobDeadline: the job exceeded its wall-clock deadline before
+	// converging and was retired.
+	ErrJobDeadline = errors.New("resilience: job deadline exceeded")
+	// ErrOverloaded: admission control rejected the submission because the
+	// in-flight-job limit was reached and waiting was not requested.
+	ErrOverloaded = errors.New("resilience: overloaded: in-flight job limit reached")
+)
+
+// PanicError is the job-level abort produced by panic containment. It
+// carries the recovered value and the goroutine stack captured at the
+// recovery point, and matches ErrJobPanicked under errors.Is.
+type PanicError struct {
+	// Value is the value the callback panicked with.
+	Value any
+	// Stack is the stack trace captured by the recovering worker
+	// (runtime/debug.Stack), pointing at the panicking callback.
+	Stack []byte
+	// Worker is the pool worker that contained the panic.
+	Worker int
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("resilience: job panicked (worker %d): %v", e.Worker, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrJobPanicked) true.
+func (e *PanicError) Unwrap() error { return ErrJobPanicked }
+
+// StallError is the watchdog's conviction of a job that stopped making
+// progress. It matches ErrJobStalled under errors.Is.
+type StallError struct {
+	// Quiet is how long the watchdog saw no heartbeat before convicting.
+	Quiet time.Duration
+	// Beats is the job's heartbeat count at conviction time.
+	Beats uint64
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("resilience: job stalled: no progress for %v (%d heartbeats total)", e.Quiet, e.Beats)
+}
+
+// Unwrap makes errors.Is(err, ErrJobStalled) true.
+func (e *StallError) Unwrap() error { return ErrJobStalled }
+
+// DeadlineError is the retirement of a job that ran past its wall-clock
+// budget. It matches ErrJobDeadline under errors.Is.
+type DeadlineError struct {
+	// Deadline is the budget the job was given.
+	Deadline time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("resilience: job exceeded its %v deadline", e.Deadline)
+}
+
+// Unwrap makes errors.Is(err, ErrJobDeadline) true.
+func (e *DeadlineError) Unwrap() error { return ErrJobDeadline }
+
+// RetryPolicy governs whole-job abort-retry: how many times a failed job is
+// resubmitted and how long to back off between attempts. Backoff is
+// exponential with deterministic, seeded jitter — the schedule is a pure
+// function of (Seed, attempt), so a failing run replays identically and
+// tests can assert the exact schedule. The zero policy retries nothing.
+//
+// Retrying a whole job is safe because of uber-transaction atomicity: a
+// failed attempt's uber-transaction aborted, so none of its writes are
+// visible and the retry starts from exactly the state the first attempt saw
+// (plus any unrelated committed OLTP traffic — the same as any fresh
+// submission).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, including the first;
+	// values <= 1 disable retry.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 1ms when
+	// retries are enabled).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 250ms).
+	MaxBackoff time.Duration
+	// Multiplier is the exponential growth factor (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each step randomized away, in [0, 1): the
+	// effective delay is step × (1 − Jitter×u) with u drawn deterministically
+	// from (Seed, attempt). 0 disables jitter.
+	Jitter float64
+	// Seed drives the deterministic jitter stream.
+	Seed int64
+	// RetryIf classifies errors as retryable; nil uses DefaultRetryable.
+	RetryIf func(error) bool
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 250 * time.Millisecond
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter >= 1 {
+		p.Jitter = 0.999
+	}
+	return p
+}
+
+// Enabled reports whether the policy performs any retries at all.
+func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
+
+// ShouldRetry decides whether a job that just failed attempt `attempt`
+// (1-based) with err should be resubmitted, and with what backoff delay.
+func (p RetryPolicy) ShouldRetry(err error, attempt int) (time.Duration, bool) {
+	if attempt < 1 || attempt >= p.MaxAttempts || err == nil {
+		return 0, false
+	}
+	retryable := p.RetryIf
+	if retryable == nil {
+		retryable = DefaultRetryable
+	}
+	if !retryable(err) {
+		return 0, false
+	}
+	return p.Backoff(attempt), true
+}
+
+// Backoff returns the delay before retry number `retry` (1-based: the delay
+// after the first failed attempt is Backoff(1)). Deterministic in
+// (policy, Seed, retry).
+func (p RetryPolicy) Backoff(retry int) time.Duration {
+	p = p.withDefaults()
+	if retry < 1 {
+		retry = 1
+	}
+	step := float64(p.BaseBackoff)
+	for i := 1; i < retry; i++ {
+		step *= p.Multiplier
+		if step >= float64(p.MaxBackoff) {
+			step = float64(p.MaxBackoff)
+			break
+		}
+	}
+	if step > float64(p.MaxBackoff) {
+		step = float64(p.MaxBackoff)
+	}
+	if p.Jitter > 0 {
+		u := uniform(uint64(p.Seed), uint64(retry))
+		step *= 1 - p.Jitter*u
+	}
+	if step < 1 {
+		step = 1
+	}
+	return time.Duration(step)
+}
+
+// Schedule materializes the full backoff schedule — one delay per possible
+// retry — so tests can assert determinism without sleeping through it.
+func (p RetryPolicy) Schedule() []time.Duration {
+	if !p.Enabled() {
+		return nil
+	}
+	out := make([]time.Duration, p.MaxAttempts-1)
+	for i := range out {
+		out[i] = p.Backoff(i + 1)
+	}
+	return out
+}
+
+// DefaultRetryable is the default retry classifier: panicked and stalled
+// jobs are retried (the uber-transaction aborted, so a rerun is
+// side-effect-free), everything else — cancellation, context errors,
+// deadline exhaustion, overload, submission errors — is terminal. A
+// deadline is a budget, not a transient fault: retrying it would spend the
+// same budget on the same divergence.
+func DefaultRetryable(err error) bool {
+	return errors.Is(err, ErrJobPanicked) || errors.Is(err, ErrJobStalled)
+}
+
+// uniform hashes (seed, n) into [0, 1) with splitmix64 — the same generator
+// family internal/chaos uses, so schedules are replayable across platforms.
+func uniform(seed, n uint64) float64 {
+	x := seed ^ n*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,135 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestErrorTaxonomy(t *testing.T) {
+	var err error = &PanicError{Value: "boom", Worker: 3, Stack: []byte("stack")}
+	if !errors.Is(err, ErrJobPanicked) {
+		t.Fatal("PanicError must match ErrJobPanicked")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom" || pe.Worker != 3 {
+		t.Fatalf("PanicError evidence lost: %+v", pe)
+	}
+
+	err = &StallError{Quiet: 200 * time.Millisecond, Beats: 42}
+	if !errors.Is(err, ErrJobStalled) {
+		t.Fatal("StallError must match ErrJobStalled")
+	}
+
+	err = &DeadlineError{Deadline: time.Second}
+	if !errors.Is(err, ErrJobDeadline) {
+		t.Fatal("DeadlineError must match ErrJobDeadline")
+	}
+
+	// Wrapping keeps the classification.
+	wrapped := fmt.Errorf("attempt 2: %w", &PanicError{Value: 1})
+	if !errors.Is(wrapped, ErrJobPanicked) {
+		t.Fatal("wrapped PanicError must still match ErrJobPanicked")
+	}
+}
+
+func TestDefaultRetryable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&PanicError{Value: "x"}, true},
+		{&StallError{Quiet: time.Second}, true},
+		{&DeadlineError{Deadline: time.Second}, false},
+		{ErrOverloaded, false},
+		{errors.New("unrelated"), false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := c.err != nil && DefaultRetryable(c.err); got != c.want {
+			t.Errorf("DefaultRetryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestRetryScheduleDeterminism is the satellite contract: the same
+// (seed, policy) pair produces bit-identical backoff schedules, and a
+// different seed produces a different (jittered) schedule.
+func TestRetryScheduleDeterminism(t *testing.T) {
+	p := RetryPolicy{
+		MaxAttempts: 6,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  64 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.5,
+		Seed:        12345,
+	}
+	a, b := p.Schedule(), p.Schedule()
+	if len(a) != 5 {
+		t.Fatalf("schedule length = %d, want 5", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule not deterministic at retry %d: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+
+	other := p
+	other.Seed = 54321
+	c := other.Schedule()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jittered schedules")
+	}
+
+	// Jitter only ever shortens the step and never below 1ns.
+	for i, d := range a {
+		step := time.Millisecond << i
+		if step > 64*time.Millisecond {
+			step = 64 * time.Millisecond
+		}
+		if d > step || d < 1 {
+			t.Fatalf("retry %d backoff %v outside (0, %v]", i+1, d, step)
+		}
+	}
+}
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{1, 2, 4, 8, 8, 8, 8, 8, 8}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w*time.Millisecond {
+			t.Fatalf("Backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestShouldRetry(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond}
+	if _, ok := p.ShouldRetry(&PanicError{Value: "x"}, 1); !ok {
+		t.Fatal("attempt 1 of 3 with a panic must retry")
+	}
+	if _, ok := p.ShouldRetry(&PanicError{Value: "x"}, 3); ok {
+		t.Fatal("attempt 3 of 3 must not retry")
+	}
+	if _, ok := p.ShouldRetry(ErrOverloaded, 1); ok {
+		t.Fatal("overload is terminal under the default classifier")
+	}
+	if _, ok := p.ShouldRetry(nil, 1); ok {
+		t.Fatal("nil error must not retry")
+	}
+
+	custom := RetryPolicy{MaxAttempts: 2, RetryIf: func(err error) bool { return errors.Is(err, ErrOverloaded) }}
+	if _, ok := custom.ShouldRetry(ErrOverloaded, 1); !ok {
+		t.Fatal("custom classifier ignored")
+	}
+	if zero := (RetryPolicy{}); zero.Enabled() {
+		t.Fatal("zero policy must be disabled")
+	}
+}

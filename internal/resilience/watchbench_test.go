@@ -1,0 +1,19 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkWatchStartStop prices arming and cancelling a watchdog for a job
+// that finishes before its first poll — the common case on a healthy
+// engine, and the reason Watch rides a time.AfterFunc chain instead of a
+// dedicated goroutine (which costs a scheduler round-trip per job).
+func BenchmarkWatchStartStop(b *testing.B) {
+	var n uint64
+	progress := func() uint64 { n++; return n }
+	for i := 0; i < b.N; i++ {
+		stop := Watch(WatchConfig{StallTimeout: 10 * time.Second}, progress, func(error) {})
+		stop()
+	}
+}

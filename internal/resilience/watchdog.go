@@ -1,0 +1,106 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// WatchConfig tunes one job's watchdog.
+type WatchConfig struct {
+	// Deadline, when nonzero, is the job's wall-clock budget measured from
+	// Watch; on expiry the watchdog calls expire with a DeadlineError.
+	Deadline time.Duration
+	// StallTimeout, when nonzero, convicts the job when the progress counter
+	// does not advance for this long; expire receives a StallError.
+	StallTimeout time.Duration
+	// Poll overrides the check cadence (default: StallTimeout/4 clamped to
+	// [1ms, 50ms], or Deadline/4 under the same clamp when only a deadline
+	// is set).
+	Poll time.Duration
+}
+
+func (c WatchConfig) pollInterval() time.Duration {
+	if c.Poll > 0 {
+		return c.Poll
+	}
+	base := c.StallTimeout
+	if base == 0 {
+		base = c.Deadline
+	}
+	p := base / 4
+	if p < time.Millisecond {
+		p = time.Millisecond
+	}
+	if p > 50*time.Millisecond {
+		p = 50 * time.Millisecond
+	}
+	return p
+}
+
+// Watch starts a progress watchdog that samples progress() — a
+// monotonically increasing heartbeat counter — every poll interval and
+// calls expire exactly once when the deadline passes or the counter stops
+// advancing for StallTimeout. It returns a stop function that is
+// idempotent, never blocks, and is safe to call from inside expire itself
+// (the executor's job-finish path runs it regardless of who won the race).
+// A config with neither a deadline nor a stall timeout starts nothing.
+//
+// The checks ride a rescheduling time.AfterFunc rather than a dedicated
+// goroutine: a job that finishes before its first poll interval only ever
+// pays one timer arm + cancel, and never wakes anything — which keeps
+// supervision cheap for the short-job-storm case an admission-controlled
+// engine actually serves. Callbacks are serialized (each schedules the
+// next), so the sampling state below needs no lock.
+func Watch(cfg WatchConfig, progress func() uint64, expire func(error)) (stop func()) {
+	if cfg.Deadline <= 0 && cfg.StallTimeout <= 0 {
+		return func() {}
+	}
+	var (
+		mu      sync.Mutex // guards timer/stopped; never held across expire
+		stopped bool
+		timer   *time.Timer
+		poll    = cfg.pollInterval()
+
+		start      = time.Now()
+		last       = progress()
+		lastChange = start
+	)
+	check := func() {
+		mu.Lock()
+		if stopped {
+			mu.Unlock()
+			return
+		}
+		mu.Unlock()
+		now := time.Now()
+		if cfg.Deadline > 0 && now.Sub(start) >= cfg.Deadline {
+			expire(&DeadlineError{Deadline: cfg.Deadline})
+			return
+		}
+		if cfg.StallTimeout > 0 {
+			if beats := progress(); beats != last {
+				last = beats
+				lastChange = now
+			} else if quiet := now.Sub(lastChange); quiet >= cfg.StallTimeout {
+				expire(&StallError{Quiet: quiet, Beats: beats})
+				return
+			}
+		}
+		mu.Lock()
+		if !stopped {
+			timer.Reset(poll)
+		}
+		mu.Unlock()
+	}
+	mu.Lock()
+	timer = time.AfterFunc(poll, check)
+	mu.Unlock()
+	return func() {
+		mu.Lock()
+		if !stopped {
+			stopped = true
+			timer.Stop()
+		}
+		mu.Unlock()
+	}
+}

@@ -1,0 +1,137 @@
+package resilience
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// expireOnce collects the watchdog's verdict and fails the test on a second
+// call: Watch promises expire fires at most once.
+type expireOnce struct {
+	t  *testing.T
+	ch chan error
+	n  atomic.Int32
+}
+
+func newExpireOnce(t *testing.T) *expireOnce {
+	return &expireOnce{t: t, ch: make(chan error, 1)}
+}
+
+func (e *expireOnce) fn(err error) {
+	if e.n.Add(1) > 1 {
+		e.t.Error("expire called more than once")
+		return
+	}
+	e.ch <- err
+}
+
+func TestWatchConvictsStall(t *testing.T) {
+	var beats atomic.Uint64
+	exp := newExpireOnce(t)
+	stop := Watch(WatchConfig{StallTimeout: 40 * time.Millisecond}, beats.Load, exp.fn)
+	defer stop()
+
+	// Keep the heartbeat moving for a while: no conviction.
+	for i := 0; i < 5; i++ {
+		beats.Add(1)
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case err := <-exp.ch:
+		t.Fatalf("convicted a live job: %v", err)
+	default:
+	}
+
+	// Stop beating: conviction within a few stall windows.
+	select {
+	case err := <-exp.ch:
+		if !errors.Is(err, ErrJobStalled) {
+			t.Fatalf("stall conviction error = %v, want ErrJobStalled", err)
+		}
+		var se *StallError
+		if !errors.As(err, &se) || se.Quiet < 40*time.Millisecond {
+			t.Fatalf("stall evidence wrong: %+v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never convicted a stalled job")
+	}
+}
+
+func TestWatchEnforcesDeadline(t *testing.T) {
+	var beats atomic.Uint64
+	exp := newExpireOnce(t)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		// A perfectly healthy heartbeat must not save a job past its
+		// deadline.
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(time.Millisecond):
+				beats.Add(1)
+			}
+		}
+	}()
+	start := time.Now()
+	stop := Watch(WatchConfig{Deadline: 50 * time.Millisecond, StallTimeout: time.Second}, beats.Load, exp.fn)
+	defer stop()
+	select {
+	case err := <-exp.ch:
+		if !errors.Is(err, ErrJobDeadline) {
+			t.Fatalf("deadline expiry error = %v, want ErrJobDeadline", err)
+		}
+		if e := time.Since(start); e > 2*time.Second {
+			t.Fatalf("deadline enforced only after %v", e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never enforced the deadline")
+	}
+}
+
+func TestWatchStopPreventsExpiry(t *testing.T) {
+	var beats atomic.Uint64
+	exp := newExpireOnce(t)
+	stop := Watch(WatchConfig{StallTimeout: 30 * time.Millisecond}, beats.Load, exp.fn)
+	stop()
+	stop() // idempotent
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case err := <-exp.ch:
+		t.Fatalf("stopped watchdog still expired: %v", err)
+	default:
+	}
+}
+
+func TestWatchStopFromExpireDoesNotDeadlock(t *testing.T) {
+	// The executor's finish path calls stop() from inside expire (the
+	// watchdog's own timer callback); Watch must not block on that. The
+	// stop function is handed across via an atomic pointer, mirroring the
+	// executor's handoff, since expire may run concurrently with the
+	// assignment of Watch's return value.
+	var beats atomic.Uint64
+	var stop atomic.Pointer[func()]
+	fired := make(chan struct{})
+	s := Watch(WatchConfig{StallTimeout: 20 * time.Millisecond}, beats.Load, func(error) {
+		if f := stop.Load(); f != nil {
+			(*f)()
+		}
+		close(fired)
+	})
+	stop.Store(&s)
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("expire (with nested stop) never completed")
+	}
+}
+
+func TestWatchNoopConfig(t *testing.T) {
+	stop := Watch(WatchConfig{}, func() uint64 { return 0 }, func(error) {
+		t.Error("no-op watchdog expired")
+	})
+	stop()
+}
