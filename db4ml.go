@@ -622,11 +622,21 @@ func (db *DB) SubmitML(ctx context.Context, run MLRun) (*JobHandle, error) {
 	return h, nil
 }
 
+// quiesceGrace bounds how long supervise waits, after a forced retirement,
+// for in-flight workers to acknowledge the cancellation before it aborts the
+// uber-transaction anyway. A worker still wedged past the grace can no
+// longer install anything (the engine re-checks cancellation between Execute
+// and Finalize), but resubmitting the same sub-transactions underneath it
+// would be unsafe — so a non-quiesced job is never retried.
+const quiesceGrace = time.Second
+
 // supervise drives one SubmitML handle to resolution: it watches the
 // in-flight attempt, commits on success, aborts on failure, and — when the
 // retry policy allows — backs off and resubmits. It owns h.stats/h.err and
 // closes h.done exactly once, after the last attempt's commit or abort, so
-// "Wait returned" always means "nothing of this run is still in flight".
+// "Wait returned" always means "nothing of this run is still in flight" —
+// up to a worker wedged in user code beyond quiesceGrace, whose attempt can
+// no longer publish anything and is never retried under.
 func (db *DB) supervise(ctx context.Context, h *JobHandle, u *itx.Uber,
 	pool *exec.Pool, private bool, run MLRun, cfg exec.JobConfig,
 	policy RetryPolicy, begin func() (*itx.Uber, error)) {
@@ -642,6 +652,10 @@ func (db *DB) supervise(ctx context.Context, h *JobHandle, u *itx.Uber,
 			run.Recorder.RecordUberAbort()
 		}
 	}
+	// The first attempt's job id decorrelates this handle's jittered backoff
+	// schedule from other handles sharing the same policy; it stays fixed
+	// across attempts so the per-handle schedule is deterministic.
+	token := h.job.Load().ID()
 	for attempt := 1; ; attempt++ {
 		job := h.job.Load()
 		// The watcher is inline — not a separate goroutine — so job
@@ -657,6 +671,12 @@ func (db *DB) supervise(ctx context.Context, h *JobHandle, u *itx.Uber,
 		}
 		stats, err := job.Wait()
 		h.stats = stats
+		// A forced retirement (stall conviction, deadline force-finish)
+		// resolves Wait while a wedged worker may still be mid-Execute; wait
+		// for every in-flight worker to acknowledge the cancellation before
+		// touching the uber-transaction it is attached to. Instant after a
+		// natural finish.
+		quiesced := job.Quiesce(quiesceGrace)
 		if err == nil {
 			ts, cerr := u.Commit()
 			if cerr != nil {
@@ -675,7 +695,13 @@ func (db *DB) supervise(ctx context.Context, h *JobHandle, u *itx.Uber,
 		if err == exec.ErrJobCancelled && ctx.Err() != nil {
 			err = ctx.Err()
 		}
-		delay, retry := policy.ShouldRetry(err, attempt)
+		delay, retry := policy.ShouldRetryFor(token, err, attempt)
+		if !quiesced {
+			// A worker is still wedged inside this attempt's user code and
+			// shares the sub-transaction instances a retry would re-begin;
+			// resubmitting underneath it could mix attempts. Terminal.
+			retry = false
+		}
 		if !retry || ctx.Err() != nil || cancelled(h.cancelCh) {
 			h.err = err
 			return

@@ -66,7 +66,9 @@ type JobConfig struct {
 	// the job is retired and Wait reports resilience.ErrJobDeadline.
 	// Enforcement is two-layered — a cooperative per-finalize check
 	// (itx.ForceDeadline) retires active-but-nonconvergent jobs mid-batch,
-	// and the watchdog timer catches jobs whose batches stopped flowing.
+	// and the watchdog timer catches jobs whose batches stopped flowing,
+	// force-finishing the job after a short drain grace so even a worker
+	// wedged inside user code cannot hang Wait past the deadline.
 	Deadline time.Duration
 	// StallTimeout, when nonzero, arms the progress watchdog: a job whose
 	// iteration heartbeat does not advance for this long is convicted and
@@ -366,7 +368,12 @@ func (p *Pool) processBatch(w int, j *Job, b *batch) {
 			}
 		}
 	} else {
-		if !p.guard(w, j, func() { p.processQueued(w, j, b) }) {
+		// republished is flipped immediately before the batch is re-pushed:
+		// past that point another worker may already own b, so the panic
+		// recovery below must not drain it — the next owner's cancelled check
+		// will (the guard's fail() already cancelled the job).
+		republished := false
+		if !p.guard(w, j, func() { p.processQueued(w, j, b, &republished) }) && !republished {
 			// The panicked batch never reached its recirculation point;
 			// retire its sub-transactions so the drained job can finish.
 			j.drainBatch(b)
@@ -496,7 +503,9 @@ func (p *Pool) perturbVerdict(w int, j *Job, action itx.Action) itx.Action {
 // processQueued handles one batch pass of an asynchronous or
 // bounded-staleness job: run one iteration of every live sub-transaction,
 // then recirculate the batch through its home queue if work remains.
-func (p *Pool) processQueued(w int, j *Job, b *batch) {
+// *republished is set just before the re-push so the caller's panic recovery
+// knows whether it still owns b.
+func (p *Pool) processQueued(w int, j *Job, b *batch, republished *bool) {
 	p.injectBatchFault(w, j)
 	if j.cancelled.Load() {
 		j.drainBatch(b)
@@ -535,6 +544,7 @@ func (p *Pool) processQueued(w int, j *Job, b *batch) {
 		// Always recirculate through the batch's home queue: a stolen
 		// batch returns to its own region as soon as this pass ends, so
 		// stealing never migrates data affinity permanently.
+		*republished = true
 		j.rq[b.home].Push(b)
 		if o != nil {
 			o.Inc(w, obs.Recirculations)
@@ -575,6 +585,14 @@ func (p *Pool) runBatchIteration(w int, j *Job, b *batch) int {
 		j.cnt.executions.Add(1)
 		if o != nil {
 			o.Inc(w, obs.Executions)
+		}
+		if j.cancelled.Load() {
+			// The job was convicted or cancelled while this sub executed —
+			// possibly while this worker was wedged inside Execute and the
+			// watchdog force-finished the job. The uber-transaction may
+			// already be aborted (or a retry attempt re-begun), so this
+			// attempt must not validate or install anything.
+			break
 		}
 		action := p.perturbVerdict(w, j, s.sub.Validate(s.ctx))
 		converged, rolledBack := s.ctx.Finalize(action)
@@ -665,6 +683,12 @@ func (p *Pool) processSyncPhase(w int, j *Job, b *batch, phase int32) {
 				j.cnt.executions.Add(1)
 				if o != nil {
 					o.Inc(w, obs.Executions)
+				}
+				if j.cancelled.Load() {
+					// Convicted/cancelled while this sub executed: skip its
+					// Validate; the barrier retires the round and the stale
+					// verdict is never consulted.
+					break
 				}
 				s.action = p.perturbVerdict(w, j, s.sub.Validate(s.ctx))
 			}
@@ -857,12 +881,22 @@ func (p *Pool) finishJob(j *Job) {
 	close(j.done)
 }
 
+// deadlineForceGrace is how long a deadline-expired job is given to drain
+// cooperatively before the watchdog force-finishes it. Healthy workers
+// retire queued batches within microseconds of the conviction; the grace
+// only matters when a worker is wedged inside user code and can never reach
+// a scheduling point — without the fallback, a deadline-only job
+// (StallTimeout unset) would hang Wait forever.
+const deadlineForceGrace = 100 * time.Millisecond
+
 // startWatchdog arms the job's deadline/stall supervision when configured;
 // returns the stop function (a no-op when unconfigured). On deadline expiry
-// the job fails and drains cooperatively; on a stall conviction the job is
-// additionally force-finished, because a worker wedged inside user code may
-// never return to drain it — Wait must not hang on a job that stopped
-// making progress.
+// the job fails and drains cooperatively, with a force-finish fallback after
+// deadlineForceGrace in case a wedged worker never drains it; on a stall
+// conviction the job is force-finished immediately — the missing heartbeats
+// already proved nobody is draining. Either way Wait must not hang on a job
+// that stopped making progress; callers that need the stronger "nothing
+// still in flight" guarantee follow Wait with Quiesce.
 func (j *Job) startWatchdog() func() {
 	cfg := resilience.WatchConfig{Deadline: j.cfg.Deadline, StallTimeout: j.cfg.StallTimeout}
 	if cfg.Deadline <= 0 && cfg.StallTimeout <= 0 {
@@ -887,6 +921,10 @@ func (j *Job) startWatchdog() func() {
 		p.notify()
 		if errors.Is(err, resilience.ErrJobStalled) {
 			p.finishJob(j)
+		} else {
+			// finishJob is CAS-guarded, so the fallback is a no-op on a job
+			// the drain already finished.
+			time.AfterFunc(deadlineForceGrace, func() { p.finishJob(j) })
 		}
 	})
 }
@@ -963,9 +1001,38 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 
 // Wait blocks until the job finished and returns its final stats. The
 // error is ErrJobCancelled when the job was cancelled.
+//
+// After a forced retirement (a stall conviction, or a deadline whose
+// cooperative drain timed out) a worker wedged inside user code may still be
+// executing when Wait returns; its attempt can no longer validate or
+// install anything, but callers about to tear down or reuse the job's
+// tables (abort, resubmit) must first Quiesce.
 func (j *Job) Wait() (Stats, error) {
 	<-j.done
 	return j.final, j.err
+}
+
+// Quiesce blocks until no pool worker is processing this job's batches, or
+// until timeout elapses (timeout <= 0 waits forever); it reports whether the
+// job quiesced. After a natural finish it returns immediately; after a
+// forced retirement it returns once every in-flight worker has acknowledged
+// the cancellation — the precondition for safely aborting the
+// uber-transaction or resubmitting the same sub-transactions, which share
+// state with any still-wedged attempt.
+func (j *Job) Quiesce(timeout time.Duration) bool {
+	if j.running.Load() == 0 {
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		time.Sleep(50 * time.Microsecond)
+		if j.running.Load() == 0 {
+			return true
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return false
+		}
+	}
 }
 
 // Cancel asks the job to stop: queued batches are drained instead of

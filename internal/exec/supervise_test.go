@@ -242,6 +242,103 @@ func TestDeadlineDoesNotFireOnConvergedJob(t *testing.T) {
 	}
 }
 
+// blockWriteSub blocks inside Execute until release is closed, then buffers
+// a write and votes Done — a wedged worker that wakes after the watchdog
+// already convicted the job. Its write must never install.
+type blockWriteSub struct {
+	rec     *storage.IterativeRecord
+	release chan struct{}
+	blocked chan struct{}
+	once    atomic.Bool
+	buf     storage.Payload
+}
+
+func (s *blockWriteSub) Begin(c *itx.Ctx) { s.buf = make(storage.Payload, 1) }
+func (s *blockWriteSub) Execute(c *itx.Ctx) {
+	if s.once.CompareAndSwap(false, true) {
+		close(s.blocked)
+	}
+	<-s.release
+	c.Read(s.rec, s.buf)
+	s.buf[0] = 999
+	c.Write(s.rec, s.buf)
+}
+func (s *blockWriteSub) Validate(c *itx.Ctx) itx.Action { return itx.Done }
+
+// TestDeadlineForceFinishesWedgedJob: with only a Deadline configured (no
+// StallTimeout), a worker wedged inside user code must not hang Wait — the
+// watchdog's post-deadline drain grace force-finishes the job.
+func TestDeadlineForceFinishesWedgedJob(t *testing.T) {
+	p, err := NewPool(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := &blockSub{
+		rec:     storage.NewIterativeRecord(storage.Payload{0}, 1),
+		release: make(chan struct{}),
+		blocked: make(chan struct{}),
+	}
+	const deadline = 100 * time.Millisecond
+	j, err := p.Submit([]itx.Sub{bs}, async(), JobConfig{BatchSize: 1, Deadline: deadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-bs.blocked
+	start := time.Now()
+	_, werr := j.Wait()
+	if !errors.Is(werr, resilience.ErrJobDeadline) {
+		t.Fatalf("Wait = %v, want ErrJobDeadline", werr)
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("deadline-only force-finish took %v", e)
+	}
+	close(bs.release)
+	if !j.Quiesce(5 * time.Second) {
+		t.Fatal("released job did not quiesce")
+	}
+	p.Close()
+}
+
+// TestQuiesceAfterForcedRetirement: after a stall conviction Wait resolves
+// while the wedged worker is still inside Execute; Quiesce must report that
+// and then succeed once the worker is released — and the attempt the worker
+// finishes must not install its buffered write.
+func TestQuiesceAfterForcedRetirement(t *testing.T) {
+	p, err := NewPool(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := &blockWriteSub{
+		rec:     storage.NewIterativeRecord(storage.Payload{0}, 1),
+		release: make(chan struct{}),
+		blocked: make(chan struct{}),
+	}
+	j, err := p.Submit([]itx.Sub{bs}, async(), JobConfig{BatchSize: 1, StallTimeout: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-bs.blocked
+	if _, werr := j.Wait(); !errors.Is(werr, resilience.ErrJobStalled) {
+		t.Fatalf("Wait = %v, want ErrJobStalled", werr)
+	}
+	if j.Quiesce(20 * time.Millisecond) {
+		t.Fatal("Quiesce reported true while the worker is still wedged")
+	}
+	close(bs.release)
+	if !j.Quiesce(5 * time.Second) {
+		t.Fatal("released job did not quiesce")
+	}
+	// The woken worker saw the cancellation between Execute and Finalize:
+	// nothing of the convicted attempt may have installed.
+	if got := bs.rec.Latest(); got != 0 {
+		t.Fatalf("convicted attempt installed %d snapshots, want 0", got)
+	}
+	if v := bs.rec.LatestSnapshot()[0]; v != 0 {
+		t.Fatalf("record value = %d after convicted attempt, want 0", v)
+	}
+	p.Close()
+}
+
 // TestFailureWinsOverCancellation: a job that both panicked and was
 // cancelled reports the failure — the richer verdict — from Wait.
 func TestFailureWinsOverCancellation(t *testing.T) {

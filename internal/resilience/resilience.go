@@ -92,8 +92,10 @@ func (e *DeadlineError) Unwrap() error { return ErrJobDeadline }
 // RetryPolicy governs whole-job abort-retry: how many times a failed job is
 // resubmitted and how long to back off between attempts. Backoff is
 // exponential with deterministic, seeded jitter — the schedule is a pure
-// function of (Seed, attempt), so a failing run replays identically and
-// tests can assert the exact schedule. The zero policy retries nothing.
+// function of (Seed, decorrelation token, attempt), so a failing run replays
+// identically and tests can assert the exact schedule, while concurrent jobs
+// with distinct tokens (the facade passes the job id) don't retry in
+// lockstep. The zero policy retries nothing.
 //
 // Retrying a whole job is safe because of uber-transaction atomicity: a
 // failed attempt's uber-transaction aborted, so none of its writes are
@@ -145,7 +147,19 @@ func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
 
 // ShouldRetry decides whether a job that just failed attempt `attempt`
 // (1-based) with err should be resubmitted, and with what backoff delay.
+// Equivalent to ShouldRetryFor with token 0; concurrent jobs sharing one
+// policy should use ShouldRetryFor with a per-job token so their jittered
+// backoffs don't line up.
 func (p RetryPolicy) ShouldRetry(err error, attempt int) (time.Duration, bool) {
+	return p.ShouldRetryFor(0, err, attempt)
+}
+
+// ShouldRetryFor is ShouldRetry with a per-handle decorrelation token (e.g.
+// the job id) mixed into the jitter stream: jobs inheriting the same policy
+// get distinct backoff schedules instead of retrying in lockstep, while the
+// schedule stays a pure function of (Seed, token, retry) — deterministic
+// per run, replayable in tests.
+func (p RetryPolicy) ShouldRetryFor(token uint64, err error, attempt int) (time.Duration, bool) {
 	if attempt < 1 || attempt >= p.MaxAttempts || err == nil {
 		return 0, false
 	}
@@ -156,13 +170,20 @@ func (p RetryPolicy) ShouldRetry(err error, attempt int) (time.Duration, bool) {
 	if !retryable(err) {
 		return 0, false
 	}
-	return p.Backoff(attempt), true
+	return p.BackoffFor(token, attempt), true
 }
 
 // Backoff returns the delay before retry number `retry` (1-based: the delay
 // after the first failed attempt is Backoff(1)). Deterministic in
-// (policy, Seed, retry).
+// (policy, Seed, retry); equivalent to BackoffFor with token 0.
 func (p RetryPolicy) Backoff(retry int) time.Duration {
+	return p.BackoffFor(0, retry)
+}
+
+// BackoffFor is Backoff with a per-handle decorrelation token mixed into
+// the jitter seed (token 0 leaves the stream unchanged). Deterministic in
+// (policy, Seed, token, retry).
+func (p RetryPolicy) BackoffFor(token uint64, retry int) time.Duration {
 	p = p.withDefaults()
 	if retry < 1 {
 		retry = 1
@@ -179,7 +200,7 @@ func (p RetryPolicy) Backoff(retry int) time.Duration {
 		step = float64(p.MaxBackoff)
 	}
 	if p.Jitter > 0 {
-		u := uniform(uint64(p.Seed), uint64(retry))
+		u := uniform(uint64(p.Seed)^mix64(token), uint64(retry))
 		step *= 1 - p.Jitter*u
 	}
 	if step < 1 {
@@ -190,13 +211,20 @@ func (p RetryPolicy) Backoff(retry int) time.Duration {
 
 // Schedule materializes the full backoff schedule — one delay per possible
 // retry — so tests can assert determinism without sleeping through it.
+// Token-0 stream; see ScheduleFor.
 func (p RetryPolicy) Schedule() []time.Duration {
+	return p.ScheduleFor(0)
+}
+
+// ScheduleFor materializes the schedule a handle with the given
+// decorrelation token would follow.
+func (p RetryPolicy) ScheduleFor(token uint64) []time.Duration {
 	if !p.Enabled() {
 		return nil
 	}
 	out := make([]time.Duration, p.MaxAttempts-1)
 	for i := range out {
-		out[i] = p.Backoff(i + 1)
+		out[i] = p.BackoffFor(token, i+1)
 	}
 	return out
 }
@@ -209,6 +237,18 @@ func (p RetryPolicy) Schedule() []time.Duration {
 // same budget on the same divergence.
 func DefaultRetryable(err error) bool {
 	return errors.Is(err, ErrJobPanicked) || errors.Is(err, ErrJobStalled)
+}
+
+// mix64 is the splitmix64 finalizer, used to spread a decorrelation token
+// over the jitter seed. mix64(0) == 0, so token-0 schedules are identical to
+// the plain (Seed, retry) stream.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // uniform hashes (seed, n) into [0, 1) with splitmix64 — the same generator

@@ -100,6 +100,33 @@ func TestRetryScheduleDeterminism(t *testing.T) {
 	}
 }
 
+// TestBackoffTokenDecorrelation: handles sharing one policy but carrying
+// distinct tokens must follow different jittered schedules (no retry
+// lockstep), each deterministically; token 0 preserves the plain stream.
+func TestBackoffTokenDecorrelation(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 6, BaseBackoff: time.Millisecond, Jitter: 0.5, Seed: 42}
+	a, b := p.ScheduleFor(1), p.ScheduleFor(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct tokens produced identical jittered schedules")
+	}
+	for i, d := range p.ScheduleFor(1) {
+		if d != a[i] {
+			t.Fatalf("ScheduleFor(1) not deterministic at %d: %v vs %v", i, d, a[i])
+		}
+	}
+	for i, d := range p.ScheduleFor(0) {
+		if got := p.Backoff(i + 1); d != got {
+			t.Fatalf("token 0 diverges from Backoff at %d: %v vs %v", i, d, got)
+		}
+	}
+}
+
 func TestBackoffGrowthAndCap(t *testing.T) {
 	p := RetryPolicy{MaxAttempts: 10, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond, Multiplier: 2}
 	want := []time.Duration{1, 2, 4, 8, 8, 8, 8, 8, 8}

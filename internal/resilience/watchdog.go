@@ -73,18 +73,32 @@ func Watch(cfg WatchConfig, progress func() uint64, expire func(error)) (stop fu
 		}
 		mu.Unlock()
 		now := time.Now()
+		var verdict error
 		if cfg.Deadline > 0 && now.Sub(start) >= cfg.Deadline {
-			expire(&DeadlineError{Deadline: cfg.Deadline})
-			return
-		}
-		if cfg.StallTimeout > 0 {
+			verdict = &DeadlineError{Deadline: cfg.Deadline}
+		} else if cfg.StallTimeout > 0 {
 			if beats := progress(); beats != last {
 				last = beats
 				lastChange = now
 			} else if quiet := now.Sub(lastChange); quiet >= cfg.StallTimeout {
-				expire(&StallError{Quiet: quiet, Beats: beats})
+				verdict = &StallError{Quiet: quiet, Beats: beats}
+			}
+		}
+		if verdict != nil {
+			// Late-conviction guard: the job may have finished (and called
+			// stop) while this check was sampling; re-check immediately before
+			// committing to the conviction so a finished job is not convicted
+			// spuriously. Setting stopped here also makes expire single-shot
+			// even if stop races in between.
+			mu.Lock()
+			if stopped {
+				mu.Unlock()
 				return
 			}
+			stopped = true
+			mu.Unlock()
+			expire(verdict)
+			return
 		}
 		mu.Lock()
 		if !stopped {

@@ -476,6 +476,110 @@ func TestRetryScheduleDeterministic(t *testing.T) {
 	}
 }
 
+// wedgeOnceSub wedges on its first Execute only; once released it behaves
+// like a healthy counter sub. Exercises the stall-convict → quiesce → retry
+// path: the retry must re-begin the same instance safely.
+type wedgeOnceSub struct {
+	tbl     *Table
+	row     RowID
+	target  float64
+	release chan struct{}
+	blocked chan struct{}
+	wedged  atomic.Bool
+	rec     *storage.IterativeRecord
+	buf     Payload
+	cur     float64
+}
+
+func (s *wedgeOnceSub) Begin(ctx *Ctx) {
+	s.rec = s.tbl.IterRecord(s.row)
+	s.buf = make(Payload, 2)
+}
+
+func (s *wedgeOnceSub) Execute(ctx *Ctx) {
+	if s.wedged.CompareAndSwap(false, true) {
+		close(s.blocked)
+		<-s.release
+		return // convicted attempt: write nothing
+	}
+	ctx.Read(s.rec, s.buf)
+	s.cur = s.buf.Float64(1) + 1
+	s.buf.SetFloat64(1, s.cur)
+	ctx.Write(s.rec, s.buf)
+}
+
+func (s *wedgeOnceSub) Validate(ctx *Ctx) Action {
+	if s.cur >= s.target {
+		return Done
+	}
+	return Commit
+}
+
+// TestStallRetryAfterQuiesce: a transiently wedged first attempt is convicted
+// by the watchdog, the supervisor waits for the woken worker to acknowledge
+// the cancellation, and the retry — re-beginning the same sub instances on
+// freshly installed iterative records — commits the full result.
+func TestStallRetryAfterQuiesce(t *testing.T) {
+	const target = 4.0
+	db, tbl := openWithCounters(t, 1)
+	defer db.Close()
+
+	ws := &wedgeOnceSub{tbl: tbl, row: 0, target: target,
+		release: make(chan struct{}), blocked: make(chan struct{})}
+	h, err := db.SubmitML(context.Background(), MLRun{
+		Isolation:    MLOptions{Level: Asynchronous},
+		Attach:       []Attachment{{Table: tbl}},
+		Subs:         []IterativeTransaction{ws},
+		StallTimeout: 60 * time.Millisecond,
+		Retry:        &RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ws.blocked
+	// Hold the worker wedged past the conviction, then let it wake so the
+	// supervisor's quiesce succeeds and the retry proceeds.
+	time.Sleep(150 * time.Millisecond)
+	close(ws.release)
+	if _, werr := h.Wait(); werr != nil {
+		t.Fatalf("retried stalled run failed: %v", werr)
+	}
+	if got := h.Attempts(); got != 2 {
+		t.Fatalf("Attempts = %d, want 2", got)
+	}
+	if v := readCounters(t, db, tbl, 1)[0]; v != target {
+		t.Fatalf("row 0 = %v, want %v", v, target)
+	}
+}
+
+// TestWedgedForeverStallNotRetried: when the wedged worker never
+// acknowledges the cancellation, resubmitting the same sub instances would
+// be unsafe — the supervisor must resolve terminally with ErrJobStalled
+// after a single attempt instead of retrying underneath the wedge.
+func TestWedgedForeverStallNotRetried(t *testing.T) {
+	db, tbl := openWithCounters(t, 1)
+	ws := &wedgeSub{release: make(chan struct{}), blocked: make(chan struct{})}
+	h, err := db.SubmitML(context.Background(), MLRun{
+		Isolation:    MLOptions{Level: Asynchronous},
+		Attach:       []Attachment{{Table: tbl}},
+		Subs:         []IterativeTransaction{ws},
+		StallTimeout: 60 * time.Millisecond,
+		Retry:        &RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ws.blocked
+	if _, werr := h.Wait(); !errors.Is(werr, ErrJobStalled) {
+		t.Fatalf("Wait = %v, want ErrJobStalled", werr)
+	}
+	if got := h.Attempts(); got != 1 {
+		t.Fatalf("Attempts = %d, want 1 (no retry under a live wedge)", got)
+	}
+	close(ws.release)
+	db.Close()
+}
+
 // TestChaosRetryMatchesControl: the acceptance sweep — under a hostile
 // chaos schedule plus planted panics, a retried run's committed result
 // must equal a fault-free control run's, for every seed. Uber-transaction
