@@ -1,5 +1,5 @@
 # Tier-1 gate: everything `make check` runs must stay green.
-.PHONY: check build vet test test-race-short bench-smoke chaos fuzz resilience staticcheck
+.PHONY: check build vet test test-race-short bench-smoke chaos fuzz resilience staticcheck obs
 
 check: build vet test test-race-short
 
@@ -22,6 +22,16 @@ test-race-short:
 # benchmark run.
 bench-smoke:
 	go test -bench=BenchmarkObserverOverhead -benchtime=1x -run '^$$' .
+
+# Observability gate: the zero-alloc contracts of the disabled hot paths
+# (enforced as tests), the observability test surface under the race
+# detector, then the overhead benchmarks for eyeballing against the <2%
+# budget documented in EXPERIMENTS.md.
+obs:
+	go vet ./internal/obs ./internal/trace ./internal/introspect
+	go test -race ./internal/obs ./internal/trace ./internal/introspect
+	go test -race -run 'Observability|DebugServer|LatenciesAndTrace|BarrierSkew|StampsNothing' . ./internal/exec
+	go test -bench 'ObserverOverhead|TraceOverhead|HistogramOverhead' -benchtime 20x -run '^$$' .
 
 # Seeded fault-injection sweep: 8 fault schedules per isolation level,
 # every recorded history checked against the isolation contracts. A failing

@@ -22,6 +22,7 @@ import (
 	"db4ml/internal/obs"
 	"db4ml/internal/queue"
 	"db4ml/internal/storage"
+	"db4ml/internal/trace"
 	"db4ml/internal/txn"
 )
 
@@ -291,6 +292,68 @@ func BenchmarkObserverOverhead(b *testing.B) {
 	}
 	b.Run("observer-off", func(b *testing.B) { run(b, nil) })
 	b.Run("observer-on", func(b *testing.B) { run(b, obs.New()) })
+}
+
+// BenchmarkTraceOverhead guards the span tracer's cost contract, mirroring
+// BenchmarkObserverOverhead: with Tracer nil the hot paths pay a nil check
+// (the off variant must stay within noise, documented <2% in EXPERIMENTS.md);
+// tracer-on shows the price of recording batch/queue/steal spans into the
+// per-worker rings.
+func BenchmarkTraceOverhead(b *testing.B) {
+	g := benchGraph()
+	run := func(b *testing.B, tr *trace.Tracer) {
+		for i := 0; i < b.N; i++ {
+			runPR(b, pagerank.Config{
+				Exec:      exec.Config{Workers: 4, MaxIterations: 10, Tracer: tr},
+				Isolation: isolation.Options{Level: isolation.Asynchronous},
+				Epsilon:   -1,
+			}, g)
+		}
+	}
+	b.Run("tracer-off", func(b *testing.B) { run(b, nil) })
+	b.Run("tracer-on", func(b *testing.B) { run(b, trace.New(4, 0)) })
+}
+
+// BenchmarkHistogramOverhead measures the latency-histogram primitive the
+// engine's instrumented paths call per attempt/batch/steal: one RecordLatency
+// is a few atomic ops and must not allocate (the 0-alloc contract is also
+// enforced by TestRecordLatencyDoesNotAllocate). Contended shows the
+// worst-case false-sharing cost when several goroutines record into one
+// worker's shard.
+func BenchmarkHistogramOverhead(b *testing.B) {
+	b.Run("record", func(b *testing.B) {
+		ob := obs.New()
+		ob.BeginRun(4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ob.RecordLatency(0, obs.AttemptLatency, int64(i)&0xfffff)
+		}
+	})
+	b.Run("record-contended", func(b *testing.B) {
+		ob := obs.New()
+		ob.BeginRun(4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := int64(0)
+			for pb.Next() {
+				ob.RecordLatency(0, obs.AttemptLatency, i&0xfffff)
+				i++
+			}
+		})
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		ob := obs.New()
+		ob.BeginRun(4)
+		for i := 0; i < 1<<16; i++ {
+			ob.RecordLatency(i&3, obs.AttemptLatency, int64(i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = ob.Snapshot()
+		}
+	})
 }
 
 // --- Hot-path micro-benchmarks -------------------------------------------

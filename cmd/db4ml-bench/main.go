@@ -24,8 +24,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 
 	"db4ml/internal/experiments"
+	"db4ml/internal/introspect"
+	"db4ml/internal/trace"
 )
 
 func main() {
@@ -38,6 +43,7 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-job wall-clock budget for -exp resilience (default 300ms, 200ms with -quick)")
 	retries := flag.Int("retries", 0, "whole-job retry budget after a failed attempt for -exp resilience (default 3)")
 	maxinflight := flag.Int("maxinflight", 0, "admitted concurrent ML jobs for -exp resilience (default 3)")
+	httpAddr := flag.String("http", "", "serve the live debug endpoints on this address (e.g. :6060): /metrics (Prometheus), /debug/trace (Chrome trace_event JSON for Perfetto/about:tracing), /debug/pprof; the process keeps serving after the experiments until interrupted")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -62,8 +68,45 @@ func main() {
 		Retries:     *retries,
 		MaxInflight: *maxinflight,
 	}
-	if err := experiments.Run(*exp, opts); err != nil {
+
+	var srv *introspect.Server
+	if *httpAddr != "" {
+		// One tracer and one aggregator span every experiment the process
+		// runs; worker indexes past the sized ring count fold into ring 0,
+		// so sizing to the sweep ceiling is enough.
+		rings := *workers
+		if rings <= 0 {
+			rings = 2 * runtime.GOMAXPROCS(0)
+		}
+		opts.Tracer = trace.New(rings, 0)
+		opts.Aggregator = introspect.NewAggregator()
+		s, err := introspect.Start(introspect.Config{
+			Addr:    *httpAddr,
+			Metrics: opts.Aggregator.Snapshot,
+			Tracer:  opts.Tracer,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "db4ml-bench:", err)
+			os.Exit(1)
+		}
+		srv = s
+		fmt.Fprintf(os.Stderr, "db4ml-bench: debug server on http://%s (/metrics, /debug/trace, /debug/pprof)\n", s.Addr())
+	}
+
+	err := experiments.Run(*exp, opts)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "db4ml-bench:", err)
+	}
+	if srv != nil {
+		// Keep the endpoints up so the finished run can still be scraped and
+		// its trace downloaded; Ctrl-C (or SIGTERM from a harness) exits.
+		fmt.Fprintf(os.Stderr, "db4ml-bench: experiments done; still serving http://%s — interrupt to exit\n", srv.Addr())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		_ = srv.Close()
+	}
+	if err != nil {
 		os.Exit(1)
 	}
 }

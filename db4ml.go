@@ -31,6 +31,7 @@ import (
 
 	"db4ml/internal/chaos"
 	"db4ml/internal/exec"
+	"db4ml/internal/introspect"
 	"db4ml/internal/isolation"
 	"db4ml/internal/itx"
 	"db4ml/internal/numa"
@@ -38,6 +39,7 @@ import (
 	"db4ml/internal/resilience"
 	"db4ml/internal/storage"
 	"db4ml/internal/table"
+	"db4ml/internal/trace"
 	"db4ml/internal/txn"
 )
 
@@ -79,6 +81,12 @@ type (
 	Observer = obs.Observer
 	// TelemetrySnapshot is an Observer's exportable state.
 	TelemetrySnapshot = obs.Snapshot
+	// Tracer records an ML run's scheduling timeline (batch passes, queue
+	// waits, barrier skew, steals, faults, retries, commits) into fixed-size
+	// per-worker ring buffers, exportable as Chrome trace_event JSON. See
+	// NewTracer and MLRun.Tracer; WithDebugServer creates a shared one
+	// automatically.
+	Tracer = trace.Tracer
 	// FaultInjector perturbs engine scheduling at the chaos injection
 	// points — deterministic, seed-replayable fault injection for tests and
 	// experiments (see internal/chaos and chaos.NewSeeded). Production runs
@@ -109,6 +117,13 @@ type RunRecorder interface {
 // NewObserver creates a telemetry observer to pass in MLRun.Observer. One
 // observer serves one run at a time; rerunning resets it.
 func NewObserver() *Observer { return obs.New() }
+
+// NewTracer creates a span tracer to pass in MLRun.Tracer: one ring of the
+// given capacity (0 = a sensible default) per worker. Size workers to the
+// database's pool; out-of-range worker indexes fold into the first ring, so
+// oversizing is never needed. One tracer may be shared by concurrent runs —
+// events carry the owning job's id.
+func NewTracer(workers, capacity int) *Tracer { return trace.New(workers, capacity) }
 
 // Column types.
 const (
@@ -181,6 +196,17 @@ type DB struct {
 	admitWait bool
 	degrade   func(pressure float64, batch int) int
 
+	// Introspection state, non-nil only under WithDebugServer: a shared
+	// span tracer, the aggregator folding every run's telemetry into the
+	// /metrics totals, and the job table backing /debug/jobs.
+	tracer *trace.Tracer
+	agg    *introspect.Aggregator
+	debug  *introspect.Server
+
+	jobsMu   sync.Mutex
+	liveJobs map[*JobHandle]jobMeta
+	recent   []introspect.JobInfo
+
 	mu     sync.Mutex
 	closed bool
 	// handles tracks every SubmitML handle goroutine so Close can wait for
@@ -188,6 +214,12 @@ type DB struct {
 	// pool finishes a job before the handle goroutine publishes its result,
 	// and "Close returned" must mean "no ML commit is still in flight".
 	handles sync.WaitGroup
+}
+
+// jobMeta is the per-handle context the job table needs beyond what the
+// engine's Job exposes.
+type jobMeta struct {
+	deadline time.Duration
 }
 
 // Option configures Open.
@@ -203,6 +235,7 @@ type openConfig struct {
 	maxInflight int
 	admitWait   bool
 	degrade     func(pressure float64, batch int) int
+	debugAddr   string
 }
 
 // WithWorkers sets the size of the database's worker pool (default
@@ -264,6 +297,17 @@ func WithDegradation(fn func(pressure float64, batch int) int) Option {
 	}
 }
 
+// WithDebugServer starts a live introspection HTTP server on addr (e.g.
+// ":6060", or "127.0.0.1:0" to pick a free port — read it back with
+// DB.DebugAddr). The server exposes /metrics (Prometheus text format,
+// aggregated across every ML run), /debug/jobs (the live job table),
+// /debug/trace (the shared span tracer as Chrome trace_event JSON, openable
+// in Perfetto or about:tracing), and /debug/pprof. Enabling it auto-attaches
+// an Observer and the shared Tracer to runs that don't bring their own.
+// Open panics if addr cannot be bound — the server is an explicit opt-in,
+// so failing to start it is a configuration error, not a degraded mode.
+func WithDebugServer(addr string) Option { return func(c *openConfig) { c.debugAddr = addr } }
+
 // DefaultDegradation is the built-in degradation policy: at pressure ≥ 0.75
 // the batch size is quartered, at ≥ 0.5 halved, floored at 16. Smaller
 // batches reach scheduling points (and cancellation/deadline checks) more
@@ -298,7 +342,7 @@ func Open(opts ...Option) *DB {
 		// the only validated constraint always holds.
 		panic("db4ml: " + err.Error())
 	}
-	return &DB{
+	db := &DB{
 		mgr:       txn.NewManager(),
 		tables:    make(map[string]*Table),
 		pool:      pool,
@@ -309,6 +353,71 @@ func Open(opts ...Option) *DB {
 		admitWait: oc.admitWait,
 		degrade:   oc.degrade,
 	}
+	if oc.debugAddr != "" {
+		db.tracer = trace.New(cfg.Resolved().Workers, 0)
+		db.agg = introspect.NewAggregator()
+		db.liveJobs = make(map[*JobHandle]jobMeta)
+		srv, err := introspect.Start(introspect.Config{
+			Addr:    oc.debugAddr,
+			Metrics: db.agg.Snapshot,
+			Jobs:    db.jobInfos,
+			Tracer:  db.tracer,
+		})
+		if err != nil {
+			pool.Close()
+			panic("db4ml: " + err.Error())
+		}
+		db.debug = srv
+	}
+	return db
+}
+
+// DebugAddr returns the debug server's bound address (host:port), or "" when
+// WithDebugServer was not used.
+func (db *DB) DebugAddr() string {
+	if db.debug == nil {
+		return ""
+	}
+	return db.debug.Addr()
+}
+
+// jobInfos assembles the /debug/jobs table: every in-flight handle plus the
+// most recently settled runs.
+func (db *DB) jobInfos() []introspect.JobInfo {
+	db.jobsMu.Lock()
+	defer db.jobsMu.Unlock()
+	out := append([]introspect.JobInfo(nil), db.recent...)
+	for h, m := range db.liveJobs {
+		j := h.job.Load()
+		out = append(out, introspect.NewJobInfo(j.ID(), j.Label(), "running",
+			h.Attempts(), j.Live(), j.Total(), j.Started(), m.deadline))
+	}
+	return out
+}
+
+// maxRecentJobs bounds how many settled runs /debug/jobs keeps listing.
+const maxRecentJobs = 64
+
+// settleJob moves a resolved handle from the live job table to the recent
+// list. No-op without a debug server.
+func (db *DB) settleJob(h *JobHandle, deadline time.Duration) {
+	if db.debug == nil {
+		return
+	}
+	j := h.job.Load()
+	state := "done"
+	if h.err != nil {
+		state = "failed: " + h.err.Error()
+	}
+	info := introspect.NewJobInfo(j.ID(), j.Label(), state,
+		h.Attempts(), j.Live(), j.Total(), j.Started(), deadline)
+	db.jobsMu.Lock()
+	delete(db.liveJobs, h)
+	db.recent = append(db.recent, info)
+	if len(db.recent) > maxRecentJobs {
+		db.recent = db.recent[len(db.recent)-maxRecentJobs:]
+	}
+	db.jobsMu.Unlock()
 }
 
 // Close drains the in-flight ML jobs — including each uber-transaction's
@@ -323,6 +432,9 @@ func (db *DB) Close() error {
 	db.mu.Unlock()
 	pool.Close()
 	db.handles.Wait()
+	if db.debug != nil {
+		_ = db.debug.Close()
+	}
 	return nil
 }
 
@@ -424,9 +536,16 @@ type MLRun struct {
 	// (experiments use it to inject stragglers).
 	IterationHook func(worker int)
 	// Observer, when non-nil, collects engine telemetry for this run
-	// (counters, gauges, convergence series). nil keeps telemetry fully
-	// disabled at zero cost. See NewObserver.
+	// (counters, gauges, convergence series, latency histograms). nil keeps
+	// telemetry fully disabled at zero cost — unless the database runs a
+	// debug server (WithDebugServer), which auto-attaches one so /metrics
+	// always has data. See NewObserver.
 	Observer *Observer
+	// Tracer, when non-nil, records this run's scheduling timeline into
+	// per-worker ring buffers (see NewTracer). nil inherits the debug
+	// server's shared tracer when one is enabled, else tracing stays fully
+	// disabled at zero cost.
+	Tracer *Tracer
 	// ConvergeTogether (synchronous level only) retires sub-transactions
 	// collectively at the first round where every live one votes Done —
 	// the global convergence criterion of bulk-synchronous engines. Use
@@ -449,6 +568,7 @@ type MLRun struct {
 type JobHandle struct {
 	job        atomic.Pointer[exec.Job]
 	attempts   atomic.Int32
+	started    time.Time
 	done       chan struct{}
 	cancelOnce sync.Once
 	cancelCh   chan struct{}
@@ -533,9 +653,21 @@ func (db *DB) SubmitML(ctx context.Context, run MLRun) (*JobHandle, error) {
 		IterationHook:    run.IterationHook,
 		ConvergeTogether: run.ConvergeTogether,
 		Observer:         run.Observer,
+		Tracer:           run.Tracer,
 		Label:            run.Label,
 		Chaos:            run.Chaos,
 		Recorder:         run.Recorder,
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = db.tracer
+	}
+	if db.agg != nil {
+		if cfg.Observer == nil {
+			// The debug server aggregates across runs; give uninstrumented
+			// runs an observer so /metrics reflects them too.
+			cfg.Observer = obs.New()
+		}
+		db.agg.Attach(cfg.Observer)
 	}
 	if cfg.Deadline <= 0 {
 		cfg.Deadline = db.deadline
@@ -615,9 +747,14 @@ func (db *DB) SubmitML(ctx context.Context, run MLRun) (*JobHandle, error) {
 		return nil, err
 	}
 
-	h := &JobHandle{done: make(chan struct{}), cancelCh: make(chan struct{})}
+	h := &JobHandle{done: make(chan struct{}), cancelCh: make(chan struct{}), started: time.Now()}
 	h.job.Store(job)
 	h.attempts.Store(1)
+	if db.debug != nil {
+		db.jobsMu.Lock()
+		db.liveJobs[h] = jobMeta{deadline: cfg.Deadline}
+		db.jobsMu.Unlock()
+	}
 	go db.supervise(ctx, h, u, pool, private, run, cfg, policy, begin)
 	return h, nil
 }
@@ -642,6 +779,10 @@ func (db *DB) supervise(ctx context.Context, h *JobHandle, u *itx.Uber,
 	policy RetryPolicy, begin func() (*itx.Uber, error)) {
 	defer db.handles.Done()
 	defer db.gate.Release()
+	if db.agg != nil {
+		defer db.agg.Complete(cfg.Observer)
+	}
+	defer db.settleJob(h, cfg.Deadline)
 	defer close(h.done)
 	if private {
 		defer pool.Close()
@@ -689,6 +830,14 @@ func (db *DB) supervise(ctx context.Context, h *JobHandle, u *itx.Uber,
 			if run.Recorder != nil {
 				run.Recorder.RecordUberCommit(ts)
 			}
+			// End-to-end latency: first submission to atomic publish,
+			// spanning every retry attempt in between.
+			if cfg.Observer != nil {
+				cfg.Observer.RecordLatency(0, obs.JobCommitLatency, int64(time.Since(h.started)))
+			}
+			if cfg.Tracer != nil {
+				cfg.Tracer.Instant(0, trace.KindCommit, job.ID(), int64(ts))
+			}
 			return
 		}
 		abort()
@@ -734,10 +883,13 @@ func (db *DB) supervise(ctx context.Context, h *JobHandle, u *itx.Uber,
 		}
 		h.job.Store(nj)
 		h.attempts.Store(int32(attempt + 1))
-		if run.Observer != nil {
-			// Submit's BeginRun reset the counters; re-establish the
-			// cumulative retry count for this handle.
-			run.Observer.Add(0, obs.Retries, uint64(attempt))
+		if cfg.Observer != nil {
+			// Submit's BeginRun archived the failed attempt's counters into
+			// the cumulative view; count this resubmission once there.
+			cfg.Observer.Add(0, obs.Retries, 1)
+		}
+		if cfg.Tracer != nil {
+			cfg.Tracer.Instant(0, trace.KindRetry, nj.ID(), int64(attempt+1))
 		}
 	}
 }

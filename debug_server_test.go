@@ -1,0 +1,138 @@
+package db4ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func scrapeURL(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestDebugServerEndToEnd is the ISSUE 5 acceptance path: a bounded-staleness
+// run on a database opened with WithDebugServer must be scrapeable as
+// Prometheus text at /metrics and downloadable as valid Chrome trace_event
+// JSON at /debug/trace — with no Observer or Tracer supplied by the caller,
+// exercising the facade's auto-instrumentation.
+func TestDebugServerEndToEnd(t *testing.T) {
+	const n = 32
+	db := Open(WithWorkers(4), WithDebugServer("127.0.0.1:0"))
+	defer db.Close()
+	if db.DebugAddr() == "" {
+		t.Fatal("DebugAddr empty with WithDebugServer")
+	}
+	base := "http://" + db.DebugAddr()
+
+	tbl, err := db.CreateTable("Counter",
+		Column{Name: "ID", Type: Int64},
+		Column{Name: "Value", Type: Float64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]Payload, n)
+	for i := range rows {
+		p := tbl.Schema().NewPayload()
+		p.SetInt64(0, int64(i))
+		rows[i] = p
+	}
+	if err := db.BulkLoad(tbl, rows); err != nil {
+		t.Fatal(err)
+	}
+	run := func() ExecStats {
+		subs := make([]IterativeTransaction, n)
+		for i := range subs {
+			subs[i] = &incSub{tbl: tbl, row: RowID(i), target: 5}
+		}
+		stats, err := db.RunML(MLRun{
+			Label:     "bounded-pr",
+			Isolation: MLOptions{Level: BoundedStaleness, Staleness: 4},
+			BatchSize: 8,
+			Attach:    []Attachment{{Table: tbl}},
+			Subs:      subs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	stats := run()
+
+	// /metrics: Prometheus text exposition fed by the auto-attached observer.
+	body := scrapeURL(t, base+"/metrics")
+	for _, want := range []string{
+		fmt.Sprintf("db4ml_commits_total %d", stats.Commits),
+		"db4ml_executions_total ",
+		"db4ml_retries_total 0",
+		"# TYPE db4ml_attempt_latency_seconds histogram",
+		`db4ml_attempt_latency_seconds_bucket{le="+Inf"}`,
+		"db4ml_job_commit_latency_seconds_count 1",
+		"db4ml_jobs_tracked 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// A second run must only grow the totals (aggregator monotonicity).
+	stats2 := run()
+	body = scrapeURL(t, base+"/metrics")
+	want := fmt.Sprintf("db4ml_commits_total %d", stats.Commits+stats2.Commits)
+	if !strings.Contains(body, want) {
+		t.Fatalf("/metrics not monotone across runs, missing %q:\n%s", want, body)
+	}
+
+	// /debug/jobs: both settled runs listed with label and terminal state.
+	var jobs []struct {
+		Label string `json:"label"`
+		State string `json:"state"`
+		Total int64  `json:"total"`
+	}
+	if err := json.Unmarshal([]byte(scrapeURL(t, base+"/debug/jobs")), &jobs); err != nil {
+		t.Fatalf("/debug/jobs not valid JSON: %v", err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("job table rows = %d, want 2", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.Label != "bounded-pr" || j.State != "done" || j.Total != n {
+			t.Fatalf("job row = %+v", j)
+		}
+	}
+
+	// /debug/trace: valid Chrome trace_event JSON with spans from the run.
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(scrapeURL(t, base+"/debug/trace")), &doc); err != nil {
+		t.Fatalf("/debug/trace not valid JSON: %v", err)
+	}
+	kinds := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		kinds[ev.Name] = true
+	}
+	for _, want := range []string{"job", "batch", "commit"} {
+		if !kinds[want] {
+			t.Fatalf("trace missing %q events; got %v", want, kinds)
+		}
+	}
+}

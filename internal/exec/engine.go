@@ -27,6 +27,7 @@ import (
 	"db4ml/internal/itx"
 	"db4ml/internal/numa"
 	"db4ml/internal/obs"
+	"db4ml/internal/trace"
 )
 
 // Recorder extends the per-context history recorder (itx.Recorder) with
@@ -99,6 +100,12 @@ type Config struct {
 	// When nil — the default — every telemetry site in the hot path is a
 	// single pointer nil-check.
 	Observer *obs.Observer
+	// Tracer, when non-nil, records the run's scheduling timeline (batch
+	// passes, queue waits, barrier skew, steals, faults, aborts) into its
+	// per-worker ring buffers; see internal/trace. nil — the default —
+	// records nothing: every trace method is nil-receiver safe, so the hot
+	// path pays one pointer test per site.
+	Tracer *trace.Tracer
 	// IterationHook, when non-nil, runs before every sub-transaction
 	// execution with the worker id. Experiments use it to inject
 	// stragglers (Figure 9).
@@ -178,6 +185,7 @@ func (c Config) jobConfig(regionOf func(i int) int) JobConfig {
 		IterationHook:    c.IterationHook,
 		ConvergeTogether: c.ConvergeTogether,
 		Observer:         c.Observer,
+		Tracer:           c.Tracer,
 		Label:            c.Label,
 		Chaos:            c.Chaos,
 		Recorder:         c.Recorder,
@@ -273,6 +281,12 @@ type batch struct {
 	subs []*sched
 	home int   // region whose queue the batch recirculates through
 	live int64 // non-converged subs in this batch; owned by the processing worker
+	// enq stamps when the batch was pushed (nanoseconds since the job's
+	// start; 0 = unstamped), the queue-wait measurement. Written by the
+	// pusher before Push and read by the popper after Pop, so ownership
+	// transfers with the batch like live. Only set while the job is
+	// instrumented — uninstrumented jobs never read the clock here.
+	enq int64
 }
 
 // Run drives subs to convergence on a throwaway pool: it builds a Pool

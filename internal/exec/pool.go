@@ -16,6 +16,7 @@ import (
 	"db4ml/internal/obs"
 	"db4ml/internal/queue"
 	"db4ml/internal/resilience"
+	"db4ml/internal/trace"
 )
 
 // ErrPoolClosed is returned by Pool.Submit after Close has begun.
@@ -52,6 +53,12 @@ type JobConfig struct {
 	// is tagged with the job's label. One observer serves one job at a
 	// time — give concurrent jobs separate observers.
 	Observer *obs.Observer
+	// Tracer, when non-nil, records this job's scheduling timeline (batch
+	// passes, queue waits, barrier skew, steals, faults, aborts) into its
+	// per-worker ring buffers; see internal/trace. Tracers are pool-shaped,
+	// not job-shaped — size one with the pool's worker count and share it
+	// across every job submitted.
+	Tracer *trace.Tracer
 	// Label names the job in telemetry snapshots; defaults to "job-<id>".
 	Label string
 	// Chaos, when non-nil, perturbs this job's scheduling at the chaos
@@ -206,6 +213,8 @@ func (p *Pool) Submit(subs []itx.Sub, opts isolation.Options, jc JobConfig) (*Jo
 		syncMode: opts.Level == isolation.Synchronous,
 		done:     make(chan struct{}),
 		start:    time.Now(),
+		total:    int64(len(subs)),
+		instr:    jc.Observer != nil || jc.Tracer != nil,
 	}
 	for r := range j.rq {
 		j.rq[r] = queue.New[*batch]()
@@ -251,6 +260,15 @@ func (p *Pool) Submit(subs []itx.Sub, opts isolation.Options, jc JobConfig) (*Jo
 	p.addJobLocked(j)
 	p.mu.Unlock()
 
+	if jc.Tracer != nil {
+		// The tracer needs the pool-assigned job id, so contexts learn it
+		// only now — before any batch is published to a queue.
+		for _, s := range perRegion {
+			for _, sc := range s {
+				sc.ctx.SetTracer(jc.Tracer, j.id)
+			}
+		}
+	}
 	if o := jc.Observer; o != nil {
 		o.BeginRun(p.workers)
 		o.SetJob(j.label)
@@ -275,7 +293,12 @@ func (p *Pool) Submit(subs []itx.Sub, opts isolation.Options, jc JobConfig) (*Jo
 		}
 		j.pushActive()
 	} else {
+		now := int64(0)
+		if j.instr {
+			now = j.nanotime()
+		}
 		for _, b := range j.batches {
+			b.enq = now
 			j.rq[b.home].Push(b)
 		}
 		p.notify()
@@ -331,10 +354,23 @@ func (p *Pool) worker(w int) {
 			p.waiters.Add(-1)
 			continue
 		}
+		if j.instr && b.enq > 0 {
+			wait := j.nanotime() - b.enq
+			b.enq = 0
+			if o := j.cfg.Observer; o != nil {
+				o.RecordLatency(w, obs.QueueWaitLatency, wait)
+			}
+			if tr := j.cfg.Tracer; tr != nil {
+				tr.Span(w, trace.KindQueueWait, j.id, int64(b.home), tr.Now()-wait, wait)
+			}
+		}
 		if stolen {
 			j.cnt.steals.Add(1)
 			if o := j.cfg.Observer; o != nil {
 				o.Inc(w, obs.Steals)
+			}
+			if tr := j.cfg.Tracer; tr != nil {
+				tr.Instant(w, trace.KindSteal, j.id, int64(b.home))
 			}
 		}
 		j.running.Add(1)
@@ -357,7 +393,31 @@ func (p *Pool) processBatch(w int, j *Job, b *batch) {
 	if j.syncMode {
 		phase := j.phase.Load()
 		p.guard(w, j, func() { p.processSyncPhase(w, j, b, phase) })
+		var now int64
+		if j.instr {
+			// Barrier arrival skew: the first arriver of the phase stamps
+			// firstArrive; the last arriver (below) reads it back and records
+			// how long the fast batches waited for the stragglers.
+			now = j.nanotime()
+			j.firstArrive.CompareAndSwap(0, now)
+		}
 		if j.arrived.Add(1) == j.inFlight.Load() {
+			if j.instr {
+				if first := j.firstArrive.Swap(0); first > 0 {
+					skew := now - first
+					if skew < 0 {
+						// The last arriver read its clock before the first
+						// arriver won the CAS; call the skew zero.
+						skew = 0
+					}
+					if o := j.cfg.Observer; o != nil {
+						o.RecordLatency(w, obs.BarrierWaitLatency, skew)
+					}
+					if tr := j.cfg.Tracer; tr != nil {
+						tr.Span(w, trace.KindBarrier, j.id, int64(phase), tr.Now()-skew, skew)
+					}
+				}
+			}
 			if !p.guard(w, j, func() { p.syncBarrier(w, j, phase) }) && j.state.Live() > 0 {
 				// The barrier panicked before retiring or re-pushing the
 				// round's batches. Every user-supplied callback the barrier
@@ -459,6 +519,9 @@ func (p *Pool) injectBatchFault(w int, j *Job) {
 	if o := j.cfg.Observer; o != nil {
 		o.Inc(w, obs.ChaosFaults)
 	}
+	if tr := j.cfg.Tracer; tr != nil {
+		tr.Instant(w, trace.KindFault, j.id, int64(f))
+	}
 	switch f {
 	case chaos.Stall:
 		time.Sleep(chaos.StallDuration)
@@ -486,6 +549,9 @@ func (p *Pool) perturbVerdict(w int, j *Job, action itx.Action) itx.Action {
 	}
 	if o := j.cfg.Observer; o != nil {
 		o.Inc(w, obs.ChaosFaults)
+	}
+	if tr := j.cfg.Tracer; tr != nil {
+		tr.Instant(w, trace.KindFault, j.id, int64(f))
 	}
 	switch f {
 	case chaos.Stall:
@@ -522,6 +588,10 @@ func (p *Pool) processQueued(w int, j *Job, b *batch, republished *bool) {
 	j.cnt.busy[w].Add(busy)
 	if o != nil {
 		o.AddBusy(w, busy)
+		o.RecordLatency(w, obs.BatchPassLatency, busy)
+	}
+	if tr := j.cfg.Tracer; tr != nil {
+		tr.Span(w, trace.KindBatch, j.id, int64(b.home), tr.Now()-busy, busy)
 	}
 	if j.cancelled.Load() {
 		// Cancelled (or failed) mid-pass: retire the rest of the batch now
@@ -544,6 +614,9 @@ func (p *Pool) processQueued(w int, j *Job, b *batch, republished *bool) {
 		// Always recirculate through the batch's home queue: a stolen
 		// batch returns to its own region as soon as this pass ends, so
 		// stealing never migrates data affinity permanently.
+		if j.instr {
+			b.enq = j.nanotime()
+		}
 		*republished = true
 		j.rq[b.home].Push(b)
 		if o != nil {
@@ -563,6 +636,13 @@ func (p *Pool) processQueued(w int, j *Job, b *batch, republished *bool) {
 func (p *Pool) runBatchIteration(w int, j *Job, b *batch) int {
 	o := j.cfg.Observer
 	committed := 0
+	// Chained clock reads: each finalized attempt's end stamp doubles as the
+	// next attempt's start, so the whole batch pays one time.Now per attempt
+	// — and none at all when telemetry is off.
+	var last time.Time
+	if o != nil {
+		last = time.Now()
+	}
 	for _, s := range b.subs {
 		if s.converged {
 			continue
@@ -596,6 +676,11 @@ func (p *Pool) runBatchIteration(w int, j *Job, b *batch) int {
 		}
 		action := p.perturbVerdict(w, j, s.sub.Validate(s.ctx))
 		converged, rolledBack := s.ctx.Finalize(action)
+		if o != nil {
+			now := time.Now()
+			o.RecordLatency(w, obs.AttemptLatency, int64(now.Sub(last)))
+			last = now
+		}
 		if rolledBack {
 			j.cnt.rollbacks.Add(1)
 		} else {
@@ -661,6 +746,13 @@ func (p *Pool) processSyncPhase(w int, j *Job, b *batch, phase int32) {
 	t0 := time.Now()
 	if !j.cancelled.Load() {
 		if phase == PhaseExecute {
+			// Chained clocks, as in runBatchIteration: a synchronous attempt's
+			// latency covers its Execute + Validate (install happens in the
+			// next phase, after the barrier).
+			var last time.Time
+			if o != nil {
+				last = time.Now()
+			}
 			for _, s := range b.subs {
 				if s.converged {
 					continue
@@ -691,6 +783,11 @@ func (p *Pool) processSyncPhase(w int, j *Job, b *batch, phase int32) {
 					break
 				}
 				s.action = p.perturbVerdict(w, j, s.sub.Validate(s.ctx))
+				if o != nil {
+					now := time.Now()
+					o.RecordLatency(w, obs.AttemptLatency, int64(now.Sub(last)))
+					last = now
+				}
 			}
 		} else {
 			for _, s := range b.subs {
@@ -728,6 +825,10 @@ func (p *Pool) processSyncPhase(w int, j *Job, b *batch, phase int32) {
 	j.cnt.busy[w].Add(busy)
 	if o != nil {
 		o.AddBusy(w, busy)
+		o.RecordLatency(w, obs.BatchPassLatency, busy)
+	}
+	if tr := j.cfg.Tracer; tr != nil {
+		tr.Span(w, trace.KindBatch, j.id, int64(phase), tr.Now()-busy, busy)
 	}
 }
 
@@ -791,8 +892,13 @@ func (j *Job) pushActive() {
 		}
 	}
 	j.inFlight.Store(n)
+	now := int64(0)
+	if j.instr {
+		now = j.nanotime()
+	}
 	for _, b := range j.batches {
 		if b.live > 0 {
+			b.enq = now
 			j.rq[b.home].Push(b)
 		}
 	}
@@ -877,8 +983,30 @@ func (p *Pool) finishJob(j *Job) {
 	} else if j.cancelled.Load() {
 		j.err = ErrJobCancelled
 	}
+	if tr := j.cfg.Tracer; tr != nil {
+		dur := int64(j.final.Elapsed)
+		tr.Span(0, trace.KindJob, j.id, 0, tr.Now()-dur, dur)
+		if j.err != nil {
+			tr.Instant(0, trace.KindAbort, j.id, abortReason(j.err))
+		}
+	}
 	p.removeJob(j)
 	close(j.done)
+}
+
+// abortReason maps a job's terminal error to the trace event's reason code.
+func abortReason(err error) int64 {
+	switch {
+	case errors.Is(err, resilience.ErrJobPanicked):
+		return trace.AbortPanic
+	case errors.Is(err, resilience.ErrJobStalled):
+		return trace.AbortStall
+	case errors.Is(err, resilience.ErrJobDeadline):
+		return trace.AbortDeadline
+	case errors.Is(err, ErrJobCancelled):
+		return trace.AbortCancelled
+	}
+	return trace.AbortError
 }
 
 // deadlineForceGrace is how long a deadline-expired job is given to drain
@@ -945,6 +1073,13 @@ type Job struct {
 	batches []*batch
 	cnt     *counters
 	start   time.Time
+	total   int64 // sub-transactions submitted
+	instr   bool  // Observer or Tracer attached: stamp queue/barrier clocks
+
+	// firstArrive is the nanotime stamp of the current sync round-phase's
+	// first barrier arrival (0 between phases); the last arriver swaps it
+	// out to compute the round's arrival skew.
+	firstArrive atomic.Int64
 
 	// Synchronous-barrier state; see processSync.
 	syncMode  bool
@@ -985,10 +1120,40 @@ func (j *Job) fail(err error) {
 	}
 }
 
+// nanotime returns nanoseconds since the job started — the monotonic stamp
+// used for queue-wait and barrier-skew measurement.
+func (j *Job) nanotime() int64 { return int64(time.Since(j.start)) }
+
 // Beats returns the job's iteration heartbeat count: one tick per
 // sub-transaction execution (and per synchronous finalize). The watchdog
 // samples it; tests use it to assert progress.
 func (j *Job) Beats() uint64 { return j.beats.Load() }
+
+// Live returns the number of not-yet-retired sub-transactions.
+func (j *Job) Live() int64 { return j.state.Live() }
+
+// Total returns the number of sub-transactions the job was submitted with.
+func (j *Job) Total() int64 { return j.total }
+
+// Started returns when the job was submitted.
+func (j *Job) Started() time.Time { return j.start }
+
+// Deadline returns the job's wall-clock budget (0 = unbounded).
+func (j *Job) Deadline() time.Duration { return j.cfg.Deadline }
+
+// Finished reports whether the job has settled (Wait would not block).
+func (j *Job) Finished() bool { return j.finished.Load() }
+
+// Err returns the terminal error of a finished job (nil while running or
+// after a clean convergence).
+func (j *Job) Err() error {
+	select {
+	case <-j.done:
+		return j.err
+	default:
+		return nil
+	}
+}
 
 // ID returns the pool-unique job id.
 func (j *Job) ID() uint64 { return j.id }

@@ -15,7 +15,9 @@ import (
 	"time"
 
 	"db4ml/internal/exec"
+	"db4ml/internal/introspect"
 	"db4ml/internal/obs"
+	"db4ml/internal/trace"
 )
 
 // rngInt63n draws from the global (mutex-guarded) source — used by
@@ -52,6 +54,14 @@ type Options struct {
 	// MaxInflight bounds the resilience experiment's concurrently admitted
 	// jobs (db4ml-bench -maxinflight); 0 uses the default.
 	MaxInflight int
+	// Tracer, when non-nil, records every instrumented configuration's
+	// scheduling timeline into its ring buffers (db4ml-bench -http serves
+	// it at /debug/trace).
+	Tracer *trace.Tracer
+	// Aggregator, when non-nil, folds every instrumented run's telemetry
+	// into a process-wide view (db4ml-bench -http serves it at /metrics).
+	// Setting it attaches observers even with Telemetry off.
+	Aggregator *introspect.Aggregator
 }
 
 func (o Options) withDefaults() Options {
@@ -91,25 +101,48 @@ func (o Options) workerSweep() []int {
 	return out
 }
 
-// observe attaches a fresh observer to cfg when Options.Telemetry is on
-// and returns a dump function that prints the run's telemetry snapshot as
-// labelled JSON. With telemetry off, both the attachment and the dump are
+// observe attaches a fresh observer (and the shared tracer/aggregator, when
+// configured) to cfg and returns a dump function that prints the run's
+// per-run summary line — p50/p95/p99 attempt latency, rollback ratio,
+// steals — plus, under Options.Telemetry, the full telemetry snapshot as
+// labelled JSON. With everything off, both the attachment and the dump are
 // no-ops. Callers collect the dump functions and invoke them after the
 // experiment's table has been flushed, so JSON never interleaves with rows.
 func (o Options) observe(cfg *exec.Config, label string) func() {
-	if !o.Telemetry {
+	if !o.Telemetry && o.Aggregator == nil && o.Tracer == nil {
 		return func() {}
 	}
 	ob := obs.New()
 	cfg.Observer = ob
+	cfg.Tracer = o.Tracer
+	o.Aggregator.Attach(ob)
 	return func() {
-		js, err := ob.Snapshot().JSON()
-		if err != nil {
-			fmt.Fprintf(o.Out, "\n-- telemetry: %s -- error: %v\n", label, err)
-			return
+		snap := ob.Snapshot()
+		fmt.Fprintf(o.Out, "\n-- summary: %s -- %s\n", label, summaryLine(snap))
+		if o.Telemetry {
+			if js, err := snap.JSON(); err != nil {
+				fmt.Fprintf(o.Out, "-- telemetry: %s -- error: %v\n", label, err)
+			} else {
+				fmt.Fprintf(o.Out, "-- telemetry: %s --\n%s\n", label, js)
+			}
 		}
-		fmt.Fprintf(o.Out, "\n-- telemetry: %s --\n%s\n", label, js)
+		o.Aggregator.Complete(ob)
 	}
+}
+
+// summaryLine condenses one run's snapshot into the single line db4ml-bench
+// appends per instrumented configuration, so BENCH_*.json trajectories
+// capture latency distributions rather than wall-clock alone.
+func summaryLine(snap obs.Snapshot) string {
+	a := snap.Latencies.Attempt
+	c := snap.Cumulative
+	ratio := 0.0
+	if c.Executions > 0 {
+		ratio = float64(c.Rollbacks) / float64(c.Executions)
+	}
+	return fmt.Sprintf("attempt p50/p95/p99 %s/%s/%s  rollback %.2f%%  steals %d  commits %d",
+		time.Duration(a.P50Nanos), time.Duration(a.P95Nanos), time.Duration(a.P99Nanos),
+		100*ratio, c.Steals, c.Commits)
 }
 
 // timed runs fn `runs` times and returns the mean wall-clock duration.

@@ -1,0 +1,126 @@
+package introspect
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"db4ml/internal/obs"
+)
+
+// counterMetrics maps the snapshot's cumulative counters to Prometheus
+// counter families. Names follow prometheus conventions: snake case,
+// `db4ml_` prefix, `_total` suffix.
+func counterMetrics(c obs.CounterTotals) []struct {
+	name, help string
+	value      uint64
+} {
+	return []struct {
+		name, help string
+		value      uint64
+	}{
+		{"executions", "Sub-transaction Execute calls, including rolled-back iterations.", c.Executions},
+		{"commits", "Iterations whose updates were installed.", c.Commits},
+		{"rollbacks", "Iterations discarded (user-requested plus staleness).", c.Rollbacks},
+		{"user_rollbacks", "Iterations discarded because Validate returned Rollback.", c.UserRollbacks},
+		{"staleness_rollbacks", "Iterations discarded by a bounded-staleness violation.", c.StalenessRollbacks},
+		{"forced_stop_iterations", "Sub-transactions retired by the committed-iteration cap.", c.ForcedStopIterations},
+		{"forced_stop_attempts", "Sub-transactions retired by the attempt-cap livelock backstop.", c.ForcedStopAttempts},
+		{"steals", "Batches popped from a foreign region's queue.", c.Steals},
+		{"recirculations", "Batches re-enqueued with live sub-transactions remaining.", c.Recirculations},
+		{"chaos_faults", "Injected chaos faults absorbed (test/experiment runs only).", c.ChaosFaults},
+		{"panics", "Panics contained by the supervision layer.", c.Panics},
+		{"retries", "Whole-job resubmissions by the abort-retry policy.", c.Retries},
+		{"stall_aborts", "Jobs convicted by the progress watchdog.", c.StallAborts},
+		{"deadline_aborts", "Jobs retired for exceeding their wall-clock deadline.", c.DeadlineAborts},
+		{"load_sheds", "Submissions fast-failed by the admission gate.", c.LoadSheds},
+	}
+}
+
+// latencyFamilies pairs each histogram with its metric name.
+func latencyFamilies(ls obs.LatencySnapshot) []struct {
+	name, help string
+	h          obs.HistogramStats
+} {
+	return []struct {
+		name, help string
+		h          obs.HistogramStats
+	}{
+		{"attempt_latency", "Duration of one finalized sub-transaction attempt.", ls.Attempt},
+		{"batch_pass_latency", "Duration of one batch scheduling pass on one worker.", ls.BatchPass},
+		{"queue_wait_latency", "Batch residence time in its region queue, push to pop.", ls.QueueWait},
+		{"barrier_wait_latency", "Synchronous round barrier arrival skew, first to last.", ls.BarrierWait},
+		{"job_commit_latency", "End-to-end job latency, submission to atomic publish.", ls.JobCommit},
+	}
+}
+
+// writePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4), by hand — no client library dependency. Counter
+// values come from the snapshot's Cumulative view, so retried jobs never
+// make a scrape go backwards.
+func writePrometheus(w io.Writer, snap obs.Snapshot, jobs []JobInfo, traceEvents int) {
+	for _, m := range counterMetrics(snap.Cumulative) {
+		fmt.Fprintf(w, "# HELP db4ml_%s_total %s\n", m.name, m.help)
+		fmt.Fprintf(w, "# TYPE db4ml_%s_total counter\n", m.name)
+		fmt.Fprintf(w, "db4ml_%s_total %d\n", m.name, m.value)
+	}
+
+	fmt.Fprintf(w, "# HELP db4ml_live_subs Not-yet-retired sub-transactions (last sample).\n")
+	fmt.Fprintf(w, "# TYPE db4ml_live_subs gauge\ndb4ml_live_subs %d\n", snap.LiveSubs.Last)
+	fmt.Fprintf(w, "# HELP db4ml_queue_depth Region queue length (last sample).\n")
+	fmt.Fprintf(w, "# TYPE db4ml_queue_depth gauge\ndb4ml_queue_depth %d\n", snap.QueueDepth.Last)
+
+	running := 0
+	for _, j := range jobs {
+		if j.State == "running" {
+			running++
+		}
+	}
+	fmt.Fprintf(w, "# HELP db4ml_jobs_running Jobs currently in flight.\n")
+	fmt.Fprintf(w, "# TYPE db4ml_jobs_running gauge\ndb4ml_jobs_running %d\n", running)
+	fmt.Fprintf(w, "# HELP db4ml_jobs_tracked Jobs in the debug job table (running plus settled).\n")
+	fmt.Fprintf(w, "# TYPE db4ml_jobs_tracked gauge\ndb4ml_jobs_tracked %d\n", len(jobs))
+	fmt.Fprintf(w, "# HELP db4ml_trace_events Events retained in the span tracer's ring buffers.\n")
+	fmt.Fprintf(w, "# TYPE db4ml_trace_events gauge\ndb4ml_trace_events %d\n", traceEvents)
+
+	for _, fam := range latencyFamilies(snap.Latencies) {
+		writeHistogram(w, "db4ml_"+fam.name+"_seconds", fam.help, fam.h)
+	}
+}
+
+// writeHistogram renders one log-bucketed histogram as a Prometheus
+// histogram family. Bucket bounds convert from the engine's nanosecond
+// buckets to seconds; counts are made cumulative as the format requires.
+func writeHistogram(w io.Writer, name, help string, h obs.HistogramStats) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if b.UpperNanos == math.MaxInt64 {
+			// The unbounded tail bucket is exactly the +Inf series below.
+			continue
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatLe(b.UpperNanos), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.SumNanos)/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+}
+
+// formatLe renders a bucket's inclusive nanosecond upper bound in seconds.
+func formatLe(upperNanos int64) string {
+	if upperNanos == math.MaxInt64 {
+		return "+Inf"
+	}
+	s := fmt.Sprintf("%g", float64(upperNanos)/1e9)
+	// %g may emit exponent notation ("1e-06"); Prometheus accepts it, but
+	// keep plain decimals for small round values to stay human-scannable.
+	if strings.Contains(s, "e") {
+		s = fmt.Sprintf("%.9f", float64(upperNanos)/1e9)
+		s = strings.TrimRight(s, "0")
+		s = strings.TrimRight(s, ".")
+	}
+	return s
+}

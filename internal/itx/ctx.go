@@ -8,6 +8,7 @@ import (
 	"db4ml/internal/isolation"
 	"db4ml/internal/obs"
 	"db4ml/internal/storage"
+	"db4ml/internal/trace"
 )
 
 // Recorder receives the isolation-relevant history of a sub-transaction:
@@ -45,6 +46,8 @@ type Ctx struct {
 	obs       *obs.Observer  // nil when telemetry is disabled
 	rec       Recorder       // nil when history recording is disabled
 	chaos     chaos.Injector // nil when fault injection is disabled
+	tracer    *trace.Tracer  // nil when span tracing is disabled
+	job       uint64         // pool job id, for trace event attribution
 
 	reads     []readEntry
 	latests   []uint64                         // per-read counters sampled at validation (recording only)
@@ -122,6 +125,11 @@ func (c *Ctx) SetRecorder(r Recorder) { c.rec = r }
 // SetChaos attaches a fault injector consulted at the context's Install
 // point (between staleness validation and write install). nil disables.
 func (c *Ctx) SetChaos(inj chaos.Injector) { c.chaos = inj }
+
+// SetTracer attaches a span tracer; the context marks the chaos faults it
+// absorbs at its Install point as instants attributed to the given job.
+// nil disables.
+func (c *Ctx) SetTracer(t *trace.Tracer, job uint64) { c.tracer, c.job = t, job }
 
 // Options returns the isolation options in force.
 func (c *Ctx) Options() isolation.Options { return c.opts }
@@ -234,7 +242,11 @@ func (c *Ctx) Finalize(action Action) (converged, rolledBack bool) {
 	c.attempts++
 	skipCheck := false
 	if c.chaos != nil {
-		switch c.chaos.Perturb(chaos.Install, c.worker) {
+		f := c.chaos.Perturb(chaos.Install, c.worker)
+		if f != chaos.None {
+			c.tracer.Instant(c.worker, trace.KindFault, c.job, int64(f))
+		}
+		switch f {
 		case chaos.Stall:
 			time.Sleep(chaos.StallDuration)
 		case chaos.Preempt:

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// oracleQuantile returns the exact p-quantile of vals under the same rank
+// definition the histogram uses (rank = ceil(p*n), 1-based).
+func oracleQuantile(vals []int64, p float64) int64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestHistogramQuantileVsOracle: for random value sets — including values
+// planted exactly on power-of-two bucket boundaries — the histogram's
+// quantile must land in the same log bucket as the exact sorted-slice
+// oracle, regardless of how the samples were sharded across workers.
+func TestHistogramQuantileVsOracle(t *testing.T) {
+	quantiles := []float64{0.5, 0.9, 0.95, 0.99, 1.0}
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		workers := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(4000)
+		o := New()
+		o.BeginRun(workers)
+		vals := make([]int64, 0, n)
+		for i := 0; i < n; i++ {
+			var v int64
+			switch rng.Intn(4) {
+			case 0: // exact bucket boundary: 2^k
+				v = int64(1) << uint(rng.Intn(40))
+			case 1: // one below a boundary: 2^k - 1
+				v = int64(1)<<uint(1+rng.Intn(40)) - 1
+			case 2: // uniform small
+				v = rng.Int63n(1 << 12)
+			default: // log-uniform large
+				v = rng.Int63n(int64(1) << uint(10+rng.Intn(30)))
+			}
+			vals = append(vals, v)
+			o.RecordLatency(rng.Intn(workers), AttemptLatency, v)
+		}
+		h := o.Snapshot().Latencies.Attempt
+		if h.Count != uint64(n) {
+			t.Fatalf("seed %d: count = %d, want %d", seed, h.Count, n)
+		}
+		var sum int64
+		for _, v := range vals {
+			sum += v
+		}
+		if h.SumNanos != sum {
+			t.Fatalf("seed %d: sum = %d, want %d", seed, h.SumNanos, sum)
+		}
+		for _, p := range quantiles {
+			got := h.Quantile(p)
+			want := oracleQuantile(vals, p)
+			if bucketOf(got) != bucketOf(want) {
+				t.Fatalf("seed %d: q%.2f = %d (bucket %d), oracle %d (bucket %d)",
+					seed, p, got, bucketOf(got), want, bucketOf(want))
+			}
+		}
+		// The precomputed quantile fields must agree with Quantile().
+		if h.P50Nanos != h.Quantile(0.50) || h.P95Nanos != h.Quantile(0.95) || h.P99Nanos != h.Quantile(0.99) {
+			t.Fatalf("seed %d: precomputed quantiles disagree with Quantile()", seed)
+		}
+	}
+}
+
+// TestHistogramMergeEqualsUnion: merging two independently sharded
+// histograms must equal the histogram of the union of their samples —
+// bucket counts add exactly, and quantiles land in the oracle's bucket.
+func TestHistogramMergeEqualsUnion(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		record := func(n int) (*Observer, []int64) {
+			o := New()
+			o.BeginRun(4)
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = rng.Int63n(int64(1) << uint(4+rng.Intn(32)))
+				o.RecordLatency(i%4, BatchPassLatency, vals[i])
+			}
+			return o, vals
+		}
+		oa, va := record(1 + rng.Intn(500))
+		ob, vb := record(1 + rng.Intn(500))
+		ha := oa.Snapshot().Latencies.BatchPass
+		hb := ob.Snapshot().Latencies.BatchPass
+		merged := ha.Merge(hb)
+		union := append(append([]int64(nil), va...), vb...)
+
+		if merged.Count != uint64(len(union)) {
+			t.Fatalf("seed %d: merged count = %d, want %d", seed, merged.Count, len(union))
+		}
+		var sum int64
+		for _, v := range union {
+			sum += v
+		}
+		if merged.SumNanos != sum {
+			t.Fatalf("seed %d: merged sum = %d, want %d", seed, merged.SumNanos, sum)
+		}
+		wantMax := ha.MaxNanos
+		if hb.MaxNanos > wantMax {
+			wantMax = hb.MaxNanos
+		}
+		if merged.MaxNanos != wantMax {
+			t.Fatalf("seed %d: merged max = %d, want %d", seed, merged.MaxNanos, wantMax)
+		}
+		for _, p := range []float64{0.5, 0.95, 0.99} {
+			got := merged.Quantile(p)
+			want := oracleQuantile(union, p)
+			if bucketOf(got) != bucketOf(want) {
+				t.Fatalf("seed %d: merged q%.2f = %d (bucket %d), oracle %d (bucket %d)",
+					seed, p, got, bucketOf(got), want, bucketOf(want))
+			}
+		}
+		// Per-bucket counts must add exactly.
+		da, db, dm := ha.dense(), hb.dense(), merged.dense()
+		for i := range dm {
+			if dm[i] != da[i]+db[i] {
+				t.Fatalf("seed %d: bucket %d: %d != %d + %d", seed, i, dm[i], da[i], db[i])
+			}
+		}
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {math.MaxInt64, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Fatalf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	// The sparse snapshot form must round-trip through dense().
+	o := New()
+	o.BeginRun(1)
+	for _, c := range cases {
+		o.RecordLatency(0, QueueWaitLatency, c.v)
+	}
+	h := o.Snapshot().Latencies.QueueWait
+	if h.Count != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count, len(cases))
+	}
+	var total uint64
+	for _, b := range h.Buckets {
+		total += b.Count
+	}
+	if total != h.Count {
+		t.Fatalf("sparse buckets sum to %d, want %d", total, h.Count)
+	}
+	if rt := h.dense(); histFromDense(rt).Count != h.Count {
+		t.Fatal("dense() round trip lost samples")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	o := New()
+	o.BeginRun(4)
+	var wg sync.WaitGroup
+	const perWorker = 5000
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				o.RecordLatency(w, AttemptLatency, int64(i%4096))
+			}
+		}(w)
+	}
+	// Concurrent snapshots must be safe (and never exceed the final count).
+	for i := 0; i < 20; i++ {
+		if c := o.Snapshot().Latencies.Attempt.Count; c > 4*perWorker {
+			t.Fatalf("snapshot count %d exceeds recorded %d", c, 4*perWorker)
+		}
+	}
+	wg.Wait()
+	if c := o.Snapshot().Latencies.Attempt.Count; c != 4*perWorker {
+		t.Fatalf("final count = %d, want %d", c, 4*perWorker)
+	}
+}
+
+func TestRecordLatencyDoesNotAllocate(t *testing.T) {
+	o := New()
+	o.BeginRun(2)
+	if allocs := testing.AllocsPerRun(200, func() {
+		o.RecordLatency(1, AttemptLatency, 12345)
+	}); allocs != 0 {
+		t.Fatalf("RecordLatency allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestAttemptsAccumulateAcrossBeginRun is the observer half of the retry
+// accounting fix: a second BeginRun must archive the first run's counters
+// into Attempts instead of silently zeroing them, and Cumulative must sum
+// both.
+func TestAttemptsAccumulateAcrossBeginRun(t *testing.T) {
+	o := New()
+	o.BeginRun(2)
+	o.SetJob("attempt-1")
+	o.Inc(0, Commits)
+	o.Inc(1, Commits)
+	o.Inc(0, UserRollbacks)
+	o.Inc(0, Panics)
+
+	o.BeginRun(2) // retry: resets live counters, archives attempt 1
+	o.SetJob("attempt-2")
+	o.Inc(0, Commits)
+	o.Inc(0, Retries)
+
+	snap := o.Snapshot()
+	if snap.Counters.Commits != 1 || snap.Counters.Panics != 0 {
+		t.Fatalf("live counters = %+v, want the second attempt only", snap.Counters)
+	}
+	if len(snap.Attempts) != 1 {
+		t.Fatalf("attempts archived = %d, want 1", len(snap.Attempts))
+	}
+	a := snap.Attempts[0]
+	if a.Job != "attempt-1" || a.Counters.Commits != 2 || a.Counters.UserRollbacks != 1 || a.Counters.Panics != 1 {
+		t.Fatalf("archived attempt = %+v, want attempt-1's counters", a)
+	}
+	if snap.Cumulative.Commits != 3 || snap.Cumulative.Panics != 1 ||
+		snap.Cumulative.Retries != 1 || snap.Cumulative.Rollbacks != 1 {
+		t.Fatalf("cumulative = %+v, want cross-attempt sums", snap.Cumulative)
+	}
+	// A fresh observer's first BeginRun must NOT archive a phantom attempt.
+	if fresh := New(); func() int { fresh.BeginRun(1); return len(fresh.Snapshot().Attempts) }() != 0 {
+		t.Fatal("first BeginRun archived a phantom attempt")
+	}
+}

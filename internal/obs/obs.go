@@ -152,33 +152,54 @@ const maxSeriesLen = 2048
 
 // Observer collects one engine run's telemetry. The zero value is not
 // usable; call New. A nil *Observer means telemetry is disabled.
+//
+// One observer serves one run at a time, but it remembers across runs:
+// BeginRun archives the outgoing run's counters into the attempt history
+// (Snapshot.Attempts) before resetting the live shards, so a retried job's
+// earlier attempts are never silently zeroed — Snapshot.Cumulative sums
+// every archived attempt plus the live one. Gauges, the convergence
+// series, and the latency histograms follow the documented reset policy:
+// they describe the current attempt only and reset on BeginRun.
 type Observer struct {
 	start   time.Time
 	workers int
+	active  bool // a run has begun; the next BeginRun archives it
 	shards  []shard
+	hshards []histShard
 
 	queueDepth gauge // region queue length, sampled per scheduling pass
 	liveSubs   gauge // non-retired sub-transactions, sampled per pass
 
-	mu     sync.Mutex
-	job    string // label of the job this run's telemetry belongs to
-	series []Sample
+	mu       sync.Mutex
+	job      string // label of the job this run's telemetry belongs to
+	series   []Sample
+	attempts []AttemptStats // archived counters of earlier runs/attempts
 }
 
 // New returns an idle observer. The executor sizes it via BeginRun.
 func New() *Observer {
-	return &Observer{start: time.Now(), workers: 1, shards: make([]shard, 1)}
+	return &Observer{start: time.Now(), workers: 1, shards: make([]shard, 1), hshards: make([]histShard, 1)}
 }
 
-// BeginRun resets all telemetry and sizes the per-worker shards; the
+// BeginRun archives the previous run's counters into the attempt history,
+// then resets all live telemetry and sizes the per-worker shards; the
 // executor calls it at the start of every Run.
 func (o *Observer) BeginRun(workers int) {
 	if workers < 1 {
 		workers = 1
 	}
+	if o.active {
+		arch := AttemptStats{Counters: o.counterTotals()}
+		o.mu.Lock()
+		arch.Job = o.job
+		o.attempts = append(o.attempts, arch)
+		o.mu.Unlock()
+	}
+	o.active = true
 	o.start = time.Now()
 	o.workers = workers
 	o.shards = make([]shard, workers)
+	o.hshards = make([]histShard, workers)
 	o.queueDepth.reset()
 	o.liveSubs.reset()
 	o.mu.Lock()
@@ -305,22 +326,85 @@ type GaugeStats struct {
 	Samples int64   `json:"samples"`
 }
 
+// AttemptStats is the archived counter state of one earlier run (one
+// retry attempt, under the facade's abort-retry loop) of this observer.
+type AttemptStats struct {
+	// Job is the label the archived run was tagged with.
+	Job string `json:"job,omitempty"`
+	// Counters are the run's final counter totals at the moment the next
+	// BeginRun replaced it.
+	Counters CounterTotals `json:"counters"`
+}
+
 // Snapshot is a self-contained export of one run's telemetry.
 type Snapshot struct {
 	// Job is the label of the job the telemetry belongs to (empty when the
 	// run was not tagged via SetJob).
-	Job         string        `json:"job,omitempty"`
-	Workers     int           `json:"workers"`
-	Counters    CounterTotals `json:"counters"`
-	PerWorker   []WorkerStats `json:"per_worker"`
-	QueueDepth  GaugeStats    `json:"queue_depth"`
-	LiveSubs    GaugeStats    `json:"live_subs"`
-	Convergence []Sample      `json:"convergence"`
+	Job         string          `json:"job,omitempty"`
+	Workers     int             `json:"workers"`
+	Counters    CounterTotals   `json:"counters"`
+	PerWorker   []WorkerStats   `json:"per_worker"`
+	QueueDepth  GaugeStats      `json:"queue_depth"`
+	LiveSubs    GaugeStats      `json:"live_subs"`
+	Latencies   LatencySnapshot `json:"latencies"`
+	Convergence []Sample        `json:"convergence"`
+	// Attempts archives the counters of every earlier run recorded through
+	// this observer (BeginRun archives before resetting): under the
+	// facade's retry policy, one entry per aborted attempt. Empty for
+	// single-attempt runs.
+	Attempts []AttemptStats `json:"attempts,omitempty"`
+	// Cumulative sums the archived attempts' counters plus the live run's
+	// — the cross-attempt view that retries can never silently zero.
+	Cumulative CounterTotals `json:"cumulative"`
 }
 
 // JSON renders the snapshot as indented JSON.
 func (s Snapshot) JSON() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
+}
+
+// counterTotals aggregates the live shards' counters.
+func (o *Observer) counterTotals() CounterTotals {
+	var t CounterTotals
+	for w := range o.shards {
+		sh := &o.shards[w]
+		t.Executions += sh.counts[Executions].Load()
+		t.Commits += sh.counts[Commits].Load()
+		t.UserRollbacks += sh.counts[UserRollbacks].Load()
+		t.StalenessRollbacks += sh.counts[StalenessRollbacks].Load()
+		t.Steals += sh.counts[Steals].Load()
+		t.ForcedStopIterations += sh.counts[ForcedStopIters].Load()
+		t.ForcedStopAttempts += sh.counts[ForcedStopAttempts].Load()
+		t.Recirculations += sh.counts[Recirculations].Load()
+		t.ChaosFaults += sh.counts[ChaosFaults].Load()
+		t.Panics += sh.counts[Panics].Load()
+		t.Retries += sh.counts[Retries].Load()
+		t.StallAborts += sh.counts[StallAborts].Load()
+		t.DeadlineAborts += sh.counts[DeadlineAborts].Load()
+		t.LoadSheds += sh.counts[LoadSheds].Load()
+	}
+	t.Rollbacks = t.UserRollbacks + t.StalenessRollbacks
+	return t
+}
+
+// Add merges o into t field-by-field (Rollbacks included: both sides keep
+// the user+staleness identity, so the sum does too).
+func (t *CounterTotals) Add(o CounterTotals) {
+	t.Executions += o.Executions
+	t.Commits += o.Commits
+	t.Rollbacks += o.Rollbacks
+	t.UserRollbacks += o.UserRollbacks
+	t.StalenessRollbacks += o.StalenessRollbacks
+	t.ForcedStopIterations += o.ForcedStopIterations
+	t.ForcedStopAttempts += o.ForcedStopAttempts
+	t.Steals += o.Steals
+	t.Recirculations += o.Recirculations
+	t.ChaosFaults += o.ChaosFaults
+	t.Panics += o.Panics
+	t.Retries += o.Retries
+	t.StallAborts += o.StallAborts
+	t.DeadlineAborts += o.DeadlineAborts
+	t.LoadSheds += o.LoadSheds
 }
 
 // Snapshot aggregates the current telemetry. Safe to call concurrently
@@ -340,29 +424,21 @@ func (o *Observer) Snapshot() Snapshot {
 			BusyNanos:          sh.busy.Load(),
 		}
 		snap.PerWorker = append(snap.PerWorker, ws)
-		snap.Counters.Executions += ws.Executions
-		snap.Counters.Commits += ws.Commits
-		snap.Counters.UserRollbacks += ws.UserRollbacks
-		snap.Counters.StalenessRollbacks += ws.StalenessRollbacks
-		snap.Counters.Steals += ws.Steals
-		snap.Counters.ForcedStopIterations += sh.counts[ForcedStopIters].Load()
-		snap.Counters.ForcedStopAttempts += sh.counts[ForcedStopAttempts].Load()
-		snap.Counters.Recirculations += sh.counts[Recirculations].Load()
-		snap.Counters.ChaosFaults += sh.counts[ChaosFaults].Load()
-		snap.Counters.Panics += sh.counts[Panics].Load()
-		snap.Counters.Retries += sh.counts[Retries].Load()
-		snap.Counters.StallAborts += sh.counts[StallAborts].Load()
-		snap.Counters.DeadlineAborts += sh.counts[DeadlineAborts].Load()
-		snap.Counters.LoadSheds += sh.counts[LoadSheds].Load()
 	}
-	snap.Counters.Rollbacks = snap.Counters.UserRollbacks + snap.Counters.StalenessRollbacks
+	snap.Counters = o.counterTotals()
 	snap.QueueDepth = o.queueDepth.snapshot()
 	snap.LiveSubs = o.liveSubs.snapshot()
+	snap.Latencies = o.latencySnapshot()
 
 	o.mu.Lock()
 	snap.Job = o.job
 	snap.Convergence = append([]Sample(nil), o.series...)
+	snap.Attempts = append([]AttemptStats(nil), o.attempts...)
 	o.mu.Unlock()
+	snap.Cumulative = snap.Counters
+	for _, a := range snap.Attempts {
+		snap.Cumulative.Add(a.Counters)
+	}
 	for i := 1; i < len(snap.Convergence); i++ {
 		cur, prev := &snap.Convergence[i], snap.Convergence[i-1]
 		if dt := cur.ElapsedMicros - prev.ElapsedMicros; dt > 0 {

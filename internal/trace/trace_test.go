@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsFree(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	// Every method must be nil-receiver safe.
+	tr.Span(3, KindBatch, 1, 0, tr.Now(), 10)
+	tr.Instant(0, KindSteal, 1, 0)
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer retained events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer's trace is not valid JSON: %v", err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		tr.Span(0, KindBatch, 1, 0, 0, 1)
+		tr.Instant(0, KindSteal, 1, 0)
+	}); allocs != 0 {
+		t.Fatalf("disabled tracer allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestEnabledRecordDoesNotAllocate(t *testing.T) {
+	tr := New(2, 64)
+	if allocs := testing.AllocsPerRun(200, func() {
+		tr.Span(1, KindBatch, 7, 3, tr.Now(), 100)
+	}); allocs != 0 {
+		t.Fatalf("enabled Span allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	const capacity = 8
+	tr := New(1, capacity)
+	for i := 0; i < 3*capacity; i++ {
+		tr.Span(0, KindBatch, 1, int64(i), int64(i), 1)
+	}
+	events := tr.Events()
+	if len(events) != capacity {
+		t.Fatalf("retained %d events, want %d", len(events), capacity)
+	}
+	// Overwrite-oldest: exactly the last `capacity` args survive, in order.
+	for i, e := range events {
+		want := int64(3*capacity - capacity + i)
+		if e.Arg != want {
+			t.Fatalf("event %d: arg = %d, want %d", i, e.Arg, want)
+		}
+	}
+	if tr.Len() != capacity {
+		t.Fatalf("Len = %d, want %d", tr.Len(), capacity)
+	}
+}
+
+// TestRingWrapConcurrent hammers small rings from several writer
+// goroutines while a reader snapshots continuously — the wrap-around race
+// test. Run under -race; the assertions check that snapshots only ever
+// contain fully written events.
+func TestRingWrapConcurrent(t *testing.T) {
+	const (
+		writers   = 4
+		perWriter = 2000
+		capacity  = 16
+	)
+	tr := New(writers, capacity)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, e := range tr.Events() {
+				// Writers encode worker w into both Job and Arg as w+1; a
+				// torn event would mix two writers' fields.
+				if e.Job != uint64(e.Arg) {
+					t.Errorf("torn event: job %d vs arg %d", e.Job, e.Arg)
+					return
+				}
+			}
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.Span(w, KindBatch, uint64(w+1), int64(w+1), int64(i), 1)
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+	if got := tr.Len(); got != writers*capacity {
+		t.Fatalf("retained %d events, want %d (full rings)", got, writers*capacity)
+	}
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	tr := New(2, 32)
+	now := tr.Now()
+	tr.Span(0, KindJob, 1, 0, now, 5000)
+	tr.Span(0, KindBatch, 1, 2, now, 1000)
+	tr.Span(1, KindQueueWait, 1, 0, now+100, 400)
+	tr.Span(1, KindBarrier, 1, 3, now+200, 300)
+	tr.Instant(1, KindSteal, 1, 0)
+	tr.Instant(0, KindFault, 1, 2)
+	tr.Instant(0, KindRetry, 1, 1)
+	tr.Instant(0, KindAbort, 1, AbortDeadline)
+	tr.Instant(0, KindCommit, 1, 0)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  uint64  `json:"pid"`
+			Tid  int32   `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) < 9 {
+		t.Fatalf("trace has %d events, want >= 9 (incl. metadata)", len(doc.TraceEvents))
+	}
+	phs := map[string]int{}
+	names := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		phs[e.Ph]++
+		names[e.Name]++
+	}
+	if phs["X"] != 4 {
+		t.Fatalf("complete events = %d, want 4 (%v)", phs["X"], phs)
+	}
+	if phs["i"] != 5 {
+		t.Fatalf("instant events = %d, want 5 (%v)", phs["i"], phs)
+	}
+	if phs["M"] == 0 {
+		t.Fatal("no metadata (process/thread name) events")
+	}
+	for _, want := range []string{"job", "batch", "queue-wait", "barrier", "steal", "fault", "retry", "abort", "commit"} {
+		if names[want] == 0 {
+			t.Fatalf("missing %q event in trace (%v)", want, names)
+		}
+	}
+}
+
+func TestEventsSortedByStart(t *testing.T) {
+	tr := New(3, 16)
+	tr.Span(2, KindBatch, 1, 0, 300, 1)
+	tr.Span(0, KindBatch, 1, 0, 100, 1)
+	tr.Span(1, KindBatch, 1, 0, 200, 1)
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("len = %d, want 3", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Start < ev[i-1].Start {
+			t.Fatalf("events out of order: %v", ev)
+		}
+	}
+}
+
+func TestWorkerIndexFolds(t *testing.T) {
+	tr := New(2, 8)
+	tr.Span(99, KindBatch, 1, 0, 0, 1) // out of range folds into shard 0
+	tr.Span(-1, KindBatch, 1, 0, 0, 1)
+	if got := tr.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}
