@@ -1,5 +1,5 @@
 # Tier-1 gate: everything `make check` runs must stay green.
-.PHONY: check build vet test test-race-short bench-smoke chaos fuzz resilience staticcheck obs
+.PHONY: check build vet test test-race-short bench-smoke chaos fuzz resilience staticcheck obs gc
 
 check: build vet test test-race-short
 
@@ -47,6 +47,18 @@ chaos:
 resilience:
 	go test -race -timeout 5m -run 'Panic|Watchdog|Stall|Deadline|Retry|Overload|Admission|Degradation|ChaosRetry|GoroutineLeak' . ./internal/exec ./internal/resilience
 	go run ./cmd/db4ml-bench -exp resilience -quick
+
+# Version-GC gate: the chain-walk-during-Prune regression and every
+# registry/reclaimer/facade GC test under the race detector, the GC-enabled
+# chaos sweep, then a quick pass of the soak experiment (retained-version
+# flatness is asserted inside the experiment itself). The committed
+# BENCH_GC.json comes from the full run:
+#   go run ./cmd/db4ml-bench -exp gc -benchjson BENCH_GC.json
+gc:
+	go test -race -run 'TestPrune|SafeWatermark|OverEagerWatermark|TombstoneChurn|CommitAndAbortBothUnpin' ./internal/storage ./internal/txn ./internal/gc
+	go test -race -run 'TestSoakVersionCountFlat|WithVersionGC|PruneNow' .
+	go test -race -run 'TestInvariantSweepWithGC' ./internal/check
+	go run ./cmd/db4ml-bench -exp gc -quick
 
 # Optional deeper static analysis; no-op when staticcheck is not on PATH
 # (the container image does not bake it in, CI installs it).

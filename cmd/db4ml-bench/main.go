@@ -43,6 +43,7 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-job wall-clock budget for -exp resilience (default 300ms, 200ms with -quick)")
 	retries := flag.Int("retries", 0, "whole-job retry budget after a failed attempt for -exp resilience (default 3)")
 	maxinflight := flag.Int("maxinflight", 0, "admitted concurrent ML jobs for -exp resilience (default 3)")
+	benchjson := flag.String("benchjson", "", "write the experiment's machine-readable result (currently -exp gc) to this JSON file, e.g. BENCH_GC.json")
 	httpAddr := flag.String("http", "", "serve the live debug endpoints on this address (e.g. :6060): /metrics (Prometheus), /debug/trace (Chrome trace_event JSON for Perfetto/about:tracing), /debug/pprof; the process keeps serving after the experiments until interrupted")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
@@ -67,6 +68,7 @@ func main() {
 		Deadline:    *deadline,
 		Retries:     *retries,
 		MaxInflight: *maxinflight,
+		BenchFile:   *benchjson,
 	}
 
 	var srv *introspect.Server

@@ -31,6 +31,7 @@ import (
 
 	"db4ml/internal/chaos"
 	"db4ml/internal/exec"
+	"db4ml/internal/gc"
 	"db4ml/internal/introspect"
 	"db4ml/internal/isolation"
 	"db4ml/internal/itx"
@@ -183,9 +184,18 @@ var (
 // and serve every ML run submitted to this DB, interleaving concurrent
 // uber-transactions; Close drains and stops them.
 type DB struct {
-	mgr    *txn.Manager
+	mgr  *txn.Manager
+	pool *exec.Pool
+
+	tblMu  sync.RWMutex
 	tables map[string]*Table
-	pool   *exec.Pool
+
+	// reclaimer is the version garbage collector, always constructed so
+	// PruneNow works; WithVersionGC additionally runs it periodically on a
+	// pool maintenance goroutine. gcObs is its dedicated observer, non-nil
+	// only under WithDebugServer (it feeds the /metrics GC families).
+	reclaimer *gc.Reclaimer
+	gcObs     *obs.Observer
 
 	// Supervision defaults applied to every run unless MLRun overrides
 	// them, plus the admission gate bounding concurrent ML jobs.
@@ -236,6 +246,7 @@ type openConfig struct {
 	admitWait   bool
 	degrade     func(pressure float64, batch int) int
 	debugAddr   string
+	gcInterval  time.Duration
 }
 
 // WithWorkers sets the size of the database's worker pool (default
@@ -297,6 +308,17 @@ func WithDegradation(fn func(pressure float64, batch int) int) Option {
 	}
 }
 
+// WithVersionGC enables the background version garbage collector: every
+// interval, a pool maintenance goroutine prunes all tables' version chains
+// below the oldest active snapshot (the transaction manager's safe
+// watermark) and strips superseded iterative-record slabs. Without it —
+// and without manual PruneNow calls — version chains grow for the life of
+// the process. GC never stalls workers or changes what any reader
+// observes; it only reclaims versions no active transaction can reach.
+func WithVersionGC(interval time.Duration) Option {
+	return func(c *openConfig) { c.gcInterval = interval }
+}
+
 // WithDebugServer starts a live introspection HTTP server on addr (e.g.
 // ":6060", or "127.0.0.1:0" to pick a free port — read it back with
 // DB.DebugAddr). The server exposes /metrics (Prometheus text format,
@@ -353,6 +375,7 @@ func Open(opts ...Option) *DB {
 		admitWait: oc.admitWait,
 		degrade:   oc.degrade,
 	}
+	db.reclaimer = gc.New(db.mgr, db.tableList)
 	if oc.debugAddr != "" {
 		db.tracer = trace.New(cfg.Resolved().Workers, 0)
 		db.agg = introspect.NewAggregator()
@@ -368,8 +391,45 @@ func Open(opts ...Option) *DB {
 			panic("db4ml: " + err.Error())
 		}
 		db.debug = srv
+		// The GC's own observer stays attached for the server's lifetime so
+		// /metrics carries versions_pruned/gc_passes and the gc_pause
+		// histogram alongside the per-run telemetry.
+		db.gcObs = obs.New()
+		db.reclaimer.SetObserver(db.gcObs)
+		db.reclaimer.SetTracer(db.tracer)
+		db.agg.Attach(db.gcObs)
+	}
+	if oc.gcInterval > 0 {
+		// Stopped by pool.Close (DB.Close): the maintenance goroutine is
+		// pool-owned.
+		pool.Maintain(oc.gcInterval, func() { db.reclaimer.Pass() })
 	}
 	return db
+}
+
+// tableList snapshots the current table set for the reclaimer.
+func (db *DB) tableList() []*table.Table {
+	db.tblMu.RLock()
+	defer db.tblMu.RUnlock()
+	out := make([]*table.Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// PruneNow runs one version-GC pass synchronously — all tables, watermark
+// clamped to the oldest active snapshot — and returns the number of
+// versions reclaimed. Useful in tests and for databases opened without
+// WithVersionGC.
+func (db *DB) PruneNow() int {
+	return db.reclaimer.Pass().Pruned
+}
+
+// GCStats reports the reclaimer's lifetime totals: completed passes and
+// versions reclaimed.
+func (db *DB) GCStats() (passes, pruned uint64) {
+	return db.reclaimer.Passes(), db.reclaimer.TotalPruned()
 }
 
 // DebugAddr returns the debug server's bound address (host:port), or "" when
@@ -440,12 +500,14 @@ func (db *DB) Close() error {
 
 // CreateTable adds a new, empty ML-table.
 func (db *DB) CreateTable(name string, cols ...Column) (*Table, error) {
-	if _, exists := db.tables[name]; exists {
-		return nil, fmt.Errorf("db4ml: table %q already exists", name)
-	}
 	schema, err := table.NewSchema(cols...)
 	if err != nil {
 		return nil, err
+	}
+	db.tblMu.Lock()
+	defer db.tblMu.Unlock()
+	if _, exists := db.tables[name]; exists {
+		return nil, fmt.Errorf("db4ml: table %q already exists", name)
 	}
 	t := table.New(name, schema)
 	db.tables[name] = t
@@ -453,7 +515,11 @@ func (db *DB) CreateTable(name string, cols ...Column) (*Table, error) {
 }
 
 // Table returns a table by name, or nil.
-func (db *DB) Table(name string) *Table { return db.tables[name] }
+func (db *DB) Table(name string) *Table {
+	db.tblMu.RLock()
+	defer db.tblMu.RUnlock()
+	return db.tables[name]
+}
 
 // Begin starts an OLTP transaction on the most recent stable snapshot.
 func (db *DB) Begin() *Txn { return db.mgr.Begin() }

@@ -1,0 +1,152 @@
+package db4ml
+
+import (
+	"testing"
+	"time"
+)
+
+// retainedVersions counts every version still reachable in tbl's chains —
+// the quantity the version GC must keep flat under sustained traffic.
+func retainedVersions(tbl *Table) int {
+	n := 0
+	for r := 0; r < tbl.NumRows(); r++ {
+		if c := tbl.Chain(RowID(r)); c != nil {
+			n += c.Len()
+		}
+	}
+	return n
+}
+
+// soakOnce drives one ML run counting every row up by bump.
+func soakOnce(t *testing.T, db *DB, tbl *Table, n int, target float64) {
+	t.Helper()
+	subs := make([]IterativeTransaction, n)
+	for i := range subs {
+		subs[i] = &incSub{tbl: tbl, row: RowID(i), target: target}
+	}
+	if _, err := db.RunML(MLRun{
+		Isolation: MLOptions{Level: BoundedStaleness, Staleness: 1},
+		BatchSize: 4,
+		Attach:    []Attachment{{Table: tbl}},
+		Subs:      subs,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSoakVersionCountFlatWithGC is the PR's gate: across >= 50
+// consecutive ML runs the retained-version count stays flat (±1 epoch)
+// with GC enabled, and grows monotonically — one version per row per run —
+// without it.
+func TestSoakVersionCountFlatWithGC(t *testing.T) {
+	const (
+		rows = 8
+		runs = 50
+	)
+
+	// Control: no GC — the leak this PR fixes, still observable on demand.
+	db, tbl := openWithCounters(t, rows)
+	defer db.Close()
+	for k := 1; k <= runs; k++ {
+		soakOnce(t, db, tbl, rows, float64(k))
+		if got, want := retainedVersions(tbl), rows*(k+1); got != want {
+			t.Fatalf("run %d without GC: retained = %d, want %d (monotone growth)", k, got, want)
+		}
+	}
+
+	// With GC: a pass after every run keeps the count flat at one live
+	// version per row, forever.
+	db2, tbl2 := openWithCounters(t, rows)
+	defer db2.Close()
+	peak := 0
+	for k := 1; k <= runs; k++ {
+		soakOnce(t, db2, tbl2, rows, float64(k))
+		db2.PruneNow()
+		if got := retainedVersions(tbl2); got > peak {
+			peak = got
+		}
+	}
+	if peak > rows {
+		t.Fatalf("retained versions peaked at %d with GC on, want <= %d (flat)", peak, rows)
+	}
+	passes, pruned := db2.GCStats()
+	if passes != runs || pruned == 0 {
+		t.Fatalf("GCStats = (%d passes, %d pruned)", passes, pruned)
+	}
+	// Both soaks computed the same final state; GC changed nothing visible.
+	for r := 0; r < rows; r++ {
+		a, _ := db.Begin().Read(tbl, RowID(r))
+		b, _ := db2.Begin().Read(tbl2, RowID(r))
+		if a.Float64(1) != float64(runs) || b.Float64(1) != float64(runs) {
+			t.Fatalf("row %d final = (%v, %v), want %d", r, a.Float64(1), b.Float64(1), runs)
+		}
+	}
+}
+
+// TestWithVersionGCBackgroundReclaims: the background reclaimer configured
+// at Open prunes without any manual call.
+func TestWithVersionGCBackgroundReclaims(t *testing.T) {
+	db := Open(WithVersionGC(time.Millisecond))
+	defer db.Close()
+	tbl, err := db.CreateTable("G", Column{Name: "V", Type: Int64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BulkLoad(tbl, []Payload{{0}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		tx := db.Begin()
+		p, _ := tx.Read(tbl, 0)
+		p.SetInt64(0, int64(i+1))
+		if err := tx.Write(tbl, 0, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for retainedVersions(tbl) > 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background GC never reclaimed: %d versions retained", retainedVersions(tbl))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got, _ := db.Begin().Read(tbl, 0); got.Int64(0) != 10 {
+		t.Fatalf("read after background GC = %v", got.Int64(0))
+	}
+}
+
+// TestPruneNowRespectsPinnedSnapshot: the facade's manual pass goes
+// through the same clamping as the background reclaimer.
+func TestPruneNowRespectsPinnedSnapshot(t *testing.T) {
+	db, tbl := openWithCounters(t, 1)
+	defer db.Close()
+	write := func(v float64) {
+		tx := db.Begin()
+		p, _ := tx.Read(tbl, 0)
+		p.SetFloat64(1, v)
+		if err := tx.Write(tbl, 0, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(1)
+	reader := db.Begin()
+	write(2)
+	write(3)
+	db.PruneNow()
+	if p, ok := reader.Read(tbl, 0); !ok || p.Float64(1) != 1 {
+		t.Fatalf("pinned read after PruneNow = (%v, %v), want 1", p, ok)
+	}
+	reader.Abort()
+	if pruned := db.PruneNow(); pruned == 0 {
+		t.Fatal("post-unpin PruneNow reclaimed nothing")
+	}
+	if retainedVersions(tbl) != 1 {
+		t.Fatalf("retained = %d after full GC", retainedVersions(tbl))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"db4ml"
 	"db4ml/internal/chaos"
@@ -33,6 +34,10 @@ type TrialConfig struct {
 	// Chaos sets the fault probabilities (chaos.DefaultConfig for a storm,
 	// the zero value for a fault-free control run).
 	Chaos chaos.Config
+	// GC, when nonzero, runs the trial with the background version
+	// reclaimer at that interval (db4ml.WithVersionGC) — proving GC never
+	// changes what any reader observes, even under the fault schedule.
+	GC time.Duration
 }
 
 // TrialResult reports one trial: the contract-check report, whether the job
@@ -132,7 +137,11 @@ func RunTrial(cfg TrialConfig) (TrialResult, error) {
 	if cfg.Workers > 1 {
 		regions = 2
 	}
-	db := db4ml.Open(db4ml.WithWorkers(cfg.Workers), db4ml.WithRegions(regions), db4ml.WithChaos(inj))
+	opts := []db4ml.Option{db4ml.WithWorkers(cfg.Workers), db4ml.WithRegions(regions), db4ml.WithChaos(inj)}
+	if cfg.GC > 0 {
+		opts = append(opts, db4ml.WithVersionGC(cfg.GC))
+	}
+	db := db4ml.Open(opts...)
 	defer db.Close()
 
 	tbl, err := db.CreateTable("chaos_ring",

@@ -2,6 +2,7 @@ package check
 
 import (
 	"testing"
+	"time"
 
 	"db4ml/internal/chaos"
 	"db4ml/internal/isolation"
@@ -130,4 +131,39 @@ func TestCheckerCatchesBrokenStalenessBound(t *testing.T) {
 			seed, res.Report.StalenessChecked)
 	}
 	t.Fatal("checker never caught the deliberately broken staleness bound across 5 seeds")
+}
+
+// TestInvariantSweepWithGC re-runs seeded chaos schedules with the
+// background version reclaimer spinning at an aggressive interval: GC
+// passes interleave with live iterations, OLTP probes, forced rollbacks,
+// and job cancellations. Pass criterion: the report and the workload
+// oracle are exactly as strict as in the GC-off sweep — reclamation must
+// never change what any reader observes.
+func TestInvariantSweepWithGC(t *testing.T) {
+	for _, level := range isolation.Levels() {
+		for seed := int64(1); seed <= 4; seed++ {
+			cfg := TrialConfig{
+				Seed:    seed,
+				Level:   LevelOptions(level),
+				Workers: 4,
+				Subs:    8,
+				Target:  30,
+				Chaos:   chaos.DefaultConfig(),
+				GC:      100 * time.Microsecond,
+			}
+			if seed%3 == 0 {
+				cfg.Chaos.CancelAfter = 40
+			}
+			res, err := RunTrial(cfg)
+			if err != nil {
+				t.Fatalf("GC trial level=%s seed=%d: %v", level, seed, err)
+			}
+			for _, v := range res.Report.Violations {
+				t.Errorf("GC trial level=%s seed=%d: %s", level, seed, v)
+			}
+			if res.Report.VisibilityChecked == 0 {
+				t.Fatalf("GC trial level=%s seed=%d checked no probes", level, seed)
+			}
+		}
+	}
 }

@@ -125,6 +125,11 @@ type Pool struct {
 	active  int
 
 	wg sync.WaitGroup
+
+	// Maintenance goroutines (Maintain) are joined after the workers: they
+	// run off the worker path and must not outlive the pool.
+	maintDone chan struct{}
+	maintWG   sync.WaitGroup
 }
 
 // NewPool validates cfg (see Config.Validate), starts cfg.Workers worker
@@ -144,6 +149,7 @@ func NewPool(cfg Config) (*Pool, error) {
 	}
 	p.cond = sync.NewCond(&p.mu)
 	p.drained = sync.NewCond(&p.mu)
+	p.maintDone = make(chan struct{})
 	empty := make([]*Job, 0)
 	p.jobs.Store(&empty)
 	for w := 0; w < p.workers; w++ {
@@ -170,12 +176,50 @@ func (p *Pool) Close() {
 	}
 	p.mu.Unlock()
 	if !p.closed.Swap(true) {
+		close(p.maintDone)
 		p.gen.Add(1)
 		p.mu.Lock()
 		p.cond.Broadcast()
 		p.mu.Unlock()
 	}
 	p.wg.Wait()
+	p.maintWG.Wait()
+}
+
+// Maintain runs fn every interval on a pool-owned goroutine until the
+// returned stop function is called or the pool closes, whichever comes
+// first. Maintenance work (version garbage collection, telemetry flushes)
+// rides on the pool's lifecycle without ever occupying a worker: fn runs
+// off the scheduling path, so a slow pass delays only the next pass, never
+// a batch. Stop is idempotent and returns after any in-flight fn call.
+func (p *Pool) Maintain(interval time.Duration, fn func()) (stop func()) {
+	if interval <= 0 || fn == nil || p.closed.Load() {
+		return func() {}
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	var once sync.Once
+	p.maintWG.Add(1)
+	go func() {
+		defer p.maintWG.Done()
+		defer close(exited)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-p.maintDone:
+				return
+			case <-done:
+				return
+			case <-tick.C:
+				fn()
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
 }
 
 // notify wakes parked workers after new batches were pushed.

@@ -62,6 +62,11 @@ type Options struct {
 	// into a process-wide view (db4ml-bench -http serves it at /metrics).
 	// Setting it attaches observers even with Telemetry off.
 	Aggregator *introspect.Aggregator
+	// BenchFile, when non-empty, is where experiments with a
+	// machine-readable trajectory (currently gc) write their JSON result —
+	// the repository's committed BENCH_*.json files (db4ml-bench
+	// -benchjson).
+	BenchFile string
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"db4ml"
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+)
+
+// gcSoakSub counts its row up by one per committed iteration until the
+// run's target — the same minimal counter workload the facade tests use,
+// so every ML run publishes exactly one committed version per attached row.
+type gcSoakSub struct {
+	tbl    *db4ml.Table
+	row    db4ml.RowID
+	target float64
+	rec    *storage.IterativeRecord
+	buf    db4ml.Payload
+	cur    float64
+}
+
+func (s *gcSoakSub) Begin(ctx *db4ml.Ctx) {
+	s.rec = s.tbl.IterRecord(s.row)
+	s.buf = make(db4ml.Payload, 2)
+}
+
+func (s *gcSoakSub) Execute(ctx *db4ml.Ctx) {
+	ctx.Read(s.rec, s.buf)
+	s.cur = s.buf.Float64(1) + 1
+	s.buf.SetFloat64(1, s.cur)
+	ctx.Write(s.rec, s.buf)
+}
+
+func (s *gcSoakSub) Validate(ctx *db4ml.Ctx) db4ml.Action {
+	if s.cur >= s.target {
+		return db4ml.Done
+	}
+	return db4ml.Commit
+}
+
+// GCConfigResult is one soak configuration's trajectory in BENCH_GC.json.
+type GCConfigResult struct {
+	GC bool `json:"gc"`
+	// RetainedStart/End bracket the leak: versions reachable in the
+	// table's chains after the first and after the last ML run.
+	RetainedStart int `json:"retained_start"`
+	RetainedEnd   int `json:"retained_end"`
+	// RetainedPeak is the soak-wide maximum — the number a capacity
+	// planner would have to provision for.
+	RetainedPeak int `json:"retained_peak"`
+	// Retained is the full per-run series (one sample after each run).
+	Retained []int `json:"retained"`
+	// AttemptP99Nanos is the iteration-attempt p99 across the whole soak,
+	// from the run observer's internal/obs histogram.
+	AttemptP99Nanos int64  `json:"attempt_p99_ns"`
+	Commits         uint64 `json:"commits"`
+	GCPasses        uint64 `json:"gc_passes"`
+	VersionsPruned  uint64 `json:"versions_pruned"`
+	WallNanos       int64  `json:"wall_ns"`
+}
+
+// GCResult is the machine-readable output of the gc experiment
+// (db4ml-bench -exp gc -benchjson BENCH_GC.json).
+type GCResult struct {
+	Experiment string         `json:"experiment"`
+	Rows       int            `json:"rows"`
+	Runs       int            `json:"runs"`
+	Workers    int            `json:"workers"`
+	Off        GCConfigResult `json:"gc_off"`
+	On         GCConfigResult `json:"gc_on"`
+}
+
+// GC is the version-chain garbage-collection soak: the same counter
+// workload runs many consecutive ML uber-transactions against one
+// long-lived database, once with the background reclaimer off and once
+// with it on. Without GC the retained-version count grows by exactly one
+// version per row per run — the unbounded leak; with GC it stays flat at
+// one live version per row (±1 run's worth between reclaimer passes).
+// With Options.BenchFile set, the before/after trajectory is written as
+// JSON (the repository's committed BENCH_GC.json).
+func GC(opts Options) error {
+	opts = opts.withDefaults()
+	rows, runs := 32, 50
+	if opts.Quick {
+		rows, runs = 8, 12
+	}
+	workers := 4
+	if opts.MaxWorkers < workers {
+		workers = opts.MaxWorkers
+	}
+
+	soak := func(gcOn bool) (GCConfigResult, error) {
+		res := GCConfigResult{GC: gcOn}
+		dbOpts := []db4ml.Option{db4ml.WithWorkers(workers)}
+		if gcOn {
+			// Aggressive interval: passes interleave with live runs, so the
+			// soak also exercises GC-vs-reader concurrency, not just decay.
+			dbOpts = append(dbOpts, db4ml.WithVersionGC(200*time.Microsecond))
+		}
+		db := db4ml.Open(dbOpts...)
+		defer db.Close()
+		tbl, err := db.CreateTable("Soak",
+			db4ml.Column{Name: "ID", Type: db4ml.Int64},
+			db4ml.Column{Name: "Value", Type: db4ml.Float64})
+		if err != nil {
+			return res, err
+		}
+		load := make([]db4ml.Payload, rows)
+		for i := range load {
+			p := tbl.Schema().NewPayload()
+			p.SetInt64(0, int64(i))
+			load[i] = p
+		}
+		if err := db.BulkLoad(tbl, load); err != nil {
+			return res, err
+		}
+		retained := func() int {
+			n := 0
+			for r := 0; r < tbl.NumRows(); r++ {
+				if c := tbl.Chain(table.RowID(r)); c != nil {
+					n += c.Len()
+				}
+			}
+			return n
+		}
+
+		ob := db4ml.NewObserver()
+		start := time.Now()
+		for k := 1; k <= runs; k++ {
+			subs := make([]db4ml.IterativeTransaction, rows)
+			for i := range subs {
+				subs[i] = &gcSoakSub{tbl: tbl, row: db4ml.RowID(i), target: float64(k)}
+			}
+			stats, err := db.RunML(db4ml.MLRun{
+				Isolation: db4ml.MLOptions{Level: db4ml.BoundedStaleness, Staleness: 1},
+				BatchSize: 8,
+				Attach:    []db4ml.Attachment{{Table: tbl}},
+				Subs:      subs,
+				Observer:  ob,
+			})
+			if err != nil {
+				return res, fmt.Errorf("run %d (gc=%v): %w", k, gcOn, err)
+			}
+			res.Commits += stats.Commits
+			if gcOn {
+				// Make the sampling deterministic: fold in one explicit pass
+				// so "flat" does not depend on reclaimer timing.
+				db.PruneNow()
+			}
+			res.Retained = append(res.Retained, retained())
+		}
+		res.WallNanos = int64(time.Since(start))
+		res.RetainedStart = res.Retained[0]
+		res.RetainedEnd = res.Retained[len(res.Retained)-1]
+		for _, v := range res.Retained {
+			if v > res.RetainedPeak {
+				res.RetainedPeak = v
+			}
+		}
+		res.AttemptP99Nanos = ob.Snapshot().Latencies.Attempt.P99Nanos
+		res.GCPasses, res.VersionsPruned = db.GCStats()
+		return res, nil
+	}
+
+	header(opts.Out, "version-chain GC soak")
+	fmt.Fprintf(opts.Out, "%d rows, %d consecutive ML runs, %d workers\n\n", rows, runs, workers)
+
+	off, err := soak(false)
+	if err != nil {
+		return err
+	}
+	on, err := soak(true)
+	if err != nil {
+		return err
+	}
+
+	tw := tab(opts.Out, "gc", "retained start", "retained end", "retained peak", "pruned", "passes", "attempt p99", "wall")
+	row(tw, "off", off.RetainedStart, off.RetainedEnd, off.RetainedPeak, off.VersionsPruned, off.GCPasses,
+		time.Duration(off.AttemptP99Nanos), time.Duration(off.WallNanos))
+	row(tw, "on", on.RetainedStart, on.RetainedEnd, on.RetainedPeak, on.VersionsPruned, on.GCPasses,
+		time.Duration(on.AttemptP99Nanos), time.Duration(on.WallNanos))
+	tw.Flush()
+
+	if off.RetainedEnd <= off.RetainedStart {
+		return fmt.Errorf("gc: control soak did not leak (end %d <= start %d) — workload broken",
+			off.RetainedEnd, off.RetainedStart)
+	}
+	// Flat means: never above one live version per row plus one run's worth
+	// of not-yet-collected versions.
+	if on.RetainedPeak > 2*rows {
+		return fmt.Errorf("gc: soak with GC peaked at %d retained versions (rows=%d) — not flat",
+			on.RetainedPeak, rows)
+	}
+
+	if opts.BenchFile != "" {
+		out := GCResult{Experiment: "gc", Rows: rows, Runs: runs, Workers: workers, Off: off, On: on}
+		js, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.BenchFile, append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(opts.Out, "\nwrote %s\n", opts.BenchFile)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGCQuick runs the soak end to end at quick scale and checks the
+// BENCH_GC.json it writes: the control config leaks monotonically, the GC
+// config stays flat, and the p99s are populated.
+func TestGCQuick(t *testing.T) {
+	var buf strings.Builder
+	opts := quickOpts(&buf)
+	opts.BenchFile = filepath.Join(t.TempDir(), "BENCH_GC.json")
+	if err := GC(opts); err != nil {
+		t.Fatalf("gc experiment failed: %v\n%s", err, buf.String())
+	}
+	js, err := os.ReadFile(opts.BenchFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res GCResult
+	if err := json.Unmarshal(js, &res); err != nil {
+		t.Fatalf("BENCH_GC.json does not parse: %v", err)
+	}
+	if res.Experiment != "gc" || len(res.Off.Retained) != res.Runs || len(res.On.Retained) != res.Runs {
+		t.Fatalf("result shape wrong: %+v", res)
+	}
+	for i := 1; i < len(res.Off.Retained); i++ {
+		if res.Off.Retained[i] <= res.Off.Retained[i-1] {
+			t.Fatalf("control soak not monotone at run %d: %v", i, res.Off.Retained)
+		}
+	}
+	if res.On.RetainedPeak > 2*res.Rows {
+		t.Fatalf("GC soak not flat: peak %d for %d rows", res.On.RetainedPeak, res.Rows)
+	}
+	if res.On.VersionsPruned == 0 || res.On.GCPasses == 0 {
+		t.Fatalf("GC soak recorded no reclaimer work: %+v", res.On)
+	}
+	if res.Off.AttemptP99Nanos == 0 || res.On.AttemptP99Nanos == 0 {
+		t.Fatalf("attempt p99 not populated: off=%d on=%d", res.Off.AttemptP99Nanos, res.On.AttemptP99Nanos)
+	}
+}

@@ -28,6 +28,7 @@ var registry = []struct {
 	{"concurrent", Concurrent, "extra: concurrent ML jobs on one shared worker pool vs sequential"},
 	{"chaos", Chaos, "extra: seeded fault-injection sweep checked against the isolation contracts"},
 	{"resilience", Resilience, "extra: supervision under chaos — shed/retried/panicked/retired counts per burst trial"},
+	{"gc", GC, "extra: version-GC soak — retained versions across consecutive ML runs with and without the reclaimer"},
 }
 
 // Run executes the experiment with the given id, or every experiment when

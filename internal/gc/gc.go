@@ -1,0 +1,112 @@
+// Package gc is the version garbage collector: it turns the passive
+// pruning primitives (storage.VersionChain.Prune, table.Prune) into an
+// enforced subsystem. Without it every superseded version and retired
+// iterative snapshot leaks for the life of the process — the Hekaton-style
+// chains only ever grow (paper Fig. 3).
+//
+// The safety contract is the watermark rule: a version may be reclaimed
+// only when no active transaction can still read it, i.e. the prune
+// watermark must not exceed the oldest active snapshot. The transaction
+// manager's active-snapshot registry (txn.Manager.SafeWatermark) is the
+// single source of that bound, and the Reclaimer enforces it by clamping
+// every requested watermark — callers cannot over-prune even by mistake.
+package gc
+
+import (
+	"sync/atomic"
+	"time"
+
+	"db4ml/internal/obs"
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+	"db4ml/internal/trace"
+	"db4ml/internal/txn"
+)
+
+// Reclaimer prunes dead row versions from a set of tables, bounded by the
+// transaction manager's safe watermark. It holds no locks of its own:
+// chain surgery is lock-free (atomic prev cuts), the table set is
+// re-snapshotted every pass, and concurrent readers/writers are never
+// stalled. Run it from a background goroutine (exec.Pool.Maintain via
+// db4ml.WithVersionGC) or drive passes manually with Pass.
+type Reclaimer struct {
+	mgr    *txn.Manager
+	tables func() []*table.Table // fresh table-set snapshot per pass
+
+	// Telemetry, all optional (nil = off). The observer is charged on
+	// worker 0: GC is engine-level, not worker-level, work.
+	observer *obs.Observer
+	tracer   *trace.Tracer
+
+	passes atomic.Uint64
+	pruned atomic.Uint64
+}
+
+// New builds a reclaimer over the tables returned by the tables func,
+// which is called once per pass so tables created after the reclaimer
+// starts are picked up automatically.
+func New(mgr *txn.Manager, tables func() []*table.Table) *Reclaimer {
+	return &Reclaimer{mgr: mgr, tables: tables}
+}
+
+// SetObserver attaches a telemetry observer recording VersionsPruned,
+// GCPasses, and the GCPause histogram.
+func (r *Reclaimer) SetObserver(o *obs.Observer) { r.observer = o }
+
+// SetTracer attaches a tracer recording one KindGC instant per pass (Arg =
+// versions pruned).
+func (r *Reclaimer) SetTracer(t *trace.Tracer) { r.tracer = t }
+
+// PassStats describes one completed reclaimer pass.
+type PassStats struct {
+	// Watermark is the timestamp the pass pruned below — the manager's
+	// SafeWatermark at pass start (or the caller's request, clamped to it).
+	Watermark storage.Timestamp
+	// Pruned is the number of versions reclaimed.
+	Pruned int
+	// Tables is the number of tables swept.
+	Tables int
+	// Pause is the pass's wall-clock duration. The pass runs concurrently
+	// with workers, so this is background cost, not a stop-the-world pause.
+	Pause time.Duration
+}
+
+// Pass prunes every table below the manager's current safe watermark and
+// returns what it did.
+func (r *Reclaimer) Pass() PassStats {
+	return r.PruneAt(storage.InfTS)
+}
+
+// PruneAt prunes every table below min(watermark, SafeWatermark): the
+// registry is the single source of truth, so a watermark above the oldest
+// active snapshot is clamped rather than honored — the caller can narrow a
+// pass but never widen it past safety.
+func (r *Reclaimer) PruneAt(watermark storage.Timestamp) PassStats {
+	if safe := r.mgr.SafeWatermark(); watermark > safe {
+		watermark = safe
+	}
+	start := time.Now()
+	st := PassStats{Watermark: watermark}
+	for _, t := range r.tables() {
+		st.Pruned += t.Prune(watermark)
+		st.Tables++
+	}
+	st.Pause = time.Since(start)
+	r.passes.Add(1)
+	r.pruned.Add(uint64(st.Pruned))
+	if o := r.observer; o != nil {
+		o.Inc(0, obs.GCPasses)
+		o.Add(0, obs.VersionsPruned, uint64(st.Pruned))
+		o.RecordLatency(0, obs.GCPauseLatency, int64(st.Pause))
+	}
+	if tr := r.tracer; tr != nil {
+		tr.Instant(0, trace.KindGC, 0, int64(st.Pruned))
+	}
+	return st
+}
+
+// Passes returns the number of completed passes.
+func (r *Reclaimer) Passes() uint64 { return r.passes.Load() }
+
+// TotalPruned returns the number of versions reclaimed across all passes.
+func (r *Reclaimer) TotalPruned() uint64 { return r.pruned.Load() }

@@ -1,0 +1,105 @@
+package gc
+
+import (
+	"testing"
+
+	"db4ml/internal/obs"
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+	"db4ml/internal/txn"
+)
+
+func oneRowTable(t *testing.T, m *txn.Manager) *table.Table {
+	t.Helper()
+	tbl := table.New("T", table.MustSchema(table.Column{Name: "V", Type: table.Int64}))
+	m.PublishAt(func(ts storage.Timestamp) {
+		if _, err := tbl.Append(ts, storage.Payload{0}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return tbl
+}
+
+func update(t *testing.T, m *txn.Manager, tbl *table.Table, v int64) {
+	t.Helper()
+	tx := m.Begin()
+	p, _ := tx.Read(tbl, 0)
+	p.SetInt64(0, v)
+	if err := tx.Write(tbl, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPassPrunesBelowSafeWatermark(t *testing.T) {
+	m := txn.NewManager()
+	tbl := oneRowTable(t, m)
+	for i := int64(1); i <= 5; i++ {
+		update(t, m, tbl, i)
+	}
+	r := New(m, func() []*table.Table { return []*table.Table{tbl} })
+	st := r.Pass()
+	if st.Pruned != 5 || st.Tables != 1 {
+		t.Fatalf("Pass = %+v, want 5 pruned over 1 table", st)
+	}
+	if st.Watermark != m.Stable() {
+		t.Fatalf("idle pass watermark = %d, want Stable %d", st.Watermark, m.Stable())
+	}
+	if r.Passes() != 1 || r.TotalPruned() != 5 {
+		t.Fatalf("totals = (%d, %d)", r.Passes(), r.TotalPruned())
+	}
+	if got, _ := m.Begin().Read(tbl, 0); got.Int64(0) != 5 {
+		t.Fatalf("read after pass = %v", got.Int64(0))
+	}
+}
+
+// TestPruneAtClampsToRegistry: a requested watermark above the oldest
+// active snapshot must be clamped, never honored — the pinned reader's
+// version survives a PruneAt(InfTS).
+func TestPruneAtClampsToRegistry(t *testing.T) {
+	m := txn.NewManager()
+	tbl := oneRowTable(t, m)
+	update(t, m, tbl, 1)
+	reader := m.Begin()
+	update(t, m, tbl, 2)
+	update(t, m, tbl, 3)
+
+	r := New(m, func() []*table.Table { return []*table.Table{tbl} })
+	st := r.PruneAt(storage.InfTS)
+	if st.Watermark != reader.BeginTS() {
+		t.Fatalf("watermark = %d, want clamp to pin %d", st.Watermark, reader.BeginTS())
+	}
+	if p, ok := reader.Read(tbl, 0); !ok || p.Int64(0) != 1 {
+		t.Fatalf("pinned read after clamped prune = (%v, %v), want 1", p, ok)
+	}
+	reader.Abort()
+
+	// With the pin gone, the next pass reclaims the rest.
+	if st := r.Pass(); st.Pruned == 0 {
+		t.Fatal("post-unpin pass reclaimed nothing")
+	}
+	if tbl.Chain(0).Len() != 1 {
+		t.Fatalf("chain len = %d after full GC, want 1", tbl.Chain(0).Len())
+	}
+}
+
+func TestPassRecordsTelemetry(t *testing.T) {
+	m := txn.NewManager()
+	tbl := oneRowTable(t, m)
+	update(t, m, tbl, 1)
+	update(t, m, tbl, 2)
+	r := New(m, func() []*table.Table { return []*table.Table{tbl} })
+	ob := obs.New()
+	r.SetObserver(ob)
+	r.Pass()
+	r.Pass() // second pass prunes nothing but still counts
+	snap := ob.Snapshot()
+	if snap.Counters.GCPasses != 2 || snap.Counters.VersionsPruned != 2 {
+		t.Fatalf("counters = %+v", snap.Counters)
+	}
+	if snap.Latencies.GCPause.Count != 2 {
+		t.Fatalf("gc_pause samples = %d, want 2", snap.Latencies.GCPause.Count)
+	}
+}

@@ -35,6 +35,8 @@ func counterMetrics(c obs.CounterTotals) []struct {
 		{"stall_aborts", "Jobs convicted by the progress watchdog.", c.StallAborts},
 		{"deadline_aborts", "Jobs retired for exceeding their wall-clock deadline.", c.DeadlineAborts},
 		{"load_sheds", "Submissions fast-failed by the admission gate.", c.LoadSheds},
+		{"versions_pruned", "Row versions reclaimed by the version garbage collector.", c.VersionsPruned},
+		{"gc_passes", "Completed version-GC reclaimer passes.", c.GCPasses},
 	}
 }
 
@@ -52,6 +54,7 @@ func latencyFamilies(ls obs.LatencySnapshot) []struct {
 		{"queue_wait_latency", "Batch residence time in its region queue, push to pop.", ls.QueueWait},
 		{"barrier_wait_latency", "Synchronous round barrier arrival skew, first to last.", ls.BarrierWait},
 		{"job_commit_latency", "End-to-end job latency, submission to atomic publish.", ls.JobCommit},
+		{"gc_pause_latency", "Duration of one version-GC reclaimer pass (background, not stop-the-world).", ls.GCPause},
 	}
 }
 

@@ -24,6 +24,7 @@ type Uber struct {
 	snapshot storage.Timestamp
 	attached []attachment
 	done     bool
+	pinned   bool
 }
 
 type attachment struct {
@@ -33,12 +34,23 @@ type attachment struct {
 
 // BeginUber starts an uber-transaction under the given isolation options.
 // Its begin timestamp T_TB is the manager's current stable snapshot, which
-// every sub-transaction inherits (Section 4.1).
+// every sub-transaction inherits (Section 4.1). The snapshot is pinned in
+// the manager's active-snapshot registry until Commit or Abort, so the
+// version garbage collector can never reclaim the versions the
+// uber-transaction seeds and restores from.
 func BeginUber(mgr *txn.Manager, opts isolation.Options) (*Uber, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	return &Uber{mgr: mgr, opts: opts, snapshot: mgr.Stable()}, nil
+	return &Uber{mgr: mgr, opts: opts, snapshot: mgr.PinSnapshot(), pinned: true}, nil
+}
+
+// release drops the uber-transaction's snapshot pin exactly once.
+func (u *Uber) release() {
+	if u.pinned {
+		u.pinned = false
+		u.mgr.UnpinSnapshot(u.snapshot)
+	}
 }
 
 // Snapshot returns the uber-transaction's begin timestamp T_TB.
@@ -90,6 +102,9 @@ func (u *Uber) Commit() (storage.Timestamp, error) {
 			}
 		}
 	})
+	// Release the snapshot pin even on a partial-commit error: the publish
+	// already happened, and a stuck pin would freeze the GC watermark.
+	u.release()
 	if firstErr != nil {
 		return 0, firstErr
 	}
@@ -103,6 +118,7 @@ func (u *Uber) Abort() error {
 	if u.done {
 		return ErrUberDone
 	}
+	u.release()
 	for _, a := range u.attached {
 		if err := a.tbl.AbortIterative(a.rows); err != nil {
 			return fmt.Errorf("itx: abort of table %s: %w", a.tbl.Name(), err)

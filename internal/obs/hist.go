@@ -26,6 +26,10 @@ const (
 	// JobCommitLatency is the end-to-end latency of one ML job: submission
 	// through convergence and the uber-transaction's atomic publish.
 	JobCommitLatency
+	// GCPauseLatency is the duration of one version-GC reclaimer pass over
+	// all tables. The reclaimer never stalls workers, so this measures
+	// background cost, not a stop-the-world pause.
+	GCPauseLatency
 
 	numLatencies
 )
@@ -36,6 +40,7 @@ var latencyNames = [numLatencies]string{
 	"queue_wait",
 	"barrier_wait",
 	"job_commit",
+	"gc_pause",
 }
 
 func (l Latency) String() string {
@@ -212,6 +217,7 @@ type LatencySnapshot struct {
 	QueueWait   HistogramStats `json:"queue_wait"`
 	BarrierWait HistogramStats `json:"barrier_wait"`
 	JobCommit   HistogramStats `json:"job_commit"`
+	GCPause     HistogramStats `json:"gc_pause"`
 }
 
 // ByName returns the named histogram (see Latency.String), ok=false for an
@@ -228,6 +234,8 @@ func (ls LatencySnapshot) ByName(name string) (HistogramStats, bool) {
 		return ls.BarrierWait, true
 	case "job_commit":
 		return ls.JobCommit, true
+	case "gc_pause":
+		return ls.GCPause, true
 	}
 	return HistogramStats{}, false
 }
@@ -240,6 +248,7 @@ func (ls LatencySnapshot) Merge(o LatencySnapshot) LatencySnapshot {
 		QueueWait:   ls.QueueWait.Merge(o.QueueWait),
 		BarrierWait: ls.BarrierWait.Merge(o.BarrierWait),
 		JobCommit:   ls.JobCommit.Merge(o.JobCommit),
+		GCPause:     ls.GCPause.Merge(o.GCPause),
 	}
 }
 
@@ -280,5 +289,6 @@ func (o *Observer) latencySnapshot() LatencySnapshot {
 		QueueWait:   build(QueueWaitLatency),
 		BarrierWait: build(BarrierWaitLatency),
 		JobCommit:   build(JobCommitLatency),
+		GCPause:     build(GCPauseLatency),
 	}
 }

@@ -73,6 +73,11 @@ const (
 	// LoadSheds counts submissions the admission gate fast-failed with
 	// resilience.ErrOverloaded.
 	LoadSheds
+	// VersionsPruned counts row versions (and reclaimed tombstone chains'
+	// members) the version garbage collector cut out of the chains.
+	VersionsPruned
+	// GCPasses counts completed reclaimer passes over all tables.
+	GCPasses
 
 	numCounters
 )
@@ -92,6 +97,8 @@ var counterNames = [numCounters]string{
 	"stall_aborts",
 	"deadline_aborts",
 	"load_sheds",
+	"versions_pruned",
+	"gc_passes",
 }
 
 func (c Counter) String() string {
@@ -304,6 +311,8 @@ type CounterTotals struct {
 	StallAborts          uint64 `json:"stall_aborts,omitempty"`
 	DeadlineAborts       uint64 `json:"deadline_aborts,omitempty"`
 	LoadSheds            uint64 `json:"load_sheds,omitempty"`
+	VersionsPruned       uint64 `json:"versions_pruned,omitempty"`
+	GCPasses             uint64 `json:"gc_passes,omitempty"`
 }
 
 // WorkerStats is one worker's share of the run — the paper's Figure 9
@@ -382,6 +391,8 @@ func (o *Observer) counterTotals() CounterTotals {
 		t.StallAborts += sh.counts[StallAborts].Load()
 		t.DeadlineAborts += sh.counts[DeadlineAborts].Load()
 		t.LoadSheds += sh.counts[LoadSheds].Load()
+		t.VersionsPruned += sh.counts[VersionsPruned].Load()
+		t.GCPasses += sh.counts[GCPasses].Load()
 	}
 	t.Rollbacks = t.UserRollbacks + t.StalenessRollbacks
 	return t
@@ -405,6 +416,8 @@ func (t *CounterTotals) Add(o CounterTotals) {
 	t.StallAborts += o.StallAborts
 	t.DeadlineAborts += o.DeadlineAborts
 	t.LoadSheds += o.LoadSheds
+	t.VersionsPruned += o.VersionsPruned
+	t.GCPasses += o.GCPasses
 }
 
 // Snapshot aggregates the current telemetry. Safe to call concurrently

@@ -288,10 +288,8 @@ func (r *IterativeRecord) AddCounter() uint64 {
 // that is invisible to other transactions (Begin = InfTS) until the owning
 // uber-transaction commits and calls SetBegin with its commit timestamp.
 func NewIterativeVersion(initial Payload, nVersions int) *Record {
-	rec := &Record{
-		Payload: initial.Clone(),
-		Iter:    NewIterativeRecord(initial, nVersions),
-	}
+	rec := &Record{Payload: initial.Clone()}
+	rec.iter.Store(NewIterativeRecord(initial, nVersions))
 	rec.begin.Store(uint64(InfTS))
 	rec.end.Store(uint64(InfTS))
 	return rec
@@ -310,7 +308,7 @@ func NewIterativeVersionBatch(n, width, nVersions int, seed func(i int) Payload)
 		r := &recs[i]
 		r.Payload = payloads[i*width : (i+1)*width : (i+1)*width]
 		copy(r.Payload, seed(i))
-		r.Iter = iters[i]
+		r.iter.Store(iters[i])
 		r.begin.Store(uint64(InfTS))
 		r.end.Store(uint64(InfTS))
 		out[i] = r

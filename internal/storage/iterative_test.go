@@ -195,7 +195,7 @@ func TestIterativeRecentIsNewestProperty(t *testing.T) {
 
 func TestIterativeVersionWrapperFields(t *testing.T) {
 	rec := NewIterativeVersion(Payload{42}, 2)
-	if rec.Iter == nil {
+	if rec.Iter() == nil {
 		t.Fatal("wrapper has no iterative record")
 	}
 	if rec.Begin() != InfTS {
@@ -204,8 +204,8 @@ func TestIterativeVersionWrapperFields(t *testing.T) {
 	if rec.Payload[0] != 42 {
 		t.Fatalf("wrapper payload = %v, want [42]", rec.Payload)
 	}
-	if rec.Iter.Width() != 1 || rec.Iter.NumVersions() != 2 {
-		t.Fatalf("wrapper iterative record shape wrong: width %d versions %d", rec.Iter.Width(), rec.Iter.NumVersions())
+	if rec.Iter().Width() != 1 || rec.Iter().NumVersions() != 2 {
+		t.Fatalf("wrapper iterative record shape wrong: width %d versions %d", rec.Iter().Width(), rec.Iter().NumVersions())
 	}
 }
 

@@ -4,13 +4,26 @@ import "sync/atomic"
 
 // Record is one committed version of a row (Figure 3 in the paper). The
 // header holds the Begin and End timestamps that bound the version's valid
-// lifetime; Prev points at the version it superseded. Records are immutable
-// once installed except for the End timestamp, which the superseding
-// transaction stamps when it installs the next version, and the Iter field,
-// which only iterative records use.
+// lifetime; the prev pointer links to the version it superseded. Records
+// are immutable once installed except for the End timestamp, which the
+// superseding transaction stamps when it installs the next version, and
+// the link fields (prev, iter), which the version garbage collector cuts
+// while concurrent readers traverse them — hence both are atomic pointers.
 type Record struct {
 	begin atomic.Uint64
 	end   atomic.Uint64
+
+	// prev is the previous version in the chain, nil for the first. It is
+	// written by Install (once, before publication) and by Prune (cut to
+	// nil) while chain walkers traverse concurrently, so all access goes
+	// through atomic loads/stores — see Prev.
+	prev atomic.Pointer[Record]
+
+	// iter is non-nil when this version is an iterative record created by
+	// an uber-transaction. The garbage collector strips it from superseded
+	// versions (their snapshot slots can never be read again), so access
+	// is atomic — see Iter.
+	iter atomic.Pointer[IterativeRecord]
 
 	// Payload is the row image of this version. For iterative records it
 	// is the latest converged snapshot (see IterativeRecord).
@@ -20,13 +33,6 @@ type Record struct {
 	// for transactions reading in its lifetime. The chain keeps the
 	// tombstone so snapshot reads before the delete still see the row.
 	Deleted bool
-
-	// Prev is the previous version in the chain, nil for the first.
-	Prev *Record
-
-	// Iter is non-nil when this version is an iterative record created by
-	// an uber-transaction.
-	Iter *IterativeRecord
 }
 
 // NewRecord builds a version valid from begin until superseded.
@@ -44,6 +50,21 @@ func (r *Record) Begin() Timestamp { return Timestamp(r.begin.Load()) }
 // (InfTS while it is the most recent one).
 func (r *Record) End() Timestamp { return Timestamp(r.end.Load()) }
 
+// Prev returns the previous version in the chain, nil for the first (or
+// after the garbage collector cut the link).
+func (r *Record) Prev() *Record { return r.prev.Load() }
+
+// SetPrev links r to the version it supersedes. Chain surgery outside
+// Install/Prune is test-only.
+func (r *Record) SetPrev(p *Record) { r.prev.Store(p) }
+
+// Iter returns the iterative record riding on this version, nil for plain
+// versions (or after the garbage collector stripped a superseded one).
+func (r *Record) Iter() *IterativeRecord { return r.iter.Load() }
+
+// SetIter attaches an iterative record to this version.
+func (r *Record) SetIter(ir *IterativeRecord) { r.iter.Store(ir) }
+
 // SetBegin publishes the version as of ts. Uber-transactions use this to
 // flip an in-flight iterative record (begin = InfTS, invisible to everyone)
 // to globally visible at their commit timestamp.
@@ -57,8 +78,8 @@ func (r *Record) SetEnd(ts Timestamp) { r.end.Store(uint64(ts)) }
 // lifetime so version lifetimes stay disjoint.
 func (r *Record) Publish(ts Timestamp) {
 	r.SetBegin(ts)
-	if r.Prev != nil {
-		r.Prev.SetEnd(ts)
+	if p := r.Prev(); p != nil {
+		p.SetEnd(ts)
 	}
 }
 
@@ -94,7 +115,7 @@ func (c *VersionChain) Head() *Record { return c.head.Load() }
 // caller must abort (first-committer-wins). On success the superseded
 // version's End is stamped with r's Begin.
 func (c *VersionChain) Install(expected, r *Record) bool {
-	r.Prev = expected
+	r.prev.Store(expected)
 	if !c.head.CompareAndSwap(expected, r) {
 		return false
 	}
@@ -109,11 +130,12 @@ func (c *VersionChain) Install(expected, r *Record) bool {
 // (never published) version, e.g. when an uber-transaction aborts. It
 // returns false if head is no longer the chain head.
 func (c *VersionChain) Unwind(head *Record) bool {
-	if !c.head.CompareAndSwap(head, head.Prev) {
+	prev := head.Prev()
+	if !c.head.CompareAndSwap(head, prev) {
 		return false
 	}
-	if head.Prev != nil {
-		head.Prev.SetEnd(InfTS)
+	if prev != nil {
+		prev.SetEnd(InfTS)
 	}
 	return true
 }
@@ -121,7 +143,7 @@ func (c *VersionChain) Unwind(head *Record) bool {
 // VisibleAt walks the chain and returns the version visible at ts, or nil
 // if the row did not exist at ts.
 func (c *VersionChain) VisibleAt(ts Timestamp) *Record {
-	for r := c.Head(); r != nil; r = r.Prev {
+	for r := c.Head(); r != nil; r = r.Prev() {
 		if r.VisibleAt(ts) {
 			return r
 		}
@@ -131,21 +153,53 @@ func (c *VersionChain) VisibleAt(ts Timestamp) *Record {
 
 // Prune garbage-collects versions that no transaction reading at or after
 // watermark can see: it finds the newest version with Begin <= watermark
-// and cuts its Prev link, returning the number of versions dropped.
-// Callers must guarantee no active transaction has a begin timestamp below
-// watermark (in this repo: the transaction manager's oldest active
-// snapshot). Safe against concurrent readers — they either hold the old
-// sub-chain (still intact) or start from the head.
+// and cuts its Prev link, returning the number of versions dropped. When
+// that newest reachable version is itself a tombstone, the whole chain
+// tail — tombstone included — is reclaimed: every reader at or after the
+// watermark observes "row absent" either way. Superseded iterative
+// versions on the surviving prefix get their snapshot slabs stripped (the
+// engine only ever reads the head's iterative record).
+//
+// Callers must pass a watermark at or below the oldest active snapshot —
+// in this repo the transaction manager's SafeWatermark, which the
+// internal/gc reclaimer enforces by clamping. The surgery is a pair of
+// atomic cuts, safe against concurrent readers (they either hold the old
+// sub-chain, which stays intact, or start from the head) and against
+// concurrent writers (head removal is a CAS that loses to any Install).
 func (c *VersionChain) Prune(watermark Timestamp) int {
-	for r := c.Head(); r != nil; r = r.Prev {
-		if r.Begin() <= watermark {
-			dropped := 0
-			for p := r.Prev; p != nil; p = p.Prev {
+	var succ *Record // oldest version newer than the watermark, if any
+	for r := c.Head(); r != nil; r = r.Prev() {
+		if r.Begin() > watermark {
+			// Still reachable by a reader pinned between watermark and now
+			// (this includes in-flight versions: InfTS > watermark).
+			succ = r
+			continue
+		}
+		// r is the newest version any reader at ts >= watermark can land
+		// on; everything below it is dead.
+		dropped := 0
+		for p := r.Prev(); p != nil; p = p.Prev() {
+			dropped++
+		}
+		r.prev.Store(nil)
+		if r.Deleted {
+			// The newest reachable version says "row absent"; an empty
+			// tail says the same, so the tombstone itself is dead weight.
+			if succ != nil {
+				succ.prev.Store(nil)
+				dropped++
+			} else if c.head.CompareAndSwap(r, nil) {
+				// Head removal races concurrent writers: losing the CAS
+				// means someone just installed a new head over the
+				// tombstone, which keeps it reachable — leave it be.
 				dropped++
 			}
-			r.Prev = nil
-			return dropped
+		} else if succ != nil {
+			// r survives but is superseded: nothing reads a non-head
+			// iterative record, so its snapshot slab is reclaimable.
+			r.iter.Store(nil)
 		}
+		return dropped
 	}
 	return 0
 }
@@ -153,7 +207,7 @@ func (c *VersionChain) Prune(watermark Timestamp) int {
 // Len returns the number of versions in the chain.
 func (c *VersionChain) Len() int {
 	n := 0
-	for r := c.Head(); r != nil; r = r.Prev {
+	for r := c.Head(); r != nil; r = r.Prev() {
 		n++
 	}
 	return n

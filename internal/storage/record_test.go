@@ -37,7 +37,7 @@ func TestChainInstallStampsEnd(t *testing.T) {
 	if v1.End() != 12 {
 		t.Fatalf("superseded version End = %d, want 12", v1.End())
 	}
-	if c.Head() != v2 || v2.Prev != v1 {
+	if c.Head() != v2 || v2.Prev() != v1 {
 		t.Fatal("chain head or Prev pointer wrong after Install")
 	}
 }
@@ -112,7 +112,7 @@ func TestChainConcurrentInstallSingleWinner(t *testing.T) {
 	if winners != 1 {
 		t.Fatalf("%d concurrent installs succeeded against the same head, want exactly 1", winners)
 	}
-	if c.Head().Prev != base {
+	if c.Head().Prev() != base {
 		t.Fatal("winning version does not link back to base")
 	}
 }

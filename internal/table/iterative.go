@@ -33,7 +33,7 @@ func (t *Table) StartIterative(ts storage.Timestamp, nVersions int, rows []RowID
 	zero := t.schema.NewPayload()
 	err := t.forRows(rows, func(row RowID, c *storage.VersionChain) error {
 		head := c.Head()
-		if head != nil && head.Iter != nil && head.Begin() == storage.InfTS {
+		if head != nil && head.Iter() != nil && head.Begin() == storage.InfTS {
 			return fmt.Errorf("table %s row %d: iterative version already in flight", t.name, row)
 		}
 		seed := zero
@@ -84,7 +84,7 @@ func (t *Table) IterRecord(row RowID) *storage.IterativeRecord {
 	if head == nil {
 		return nil
 	}
-	return head.Iter
+	return head.Iter()
 }
 
 // CommitIterative materializes each row's latest intermediate snapshot as
@@ -97,7 +97,7 @@ func (t *Table) CommitIterative(commitTS storage.Timestamp, rows []RowID) error 
 	published := 0
 	err := t.forRows(rows, func(row RowID, c *storage.VersionChain) error {
 		head := c.Head()
-		if head == nil || head.Iter == nil {
+		if head == nil || head.Iter() == nil {
 			if rows == nil {
 				return nil
 			}
@@ -109,7 +109,7 @@ func (t *Table) CommitIterative(commitTS storage.Timestamp, rows []RowID) error 
 			}
 			return fmt.Errorf("table %s row %d: iterative version not in flight", t.name, row)
 		}
-		copy(head.Payload, head.Iter.LatestSnapshot())
+		copy(head.Payload, head.Iter().LatestSnapshot())
 		head.Publish(commitTS)
 		published++
 		return nil
@@ -130,7 +130,7 @@ func (t *Table) AbortIterative(rows []RowID) error {
 	aborted := 0
 	err := t.forRows(rows, func(row RowID, c *storage.VersionChain) error {
 		head := c.Head()
-		if head == nil || head.Iter == nil || head.Begin() != storage.InfTS {
+		if head == nil || head.Iter() == nil || head.Begin() != storage.InfTS {
 			if rows == nil {
 				return nil // skipped at StartIterative
 			}

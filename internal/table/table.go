@@ -195,8 +195,12 @@ func (t *Table) TreeIndex(col string) *index.BTree {
 
 // Prune garbage-collects row versions invisible to every transaction
 // reading at or after watermark (Hekaton-style version GC), returning the
-// number of versions dropped. The caller must pass a watermark no newer
-// than the oldest active transaction's snapshot.
+// number of versions dropped. Fully-dead rows — newest reachable version a
+// tombstone — have their whole chain reclaimed. The watermark must not
+// exceed the oldest active transaction's snapshot; don't call this
+// directly in engine code — go through internal/gc.Reclaimer, which clamps
+// every watermark to the transaction manager's SafeWatermark so the
+// contract is enforced rather than assumed.
 func (t *Table) Prune(watermark storage.Timestamp) int {
 	dropped := 0
 	n := t.NumRows()

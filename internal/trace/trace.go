@@ -59,6 +59,9 @@ const (
 	KindFault
 	// KindCommit marks an uber-transaction's atomic publish.
 	KindCommit
+	// KindGC marks one version-GC reclaimer pass; Arg is the number of
+	// versions pruned.
+	KindGC
 
 	numKinds
 )
@@ -74,7 +77,7 @@ const (
 
 var kindNames = [numKinds]string{
 	"job", "batch", "barrier", "queue-wait", "steal",
-	"retry", "abort", "fault", "commit",
+	"retry", "abort", "fault", "commit", "gc",
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,188 @@
+package txn
+
+import (
+	"testing"
+
+	"db4ml/internal/table"
+)
+
+// commitUpdate commits one balance update on row 0, advancing the stable
+// timestamp by one version.
+func commitUpdate(t *testing.T, m *Manager, tbl *table.Table, v float64) {
+	t.Helper()
+	tx := m.Begin()
+	p, _ := tx.Read(tbl, 0)
+	p.SetFloat64(1, v)
+	if err := tx.Write(tbl, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSafeWatermarkTracksActiveSnapshots(t *testing.T) {
+	m := NewManager()
+	tbl := accountsTable(t, m, 1, 0)
+	if m.ActiveSnapshots() != 0 {
+		t.Fatalf("fresh manager has %d pins", m.ActiveSnapshots())
+	}
+	if m.SafeWatermark() != m.Stable() {
+		t.Fatal("idle watermark should be Stable")
+	}
+
+	reader := m.Begin()
+	pinTS := reader.BeginTS()
+	if m.ActiveSnapshots() != 1 {
+		t.Fatalf("pins = %d after Begin, want 1", m.ActiveSnapshots())
+	}
+	// Stable advances past the pin; the watermark must not follow.
+	commitUpdate(t, m, tbl, 1)
+	commitUpdate(t, m, tbl, 2)
+	if m.Stable() <= pinTS {
+		t.Fatal("stable did not advance")
+	}
+	if w := m.SafeWatermark(); w != pinTS {
+		t.Fatalf("SafeWatermark = %d with a reader pinned at %d", w, pinTS)
+	}
+
+	// A second reader at the newer snapshot does not move the minimum.
+	reader2 := m.Begin()
+	if w := m.SafeWatermark(); w != pinTS {
+		t.Fatalf("SafeWatermark = %d, want oldest pin %d", w, pinTS)
+	}
+	reader.Abort()
+	if w := m.SafeWatermark(); w != reader2.BeginTS() {
+		t.Fatalf("SafeWatermark = %d after oldest unpinned, want %d", w, reader2.BeginTS())
+	}
+	reader2.Abort()
+	if m.ActiveSnapshots() != 0 || m.SafeWatermark() != m.Stable() {
+		t.Fatal("pins not drained after all readers settled")
+	}
+}
+
+func TestCommitAndAbortBothUnpin(t *testing.T) {
+	m := NewManager()
+	tbl := accountsTable(t, m, 2, 0)
+
+	tx := m.Begin()
+	p, _ := tx.Read(tbl, 0)
+	p.SetFloat64(1, 1)
+	if err := tx.Write(tbl, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ActiveSnapshots() != 0 {
+		t.Fatal("commit leaked a snapshot pin")
+	}
+
+	// A failed commit (write-write conflict) must unpin too.
+	a, b := m.Begin(), m.Begin()
+	for _, tx := range []*Txn{a, b} {
+		p, _ := tx.Read(tbl, 1)
+		p.SetFloat64(1, p.Float64(1)+1)
+		if err := tx.Write(tbl, 1, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != ErrConflict {
+		t.Fatalf("second committer got %v, want ErrConflict", err)
+	}
+	if m.ActiveSnapshots() != 0 {
+		t.Fatal("aborted commit leaked a snapshot pin")
+	}
+}
+
+// TestOverEagerWatermarkWouldBreakPinnedRead is the conviction test for the
+// watermark contract: pruning at the raw stable timestamp — ignoring the
+// active-snapshot registry — destroys a version a pinned reader still
+// needs, while pruning at SafeWatermark (what internal/gc actually does)
+// keeps every pinned read intact. The registry is not an optimization; it
+// is the difference between GC and data corruption.
+func TestOverEagerWatermarkWouldBreakPinnedRead(t *testing.T) {
+	setup := func() (*Manager, *table.Table, *Txn) {
+		m := NewManager()
+		tbl := accountsTable(t, m, 1, 0)
+		commitUpdate(t, m, tbl, 10)
+		reader := m.Begin() // pins the snapshot where Balance = 10
+		commitUpdate(t, m, tbl, 20)
+		commitUpdate(t, m, tbl, 30)
+		return m, tbl, reader
+	}
+
+	// Clamped path: prune at SafeWatermark — the pinned read survives.
+	m, tbl, reader := setup()
+	if dropped := tbl.Prune(m.SafeWatermark()); dropped != 1 {
+		t.Fatalf("safe prune dropped %d, want 1 (the pre-pin version)", dropped)
+	}
+	if p, ok := reader.Read(tbl, 0); !ok || p.Float64(1) != 10 {
+		t.Fatalf("pinned read after safe prune = (%v, %v), want 10", p, ok)
+	}
+	reader.Abort()
+
+	// Over-eager path: prune at Stable while the reader is still pinned —
+	// this is exactly what the registry exists to prevent.
+	m, tbl, reader = setup()
+	tbl.Prune(m.Stable())
+	if _, ok := reader.Read(tbl, 0); ok {
+		t.Fatal("over-eager prune left the pinned version intact; conviction test is vacuous")
+	}
+	reader.Abort()
+}
+
+// TestTombstoneChurnChainsEmptied: an insert/delete churn loop must not
+// retain one tombstone per dead row forever — after a prune at the safe
+// watermark every churned chain is fully reclaimed.
+func TestTombstoneChurnChainsEmptied(t *testing.T) {
+	m := NewManager()
+	tbl := accountsTable(t, m, 1, 0) // row 0 stays live throughout
+	const churn = 25
+	for i := 0; i < churn; i++ {
+		tx := m.Begin()
+		p := tbl.Schema().NewPayload()
+		p.SetInt64(0, int64(1000+i))
+		if err := tx.Insert(tbl, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		row := tx.InsertedRows()[0]
+		tx = m.Begin()
+		if err := tx.Delete(tbl, row); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	versions := func() int {
+		n := 0
+		for r := 0; r < tbl.NumRows(); r++ {
+			n += tbl.Chain(table.RowID(r)).Len()
+		}
+		return n
+	}
+	// Before GC: every churned row retains insert + tombstone.
+	if v := versions(); v != 1+2*churn {
+		t.Fatalf("pre-prune versions = %d, want %d", v, 1+2*churn)
+	}
+	dropped := tbl.Prune(m.SafeWatermark())
+	if v := versions(); v != 1 {
+		t.Fatalf("post-prune versions = %d (dropped %d), want only the live row's", v, dropped)
+	}
+	// Deleted rows stay deleted, the live row stays readable.
+	tx := m.Begin()
+	if _, ok := tx.Read(tbl, 1); ok {
+		t.Fatal("reclaimed row became visible again")
+	}
+	if p, ok := tx.Read(tbl, 0); !ok || p.Float64(1) != 0 {
+		t.Fatalf("live row read = (%v, %v)", p, ok)
+	}
+	tx.Abort()
+}

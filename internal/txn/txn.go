@@ -38,11 +38,19 @@ type Manager struct {
 	oracle   *storage.Oracle
 	commitMu sync.Mutex
 	stable   atomic.Uint64
+
+	// Active-snapshot registry: every live reader — OLTP transactions and
+	// uber-transactions — pins the begin timestamp it reads at, and the
+	// version garbage collector prunes only below the oldest pin
+	// (SafeWatermark). pins is a begin-timestamp -> reader-count multiset;
+	// it stays small (one entry per distinct active begin timestamp).
+	snapMu sync.Mutex
+	pins   map[storage.Timestamp]int
 }
 
 // NewManager creates a transaction manager with a fresh oracle.
 func NewManager() *Manager {
-	return &Manager{oracle: &storage.Oracle{}}
+	return &Manager{oracle: &storage.Oracle{}, pins: make(map[storage.Timestamp]int)}
 }
 
 // Oracle exposes the manager's timestamp oracle, shared with bulk loaders
@@ -69,9 +77,67 @@ func (m *Manager) PublishAt(publish func(ts storage.Timestamp)) storage.Timestam
 	return ts
 }
 
-// Begin starts a transaction reading the most recent stable snapshot.
+// PinSnapshot atomically reads the current stable timestamp and registers
+// an active reader on it, so SafeWatermark can never advance past it until
+// the matching UnpinSnapshot. Begin and itx.BeginUber pin through here;
+// direct callers (read replicas, long scans) may too, but must guarantee
+// the unpin — a leaked pin freezes garbage collection at its timestamp.
+func (m *Manager) PinSnapshot() storage.Timestamp {
+	m.snapMu.Lock()
+	ts := m.Stable()
+	m.pins[ts]++
+	m.snapMu.Unlock()
+	return ts
+}
+
+// UnpinSnapshot releases one PinSnapshot registration of ts.
+func (m *Manager) UnpinSnapshot(ts storage.Timestamp) {
+	m.snapMu.Lock()
+	if n := m.pins[ts]; n <= 1 {
+		delete(m.pins, ts)
+	} else {
+		m.pins[ts] = n - 1
+	}
+	m.snapMu.Unlock()
+}
+
+// SafeWatermark returns the newest timestamp version garbage collection
+// may prune at: the oldest active pinned begin timestamp, or the stable
+// timestamp when no reader is active. Pruning a chain at SafeWatermark
+// keeps the newest version at or below it, so every registered reader
+// (begin >= watermark) still resolves the version it pinned. The registry
+// is the single source of watermarks — internal/gc clamps every requested
+// watermark to this value rather than trusting callers.
+func (m *Manager) SafeWatermark() storage.Timestamp {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	w := m.Stable()
+	for ts := range m.pins {
+		if ts < w {
+			w = ts
+		}
+	}
+	return w
+}
+
+// ActiveSnapshots returns the number of currently pinned readers (distinct
+// transactions, not distinct timestamps).
+func (m *Manager) ActiveSnapshots() int {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	n := 0
+	for _, c := range m.pins {
+		n += c
+	}
+	return n
+}
+
+// Begin starts a transaction reading the most recent stable snapshot. The
+// snapshot is pinned in the active-snapshot registry until the transaction
+// commits or aborts, holding the GC watermark back so the versions it
+// reads stay reachable.
 func (m *Manager) Begin() *Txn {
-	return &Txn{m: m, beginTS: m.Stable(), writeIdx: make(map[writeKey]int)}
+	return &Txn{m: m, beginTS: m.PinSnapshot(), writeIdx: make(map[writeKey]int)}
 }
 
 type txnState int
@@ -204,10 +270,19 @@ func (tx *Txn) Insert(tbl *table.Table, payload storage.Payload) error {
 // in Insert order. Valid only after a successful Commit.
 func (tx *Txn) InsertedRows() []table.RowID { return tx.inserted }
 
+// settle moves the transaction out of the active state exactly once,
+// releasing its snapshot pin so the GC watermark can advance past it.
+func (tx *Txn) settle(st txnState) {
+	if tx.state == active {
+		tx.m.UnpinSnapshot(tx.beginTS)
+	}
+	tx.state = st
+}
+
 // Abort discards all buffered writes.
 func (tx *Txn) Abort() {
 	if tx.state == active {
-		tx.state = aborted
+		tx.settle(aborted)
 	}
 }
 
@@ -247,7 +322,7 @@ func (tx *Txn) Commit() error {
 		chain := w.key.tbl.Chain(w.key.row)
 		if chain == nil {
 			unwind()
-			tx.state = aborted
+			tx.settle(aborted)
 			return fmt.Errorf("txn: row %d vanished", w.key.row)
 		}
 		head := chain.Head()
@@ -256,13 +331,13 @@ func (tx *Txn) Commit() error {
 				// In-flight version from another transaction (or an
 				// uber-transaction's iterative record).
 				unwind()
-				tx.state = aborted
+				tx.settle(aborted)
 				return ErrConflict
 			}
 			if head.Begin() > tx.beginTS {
 				// Someone committed after our snapshot: first committer won.
 				unwind()
-				tx.state = aborted
+				tx.settle(aborted)
 				return ErrConflict
 			}
 		}
@@ -271,7 +346,7 @@ func (tx *Txn) Commit() error {
 		pending.SetBegin(storage.InfTS)
 		if !chain.Install(head, pending) {
 			unwind()
-			tx.state = aborted
+			tx.settle(aborted)
 			return ErrConflict
 		}
 		installed = append(installed, pending)
@@ -292,6 +367,6 @@ func (tx *Txn) Commit() error {
 			tx.inserted = append(tx.inserted, row)
 		}
 	})
-	tx.state = committed
+	tx.settle(committed)
 	return nil
 }
