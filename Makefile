@@ -1,5 +1,5 @@
 # Tier-1 gate: everything `make check` runs must stay green.
-.PHONY: check build vet test test-race-short bench-smoke chaos fuzz resilience staticcheck obs gc
+.PHONY: check build vet test test-race-short bench-smoke chaos fuzz resilience staticcheck obs gc plan
 
 check: build vet test test-race-short
 
@@ -59,6 +59,19 @@ gc:
 	go test -race -run 'TestSoakVersionCountFlat|WithVersionGC|PruneNow' .
 	go test -race -run 'TestInvariantSweepWithGC' ./internal/check
 	go run ./cmd/db4ml-bench -exp gc -quick
+
+# Query-plan gate: the plan package (rewrite rules, streaming executor,
+# iterate node, randomized streamed==materialized property test) and the
+# facade query tests under the race detector, the scan-pin conviction
+# tests, then a quick pass of the plan experiment (output equality across
+# all strategies and the speedup floor are asserted inside the experiment).
+# The committed BENCH_PLAN.json comes from the full run:
+#   go run ./cmd/db4ml-bench -exp plan -runs 5 -benchjson BENCH_PLAN.json
+plan:
+	go test -race ./internal/plan
+	go test -race -run 'Query|PageRankViaIterate|IterateComposes' .
+	go test -race -run 'TestTableScanPinsSnapshotAgainstGC|TestSlowScanSurvivesAggressiveReclaimer' ./internal/relational
+	go run ./cmd/db4ml-bench -exp plan -quick
 
 # Optional deeper static analysis; no-op when staticcheck is not on PATH
 # (the container image does not bake it in, CI installs it).

@@ -217,6 +217,9 @@ type DB struct {
 	liveJobs map[*JobHandle]jobMeta
 	recent   []introspect.JobInfo
 
+	// queryID tags each SubmitQuery/PrepareQuery with a trace span id.
+	queryID atomic.Uint64
+
 	mu     sync.Mutex
 	closed bool
 	// handles tracks every SubmitML handle goroutine so Close can wait for

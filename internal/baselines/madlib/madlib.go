@@ -18,6 +18,7 @@ import (
 	"db4ml/internal/relational"
 	"db4ml/internal/storage"
 	"db4ml/internal/table"
+	"db4ml/internal/txn"
 )
 
 // Config tunes the driver loop.
@@ -46,22 +47,24 @@ func (c Config) withDefaults() Config {
 // PageRank runs the MADlib-style driver over the Node(NodeID, PR) and
 // Edge(NID_From, NID_To) ML-tables as of snapshot ts. It returns the final
 // ranks indexed by NodeID (node ids must be dense [0, n)) and the number
-// of iterations executed.
-func PageRank(node, edge *table.Table, ts storage.Timestamp, cfg Config) ([]float64, int, error) {
+// of iterations executed. The table scans pin ts in mgr's active-snapshot
+// registry while they run so version GC cannot reclaim the snapshot under
+// the driver; mgr may be nil only when no reclaimer runs.
+func PageRank(mgr *txn.Manager, node, edge *table.Table, ts storage.Timestamp, cfg Config) ([]float64, int, error) {
 	cfg = cfg.withDefaults()
 	idCol := node.Schema().MustCol("NodeID")
 	fromCol := edge.Schema().MustCol("NID_From")
 	toCol := edge.Schema().MustCol("NID_To")
 
 	// SELECT NodeID FROM Node — the driver keeps the id universe.
-	nodes := relational.Collect(relational.NewTableScan(node, ts))
+	nodes := relational.Collect(relational.NewTableScan(mgr, node, ts))
 	n := len(nodes.Rows)
 	if n == 0 {
 		return nil, 0, nil
 	}
 	// SELECT NID_From, COUNT(*) FROM Edge GROUP BY NID_From.
 	outdeg := relational.Collect(relational.NewHashAggregate(
-		relational.NewTableScan(edge, ts), relational.Count, "NID_From", "cnt",
+		relational.NewTableScan(mgr, edge, ts), relational.Count, "NID_From", "cnt",
 		func(t relational.Tuple) int64 { return t.Int64(fromCol) }, nil))
 
 	// Current rank relation R(NodeID, PR), initialized uniformly.
@@ -87,7 +90,7 @@ func PageRank(node, edge *table.Table, ts storage.Timestamp, cfg Config) ([]floa
 		// GROUP BY e.NID_To.
 		joined := relational.NewHashJoin(
 			relational.NewHashJoin(
-				relational.NewTableScan(edge, ts),
+				relational.NewTableScan(mgr, edge, ts),
 				relational.NewScan(rank),
 				func(t relational.Tuple) int64 { return t.Int64(fromCol) },
 				func(t relational.Tuple) int64 { return t.Int64(0) },

@@ -17,7 +17,7 @@ func load(t *testing.T, g *graph.Graph) (*txn.Manager, ranksFn) {
 		t.Fatal(err)
 	}
 	return mgr, func(cfg Config) ([]float64, int) {
-		ranks, iters, err := PageRank(node, edge, mgr.Stable(), cfg)
+		ranks, iters, err := PageRank(mgr, node, edge, mgr.Stable(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,7 +94,7 @@ func TestSnapshotIsolationOfDriver(t *testing.T) {
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	ranksA, _, err := PageRank(node, edge, snap, Config{Epsilon: 1e-10})
+	ranksA, _, err := PageRank(mgr, node, edge, snap, Config{Epsilon: 1e-10})
 	if err != nil {
 		t.Fatal(err)
 	}

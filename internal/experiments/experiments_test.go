@@ -10,7 +10,7 @@ func quickOpts(buf *strings.Builder) Options {
 }
 
 func TestRegistryCoversEveryPaperExperiment(t *testing.T) {
-	want := []string{"fig1", "tab1", "fig8", "fig9", "fig10a", "fig10b", "fig11", "tab2", "fig12", "fig13", "fig14", "locality", "mixed", "concurrent", "chaos", "resilience", "gc"}
+	want := []string{"fig1", "tab1", "fig8", "fig9", "fig10a", "fig10b", "fig11", "tab2", "fig12", "fig13", "fig14", "locality", "mixed", "concurrent", "chaos", "resilience", "gc", "plan"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -281,6 +281,22 @@ func TestChaosQuick(t *testing.T) {
 	for _, want := range []string{
 		"Chaos sweep", "synchronous", "asynchronous", "bounded-staleness",
 		"injected faults", "0 contract violations",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlanQuick(t *testing.T) {
+	var buf strings.Builder
+	if err := Plan(quickOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"materialized", "streamed", "streamed+pushdown",
+		"streamed+pushdown+presize", "vs materialized",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)

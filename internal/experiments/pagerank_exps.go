@@ -94,7 +94,7 @@ func Fig1(opts Options) error {
 	})
 	mgr, node, edge := loadPR(g)
 	madlibTime = timed(opts.Runs, func() {
-		if _, _, err := madlib.PageRank(node, edge, mgr.Stable(), madlib.Config{Epsilon: 0, MaxIters: iters}); err != nil {
+		if _, _, err := madlib.PageRank(mgr, node, edge, mgr.Stable(), madlib.Config{Epsilon: 0, MaxIters: iters}); err != nil {
 			panic(err)
 		}
 	})

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"db4ml"
+	"db4ml/internal/plan"
+	"db4ml/internal/relational"
+)
+
+// PlanConfigResult is one execution strategy's account in BENCH_PLAN.json.
+type PlanConfigResult struct {
+	Name string `json:"name"`
+	// WallNanos is the mean wall-clock per query over Options.Runs.
+	WallNanos int64 `json:"wall_ns"`
+	// ScanRowsOut is what the fact-table scan operator emitted — the
+	// pushdown effect in rows (only streamed configs report it).
+	ScanRowsOut uint64 `json:"scan_rows_out,omitempty"`
+	// ResultRows is the query result cardinality (identical across
+	// configs, recorded once per config as a cross-check).
+	ResultRows int `json:"result_rows"`
+}
+
+// PlanResult is the machine-readable output of the plan experiment
+// (db4ml-bench -exp plan -benchjson BENCH_PLAN.json).
+type PlanResult struct {
+	Experiment string             `json:"experiment"`
+	FactRows   int                `json:"fact_rows"`
+	DimRows    int                `json:"dim_rows"`
+	SelectPct  float64            `json:"select_pct"`
+	Runs       int                `json:"runs"`
+	Configs    []PlanConfigResult `json:"configs"`
+	// Speedup is materialized wall / streamed+pushdown+presize wall — the
+	// headline number the experiment asserts on.
+	Speedup float64 `json:"speedup"`
+}
+
+// Plan measures the declarative query layer against the hand-wired
+// MADlib-style execution it replaces: one star query —
+//
+//	SELECT K, SUM(V*W) FROM Fact JOIN Dim ON K = DK WHERE V < p95 GROUP BY K
+//
+// with a ~5% selective filter — run four ways: (1) materialized: every
+// operator's input fully collected into a Relation before the next stage,
+// (2) streamed: the Volcano executor, no planner rewrites, (3)
+// streamed+pushdown: the filter compiled into the storage-level scan hint,
+// (4) +presize: hash join/aggregate builds pre-sized from cardinality
+// estimates. All four must produce identical results; the experiment fails
+// unless (4) beats (1) by the documented factor. With Options.BenchFile
+// set, the timings are written as JSON (the committed BENCH_PLAN.json).
+func Plan(opts Options) error {
+	opts = opts.withDefaults()
+	factRows, dimRows := 200_000, 25_000
+	minSpeedup := 1.5
+	if opts.Quick {
+		factRows, dimRows = 20_000, 2_500
+		minSpeedup = 1.1
+	}
+	const selectPct = 0.05
+
+	db := db4ml.Open(db4ml.WithWorkers(2))
+	defer db.Close()
+	mgr := db.Manager()
+
+	fact, err := db.CreateTable("Fact",
+		db4ml.Column{Name: "ID", Type: db4ml.Int64},
+		db4ml.Column{Name: "K", Type: db4ml.Int64},
+		db4ml.Column{Name: "V", Type: db4ml.Float64})
+	if err != nil {
+		return err
+	}
+	dim, err := db.CreateTable("Dim",
+		db4ml.Column{Name: "DK", Type: db4ml.Int64},
+		db4ml.Column{Name: "W", Type: db4ml.Float64})
+	if err != nil {
+		return err
+	}
+	// V is a Weyl-sequence shuffle of [0, factRows): the selective filter
+	// matches rows scattered across the whole table, not a prefix.
+	load := make([]db4ml.Payload, factRows)
+	for i := range load {
+		p := fact.Schema().NewPayload()
+		p.SetInt64(0, int64(i))
+		p.SetInt64(1, int64(i%dimRows))
+		p.SetFloat64(2, float64((uint64(i)*2654435761)%uint64(factRows)))
+		load[i] = p
+	}
+	if err := db.BulkLoad(fact, load); err != nil {
+		return err
+	}
+	dload := make([]db4ml.Payload, dimRows)
+	for k := range dload {
+		p := dim.Schema().NewPayload()
+		p.SetInt64(0, int64(k))
+		p.SetFloat64(1, 1+float64(k%7))
+		dload[k] = p
+	}
+	if err := db.BulkLoad(dim, dload); err != nil {
+		return err
+	}
+
+	thresh := selectPct * float64(factRows)
+	query := func() *plan.Node {
+		return plan.Aggregate(
+			plan.Join(
+				plan.Filter(plan.Scan(fact), plan.FloatCmp("V", plan.Lt, thresh)),
+				plan.Scan(dim), "K", "DK"),
+			relational.Sum, "K", "s", plan.Mul(plan.Col("V"), plan.Col("W")))
+	}
+
+	ts := mgr.Stable()
+	vcol, kcol := 2, 1
+	// materialized is the pre-plan execution style: every stage collects
+	// its full input into a Relation before the next operator runs.
+	materialized := func() *relational.Relation {
+		factRel := relational.Collect(relational.NewTableScan(mgr, fact, ts))
+		filtered := relational.Collect(relational.NewFilter(relational.NewScan(factRel),
+			func(t relational.Tuple) bool { return t.Float64(vcol) < thresh }))
+		dimRel := relational.Collect(relational.NewTableScan(mgr, dim, ts))
+		joined := relational.Collect(relational.NewHashJoin(
+			relational.NewScan(filtered), relational.NewScan(dimRel),
+			func(t relational.Tuple) int64 { return t.Int64(kcol) },
+			func(t relational.Tuple) int64 { return t.Int64(0) }))
+		wcol := len(factRel.Cols) + 1
+		return relational.Collect(relational.NewHashAggregate(
+			relational.NewScan(joined), relational.Sum, "K", "s",
+			func(t relational.Tuple) int64 { return t.Int64(kcol) },
+			func(t relational.Tuple) float64 { return t.Float64(vcol) * t.Float64(wcol) }))
+	}
+
+	streamed := func(env plan.Env) (*relational.Relation, []plan.OpStat, error) {
+		prep, err := plan.Prepare(query(), env)
+		if err != nil {
+			return nil, nil, err
+		}
+		cur, err := prep.Execute(context.Background())
+		if err != nil {
+			return nil, nil, err
+		}
+		out := &relational.Relation{Cols: prep.Columns()}
+		for {
+			t, ok := cur.Next()
+			if !ok {
+				break
+			}
+			out.Rows = append(out.Rows, t.Clone())
+		}
+		cur.Close()
+		return out, cur.Stats(), cur.Err()
+	}
+
+	type config struct {
+		name string
+		env  plan.Env
+	}
+	configs := []config{
+		{"streamed", plan.Env{Mgr: mgr, NoPushdown: true, NoPresize: true}},
+		{"streamed+pushdown", plan.Env{Mgr: mgr, NoPresize: true}},
+		{"streamed+pushdown+presize", plan.Env{Mgr: mgr}},
+	}
+
+	// Correctness pass: every strategy must produce the identical relation,
+	// including the public facade path.
+	want := materialized()
+	if len(want.Rows) == 0 {
+		return fmt.Errorf("plan: workload selected nothing — fixture broken")
+	}
+	scanOut := map[string]uint64{}
+	for _, c := range configs {
+		got, stats, err := streamed(c.env)
+		if err != nil {
+			return fmt.Errorf("plan: %s: %w", c.name, err)
+		}
+		if err := sameRows(got, want); err != nil {
+			return fmt.Errorf("plan: %s diverges from materialized: %w", c.name, err)
+		}
+		for _, s := range stats {
+			if strings.HasPrefix(s.Op, "scan(Fact)") {
+				scanOut[c.name] = s.RowsOut
+			}
+		}
+	}
+	facade, err := db.RunQuery(context.Background(), db4ml.QueryRun{Plan: query()})
+	if err != nil {
+		return err
+	}
+	if err := sameRows(facade, want); err != nil {
+		return fmt.Errorf("plan: facade path diverges: %w", err)
+	}
+	if pushed := scanOut["streamed+pushdown"]; pushed >= uint64(factRows)/10 {
+		return fmt.Errorf("plan: pushed scan emitted %d of %d rows — filter not pushed into storage",
+			pushed, factRows)
+	}
+
+	header(opts.Out, "declarative plan layer: materialized vs streamed vs pushdown")
+	fmt.Fprintf(opts.Out, "fact %d rows, dim %d rows, filter keeps ~%.0f%%, %d runs\n\n",
+		factRows, dimRows, 100*selectPct, opts.Runs)
+
+	res := PlanResult{Experiment: "plan", FactRows: factRows, DimRows: dimRows,
+		SelectPct: selectPct, Runs: opts.Runs}
+	matWall := timed(opts.Runs, func() { materialized() })
+	res.Configs = append(res.Configs, PlanConfigResult{
+		Name: "materialized", WallNanos: int64(matWall), ResultRows: len(want.Rows)})
+	for _, c := range configs {
+		w := timed(opts.Runs, func() {
+			if _, _, err := streamed(c.env); err != nil {
+				panic(err)
+			}
+		})
+		res.Configs = append(res.Configs, PlanConfigResult{
+			Name: c.name, WallNanos: int64(w), ScanRowsOut: scanOut[c.name],
+			ResultRows: len(want.Rows)})
+	}
+
+	tw := tab(opts.Out, "strategy", "wall", "fact-scan rows out", "result rows", "vs materialized")
+	for _, c := range res.Configs {
+		speed := float64(res.Configs[0].WallNanos) / float64(c.WallNanos)
+		scan := "-"
+		if c.ScanRowsOut > 0 {
+			scan = fmt.Sprintf("%d", c.ScanRowsOut)
+		}
+		row(tw, c.Name, time.Duration(c.WallNanos), scan, c.ResultRows, fmt.Sprintf("%.2fx", speed))
+	}
+	tw.Flush()
+
+	final := res.Configs[len(res.Configs)-1]
+	res.Speedup = float64(res.Configs[0].WallNanos) / float64(final.WallNanos)
+	if res.Speedup < minSpeedup {
+		return fmt.Errorf("plan: %s is only %.2fx over materialized (need >= %.2fx)",
+			final.Name, res.Speedup, minSpeedup)
+	}
+
+	if opts.BenchFile != "" {
+		js, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.BenchFile, append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(opts.Out, "\nwrote %s\n", opts.BenchFile)
+	}
+	return nil
+}
+
+// sameRows compares two relations cell-exactly.
+func sameRows(got, want *relational.Relation) error {
+	if len(got.Rows) != len(want.Rows) {
+		return fmt.Errorf("%d rows vs %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		for j := range got.Rows[i] {
+			if got.Rows[i][j] != want.Rows[i][j] {
+				return fmt.Errorf("row %d col %d: %d vs %d", i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+	return nil
+}

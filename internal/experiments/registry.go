@@ -29,6 +29,7 @@ var registry = []struct {
 	{"chaos", Chaos, "extra: seeded fault-injection sweep checked against the isolation contracts"},
 	{"resilience", Resilience, "extra: supervision under chaos — shed/retried/panicked/retired counts per burst trial"},
 	{"gc", GC, "extra: version-GC soak — retained versions across consecutive ML runs with and without the reclaimer"},
+	{"plan", Plan, "extra: declarative plan layer — materialized baseline vs streamed vs predicate pushdown vs hash pre-sizing"},
 }
 
 // Run executes the experiment with the given id, or every experiment when

@@ -37,6 +37,8 @@ func counterMetrics(c obs.CounterTotals) []struct {
 		{"load_sheds", "Submissions fast-failed by the admission gate.", c.LoadSheds},
 		{"versions_pruned", "Row versions reclaimed by the version garbage collector.", c.VersionsPruned},
 		{"gc_passes", "Completed version-GC reclaimer passes.", c.GCPasses},
+		{"plan_queries", "Relational plan executions started through the plan layer.", c.PlanQueries},
+		{"plan_rows", "Result tuples emitted at the root of plan executions.", c.PlanRows},
 	}
 }
 
@@ -55,6 +57,7 @@ func latencyFamilies(ls obs.LatencySnapshot) []struct {
 		{"barrier_wait_latency", "Synchronous round barrier arrival skew, first to last.", ls.BarrierWait},
 		{"job_commit_latency", "End-to-end job latency, submission to atomic publish.", ls.JobCommit},
 		{"gc_pause_latency", "Duration of one version-GC reclaimer pass (background, not stop-the-world).", ls.GCPause},
+		{"query_latency", "End-to-end relational plan execution latency, Execute to cursor close.", ls.Query},
 	}
 }
 

@@ -183,42 +183,40 @@ func (s *sub) Validate(ctx *itx.Ctx) itx.Action {
 	return itx.Commit
 }
 
-// Run executes PageRank as one uber-transaction over the loaded tables and
-// commits the result, making it globally visible. Node RowIDs must equal
-// node ids (as produced by LoadTables).
-func Run(mgr *txn.Manager, node, edge *table.Table, cfg Config) (Result, error) {
-	if cfg.Damping == 0 {
-		cfg.Damping = 0.85
+// Normalized applies the config defaults Run applies before executing:
+// damping/epsilon, the single-writer hint, and Galois-matching global
+// convergence under the synchronous level. Exported so the plan layer's
+// iterate node and Run resolve the exact same effective configuration.
+func (c Config) Normalized() Config {
+	if c.Damping == 0 {
+		c.Damping = 0.85
 	}
-	if cfg.Epsilon == 0 && cfg.Exec.MaxIterations == 0 {
-		cfg.Epsilon = 1e-9
+	if c.Epsilon == 0 && c.Exec.MaxIterations == 0 {
+		c.Epsilon = 1e-9
 	}
 	// PageRank updates each tuple from exactly one sub-transaction.
-	if cfg.Versions == 0 {
-		cfg.Isolation.SingleWriterHint = true
+	if c.Versions == 0 {
+		c.Isolation.SingleWriterHint = true
 	}
-
 	// Under the synchronous level, match Galois' global convergence: a
 	// node's rank can move again after a quiet round while its upstream
 	// still changes, so nodes retire together at the global fixpoint
 	// (Section 7.2.1: "designed ... to match Galois convergence criteria
 	// and thus results in the same ranking and PageRank values").
-	if cfg.Isolation.Level == isolation.Synchronous {
-		cfg.Exec.ConvergeTogether = true
+	if c.Isolation.Level == isolation.Synchronous {
+		c.Exec.ConvergeTogether = true
 	}
+	return c
+}
 
-	u, err := itx.BeginUber(mgr, cfg.Isolation)
-	if err != nil {
-		return Result{}, err
-	}
-	versions := cfg.Versions
-	if versions == 0 {
-		versions = u.DefaultVersions()
-	}
-	if err := u.Attach(node, nil, versions); err != nil {
-		return Result{}, err
-	}
-
+// BuildSubs constructs the per-node iterative sub-transactions of
+// Algorithm 1 at snapshot ts — out-degrees, in-neighbor handles, NUMA
+// partitioning — returning the subs plus the region router for
+// exec.RunOn. cfg must already be Normalized. It is exported so the plan
+// layer's iterate node runs the byte-identical body Run would, which is
+// what makes "PageRank as a plan node matches direct submission exactly"
+// checkable rather than approximate.
+func BuildSubs(node, edge *table.Table, ts storage.Timestamp, cfg Config) ([]itx.Sub, func(int) int, error) {
 	n := node.NumRows()
 	base := (1 - cfg.Damping) / float64(n)
 	// Partition nodes across NUMA regions (range partitioning, like the
@@ -232,17 +230,16 @@ func Run(mgr *txn.Manager, node, edge *table.Table, cfg Config) (Result, error) 
 	// Out-degrees, computed once by the uber-transaction at its snapshot.
 	fromCol := edge.Schema().MustCol("NID_From")
 	outDeg := make([]float64, n)
-	edge.Scan(u.Snapshot(), func(_ table.RowID, p storage.Payload) bool {
+	edge.Scan(ts, func(_ table.RowID, p storage.Payload) bool {
 		outDeg[p.Int64(fromCol)]++
 		return true
 	})
 
 	subs := make([]itx.Sub, n)
 	for v := 0; v < n; v++ {
-		neighbors, degs, err := neighborsOf(node, edge, u.Snapshot(), int64(v), outDeg)
+		neighbors, degs, err := neighborsOf(node, edge, ts, int64(v), outDeg)
 		if err != nil {
-			_ = u.Abort()
-			return Result{}, err
+			return nil, nil, err
 		}
 		if cfg.Traffic != nil {
 			own := node.PartitionOf(table.RowID(v))
@@ -257,8 +254,34 @@ func Run(mgr *txn.Manager, node, edge *table.Table, cfg Config) (Result, error) 
 			profile: cfg.ExecuteNanos,
 		}
 	}
-	stats, err := exec.RunOn(cfg.Pool, cfg.Exec, cfg.Isolation, subs,
-		func(i int) int { return node.PartitionOf(table.RowID(i)) })
+	return subs, func(i int) int { return node.PartitionOf(table.RowID(i)) }, nil
+}
+
+// Run executes PageRank as one uber-transaction over the loaded tables and
+// commits the result, making it globally visible. Node RowIDs must equal
+// node ids (as produced by LoadTables).
+func Run(mgr *txn.Manager, node, edge *table.Table, cfg Config) (Result, error) {
+	cfg = cfg.Normalized()
+
+	u, err := itx.BeginUber(mgr, cfg.Isolation)
+	if err != nil {
+		return Result{}, err
+	}
+	versions := cfg.Versions
+	if versions == 0 {
+		versions = u.DefaultVersions()
+	}
+	if err := u.Attach(node, nil, versions); err != nil {
+		return Result{}, err
+	}
+
+	n := node.NumRows()
+	subs, regionOf, err := BuildSubs(node, edge, u.Snapshot(), cfg)
+	if err != nil {
+		_ = u.Abort()
+		return Result{}, err
+	}
+	stats, err := exec.RunOn(cfg.Pool, cfg.Exec, cfg.Isolation, subs, regionOf)
 	if err != nil {
 		_ = u.Abort()
 		return Result{}, err

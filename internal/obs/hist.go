@@ -30,6 +30,9 @@ const (
 	// all tables. The reclaimer never stalls workers, so this measures
 	// background cost, not a stop-the-world pause.
 	GCPauseLatency
+	// QueryLatency is the end-to-end latency of one relational plan
+	// execution (internal/plan): Execute through cursor exhaustion/close.
+	QueryLatency
 
 	numLatencies
 )
@@ -41,6 +44,7 @@ var latencyNames = [numLatencies]string{
 	"barrier_wait",
 	"job_commit",
 	"gc_pause",
+	"query",
 }
 
 func (l Latency) String() string {
@@ -218,6 +222,7 @@ type LatencySnapshot struct {
 	BarrierWait HistogramStats `json:"barrier_wait"`
 	JobCommit   HistogramStats `json:"job_commit"`
 	GCPause     HistogramStats `json:"gc_pause"`
+	Query       HistogramStats `json:"query"`
 }
 
 // ByName returns the named histogram (see Latency.String), ok=false for an
@@ -236,6 +241,8 @@ func (ls LatencySnapshot) ByName(name string) (HistogramStats, bool) {
 		return ls.JobCommit, true
 	case "gc_pause":
 		return ls.GCPause, true
+	case "query":
+		return ls.Query, true
 	}
 	return HistogramStats{}, false
 }
@@ -249,6 +256,7 @@ func (ls LatencySnapshot) Merge(o LatencySnapshot) LatencySnapshot {
 		BarrierWait: ls.BarrierWait.Merge(o.BarrierWait),
 		JobCommit:   ls.JobCommit.Merge(o.JobCommit),
 		GCPause:     ls.GCPause.Merge(o.GCPause),
+		Query:       ls.Query.Merge(o.Query),
 	}
 }
 
@@ -290,5 +298,6 @@ func (o *Observer) latencySnapshot() LatencySnapshot {
 		BarrierWait: build(BarrierWaitLatency),
 		JobCommit:   build(JobCommitLatency),
 		GCPause:     build(GCPauseLatency),
+		Query:       build(QueryLatency),
 	}
 }

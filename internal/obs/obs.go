@@ -78,6 +78,12 @@ const (
 	VersionsPruned
 	// GCPasses counts completed reclaimer passes over all tables.
 	GCPasses
+	// PlanQueries counts relational plan executions started through the
+	// plan layer (internal/plan) — one per Prepared.Execute.
+	PlanQueries
+	// PlanRows counts tuples emitted at the root of plan executions — the
+	// result rows a query actually produced, after all pushdown.
+	PlanRows
 
 	numCounters
 )
@@ -99,6 +105,8 @@ var counterNames = [numCounters]string{
 	"load_sheds",
 	"versions_pruned",
 	"gc_passes",
+	"plan_queries",
+	"plan_rows",
 }
 
 func (c Counter) String() string {
@@ -313,6 +321,8 @@ type CounterTotals struct {
 	LoadSheds            uint64 `json:"load_sheds,omitempty"`
 	VersionsPruned       uint64 `json:"versions_pruned,omitempty"`
 	GCPasses             uint64 `json:"gc_passes,omitempty"`
+	PlanQueries          uint64 `json:"plan_queries,omitempty"`
+	PlanRows             uint64 `json:"plan_rows,omitempty"`
 }
 
 // WorkerStats is one worker's share of the run — the paper's Figure 9
@@ -393,6 +403,8 @@ func (o *Observer) counterTotals() CounterTotals {
 		t.LoadSheds += sh.counts[LoadSheds].Load()
 		t.VersionsPruned += sh.counts[VersionsPruned].Load()
 		t.GCPasses += sh.counts[GCPasses].Load()
+		t.PlanQueries += sh.counts[PlanQueries].Load()
+		t.PlanRows += sh.counts[PlanRows].Load()
 	}
 	t.Rollbacks = t.UserRollbacks + t.StalenessRollbacks
 	return t
@@ -418,6 +430,8 @@ func (t *CounterTotals) Add(o CounterTotals) {
 	t.LoadSheds += o.LoadSheds
 	t.VersionsPruned += o.VersionsPruned
 	t.GCPasses += o.GCPasses
+	t.PlanQueries += o.PlanQueries
+	t.PlanRows += o.PlanRows
 }
 
 // Snapshot aggregates the current telemetry. Safe to call concurrently

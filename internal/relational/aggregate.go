@@ -22,6 +22,7 @@ type hashAggregate struct {
 	kind  AggKind
 	cols  []string
 
+	hint Hints
 	keys []int64
 	accs map[int64]float64
 	pos  int
@@ -38,9 +39,17 @@ func NewHashAggregate(child Op, kind AggKind, keyCol, aggCol string, key func(Tu
 	}
 }
 
+// OpenWith lets the planner pre-size the accumulator table from its group
+// cardinality estimate, avoiding rehashes during Open's build phase.
+func (a *hashAggregate) OpenWith(h Hints) {
+	a.hint = h
+	a.Open()
+	a.hint = Hints{}
+}
+
 func (a *hashAggregate) Open() {
 	a.child.Open()
-	a.accs = make(map[int64]float64)
+	a.accs = make(map[int64]float64, a.hint.BuildRows)
 	for {
 		t, ok := a.child.Next()
 		if !ok {

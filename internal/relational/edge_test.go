@@ -1,0 +1,104 @@
+package relational
+
+import "testing"
+
+// TestHashLeftJoinNullSideSemantics pins down the null-side contract of
+// the left-outer join: every probe row appears at least once; unmatched
+// probe rows appear exactly once with every build column zero; a probe
+// row with k matches appears k times (never an extra null row); build
+// rows without a probe partner never surface.
+func TestHashLeftJoinNullSideSemantics(t *testing.T) {
+	probe := rel([]string{"id", "pv"},
+		[]float64{1, 10}, // unmatched
+		[]float64{2, 20}, // matches twice
+		[]float64{3, 30}, // unmatched
+		[]float64{4, 40}, // matches once
+	)
+	build := rel([]string{"bid", "bv"},
+		[]float64{2, 200}, []float64{2, 201}, []float64{4, 400},
+		[]float64{9, 900}, // no probe partner: must not appear
+	)
+	out := Collect(NewHashLeftJoin(
+		NewScan(probe), NewScan(build),
+		func(t Tuple) int64 { return t.Int64(0) },
+		func(t Tuple) int64 { return t.Int64(0) },
+	))
+	if len(out.Rows) != 5 {
+		t.Fatalf("left join produced %d rows, want 5: %+v", len(out.Rows), out.Rows)
+	}
+	counts := map[int64]int{}
+	for _, r := range out.Rows {
+		id := r.Int64(0)
+		counts[id]++
+		switch id {
+		case 1, 3:
+			// Null side: all build columns must be zero words.
+			if r.Int64(2) != 0 || r.Float64(3) != 0 {
+				t.Fatalf("unmatched row %d has non-zero build cols: %v", id, r)
+			}
+		case 2, 4:
+			if r.Int64(2) != id {
+				t.Fatalf("matched row %d joined to build key %d", id, r.Int64(2))
+			}
+			if bv := r.Float64(3); bv < 100*float64(id) || bv >= 100*float64(id)+100 {
+				t.Fatalf("row %d joined to wrong build row: %v", id, r)
+			}
+		case 9:
+			t.Fatalf("build-only key 9 leaked into left-join output: %v", r)
+		}
+	}
+	want := map[int64]int{1: 1, 2: 2, 3: 1, 4: 1}
+	for id, n := range want {
+		if counts[id] != n {
+			t.Fatalf("probe id %d emitted %d times, want %d", id, counts[id], n)
+		}
+	}
+}
+
+// TestHashLeftJoinEmptyBuild: with an empty build side every probe row is
+// a null-side row, in probe order.
+func TestHashLeftJoinEmptyBuild(t *testing.T) {
+	probe := rel([]string{"id", "pv"}, []float64{5, 50}, []float64{6, 60})
+	build := rel([]string{"bid", "bv"})
+	out := Collect(NewHashLeftJoin(
+		NewScan(probe), NewScan(build),
+		func(t Tuple) int64 { return t.Int64(0) },
+		func(t Tuple) int64 { return t.Int64(0) },
+	))
+	if len(out.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(out.Rows))
+	}
+	for i, r := range out.Rows {
+		if r.Int64(0) != probe.Rows[i].Int64(0) {
+			t.Fatalf("probe order not preserved: %v", out.Rows)
+		}
+		if r.Int64(2) != 0 || r.Float64(3) != 0 {
+			t.Fatalf("null side not zeroed: %v", r)
+		}
+	}
+}
+
+// TestHashAggregateSingleGroup: all input rows collapsing into one group
+// is the other boundary next to empty input — one output row, correct
+// sum/count, and the group key preserved.
+func TestHashAggregateSingleGroup(t *testing.T) {
+	in := rel([]string{"g", "v"},
+		[]float64{7, 1.5}, []float64{7, 2.5}, []float64{7, 4})
+	sum := Collect(NewHashAggregate(NewScan(in), Sum, "g", "total",
+		func(t Tuple) int64 { return t.Int64(0) },
+		func(t Tuple) float64 { return t.Float64(1) }))
+	if len(sum.Rows) != 1 {
+		t.Fatalf("sum groups = %d, want 1: %+v", len(sum.Rows), sum.Rows)
+	}
+	if sum.Rows[0].Int64(0) != 7 || sum.Rows[0].Float64(1) != 8 {
+		t.Fatalf("single-group sum = %v, want (7, 8)", sum.Rows[0])
+	}
+	if sum.Cols[0] != "g" || sum.Cols[1] != "total" {
+		t.Fatalf("output columns = %v", sum.Cols)
+	}
+	cnt := Collect(NewHashAggregate(NewScan(in), Count, "g", "n",
+		func(t Tuple) int64 { return t.Int64(0) }, nil))
+	if len(cnt.Rows) != 1 || cnt.Rows[0].Float64(1) != 3 {
+		t.Fatalf("single-group count = %+v, want one row n=3", cnt.Rows)
+	}
+}

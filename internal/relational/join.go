@@ -9,6 +9,7 @@ type hashJoin struct {
 	buildKey, probeKey func(Tuple) int64
 	outer              bool
 
+	hint       Hints
 	table      map[int64][]Tuple
 	buildWidth int
 	cols       []string
@@ -44,9 +45,17 @@ func newJoin(probe, build Op, probeKey, buildKey func(Tuple) int64, outer bool) 
 	}
 }
 
+// OpenWith lets the planner pre-size the build-side hash table from its
+// cardinality estimate, so Open's build phase never rehashes.
+func (j *hashJoin) OpenWith(h Hints) {
+	j.hint = h
+	j.Open()
+	j.hint = Hints{}
+}
+
 func (j *hashJoin) Open() {
 	j.build.Open()
-	j.table = make(map[int64][]Tuple)
+	j.table = make(map[int64][]Tuple, j.hint.BuildRows)
 	for {
 		t, ok := j.build.Next()
 		if !ok {

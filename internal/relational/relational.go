@@ -10,9 +10,11 @@ package relational
 
 import (
 	"fmt"
+	"sync"
 
 	"db4ml/internal/storage"
 	"db4ml/internal/table"
+	"db4ml/internal/txn"
 )
 
 // Tuple is one row flowing through the operator tree; columns use the same
@@ -23,14 +25,27 @@ type Tuple = storage.Payload
 type Relation struct {
 	Cols []string
 	Rows []Tuple
+
+	// colIdx memoizes Cols name→position on first ColIndex call. Plan
+	// building resolves every expression through ColIndex, so the lookup
+	// must not be a linear search per expression.
+	colOnce sync.Once
+	colIdx  map[string]int
 }
 
-// ColIndex returns the position of the named column.
+// ColIndex returns the position of the named column. The name→index map is
+// built once on first use; callers must not mutate Cols afterwards.
 func (r *Relation) ColIndex(name string) (int, error) {
-	for i, c := range r.Cols {
-		if c == name {
-			return i, nil
+	r.colOnce.Do(func() {
+		r.colIdx = make(map[string]int, len(r.Cols))
+		for i, c := range r.Cols {
+			if _, dup := r.colIdx[c]; !dup {
+				r.colIdx[c] = i
+			}
 		}
+	})
+	if i, ok := r.colIdx[name]; ok {
+		return i, nil
 	}
 	return 0, fmt.Errorf("relational: no column %q", name)
 }
@@ -43,6 +58,33 @@ type Op interface {
 	Next() (Tuple, bool)
 	Close()
 	Columns() []string
+}
+
+// Hints carries planner-derived execution hints into an operator's Open.
+// Operators that can exploit them implement HintedOp; all hints are
+// advisory — a zero Hints behaves exactly like a plain Open.
+type Hints struct {
+	// BuildRows estimates the row count an operator will buffer on Open —
+	// the build side of a hash join, the group universe of a hash
+	// aggregate — so the hash table is allocated once at its final size
+	// instead of growing through rehashes.
+	BuildRows int
+}
+
+// HintedOp is the grown operator API: OpenWith is Open plus planner hints.
+// Callers that hold plain Ops use OpenHinted, which falls back to Open.
+type HintedOp interface {
+	Op
+	OpenWith(Hints)
+}
+
+// OpenHinted opens op with hints when it supports them, else plainly.
+func OpenHinted(op Op, h Hints) {
+	if ho, ok := op.(HintedOp); ok {
+		ho.OpenWith(h)
+		return
+	}
+	op.Open()
 }
 
 // Collect drains op into a materialized relation.
@@ -81,38 +123,92 @@ func (s *scan) Next() (Tuple, bool) {
 }
 
 // tableScan streams the snapshot of an ML-table at a fixed timestamp —
-// the in-database access path of the MADlib baseline.
+// the in-database access path of the MADlib baseline. While open it holds
+// a pin on its read timestamp in the transaction manager's active-snapshot
+// registry: without the pin, the version garbage collector's watermark
+// (txn.Manager.SafeWatermark) only accounts for transactions, and a
+// reclaimer pass during a long scan could prune the very versions the scan
+// still has to visit, making rows silently vanish mid-scan.
 type tableScan struct {
-	tbl  *table.Table
-	ts   storage.Timestamp
-	pos  int
-	n    int
-	cols []string
+	tbl    *table.Table
+	mgr    *txn.Manager
+	ts     storage.Timestamp
+	hint   table.ScanHint
+	pushed bool // serve hint-filtered payloads in place, no clone
+
+	pos    int
+	n      int
+	cols   []string
+	pinned bool
 }
 
 // NewTableScan returns an operator streaming the version of every row of
-// tbl visible at ts.
-func NewTableScan(tbl *table.Table, ts storage.Timestamp) Op {
+// tbl visible at ts. The scan pins ts in mgr's active-snapshot registry
+// for its Open→Close lifetime so version GC can never reclaim versions it
+// still needs; mgr may be nil only for tables no reclaimer runs against
+// (tests without GC).
+func NewTableScan(mgr *txn.Manager, tbl *table.Table, ts storage.Timestamp) Op {
+	return &tableScan{tbl: tbl, mgr: mgr, ts: ts, cols: tableCols(tbl)}
+}
+
+// NewTableScanHinted returns a pushed-down table scan: rows outside the
+// hint's row-id range or failing its single-column predicate are rejected
+// inside the storage layer, against the in-place version payload, and are
+// never materialized. Emitted tuples alias the version payload (valid
+// until the next Next call, per the Op contract) — the scan does not clone
+// at all. Pinning behaves like NewTableScan.
+func NewTableScanHinted(mgr *txn.Manager, tbl *table.Table, ts storage.Timestamp, h table.ScanHint) Op {
+	return &tableScan{tbl: tbl, mgr: mgr, ts: ts, hint: h, pushed: true, cols: tableCols(tbl)}
+}
+
+func tableCols(tbl *table.Table) []string {
 	cols := make([]string, tbl.Schema().Width())
 	for i, c := range tbl.Schema().Columns() {
 		cols[i] = c.Name
 	}
-	return &tableScan{tbl: tbl, ts: ts, cols: cols}
+	return cols
 }
 
 func (s *tableScan) Open() {
-	s.pos = 0
+	if s.mgr != nil && !s.pinned {
+		s.mgr.PinAt(s.ts)
+		s.pinned = true
+	}
+	s.pos = int(s.hint.Lo)
 	s.n = s.tbl.NumRows()
+	if s.pushed && s.hint.Hi != 0 && int(s.hint.Hi) < s.n {
+		s.n = int(s.hint.Hi)
+	}
 }
-func (s *tableScan) Close()            {}
+
+func (s *tableScan) Close() {
+	if s.pinned {
+		s.pinned = false
+		s.mgr.UnpinSnapshot(s.ts)
+	}
+}
+
 func (s *tableScan) Columns() []string { return s.cols }
+
 func (s *tableScan) Next() (Tuple, bool) {
 	for s.pos < s.n {
 		row := table.RowID(s.pos)
 		s.pos++
-		if p, ok := s.tbl.Read(row, s.ts); ok {
-			return p, true
+		if !s.pushed {
+			if p, ok := s.tbl.Read(row, s.ts); ok {
+				return p, true
+			}
+			continue
 		}
+		c := s.tbl.Chain(row)
+		if c == nil {
+			continue
+		}
+		rec, ok := c.VisibleMatch(s.ts, s.hint.Col, s.hint.Test)
+		if !ok {
+			continue
+		}
+		return rec.Payload, true
 	}
 	return nil, false
 }

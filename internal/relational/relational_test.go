@@ -216,7 +216,7 @@ func TestTableScanSnapshot(t *testing.T) {
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	out := Collect(NewTableScan(tbl, snapTS))
+	out := Collect(NewTableScan(m, tbl, snapTS))
 	if len(out.Rows) != 5 {
 		t.Fatalf("scan rows = %d", len(out.Rows))
 	}
@@ -226,7 +226,7 @@ func TestTableScanSnapshot(t *testing.T) {
 	if out.Cols[0] != "NodeID" || out.Cols[1] != "PR" {
 		t.Fatalf("scan columns = %v", out.Cols)
 	}
-	now := Collect(NewTableScan(tbl, m.Stable()))
+	now := Collect(NewTableScan(m, tbl, m.Stable()))
 	if now.Rows[0].Float64(1) != 99 {
 		t.Fatal("current scan missed the commit")
 	}

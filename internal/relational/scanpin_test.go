@@ -1,0 +1,151 @@
+package relational
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"db4ml/internal/gc"
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+	"db4ml/internal/txn"
+)
+
+// pinFixture loads a Val-column table, takes a snapshot, then supersedes
+// every row so the snapshot's versions are prunable the moment nothing
+// pins them.
+func pinFixture(t *testing.T, rows int) (*txn.Manager, *table.Table, storage.Timestamp, *gc.Reclaimer) {
+	t.Helper()
+	m := txn.NewManager()
+	tbl := table.New("T", table.MustSchema(
+		table.Column{Name: "ID", Type: table.Int64},
+		table.Column{Name: "Val", Type: table.Float64},
+	))
+	m.PublishAt(func(ts storage.Timestamp) {
+		p := tbl.Schema().NewPayload()
+		for i := 0; i < rows; i++ {
+			p.SetInt64(0, int64(i))
+			p.SetFloat64(1, 1)
+			if _, err := tbl.Append(ts, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	snap := m.Stable()
+	tx := m.Begin()
+	for i := 0; i < rows; i++ {
+		p, ok := tx.Read(tbl, table.RowID(i))
+		if !ok {
+			t.Fatalf("row %d unreadable", i)
+		}
+		p.SetFloat64(1, 2)
+		if err := tx.Write(tbl, table.RowID(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r := gc.New(m, func() []*table.Table { return []*table.Table{tbl} })
+	return m, tbl, snap, r
+}
+
+// TestTableScanPinsSnapshotAgainstGC is the conviction test for the scan
+// pinning bugfix: a GC pass in the middle of an open snapshot scan must
+// not reclaim the versions the scan still has to visit. Before the fix,
+// NewTableScan read at a fixed timestamp without registering it in the
+// manager's active-snapshot registry, so the reclaimer's watermark (which
+// only saw transactions) advanced past the scan and Prune cut the very
+// versions it was reading — rows silently vanished mid-scan.
+func TestTableScanPinsSnapshotAgainstGC(t *testing.T) {
+	const rows = 64
+	m, tbl, snap, r := pinFixture(t, rows)
+
+	scan := NewTableScan(m, tbl, snap)
+	scan.Open()
+	seen := 0
+	for ; seen < rows/2; seen++ {
+		tup, ok := scan.Next()
+		if !ok {
+			t.Fatalf("scan ended early at %d", seen)
+		}
+		if got := tup.Float64(1); got != 1 {
+			t.Fatalf("row %d: Val = %v, want snapshot value 1", seen, got)
+		}
+	}
+
+	// Mid-scan GC pass: the scan's pin must clamp the watermark to snap.
+	if st := r.Pass(); st.Pruned != 0 {
+		t.Fatalf("reclaimer pruned %d versions under a pinned scan", st.Pruned)
+	}
+	if w := m.SafeWatermark(); w > snap {
+		t.Fatalf("safe watermark %d advanced past pinned scan snapshot %d", w, snap)
+	}
+
+	for {
+		tup, ok := scan.Next()
+		if !ok {
+			break
+		}
+		if got := tup.Float64(1); got != 1 {
+			t.Fatalf("row %d: Val = %v after GC pass, want 1", seen, got)
+		}
+		seen++
+	}
+	if seen != rows {
+		t.Fatalf("scan saw %d rows, want %d (GC reclaimed under the scan)", seen, rows)
+	}
+	scan.Close()
+
+	// Close released the pin: now the superseded versions are fair game.
+	if st := r.Pass(); st.Pruned == 0 {
+		t.Fatal("reclaimer pruned nothing after the scan unpinned")
+	}
+}
+
+// TestSlowScanSurvivesAggressiveReclaimer hammers a deliberately slow scan
+// with a reclaimer pass every 100µs — the satellite's conviction setup.
+// With the lifetime pin this can never lose a row; on the unpinned code it
+// reliably did.
+func TestSlowScanSurvivesAggressiveReclaimer(t *testing.T) {
+	const rows = 48
+	m, tbl, snap, r := pinFixture(t, rows)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(100 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				r.Pass()
+			}
+		}
+	}()
+
+	scan := NewTableScan(m, tbl, snap)
+	scan.Open()
+	seen := 0
+	for {
+		tup, ok := scan.Next()
+		if !ok {
+			break
+		}
+		if got := tup.Float64(1); got != 1 {
+			t.Fatalf("row %d: Val = %v, want snapshot value 1", seen, got)
+		}
+		seen++
+		time.Sleep(200 * time.Microsecond) // slow consumer: many GC passes per scan
+	}
+	scan.Close()
+	close(stop)
+	wg.Wait()
+	if seen != rows {
+		t.Fatalf("slow scan saw %d rows, want %d", seen, rows)
+	}
+}

@@ -151,6 +151,25 @@ func (c *VersionChain) VisibleAt(ts Timestamp) *Record {
 	return nil
 }
 
+// VisibleMatch resolves the version visible at ts and evaluates an
+// optional single-column predicate against its payload in place — the
+// storage-level half of scan predicate pushdown. Rows whose visible
+// version is absent, deleted, or fails the predicate are rejected here,
+// before any payload is cloned or handed up the operator tree, so a
+// selective scan never materializes the tuples it filters out. test
+// receives the raw 64-bit column word (the caller compiles the comparison
+// against the column's declared type); nil means "no predicate".
+func (c *VersionChain) VisibleMatch(ts Timestamp, col int, test func(word uint64) bool) (*Record, bool) {
+	rec := c.VisibleAt(ts)
+	if rec == nil || rec.Deleted {
+		return nil, false
+	}
+	if test != nil && !test(rec.Payload[col]) {
+		return rec, false
+	}
+	return rec, true
+}
+
 // Prune garbage-collects versions that no transaction reading at or after
 // watermark can see: it finds the newest version with Begin <= watermark
 // and cuts its Prev link, returning the number of versions dropped. When

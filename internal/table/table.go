@@ -135,6 +135,61 @@ func (t *Table) Scan(ts storage.Timestamp, fn func(row RowID, payload storage.Pa
 	}
 }
 
+// ScanHint restricts a table scan — the table-level half of predicate
+// pushdown. The planner (internal/plan) compiles a query's pushable
+// conjuncts into one of these so filtered rows are rejected inside the
+// scan, against the in-place version payload, instead of being
+// materialized and discarded by a filter operator above.
+type ScanHint struct {
+	// Lo and Hi bound the scanned row ids to the half-open range [Lo, Hi);
+	// Hi == 0 means "through the last row".
+	Lo, Hi RowID
+	// Col and Test are an optional single-column predicate: Test receives
+	// the raw 64-bit word of column Col of the visible version and decides
+	// membership without any payload copy. nil Test scans unconditionally.
+	Col  int
+	Test func(word uint64) bool
+}
+
+// ScanFiltered calls fn with every row in h's row-id range whose version
+// visible at ts passes h's predicate, in RowID order, stopping early if fn
+// returns false. Payloads are passed in place (not cloned) and are valid
+// only inside fn, exactly like Scan; rows rejected by the predicate are
+// never materialized at all (storage.VersionChain.VisibleMatch).
+func (t *Table) ScanFiltered(ts storage.Timestamp, h ScanHint, fn func(row RowID, payload storage.Payload) bool) {
+	hi := RowID(t.NumRows())
+	if h.Hi != 0 && h.Hi < hi {
+		hi = h.Hi
+	}
+	for i := h.Lo; i < hi; i++ {
+		c := t.Chain(i)
+		if c == nil {
+			continue
+		}
+		rec, ok := c.VisibleMatch(ts, h.Col, h.Test)
+		if !ok {
+			continue
+		}
+		if !fn(i, rec.Payload) {
+			return
+		}
+	}
+}
+
+// RowsInRange returns the number of row slots a ScanHint's range covers —
+// the planner's cardinality upper bound for hash-join build-side
+// pre-sizing.
+func (t *Table) RowsInRange(h ScanHint) int {
+	hi := RowID(t.NumRows())
+	if h.Hi != 0 && h.Hi < hi {
+		hi = h.Hi
+	}
+	if h.Lo >= hi {
+		return 0
+	}
+	return int(hi - h.Lo)
+}
+
 // CreateHashIndex builds a hash index on column col over all current rows
 // using their newest committed versions, then maintains it on Append.
 func (t *Table) CreateHashIndex(col string) error {

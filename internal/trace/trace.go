@@ -62,6 +62,12 @@ const (
 	// KindGC marks one version-GC reclaimer pass; Arg is the number of
 	// versions pruned.
 	KindGC
+	// KindPlan spans one relational plan execution (internal/plan), from
+	// Execute to cursor close; Arg is the number of result rows emitted.
+	KindPlan
+	// KindPlanOp spans one operator's Open→Close lifetime within a plan
+	// execution; Arg is the operator's rows-out count.
+	KindPlanOp
 
 	numKinds
 )
@@ -78,6 +84,7 @@ const (
 var kindNames = [numKinds]string{
 	"job", "batch", "barrier", "queue-wait", "steal",
 	"retry", "abort", "fault", "commit", "gc",
+	"plan", "plan-op",
 }
 
 func (k Kind) String() string {

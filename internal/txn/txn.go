@@ -90,7 +90,23 @@ func (m *Manager) PinSnapshot() storage.Timestamp {
 	return ts
 }
 
-// UnpinSnapshot releases one PinSnapshot registration of ts.
+// PinAt registers an active reader on the given timestamp without reading
+// the stable watermark — the pin long-running scans (relational table
+// scans, query plans) take around their whole lifetime so the version
+// garbage collector cannot reclaim the versions they still have to visit.
+// Unlike PinSnapshot, the caller chooses ts, and with that inherits an
+// obligation: ts must still be at or above SafeWatermark when PinAt runs,
+// which in practice means it was obtained while another pin covered it (a
+// transaction's snapshot, an uber-transaction's begin, an enclosing query
+// pin) or is the current stable timestamp read moments ago on a path where
+// no GC pass can interleave. Release with UnpinSnapshot(ts).
+func (m *Manager) PinAt(ts storage.Timestamp) {
+	m.snapMu.Lock()
+	m.pins[ts]++
+	m.snapMu.Unlock()
+}
+
+// UnpinSnapshot releases one PinSnapshot (or PinAt) registration of ts.
 func (m *Manager) UnpinSnapshot(ts storage.Timestamp) {
 	m.snapMu.Lock()
 	if n := m.pins[ts]; n <= 1 {

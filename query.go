@@ -1,0 +1,352 @@
+package db4ml
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"db4ml/internal/obs"
+	"db4ml/internal/plan"
+	"db4ml/internal/relational"
+	"db4ml/internal/resilience"
+	"db4ml/internal/trace"
+)
+
+// The declarative query layer (internal/plan), re-exported. Build a
+// logical plan from the node constructors, then run it through
+// PrepareQuery (streaming cursor) or SubmitQuery/RunQuery (supervised,
+// materialized, sharing the ML jobs' admission gate, deadline, and retry
+// machinery). See DESIGN.md §14.
+type (
+	// Plan is one logical plan node; trees are built with Scan, Filter,
+	// Join, Iterate, and friends.
+	Plan = plan.Node
+	// QueryPred is a filter conjunct (IntCmp, FloatCmp, RowRange, ...).
+	QueryPred = plan.Pred
+	// Scalar is a projection/aggregation expression (Col, Const, Add, ...).
+	Scalar = plan.Scalar
+	// IterateSpec describes an iterate node's embedded ML job.
+	IterateSpec = plan.IterateSpec
+	// PreparedQuery is a validated, rewritten plan ready to Execute.
+	PreparedQuery = plan.Prepared
+	// QueryCursor streams a prepared query's result tuples.
+	QueryCursor = plan.Cursor
+	// QueryOpStat is one operator's rows-in/rows-out account.
+	QueryOpStat = plan.OpStat
+	// IterStats is the executor account of one iterate node's ML job.
+	IterStats = plan.IterStats
+	// Relation is a materialized query result.
+	Relation = relational.Relation
+	// Tuple is one result row.
+	Tuple = relational.Tuple
+	// AggKind selects the aggregation function (Sum, Count).
+	AggKind = relational.AggKind
+	// CmpOp is a predicate comparison operator (Eq, Lt, Ge, ...).
+	CmpOp = plan.CmpOp
+)
+
+// Plan node constructors, predicates, and expressions (see internal/plan).
+var (
+	Scan      = plan.Scan
+	Static    = plan.Static
+	Filter    = plan.Filter
+	Project   = plan.Project
+	Join      = plan.Join
+	LeftJoin  = plan.LeftJoin
+	Aggregate = plan.Aggregate
+	SortBy    = plan.SortBy
+	Limit     = plan.Limit
+	Iterate   = plan.Iterate
+
+	IntCmp    = plan.IntCmp
+	FloatCmp  = plan.FloatCmp
+	ColTest   = plan.ColTest
+	TuplePred = plan.TuplePred
+	RowRange  = plan.RowRange
+
+	Col   = plan.Col
+	Const = plan.Const
+	Add   = plan.Add
+	Sub   = plan.Sub
+	Mul   = plan.Mul
+	Div   = plan.Div
+)
+
+// Aggregation kinds.
+const (
+	Sum   = relational.Sum
+	Count = relational.Count
+)
+
+// Predicate comparison operators.
+const (
+	Eq = plan.Eq
+	Ne = plan.Ne
+	Lt = plan.Lt
+	Le = plan.Le
+	Gt = plan.Gt
+	Ge = plan.Ge
+)
+
+// QueryRun describes one supervised query execution.
+type QueryRun struct {
+	// Plan is the logical plan to run.
+	Plan *Plan
+	// Deadline is the query's wall-clock budget; past it the run is
+	// cancelled and Wait reports ErrJobDeadline. 0 uses the database
+	// default (WithDeadline), which may itself be disabled.
+	Deadline time.Duration
+	// Retry overrides the database's abort-retry policy for this query;
+	// nil inherits the default. Retrying is safe: a failed execution's
+	// iterate jobs aborted without publishing, and pure reads have no
+	// side effects.
+	Retry *RetryPolicy
+	// Observer, when non-nil, receives the query's counters
+	// (plan_queries, plan_rows) and latency histogram. nil keeps
+	// telemetry disabled — unless a debug server auto-attaches one.
+	Observer *Observer
+	// Tracer, when non-nil, records the query's plan/operator spans; nil
+	// inherits the debug server's shared tracer when one is enabled.
+	Tracer *Tracer
+	// NoPushdown disables predicate pushdown, NoPresize disables hash
+	// build pre-sizing — baseline switches for comparisons.
+	NoPushdown bool
+	NoPresize  bool
+}
+
+// QueryHandle tracks one in-flight SubmitQuery. Like JobHandle, one handle
+// spans every retry attempt and Wait resolves only when the final attempt
+// produced a result or failed terminally.
+type QueryHandle struct {
+	done       chan struct{}
+	cancelOnce sync.Once
+	cancelCh   chan struct{}
+	attempts   atomic.Int32
+
+	result *Relation
+	stats  []QueryOpStat
+	iters  []IterStats
+	err    error
+}
+
+// Wait blocks until the query finished and returns the materialized
+// result.
+func (h *QueryHandle) Wait() (*Relation, error) {
+	<-h.done
+	return h.result, h.err
+}
+
+// Cancel stops the query: streaming halts at the next stride check, any
+// in-flight iterate job is cancelled and aborted, and Wait reports
+// ErrJobCancelled.
+func (h *QueryHandle) Cancel() { h.cancelOnce.Do(func() { close(h.cancelCh) }) }
+
+// Attempts returns how many times the query has been executed so far.
+func (h *QueryHandle) Attempts() int { return int(h.attempts.Load()) }
+
+// Done returns a channel closed when the query is finished.
+func (h *QueryHandle) Done() <-chan struct{} { return h.done }
+
+// Stats returns the final execution's per-operator row counts; valid after
+// Wait.
+func (h *QueryHandle) Stats() []QueryOpStat { return h.stats }
+
+// IterStats returns the final execution's iterate-node accounts (one per
+// embedded ML job); valid after Wait.
+func (h *QueryHandle) IterStats() []IterStats { return h.iters }
+
+// queryEnv assembles a plan.Env from the database's engine state plus the
+// per-run overrides, mirroring how SubmitML resolves its JobConfig.
+func (db *DB) queryEnv(run QueryRun) plan.Env {
+	env := plan.Env{
+		Mgr:        db.mgr,
+		Pool:       db.pool,
+		Obs:        run.Observer,
+		Tracer:     run.Tracer,
+		Job:        db.queryID.Add(1),
+		NoPushdown: run.NoPushdown,
+		NoPresize:  run.NoPresize,
+	}
+	if env.Tracer == nil {
+		env.Tracer = db.tracer
+	}
+	return env
+}
+
+// PrepareQuery validates and plans p against this database, returning the
+// prepared form for streaming execution:
+//
+//	prep, _ := db.PrepareQuery(db4ml.Filter(db4ml.Scan(tbl), pred))
+//	cur, _ := prep.Execute(ctx)
+//	defer cur.Close()
+//	for t, ok := cur.Next(); ok; t, ok = cur.Next() { ... }
+//
+// PrepareQuery is the unsupervised path: no admission gate, deadline, or
+// retry — the caller owns the cursor's lifetime. Use SubmitQuery/RunQuery
+// for supervised, materialized execution.
+func (db *DB) PrepareQuery(p *Plan) (*PreparedQuery, error) {
+	return plan.Prepare(p, db.queryEnv(QueryRun{}))
+}
+
+// SubmitQuery starts one supervised query execution and returns without
+// waiting. The query shares the ML jobs' supervision machinery: admission
+// through the same WithMaxInflight gate, the database's default deadline,
+// and the abort-retry policy (safe — a failed execution published
+// nothing). The result is fully materialized into the handle.
+func (db *DB) SubmitQuery(ctx context.Context, run QueryRun) (*QueryHandle, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	db.handles.Add(1)
+	db.mu.Unlock()
+
+	if err := db.gate.Acquire(ctx, db.admitWait); err != nil {
+		db.handles.Done()
+		if run.Observer != nil && err == resilience.ErrOverloaded {
+			run.Observer.Inc(0, obs.LoadSheds)
+		}
+		return nil, err
+	}
+
+	env := db.queryEnv(run)
+	if db.agg != nil {
+		if env.Obs == nil {
+			env.Obs = obs.New()
+		}
+		db.agg.Attach(env.Obs)
+	}
+	prep, err := plan.Prepare(run.Plan, env)
+	if err != nil {
+		if db.agg != nil {
+			db.agg.Complete(env.Obs)
+		}
+		db.gate.Release()
+		db.handles.Done()
+		return nil, err
+	}
+	deadline := run.Deadline
+	if deadline <= 0 {
+		deadline = db.deadline
+	}
+	policy := db.retry
+	if run.Retry != nil {
+		policy = *run.Retry
+	}
+
+	h := &QueryHandle{done: make(chan struct{}), cancelCh: make(chan struct{})}
+	go db.superviseQuery(ctx, h, prep, env, deadline, policy)
+	return h, nil
+}
+
+// superviseQuery drives one SubmitQuery handle to resolution, reusing the
+// supervision vocabulary of the ML path: wall-clock deadline via context,
+// cancellation, and policy-driven retry with deterministic backoff.
+func (db *DB) superviseQuery(ctx context.Context, h *QueryHandle, prep *PreparedQuery,
+	env plan.Env, deadline time.Duration, policy RetryPolicy) {
+	defer db.handles.Done()
+	defer db.gate.Release()
+	if db.agg != nil {
+		defer db.agg.Complete(env.Obs)
+	}
+	defer close(h.done)
+
+	token := env.Job
+	for attempt := 1; ; attempt++ {
+		h.attempts.Store(int32(attempt))
+		var qctx context.Context
+		var cancel context.CancelFunc
+		if deadline > 0 {
+			qctx, cancel = context.WithTimeout(ctx, deadline)
+		} else {
+			qctx, cancel = context.WithCancel(ctx)
+		}
+		watcherDone := make(chan struct{})
+		go func() {
+			select {
+			case <-h.cancelCh:
+				cancel()
+			case <-watcherDone:
+			}
+		}()
+		rel, stats, iters, err := runOnce(qctx, prep)
+		close(watcherDone)
+		cancel()
+		switch {
+		case err == nil:
+			h.result, h.stats, h.iters = rel, stats, iters
+			return
+		case cancelled(h.cancelCh):
+			h.err = ErrJobCancelled
+			return
+		case ctx.Err() != nil:
+			h.err = ctx.Err()
+			return
+		case errors.Is(err, context.DeadlineExceeded):
+			// The per-query budget expired: same verdict as an ML job that
+			// outran WithDeadline.
+			if env.Obs != nil {
+				env.Obs.Inc(0, obs.DeadlineAborts)
+			}
+			env.Tracer.Instant(0, trace.KindAbort, env.Job, trace.AbortDeadline)
+			h.err = ErrJobDeadline
+			return
+		}
+		delay, retry := policy.ShouldRetryFor(token, err, attempt)
+		if !retry {
+			h.err = err
+			return
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			h.err = ctx.Err()
+			return
+		case <-h.cancelCh:
+			timer.Stop()
+			h.err = err
+			return
+		}
+		if env.Obs != nil {
+			env.Obs.Add(0, obs.Retries, 1)
+		}
+		env.Tracer.Instant(0, trace.KindRetry, env.Job, int64(attempt+1))
+	}
+}
+
+// runOnce executes the prepared plan once and materializes the result.
+func runOnce(ctx context.Context, prep *PreparedQuery) (*Relation, []QueryOpStat, []IterStats, error) {
+	cur, err := prep.Execute(ctx)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer cur.Close()
+	out := &Relation{Cols: append([]string(nil), prep.Columns()...)}
+	for {
+		t, ok := cur.Next()
+		if !ok {
+			break
+		}
+		out.Rows = append(out.Rows, t.Clone())
+	}
+	if err := cur.Err(); err != nil {
+		return nil, nil, nil, err
+	}
+	cur.Close()
+	return out, cur.Stats(), cur.IterStats(), nil
+}
+
+// RunQuery executes one query and blocks until its materialized result is
+// ready — SubmitQuery followed by Wait.
+func (db *DB) RunQuery(ctx context.Context, run QueryRun) (*Relation, error) {
+	h, err := db.SubmitQuery(ctx, run)
+	if err != nil {
+		return nil, err
+	}
+	return h.Wait()
+}
