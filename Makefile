@@ -1,5 +1,5 @@
 # Tier-1 gate: everything `make check` runs must stay green.
-.PHONY: check build vet test test-race-short bench-smoke chaos fuzz resilience staticcheck obs gc plan
+.PHONY: check build vet test test-race-short bench-smoke chaos fuzz resilience staticcheck obs gc plan shard
 
 check: build vet test test-race-short
 
@@ -72,6 +72,22 @@ plan:
 	go test -race -run 'Query|PageRankViaIterate|IterateComposes' .
 	go test -race -run 'TestTableScanPinsSnapshotAgainstGC|TestSlowScanSurvivesAggressiveReclaimer' ./internal/relational
 	go run ./cmd/db4ml-bench -exp plan -quick
+
+# Sharding gate: the shard package (router/table/coordinator/rendezvous,
+# including the Route-vs-Repartition and Submit-vs-Close race tests) and
+# the sharded facade tests under the race detector, the cross-shard
+# invariant sweep (2PC atomicity + cross-shard staleness checkers over 36+
+# chaos schedules) with its conviction tests, the scatter-gather plan
+# tests, then a quick pass of the shard experiment (the identical-result
+# and atomic-commit invariants are asserted inside the experiment). The
+# committed BENCH_SHARD.json comes from the full run:
+#   go run ./cmd/db4ml-bench -exp shard -runs 5 -benchjson BENCH_SHARD.json
+shard:
+	go test -race ./internal/shard
+	go test -race -run 'TestSharded' .
+	go test -race -run 'TestShardInvariantSweep|TestShardFaultFreeControl|TestCheckerCatchesSplitBrainCommit|TestCheckerCatchesBrokenCrossShardStaleness' ./internal/check
+	go test -race -run 'TestScatterGather' ./internal/plan
+	go run ./cmd/db4ml-bench -exp shard -quick
 
 # Optional deeper static analysis; no-op when staticcheck is not on PATH
 # (the container image does not bake it in, CI installs it).

@@ -37,6 +37,7 @@ import (
 	"db4ml/internal/itx"
 	"db4ml/internal/numa"
 	"db4ml/internal/obs"
+	"db4ml/internal/partition"
 	"db4ml/internal/resilience"
 	"db4ml/internal/storage"
 	"db4ml/internal/table"
@@ -250,6 +251,8 @@ type openConfig struct {
 	degrade     func(pressure float64, batch int) int
 	debugAddr   string
 	gcInterval  time.Duration
+	shards      int
+	shardScheme partition.Scheme
 }
 
 // WithWorkers sets the size of the database's worker pool (default
@@ -601,6 +604,12 @@ type MLRun struct {
 	// RegionOf routes sub-transaction i to a NUMA region; nil spreads
 	// round-robin.
 	RegionOf func(i int) int
+	// ShardOf routes sub-transaction i to a shard (sharded databases only;
+	// single-kernel runs ignore it). nil uses the default placement: sub i
+	// runs on the shard owning global row i of the run's first attached
+	// table — the convention of the built-in algorithms, whose sub i owns
+	// row i.
+	ShardOf func(i int) int
 	// IterationHook runs before every sub-transaction execution
 	// (experiments use it to inject stragglers).
 	IterationHook func(worker int)

@@ -37,6 +37,12 @@ type Report struct {
 	BarrierChecked int
 	// VisibilityChecked counts probe events examined.
 	VisibilityChecked int
+	// AtomicityChecked counts per-shard uber-outcome events examined by the
+	// 2PC atomicity checker (distributed runs only).
+	AtomicityChecked int
+	// CrossShardChecked counts committed validations of cross-shard reads
+	// examined against the staleness bound (distributed runs only).
+	CrossShardChecked int
 }
 
 // Ok reports whether no contract was violated.
@@ -44,6 +50,16 @@ func (r Report) Ok() bool { return len(r.Violations) == 0 }
 
 func (r *Report) add(contract string, e Event, format string, args ...any) {
 	r.Violations = append(r.Violations, Violation{Contract: contract, Event: e, Msg: fmt.Sprintf(format, args...)})
+}
+
+// merge folds another report's violations and evidence counters into r.
+func (r *Report) merge(o Report) {
+	r.Violations = append(r.Violations, o.Violations...)
+	r.StalenessChecked += o.StalenessChecked
+	r.BarrierChecked += o.BarrierChecked
+	r.VisibilityChecked += o.VisibilityChecked
+	r.AtomicityChecked += o.AtomicityChecked
+	r.CrossShardChecked += o.CrossShardChecked
 }
 
 // CheckStaleness validates contract 1 on job's events: every read a

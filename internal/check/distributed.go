@@ -1,0 +1,182 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"db4ml/internal/isolation"
+	"db4ml/internal/storage"
+)
+
+// This file extends the checkers to distributed (sharded) runs. A
+// distributed uber-transaction is recorded as one History shared by every
+// shard: shard i's job events arrive through a ShardJob recorder labelled
+// ShardLabel(base, i) with the shard id stamped on each event, record
+// ownership is declared with TagRecordOwner, and the coordinator's global
+// outcome lands once per shard recorder. Two contracts join the paper's
+// three:
+//
+//  4. 2PC atomicity: every shard of an uber-transaction reaches the same
+//     outcome — no shard commits a run another shard aborted — and all
+//     committing shards publish at one shared-oracle timestamp.
+//  5. Cross-shard bounded staleness: a committed read of a record owned by
+//     another shard respects the same staleness bound S as local reads;
+//     sharding must not widen the window.
+
+// ShardLabel returns the per-shard job label convention the distributed
+// harness uses: "<base>@s<shard>".
+func ShardLabel(base string, shard int) string {
+	return fmt.Sprintf("%s@s%d", base, shard)
+}
+
+// MergeShards rewrites per-shard job labels ("<base>@s<i>", i < shards)
+// back to the base label, returning a copy of the log in which the
+// distributed run reads as one logical job. Probes and any other events
+// already recorded under the base label pass through unchanged, so the
+// single-job checkers (visibility in particular) apply directly to the
+// merged log.
+func MergeShards(events []Event, base string, shards int) []Event {
+	labels := make(map[string]bool, shards)
+	for i := 0; i < shards; i++ {
+		labels[ShardLabel(base, i)] = true
+	}
+	out := make([]Event, len(events))
+	for i, e := range events {
+		if labels[e.Job] {
+			e.Job = base
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// CheckUberAtomicity validates contract 4 on a distributed run's events:
+// replaying every shard's uber-outcome events, all shards must agree —
+// a shard may not record both a commit and an abort, no shard may commit
+// when a sibling aborted (or recorded no outcome at all), and every
+// committing shard must carry the same global commit timestamp.
+func CheckUberAtomicity(events []Event, base string, shards int) Report {
+	var rep Report
+	type outcome struct {
+		committed, aborted bool
+		ts                 storage.Timestamp
+		ev                 Event
+	}
+	outs := make([]outcome, shards)
+	label := make(map[string]int, shards)
+	for i := 0; i < shards; i++ {
+		label[ShardLabel(base, i)] = i
+	}
+	for _, e := range events {
+		if e.Kind != KindUberCommit && e.Kind != KindUberAbort {
+			continue
+		}
+		i, ok := label[e.Job]
+		if !ok {
+			continue
+		}
+		rep.AtomicityChecked++
+		o := &outs[i]
+		switch e.Kind {
+		case KindUberCommit:
+			if o.aborted {
+				rep.add("2pc-atomicity", e, "shard %d committed at ts %d after recording an abort", i, e.TS)
+			}
+			if o.committed && o.ts != e.TS {
+				rep.add("2pc-atomicity", e,
+					"shard %d committed twice at differing timestamps %d and %d", i, o.ts, e.TS)
+			}
+			o.committed, o.ts, o.ev = true, e.TS, e
+		case KindUberAbort:
+			if o.committed {
+				rep.add("2pc-atomicity", e, "shard %d aborted after committing at ts %d", i, o.ts)
+			}
+			o.aborted, o.ev = true, e
+		}
+	}
+	// Cross-shard agreement: if any shard committed, every shard must have
+	// committed, and at the same timestamp.
+	firstCommit := -1
+	for i := range outs {
+		if outs[i].committed {
+			firstCommit = i
+			break
+		}
+	}
+	if firstCommit >= 0 {
+		ref := outs[firstCommit]
+		for i := range outs {
+			switch {
+			case outs[i].aborted:
+				rep.add("2pc-atomicity", outs[i].ev,
+					"shard %d aborted an uber-transaction shard %d committed at ts %d", i, firstCommit, ref.ts)
+			case !outs[i].committed:
+				rep.add("2pc-atomicity", ref.ev,
+					"shard %d recorded no outcome for an uber-transaction shard %d committed at ts %d",
+					i, firstCommit, ref.ts)
+			case outs[i].ts != ref.ts:
+				rep.add("2pc-atomicity", outs[i].ev,
+					"shard %d committed at ts %d but shard %d committed at ts %d — not one atomic publish",
+					i, outs[i].ts, firstCommit, ref.ts)
+			}
+		}
+	}
+	return rep
+}
+
+// CheckCrossShardStaleness validates contract 5: committed validations of
+// reads that crossed a shard boundary (the reading event's shard differs
+// from the record's owner per the owners map) must respect the staleness
+// bound S, exactly as local reads must. Local reads are left to
+// CheckStaleness; records without a tagged owner are skipped.
+func CheckCrossShardStaleness(events []Event, base string, owners map[int]int, s uint64) Report {
+	var rep Report
+	prefix := base + "@s"
+	for _, e := range events {
+		if e.Kind != KindValidation || !e.Committed || e.Shard < 0 || !strings.HasPrefix(e.Job, prefix) {
+			continue
+		}
+		owner, ok := owners[e.Rec]
+		if !ok || owner == e.Shard {
+			continue
+		}
+		rep.CrossShardChecked++
+		if e.Latest > e.ReadIter && e.Latest-e.ReadIter > s {
+			rep.add("cross-shard-staleness", e,
+				"shard %d committed a read of shard %d's record %d at iteration %d with counter %d: staleness %d exceeds bound %d",
+				e.Shard, owner, e.Rec, e.ReadIter, e.Latest, e.Latest-e.ReadIter, s)
+		}
+	}
+	return rep
+}
+
+// CheckDistributed runs every contract applicable to a distributed run and
+// merges the reports: the per-shard level contracts (staleness or the
+// barrier replay, per shard label — under a global barrier the per-shard
+// replay also convicts cross-shard drift, since a read observing a sibling
+// shard's future-round install violates ReadIter <= round), 2PC atomicity
+// across shards, cross-shard staleness under the bounded level, and — when
+// a rule is given — visibility over the merged log.
+func CheckDistributed(events []Event, base string, shards int, opts isolation.Options, owners map[int]int, rule *VisibilityRule) Report {
+	var rep Report
+	for i := 0; i < shards; i++ {
+		label := ShardLabel(base, i)
+		switch opts.Level {
+		case isolation.BoundedStaleness:
+			rep.merge(CheckStaleness(events, label, opts.Staleness))
+		case isolation.Synchronous:
+			rep.merge(CheckSyncBarrier(events, label))
+		}
+	}
+	rep.merge(CheckUberAtomicity(events, base, shards))
+	if opts.Level == isolation.BoundedStaleness {
+		rep.merge(CheckCrossShardStaleness(events, base, owners, opts.Staleness))
+	}
+	if rule != nil {
+		merged := MergeShards(events, base, shards)
+		vis := CheckVisibility(merged, base, *rule)
+		rep.Violations = append(rep.Violations, vis.Violations...)
+		rep.VisibilityChecked += vis.VisibilityChecked
+	}
+	return rep
+}

@@ -1,0 +1,266 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"db4ml/internal/chaos"
+	"db4ml/internal/exec"
+	"db4ml/internal/isolation"
+	"db4ml/internal/partition"
+	"db4ml/internal/shard"
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+)
+
+// ShardTrialConfig describes one distributed chaos trial: the counter-ring
+// workload of RunTrial spread over a shard cluster and driven through the
+// coordinator's distributed uber-transaction, with an independently seeded
+// fault schedule per shard. The same (Seed, Level, Shards, Workers, Chaos)
+// tuple replays the same per-shard fault schedules.
+type ShardTrialConfig struct {
+	// Seed drives the fault injectors; shard i's injector is seeded
+	// Seed+i, so shards fault independently but reproducibly.
+	Seed int64
+	// Level is the isolation level under test. Synchronous trials run with
+	// the coordinator's global barrier.
+	Level isolation.Options
+	// Shards is the cluster size.
+	Shards int
+	// Workers sizes each shard's worker pool (per shard, not total).
+	Workers int
+	// Subs is the global ring size; sub i owns global row i and runs on
+	// the shard the router places row i on.
+	Subs int
+	// Target is the value every sub-transaction counts its row up to.
+	Target uint64
+	// Chaos sets the per-shard fault probabilities. A nonzero CancelAfter
+	// is applied to ONE shard only (shard Seed mod Shards) — the trial
+	// then exercises the coordinator's all-or-nothing abort: one shard's
+	// cancellation must leave every shard's rows untouched.
+	Chaos chaos.Config
+}
+
+// ShardTrialResult reports one distributed trial.
+type ShardTrialResult struct {
+	Report Report
+	// Cancelled reports that a chaos CancelJob fault killed a shard's job
+	// and the distributed uber-transaction aborted everywhere.
+	Cancelled bool
+	// Faults is the total fault count across every shard's injector.
+	Faults uint64
+	// Events is the recorded history length.
+	Events int
+	// Stats holds per-shard job statistics (zero value for shards that ran
+	// no sub-transactions).
+	Stats []exec.Stats
+}
+
+// shardTrialSchema mirrors the single-kernel sweep's tag-replicated
+// two-column row.
+var shardTrialSchema = table.MustSchema(
+	table.Column{Name: "V", Type: table.Int64},
+	table.Column{Name: "VTag", Type: table.Int64},
+)
+
+// RunShardTrial executes one distributed chaos trial end to end against
+// internal/shard directly (no facade): build a cluster and a round-robin
+// sharded ring table, run the counter workload as ONE distributed
+// uber-transaction — each sub on the shard owning its row, reading its
+// neighbor's row through the chain-sharing view (a cross-shard read
+// whenever the neighbor lives elsewhere, which under round-robin placement
+// is every read with Shards > 1) — probe every shard's rows from
+// concurrent OLTP transactions the whole time, then check the history
+// against the per-shard contracts, 2PC atomicity, cross-shard staleness,
+// and the workload oracle.
+func RunShardTrial(cfg ShardTrialConfig) (ShardTrialResult, error) {
+	var res ShardTrialResult
+	if cfg.Shards < 1 || cfg.Subs < 2 || cfg.Subs < cfg.Shards || cfg.Target == 0 || cfg.Workers < 1 {
+		return res, fmt.Errorf("check: degenerate shard trial config %+v", cfg)
+	}
+
+	cluster, err := shard.NewCluster(cfg.Shards, exec.Config{Workers: cfg.Workers})
+	if err != nil {
+		return res, err
+	}
+	defer cluster.Close()
+
+	// Round-robin placement puts ring neighbors on different shards, so
+	// every neighbor read crosses a shard boundary when Shards > 1.
+	router := shard.NewRouter(partition.RoundRobin, cfg.Shards, uint64(cfg.Subs))
+	st := shard.NewTable("chaos_ring", shardTrialSchema, router)
+	rows := make([]storage.Payload, cfg.Subs)
+	for i := range rows {
+		rows[i] = storage.Payload{0, 0}
+	}
+	if _, err := st.Load(cluster, rows); err != nil {
+		return res, err
+	}
+
+	if cfg.Level.Level == isolation.BoundedStaleness && !cfg.Level.SingleWriterHint {
+		storage.SetInstallHook(func(iter uint64, slot int) { runtime.Gosched() })
+		defer storage.SetInstallHook(nil)
+	}
+
+	// One injector per shard. A CancelAfter schedule is confined to one
+	// shard so the trial proves the distributed abort, not N independent
+	// cancellations.
+	cancelShard := -1
+	if cfg.Chaos.CancelAfter > 0 {
+		cancelShard = int(cfg.Seed % int64(cfg.Shards))
+		if cancelShard < 0 {
+			cancelShard += cfg.Shards
+		}
+	}
+	injs := make([]*chaos.Seeded, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		shardChaos := cfg.Chaos
+		if cancelShard >= 0 && s != cancelShard {
+			shardChaos.CancelAfter = 0
+		}
+		injs[s] = chaos.NewSeeded(cfg.Seed+int64(s), cfg.Workers, shardChaos)
+	}
+
+	hist := NewHistory()
+	base := fmt.Sprintf("dchaos-%s-seed%d-n%d", cfg.Level.Level, cfg.Seed, cfg.Shards)
+
+	// Group subs by owning shard; subMap translates each shard's local sub
+	// indices back to global ring positions in the merged log.
+	plans := make([]shard.Plan, cfg.Shards)
+	subMaps := make([][]int, cfg.Shards)
+	for i := 0; i < cfg.Subs; i++ {
+		s := st.ShardOf(table.RowID(i))
+		if s < 0 {
+			return res, fmt.Errorf("ring row %d has no owner", i)
+		}
+		plans[s].Subs = append(plans[s].Subs, &counterSub{
+			tbl:    st.View(),
+			row:    table.RowID(i),
+			nbr:    table.RowID((i + 1) % cfg.Subs),
+			target: cfg.Target,
+			level:  cfg.Level.Level,
+		})
+		subMaps[s] = append(subMaps[s], i)
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		plans[s].Attach = []shard.Attachment{{Table: st.Local(s)}}
+		plans[s].Config = exec.JobConfig{
+			BatchSize: 2,
+			Label:     ShardLabel(base, s),
+			Chaos:     injs[s],
+			Recorder:  hist.ShardJob(ShardLabel(base, s), s, subMaps[s]),
+		}
+	}
+
+	// Concurrent OLTP probes, one prober per shard: each sweeps the rows
+	// its shard owns at its shard's own pinned snapshot (global row ids in
+	// the log). Per-shard probing is the sound formulation — a row's
+	// visibility is defined by its OWNER's stable watermark, and the 2PC
+	// atomicity checker separately proves all owners flip at one timestamp.
+	probeShard := func(s int) {
+		tx := cluster.Kernel(s).Mgr().Begin()
+		for g := 0; g < cfg.Subs; g++ {
+			if st.ShardOf(table.RowID(g)) != s {
+				continue
+			}
+			_, local, _ := st.Locate(table.RowID(g))
+			if p, ok := tx.Read(st.Local(s), local); ok {
+				hist.Probe(base, tx.BeginTS(), int64(g), p[0])
+			}
+		}
+		tx.Abort()
+	}
+	stopProbes := make(chan struct{})
+	var probeWG sync.WaitGroup
+	for s := 0; s < cfg.Shards; s++ {
+		probeWG.Add(1)
+		go func(s int) {
+			defer probeWG.Done()
+			for {
+				select {
+				case <-stopProbes:
+					return
+				default:
+				}
+				probeShard(s)
+				runtime.Gosched()
+			}
+		}(s)
+	}
+
+	co := shard.NewCoordinator(cluster)
+	h, err := co.Submit(shard.UberRun{
+		Isolation:     cfg.Level,
+		Plans:         plans,
+		GlobalBarrier: cfg.Level.Level == isolation.Synchronous,
+	})
+	if err != nil {
+		close(stopProbes)
+		probeWG.Wait()
+		return res, err
+	}
+	// Attachments are installed before Submit returns, so every ring row's
+	// iterative record exists; tag each with its owner for the cross-shard
+	// staleness checker.
+	for g := 0; g < cfg.Subs; g++ {
+		hist.TagRecordOwner(st.View().IterRecord(table.RowID(g)), st.ShardOf(table.RowID(g)))
+	}
+
+	stats, ts, err := h.Wait()
+	co.Close()
+	close(stopProbes)
+	probeWG.Wait()
+	res.Stats = stats
+	for _, inj := range injs {
+		res.Faults += inj.Faults()
+	}
+	switch {
+	case err == nil:
+		res.Cancelled = false
+	case errors.Is(err, exec.ErrJobCancelled):
+		res.Cancelled = true
+	default:
+		return res, err
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		probeShard(s) // guaranteed post-commit/post-abort observations per shard
+	}
+
+	// Workload oracle on every shard's final stable state, read through the
+	// global view at the commit timestamp (or each shard's current stable
+	// after an abort): a committed distributed run left every global row at
+	// target, an aborted one left the pre-run zeros everywhere.
+	want := cfg.Target
+	if res.Cancelled {
+		want = 0
+		ts = 0
+	} else if ts == 0 {
+		return res, fmt.Errorf("distributed run converged but reported commit ts 0")
+	}
+	for g := 0; g < cfg.Subs; g++ {
+		s := st.ShardOf(table.RowID(g))
+		at := ts
+		if at == 0 {
+			at = cluster.Kernel(s).Mgr().Stable()
+		}
+		p, ok := st.View().Read(table.RowID(g), at)
+		if !ok {
+			return res, fmt.Errorf("final read of global row %d (shard %d) failed", g, s)
+		}
+		if p[0] != want || p[1] != want {
+			return res, fmt.Errorf("global row %d (shard %d) ended at (%d,%d), want (%d,%d) (cancelled=%v)",
+				g, s, p[0], p[1], want, want, res.Cancelled)
+		}
+	}
+
+	events := hist.Events()
+	res.Events = len(events)
+	rule := VisibilityRule{
+		Before: func(row int64, v uint64) bool { return v == 0 },
+		After:  func(row int64, v uint64) bool { return v == cfg.Target },
+	}
+	res.Report = CheckDistributed(events, base, cfg.Shards, cfg.Level, hist.RecordOwners(), &rule)
+	return res, nil
+}

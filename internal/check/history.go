@@ -87,8 +87,9 @@ type Event struct {
 	Seq    int    // position in the totally ordered log
 	Kind   Kind   //
 	Job    string // label of the run the event belongs to
+	Shard  int    // shard whose job emitted the event; -1 for single-kernel runs
 	Worker int    // worker that emitted the event
-	Sub    int    // sub-transaction index within its job
+	Sub    int    // sub-transaction index within its job (global index under ShardJob)
 	Iter   uint64 // sub's committed-iteration count when emitted
 
 	Rec      int    // dense id of the iterative record touched
@@ -114,14 +115,18 @@ type Event struct {
 // synchronization (a barrier flip before a re-push, an install before a
 // barrier arrival) are preserved in the log.
 type History struct {
-	mu     sync.Mutex
-	events []Event
-	recIDs map[*storage.IterativeRecord]int
+	mu      sync.Mutex
+	events  []Event
+	recIDs  map[*storage.IterativeRecord]int
+	ownerOf map[int]int // dense record id -> owning shard (distributed runs)
 }
 
 // NewHistory returns an empty history.
 func NewHistory() *History {
-	return &History{recIDs: make(map[*storage.IterativeRecord]int)}
+	return &History{
+		recIDs:  make(map[*storage.IterativeRecord]int),
+		ownerOf: make(map[int]int),
+	}
 }
 
 // Len returns the number of recorded events.
@@ -161,7 +166,38 @@ func (h *History) append(e Event, rec *storage.IterativeRecord) {
 // with begin timestamp ts observed value in row. The visibility checker
 // compares ts against the run's commit timestamp.
 func (h *History) Probe(job string, ts storage.Timestamp, row int64, value uint64) {
-	h.append(Event{Kind: KindProbe, Job: job, Worker: -1, Sub: -1, TS: ts, Row: row, Value: value}, nil)
+	h.append(Event{Kind: KindProbe, Job: job, Shard: -1, Worker: -1, Sub: -1, TS: ts, Row: row, Value: value}, nil)
+}
+
+// TagRecordOwner declares which shard owns an iterative record, assigning
+// the record its dense id if it has none yet. The cross-shard staleness
+// checker uses the ownership map to tell local reads (a sub reading a
+// record its own shard installs on) from cross-shard reads, which are the
+// ones the coordinator's bounded-staleness contract governs.
+func (h *History) TagRecordOwner(rec *storage.IterativeRecord, shard int) {
+	if rec == nil {
+		return
+	}
+	h.mu.Lock()
+	id, ok := h.recIDs[rec]
+	if !ok {
+		id = len(h.recIDs)
+		h.recIDs[rec] = id
+	}
+	h.ownerOf[id] = shard
+	h.mu.Unlock()
+}
+
+// RecordOwners returns a copy of the dense-record-id -> owning-shard map
+// built by TagRecordOwner.
+func (h *History) RecordOwners() map[int]int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[int]int, len(h.ownerOf))
+	for id, s := range h.ownerOf {
+		out[id] = s
+	}
+	return out
 }
 
 // Job derives a recorder for one ML run, tagging every event with the given
@@ -170,19 +206,38 @@ func (h *History) Probe(job string, ts storage.Timestamp, row int64, value uint6
 // jobs interleave in the shared log and are separated again by label at
 // check time.
 func (h *History) Job(label string) *JobRecorder {
-	return &JobRecorder{h: h, label: label}
+	return &JobRecorder{h: h, label: label, shard: -1}
+}
+
+// ShardJob derives a recorder for one shard's slice of a distributed run.
+// Events carry the shard id, and local sub-transaction indices are mapped
+// through subMap back to their global indices, so the merged log reads as
+// one logical run even though each shard's pool numbers its subs from
+// zero. A nil subMap keeps local indices as-is.
+func (h *History) ShardJob(label string, shard int, subMap []int) *JobRecorder {
+	return &JobRecorder{h: h, label: label, shard: shard, subMap: subMap}
 }
 
 // JobRecorder funnels one run's events into its History.
 type JobRecorder struct {
-	h     *History
-	label string
+	h      *History
+	label  string
+	shard  int   // -1 for single-kernel runs
+	subMap []int // local sub index -> global sub index; nil = identity
+}
+
+// sub maps a shard-local sub index to its global index.
+func (r *JobRecorder) sub(local int) int {
+	if r.subMap == nil || local < 0 || local >= len(r.subMap) {
+		return local
+	}
+	return r.subMap[local]
 }
 
 // ObserveRead implements itx.Recorder.
 func (r *JobRecorder) ObserveRead(worker, sub int, iter uint64, rec *storage.IterativeRecord, readIter, counter uint64) {
 	r.h.append(Event{
-		Kind: KindRead, Job: r.label, Worker: worker, Sub: sub, Iter: iter,
+		Kind: KindRead, Job: r.label, Shard: r.shard, Worker: worker, Sub: r.sub(sub), Iter: iter,
 		ReadIter: readIter, Latest: counter,
 	}, rec)
 }
@@ -190,7 +245,7 @@ func (r *JobRecorder) ObserveRead(worker, sub int, iter uint64, rec *storage.Ite
 // ObserveValidation implements itx.Recorder.
 func (r *JobRecorder) ObserveValidation(worker, sub int, iter uint64, rec *storage.IterativeRecord, readIter, latest uint64, committed bool) {
 	r.h.append(Event{
-		Kind: KindValidation, Job: r.label, Worker: worker, Sub: sub, Iter: iter,
+		Kind: KindValidation, Job: r.label, Shard: r.shard, Worker: worker, Sub: r.sub(sub), Iter: iter,
 		ReadIter: readIter, Latest: latest, Committed: committed,
 	}, rec)
 }
@@ -198,7 +253,7 @@ func (r *JobRecorder) ObserveValidation(worker, sub int, iter uint64, rec *stora
 // ObserveInstall implements itx.Recorder.
 func (r *JobRecorder) ObserveInstall(worker, sub int, iter uint64, rec *storage.IterativeRecord, counter uint64) {
 	r.h.append(Event{
-		Kind: KindInstall, Job: r.label, Worker: worker, Sub: sub, Iter: iter,
+		Kind: KindInstall, Job: r.label, Shard: r.shard, Worker: worker, Sub: r.sub(sub), Iter: iter,
 		Latest: counter,
 	}, rec)
 }
@@ -206,7 +261,7 @@ func (r *JobRecorder) ObserveInstall(worker, sub int, iter uint64, rec *storage.
 // ObserveOutcome implements itx.Recorder.
 func (r *JobRecorder) ObserveOutcome(worker, sub int, iter uint64, action itx.Action, committed bool) {
 	r.h.append(Event{
-		Kind: KindOutcome, Job: r.label, Worker: worker, Sub: sub, Iter: iter,
+		Kind: KindOutcome, Job: r.label, Shard: r.shard, Worker: worker, Sub: r.sub(sub), Iter: iter,
 		Action: action, Committed: committed,
 	}, nil)
 }
@@ -214,16 +269,16 @@ func (r *JobRecorder) ObserveOutcome(worker, sub int, iter uint64, action itx.Ac
 // RecordBarrier implements exec.Recorder.
 func (r *JobRecorder) RecordBarrier(round uint64, phase int32) {
 	r.h.append(Event{
-		Kind: KindBarrier, Job: r.label, Worker: -1, Sub: -1, Round: round, Phase: phase,
+		Kind: KindBarrier, Job: r.label, Shard: r.shard, Worker: -1, Sub: -1, Round: round, Phase: phase,
 	}, nil)
 }
 
 // RecordUberCommit implements the facade's RunRecorder.
 func (r *JobRecorder) RecordUberCommit(ts storage.Timestamp) {
-	r.h.append(Event{Kind: KindUberCommit, Job: r.label, Worker: -1, Sub: -1, TS: ts}, nil)
+	r.h.append(Event{Kind: KindUberCommit, Job: r.label, Shard: r.shard, Worker: -1, Sub: -1, TS: ts}, nil)
 }
 
 // RecordUberAbort implements the facade's RunRecorder.
 func (r *JobRecorder) RecordUberAbort() {
-	r.h.append(Event{Kind: KindUberAbort, Job: r.label, Worker: -1, Sub: -1}, nil)
+	r.h.append(Event{Kind: KindUberAbort, Job: r.label, Shard: r.shard, Worker: -1, Sub: -1}, nil)
 }

@@ -69,6 +69,32 @@ type JobConfig struct {
 	// history (reads, validations, installs, barrier flips) for post-hoc
 	// invariant checking; see internal/check.
 	Recorder Recorder
+	// BarrierHook, when non-nil, runs at every synchronous-level barrier
+	// flip on the last-arriving worker, BEFORE the new phase is stored or
+	// any batch re-pushed. It may block: the shard coordinator uses it to
+	// extend the per-job barrier into a global rendezvous, so no shard of a
+	// distributed synchronous job enters nextPhase until every shard's
+	// barrier has flipped. It must be released externally (rendezvous
+	// Leave/Break) when a sibling job finishes early, or the pool's worker
+	// stays parked in it.
+	BarrierHook func(round uint64, nextPhase int32)
+	// ConvergeVote, when non-nil with ConvergeTogether set, turns the
+	// collective-retirement decision over to an external arbiter: the pool
+	// reports whether every locally live sub-transaction voted Done this
+	// round, and retires them only if the hook returns true. Like
+	// BarrierHook it may block and is called once per round on the
+	// last-arriving worker — the shard coordinator points it at a voting
+	// rendezvous so a distributed synchronous job reaches its fixpoint
+	// globally, not shard-by-shard.
+	ConvergeVote func(unanimous bool) bool
+	// Hold submits the job fully armed — contexts, watchdogs, telemetry —
+	// but publishes no batch to the run queues: no worker executes a
+	// sub-transaction until Job.Release. The shard coordinator holds every
+	// shard of a distributed run and releases them together, so no shard
+	// iterates (and prematurely converges) against a sibling shard whose
+	// rows are still seed-valued because its job was not yet submitted.
+	// Release promptly: the deadline and stall watchdogs run from Submit.
+	Hold bool
 	// Deadline, when nonzero, bounds the job's wall-clock runtime: past it
 	// the job is retired and Wait reports resilience.ErrJobDeadline.
 	// Enforcement is two-layered — a cooperative per-finalize check
@@ -329,25 +355,46 @@ func (p *Pool) Submit(subs []itx.Sub, opts isolation.Options, jc JobConfig) (*Jo
 		p.finishJob(j)
 		return j, nil
 	}
+	if jc.Hold {
+		j.held.Store(true)
+		return j, nil
+	}
+	j.startBatches()
+	return j, nil
+}
+
+// startBatches publishes the job's batches to the run queues — the moment
+// execution begins. Split from Submit so held jobs (JobConfig.Hold) can
+// start later, aligned with their distributed siblings, via Release.
+func (j *Job) startBatches() {
 	if j.syncMode {
 		j.roundLive = j.state.Live()
-		if jc.Recorder != nil {
+		if rec := j.cfg.Recorder; rec != nil {
 			// Round 0's execute phase opens before any batch is visible.
-			jc.Recorder.RecordBarrier(0, PhaseExecute)
+			rec.RecordBarrier(0, PhaseExecute)
 		}
 		j.pushActive()
-	} else {
-		now := int64(0)
-		if j.instr {
-			now = j.nanotime()
-		}
-		for _, b := range j.batches {
-			b.enq = now
-			j.rq[b.home].Push(b)
-		}
-		p.notify()
+		return
 	}
-	return j, nil
+	now := int64(0)
+	if j.instr {
+		now = j.nanotime()
+	}
+	for _, b := range j.batches {
+		b.enq = now
+		j.rq[b.home].Push(b)
+	}
+	j.pool.notify()
+}
+
+// Release starts a job submitted with JobConfig.Hold. Idempotent; a job
+// submitted without Hold needs no Release. A held job MUST eventually be
+// released — even after Cancel — or its batches never drain and Wait
+// never returns.
+func (j *Job) Release() {
+	if j.held.CompareAndSwap(true, false) {
+		j.startBatches()
+	}
 }
 
 func (p *Pool) addJobLocked(j *Job) {
@@ -886,6 +933,11 @@ func (p *Pool) syncBarrier(w int, j *Job, phase int32) {
 			j.retireAll()
 			return
 		}
+		if hook := j.cfg.BarrierHook; hook != nil {
+			// Before the recorder and the phase store: no install of the
+			// coming phase may start anywhere until the rendezvous releases.
+			hook(j.rounds.Load(), PhaseInstall)
+		}
 		if rec := j.cfg.Recorder; rec != nil {
 			// Logged before the phase store and the re-push, so every install
 			// of the coming phase lands after this event in the history.
@@ -900,11 +952,20 @@ func (p *Pool) syncBarrier(w int, j *Job, phase int32) {
 	o := j.cfg.Observer
 	if j.cancelled.Load() {
 		j.retireAll()
-	} else if j.cfg.ConvergeTogether && j.roundLive > 0 && j.votes.Load() == j.roundLive {
-		// Unanimous: the global fixpoint is reached; retire everyone.
-		j.retireAll()
-	} else if j.cfg.MaxIterations > 0 && r >= j.cfg.MaxIterations && j.state.Live() > 0 {
-		j.retireForced(w)
+	} else {
+		unanimous := j.cfg.ConvergeTogether && j.roundLive > 0 &&
+			j.votes.Load() == j.roundLive
+		if vote := j.cfg.ConvergeVote; vote != nil && j.cfg.ConvergeTogether {
+			// Called every round whatever the local tally — the hook is a
+			// cross-shard rendezvous and every shard must arrive.
+			unanimous = vote(unanimous)
+		}
+		if unanimous {
+			// Unanimous: the global fixpoint is reached; retire everyone.
+			j.retireAll()
+		} else if j.cfg.MaxIterations > 0 && r >= j.cfg.MaxIterations && j.state.Live() > 0 {
+			j.retireForced(w)
+		}
 	}
 	live := j.state.Live()
 	if o != nil {
@@ -917,6 +978,9 @@ func (p *Pool) syncBarrier(w int, j *Job, phase int32) {
 	}
 	j.votes.Store(0)
 	j.roundLive = live
+	if hook := j.cfg.BarrierHook; hook != nil {
+		hook(r, PhaseExecute)
+	}
 	if rec := j.cfg.Recorder; rec != nil {
 		rec.RecordBarrier(r, PhaseExecute)
 	}
@@ -1137,6 +1201,7 @@ type Job struct {
 	running   atomic.Int64 // batches being processed right now
 	cancelled atomic.Bool
 	finished  atomic.Bool
+	held      atomic.Bool // submitted with Hold, not yet Released
 
 	// Supervision state: beats is the iteration heartbeat the watchdog
 	// samples; failure holds the first terminal error (panic, stall,

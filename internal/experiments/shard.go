@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"db4ml"
+	"db4ml/internal/itx"
+	"db4ml/internal/storage"
+)
+
+// ShardConfigResult is one cluster size's account in BENCH_SHARD.json.
+type ShardConfigResult struct {
+	Shards int `json:"shards"`
+	// WallNanos is the mean wall-clock of the distributed ML run (submit
+	// to two-phase commit) over Options.Runs.
+	WallNanos int64 `json:"wall_ns"`
+	// Commits is the total sub-transaction iterations committed across
+	// all shards in the last run.
+	Commits uint64 `json:"commits"`
+	// PerSec is Commits divided by the mean wall-clock.
+	PerSec float64 `json:"per_sec"`
+}
+
+// ShardResult is the machine-readable output of the shard experiment
+// (db4ml-bench -exp shard -benchjson BENCH_SHARD.json).
+type ShardResult struct {
+	Experiment string              `json:"experiment"`
+	Rows       int                 `json:"rows"`
+	Target     float64             `json:"target"`
+	Runs       int                 `json:"runs"`
+	Configs    []ShardConfigResult `json:"configs"`
+	// Scaling is wall(1 shard) / wall(max shards): >1 means the cluster
+	// beat the single kernel. On a single-CPU host the shards time-share
+	// one core and the ratio hovers near (or below) 1 — the number is
+	// recorded, not asserted.
+	Scaling float64 `json:"scaling"`
+}
+
+// shardIncSub increments one row's value by 1 per iteration until it
+// reaches target — the minimal iterative transaction, so the measured
+// cost is the kernel's (queues, barriers, 2PC), not the algorithm's.
+type shardIncSub struct {
+	tbl    *db4ml.Table
+	row    db4ml.RowID
+	target float64
+	rec    *storage.IterativeRecord
+	buf    storage.Payload
+	cur    float64
+}
+
+func (s *shardIncSub) Begin(ctx *itx.Ctx) {
+	s.rec = s.tbl.IterRecord(s.row)
+	s.buf = make(storage.Payload, 2)
+	s.buf.SetInt64(0, int64(s.row))
+}
+
+func (s *shardIncSub) Execute(ctx *itx.Ctx) {
+	ctx.Read(s.rec, s.buf)
+	s.cur = s.buf.Float64(1) + 1
+	s.buf.SetFloat64(1, s.cur)
+	ctx.Write(s.rec, s.buf)
+}
+
+func (s *shardIncSub) Validate(ctx *itx.Ctx) itx.Action {
+	if s.cur >= s.target {
+		return itx.Done
+	}
+	return itx.Commit
+}
+
+// Shard is an extra experiment (not a paper figure): shard-per-node
+// scale-out. The same uber-transaction — every row incremented to a fixed
+// target — runs as one distributed run on 1-, 2-, and 4-shard clusters
+// (hash-partitioned rows, one kernel per shard, two-phase uber-commit),
+// and the wall-clock and committed-iteration throughput are compared. Two
+// invariants gate the numbers: every shard count must publish the
+// identical final table (read back through cross-shard snapshot reads and
+// a scatter-gather query), and the distributed commit must be atomic —
+// a single commit timestamp at which all rows flip. With Options.BenchFile
+// set, the timings are written as JSON (the committed BENCH_SHARD.json).
+func Shard(opts Options) error {
+	opts = opts.withDefaults()
+	rows, target := 256, 200.0
+	if opts.Quick {
+		rows, target = 64, 50.0
+	}
+
+	res := ShardResult{Experiment: "shard", Rows: rows, Target: target, Runs: opts.Runs}
+	header(opts.Out, "shard-per-node scale-out: distributed uber-transactions")
+	fmt.Fprintf(opts.Out, "%d rows incremented to %.0f, %d runs per cluster size\n\n",
+		rows, target, opts.Runs)
+
+	oneRun := func(shards int) (time.Duration, uint64, error) {
+		db := db4ml.OpenSharded(db4ml.WithShards(shards), db4ml.WithWorkers(2))
+		defer db.Close()
+		tbl, err := db.CreateTable("Counter",
+			db4ml.Column{Name: "ID", Type: db4ml.Int64},
+			db4ml.Column{Name: "Value", Type: db4ml.Float64})
+		if err != nil {
+			return 0, 0, err
+		}
+		load := make([]db4ml.Payload, rows)
+		for i := range load {
+			p := tbl.Schema().NewPayload()
+			p.SetInt64(0, int64(i))
+			p.SetFloat64(1, 0)
+			load[i] = p
+		}
+		if err := db.BulkLoad(tbl, load); err != nil {
+			return 0, 0, err
+		}
+		subs := make([]db4ml.IterativeTransaction, rows)
+		for i := range subs {
+			subs[i] = &shardIncSub{tbl: tbl, row: db4ml.RowID(i), target: target}
+		}
+		start := time.Now()
+		h, err := db.SubmitML(context.Background(), db4ml.MLRun{
+			Isolation: db4ml.MLOptions{Level: db4ml.Asynchronous},
+			Label:     "shard-bench",
+			Attach:    []db4ml.Attachment{{Table: tbl}},
+			Subs:      subs,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		stats, err := h.Wait()
+		if err != nil {
+			return 0, 0, err
+		}
+		wall := time.Since(start)
+		var commits uint64
+		for _, s := range stats {
+			commits += s.Commits
+		}
+		// Invariant 1: the published state is the target, on every shard,
+		// at the uber-commit timestamp.
+		if ts := h.CommitTS(); ts == 0 {
+			return 0, 0, fmt.Errorf("shard: %d-shard run reported no commit timestamp", shards)
+		}
+		tx := db.Begin()
+		for i := 0; i < rows; i++ {
+			p, ok := tx.Read(tbl, db4ml.RowID(i))
+			if !ok || p.Float64(1) != target {
+				tx.Close()
+				return 0, 0, fmt.Errorf("shard: %d shards: row %d = (%v, %v), want %v",
+					shards, i, p, ok, target)
+			}
+		}
+		tx.Close()
+		// Invariant 2: the scatter-gather query path agrees — every row
+		// passes the at-target filter.
+		rel, err := db.RunQuery(context.Background(), db4ml.QueryRun{
+			Plan: db4ml.Filter(db4ml.Scan(tbl), db4ml.FloatCmp("Value", db4ml.Ge, target)),
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(rel.Rows) != rows {
+			return 0, 0, fmt.Errorf("shard: %d shards: scatter-gather saw %d rows at target, want %d",
+				shards, len(rel.Rows), rows)
+		}
+		return wall, commits, nil
+	}
+
+	tw := tab(opts.Out, "shards", "wall", "commits", "commits/s", "vs 1 shard")
+	for _, shards := range []int{1, 2, 4} {
+		var total time.Duration
+		var commits uint64
+		for r := 0; r < opts.Runs; r++ {
+			wall, c, err := oneRun(shards)
+			if err != nil {
+				return err
+			}
+			total += wall
+			commits = c
+		}
+		wall := total / time.Duration(opts.Runs)
+		cfg := ShardConfigResult{Shards: shards, WallNanos: int64(wall), Commits: commits,
+			PerSec: float64(commits) / wall.Seconds()}
+		res.Configs = append(res.Configs, cfg)
+		scale := float64(res.Configs[0].WallNanos) / float64(cfg.WallNanos)
+		row(tw, shards, wall, commits, fmt.Sprintf("%.0f", cfg.PerSec), fmt.Sprintf("%.2fx", scale))
+	}
+	tw.Flush()
+	res.Scaling = float64(res.Configs[0].WallNanos) / float64(res.Configs[len(res.Configs)-1].WallNanos)
+
+	if opts.BenchFile != "" {
+		js, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.BenchFile, append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(opts.Out, "\nwrote %s\n", opts.BenchFile)
+	}
+	return nil
+}

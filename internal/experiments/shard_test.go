@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestShardQuick runs the scale-out experiment end to end at quick scale
+// and checks the BENCH_SHARD.json it writes: one config per cluster size
+// in 1/2/4 order, every config committed work and took measurable time,
+// and the scaling ratio is derived from the recorded wall-clocks. The
+// correctness invariants (identical final table, atomic commit,
+// scatter-gather agreement) are asserted inside the experiment itself.
+func TestShardQuick(t *testing.T) {
+	var buf strings.Builder
+	opts := quickOpts(&buf)
+	opts.BenchFile = filepath.Join(t.TempDir(), "BENCH_SHARD.json")
+	if err := Shard(opts); err != nil {
+		t.Fatalf("shard experiment failed: %v\n%s", err, buf.String())
+	}
+	js, err := os.ReadFile(opts.BenchFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res ShardResult
+	if err := json.Unmarshal(js, &res); err != nil {
+		t.Fatalf("BENCH_SHARD.json does not parse: %v", err)
+	}
+	if res.Experiment != "shard" || len(res.Configs) != 3 {
+		t.Fatalf("result shape wrong: %+v", res)
+	}
+	wantCommits := uint64(res.Rows) * uint64(res.Target)
+	for i, shards := range []int{1, 2, 4} {
+		cfg := res.Configs[i]
+		if cfg.Shards != shards {
+			t.Fatalf("config %d is for %d shards, want %d", i, cfg.Shards, shards)
+		}
+		if cfg.WallNanos <= 0 || cfg.PerSec <= 0 {
+			t.Fatalf("%d-shard timing not populated: %+v", shards, cfg)
+		}
+		// Every row commits exactly target increment iterations plus its
+		// retiring Done pass, so commits is at least rows*target.
+		if cfg.Commits < wantCommits {
+			t.Fatalf("%d shards committed %d iterations, want >= %d", shards, cfg.Commits, wantCommits)
+		}
+	}
+	if want := float64(res.Configs[0].WallNanos) / float64(res.Configs[2].WallNanos); res.Scaling != want {
+		t.Fatalf("scaling = %v, want wall(1)/wall(4) = %v", res.Scaling, want)
+	}
+}

@@ -112,6 +112,51 @@ func (u *Uber) Commit() (storage.Timestamp, error) {
 	return ts, nil
 }
 
+// Manager returns the transaction manager this uber-transaction publishes
+// through — the shard coordinator prepares it for two-phase commit.
+func (u *Uber) Manager() *txn.Manager { return u.mgr }
+
+// Prepare is the uber-transaction's vote in a coordinated two-phase
+// commit: it verifies the transaction can still commit and locks its
+// manager for publishing (txn.Manager.Prepare). The coordinator then
+// draws one commit timestamp from the shared oracle and settles every
+// prepared shard with CommitPrepared, or backs out with p.Abort followed
+// by u.Abort. A nil return with a nil error never happens.
+func (u *Uber) Prepare() (*txn.Prepared, error) {
+	if u.done {
+		return nil, ErrUberDone
+	}
+	return u.mgr.Prepare(), nil
+}
+
+// CommitPrepared is the commit phase of a coordinated two-phase commit:
+// it publishes the latest intermediate snapshot of every attached row at
+// the coordinator-chosen timestamp ts under the already-held prepare
+// lock. Unlike Commit, the timestamp is imposed, not drawn — every shard
+// of one distributed uber-transaction publishes at the same ts, which is
+// what makes the distributed commit atomic in timestamp order: a reader
+// snapshot either precedes every shard's publish or follows all of them.
+func (u *Uber) CommitPrepared(p *txn.Prepared, ts storage.Timestamp) error {
+	if u.done {
+		p.Abort()
+		return ErrUberDone
+	}
+	var firstErr error
+	p.CommitAt(ts, func(ts storage.Timestamp) {
+		for _, a := range u.attached {
+			if err := a.tbl.CommitIterative(ts, a.rows); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("itx: commit of table %s: %w", a.tbl.Name(), err)
+			}
+		}
+	})
+	u.release()
+	if firstErr != nil {
+		return firstErr
+	}
+	u.done = true
+	return nil
+}
+
 // Abort discards all in-flight iterative state, restoring every attached
 // table to its pre-uber-transaction version chains.
 func (u *Uber) Abort() error {

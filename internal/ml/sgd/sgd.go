@@ -262,6 +262,44 @@ func (s *sub) Validate(ctx *itx.Ctx) itx.Action {
 	return itx.Commit
 }
 
+// BuildSubs constructs the shared-model sub-transactions of Algorithm 3 at
+// snapshot ts: nSubs subs (clamped to the training-set size), each owning a
+// contiguous key range of the shuffled Sample table and seeded
+// cfg.Seed+i. It is exported so external drivers — the sharded facade in
+// particular — run the byte-identical bodies Run would, which makes
+// "distributed SGD matches single-kernel SGD" checkable rather than
+// approximate. SharedModel mode only; ReplicatedNUMA subs need the replica
+// set Run owns.
+func BuildSubs(tables *Tables, ts storage.Timestamp, nSubs int, cfg Config) ([]itx.Sub, error) {
+	cfg = cfg.withDefaults()
+	rows := len(tables.Store)
+	if rows == 0 {
+		return nil, fmt.Errorf("sgd: empty training set")
+	}
+	if nSubs > rows {
+		nSubs = rows
+	}
+	if nSubs <= 0 {
+		return nil, fmt.Errorf("sgd: %d sub-transactions requested", nSubs)
+	}
+	per := rows / nSubs
+	subs := make([]itx.Sub, nSubs)
+	for i := 0; i < nSubs; i++ {
+		low := int64(i * per)
+		high := low + int64(per) - 1
+		if i == nSubs-1 {
+			high = int64(rows - 1)
+		}
+		subs[i] = &sub{
+			tables: tables,
+			lowKey: low, highKey: high, snapshot: ts,
+			epochs: cfg.Epochs, stepSize: cfg.StepSize, stepDecay: cfg.StepDecay,
+			lambda: cfg.Lambda, seed: cfg.Seed + int64(i), beta: cfg.Beta,
+		}
+	}
+	return subs, nil
+}
+
 // Run executes SGD as one uber-transaction over tables and commits the
 // trained model.
 func Run(mgr *txn.Manager, tables *Tables, cfg Config) (Result, error) {

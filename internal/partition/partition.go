@@ -47,17 +47,17 @@ type Partitioner struct {
 
 // New builds a partitioner over n partitions. totalRows is required by the
 // Range scheme and ignored by the others; passing 0 rows with Range yields
-// a single-partition mapping.
+// a single-partition mapping (per == 0 marks the degenerate case and Of
+// routes every row to partition 0 — before this was enforced, per defaulted
+// to 1 and an "empty" range partitioner silently scattered rows 0..n-1
+// across all partitions, which the shard router turns into misrouted rows).
 func New(scheme Scheme, n int, totalRows uint64) Partitioner {
 	if n < 1 {
 		n = 1
 	}
 	p := Partitioner{scheme: scheme, n: uint64(n), rows: totalRows}
-	if scheme == Range {
+	if scheme == Range && totalRows > 0 {
 		p.per = (totalRows + p.n - 1) / p.n
-		if p.per == 0 {
-			p.per = 1
-		}
 	}
 	return p
 }
@@ -74,6 +74,10 @@ func (p Partitioner) Of(row uint64) int {
 	case RoundRobin:
 		return int(row % p.n)
 	case Range:
+		if p.per == 0 {
+			// Degenerate range (0 total rows): single-partition mapping.
+			return 0
+		}
 		part := row / p.per
 		if part >= p.n {
 			part = p.n - 1

@@ -51,6 +51,36 @@ func TestRangeZeroRows(t *testing.T) {
 	}
 }
 
+// TestRangeZeroRowsSinglePartition pins the documented degenerate case the
+// shard router surfaced: a Range partitioner built before any rows are
+// loaded must map EVERY row to partition 0 — the "single-partition
+// mapping" New documents — not scatter rows 0..n-1 across partitions the
+// way the old per=1 fallback did. A router consulting such a partitioner
+// mid-load would otherwise send rows to shards that will never own them.
+func TestRangeZeroRowsSinglePartition(t *testing.T) {
+	p := New(Range, 4, 0)
+	for _, row := range []uint64{0, 1, 2, 3, 7, 1000, 1 << 40} {
+		if got := p.Of(row); got != 0 {
+			t.Fatalf("Range with 0 rows: Of(%d) = %d, want the documented single-partition mapping (0)", row, got)
+		}
+	}
+}
+
+// TestRangeFewerRowsThanPartitions covers the empty-partition case: with
+// fewer rows than partitions the high partitions legitimately own nothing,
+// and every existing row must land in its own partition (per = 1), not be
+// clamped together.
+func TestRangeFewerRowsThanPartitions(t *testing.T) {
+	p := New(Range, 4, 2) // per = 1: row 0 -> part 0, row 1 -> part 1; parts 2,3 empty
+	if p.Of(0) != 0 || p.Of(1) != 1 {
+		t.Fatalf("Of(0)=%d Of(1)=%d, want 0 and 1", p.Of(0), p.Of(1))
+	}
+	// Out-of-range rows still clamp into the last partition.
+	if got := p.Of(9); got != 3 {
+		t.Fatalf("Of(9) = %d, want clamp to 3", got)
+	}
+}
+
 func TestHashSpread(t *testing.T) {
 	p := New(Hash, 8, 0)
 	counts := make([]int, 8)

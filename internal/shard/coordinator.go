@@ -1,0 +1,402 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"db4ml/internal/exec"
+	"db4ml/internal/isolation"
+	"db4ml/internal/itx"
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+	"db4ml/internal/trace"
+	"db4ml/internal/txn"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("shard: coordinator closed")
+
+// quiesceGrace bounds how long the coordinator waits, after a forced
+// retirement, for a shard job's in-flight workers to acknowledge
+// cancellation before the distributed abort proceeds anyway (mirrors the
+// facade's single-kernel grace).
+const quiesceGrace = time.Second
+
+// RunRecorder extends the executor's history recorder with the
+// uber-transaction outcome events the coordinator emits — the same
+// contract as the facade's RunRecorder, restated here so internal/check
+// can drive the coordinator directly.
+type RunRecorder interface {
+	exec.Recorder
+	RecordUberCommit(ts storage.Timestamp)
+	RecordUberAbort()
+}
+
+// Attachment names one shard-LOCAL table (and optionally a local row
+// subset) a shard's slice of the distributed run updates.
+type Attachment struct {
+	Table    *table.Table
+	Rows     []table.RowID
+	Versions int // 0 = the isolation level's default slot count
+}
+
+// Plan is one shard's slice of a distributed uber-transaction: the local
+// tables it attaches, the sub-transactions its pool drives, and the
+// per-shard job configuration (label, observer, tracer, recorder, chaos,
+// deadline — everything exec.JobConfig carries). A shard with no Subs
+// still attaches and votes in the two-phase commit; it just runs no job.
+type Plan struct {
+	Attach []Attachment
+	Subs   []itx.Sub
+	Config exec.JobConfig
+}
+
+// UberRun describes one logical uber-transaction spanning every shard of
+// the cluster.
+type UberRun struct {
+	// Isolation is shared by every shard's sub-transactions.
+	Isolation isolation.Options
+	// Plans holds one Plan per shard (index = shard id); required length
+	// is the cluster's shard count.
+	Plans []Plan
+	// GlobalBarrier, under the synchronous level, ties every shard's
+	// per-job barrier into one cross-shard rendezvous: no shard enters a
+	// phase until all shards finished the previous one. Without it each
+	// shard synchronizes only internally (bulk-synchronous per shard,
+	// asynchronous across shards).
+	GlobalBarrier bool
+}
+
+// Handle tracks one in-flight distributed uber-transaction.
+type Handle struct {
+	done       chan struct{}
+	cancelOnce sync.Once
+	cancelCh   chan struct{}
+
+	jobs  []*exec.Job // index = shard; nil for shards that ran no job
+	stats []exec.Stats
+	ts    storage.Timestamp
+	err   error
+}
+
+// Wait blocks until every shard's job finished and the distributed commit
+// or abort settled. It returns per-shard stats (zero value for shards
+// without subs), the global commit timestamp (0 on abort), and the first
+// error.
+func (h *Handle) Wait() ([]exec.Stats, storage.Timestamp, error) {
+	<-h.done
+	return h.stats, h.ts, h.err
+}
+
+// Cancel asks every shard's job to stop; the distributed uber-transaction
+// aborts on all shards and nothing becomes visible anywhere.
+func (h *Handle) Cancel() { h.cancelOnce.Do(func() { close(h.cancelCh) }) }
+
+// Done returns a channel closed when the run (including the distributed
+// commit/abort) resolved.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Coordinator runs distributed uber-transactions over a cluster. It owns
+// the cross-shard protocol — nothing else in the system knows more than
+// one shard exists.
+type Coordinator struct {
+	cluster *Cluster
+	tracer  *trace.Tracer
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+// NewCoordinator builds a coordinator over the cluster.
+func NewCoordinator(c *Cluster) *Coordinator { return &Coordinator{cluster: c} }
+
+// SetTracer attaches a span tracer recording coordinator-level events:
+// one commit instant per resolved run (the global timestamp) on ring 0.
+func (co *Coordinator) SetTracer(t *trace.Tracer) { co.tracer = t }
+
+// Cluster returns the coordinated cluster.
+func (co *Coordinator) Cluster() *Cluster { return co.cluster }
+
+// Close rejects further Submits and waits for every in-flight run's
+// distributed commit or abort. It does not stop the cluster's pools — the
+// owner does that after Close returns.
+func (co *Coordinator) Close() {
+	co.mu.Lock()
+	co.closed = true
+	co.mu.Unlock()
+	co.inflight.Wait()
+}
+
+// Submit starts one distributed uber-transaction and returns without
+// waiting. The begin sequence is strictly ordered: every shard's
+// uber-transaction is begun and its attachments installed before any
+// shard's job is submitted, so a sub-transaction's cross-shard reads
+// always find the sibling shards' iterative records in place.
+//
+// Commit is two-phase: once every shard's job converged, the coordinator
+// prepares all shard managers in shard-id order, draws one timestamp from
+// the shared oracle, and publishes every shard at it — so the distributed
+// result appears atomically in timestamp order on all shards. Any shard
+// failure (fault, deadline, stall, cancellation) aborts the
+// uber-transaction on every shard; no shard ever commits a run another
+// shard aborted.
+func (co *Coordinator) Submit(run UberRun) (*Handle, error) {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// Registered under the same critical section as the closed check, so a
+	// concurrent Close either rejects this submission or waits for its
+	// distributed commit/abort; every error return below must deregister.
+	co.inflight.Add(1)
+	co.mu.Unlock()
+
+	n := co.cluster.Shards()
+	if len(run.Plans) != n {
+		co.inflight.Done()
+		return nil, fmt.Errorf("shard: %d plans for %d shards", len(run.Plans), n)
+	}
+
+	// Phase 0: begin + attach everywhere before anything executes.
+	ubers := make([]*itx.Uber, 0, n)
+	abortBegun := func() {
+		for _, u := range ubers {
+			_ = u.Abort()
+		}
+	}
+	for i := 0; i < n; i++ {
+		u, err := itx.BeginUber(co.cluster.Kernel(i).Mgr(), run.Isolation)
+		if err != nil {
+			abortBegun()
+			co.inflight.Done()
+			return nil, err
+		}
+		ubers = append(ubers, u)
+		for _, a := range run.Plans[i].Attach {
+			v := a.Versions
+			if v == 0 {
+				v = u.DefaultVersions()
+			}
+			if err := u.Attach(a.Table, a.Rows, v); err != nil {
+				abortBegun()
+				co.inflight.Done()
+				return nil, err
+			}
+		}
+	}
+
+	parties := 0
+	for i := range run.Plans {
+		if len(run.Plans[i].Subs) > 0 {
+			parties++
+		}
+	}
+	var rz *Rendezvous
+	if run.GlobalBarrier && run.Isolation.Level == isolation.Synchronous && parties > 1 {
+		rz = NewRendezvous(parties)
+	}
+
+	h := &Handle{
+		done:     make(chan struct{}),
+		cancelCh: make(chan struct{}),
+		jobs:     make([]*exec.Job, n),
+		stats:    make([]exec.Stats, n),
+	}
+	for i := 0; i < n; i++ {
+		if len(run.Plans[i].Subs) == 0 {
+			continue
+		}
+		cfg := run.Plans[i].Config
+		// Every shard's job is submitted held and released only once ALL
+		// shards are in: without the gate the first-submitted shard runs
+		// iterations — and can prematurely converge — against sibling rows
+		// still frozen at their seed values.
+		cfg.Hold = true
+		if rz != nil {
+			cfg.BarrierHook = func(uint64, int32) { rz.Arrive() }
+			// ConvergeTogether must be decided globally or shards retire at
+			// different rounds and the distributed fixpoint diverges from
+			// the single-kernel one. Every shard's install barrier casts its
+			// local tally; all retire in the same round or none do.
+			cfg.ConvergeVote = rz.ArriveVote
+		}
+		j, err := co.cluster.Kernel(i).Pool().Submit(run.Plans[i].Subs, run.Isolation, cfg)
+		if err != nil {
+			// Tear down the shards already running: cancel, drain, release
+			// any rendezvous waiter, then abort everywhere.
+			for s := 0; s < i; s++ {
+				if h.jobs[s] != nil {
+					h.jobs[s].Cancel()
+				}
+			}
+			if rz != nil {
+				rz.Break()
+			}
+			for s := 0; s < i; s++ {
+				if h.jobs[s] != nil {
+					// Held batches never drain; release the cancelled job
+					// so Wait can observe the drained retirement.
+					h.jobs[s].Release()
+					_, _ = h.jobs[s].Wait()
+					h.jobs[s].Quiesce(quiesceGrace)
+				}
+			}
+			abortBegun()
+			co.inflight.Done()
+			return nil, err
+		}
+		h.jobs[i] = j
+		if rz != nil {
+			// The shard's party leaves when its job finishes (converged,
+			// cancelled, or force-retired), so sibling barriers stop waiting
+			// on it. Watching Done — not Wait — keeps this release ahead of
+			// the resolve goroutine's sequential draining.
+			go func(j *exec.Job) { <-j.Done(); rz.Leave() }(j)
+		}
+	}
+	// All shards are in: start them together.
+	for _, j := range h.jobs {
+		if j != nil {
+			j.Release()
+		}
+	}
+
+	go co.resolve(h, run, ubers, rz)
+	return h, nil
+}
+
+// resolve drives one submitted run to its distributed commit or abort.
+func (co *Coordinator) resolve(h *Handle, run UberRun, ubers []*itx.Uber, rz *Rendezvous) {
+	defer co.inflight.Done()
+	defer close(h.done)
+	if rz != nil {
+		// No worker may stay parked in a barrier hook after the run
+		// resolves — the pools must always be drainable.
+		defer rz.Break()
+	}
+
+	// Cancellation propagates to every shard's job; the watcher dies with
+	// the handle.
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go func() {
+		select {
+		case <-h.cancelCh:
+			for _, j := range h.jobs {
+				if j != nil {
+					j.Cancel()
+				}
+			}
+		case <-stopWatch:
+		}
+	}()
+
+	var firstErr error
+	quiesced := true
+	for i, j := range h.jobs {
+		if j == nil {
+			continue
+		}
+		stats, err := j.Wait()
+		h.stats[i] = stats
+		if !j.Quiesce(quiesceGrace) {
+			quiesced = false
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	_ = quiesced // informational: a non-quiesced shard still cannot publish (its uber aborts below)
+
+	recorders := distinctRecorders(run)
+	if firstErr != nil {
+		for _, u := range ubers {
+			_ = u.Abort()
+		}
+		for _, r := range recorders {
+			r.RecordUberAbort()
+		}
+		h.err = firstErr
+		return
+	}
+
+	// Two-phase commit: prepare every shard in shard-id order (holding
+	// each manager's commit lock), choose one timestamp, publish all.
+	preps := make([]*txn.Prepared, len(ubers))
+	for i, u := range ubers {
+		p, err := u.Prepare()
+		if err != nil {
+			for k := 0; k < i; k++ {
+				preps[k].Abort()
+			}
+			for _, u := range ubers {
+				_ = u.Abort()
+			}
+			for _, r := range recorders {
+				r.RecordUberAbort()
+			}
+			h.err = err
+			return
+		}
+		preps[i] = p
+	}
+	ts := co.cluster.Oracle().Next()
+	for i, u := range ubers {
+		if err := u.CommitPrepared(preps[i], ts); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d commit: %w", i, err)
+		}
+	}
+	if firstErr != nil {
+		// Commit-phase publish errors are config bugs (e.g. an empty
+		// attachment); the timestamp is already drawn, so report rather
+		// than pretend atomicity held.
+		h.err = firstErr
+		return
+	}
+	h.ts = ts
+	for _, r := range recorders {
+		r.RecordUberCommit(ts)
+	}
+	if co.tracer != nil {
+		co.tracer.Instant(0, trace.KindCommit, jobID(h), int64(ts))
+	}
+}
+
+// jobID picks a representative engine job id for coordinator-level spans.
+func jobID(h *Handle) uint64 {
+	for _, j := range h.jobs {
+		if j != nil {
+			return j.ID()
+		}
+	}
+	return 0
+}
+
+// distinctRecorders collects the unique RunRecorders across all shard
+// plans, so an outcome event fires once per recorder even when every shard
+// shares one (the facade's single-recorder convention) and once per shard
+// when each shard records separately (the invariant harness).
+func distinctRecorders(run UberRun) []RunRecorder {
+	var out []RunRecorder
+	for i := range run.Plans {
+		rr, ok := run.Plans[i].Config.Recorder.(RunRecorder)
+		if !ok || rr == nil {
+			continue
+		}
+		dup := false
+		for _, seen := range out {
+			if seen == rr {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, rr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package shard
+
+import (
+	"sync/atomic"
+
+	"db4ml/internal/partition"
+)
+
+// Router maps global row ids to owning shards. It is the shard-level
+// generalization of the NUMA placement model: inside one kernel,
+// partition.Partitioner routes rows to regions; across kernels, the Router
+// routes rows to shards with the same schemes (range, round-robin, hash).
+//
+// Routing is lock-free and concurrent with repartitioning: the partitioner
+// is swapped atomically, so a Route racing a Repartition observes either
+// the old or the new mapping, never a torn one. Callers that need routing
+// decisions to be mutually consistent (e.g. a bulk load that records the
+// placement it used) should take one Partitioner() snapshot and route
+// through that.
+type Router struct {
+	shards int
+	part   atomic.Pointer[partition.Partitioner]
+}
+
+// NewRouter builds a router spreading rows over the given number of shards
+// with the given scheme. totalRows is required by the Range scheme (0 rows
+// is the documented degenerate single-shard mapping) and ignored by the
+// others.
+func NewRouter(scheme partition.Scheme, shards int, totalRows uint64) *Router {
+	if shards < 1 {
+		shards = 1
+	}
+	r := &Router{shards: shards}
+	p := partition.New(scheme, shards, totalRows)
+	r.part.Store(&p)
+	return r
+}
+
+// Shards returns the shard count. It never changes over a router's life —
+// repartitioning redistributes rows, it does not resize the cluster.
+func (r *Router) Shards() int { return r.shards }
+
+// Route returns the shard owning the given global row id.
+func (r *Router) Route(row uint64) int { return r.part.Load().Of(row) }
+
+// Partitioner returns the current placement as an immutable snapshot;
+// route through it when multiple decisions must agree with each other.
+func (r *Router) Partitioner() partition.Partitioner { return *r.part.Load() }
+
+// Repartition atomically installs a new placement (typically after a load
+// changed the row count a Range mapping depends on). In-flight Route calls
+// see either the old or the new mapping.
+func (r *Router) Repartition(scheme partition.Scheme, totalRows uint64) {
+	p := partition.New(scheme, r.shards, totalRows)
+	r.part.Store(&p)
+}

@@ -28,6 +28,12 @@ type Table struct {
 	treeIdx map[string]*index.BTree
 
 	part partition.Partitioner
+
+	// view marks a table assembled from other tables' version chains via
+	// AdoptChain (the shard router's cross-shard read view). Views share
+	// storage with their backing tables, so growing one independently with
+	// Append would desynchronize the global row-id space from the shards.
+	view bool
 }
 
 // New creates an empty table with the given schema, partitioned with a
@@ -70,6 +76,9 @@ func (t *Table) Partitioner() partition.Partitioner { return t.part }
 // RowID. Payload length must match the schema width; the payload is cloned.
 // Hash and tree indexes are maintained for every indexed column.
 func (t *Table) Append(ts storage.Timestamp, payload storage.Payload) (RowID, error) {
+	if t.view {
+		return 0, fmt.Errorf("table %s: Append on a view table; load rows through the owning shard", t.name)
+	}
 	if len(payload) != t.schema.Width() {
 		return 0, fmt.Errorf("table %s: payload width %d, schema width %d", t.name, len(payload), t.schema.Width())
 	}
@@ -88,6 +97,43 @@ func (t *Table) Append(ts storage.Timestamp, payload storage.Payload) (RowID, er
 	}
 	t.idxMu.RUnlock()
 	return id, nil
+}
+
+// AdoptChain appends an EXISTING version chain — one owned by another
+// table — as this table's next row and marks the table as a view. The
+// chain is shared, not copied: versions published by the owning table
+// (iterative commits included) become visible through the view instantly,
+// which is how a shard-local commit at the coordinator's timestamp is
+// observable from every other shard's read path. Views refuse Append;
+// secondary indexes are maintained from the chain's current head.
+func (t *Table) AdoptChain(c *storage.VersionChain) (RowID, error) {
+	if c == nil {
+		return 0, fmt.Errorf("table %s: AdoptChain of nil chain", t.name)
+	}
+	t.mu.Lock()
+	t.view = true
+	id := RowID(len(t.rows))
+	t.rows = append(t.rows, c)
+	t.mu.Unlock()
+
+	if head := c.Head(); head != nil {
+		t.idxMu.RLock()
+		for col, idx := range t.hashIdx {
+			idx.Insert(head.Payload.Int64(t.schema.MustCol(col)), uint64(id))
+		}
+		for col, idx := range t.treeIdx {
+			idx.Insert(head.Payload.Int64(t.schema.MustCol(col)), uint64(id))
+		}
+		t.idxMu.RUnlock()
+	}
+	return id, nil
+}
+
+// IsView reports whether this table was assembled from adopted chains.
+func (t *Table) IsView() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.view
 }
 
 // Chain returns the version chain of row, or nil if the row does not exist.

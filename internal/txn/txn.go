@@ -53,6 +53,19 @@ func NewManager() *Manager {
 	return &Manager{oracle: &storage.Oracle{}, pins: make(map[storage.Timestamp]int)}
 }
 
+// NewManagerWithOracle creates a transaction manager drawing timestamps
+// from a shared oracle. Shard kernels use it so commit timestamps are
+// globally comparable across shards — a prerequisite for the coordinator's
+// two-phase uber-commit, which publishes the same timestamp on every
+// shard. Each manager still owns its commit lock, stable watermark, and
+// active-snapshot registry; only the counter is shared.
+func NewManagerWithOracle(o *storage.Oracle) *Manager {
+	if o == nil {
+		o = &storage.Oracle{}
+	}
+	return &Manager{oracle: o, pins: make(map[storage.Timestamp]int)}
+}
+
 // Oracle exposes the manager's timestamp oracle, shared with bulk loaders
 // and uber-transactions.
 func (m *Manager) Oracle() *storage.Oracle { return m.oracle }
@@ -75,6 +88,56 @@ func (m *Manager) PublishAt(publish func(ts storage.Timestamp)) storage.Timestam
 	publish(ts)
 	m.stable.Store(uint64(ts))
 	return ts
+}
+
+// Prepared is a shard's side of a two-phase commit: the manager's commit
+// lock, held between the coordinator's prepare and commit (or abort)
+// decisions. While a Prepared is open no other publish — OLTP commit, bulk
+// load, single-kernel uber-commit — can interleave on this manager, so the
+// shard's stable watermark cannot move between the prepare vote and the
+// coordinated publish. Exactly one of CommitAt or Abort must be called.
+type Prepared struct {
+	m    *Manager
+	done bool
+}
+
+// Prepare locks the manager for a coordinated publish and returns the
+// handle the commit phase settles. Multiple managers must be prepared in a
+// deterministic order (the coordinator uses shard-id order) so concurrent
+// coordinators cannot deadlock against each other.
+func (m *Manager) Prepare() *Prepared {
+	m.commitMu.Lock()
+	return &Prepared{m: m}
+}
+
+// CommitAt runs publish with the coordinator-chosen timestamp, advances
+// the stable watermark to it, and releases the prepare lock. ts must come
+// from the shared oracle and be drawn after every participating shard
+// prepared: commits on this manager serialize on the commit lock, so every
+// earlier publish here drew a smaller timestamp and the watermark only
+// moves forward. A stale ts (below the current watermark) panics — it
+// would re-expose a half-published snapshot to new transactions.
+func (p *Prepared) CommitAt(ts storage.Timestamp, publish func(ts storage.Timestamp)) {
+	if p.done {
+		panic("txn: CommitAt on a settled Prepared")
+	}
+	p.done = true
+	if cur := p.m.Stable(); ts < cur {
+		p.m.commitMu.Unlock()
+		panic(fmt.Sprintf("txn: coordinated commit ts %d below stable watermark %d", ts, cur))
+	}
+	publish(ts)
+	p.m.stable.Store(uint64(ts))
+	p.m.commitMu.Unlock()
+}
+
+// Abort releases the prepare lock without publishing anything.
+func (p *Prepared) Abort() {
+	if p.done {
+		return
+	}
+	p.done = true
+	p.m.commitMu.Unlock()
 }
 
 // PinSnapshot atomically reads the current stable timestamp and registers

@@ -1,0 +1,771 @@
+package db4ml
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"db4ml/internal/exec"
+	"db4ml/internal/gc"
+	"db4ml/internal/numa"
+	"db4ml/internal/obs"
+	"db4ml/internal/partition"
+	"db4ml/internal/plan"
+	"db4ml/internal/resilience"
+	"db4ml/internal/shard"
+	"db4ml/internal/table"
+	"db4ml/internal/txn"
+)
+
+// This file is the sharded facade: OpenSharded builds N independent kernel
+// instances (each with its own transaction manager, worker pool, stable
+// watermark, and GC) sharing only the timestamp oracle, and runs every ML
+// job as a distributed uber-transaction through the shard coordinator —
+// begun and attached on every shard before any shard executes, committed
+// with a two-phase protocol at one shared-oracle timestamp, aborted
+// everywhere if any shard fails. See DESIGN.md §15 and internal/shard.
+//
+// The programming model is unchanged: tables are created and loaded the
+// same way (CreateTable returns the global VIEW table, whose row ids are
+// global and whose version chains are shared with the owning shards'
+// locals), sub-transactions read and write through the view exactly as on
+// a single kernel, and MLRun/QueryRun carry the same knobs. What sharding
+// adds is placement: rows are routed to shards by the configured scheme,
+// and sub-transaction i runs on the shard owning its rows (MLRun.ShardOf,
+// defaulting to "sub i owns global row i of the first attached table" —
+// the built-in algorithms' convention, so PageRank and SGD run unchanged).
+
+// ShardedTable exposes a sharded table's placement surface: View, Local,
+// ShardOf, Locate, LocalRows, Router. CreateTable on a sharded database
+// registers one and returns its View; retrieve the full object with
+// ShardedDB.ShardedTable.
+type ShardedTable = shard.Table
+
+// Partitioning schemes for WithShardScheme (the same schemes that place
+// rows across NUMA regions inside one kernel; see internal/partition).
+const (
+	ShardRange      = partition.Range
+	ShardRoundRobin = partition.RoundRobin
+	ShardHash       = partition.Hash
+)
+
+// WithShards sets the shard count for OpenSharded (default 2). Each shard
+// is a full kernel instance with its own worker pool of WithWorkers
+// workers — total worker count scales with the shard count.
+func WithShards(n int) Option { return func(c *openConfig) { c.shards = n } }
+
+// WithShardScheme sets the row-placement scheme for tables created on a
+// sharded database (default ShardHash). ShardRange keeps contiguous row
+// ranges per shard (best for range scans), ShardRoundRobin interleaves
+// (best for load balance), ShardHash scatters.
+func WithShardScheme(s partition.Scheme) Option {
+	return func(c *openConfig) { c.shardScheme = s }
+}
+
+// ShardedDB is a shard-per-node database: N kernels behind the single-
+// kernel programming model. ML jobs span every shard as one distributed
+// uber-transaction; queries scatter across shards and gather; OLTP reads
+// pin one snapshot per shard.
+type ShardedDB struct {
+	cluster *shard.Cluster
+	co      *shard.Coordinator
+	scheme  partition.Scheme
+
+	tblMu  sync.RWMutex
+	tables map[string]*ShardedTable
+	byView map[*Table]*ShardedTable
+
+	// One version reclaimer per shard, each clamped to its own kernel's
+	// oldest active snapshot and pruning only the locals that shard owns.
+	reclaimers []*gc.Reclaimer
+
+	deadline  time.Duration
+	stall     time.Duration
+	retry     RetryPolicy
+	gate      *resilience.Gate
+	admitWait bool
+	degrade   func(pressure float64, batch int) int
+
+	tracerOnce sync.Once
+	runID      atomic.Uint64
+	queryID    atomic.Uint64
+
+	mu      sync.Mutex
+	closed  bool
+	handles sync.WaitGroup
+}
+
+// OpenSharded creates an empty sharded database and starts every shard's
+// worker pool. All single-kernel options apply per shard (WithWorkers
+// sizes each shard's pool, WithVersionGC runs one reclaimer per shard,
+// supervision defaults cover distributed runs); WithDebugServer is not
+// supported on a sharded database yet and panics.
+func OpenSharded(opts ...Option) *ShardedDB {
+	oc := openConfig{shardScheme: ShardHash}
+	for _, o := range opts {
+		o(&oc)
+	}
+	if oc.debugAddr != "" {
+		panic("db4ml: WithDebugServer is not supported on a sharded database")
+	}
+	if oc.shards <= 0 {
+		oc.shards = 2
+	}
+	cfg := exec.Config{Workers: oc.workers, Chaos: oc.chaos}
+	if oc.regions > 0 {
+		cfg.Topology = numa.NewTopology(oc.regions, cfg.Resolved().Workers)
+	}
+	cluster, err := shard.NewCluster(oc.shards, cfg)
+	if err != nil {
+		// Unreachable for the same reason Open's pool construction is: every
+		// validated constraint is clamped before it gets here.
+		panic("db4ml: " + err.Error())
+	}
+	db := &ShardedDB{
+		cluster:   cluster,
+		co:        shard.NewCoordinator(cluster),
+		scheme:    oc.shardScheme,
+		tables:    make(map[string]*ShardedTable),
+		byView:    make(map[*Table]*ShardedTable),
+		deadline:  oc.deadline,
+		stall:     oc.stall,
+		retry:     oc.retry,
+		gate:      resilience.NewGate(oc.maxInflight),
+		admitWait: oc.admitWait,
+		degrade:   oc.degrade,
+	}
+	db.reclaimers = make([]*gc.Reclaimer, oc.shards)
+	for s := 0; s < oc.shards; s++ {
+		s := s
+		db.reclaimers[s] = gc.New(cluster.Kernel(s).Mgr(), func() []*table.Table {
+			return db.localTables(s)
+		})
+		if oc.gcInterval > 0 {
+			cluster.Kernel(s).Pool().Maintain(oc.gcInterval, func() { db.reclaimers[s].Pass() })
+		}
+	}
+	return db
+}
+
+// localTables snapshots shard s's local tables for its reclaimer.
+func (db *ShardedDB) localTables(s int) []*table.Table {
+	db.tblMu.RLock()
+	defer db.tblMu.RUnlock()
+	out := make([]*table.Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Local(s))
+	}
+	return out
+}
+
+// Shards returns the shard count.
+func (db *ShardedDB) Shards() int { return db.cluster.Shards() }
+
+// Cluster exposes the underlying shard cluster for advanced uses (the
+// experiment harness reads per-shard managers directly).
+func (db *ShardedDB) Cluster() *shard.Cluster { return db.cluster }
+
+// Close drains in-flight distributed runs — including every
+// uber-transaction's two-phase commit or abort — then stops all shards'
+// worker pools. Further submissions fail with ErrClosed; reads keep
+// working.
+func (db *ShardedDB) Close() error {
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+	db.co.Close()
+	db.handles.Wait()
+	db.cluster.Close()
+	return nil
+}
+
+// CreateTable adds a new, empty sharded ML-table and returns its global
+// view: row ids on the returned table are global, reads and scans resolve
+// the owning shards' version chains directly, and sub-transactions written
+// against it run unchanged. Placement follows the database's shard scheme
+// (WithShardScheme).
+func (db *ShardedDB) CreateTable(name string, cols ...Column) (*Table, error) {
+	schema, err := table.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	db.tblMu.Lock()
+	defer db.tblMu.Unlock()
+	if _, exists := db.tables[name]; exists {
+		return nil, fmt.Errorf("db4ml: table %q already exists", name)
+	}
+	router := shard.NewRouter(db.scheme, db.cluster.Shards(), 0)
+	st := shard.NewTable(name, schema, router)
+	db.tables[name] = st
+	db.byView[st.View()] = st
+	return st.View(), nil
+}
+
+// Table returns a table's global view by name, or nil.
+func (db *ShardedDB) Table(name string) *Table {
+	db.tblMu.RLock()
+	defer db.tblMu.RUnlock()
+	if st := db.tables[name]; st != nil {
+		return st.View()
+	}
+	return nil
+}
+
+// ShardedTable returns the full sharded table (placement surface included)
+// by name, or nil.
+func (db *ShardedDB) ShardedTable(name string) *ShardedTable {
+	db.tblMu.RLock()
+	defer db.tblMu.RUnlock()
+	return db.tables[name]
+}
+
+// shardedOf resolves a view table back to its sharded table.
+func (db *ShardedDB) shardedOf(view *Table) (*ShardedTable, error) {
+	db.tblMu.RLock()
+	defer db.tblMu.RUnlock()
+	if st := db.byView[view]; st != nil {
+		return st, nil
+	}
+	name := "<nil>"
+	if view != nil {
+		name = view.Name()
+	}
+	return nil, fmt.Errorf("db4ml: table %q is not a table of this sharded database", name)
+}
+
+// BulkLoad appends rows in one globally atomic publish: rows are routed to
+// their owning shards and published everywhere at one shared-oracle
+// timestamp, so the load is either visible on every shard or on none.
+func (db *ShardedDB) BulkLoad(tbl *Table, rows []Payload) error {
+	st, err := db.shardedOf(tbl)
+	if err != nil {
+		return err
+	}
+	_, err = st.Load(db.cluster, rows)
+	return err
+}
+
+// Stable returns the newest timestamp at which EVERY shard is fully
+// published — the cross-shard consistent snapshot bound. Individual shards
+// may be ahead of it.
+func (db *ShardedDB) Stable() Timestamp {
+	var min Timestamp
+	for s := 0; s < db.cluster.Shards(); s++ {
+		ts := db.cluster.Kernel(s).Mgr().Stable()
+		if s == 0 || ts < min {
+			min = ts
+		}
+	}
+	return min
+}
+
+// DistTxn is a read-only cross-shard transaction: one snapshot pinned per
+// shard at Begin, each at that shard's own stable watermark. Reads route
+// to the owning shard's snapshot, so a read never observes a version the
+// owner's GC could reclaim and never observes a torn distributed commit
+// mid-publish on the shard that owns the row. Cross-shard OLTP writes are
+// not supported — writes go through single-shard transactions
+// (Cluster().Kernel(i).Mgr().Begin()) or distributed ML runs.
+type DistTxn struct {
+	db  *ShardedDB
+	txs []*txn.Txn
+}
+
+// Begin pins one read snapshot per shard.
+func (db *ShardedDB) Begin() *DistTxn {
+	d := &DistTxn{db: db, txs: make([]*txn.Txn, db.cluster.Shards())}
+	for s := range d.txs {
+		d.txs[s] = db.cluster.Kernel(s).Mgr().Begin()
+	}
+	return d
+}
+
+// Read returns global row's payload from its owning shard's pinned
+// snapshot. tbl must be a view returned by CreateTable/Table.
+func (d *DistTxn) Read(tbl *Table, row RowID) (Payload, bool) {
+	st, err := d.db.shardedOf(tbl)
+	if err != nil {
+		return nil, false
+	}
+	s, local, ok := st.Locate(row)
+	if !ok {
+		return nil, false
+	}
+	return d.txs[s].Read(st.Local(s), local)
+}
+
+// BeginTS returns the snapshot timestamp pinned on the given shard.
+func (d *DistTxn) BeginTS(shard int) Timestamp { return d.txs[shard].BeginTS() }
+
+// Close releases every pinned snapshot.
+func (d *DistTxn) Close() {
+	for _, tx := range d.txs {
+		tx.Abort()
+	}
+}
+
+// PruneNow runs one version-GC pass on every shard synchronously — each
+// clamped to its own kernel's oldest active snapshot — and returns the
+// total number of versions reclaimed.
+func (db *ShardedDB) PruneNow() int {
+	total := 0
+	for _, r := range db.reclaimers {
+		total += r.Pass().Pruned
+	}
+	return total
+}
+
+// GCStats reports lifetime GC totals summed over every shard's reclaimer.
+func (db *ShardedDB) GCStats() (passes, pruned uint64) {
+	for _, r := range db.reclaimers {
+		passes += r.Passes()
+		pruned += r.TotalPruned()
+	}
+	return passes, pruned
+}
+
+// ShardedJobHandle tracks one in-flight distributed ML run. One handle
+// spans every retry attempt (a failed attempt's uber-transaction aborted
+// on every shard, so resubmission is side-effect-free) and resolves only
+// when the final attempt's two-phase commit or abort settled everywhere.
+type ShardedJobHandle struct {
+	inner      atomic.Pointer[shard.Handle]
+	attempts   atomic.Int32
+	done       chan struct{}
+	cancelOnce sync.Once
+	cancelCh   chan struct{}
+	observers  []*Observer
+
+	stats []ExecStats
+	ts    Timestamp
+	err   error
+}
+
+// Wait blocks until the distributed run finished (commit or abort on every
+// shard, retries included) and returns per-shard stats (index = shard id;
+// zero value for shards that ran no sub-transactions).
+func (h *ShardedJobHandle) Wait() ([]ExecStats, error) {
+	<-h.done
+	return h.stats, h.err
+}
+
+// CommitTS returns the global commit timestamp — the one timestamp every
+// shard published at — or 0 if the run aborted. Valid after Wait.
+func (h *ShardedJobHandle) CommitTS() Timestamp {
+	<-h.done
+	return h.ts
+}
+
+// Cancel asks every shard's job to stop; the distributed uber-transaction
+// aborts on all shards, nothing becomes visible anywhere, and no further
+// retry attempts are made.
+func (h *ShardedJobHandle) Cancel() { h.cancelOnce.Do(func() { close(h.cancelCh) }) }
+
+// Attempts returns how many times the run has been submitted so far.
+func (h *ShardedJobHandle) Attempts() int { return int(h.attempts.Load()) }
+
+// Done returns a channel closed when the run fully resolved.
+func (h *ShardedJobHandle) Done() <-chan struct{} { return h.done }
+
+// ShardObservers returns the per-shard observers (index = shard id), or
+// nil when the run was submitted without MLRun.Observer. Shard 0's is the
+// caller's observer; the rest were auto-attached.
+func (h *ShardedJobHandle) ShardObservers() []*Observer { return h.observers }
+
+// ShardSnapshots exports every shard's telemetry snapshot (nil without
+// MLRun.Observer).
+func (h *ShardedJobHandle) ShardSnapshots() []TelemetrySnapshot {
+	if h.observers == nil {
+		return nil
+	}
+	out := make([]TelemetrySnapshot, len(h.observers))
+	for i, o := range h.observers {
+		out[i] = o.Snapshot()
+	}
+	return out
+}
+
+// SubmitML starts one ML algorithm as a DISTRIBUTED uber-transaction and
+// returns without waiting. Placement: sub-transaction i runs on shard
+// MLRun.ShardOf(i) (default: the shard owning global row i of the first
+// attached table). Every shard's slice attaches its local rows of every
+// attached table; the coordinator begins and attaches all shards before
+// any shard executes, so cross-shard reads through the view always find
+// sibling shards' iterative records in place. On success the result
+// publishes atomically on every shard at one timestamp; on any shard's
+// failure the run aborts everywhere. Under the synchronous level the
+// per-shard barriers are tied into one global rendezvous, so "reads see
+// exactly the previous iteration" holds across shards too.
+func (db *ShardedDB) SubmitML(ctx context.Context, run MLRun) (*ShardedJobHandle, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	db.handles.Add(1)
+	db.mu.Unlock()
+
+	if err := db.gate.Acquire(ctx, db.admitWait); err != nil {
+		db.handles.Done()
+		if run.Observer != nil && err == resilience.ErrOverloaded {
+			run.Observer.Inc(0, obs.LoadSheds)
+		}
+		return nil, err
+	}
+	fail := func(err error) (*ShardedJobHandle, error) {
+		db.gate.Release()
+		db.handles.Done()
+		return nil, err
+	}
+
+	if run.Workers > 0 || run.Regions > 0 {
+		return fail(fmt.Errorf("db4ml: per-run private pools (MLRun.Workers/Regions) are not supported on a sharded database"))
+	}
+	if len(run.Attach) == 0 {
+		return fail(fmt.Errorf("db4ml: a sharded ML run must attach at least one table"))
+	}
+
+	n := db.cluster.Shards()
+
+	// Resolve every attachment to its sharded table and split its row sets
+	// into per-shard locals. Every shard attaches (and votes in the
+	// two-phase commit) even when it runs no sub-transactions.
+	sharded := make([]*ShardedTable, len(run.Attach))
+	attach := make([][]shard.Attachment, n)
+	for ai, a := range run.Attach {
+		st, err := db.shardedOf(a.Table)
+		if err != nil {
+			return fail(err)
+		}
+		sharded[ai] = st
+		locals, err := st.LocalRows(a.Rows)
+		if err != nil {
+			return fail(err)
+		}
+		for s := 0; s < n; s++ {
+			attach[s] = append(attach[s], shard.Attachment{
+				Table:    st.Local(s),
+				Rows:     locals[s],
+				Versions: a.Versions,
+			})
+		}
+	}
+
+	// Placement: group the sub-transactions by shard.
+	primary := sharded[0]
+	shardOf := run.ShardOf
+	if shardOf == nil {
+		shardOf = func(i int) int { return primary.ShardOf(RowID(i)) }
+	}
+	subs := make([][]IterativeTransaction, n)
+	for i, sub := range run.Subs {
+		s := shardOf(i)
+		if s < 0 || s >= n {
+			return fail(fmt.Errorf("db4ml: sub-transaction %d routed to shard %d of %d (is the first attached table loaded?)", i, s, n))
+		}
+		subs[s] = append(subs[s], sub)
+	}
+
+	// Per-shard job configuration: resolved exactly like the single-kernel
+	// path, with per-shard labels and observers.
+	deadline := run.Deadline
+	if deadline <= 0 {
+		deadline = db.deadline
+	}
+	stall := run.StallTimeout
+	if stall <= 0 {
+		stall = db.stall
+	}
+	policy := db.retry
+	if run.Retry != nil {
+		policy = *run.Retry
+	}
+	batch := run.BatchSize
+	if db.degrade != nil {
+		if batch <= 0 {
+			batch = exec.DefaultBatchSize
+		}
+		batch = db.degrade(db.gate.Pressure(), batch)
+	}
+	var observers []*Observer
+	if run.Observer != nil {
+		observers = make([]*Observer, n)
+		observers[0] = run.Observer
+		for s := 1; s < n; s++ {
+			observers[s] = obs.New()
+		}
+	}
+	if run.Tracer != nil {
+		// Coordinator-level spans (the global commit instant) go to the
+		// first tracer any run brings; per-shard engine spans go to each
+		// run's own tracer below.
+		db.tracerOnce.Do(func() { db.co.SetTracer(run.Tracer) })
+	}
+
+	plans := make([]shard.Plan, n)
+	for s := 0; s < n; s++ {
+		label := run.Label
+		if label != "" {
+			label = fmt.Sprintf("%s@s%d", run.Label, s)
+		}
+		cfg := exec.JobConfig{
+			BatchSize:        batch,
+			MaxIterations:    run.MaxIterations,
+			Deadline:         deadline,
+			StallTimeout:     stall,
+			RegionOf:         run.RegionOf,
+			IterationHook:    run.IterationHook,
+			ConvergeTogether: run.ConvergeTogether,
+			Tracer:           run.Tracer,
+			Label:            label,
+			Chaos:            run.Chaos,
+			Recorder:         run.Recorder,
+		}
+		if observers != nil {
+			cfg.Observer = observers[s]
+		}
+		plans[s] = shard.Plan{Attach: attach[s], Subs: subs[s], Config: cfg}
+	}
+
+	uber := shard.UberRun{
+		Isolation: run.Isolation,
+		Plans:     plans,
+		// The synchronous level's contract is global: no shard may enter a
+		// round before every shard finished the previous one.
+		GlobalBarrier: run.Isolation.Level == Synchronous,
+	}
+	inner, err := db.co.Submit(uber)
+	if err != nil {
+		if errors.Is(err, shard.ErrClosed) || errors.Is(err, exec.ErrPoolClosed) {
+			err = ErrClosed
+		}
+		return fail(err)
+	}
+
+	h := &ShardedJobHandle{
+		done:      make(chan struct{}),
+		cancelCh:  make(chan struct{}),
+		observers: observers,
+	}
+	h.inner.Store(inner)
+	h.attempts.Store(1)
+	go db.superviseSharded(ctx, h, uber, policy)
+	return h, nil
+}
+
+// superviseSharded drives one distributed handle to resolution: wait on
+// the coordinator's handle, retry per policy on retryable failures (the
+// coordinator aborted the failed attempt on every shard, so resubmission
+// re-begins from scratch), resolve terminally otherwise.
+func (db *ShardedDB) superviseSharded(ctx context.Context, h *ShardedJobHandle,
+	uber shard.UberRun, policy RetryPolicy) {
+	defer db.handles.Done()
+	defer db.gate.Release()
+	defer close(h.done)
+
+	token := db.runID.Add(1)
+	for attempt := 1; ; attempt++ {
+		inner := h.inner.Load()
+		select {
+		case <-ctx.Done():
+			inner.Cancel()
+		case <-h.cancelCh:
+			inner.Cancel()
+		case <-inner.Done():
+		}
+		stats, ts, err := inner.Wait()
+		h.stats = stats
+		if err == nil {
+			h.ts = ts
+			return
+		}
+		if errors.Is(err, exec.ErrJobCancelled) && ctx.Err() != nil {
+			err = ctx.Err()
+		}
+		delay, retry := policy.ShouldRetryFor(token, err, attempt)
+		if !retry || ctx.Err() != nil || cancelled(h.cancelCh) {
+			h.err = err
+			return
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			h.err = ctx.Err()
+			return
+		case <-h.cancelCh:
+			timer.Stop()
+			h.err = err
+			return
+		}
+		next, serr := db.co.Submit(uber)
+		if serr != nil {
+			if errors.Is(serr, shard.ErrClosed) || errors.Is(serr, exec.ErrPoolClosed) {
+				serr = ErrClosed
+			}
+			h.err = serr
+			return
+		}
+		h.inner.Store(next)
+		h.attempts.Store(int32(attempt + 1))
+	}
+}
+
+// RunML executes one ML algorithm as a distributed uber-transaction and
+// blocks until it finished, returning per-shard stats.
+func (db *ShardedDB) RunML(run MLRun) ([]ExecStats, error) {
+	h, err := db.SubmitML(context.Background(), run)
+	if err != nil {
+		return nil, err
+	}
+	return h.Wait()
+}
+
+// shardEnvs assembles one plan.Env per shard for a scattered query: each
+// fragment pins its snapshot in its own shard's manager. One observer and
+// tracer serve all fragments (counters accumulate across shards).
+func (db *ShardedDB) shardEnvs(run QueryRun) []plan.Env {
+	id := db.queryID.Add(1)
+	envs := make([]plan.Env, db.cluster.Shards())
+	for s := range envs {
+		envs[s] = plan.Env{
+			Mgr:        db.cluster.Kernel(s).Mgr(),
+			Pool:       db.cluster.Kernel(s).Pool(),
+			Obs:        run.Observer,
+			Tracer:     run.Tracer,
+			Job:        id,
+			NoPushdown: run.NoPushdown,
+			NoPresize:  run.NoPresize,
+		}
+	}
+	return envs
+}
+
+// rebindScan maps a scanned view table to a shard's local table for the
+// scatter stage, or nil for tables this database does not shard.
+func (db *ShardedDB) rebindScan(tbl *table.Table, s int) *table.Table {
+	db.tblMu.RLock()
+	defer db.tblMu.RUnlock()
+	if st := db.byView[tbl]; st != nil {
+		return st.Local(s)
+	}
+	return nil
+}
+
+// SubmitQuery starts one supervised distributed query and returns without
+// waiting. The plan's scan/filter/project pipeline scatters — each shard's
+// fragment runs at that shard's own pinned snapshot over only the rows it
+// owns — and aggregates, sorts, and limits gather over the concatenated
+// fragment results. Joins, iterate nodes, and RowRange predicates cannot
+// run sharded and fail at submission. Supervision matches the single-
+// kernel path: the same admission gate, default deadline, and retry
+// policy. Per-operator stats are not reported for scattered queries
+// (QueryHandle.Stats returns nil).
+func (db *ShardedDB) SubmitQuery(ctx context.Context, run QueryRun) (*QueryHandle, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	db.handles.Add(1)
+	db.mu.Unlock()
+
+	if err := db.gate.Acquire(ctx, db.admitWait); err != nil {
+		db.handles.Done()
+		if run.Observer != nil && err == resilience.ErrOverloaded {
+			run.Observer.Inc(0, obs.LoadSheds)
+		}
+		return nil, err
+	}
+
+	deadline := run.Deadline
+	if deadline <= 0 {
+		deadline = db.deadline
+	}
+	policy := db.retry
+	if run.Retry != nil {
+		policy = *run.Retry
+	}
+	envs := db.shardEnvs(run)
+
+	h := &QueryHandle{done: make(chan struct{}), cancelCh: make(chan struct{})}
+	go db.superviseShardedQuery(ctx, h, run.Plan, envs, deadline, policy)
+	return h, nil
+}
+
+// superviseShardedQuery drives one scattered query to resolution with the
+// same deadline/cancel/retry vocabulary as the single-kernel query path.
+func (db *ShardedDB) superviseShardedQuery(ctx context.Context, h *QueryHandle,
+	p *Plan, envs []plan.Env, deadline time.Duration, policy RetryPolicy) {
+	defer db.handles.Done()
+	defer db.gate.Release()
+	defer close(h.done)
+
+	token := envs[0].Job
+	for attempt := 1; ; attempt++ {
+		h.attempts.Store(int32(attempt))
+		var qctx context.Context
+		var cancel context.CancelFunc
+		if deadline > 0 {
+			qctx, cancel = context.WithTimeout(ctx, deadline)
+		} else {
+			qctx, cancel = context.WithCancel(ctx)
+		}
+		watcherDone := make(chan struct{})
+		go func() {
+			select {
+			case <-h.cancelCh:
+				cancel()
+			case <-watcherDone:
+			}
+		}()
+		rel, err := plan.ScatterGather(qctx, p, envs, db.rebindScan)
+		close(watcherDone)
+		cancel()
+		switch {
+		case err == nil:
+			h.result = rel
+			return
+		case cancelled(h.cancelCh):
+			h.err = ErrJobCancelled
+			return
+		case ctx.Err() != nil:
+			h.err = ctx.Err()
+			return
+		case errors.Is(err, context.DeadlineExceeded):
+			h.err = ErrJobDeadline
+			return
+		}
+		delay, retry := policy.ShouldRetryFor(token, err, attempt)
+		if !retry {
+			h.err = err
+			return
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			h.err = ctx.Err()
+			return
+		case <-h.cancelCh:
+			timer.Stop()
+			h.err = err
+			return
+		}
+	}
+}
+
+// RunQuery executes one distributed query and blocks until its
+// materialized result is ready.
+func (db *ShardedDB) RunQuery(ctx context.Context, run QueryRun) (*Relation, error) {
+	h, err := db.SubmitQuery(ctx, run)
+	if err != nil {
+		return nil, err
+	}
+	return h.Wait()
+}
