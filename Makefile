@@ -1,5 +1,5 @@
 # Tier-1 gate: everything `make check` runs must stay green.
-.PHONY: check build vet test test-race-short bench-smoke chaos fuzz resilience staticcheck obs gc plan shard
+.PHONY: check build vet test test-race-short bench-smoke chaos fuzz resilience staticcheck obs gc plan shard recovery
 
 check: build vet test test-race-short
 
@@ -89,14 +89,32 @@ shard:
 	go test -race -run 'TestScatterGather' ./internal/plan
 	go run ./cmd/db4ml-bench -exp shard -quick
 
+# Durability gate: the WAL and checkpoint packages (framing, group commit,
+# torn-tail truncation, fuzzy-checkpoint round trips) and the facade
+# durability tests under the race detector, then the kill-point recovery
+# harness — every crash point × 1/2/4 shards checked against the
+# committed-exactly-or-absent contract, plus the planted-violation
+# conviction tests — and a quick pass of the recovery experiment. The
+# committed BENCH_RECOVERY.json comes from the full run:
+#   go run ./cmd/db4ml-bench -exp recovery -runs 2 -benchjson BENCH_RECOVERY.json
+recovery:
+	go test -race ./internal/wal ./internal/checkpoint
+	go test -race -run 'TestDurability|TestCheckpoint|TestInstallReplay|TestCrashPoint|TestWALSync' .
+	go test -race ./internal/crashsim
+	go test -race -run 'TestRecovery' ./internal/check
+	go run ./cmd/db4ml-bench -exp recovery -quick
+
 # Optional deeper static analysis; no-op when staticcheck is not on PATH
 # (the container image does not bake it in, CI installs it).
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
 
-# Short coverage-guided fuzz pass over the storage payload codec and the
-# iterative-record install/read seqlock. The committed corpus under
-# internal/storage/testdata/fuzz seeds both targets.
+# Short coverage-guided fuzz pass over the storage payload codec, the
+# iterative-record install/read seqlock, the WAL replay path, and the
+# checkpoint loader. The committed corpora under */testdata/fuzz seed all
+# four targets.
 fuzz:
 	go test -fuzz '^FuzzPayloadRoundTrip$$' -fuzztime 30s -run '^$$' ./internal/storage
 	go test -fuzz '^FuzzRecordInstall$$' -fuzztime 30s -run '^$$' ./internal/storage
+	go test -fuzz '^FuzzWALReplay$$' -fuzztime 30s -run '^$$' ./internal/wal
+	go test -fuzz '^FuzzCheckpointLoad$$' -fuzztime 30s -run '^$$' ./internal/checkpoint

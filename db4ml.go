@@ -43,6 +43,7 @@ import (
 	"db4ml/internal/table"
 	"db4ml/internal/trace"
 	"db4ml/internal/txn"
+	"db4ml/internal/wal"
 )
 
 // Re-exported building blocks. These are aliases, so values flow freely
@@ -198,6 +199,11 @@ type DB struct {
 	reclaimer *gc.Reclaimer
 	gcObs     *obs.Observer
 
+	// dur is the durability state (WAL, checkpoint cache, crash killer),
+	// non-nil only under WithWAL. It is armed by restore() AFTER recovery
+	// replay, so replay never re-logs the records it is applying.
+	dur *durability
+
 	// Supervision defaults applied to every run unless MLRun overrides
 	// them, plus the admission gate bounding concurrent ML jobs.
 	deadline  time.Duration
@@ -253,6 +259,11 @@ type openConfig struct {
 	gcInterval  time.Duration
 	shards      int
 	shardScheme partition.Scheme
+	walDir      string
+	walPolicy   wal.SyncPolicy
+	walInterval time.Duration
+	ckptEvery   time.Duration
+	crash       *chaos.Killer
 }
 
 // WithWorkers sets the size of the database's worker pool (default
@@ -410,6 +421,14 @@ func Open(opts ...Option) *DB {
 		// pool-owned.
 		pool.Maintain(oc.gcInterval, func() { db.reclaimer.Pass() })
 	}
+	if oc.walDir != "" {
+		// Recovery runs before anything is served: checkpoint restore, WAL
+		// tail replay, then the log is armed for new appends.
+		db.restore(oc)
+		if oc.ckptEvery > 0 {
+			pool.Maintain(oc.ckptEvery, func() { _ = db.Checkpoint() })
+		}
+	}
 	return db
 }
 
@@ -498,6 +517,11 @@ func (db *DB) Close() error {
 	db.mu.Unlock()
 	pool.Close()
 	db.handles.Wait()
+	if db.dur != nil {
+		// After the drain no commit is mid-append; Close flushes and fsyncs
+		// the tail so a clean shutdown loses nothing even under WALSyncNone.
+		_ = db.dur.log.Close()
+	}
 	if db.debug != nil {
 		_ = db.debug.Close()
 	}
@@ -516,6 +540,14 @@ func (db *DB) CreateTable(name string, cols ...Column) (*Table, error) {
 		return nil, fmt.Errorf("db4ml: table %q already exists", name)
 	}
 	t := table.New(name, schema)
+	if db.dur != nil {
+		// Log the creation before registering: if the append fails (crash,
+		// I/O error) the table never existed, matching what recovery will
+		// reconstruct.
+		if err := db.dur.appendCreate(name, cols); err != nil {
+			return nil, err
+		}
+	}
 	db.tables[name] = t
 	return t, nil
 }
@@ -535,7 +567,9 @@ func (db *DB) Begin() *Txn { return db.mgr.Begin() }
 // the loaded prefix remains — use fresh tables for loading.
 func (db *DB) BulkLoad(tbl *Table, rows []Payload) error {
 	var err error
-	db.mgr.PublishAt(func(ts Timestamp) {
+	var firstRow int
+	ts := db.mgr.PublishAt(func(ts Timestamp) {
+		firstRow = tbl.NumRows()
 		for _, r := range rows {
 			if _, e := tbl.Append(ts, r); e != nil {
 				err = e
@@ -543,7 +577,15 @@ func (db *DB) BulkLoad(tbl *Table, rows []Payload) error {
 			}
 		}
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	if db.dur != nil && len(rows) > 0 {
+		// Publish-then-log: the load is visible in memory before the append;
+		// an append failure means it was never durable (and never acked).
+		return db.dur.appendLoad(tbl.Name(), ts, firstRow, rows)
+	}
+	return nil
 }
 
 // Stable returns the newest fully published commit timestamp; reads at
@@ -651,7 +693,21 @@ type JobHandle struct {
 	cancelOnce sync.Once
 	cancelCh   chan struct{}
 	stats      ExecStats
+	ts         Timestamp
 	err        error
+}
+
+// CommitTS returns the uber-transaction's commit timestamp: zero until the
+// job resolved, and zero forever if it aborted or was never acknowledged
+// (a crashed run may have published in the dying process's memory, but an
+// unacknowledged commit has no timestamp the caller may rely on).
+func (h *JobHandle) CommitTS() Timestamp {
+	select {
+	case <-h.done:
+		return h.ts
+	default:
+		return 0
+	}
 }
 
 // Wait blocks until the job finished (including the uber-transaction's
@@ -897,6 +953,13 @@ func (db *DB) supervise(ctx context.Context, h *JobHandle, u *itx.Uber,
 		// natural finish.
 		quiesced := job.Quiesce(quiesceGrace)
 		if err == nil {
+			if db.dur.killed(chaos.CrashBeforePrepare) {
+				// Simulated death before the uber-commit's prepare: nothing
+				// was published and nothing is acknowledged.
+				_ = u.Abort()
+				h.err = chaos.ErrCrashed
+				return
+			}
 			ts, cerr := u.Commit()
 			if cerr != nil {
 				if run.Recorder != nil {
@@ -905,6 +968,22 @@ func (db *DB) supervise(ctx context.Context, h *JobHandle, u *itx.Uber,
 				h.err = cerr
 				return
 			}
+			if db.dur.killed(chaos.CrashAfterPrepare) {
+				// Published in memory but never logged: the commit vanishes
+				// on recovery, and since it is never acknowledged here,
+				// committed-exactly-or-absent holds.
+				h.err = chaos.ErrCrashed
+				return
+			}
+			if db.dur != nil {
+				if werr := db.dur.appendCommit(ts, distinctTables(run.Attach)); werr != nil {
+					// The append or its fsync failed — the commit may not
+					// survive a restart, so it must not be acknowledged.
+					h.err = werr
+					return
+				}
+			}
+			h.ts = ts
 			if run.Recorder != nil {
 				run.Recorder.RecordUberCommit(ts)
 			}

@@ -1,0 +1,680 @@
+package db4ml
+
+// This file is the durability facade: WithWAL arms a write-ahead log of
+// uber-commit redo records (internal/wal), WithCheckpointEvery adds fuzzy
+// incremental checkpoints (internal/checkpoint) taken on a pool maintenance
+// goroutine, and Open/OpenSharded recover state from the newest valid
+// checkpoint plus the WAL tail before serving traffic.
+//
+// Durability ordering is publish-then-log: a commit becomes visible in
+// memory first, its redo record is appended (and fsynced per the sync
+// policy) second, and the caller is acknowledged only after the append. A
+// crash between publish and append therefore loses only an unacknowledged
+// commit — the committed-exactly-or-absent contract internal/crashsim
+// proves across every kill-point.
+//
+// Replay is idempotent: records apply in commit-timestamp order at their
+// ORIGINAL timestamps (txn.Prepared.CommitAt), per-row installs are skipped
+// when the chain head is already at or past the record's timestamp, loads
+// carry their first row id and skip already-present rows, and table
+// creations skip existing tables. Replaying the same tail twice yields
+// bit-identical tables.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"db4ml/internal/chaos"
+	"db4ml/internal/checkpoint"
+	"db4ml/internal/obs"
+	"db4ml/internal/shard"
+	"db4ml/internal/storage"
+	"db4ml/internal/table"
+	"db4ml/internal/trace"
+	"db4ml/internal/txn"
+	"db4ml/internal/wal"
+)
+
+type (
+	// WALSyncPolicy selects when the WAL's group-commit batcher fsyncs; see
+	// WALSyncAlways, WALSyncInterval, WALSyncNone.
+	WALSyncPolicy = wal.SyncPolicy
+	// CrashKiller arms exactly one simulated crash point; see WithCrashPoints
+	// and NewCrashKiller. Test/experiment only, like FaultInjector.
+	CrashKiller = chaos.Killer
+	// CrashPoint identifies one simulated crash location on the durability
+	// path.
+	CrashPoint = chaos.CrashPoint
+)
+
+// WAL fsync policies (WithWALSync).
+const (
+	// WALSyncAlways fsyncs once per group-commit batch before acknowledging
+	// it: every acknowledged commit is on disk.
+	WALSyncAlways = wal.SyncAlways
+	// WALSyncInterval acknowledges after the buffered write and fsyncs on a
+	// timer: a crash loses at most one interval of acknowledged commits.
+	WALSyncInterval = wal.SyncInterval
+	// WALSyncNone never fsyncs; the OS flushes on its own schedule.
+	WALSyncNone = wal.SyncNone
+)
+
+// Simulated crash points (WithCrashPoints / NewCrashKiller).
+const (
+	CrashBeforePrepare       = chaos.CrashBeforePrepare
+	CrashAfterPrepare        = chaos.CrashAfterPrepare
+	CrashBetweenShardCommits = chaos.CrashBetweenShardCommits
+	CrashMidWALAppend        = chaos.CrashMidWALAppend
+	CrashAfterWALAppend      = chaos.CrashAfterWALAppend
+	CrashMidCheckpoint       = chaos.CrashMidCheckpoint
+)
+
+// ErrCrashed reports a simulated crash: the database froze its WAL and the
+// in-flight operation was never acknowledged. Recover by reopening the
+// database over the same WithWAL directory.
+var ErrCrashed = chaos.ErrCrashed
+
+// NewCrashKiller arms one crash point for WithCrashPoints. The killer fires
+// exactly once; after it fires the WAL is frozen and every subsequent
+// durable operation fails with ErrCrashed, exactly as if the process died.
+func NewCrashKiller(p CrashPoint) *CrashKiller { return chaos.NewKiller(p) }
+
+// WithWAL enables durability: every table creation, bulk load, and
+// uber-commit is logged to an append-only write-ahead log under dir, and
+// Open/OpenSharded recover the database from the newest valid checkpoint in
+// dir plus the WAL tail. Torn log tails (a crash mid-append) are truncated,
+// not fatal.
+func WithWAL(dir string) Option { return func(c *openConfig) { c.walDir = dir } }
+
+// WithWALSync selects the WAL fsync policy (default WALSyncAlways).
+func WithWALSync(p WALSyncPolicy) Option { return func(c *openConfig) { c.walPolicy = p } }
+
+// WithWALSyncInterval sets the timer for WALSyncInterval (default 2ms).
+func WithWALSyncInterval(d time.Duration) Option {
+	return func(c *openConfig) { c.walInterval = d }
+}
+
+// WithCheckpointEvery runs a fuzzy incremental checkpoint every interval on
+// a pool maintenance goroutine: workers are never stalled (the snapshot is
+// pinned, not locked), unchanged tables reuse their previously encoded
+// sections, and the WAL is truncated below the checkpoint's LSN after the
+// checkpoint file is durably in place. Requires WithWAL.
+func WithCheckpointEvery(d time.Duration) Option {
+	return func(c *openConfig) { c.ckptEvery = d }
+}
+
+// WithCrashPoints arms a simulated crash at one durability kill-point; the
+// crash surfaces as ErrCrashed and freezes the WAL. Test/experiment only —
+// internal/crashsim drives the full kill-point matrix through it.
+func WithCrashPoints(k *CrashKiller) Option { return func(c *openConfig) { c.crash = k } }
+
+// errNoWAL rejects checkpoint requests on a database opened without WithWAL.
+var errNoWAL = fmt.Errorf("db4ml: checkpointing requires WithWAL")
+
+// durability is the shared durable-state machinery behind a DB or ShardedDB:
+// the open WAL, the crash killer, the checkpoint directory and section
+// cache, and the observer/tracer the subsystem reports into.
+type durability struct {
+	log    *wal.Log
+	dir    string
+	crash  *chaos.Killer
+	obs    *obs.Observer
+	tracer *trace.Tracer
+
+	// mu serializes checkpoints (the timer and manual Checkpoint calls);
+	// cache maps table name -> section bytes keyed by the table's mutation
+	// counter, so unchanged tables are not re-encoded or re-scanned.
+	mu    sync.Mutex
+	cache map[string]ckptSection
+}
+
+type ckptSection struct {
+	muts  uint64
+	bytes []byte
+}
+
+// killed fires the given crash point if armed: the WAL freezes (the process
+// "died", so nothing later reaches disk) and the caller must fail its
+// operation with ErrCrashed instead of acknowledging it. nil-safe.
+func (d *durability) killed(p chaos.CrashPoint) bool {
+	if d == nil || d.crash == nil || !d.crash.At(p) {
+		return false
+	}
+	if d.log != nil {
+		d.log.Freeze()
+	}
+	return true
+}
+
+// freeze halts the WAL after an externally detected crash (the shard
+// coordinator's kill-points fire inside internal/shard). nil-safe.
+func (d *durability) freeze() {
+	if d != nil && d.log != nil {
+		d.log.Freeze()
+	}
+}
+
+// appendCreate logs one table creation.
+func (d *durability) appendCreate(name string, cols []Column) error {
+	return d.log.Append(&wal.Record{Kind: wal.KindCreateTable, Table: name, Cols: cols})
+}
+
+// appendLoad logs one bulk load published at ts, starting at firstRow.
+func (d *durability) appendLoad(name string, ts Timestamp, firstRow int, rows []Payload) error {
+	return d.log.Append(&wal.Record{
+		Kind: wal.KindLoad, TS: ts, Table: name,
+		FirstRow: uint64(firstRow), Rows: rows,
+	})
+}
+
+// appendCommit logs one uber-commit published at ts: for every distinct
+// table the run attached, the full-row after-image of every row whose
+// current version begins exactly at ts. Tables and rows untouched by the
+// commit contribute nothing. A commit that published no rows logs nothing.
+func (d *durability) appendCommit(ts Timestamp, tables []*table.Table) error {
+	rec := &wal.Record{Kind: wal.KindCommit, TS: ts}
+	for _, tbl := range tables {
+		tu := wal.TableUpdate{Table: tbl.Name()}
+		n := tbl.NumRows()
+		for row := 0; row < n; row++ {
+			chain := tbl.Chain(RowID(row))
+			if chain == nil {
+				continue
+			}
+			r := chain.VisibleAt(ts)
+			if r == nil || r.Begin() != ts {
+				continue
+			}
+			tu.Rows = append(tu.Rows, wal.RowUpdate{Row: uint64(row), Payload: r.Payload})
+		}
+		if len(tu.Rows) > 0 {
+			rec.Tables = append(rec.Tables, tu)
+		}
+	}
+	if len(rec.Tables) == 0 {
+		return nil
+	}
+	return d.log.Append(rec)
+}
+
+// distinctTables resolves a run's attachments to their unique tables.
+func distinctTables(attach []Attachment) []*table.Table {
+	var out []*table.Table
+	for _, a := range attach {
+		dup := false
+		for _, t := range out {
+			if t == a.Table {
+				dup = true
+				break
+			}
+		}
+		if !dup && a.Table != nil {
+			out = append(out, a.Table)
+		}
+	}
+	return out
+}
+
+// ckptSource is one table's contribution to a checkpoint: its name, its
+// mutation counter read AFTER the snapshot was pinned (so counter-equality
+// between checkpoints proves the cached section is still exact), and an
+// encoder producing the section at the pinned timestamp.
+type ckptSource struct {
+	name   string
+	muts   uint64
+	encode func() []byte
+}
+
+// writeCheckpoint renders the sections (reusing cached bytes for tables
+// whose mutation counter has not moved), durably writes the checkpoint
+// file, and truncates the WAL below the checkpoint's LSN. Callers hold
+// d.mu and have already pinned the snapshot meta.TS was scanned at.
+func (d *durability) writeCheckpoint(meta checkpoint.Meta, srcs []ckptSource, pause time.Duration) error {
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].name < srcs[j].name })
+	sections := make([][]byte, len(srcs))
+	for i, s := range srcs {
+		if c, ok := d.cache[s.name]; ok && c.muts == s.muts {
+			sections[i] = c.bytes
+			continue
+		}
+		b := s.encode()
+		d.cache[s.name] = ckptSection{muts: s.muts, bytes: b}
+		sections[i] = b
+	}
+	seq, err := checkpoint.NextSeq(d.dir)
+	if err != nil {
+		return err
+	}
+	if d.crash != nil && d.crash.At(chaos.CrashMidCheckpoint) {
+		// A real crash mid-write can only leave a torn file under the FINAL
+		// name if rename-into-place is interrupted by power loss after a
+		// partial journal flush; simulate the worst case directly so
+		// recovery's LatestValid torn-file fallback is actually exercised.
+		var buf bytes.Buffer
+		_ = checkpoint.WriteStream(&buf, meta, sections)
+		torn := buf.Bytes()[:buf.Len()/2]
+		_ = os.WriteFile(filepath.Join(d.dir, checkpoint.FileName(seq)), torn, 0o644)
+		d.log.Freeze()
+		return chaos.ErrCrashed
+	}
+	if _, err := checkpoint.WriteFile(d.dir, seq, meta, sections); err != nil {
+		return err
+	}
+	if _, err := d.log.TruncateBelow(meta.LSN); err != nil {
+		return err
+	}
+	if d.obs != nil {
+		d.obs.Add(0, obs.Checkpoints, 1)
+		d.obs.RecordLatency(0, obs.CheckpointPauseLatency, int64(pause))
+	}
+	if d.tracer != nil {
+		d.tracer.Instant(0, trace.KindCheckpoint, 0, int64(len(sections)))
+	}
+	return nil
+}
+
+// replayOrder selects and orders the records recovery applies: records
+// covered by the checkpoint (LSN below the checkpoint's, or committed at or
+// before the checkpoint timestamp — the fuzzy-overlap window) are dropped,
+// and the survivors sort by commit timestamp (ties by LSN). Timestamp order
+// — not LSN order — is the apply order because concurrent commits append
+// out of timestamp order, and CommitAt requires a monotone stable watermark.
+// Table creations (timestamp 0) sort first, before anything touches them.
+func replayOrder(recs []*wal.Record, ckptLSN uint64, ckptTS Timestamp) []*wal.Record {
+	out := make([]*wal.Record, 0, len(recs))
+	for _, r := range recs {
+		if r.LSN < ckptLSN {
+			continue
+		}
+		if r.Kind != wal.KindCreateTable && r.TS <= ckptTS {
+			continue
+		}
+		out = append(out, r)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		return out[i].LSN < out[j].LSN
+	})
+	return out
+}
+
+// installReplay applies one commit record's after-images onto a table's
+// chains at ts, skipping rows whose head version is already at or past ts —
+// the per-row idempotence guard that makes double replay a no-op.
+func installReplay(tbl *table.Table, tu wal.TableUpdate, ts Timestamp) {
+	installed := false
+	for _, ru := range tu.Rows {
+		chain := tbl.Chain(RowID(ru.Row))
+		if chain == nil {
+			continue
+		}
+		head := chain.Head()
+		if head != nil && head.Begin() >= ts {
+			continue
+		}
+		chain.Install(head, storage.NewRecord(ts, ru.Payload))
+		installed = true
+	}
+	if installed {
+		tbl.NoteMutation()
+	}
+}
+
+// --- single-kernel wiring ---
+
+// restore runs single-kernel recovery and arms durability: load the newest
+// valid checkpoint, open the WAL (truncating any torn tail), replay the
+// records the checkpoint does not cover, and restore the stable watermark.
+// Called from Open before the database serves anything; hard I/O errors
+// panic, matching Open's WithDebugServer convention — an unusable WAL
+// directory is a configuration error, not a degraded mode.
+func (db *DB) restore(oc openConfig) {
+	loaded, err := checkpoint.LatestValid(oc.walDir)
+	if err != nil {
+		panic("db4ml: recovery: " + err.Error())
+	}
+	var ckptLSN uint64
+	var ckptTS Timestamp
+	if loaded != nil {
+		for _, dec := range loaded.Tables {
+			tbl, err := dec.Build(loaded.Meta.TS)
+			if err != nil {
+				panic("db4ml: recovery: " + err.Error())
+			}
+			db.tables[dec.Name] = tbl
+		}
+		db.mgr.RestoreStable(loaded.Meta.TS)
+		ckptLSN, ckptTS = loaded.Meta.LSN, loaded.Meta.TS
+	}
+
+	var durObs *obs.Observer
+	if db.agg != nil {
+		durObs = obs.New()
+		db.agg.Attach(durObs)
+	}
+	log, err := wal.Open(wal.Options{
+		Dir:      oc.walDir,
+		Policy:   oc.walPolicy,
+		Interval: oc.walInterval,
+		Observer: durObs,
+		Tracer:   db.tracer,
+		Killer:   oc.crash,
+	})
+	if err != nil {
+		panic("db4ml: recovery: " + err.Error())
+	}
+	recs, err := wal.Records(oc.walDir)
+	if err != nil {
+		panic("db4ml: recovery: " + err.Error())
+	}
+
+	maxTS := ckptTS
+	replayed := 0
+	for _, rec := range replayOrder(recs, ckptLSN, ckptTS) {
+		switch rec.Kind {
+		case wal.KindCreateTable:
+			if db.tables[rec.Table] != nil {
+				continue
+			}
+			schema, err := table.NewSchema(rec.Cols...)
+			if err != nil {
+				panic("db4ml: recovery: " + err.Error())
+			}
+			db.tables[rec.Table] = table.New(rec.Table, schema)
+		case wal.KindLoad:
+			tbl := db.tables[rec.Table]
+			if tbl == nil {
+				panic(fmt.Sprintf("db4ml: recovery: load record for unknown table %q", rec.Table))
+			}
+			have := uint64(tbl.NumRows())
+			if have >= rec.FirstRow+uint64(len(rec.Rows)) {
+				continue
+			}
+			start := 0
+			if have > rec.FirstRow {
+				start = int(have - rec.FirstRow)
+			}
+			rows := rec.Rows[start:]
+			db.mgr.Prepare().CommitAt(rec.TS, func(ts Timestamp) {
+				for _, p := range rows {
+					if _, err := tbl.Append(ts, p); err != nil {
+						panic("db4ml: recovery: " + err.Error())
+					}
+				}
+			})
+		case wal.KindCommit:
+			db.mgr.Prepare().CommitAt(rec.TS, func(ts Timestamp) {
+				for _, tu := range rec.Tables {
+					if tbl := db.tables[tu.Table]; tbl != nil {
+						installReplay(tbl, tu, ts)
+					}
+				}
+			})
+		}
+		if rec.TS > maxTS {
+			maxTS = rec.TS
+		}
+		replayed++
+	}
+	if maxTS > 0 {
+		db.mgr.RestoreStable(maxTS)
+	}
+	if durObs != nil && replayed > 0 {
+		durObs.Add(0, obs.RecoveryReplays, uint64(replayed))
+	}
+
+	db.dur = &durability{
+		log:    log,
+		dir:    oc.walDir,
+		crash:  oc.crash,
+		obs:    durObs,
+		tracer: db.tracer,
+		cache:  make(map[string]ckptSection),
+	}
+}
+
+// Checkpoint takes one fuzzy checkpoint now: it rolls the WAL, pins the
+// current stable snapshot (no worker stalls — commits keep flowing), writes
+// every table's snapshot at that timestamp to a new durable checkpoint
+// file, and truncates the WAL below the roll point. Tables unchanged since
+// the previous checkpoint reuse their encoded sections without a re-scan.
+// Requires WithWAL.
+func (db *DB) Checkpoint() error {
+	d := db.dur
+	if d == nil {
+		return errNoWAL
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	// Roll first, then capture the boundary LSN, then pin: every record
+	// below the boundary was appended — and therefore published — before
+	// the pin, so the pinned snapshot covers it and truncation is safe.
+	if err := d.log.Roll(); err != nil {
+		return err
+	}
+	lsn := d.log.NextLSN()
+	start := time.Now()
+	ts := db.mgr.PinSnapshot()
+	pause := time.Since(start)
+	defer db.mgr.UnpinSnapshot(ts)
+
+	tables := db.tableList()
+	srcs := make([]ckptSource, len(tables))
+	for i, tbl := range tables {
+		tbl := tbl
+		// Counter read after the pin: if it matches the cached value, no
+		// publish happened since that section was encoded, so the snapshot
+		// at any later pinned timestamp is bit-identical.
+		srcs[i] = ckptSource{
+			name:   tbl.Name(),
+			muts:   tbl.Mutations(),
+			encode: func() []byte { return checkpoint.EncodeTable(tbl, ts) },
+		}
+	}
+	return d.writeCheckpoint(checkpoint.Meta{TS: ts, LSN: lsn}, srcs, pause)
+}
+
+// --- sharded wiring ---
+
+// restoreSharded is restore for the sharded facade. The checkpoint's tables
+// are re-sharded by the database's placement scheme and loaded across the
+// cluster at the checkpoint timestamp; commit records replay onto the view
+// tables' chains (shared with the owning shards' locals) under an all-shard
+// prepared publish, so the recovered state exists at one timestamp on every
+// shard just as the original commits did.
+func (db *ShardedDB) restoreSharded(oc openConfig) {
+	loaded, err := checkpoint.LatestValid(oc.walDir)
+	if err != nil {
+		panic("db4ml: recovery: " + err.Error())
+	}
+	var ckptLSN uint64
+	var ckptTS Timestamp
+	if loaded != nil {
+		for _, dec := range loaded.Tables {
+			st := db.registerTable(dec.Name, dec.Cols)
+			if len(dec.Rows) > 0 {
+				if err := st.LoadAt(db.cluster, loaded.Meta.TS, dec.Rows); err != nil {
+					panic("db4ml: recovery: " + err.Error())
+				}
+			}
+			for _, col := range dec.HashIdx {
+				if err := st.View().CreateHashIndex(col); err != nil {
+					panic("db4ml: recovery: " + err.Error())
+				}
+			}
+			for _, col := range dec.TreeIdx {
+				if err := st.View().CreateTreeIndex(col); err != nil {
+					panic("db4ml: recovery: " + err.Error())
+				}
+			}
+		}
+		for s := 0; s < db.cluster.Shards(); s++ {
+			db.cluster.Kernel(s).Mgr().RestoreStable(loaded.Meta.TS)
+		}
+		ckptLSN, ckptTS = loaded.Meta.LSN, loaded.Meta.TS
+	}
+
+	log, err := wal.Open(wal.Options{
+		Dir:      oc.walDir,
+		Policy:   oc.walPolicy,
+		Interval: oc.walInterval,
+		Killer:   oc.crash,
+	})
+	if err != nil {
+		panic("db4ml: recovery: " + err.Error())
+	}
+	recs, err := wal.Records(oc.walDir)
+	if err != nil {
+		panic("db4ml: recovery: " + err.Error())
+	}
+
+	maxTS := ckptTS
+	replayed := 0
+	for _, rec := range replayOrder(recs, ckptLSN, ckptTS) {
+		switch rec.Kind {
+		case wal.KindCreateTable:
+			if db.tables[rec.Table] != nil {
+				continue
+			}
+			db.registerTable(rec.Table, rec.Cols)
+		case wal.KindLoad:
+			st := db.tables[rec.Table]
+			if st == nil {
+				panic(fmt.Sprintf("db4ml: recovery: load record for unknown table %q", rec.Table))
+			}
+			have := uint64(st.NumRows())
+			if have >= rec.FirstRow+uint64(len(rec.Rows)) {
+				continue
+			}
+			start := 0
+			if have > rec.FirstRow {
+				start = int(have - rec.FirstRow)
+			}
+			if err := st.LoadAt(db.cluster, rec.TS, rec.Rows[start:]); err != nil {
+				panic("db4ml: recovery: " + err.Error())
+			}
+		case wal.KindCommit:
+			rec := rec
+			err := db.cluster.PublishAllAt(rec.TS, func(shard int, ts Timestamp) error {
+				if shard != 0 {
+					return nil // installs are chain-global; run them once
+				}
+				for _, tu := range rec.Tables {
+					if st := db.tables[tu.Table]; st != nil {
+						installReplay(st.View(), tu, ts)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				panic("db4ml: recovery: " + err.Error())
+			}
+		}
+		if rec.TS > maxTS {
+			maxTS = rec.TS
+		}
+		replayed++
+	}
+	if maxTS > 0 {
+		for s := 0; s < db.cluster.Shards(); s++ {
+			db.cluster.Kernel(s).Mgr().RestoreStable(maxTS)
+		}
+	}
+	_ = replayed
+
+	if oc.crash != nil {
+		db.co.SetCrash(oc.crash)
+	}
+	db.dur = &durability{
+		log:   log,
+		dir:   oc.walDir,
+		crash: oc.crash,
+		cache: make(map[string]ckptSection),
+	}
+}
+
+// registerTable creates and registers one sharded table (no logging, no
+// locking — Open-time recovery and locked CreateTable are the only callers).
+func (db *ShardedDB) registerTable(name string, cols []Column) *ShardedTable {
+	schema, err := table.NewSchema(cols...)
+	if err != nil {
+		panic("db4ml: recovery: " + err.Error())
+	}
+	router := shard.NewRouter(db.scheme, db.cluster.Shards(), 0)
+	st := shard.NewTable(name, schema, router)
+	db.tables[name] = st
+	db.byView[st.View()] = st
+	return st
+}
+
+// Checkpoint takes one fuzzy checkpoint of the sharded database now: the
+// WAL rolls, a cross-shard consistent cut is taken by briefly holding every
+// shard's commit lock (in shard-id order, the coordinator's own order, so
+// the two cannot deadlock) while reading the shared oracle, each shard pins
+// that timestamp, the locks drop, and the view tables are scanned at the
+// cut without stalling any worker. Requires WithWAL.
+func (db *ShardedDB) Checkpoint() error {
+	d := db.dur
+	if d == nil {
+		return errNoWAL
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	if err := d.log.Roll(); err != nil {
+		return err
+	}
+	lsn := d.log.NextLSN()
+
+	// Consistent cut: with every shard's commit lock held no publish is in
+	// flight anywhere, so the oracle's current value is a timestamp at which
+	// every shard is fully published. Prepared.Abort releases the locks
+	// without publishing; the pins keep each shard's GC above the cut.
+	n := db.cluster.Shards()
+	start := time.Now()
+	preps := make([]*txn.Prepared, n)
+	for i := 0; i < n; i++ {
+		preps[i] = db.cluster.Kernel(i).Mgr().Prepare()
+	}
+	ts := db.cluster.Oracle().Current()
+	for i := 0; i < n; i++ {
+		db.cluster.Kernel(i).Mgr().PinAt(ts)
+	}
+	for i := 0; i < n; i++ {
+		preps[i].Abort()
+	}
+	pause := time.Since(start)
+	defer func() {
+		for i := 0; i < n; i++ {
+			db.cluster.Kernel(i).Mgr().UnpinSnapshot(ts)
+		}
+	}()
+
+	db.tblMu.RLock()
+	srcs := make([]ckptSource, 0, len(db.tables))
+	for _, st := range db.tables {
+		st := st
+		// A sharded table's commits bump the owning locals' counters (the
+		// uber-transaction attaches locals), while loads bump the view's;
+		// the sum moves exactly when any of them changes.
+		muts := st.View().Mutations()
+		for s := 0; s < n; s++ {
+			muts += st.Local(s).Mutations()
+		}
+		srcs = append(srcs, ckptSource{
+			name:   st.Name(),
+			muts:   muts,
+			encode: func() []byte { return checkpoint.EncodeTable(st.View(), ts) },
+		})
+	}
+	db.tblMu.RUnlock()
+	return d.writeCheckpoint(checkpoint.Meta{TS: ts, LSN: lsn}, srcs, pause)
+}

@@ -1,0 +1,438 @@
+package db4ml
+
+// Durability facade tests: restart round-trips through WithWAL at one and
+// four shards, recovery idempotence, fuzzy checkpoints with WAL truncation,
+// and the crash kill-points' unacknowledged-and-absent contract. The
+// systematic kill-point matrix lives in internal/crashsim; these tests pin
+// the public API surface.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"db4ml/internal/wal"
+)
+
+// openDurable opens a single-kernel database over dir with the Counter
+// table created (or recovered) and, when load is true, n rows bulk-loaded.
+func openDurable(t *testing.T, dir string, load bool, n int, opts ...Option) (*DB, *Table) {
+	t.Helper()
+	db := Open(append([]Option{WithWAL(dir), WithWorkers(2)}, opts...)...)
+	tbl := db.Table("Counter")
+	if tbl == nil {
+		var err error
+		tbl, err = db.CreateTable("Counter",
+			Column{Name: "ID", Type: Int64},
+			Column{Name: "Value", Type: Float64},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if load && tbl.NumRows() == 0 {
+		rows := make([]Payload, n)
+		for i := range rows {
+			p := tbl.Schema().NewPayload()
+			p.SetInt64(0, int64(i))
+			p.SetFloat64(1, 0)
+			rows[i] = p
+		}
+		if err := db.BulkLoad(tbl, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, tbl
+}
+
+// runIncTo drives every row of tbl to target with one ML job. run abstracts
+// over the single-kernel and sharded RunML signatures.
+func runIncTo(t *testing.T, run func(MLRun) error, tbl *Table, n int, target float64) {
+	t.Helper()
+	subs := make([]IterativeTransaction, n)
+	for i := range subs {
+		subs[i] = &incSub{tbl: tbl, row: RowID(i), target: target}
+	}
+	if err := run(MLRun{
+		Isolation: MLOptions{Level: Asynchronous},
+		BatchSize: 4,
+		Attach:    []Attachment{{Table: tbl}},
+		Subs:      subs,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mlRunner(db *DB) func(MLRun) error {
+	return func(r MLRun) error { _, err := db.RunML(r); return err }
+}
+
+func mlRunnerSharded(db *ShardedDB) func(MLRun) error {
+	return func(r MLRun) error { _, err := db.RunML(r); return err }
+}
+
+// dump reads (id, value) for n rows through a snapshot reader.
+type rowReader interface {
+	Read(tbl *Table, row RowID) (Payload, bool)
+}
+
+func dump(t *testing.T, tx rowReader, tbl *Table, n int) []([2]float64) {
+	t.Helper()
+	out := make([][2]float64, n)
+	for i := 0; i < n; i++ {
+		p, ok := tx.Read(tbl, RowID(i))
+		if !ok {
+			t.Fatalf("row %d invisible", i)
+		}
+		out[i] = [2]float64{float64(p.Int64(0)), p.Float64(1)}
+	}
+	return out
+}
+
+func wantValues(t *testing.T, got [][2]float64, target float64) {
+	t.Helper()
+	for i, r := range got {
+		if r[0] != float64(i) || r[1] != target {
+			t.Fatalf("row %d = (%v, %v), want (%d, %v)", i, r[0], r[1], i, target)
+		}
+	}
+}
+
+func TestDurabilityRestartRoundTrip(t *testing.T) {
+	const n = 8
+	dir := t.TempDir()
+
+	db, tbl := openDurable(t, dir, true, n)
+	runIncTo(t, mlRunner(db), tbl, n, 5)
+	before := dump(t, db.Begin(), tbl, n)
+	wantValues(t, before, 5)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First restart: checkpoint-less recovery replays the whole log —
+	// creation, load, and every uber-commit — at original timestamps.
+	db2, tbl2 := openDurable(t, dir, false, n)
+	if tbl2.NumRows() != n {
+		t.Fatalf("recovered %d rows, want %d", tbl2.NumRows(), n)
+	}
+	wantValues(t, dump(t, db2.Begin(), tbl2, n), 5)
+
+	// The recovered database accepts new work whose commits are logged too.
+	runIncTo(t, mlRunner(db2), tbl2, n, 8)
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second restart replays both generations of commits.
+	db3, tbl3 := openDurable(t, dir, false, n)
+	defer db3.Close()
+	wantValues(t, dump(t, db3.Begin(), tbl3, n), 8)
+}
+
+// TestDurabilityRecoveryIdempotent recovers from the same unchanged log
+// twice and demands bit-identical results: same values, same stable
+// watermark, same version-chain shapes. The per-row install guard is what
+// makes a record's second application a no-op.
+func TestDurabilityRecoveryIdempotent(t *testing.T) {
+	const n = 4
+	dir := t.TempDir()
+
+	db, tbl := openDurable(t, dir, true, n)
+	runIncTo(t, mlRunner(db), tbl, n, 3)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	shape := func(db *DB, tbl *Table) (Timestamp, [][2]float64, []int) {
+		lens := make([]int, n)
+		for i := range lens {
+			lens[i] = tbl.Chain(RowID(i)).Len()
+		}
+		return db.Stable(), dump(t, db.Begin(), tbl, n), lens
+	}
+
+	db1, tbl1 := openDurable(t, dir, false, n)
+	s1, v1, l1 := shape(db1, tbl1)
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, tbl2 := openDurable(t, dir, false, n)
+	defer db2.Close()
+	s2, v2, l2 := shape(db2, tbl2)
+
+	if s1 != s2 {
+		t.Fatalf("stable differs across recoveries: %d vs %d", s1, s2)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] || l1[i] != l2[i] {
+			t.Fatalf("row %d differs across recoveries: %v/%d vs %v/%d",
+				i, v1[i], l1[i], v2[i], l2[i])
+		}
+	}
+	wantValues(t, v2, 3)
+}
+
+// TestInstallReplayIdempotent pins the guard directly: applying the same
+// after-image twice installs exactly one version.
+func TestInstallReplayIdempotent(t *testing.T) {
+	db, tbl := openWithCounters(t, 2)
+	defer db.Close()
+	p := tbl.Schema().NewPayload()
+	p.SetInt64(0, 0)
+	p.SetFloat64(1, 42)
+	ts := db.Stable() + 1
+	tu := wal.TableUpdate{Table: tbl.Name(), Rows: []wal.RowUpdate{{Row: 0, Payload: p}}}
+	db.mgr.Prepare().CommitAt(ts, func(ts Timestamp) { installReplay(tbl, tu, ts) })
+	want := tbl.Chain(0).Len()
+	db.mgr.Prepare().CommitAt(ts, func(ts Timestamp) { installReplay(tbl, tu, ts) })
+	if got := tbl.Chain(0).Len(); got != want {
+		t.Fatalf("second replay grew the chain: %d -> %d", want, got)
+	}
+	if got, _ := db.Begin().Read(tbl, 0); got.Float64(1) != 42 {
+		t.Fatalf("replayed value = %v, want 42", got.Float64(1))
+	}
+}
+
+func countFiles(t *testing.T, dir, contains string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.Contains(e.Name(), contains) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCheckpointTruncatesWALAndRecovers(t *testing.T) {
+	const n = 6
+	dir := t.TempDir()
+
+	db, tbl := openDurable(t, dir, true, n)
+	runIncTo(t, mlRunner(db), tbl, n, 4)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countFiles(t, dir, ".db4m"); got != 1 {
+		t.Fatalf("%d checkpoint files, want 1", got)
+	}
+	// The checkpoint rolled the log and truncated below its boundary: only
+	// the fresh active segment survives.
+	if got := countFiles(t, dir, ".seg"); got != 1 {
+		t.Fatalf("%d WAL segments after checkpoint, want 1", got)
+	}
+	// Work after the checkpoint lands in the surviving tail.
+	runIncTo(t, mlRunner(db), tbl, n, 7)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery = checkpoint restore + tail replay.
+	db2, tbl2 := openDurable(t, dir, false, n)
+	defer db2.Close()
+	wantValues(t, dump(t, db2.Begin(), tbl2, n), 7)
+
+	// A second checkpoint on the recovered database supersedes the first.
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countFiles(t, dir, ".db4m"); got != 2 {
+		t.Fatalf("%d checkpoint files, want 2", got)
+	}
+}
+
+func TestCheckpointRequiresWAL(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint without WithWAL succeeded")
+	}
+	sdb := OpenSharded(WithShards(2))
+	defer sdb.Close()
+	if err := sdb.Checkpoint(); err == nil {
+		t.Fatal("sharded Checkpoint without WithWAL succeeded")
+	}
+}
+
+// TestCheckpointCachesUnchangedSections takes two checkpoints with an
+// untouched table in between and verifies the second checkpoint is still
+// complete and correct — the cached section must be the real bytes, not a
+// stale or empty placeholder.
+func TestCheckpointCachesUnchangedSections(t *testing.T) {
+	dir := t.TempDir()
+	db, tbl := openDurable(t, dir, true, 4)
+	defer db.Close()
+
+	frozen, err := db.CreateTable("Frozen", Column{Name: "x", Type: Float64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := frozen.Schema().NewPayload()
+	p.SetFloat64(0, 9)
+	if err := db.BulkLoad(frozen, []Payload{p}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	runIncTo(t, mlRunner(db), tbl, 4, 2) // mutate Counter only
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wipe the WAL's contribution by reopening from the checkpoint alone:
+	// delete the segments so recovery can only use the newest checkpoint.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	db2, tbl2 := openDurable(t, dir, false, 4)
+	defer db2.Close()
+	wantValues(t, dump(t, db2.Begin(), tbl2, 4), 2)
+	fz := db2.Table("Frozen")
+	if fz == nil || fz.NumRows() != 1 {
+		t.Fatal("cached Frozen section lost")
+	}
+	if got, _ := db2.Begin().Read(fz, 0); got.Float64(0) != 9 {
+		t.Fatalf("Frozen row = %v, want 9", got.Float64(0))
+	}
+}
+
+func TestDurabilityShardedRestartRoundTrip(t *testing.T) {
+	const n = 8
+	dir := t.TempDir()
+	openS := func() (*ShardedDB, *Table) {
+		db := OpenSharded(WithShards(4), WithShardScheme(ShardRoundRobin),
+			WithWorkers(2), WithWAL(dir))
+		tbl := db.Table("Counter")
+		if tbl == nil {
+			var err error
+			tbl, err = db.CreateTable("Counter",
+				Column{Name: "ID", Type: Int64},
+				Column{Name: "Value", Type: Float64},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := make([]Payload, n)
+			for i := range rows {
+				p := tbl.Schema().NewPayload()
+				p.SetInt64(0, int64(i))
+				p.SetFloat64(1, 0)
+				rows[i] = p
+			}
+			if err := db.BulkLoad(tbl, rows); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db, tbl
+	}
+
+	db, tbl := openS()
+	runIncTo(t, mlRunnerSharded(db), tbl, n, 5)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, tbl2 := openS()
+	if tbl2.NumRows() != n {
+		t.Fatalf("recovered %d rows, want %d", tbl2.NumRows(), n)
+	}
+	tx := db2.Begin()
+	got := dump(t, tx, tbl2, n)
+	tx.Close()
+	wantValues(t, got, 5)
+	// Placement is rebuilt from configuration: round-robin spreads the
+	// recovered rows across all four shards again.
+	st := db2.ShardedTable("Counter")
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		seen[st.ShardOf(RowID(i))] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("recovered rows on %d shards, want 4", len(seen))
+	}
+
+	// New distributed work on the recovered cluster, checkpoint, restart.
+	runIncTo(t, mlRunnerSharded(db2), tbl2, n, 9)
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db3, tbl3 := openS()
+	defer db3.Close()
+	tx3 := db3.Begin()
+	got3 := dump(t, tx3, tbl3, n)
+	tx3.Close()
+	wantValues(t, got3, 9)
+}
+
+// TestCrashPointUnackedAbsent smokes the kill-point contract at the facade:
+// a run crashed after its in-memory publish (but before the WAL append) is
+// never acknowledged, and after recovery its commit is absent.
+func TestCrashPointUnackedAbsent(t *testing.T) {
+	const n = 4
+	dir := t.TempDir()
+
+	db, tbl := openDurable(t, dir, true, n, WithCrashPoints(NewCrashKiller(CrashAfterPrepare)))
+	subs := make([]IterativeTransaction, n)
+	for i := range subs {
+		subs[i] = &incSub{tbl: tbl, row: RowID(i), target: 3}
+	}
+	_, err := db.RunML(MLRun{
+		Isolation: MLOptions{Level: Asynchronous},
+		BatchSize: 4,
+		Attach:    []Attachment{{Table: tbl}},
+		Subs:      subs,
+	})
+	if err != ErrCrashed {
+		t.Fatalf("crashed run returned %v, want ErrCrashed", err)
+	}
+	// The values ARE published in the dying process's memory — that is the
+	// point of this kill window.
+	if got, _ := db.Begin().Read(tbl, 0); got.Float64(1) != 3 {
+		t.Fatalf("pre-crash memory = %v, want 3", got.Float64(1))
+	}
+	db.Close()
+
+	db2, tbl2 := openDurable(t, dir, false, n)
+	defer db2.Close()
+	wantValues(t, dump(t, db2.Begin(), tbl2, n), 0)
+}
+
+// TestWALSyncPolicies exercises the two non-default fsync policies through
+// a full restart.
+func TestWALSyncPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    WALSyncPolicy
+	}{{"interval", WALSyncInterval}, {"none", WALSyncNone}} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 4
+			dir := t.TempDir()
+			db, tbl := openDurable(t, dir, true, n, WithWALSync(tc.p))
+			runIncTo(t, mlRunner(db), tbl, n, 2)
+			if err := db.Close(); err != nil { // clean Close fsyncs the tail
+				t.Fatal(err)
+			}
+			db2, tbl2 := openDurable(t, dir, false, n)
+			defer db2.Close()
+			wantValues(t, dump(t, db2.Begin(), tbl2, n), 2)
+		})
+	}
+}

@@ -43,6 +43,9 @@ type Report struct {
 	// CrossShardChecked counts committed validations of cross-shard reads
 	// examined against the staleness bound (distributed runs only).
 	CrossShardChecked int
+	// RecoveryChecked counts post-recovery probes examined against the
+	// committed-exactly-or-absent contract (crash trials only).
+	RecoveryChecked int
 }
 
 // Ok reports whether no contract was violated.
@@ -60,6 +63,7 @@ func (r *Report) merge(o Report) {
 	r.VisibilityChecked += o.VisibilityChecked
 	r.AtomicityChecked += o.AtomicityChecked
 	r.CrossShardChecked += o.CrossShardChecked
+	r.RecoveryChecked += o.RecoveryChecked
 }
 
 // CheckStaleness validates contract 1 on job's events: every read a

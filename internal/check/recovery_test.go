@@ -1,0 +1,94 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// ruleAt builds the counter-trial rule: pre-run rows read base, post-run
+// rows read target.
+func ruleAt(base, target uint64) VisibilityRule {
+	return VisibilityRule{
+		Before: func(_ int64, v uint64) bool { return v == base },
+		After:  func(_ int64, v uint64) bool { return v == target },
+	}
+}
+
+func probes(job string, vals ...uint64) []Event {
+	evs := make([]Event, len(vals))
+	for i, v := range vals {
+		evs[i] = Event{Kind: KindProbe, Job: job, TS: 100, Row: int64(i), Value: v}
+	}
+	return evs
+}
+
+func TestRecoveryAckedSurvivesWhole(t *testing.T) {
+	evs := append(probes("j", 5, 5, 5), Event{Kind: KindUberCommit, Job: "j", TS: 42})
+	rep := CheckRecoveryAtomicity(evs, "j", ruleAt(0, 5))
+	if !rep.Ok() || rep.RecoveryChecked != 3 {
+		t.Fatalf("clean acked trial: %+v", rep)
+	}
+}
+
+func TestRecoveryAckedLostConvicts(t *testing.T) {
+	evs := append(probes("j", 5, 0, 5), Event{Kind: KindUberCommit, Job: "j", TS: 42})
+	rep := CheckRecoveryAtomicity(evs, "j", ruleAt(0, 5))
+	if rep.Ok() {
+		t.Fatal("lost acknowledged commit not convicted")
+	}
+	if !strings.Contains(rep.Violations[0].Msg, "acknowledged commit lost") {
+		t.Fatalf("wrong conviction: %v", rep.Violations[0])
+	}
+}
+
+func TestRecoveryUnackedUnanimousBeforeOk(t *testing.T) {
+	rep := CheckRecoveryAtomicity(probes("j", 0, 0, 0), "j", ruleAt(0, 5))
+	if !rep.Ok() || rep.RecoveryChecked != 3 {
+		t.Fatalf("unanimous pre-run state flagged: %+v", rep)
+	}
+}
+
+func TestRecoveryUnackedUnanimousAfterOk(t *testing.T) {
+	// Durable-but-unacknowledged (a crash after the WAL fsync, before the
+	// ack): the commit legally survives whole.
+	rep := CheckRecoveryAtomicity(probes("j", 5, 5, 5), "j", ruleAt(0, 5))
+	if !rep.Ok() {
+		t.Fatalf("unanimous committed state flagged: %+v", rep)
+	}
+}
+
+func TestRecoveryTornMixConvicts(t *testing.T) {
+	rep := CheckRecoveryAtomicity(probes("j", 5, 0, 5), "j", ruleAt(0, 5))
+	if rep.Ok() {
+		t.Fatal("torn recovery not convicted")
+	}
+	if !strings.Contains(rep.Violations[0].Msg, "torn recovery") {
+		t.Fatalf("wrong conviction: %v", rep.Violations[0])
+	}
+}
+
+func TestRecoveryNeitherStateConvicts(t *testing.T) {
+	rep := CheckRecoveryAtomicity(probes("j", 3), "j", ruleAt(0, 5))
+	if rep.Ok() {
+		t.Fatal("half-applied value not convicted")
+	}
+	if !strings.Contains(rep.Violations[0].Msg, "neither pre-run nor committed") {
+		t.Fatalf("wrong conviction: %v", rep.Violations[0])
+	}
+}
+
+func TestRecoveryAmbiguousValuesPinNothing(t *testing.T) {
+	// base == target: every probe matches both states, so nothing can tear.
+	rep := CheckRecoveryAtomicity(probes("j", 7, 7), "j", ruleAt(7, 7))
+	if !rep.Ok() || rep.RecoveryChecked != 2 {
+		t.Fatalf("ambiguous probes misjudged: %+v", rep)
+	}
+}
+
+func TestRecoveryIgnoresOtherJobs(t *testing.T) {
+	evs := append(probes("other", 3, 3), probes("j", 0)...)
+	rep := CheckRecoveryAtomicity(evs, "j", ruleAt(0, 5))
+	if !rep.Ok() || rep.RecoveryChecked != 1 {
+		t.Fatalf("foreign job's probes leaked in: %+v", rep)
+	}
+}

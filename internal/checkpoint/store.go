@@ -1,0 +1,144 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Checkpoint files live beside the WAL segments as "ckpt-%016x.db4m", where
+// the hex field is a monotonically increasing sequence number. Files are
+// written to a temp name, fsynced, and renamed into place, so a crash never
+// leaves a half-written file under a final name — and if one appears anyway
+// (simulated by the mid-checkpoint kill-point, which deliberately writes a
+// torn file at the final name), LatestValid skips it and falls back to the
+// newest checkpoint that decodes cleanly.
+
+const (
+	filePrefix = "ckpt-"
+	fileSuffix = ".db4m"
+)
+
+// FileName returns the checkpoint file name for a sequence number.
+func FileName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", filePrefix, seq, fileSuffix)
+}
+
+// parseSeq extracts the sequence number from a checkpoint file name.
+func parseSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, filePrefix) || !strings.HasSuffix(name, fileSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, filePrefix), fileSuffix)
+	seq, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// WriteFile durably writes one checkpoint: temp file, fsync, rename to the
+// sequence's final name, directory fsync. Returns the final path.
+func WriteFile(dir string, seq uint64, meta Meta, sections [][]byte) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	final := filepath.Join(dir, FileName(seq))
+	tmp, err := os.CreateTemp(dir, filePrefix+"tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := WriteStream(tmp, meta, sections); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return final, nil
+}
+
+// Loaded is one fully decoded on-disk checkpoint.
+type Loaded struct {
+	Seq    uint64
+	Path   string
+	Meta   Meta
+	Tables []*Decoded
+}
+
+// listSeqs returns the directory's checkpoint sequence numbers, ascending.
+func listSeqs(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var seqs []uint64
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		if seq, ok := parseSeq(ent.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// NextSeq returns one past the highest checkpoint sequence in dir (1 for an
+// empty directory), counting torn files too so a failed write never gets
+// its sequence number reused.
+func NextSeq(dir string) (uint64, error) {
+	seqs, err := listSeqs(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(seqs) == 0 {
+		return 1, nil
+	}
+	return seqs[len(seqs)-1] + 1, nil
+}
+
+// LatestValid decodes the newest checkpoint in dir that reads back cleanly,
+// scanning backwards past torn or corrupt files (each one the debris of a
+// crash mid-write). Returns (nil, nil) when no valid checkpoint exists —
+// recovery then replays the WAL from its beginning.
+func LatestValid(dir string) (*Loaded, error) {
+	seqs, err := listSeqs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, FileName(seqs[i]))
+		f, err := os.Open(path)
+		if err != nil {
+			continue
+		}
+		meta, tables, err := ReadStream(f)
+		f.Close()
+		if err != nil {
+			// Torn/corrupt/foreign-version file: fall back to the previous.
+			continue
+		}
+		return &Loaded{Seq: seqs[i], Path: path, Meta: meta, Tables: tables}, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,341 @@
+// Package crashsim is the kill-point recovery harness: it runs a real
+// workload against a durable kernel, "kills" the process at an injected
+// crash point (internal/chaos kill-points fired inside the commit path, the
+// WAL appender, the 2PC coordinator, or the checkpointer), recovers a fresh
+// kernel from the surviving log directory, and checks the recovered state
+// against the committed-exactly-or-absent contract with
+// check.CheckRecoveryAtomicity.
+//
+// A trial is three phases over one shared directory:
+//
+//	A (seed)    — open, create the counter table, bulk-load the baseline,
+//	              close cleanly. No killer armed.
+//	B (victim)  — reopen (exercising recovery), optionally checkpoint, run
+//	              the increment workload into the armed kill-point. The
+//	              kernel is discarded exactly as the crash left it.
+//	C (witness) — reopen once more, recovering from whatever phase B's
+//	              crash left on disk, and probe every row.
+//
+// The workload is the counter ring from internal/check's sweeps: sub-
+// transaction i owns row i and increments it from the baseline (0) to
+// Target, so the recovered table is its own oracle — every row must read 0
+// (the commit vanished whole) or Target (it survived whole). An
+// acknowledged run may only read Target.
+package crashsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"db4ml"
+	"db4ml/internal/chaos"
+	"db4ml/internal/check"
+	"db4ml/internal/storage"
+)
+
+// jobLabel tags the trial's events in the recorded history.
+const jobLabel = "crash-trial"
+
+// tableName is the counter table.
+const tableName = "C"
+
+// Config describes one crash trial.
+type Config struct {
+	// Shards is the kernel count; 1 runs the single-kernel facade, >1 the
+	// sharded facade (round-robin placement, so rows spread over shards and
+	// the 2PC windows are real).
+	Shards int
+	// Kill is the armed kill-point; chaos.CrashNone runs a clean-restart
+	// control trial. A point the run never reaches (CrashBetweenShardCommits
+	// on one shard) also degenerates to a clean trial — the sweep asserts
+	// recovery is sound either way.
+	Kill chaos.CrashPoint
+	// Rows is the counter-ring size (default 8).
+	Rows int
+	// Target is the per-row increment target (default 4).
+	Target uint64
+	// Policy is the WAL fsync policy (default db4ml.WALSyncAlways).
+	Policy db4ml.WALSyncPolicy
+	// CheckpointMid takes a checkpoint in phase B before the workload, so
+	// phase C recovers from a checkpoint plus a WAL tail rather than the
+	// log alone.
+	CheckpointMid bool
+	// BreakRecovery deliberately destroys the WAL segments between the
+	// crash and recovery — a planted durability bug. A trial with an
+	// acknowledged commit must then FAIL the check; the sweep uses it to
+	// prove the checker convicts broken recovery rather than vacuously
+	// passing.
+	BreakRecovery bool
+	// Dir is the WAL/checkpoint directory (required; trials sharing a Dir
+	// share a history).
+	Dir string
+}
+
+// Outcome reports one trial.
+type Outcome struct {
+	// Acked is whether the workload's uber-commit was acknowledged to the
+	// caller (Wait returned nil). Acknowledged commits must survive.
+	Acked bool
+	// AckedTS is the acknowledged commit timestamp (zero when !Acked).
+	AckedTS db4ml.Timestamp
+	// Killed is whether the armed kill-point actually fired.
+	Killed bool
+	// RecoveredStable is the witness kernel's stable watermark.
+	RecoveredStable db4ml.Timestamp
+	// Report is the recovery-atomicity verdict over the witness probes.
+	Report check.Report
+}
+
+// incSub increments its row by 1 per committed iteration until target.
+type incSub struct {
+	tbl    *db4ml.Table
+	row    db4ml.RowID
+	target float64
+	rec    *storage.IterativeRecord
+	buf    db4ml.Payload
+	cur    float64
+}
+
+func (s *incSub) Begin(ctx *db4ml.Ctx) {
+	s.rec = s.tbl.IterRecord(s.row)
+	s.buf = make(db4ml.Payload, 2)
+}
+
+func (s *incSub) Execute(ctx *db4ml.Ctx) {
+	ctx.Read(s.rec, s.buf)
+	s.cur = s.buf.Float64(1) + 1
+	s.buf.SetFloat64(1, s.cur)
+	ctx.Write(s.rec, s.buf)
+}
+
+func (s *incSub) Validate(ctx *db4ml.Ctx) db4ml.Action {
+	if s.cur >= s.target {
+		return db4ml.Done
+	}
+	return db4ml.Commit
+}
+
+// instance is the facade surface a trial needs; *db4ml.DB and
+// *db4ml.ShardedDB both provide it.
+type instance interface {
+	CreateTable(name string, cols ...db4ml.Column) (*db4ml.Table, error)
+	Table(name string) *db4ml.Table
+	BulkLoad(tbl *db4ml.Table, rows []db4ml.Payload) error
+	Checkpoint() error
+	Stable() db4ml.Timestamp
+	Close() error
+}
+
+func open(cfg Config, kill *db4ml.CrashKiller) instance {
+	opts := []db4ml.Option{
+		db4ml.WithWAL(cfg.Dir),
+		db4ml.WithWALSync(cfg.Policy),
+		db4ml.WithWorkers(2),
+	}
+	if kill != nil {
+		opts = append(opts, db4ml.WithCrashPoints(kill))
+	}
+	if cfg.Shards > 1 {
+		return db4ml.OpenSharded(append(opts,
+			db4ml.WithShards(cfg.Shards),
+			db4ml.WithShardScheme(db4ml.ShardRoundRobin))...)
+	}
+	return db4ml.Open(opts...)
+}
+
+// runJob submits the workload and waits; returns the acknowledged commit
+// timestamp (zero when the run did not resolve with a commit).
+func runJob(inst instance, run db4ml.MLRun) (db4ml.Timestamp, error) {
+	switch db := inst.(type) {
+	case *db4ml.DB:
+		h, err := db.SubmitML(context.Background(), run)
+		if err != nil {
+			return 0, err
+		}
+		_, err = h.Wait()
+		return h.CommitTS(), err
+	case *db4ml.ShardedDB:
+		h, err := db.SubmitML(context.Background(), run)
+		if err != nil {
+			return 0, err
+		}
+		_, err = h.Wait()
+		return h.CommitTS(), err
+	}
+	return 0, errors.New("crashsim: unknown facade type")
+}
+
+// probeAll reads every counter row of the witness kernel into the history.
+func probeAll(inst instance, hist *check.History, tbl *db4ml.Table, rows int) error {
+	read := func(tx interface {
+		Read(tbl *db4ml.Table, row db4ml.RowID) (db4ml.Payload, bool)
+	}, ts db4ml.Timestamp) error {
+		for i := 0; i < rows; i++ {
+			p, ok := tx.Read(tbl, db4ml.RowID(i))
+			if !ok {
+				return fmt.Errorf("crashsim: recovered row %d is invisible", i)
+			}
+			hist.Probe(jobLabel, ts, int64(i), uint64(p.Float64(1)))
+		}
+		return nil
+	}
+	switch db := inst.(type) {
+	case *db4ml.DB:
+		tx := db.Begin()
+		return read(tx, tx.BeginTS())
+	case *db4ml.ShardedDB:
+		tx := db.Begin()
+		defer tx.Close()
+		return read(tx, tx.BeginTS(0))
+	}
+	return errors.New("crashsim: unknown facade type")
+}
+
+// breakWAL is the planted recovery bug: it deletes every WAL segment,
+// simulating a durability layer that acknowledged commits it never made
+// durable. Checkpoint files survive (the seed/baseline state remains
+// recoverable, so the witness can still probe).
+func breakWAL(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunTrial runs one crash trial and returns its outcome. The returned
+// Report holds the atomicity verdict; an error means the harness itself
+// failed (not a contract violation).
+func RunTrial(cfg Config) (*Outcome, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("crashsim: Config.Dir is required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Rows <= 0 {
+		cfg.Rows = 8
+	}
+	if cfg.Target == 0 {
+		cfg.Target = 4
+	}
+
+	// Phase A — seed.
+	seed := open(cfg, nil)
+	tbl, err := seed.CreateTable(tableName,
+		db4ml.Column{Name: "ID", Type: db4ml.Int64},
+		db4ml.Column{Name: "V", Type: db4ml.Float64},
+	)
+	if err != nil {
+		seed.Close()
+		return nil, err
+	}
+	rows := make([]db4ml.Payload, cfg.Rows)
+	for i := range rows {
+		p := tbl.Schema().NewPayload()
+		p.SetInt64(0, int64(i))
+		p.SetFloat64(1, 0)
+		rows[i] = p
+	}
+	if err := seed.BulkLoad(tbl, rows); err != nil {
+		seed.Close()
+		return nil, err
+	}
+	if err := seed.Close(); err != nil {
+		return nil, err
+	}
+
+	// Phase B — victim: recover, arm the killer, run into the crash.
+	out := &Outcome{}
+	var killer *db4ml.CrashKiller
+	if cfg.Kill != chaos.CrashNone {
+		killer = db4ml.NewCrashKiller(cfg.Kill)
+	}
+	victim := open(cfg, killer)
+	vtbl := victim.Table(tableName)
+	if vtbl == nil {
+		victim.Close()
+		return nil, errors.New("crashsim: seeded table lost before the crash")
+	}
+	if cfg.CheckpointMid {
+		if err := victim.Checkpoint(); err != nil {
+			if !errors.Is(err, chaos.ErrCrashed) {
+				victim.Close()
+				return nil, err
+			}
+			out.Killed = true
+		}
+	}
+	subs := make([]db4ml.IterativeTransaction, cfg.Rows)
+	for i := range subs {
+		subs[i] = &incSub{tbl: vtbl, row: db4ml.RowID(i), target: float64(cfg.Target)}
+	}
+	ts, err := runJob(victim, db4ml.MLRun{
+		Isolation: db4ml.MLOptions{Level: db4ml.Asynchronous},
+		Label:     jobLabel,
+		BatchSize: 4,
+		Attach:    []db4ml.Attachment{{Table: vtbl}},
+		Subs:      subs,
+	})
+	switch {
+	case err == nil:
+		out.Acked, out.AckedTS = true, ts
+	case errors.Is(err, chaos.ErrCrashed):
+		out.Killed = true
+	default:
+		victim.Close()
+		return nil, fmt.Errorf("crashsim: workload failed for a non-crash reason: %w", err)
+	}
+	if cfg.Kill == chaos.CrashMidCheckpoint && !cfg.CheckpointMid {
+		// The checkpointer is this point's only trigger; fire it after the
+		// acknowledged workload so the crash threatens a real commit.
+		switch err := victim.Checkpoint(); {
+		case errors.Is(err, chaos.ErrCrashed):
+			out.Killed = true
+		case err != nil:
+			victim.Close()
+			return nil, err
+		}
+	}
+	_ = victim.Close() // the dying kernel is discarded as the crash left it
+
+	if cfg.BreakRecovery {
+		if err := breakWAL(cfg.Dir); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase C — witness: recover fresh and probe.
+	witness := open(cfg, nil)
+	defer witness.Close()
+	out.RecoveredStable = witness.Stable()
+	wtbl := witness.Table(tableName)
+	if wtbl == nil {
+		return nil, errors.New("crashsim: recovery lost the table entirely")
+	}
+	hist := check.NewHistory()
+	if out.Acked {
+		hist.Job(jobLabel).RecordUberCommit(storage.Timestamp(out.AckedTS))
+	}
+	if err := probeAll(witness, hist, wtbl, cfg.Rows); err != nil {
+		return nil, err
+	}
+	target := cfg.Target
+	rule := check.VisibilityRule{
+		Before: func(_ int64, v uint64) bool { return v == 0 },
+		After:  func(_ int64, v uint64) bool { return v == target },
+	}
+	out.Report = check.CheckRecoveryAtomicity(hist.Events(), jobLabel, rule)
+	return out, nil
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"db4ml"
+	"db4ml/internal/chaos"
+	"db4ml/internal/crashsim"
+	"db4ml/internal/itx"
+	"db4ml/internal/storage"
+	"db4ml/internal/wal"
+)
+
+// RecoveryTrialResult is one kill-point trial's account in
+// BENCH_RECOVERY.json.
+type RecoveryTrialResult struct {
+	Point  string `json:"point"`
+	Shards int    `json:"shards"`
+	// Killed is whether the armed kill-point fired during the trial.
+	Killed bool `json:"killed"`
+	// Acked is whether the workload's uber-commit was acknowledged before
+	// the crash (acknowledged commits must survive recovery).
+	Acked bool `json:"acked"`
+	// Checked is how many recovered rows the atomicity checker examined.
+	Checked int `json:"checked"`
+	// Ok is the committed-exactly-or-absent verdict.
+	Ok bool `json:"ok"`
+}
+
+// RecoveryPolicyResult is one fsync policy's group-commit throughput row.
+type RecoveryPolicyResult struct {
+	Policy string `json:"policy"`
+	// UberCommits is how many WAL-logged uber-commits the timed loop ran.
+	UberCommits int `json:"uber_commits"`
+	// WallNanos is the mean wall-clock of the whole loop over Options.Runs.
+	WallNanos int64 `json:"wall_ns"`
+	// PerSec is UberCommits divided by the mean wall-clock.
+	PerSec float64 `json:"per_sec"`
+}
+
+// RecoveryResult is the machine-readable output of the recovery experiment
+// (db4ml-bench -exp recovery -benchjson BENCH_RECOVERY.json).
+type RecoveryResult struct {
+	Experiment string                 `json:"experiment"`
+	Trials     []RecoveryTrialResult  `json:"trials"`
+	Policies   []RecoveryPolicyResult `json:"policies"`
+}
+
+// recoveryIncSub increments one row by 1 per iteration until target — the
+// crash-trial counter workload, reused for the group-commit timing loop.
+type recoveryIncSub struct {
+	tbl    *db4ml.Table
+	row    db4ml.RowID
+	target float64
+	rec    *storage.IterativeRecord
+	buf    storage.Payload
+	cur    float64
+}
+
+func (s *recoveryIncSub) Begin(ctx *itx.Ctx) {
+	s.rec = s.tbl.IterRecord(s.row)
+	s.buf = make(storage.Payload, 2)
+}
+
+func (s *recoveryIncSub) Execute(ctx *itx.Ctx) {
+	ctx.Read(s.rec, s.buf)
+	s.cur = s.buf.Float64(1) + 1
+	s.buf.SetFloat64(1, s.cur)
+	ctx.Write(s.rec, s.buf)
+}
+
+func (s *recoveryIncSub) Validate(ctx *itx.Ctx) itx.Action {
+	if s.cur >= s.target {
+		return itx.Done
+	}
+	return itx.Commit
+}
+
+// Recovery is an extra experiment (not a paper figure): durability and
+// crash recovery. Part one sweeps every injected kill-point — inside the
+// commit path, the WAL appender, the 2PC coordinator's commit window, and
+// the checkpointer — across 1-, 2-, and 4-shard clusters, recovering a
+// fresh kernel from the surviving log after each crash and checking the
+// recovered table against the committed-exactly-or-absent contract
+// (internal/crashsim). The sweep is self-asserting: any atomicity
+// violation, a kill-point that failed to fire, or an acknowledgement on the
+// wrong side of the crash window fails the experiment. Part two measures
+// group-commit throughput under the three WAL fsync policies (always /
+// interval / none): the same uber-commit workload runs as a sequence of
+// logged commits and the acknowledged-commit rate is compared. With
+// Options.BenchFile set, both parts are written as JSON (the committed
+// BENCH_RECOVERY.json).
+func Recovery(opts Options) error {
+	opts = opts.withDefaults()
+	res := RecoveryResult{Experiment: "recovery"}
+
+	// Part one: the kill-point matrix.
+	shardCounts := []int{1, 2, 4}
+	if opts.Quick {
+		shardCounts = []int{1, 2}
+	}
+	points := append([]chaos.CrashPoint{chaos.CrashNone}, chaos.CrashPoints()...)
+
+	header(opts.Out, "recovery: kill-point matrix (committed-exactly-or-absent)")
+	tw := tab(opts.Out, "kill-point", "shards", "killed", "acked", "rows checked", "verdict")
+	for _, shards := range shardCounts {
+		for _, kp := range points {
+			dir, err := os.MkdirTemp("", "db4ml-recovery-*")
+			if err != nil {
+				return err
+			}
+			out, err := crashsim.RunTrial(crashsim.Config{Shards: shards, Kill: kp, Dir: dir})
+			os.RemoveAll(dir)
+			if err != nil {
+				return fmt.Errorf("recovery: trial %s/%d shards: %w", kp, shards, err)
+			}
+			tr := RecoveryTrialResult{
+				Point:   kp.String(),
+				Shards:  shards,
+				Killed:  out.Killed,
+				Acked:   out.Acked,
+				Checked: out.Report.RecoveryChecked,
+				Ok:      out.Report.Ok(),
+			}
+			res.Trials = append(res.Trials, tr)
+			verdict := "ok"
+			if !tr.Ok {
+				verdict = "VIOLATED"
+			}
+			row(tw, tr.Point, shards, tr.Killed, tr.Acked, tr.Checked, verdict)
+
+			// Self-asserting gates.
+			if !tr.Ok {
+				return fmt.Errorf("recovery: %s at %d shards violated atomicity: %v",
+					kp, shards, out.Report.Violations)
+			}
+			if tr.Checked == 0 {
+				return fmt.Errorf("recovery: %s at %d shards checked no rows (vacuous trial)", kp, shards)
+			}
+			wantKilled := kp != chaos.CrashNone &&
+				!(kp == chaos.CrashBetweenShardCommits && shards == 1)
+			if tr.Killed != wantKilled {
+				return fmt.Errorf("recovery: %s at %d shards: killed=%v, want %v",
+					kp, shards, tr.Killed, wantKilled)
+			}
+			wantAcked := kp == chaos.CrashNone || kp == chaos.CrashMidCheckpoint ||
+				(kp == chaos.CrashBetweenShardCommits && shards == 1)
+			if tr.Acked != wantAcked {
+				return fmt.Errorf("recovery: %s at %d shards: acked=%v, want %v",
+					kp, shards, tr.Acked, wantAcked)
+			}
+		}
+	}
+	tw.Flush()
+
+	// Part two: group-commit throughput by fsync policy. Each loop pass is
+	// one uber-commit whose redo record is appended (and, per policy,
+	// fsynced) before the acknowledgement.
+	rows, commits := 32, 20
+	if opts.Quick {
+		rows, commits = 8, 5
+	}
+	header(opts.Out, "recovery: group-commit throughput by fsync policy")
+	fmt.Fprintf(opts.Out, "%d rows, %d uber-commits per pass, %d runs per policy\n\n",
+		rows, commits, opts.Runs)
+
+	onePass := func(policy wal.SyncPolicy) (time.Duration, error) {
+		dir, err := os.MkdirTemp("", "db4ml-walbench-*")
+		if err != nil {
+			return 0, err
+		}
+		defer os.RemoveAll(dir)
+		db := db4ml.Open(db4ml.WithWAL(dir), db4ml.WithWALSync(policy), db4ml.WithWorkers(2))
+		defer db.Close()
+		tbl, err := db.CreateTable("Counter",
+			db4ml.Column{Name: "ID", Type: db4ml.Int64},
+			db4ml.Column{Name: "Value", Type: db4ml.Float64})
+		if err != nil {
+			return 0, err
+		}
+		load := make([]db4ml.Payload, rows)
+		for i := range load {
+			p := tbl.Schema().NewPayload()
+			p.SetInt64(0, int64(i))
+			p.SetFloat64(1, 0)
+			load[i] = p
+		}
+		if err := db.BulkLoad(tbl, load); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for c := 1; c <= commits; c++ {
+			subs := make([]db4ml.IterativeTransaction, rows)
+			for i := range subs {
+				subs[i] = &recoveryIncSub{tbl: tbl, row: db4ml.RowID(i), target: float64(c)}
+			}
+			if _, err := db.RunML(db4ml.MLRun{
+				Isolation: db4ml.MLOptions{Level: db4ml.Asynchronous},
+				Label:     "wal-bench",
+				BatchSize: 8,
+				Attach:    []db4ml.Attachment{{Table: tbl}},
+				Subs:      subs,
+			}); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	tw = tab(opts.Out, "policy", "wall", "uber-commits", "commits/s", "vs always")
+	for _, policy := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval, wal.SyncNone} {
+		var total time.Duration
+		for r := 0; r < opts.Runs; r++ {
+			wallOne, err := onePass(policy)
+			if err != nil {
+				return err
+			}
+			total += wallOne
+		}
+		wall := total / time.Duration(opts.Runs)
+		pr := RecoveryPolicyResult{
+			Policy:      policy.String(),
+			UberCommits: commits,
+			WallNanos:   int64(wall),
+			PerSec:      float64(commits) / wall.Seconds(),
+		}
+		res.Policies = append(res.Policies, pr)
+		scale := float64(res.Policies[0].WallNanos) / float64(pr.WallNanos)
+		row(tw, pr.Policy, wall, pr.UberCommits, fmt.Sprintf("%.0f", pr.PerSec), fmt.Sprintf("%.2fx", scale))
+	}
+	tw.Flush()
+
+	if opts.BenchFile != "" {
+		js, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.BenchFile, append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(opts.Out, "\nwrote %s\n", opts.BenchFile)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRecoveryQuick runs the durability experiment end to end at quick
+// scale and checks the BENCH_RECOVERY.json it writes: every kill-point ×
+// shard-count trial recorded a passing verdict with real probe evidence,
+// and all three fsync policies produced measurable throughput. The
+// crash-window expectations (killed/acked on the right side of each point)
+// are asserted inside the experiment itself.
+func TestRecoveryQuick(t *testing.T) {
+	var buf strings.Builder
+	opts := quickOpts(&buf)
+	opts.BenchFile = filepath.Join(t.TempDir(), "BENCH_RECOVERY.json")
+	if err := Recovery(opts); err != nil {
+		t.Fatalf("recovery experiment failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"kill-point matrix", "mid-wal-append", "between-shard-commits",
+		"group-commit throughput", "always", "interval", "none",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	js, err := os.ReadFile(opts.BenchFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res RecoveryResult
+	if err := json.Unmarshal(js, &res); err != nil {
+		t.Fatalf("BENCH_RECOVERY.json does not parse: %v", err)
+	}
+	if res.Experiment != "recovery" {
+		t.Fatalf("result shape wrong: %+v", res)
+	}
+	// Quick mode: 2 shard counts × (none + 6 kill-points).
+	if len(res.Trials) != 14 {
+		t.Fatalf("%d trials recorded, want 14", len(res.Trials))
+	}
+	for _, tr := range res.Trials {
+		if !tr.Ok || tr.Checked == 0 {
+			t.Fatalf("trial not green: %+v", tr)
+		}
+	}
+	if len(res.Policies) != 3 {
+		t.Fatalf("%d policy rows, want 3", len(res.Policies))
+	}
+	for _, pr := range res.Policies {
+		if pr.WallNanos <= 0 || pr.PerSec <= 0 {
+			t.Fatalf("policy timing not populated: %+v", pr)
+		}
+	}
+}

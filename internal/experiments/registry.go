@@ -31,6 +31,7 @@ var registry = []struct {
 	{"gc", GC, "extra: version-GC soak — retained versions across consecutive ML runs with and without the reclaimer"},
 	{"plan", Plan, "extra: declarative plan layer — materialized baseline vs streamed vs predicate pushdown vs hash pre-sizing"},
 	{"shard", Shard, "extra: shard-per-node scale-out — distributed uber-transaction throughput on 1/2/4-shard clusters"},
+	{"recovery", Recovery, "extra: durability — kill-point recovery matrix and group-commit throughput by fsync policy"},
 }
 
 // Run executes the experiment with the given id, or every experiment when

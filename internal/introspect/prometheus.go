@@ -39,6 +39,11 @@ func counterMetrics(c obs.CounterTotals) []struct {
 		{"gc_passes", "Completed version-GC reclaimer passes.", c.GCPasses},
 		{"plan_queries", "Relational plan executions started through the plan layer.", c.PlanQueries},
 		{"plan_rows", "Result tuples emitted at the root of plan executions.", c.PlanRows},
+		{"wal_appends", "Uber-commit records appended to the write-ahead log.", c.WALAppendCount},
+		{"wal_bytes", "Bytes written to the write-ahead log, frames included.", c.WALBytes},
+		{"wal_fsyncs", "Fsync calls issued by the WAL group-commit batcher.", c.WALFsyncs},
+		{"recovery_replays", "WAL records replayed into the kernel on Open.", c.RecoveryReplays},
+		{"checkpoints", "Fuzzy checkpoint passes that produced a durable checkpoint file.", c.Checkpoints},
 	}
 }
 
@@ -58,6 +63,8 @@ func latencyFamilies(ls obs.LatencySnapshot) []struct {
 		{"job_commit_latency", "End-to-end job latency, submission to atomic publish.", ls.JobCommit},
 		{"gc_pause_latency", "Duration of one version-GC reclaimer pass (background, not stop-the-world).", ls.GCPause},
 		{"query_latency", "End-to-end relational plan execution latency, Execute to cursor close.", ls.Query},
+		{"wal_append_latency", "WAL append latency as the committer observes it, enqueue to group-commit ack.", ls.WALAppend},
+		{"checkpoint_pause_latency", "Commit-lock hold time of one fuzzy checkpoint's consistent-cut pin.", ls.CkptPause},
 	}
 }
 

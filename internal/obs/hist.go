@@ -33,6 +33,14 @@ const (
 	// QueryLatency is the end-to-end latency of one relational plan
 	// execution (internal/plan): Execute through cursor exhaustion/close.
 	QueryLatency
+	// WALAppendLatency is the duration of one WAL append as the committer
+	// observes it: enqueue through group-commit acknowledgement (fsync
+	// included under the sync-always policy).
+	WALAppendLatency
+	// CheckpointPauseLatency is the worker-visible pause of one fuzzy
+	// checkpoint pass: the time commit locks are held to pin a consistent
+	// cut. The scan and file write happen after release, off-worker.
+	CheckpointPauseLatency
 
 	numLatencies
 )
@@ -45,6 +53,8 @@ var latencyNames = [numLatencies]string{
 	"job_commit",
 	"gc_pause",
 	"query",
+	"wal_append",
+	"checkpoint_pause",
 }
 
 func (l Latency) String() string {
@@ -223,6 +233,8 @@ type LatencySnapshot struct {
 	JobCommit   HistogramStats `json:"job_commit"`
 	GCPause     HistogramStats `json:"gc_pause"`
 	Query       HistogramStats `json:"query"`
+	WALAppend   HistogramStats `json:"wal_append"`
+	CkptPause   HistogramStats `json:"checkpoint_pause"`
 }
 
 // ByName returns the named histogram (see Latency.String), ok=false for an
@@ -243,6 +255,10 @@ func (ls LatencySnapshot) ByName(name string) (HistogramStats, bool) {
 		return ls.GCPause, true
 	case "query":
 		return ls.Query, true
+	case "wal_append":
+		return ls.WALAppend, true
+	case "checkpoint_pause":
+		return ls.CkptPause, true
 	}
 	return HistogramStats{}, false
 }
@@ -257,6 +273,8 @@ func (ls LatencySnapshot) Merge(o LatencySnapshot) LatencySnapshot {
 		JobCommit:   ls.JobCommit.Merge(o.JobCommit),
 		GCPause:     ls.GCPause.Merge(o.GCPause),
 		Query:       ls.Query.Merge(o.Query),
+		WALAppend:   ls.WALAppend.Merge(o.WALAppend),
+		CkptPause:   ls.CkptPause.Merge(o.CkptPause),
 	}
 }
 
@@ -299,5 +317,7 @@ func (o *Observer) latencySnapshot() LatencySnapshot {
 		JobCommit:   build(JobCommitLatency),
 		GCPause:     build(GCPauseLatency),
 		Query:       build(QueryLatency),
+		WALAppend:   build(WALAppendLatency),
+		CkptPause:   build(CheckpointPauseLatency),
 	}
 }

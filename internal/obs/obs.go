@@ -84,6 +84,17 @@ const (
 	// PlanRows counts tuples emitted at the root of plan executions — the
 	// result rows a query actually produced, after all pushdown.
 	PlanRows
+	// WALAppends counts uber-commit records appended to the write-ahead log.
+	WALAppends
+	// WALBytes counts bytes written to the write-ahead log (frames included).
+	WALBytes
+	// WALFsyncs counts fsync calls the WAL's group-commit batcher issued.
+	WALFsyncs
+	// RecoveryReplays counts WAL records replayed into the kernel on Open.
+	RecoveryReplays
+	// Checkpoints counts fuzzy checkpoint passes that produced a durable
+	// checkpoint file.
+	Checkpoints
 
 	numCounters
 )
@@ -107,6 +118,11 @@ var counterNames = [numCounters]string{
 	"gc_passes",
 	"plan_queries",
 	"plan_rows",
+	"wal_appends",
+	"wal_bytes",
+	"wal_fsyncs",
+	"recovery_replays",
+	"checkpoints",
 }
 
 func (c Counter) String() string {
@@ -323,6 +339,11 @@ type CounterTotals struct {
 	GCPasses             uint64 `json:"gc_passes,omitempty"`
 	PlanQueries          uint64 `json:"plan_queries,omitempty"`
 	PlanRows             uint64 `json:"plan_rows,omitempty"`
+	WALAppendCount       uint64 `json:"wal_appends,omitempty"`
+	WALBytes             uint64 `json:"wal_bytes,omitempty"`
+	WALFsyncs            uint64 `json:"wal_fsyncs,omitempty"`
+	RecoveryReplays      uint64 `json:"recovery_replays,omitempty"`
+	Checkpoints          uint64 `json:"checkpoints,omitempty"`
 }
 
 // WorkerStats is one worker's share of the run — the paper's Figure 9
@@ -405,6 +426,11 @@ func (o *Observer) counterTotals() CounterTotals {
 		t.GCPasses += sh.counts[GCPasses].Load()
 		t.PlanQueries += sh.counts[PlanQueries].Load()
 		t.PlanRows += sh.counts[PlanRows].Load()
+		t.WALAppendCount += sh.counts[WALAppends].Load()
+		t.WALBytes += sh.counts[WALBytes].Load()
+		t.WALFsyncs += sh.counts[WALFsyncs].Load()
+		t.RecoveryReplays += sh.counts[RecoveryReplays].Load()
+		t.Checkpoints += sh.counts[Checkpoints].Load()
 	}
 	t.Rollbacks = t.UserRollbacks + t.StalenessRollbacks
 	return t
@@ -432,6 +458,11 @@ func (t *CounterTotals) Add(o CounterTotals) {
 	t.GCPasses += o.GCPasses
 	t.PlanQueries += o.PlanQueries
 	t.PlanRows += o.PlanRows
+	t.WALAppendCount += o.WALAppendCount
+	t.WALBytes += o.WALBytes
+	t.WALFsyncs += o.WALFsyncs
+	t.RecoveryReplays += o.RecoveryReplays
+	t.Checkpoints += o.Checkpoints
 }
 
 // Snapshot aggregates the current telemetry. Safe to call concurrently

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"db4ml/internal/chaos"
 	"db4ml/internal/exec"
 	"db4ml/internal/isolation"
 	"db4ml/internal/itx"
@@ -104,6 +105,7 @@ func (h *Handle) Done() <-chan struct{} { return h.done }
 type Coordinator struct {
 	cluster *Cluster
 	tracer  *trace.Tracer
+	crash   *chaos.Killer
 
 	mu       sync.Mutex
 	closed   bool
@@ -116,6 +118,14 @@ func NewCoordinator(c *Cluster) *Coordinator { return &Coordinator{cluster: c} }
 // SetTracer attaches a span tracer recording coordinator-level events:
 // one commit instant per resolved run (the global timestamp) on ring 0.
 func (co *Coordinator) SetTracer(t *trace.Tracer) { co.tracer = t }
+
+// SetCrash arms a crash kill-point inside the two-phase commit: the
+// coordinator simulates a process death before prepare, after prepare, or
+// between per-shard commit applications (the classic 2PC window), failing
+// the run with chaos.ErrCrashed instead of acknowledging an outcome. The
+// recovery harness (internal/crashsim) then proves that restart-from-log
+// restores committed-exactly-or-absent across the window.
+func (co *Coordinator) SetCrash(k *chaos.Killer) { co.crash = k }
 
 // Cluster returns the coordinated cluster.
 func (co *Coordinator) Cluster() *Cluster { return co.cluster }
@@ -324,6 +334,20 @@ func (co *Coordinator) resolve(h *Handle, run UberRun, ubers []*itx.Uber, rz *Re
 		return
 	}
 
+	// Crash kill-points: a fired point means the coordinator process "died"
+	// at that instant — the run resolves with ErrCrashed and NO outcome is
+	// recorded, because a dead coordinator acknowledges nothing. In-memory
+	// state is left exactly as the crash would leave it (e.g. some shards
+	// published, others not, for the between-commits window); the harness
+	// discards this kernel and proves recovery repairs the log's view of it.
+	if co.crash.At(chaos.CrashBeforePrepare) {
+		for _, u := range ubers {
+			_ = u.Abort()
+		}
+		h.err = chaos.ErrCrashed
+		return
+	}
+
 	// Two-phase commit: prepare every shard in shard-id order (holding
 	// each manager's commit lock), choose one timestamp, publish all.
 	preps := make([]*txn.Prepared, len(ubers))
@@ -344,8 +368,32 @@ func (co *Coordinator) resolve(h *Handle, run UberRun, ubers []*itx.Uber, rz *Re
 		}
 		preps[i] = p
 	}
+	if co.crash.At(chaos.CrashAfterPrepare) {
+		for _, p := range preps {
+			p.Abort()
+		}
+		for _, u := range ubers {
+			_ = u.Abort()
+		}
+		h.err = chaos.ErrCrashed
+		return
+	}
 	ts := co.cluster.Oracle().Next()
 	for i, u := range ubers {
+		if i > 0 && co.crash.At(chaos.CrashBetweenShardCommits) {
+			// Shards [0,i) have published at ts; shards [i,n) never will.
+			// Release their commit locks and abort their ubers so the dead
+			// kernel stays drainable, but leave the torn publish in place —
+			// that asymmetry is precisely what recovery must erase.
+			for k := i; k < len(preps); k++ {
+				preps[k].Abort()
+			}
+			for k := i; k < len(ubers); k++ {
+				_ = ubers[k].Abort()
+			}
+			h.err = chaos.ErrCrashed
+			return
+		}
 		if err := u.CommitPrepared(preps[i], ts); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("shard %d commit: %w", i, err)
 		}

@@ -116,6 +116,25 @@ func (c *Cluster) PublishAll(publish func(shard int, ts storage.Timestamp) error
 		preps[i] = k.mgr.Prepare()
 	}
 	ts := c.oracle.Next()
+	return ts, c.commitAll(preps, ts, publish)
+}
+
+// PublishAllAt is PublishAll at a caller-chosen timestamp — the WAL replay
+// path, which must re-publish recovered state at each record's original
+// commit timestamp rather than drawing fresh ones. The timestamp must be at
+// or above every shard's stable watermark (replay applies records in LSN
+// order, so it is).
+func (c *Cluster) PublishAllAt(ts storage.Timestamp, publish func(shard int, ts storage.Timestamp) error) error {
+	preps := make([]*txn.Prepared, len(c.kernels))
+	for i, k := range c.kernels {
+		preps[i] = k.mgr.Prepare()
+	}
+	c.oracle.AdvanceTo(ts)
+	return c.commitAll(preps, ts, publish)
+}
+
+// commitAll publishes every prepared shard at ts, in shard-id order.
+func (c *Cluster) commitAll(preps []*txn.Prepared, ts storage.Timestamp, publish func(shard int, ts storage.Timestamp) error) error {
 	var firstErr error
 	for i, p := range preps {
 		shard := i
@@ -125,5 +144,5 @@ func (c *Cluster) PublishAll(publish func(shard int, ts storage.Timestamp) error
 			}
 		})
 	}
-	return ts, firstErr
+	return firstErr
 }

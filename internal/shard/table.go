@@ -132,6 +132,21 @@ func (t *Table) LocalRows(rows []table.RowID) ([][]table.RowID, error) {
 // placement — physically placed rows cannot move — and overflow rows clamp
 // into the last shard; prefer one Load per Range table.
 func (t *Table) Load(c *Cluster, rows []storage.Payload) (storage.Timestamp, error) {
+	return t.load(c, rows, c.PublishAll)
+}
+
+// LoadAt is Load at a caller-chosen timestamp (Cluster.PublishAllAt) — the
+// recovery path, which replays a logged bulk load at its original commit
+// timestamp so the recovered table is bit-identical to the pre-crash one.
+func (t *Table) LoadAt(c *Cluster, ts storage.Timestamp, rows []storage.Payload) error {
+	_, err := t.load(c, rows, func(pub func(int, storage.Timestamp) error) (storage.Timestamp, error) {
+		return ts, c.PublishAllAt(ts, pub)
+	})
+	return err
+}
+
+func (t *Table) load(c *Cluster, rows []storage.Payload,
+	publishAll func(func(int, storage.Timestamp) error) (storage.Timestamp, error)) (storage.Timestamp, error) {
 	if c.Shards() != t.router.Shards() {
 		return 0, fmt.Errorf("shard: table %s is sharded %d ways, cluster has %d shards",
 			t.name, t.router.Shards(), c.Shards())
@@ -157,7 +172,7 @@ func (t *Table) Load(c *Cluster, rows []storage.Payload) (storage.Timestamp, err
 
 	locals := make([]table.RowID, len(rows))
 	next := make([]int, c.Shards())
-	ts, err := c.PublishAll(func(shard int, ts storage.Timestamp) error {
+	ts, err := publishAll(func(shard int, ts storage.Timestamp) error {
 		for _, p := range perShard[shard] {
 			if _, e := t.locals[shard].Append(ts, p); e != nil {
 				return e

@@ -27,3 +27,16 @@ func (o *Oracle) Next() Timestamp {
 func (o *Oracle) Current() Timestamp {
 	return Timestamp(o.counter.Load())
 }
+
+// AdvanceTo moves the oracle forward so Next never re-issues a timestamp at
+// or below ts. Recovery uses it after replaying a WAL tail: replayed commits
+// keep their original timestamps, so the oracle must resume above the
+// largest one. AdvanceTo never moves the oracle backwards.
+func (o *Oracle) AdvanceTo(ts Timestamp) {
+	for {
+		cur := o.counter.Load()
+		if uint64(ts) <= cur || o.counter.CompareAndSwap(cur, uint64(ts)) {
+			return
+		}
+	}
+}

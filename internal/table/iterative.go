@@ -120,6 +120,13 @@ func (t *Table) CommitIterative(commitTS storage.Timestamp, rows []RowID) error 
 	if rows == nil && published == 0 && t.NumRows() > 0 {
 		return fmt.Errorf("table %s: no in-flight iterative versions to commit", t.name)
 	}
+	if published > 0 {
+		// CommitIterative runs inside the manager's publish critical section
+		// (PublishAt/CommitAt), so this bump lands before the stable
+		// watermark advances — the ordering the fuzzy checkpointer's
+		// change-detection relies on.
+		t.muts.Add(1)
+	}
 	return nil
 }
 

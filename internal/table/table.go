@@ -2,7 +2,9 @@ package table
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"db4ml/internal/index"
 	"db4ml/internal/partition"
@@ -28,6 +30,16 @@ type Table struct {
 	treeIdx map[string]*index.BTree
 
 	part partition.Partitioner
+
+	// muts counts publishes that changed visible state — appends, adopted
+	// chains, OLTP write publishes, iterative commits. The fuzzy
+	// checkpointer uses it as a cheap change detector: a table whose counter
+	// is unchanged since the last checkpoint pass has an identical visible
+	// state at any later pinned snapshot, so its encoded section can be
+	// reused instead of re-scanned. Bumps happen inside the publish critical
+	// section (before the stable watermark advances), which is what makes
+	// "counter read after pinning" a sound equality witness.
+	muts atomic.Uint64
 
 	// view marks a table assembled from other tables' version chains via
 	// AdoptChain (the shard router's cross-shard read view). Views share
@@ -87,6 +99,7 @@ func (t *Table) Append(ts storage.Timestamp, payload storage.Payload) (RowID, er
 	id := RowID(len(t.rows))
 	t.rows = append(t.rows, storage.NewVersionChain(rec))
 	t.mu.Unlock()
+	t.muts.Add(1)
 
 	t.idxMu.RLock()
 	for col, idx := range t.hashIdx {
@@ -115,6 +128,7 @@ func (t *Table) AdoptChain(c *storage.VersionChain) (RowID, error) {
 	id := RowID(len(t.rows))
 	t.rows = append(t.rows, c)
 	t.mu.Unlock()
+	t.muts.Add(1)
 
 	if head := c.Head(); head != nil {
 		t.idxMu.RLock()
@@ -278,6 +292,33 @@ func (t *Table) fillIndex(ci int, add func(key int64, row uint64)) {
 			add(head.Payload.Int64(ci), uint64(i))
 		}
 	}
+}
+
+// NoteMutation records one visible-state change. Publish paths that install
+// new versions on existing chains (OLTP write publishes, iterative commits)
+// call it inside their publish critical section; Append and AdoptChain bump
+// internally.
+func (t *Table) NoteMutation() { t.muts.Add(1) }
+
+// Mutations returns the visible-state change counter. Two reads taken after
+// pinning two snapshots bracket the interval: equal counters mean no publish
+// changed this table between the pins.
+func (t *Table) Mutations() uint64 { return t.muts.Load() }
+
+// IndexDefs returns the columns carrying secondary indexes, sorted by name —
+// the definition set checkpoints persist so indexes are rebuilt on recovery.
+func (t *Table) IndexDefs() (hash, tree []string) {
+	t.idxMu.RLock()
+	for col := range t.hashIdx {
+		hash = append(hash, col)
+	}
+	for col := range t.treeIdx {
+		tree = append(tree, col)
+	}
+	t.idxMu.RUnlock()
+	sort.Strings(hash)
+	sort.Strings(tree)
+	return hash, tree
 }
 
 // HashIndex returns the hash index on col, or nil if none exists.

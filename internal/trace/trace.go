@@ -68,6 +68,12 @@ const (
 	// KindPlanOp spans one operator's Open→Close lifetime within a plan
 	// execution; Arg is the operator's rows-out count.
 	KindPlanOp
+	// KindWAL marks one group-commit batch written to the write-ahead log;
+	// Arg is the number of records in the batch.
+	KindWAL
+	// KindCheckpoint marks one completed fuzzy checkpoint pass; Arg is the
+	// number of table sections written.
+	KindCheckpoint
 
 	numKinds
 )
@@ -84,7 +90,7 @@ const (
 var kindNames = [numKinds]string{
 	"job", "batch", "barrier", "queue-wait", "steal",
 	"retry", "abort", "fault", "commit", "gc",
-	"plan", "plan-op",
+	"plan", "plan-op", "wal", "checkpoint",
 }
 
 func (k Kind) String() string {

@@ -90,6 +90,20 @@ func (m *Manager) PublishAt(publish func(ts storage.Timestamp)) storage.Timestam
 	return ts
 }
 
+// RestoreStable advances the stable watermark (and the shared oracle) to ts
+// without publishing anything. Recovery calls it after rebuilding state at
+// original commit timestamps so new transactions begin at or above the
+// newest replayed commit. It never moves the watermark backwards and must
+// not race live publishes — recovery runs before the kernel accepts work.
+func (m *Manager) RestoreStable(ts storage.Timestamp) {
+	m.commitMu.Lock()
+	m.oracle.AdvanceTo(ts)
+	if uint64(ts) > m.stable.Load() {
+		m.stable.Store(uint64(ts))
+	}
+	m.commitMu.Unlock()
+}
+
 // Prepared is a shard's side of a two-phase commit: the manager's commit
 // lock, held between the coordinator's prepare and commit (or abort)
 // decisions. While a Prepared is open no other publish — OLTP commit, bulk
@@ -435,6 +449,15 @@ func (tx *Txn) Commit() error {
 	tx.m.PublishAt(func(commitTS storage.Timestamp) {
 		for _, rec := range installed {
 			rec.Publish(commitTS)
+		}
+		// One mutation note per distinct written table, inside the publish
+		// critical section (inserts bump via Append below).
+		var last *table.Table
+		for _, i := range order {
+			if tbl := tx.writes[i].key.tbl; tbl != last {
+				tbl.NoteMutation()
+				last = tbl
+			}
 		}
 		for _, ins := range tx.inserts {
 			row, err := ins.tbl.Append(commitTS, ins.payload)

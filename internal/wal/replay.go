@@ -1,0 +1,123 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// scanResult is everything a directory scan learns: the decodable records in
+// LSN order, the next LSN to assign, and where the live segment's valid
+// bytes end (the torn-tail truncation point).
+type scanResult struct {
+	recs    []*Record
+	nextLSN uint64
+	segs    []segState
+}
+
+// segState is one scanned segment: its identity plus how many of its bytes
+// decode cleanly.
+type segState struct {
+	name      string
+	firstLSN  uint64
+	goodBytes int64
+}
+
+// Records reads every valid record under dir in LSN order, stopping at the
+// first torn or corrupt frame — the read-only replay view. A missing
+// directory yields no records and no error: recovery from an empty state is
+// not a failure.
+func Records(dir string) ([]*Record, error) {
+	scan, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return scan.recs, nil
+}
+
+// scanDir walks the directory's segments in LSN order, decoding frames
+// until the first invalid one. Everything from that point on — the rest of
+// the segment AND any later segments — is a torn tail: segments are written
+// strictly in order, so bytes past the first tear can only exist if a crash
+// interleaved with a roll, and replaying them would reorder history.
+func scanDir(dir string) (scanResult, error) {
+	var res scanResult
+	res.nextLSN = 1
+	segs, err := listSegments(dir)
+	if os.IsNotExist(err) {
+		return res, nil
+	}
+	if err != nil {
+		return res, err
+	}
+	torn := false
+	for _, seg := range segs {
+		st := segState{name: seg.name, firstLSN: seg.firstLSN, goodBytes: segHeaderLen}
+		if torn {
+			// A predecessor tore: this whole segment is unreachable tail.
+			st.goodBytes = segHeaderLen
+			res.segs = append(res.segs, st)
+			continue
+		}
+		if seg.firstLSN != res.nextLSN && len(res.segs) > 0 {
+			// LSN gap between segments (e.g. a middle segment vanished):
+			// stop replay at the gap rather than reordering history.
+			torn = true
+			res.segs = append(res.segs, st)
+			continue
+		}
+		if len(res.segs) == 0 {
+			// The first (oldest surviving) segment defines where replayable
+			// history starts — earlier segments were checkpoint-truncated.
+			res.nextLSN = seg.firstLSN
+		}
+		data, err := os.ReadFile(filepath.Join(dir, seg.name))
+		if err != nil {
+			return res, fmt.Errorf("wal: %w", err)
+		}
+		good, recs := decodeFrames(data, res.nextLSN)
+		st.goodBytes = good
+		res.recs = append(res.recs, recs...)
+		res.nextLSN += uint64(len(recs))
+		if good < int64(len(data)) {
+			torn = true
+		}
+		res.segs = append(res.segs, st)
+	}
+	return res, nil
+}
+
+// decodeFrames walks one segment's frames, validating structure, CRC, and
+// dense LSN assignment. It returns the byte offset through the last valid
+// frame and the decoded records; anything after the returned offset is torn.
+func decodeFrames(data []byte, wantLSN uint64) (int64, []*Record) {
+	if len(data) < segHeaderLen {
+		return segHeaderLen, nil
+	}
+	var recs []*Record
+	off := int64(segHeaderLen)
+	for {
+		rest := data[off:]
+		if len(rest) < frameHeadLen {
+			return off, recs
+		}
+		plen := binary.LittleEndian.Uint32(rest[0:])
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if plen > maxPayloadLen || int(plen) > len(rest)-frameHeadLen {
+			return off, recs
+		}
+		payload := rest[frameHeadLen : frameHeadLen+int(plen)]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return off, recs
+		}
+		rec, err := decodePayload(payload)
+		if err != nil || rec.LSN != wantLSN {
+			return off, recs
+		}
+		recs = append(recs, rec)
+		wantLSN++
+		off += frameHeadLen + int64(plen)
+	}
+}

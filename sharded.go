@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"db4ml/internal/chaos"
 	"db4ml/internal/exec"
 	"db4ml/internal/gc"
 	"db4ml/internal/numa"
@@ -78,6 +79,10 @@ type ShardedDB struct {
 	tables map[string]*ShardedTable
 	byView map[*Table]*ShardedTable
 
+	// dur is the durability state (WAL, checkpoint cache, crash killer),
+	// non-nil only under WithWAL; armed by restoreSharded after recovery.
+	dur *durability
+
 	// One version reclaimer per shard, each clamped to its own kernel's
 	// oldest active snapshot and pruning only the locals that shard owns.
 	reclaimers []*gc.Reclaimer
@@ -147,6 +152,14 @@ func OpenSharded(opts ...Option) *ShardedDB {
 			cluster.Kernel(s).Pool().Maintain(oc.gcInterval, func() { db.reclaimers[s].Pass() })
 		}
 	}
+	if oc.walDir != "" {
+		db.restoreSharded(oc)
+		if oc.ckptEvery > 0 {
+			// The checkpointer rides shard 0's maintenance goroutine; the
+			// cut it takes spans every shard.
+			cluster.Kernel(0).Pool().Maintain(oc.ckptEvery, func() { _ = db.Checkpoint() })
+		}
+	}
 	return db
 }
 
@@ -179,6 +192,9 @@ func (db *ShardedDB) Close() error {
 	db.co.Close()
 	db.handles.Wait()
 	db.cluster.Close()
+	if db.dur != nil {
+		_ = db.dur.log.Close()
+	}
 	return nil
 }
 
@@ -199,6 +215,11 @@ func (db *ShardedDB) CreateTable(name string, cols ...Column) (*Table, error) {
 	}
 	router := shard.NewRouter(db.scheme, db.cluster.Shards(), 0)
 	st := shard.NewTable(name, schema, router)
+	if db.dur != nil {
+		if err := db.dur.appendCreate(name, cols); err != nil {
+			return nil, err
+		}
+	}
 	db.tables[name] = st
 	db.byView[st.View()] = st
 	return st.View(), nil
@@ -244,8 +265,15 @@ func (db *ShardedDB) BulkLoad(tbl *Table, rows []Payload) error {
 	if err != nil {
 		return err
 	}
-	_, err = st.Load(db.cluster, rows)
-	return err
+	firstRow := st.NumRows()
+	ts, err := st.Load(db.cluster, rows)
+	if err != nil {
+		return err
+	}
+	if db.dur != nil && len(rows) > 0 {
+		return db.dur.appendLoad(st.Name(), ts, firstRow, rows)
+	}
+	return nil
 }
 
 // Stable returns the newest timestamp at which EVERY shard is fully
@@ -552,7 +580,23 @@ func (db *ShardedDB) SubmitML(ctx context.Context, run MLRun) (*ShardedJobHandle
 	}
 	h.inner.Store(inner)
 	h.attempts.Store(1)
-	go db.superviseSharded(ctx, h, uber, policy)
+	// The supervisor logs commits from the global views (their chains are
+	// the locals' chains, so after-images read identically), deduplicated
+	// here since attachments may repeat a table.
+	views := make([]*Table, 0, len(sharded))
+	for _, st := range sharded {
+		dup := false
+		for _, v := range views {
+			if v == st.View() {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			views = append(views, st.View())
+		}
+	}
+	go db.superviseSharded(ctx, h, uber, policy, views)
 	return h, nil
 }
 
@@ -561,7 +605,7 @@ func (db *ShardedDB) SubmitML(ctx context.Context, run MLRun) (*ShardedJobHandle
 // coordinator aborted the failed attempt on every shard, so resubmission
 // re-begins from scratch), resolve terminally otherwise.
 func (db *ShardedDB) superviseSharded(ctx context.Context, h *ShardedJobHandle,
-	uber shard.UberRun, policy RetryPolicy) {
+	uber shard.UberRun, policy RetryPolicy, views []*Table) {
 	defer db.handles.Done()
 	defer db.gate.Release()
 	defer close(h.done)
@@ -579,7 +623,22 @@ func (db *ShardedDB) superviseSharded(ctx context.Context, h *ShardedJobHandle,
 		stats, ts, err := inner.Wait()
 		h.stats = stats
 		if err == nil {
+			if db.dur != nil {
+				if werr := db.dur.appendCommit(ts, views); werr != nil {
+					// Durably uncertain commits are never acknowledged.
+					h.err = werr
+					return
+				}
+			}
 			h.ts = ts
+			return
+		}
+		if errors.Is(err, chaos.ErrCrashed) {
+			// A coordinator kill-point fired: the "process" is dead.
+			// Freeze the WAL and resolve terminally — recovery, not retry,
+			// is what follows a crash.
+			db.dur.freeze()
+			h.err = err
 			return
 		}
 		if errors.Is(err, exec.ErrJobCancelled) && ctx.Err() != nil {
