@@ -25,13 +25,15 @@ bench-smoke:
 
 # Observability gate: the zero-alloc contracts of the disabled hot paths
 # (enforced as tests), the observability test surface under the race
-# detector, then the overhead benchmarks for eyeballing against the <2%
-# budget documented in EXPERIMENTS.md.
+# detector — including the cluster-wide surface (the sharded debug server
+# end-to-end test scrapes /debug/shards, /debug/query, and the merged
+# /debug/trace off a live 4-shard run) — then the overhead benchmarks for
+# eyeballing against the <2% budget documented in EXPERIMENTS.md.
 obs:
 	go vet ./internal/obs ./internal/trace ./internal/introspect
 	go test -race ./internal/obs ./internal/trace ./internal/introspect
-	go test -race -run 'Observability|DebugServer|LatenciesAndTrace|BarrierSkew|StampsNothing' . ./internal/exec
-	go test -bench 'ObserverOverhead|TraceOverhead|HistogramOverhead' -benchtime 20x -run '^$$' .
+	go test -race -run 'Observability|DebugServer|LatenciesAndTrace|BarrierSkew|StampsNothing|MergedTrace|ShardedTraceAllShards|ExplainAnalyze|ShardedExplain' . ./internal/exec
+	go test -bench 'ObserverOverhead|TraceOverhead|HistogramOverhead|DistTraceOverhead|WALMetricsOverhead' -benchtime 20x -run '^$$' .
 
 # Seeded fault-injection sweep: 8 fault schedules per isolation level,
 # every recorded history checked against the isolation contracts. A failing

@@ -12,6 +12,7 @@
 //	db4ml-bench -exp fig9 -quick -telemetry
 //	db4ml-bench -exp concurrent -telemetry
 //	db4ml-bench -exp chaos -seeds 8
+//	db4ml-bench -explain
 //
 // With -telemetry, each instrumented job appends one labelled JSON
 // telemetry snapshot (per-worker counters, queue gauges, convergence
@@ -45,12 +46,28 @@ func main() {
 	maxinflight := flag.Int("maxinflight", 0, "admitted concurrent ML jobs for -exp resilience (default 3)")
 	benchjson := flag.String("benchjson", "", "write the experiment's machine-readable result (currently -exp gc) to this JSON file, e.g. BENCH_GC.json")
 	httpAddr := flag.String("http", "", "serve the live debug endpoints on this address (e.g. :6060): /metrics (Prometheus), /debug/trace (Chrome trace_event JSON for Perfetto/about:tracing), /debug/pprof; the process keeps serving after the experiments until interrupted")
+	explain := flag.Bool("explain", false, "shorthand for -exp explain: print EXPLAIN and EXPLAIN ANALYZE for the star query and verify the planner's promises against measured execution")
+	shards := flag.Int("shards", 0, "with -http: serve the cluster-wide debug surface from a live N-shard database running a demo workload (merged /debug/trace, /debug/shards, /debug/query) instead of the single-kernel experiment plumbing")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Printf("%-8s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+	if *explain && *exp == "" {
+		*exp = "explain"
+	}
+	if *shards > 0 {
+		if *httpAddr == "" {
+			fmt.Fprintln(os.Stderr, "db4ml-bench: -shards requires -http")
+			os.Exit(2)
+		}
+		if err := serveSharded(*shards, *httpAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "db4ml-bench:", err)
+			os.Exit(1)
 		}
 		return
 	}

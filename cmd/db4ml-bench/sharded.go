@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"db4ml"
+	"db4ml/internal/storage"
+)
+
+// demoInc is the sharded demo's sub-transaction: bump one counter row
+// per iteration until it reaches its target, the quickstart's PageRank
+// stand-in.
+type demoInc struct {
+	tbl    *db4ml.Table
+	row    db4ml.RowID
+	target float64
+	rec    *storage.IterativeRecord
+	buf    db4ml.Payload
+	cur    float64
+}
+
+func (s *demoInc) Begin(ctx *db4ml.Ctx) {
+	s.rec = s.tbl.IterRecord(s.row)
+	s.buf = make(db4ml.Payload, 2)
+}
+
+func (s *demoInc) Execute(ctx *db4ml.Ctx) {
+	ctx.Read(s.rec, s.buf)
+	s.cur = s.buf.Float64(1) + 1
+	s.buf.SetFloat64(1, s.cur)
+	ctx.Write(s.rec, s.buf)
+}
+
+func (s *demoInc) Validate(ctx *db4ml.Ctx) db4ml.Action {
+	if s.cur >= s.target {
+		return db4ml.Done
+	}
+	return db4ml.Commit
+}
+
+// serveSharded opens a live N-shard database with the cluster-wide debug
+// server on addr, runs one distributed ML job, one scattered query, and a
+// fuzzy checkpoint so every endpoint has data — the merged Chrome trace on
+// /debug/trace, per-shard breakdowns on /debug/shards, the query's plan on
+// /debug/query, and the wal/checkpoint/2PC metric families on /metrics —
+// then keeps serving until interrupted. This is what the CI smoke scrapes.
+func serveSharded(shards int, addr string) error {
+	walDir, err := os.MkdirTemp("", "db4ml-demo-wal")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walDir)
+
+	db := db4ml.OpenSharded(
+		db4ml.WithShards(shards),
+		db4ml.WithShardScheme(db4ml.ShardRoundRobin),
+		db4ml.WithDebugServer(addr),
+		db4ml.WithWAL(walDir),
+		db4ml.WithWALSync(db4ml.WALSyncAlways),
+	)
+	defer db.Close()
+
+	const n = 64
+	tbl, err := db.CreateTable("Counter",
+		db4ml.Column{Name: "ID", Type: db4ml.Int64},
+		db4ml.Column{Name: "Value", Type: db4ml.Float64})
+	if err != nil {
+		return err
+	}
+	rows := make([]db4ml.Payload, n)
+	for i := range rows {
+		p := tbl.Schema().NewPayload()
+		p.SetInt64(0, int64(i))
+		rows[i] = p
+	}
+	if err := db.BulkLoad(tbl, rows); err != nil {
+		return err
+	}
+
+	subs := make([]db4ml.IterativeTransaction, n)
+	for i := range subs {
+		subs[i] = &demoInc{tbl: tbl, row: db4ml.RowID(i), target: 4}
+	}
+	if _, err := db.RunML(db4ml.MLRun{
+		Label:     "demo",
+		Isolation: db4ml.MLOptions{Level: db4ml.Asynchronous},
+		Attach:    []db4ml.Attachment{{Table: tbl}},
+		Subs:      subs,
+	}); err != nil {
+		return err
+	}
+	if _, err := db.RunQuery(context.Background(), db4ml.QueryRun{
+		Plan: db4ml.Filter(db4ml.Scan(tbl), db4ml.FloatCmp("Value", db4ml.Gt, 0)),
+	}); err != nil {
+		return err
+	}
+	if err := db.Checkpoint(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"db4ml-bench: %d-shard demo served on http://%s (/metrics, /debug/trace, /debug/shards, /debug/query, /debug/jobs) — interrupt to exit\n",
+		shards, db.DebugAddr())
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	return nil
+}

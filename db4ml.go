@@ -223,6 +223,7 @@ type DB struct {
 	jobsMu   sync.Mutex
 	liveJobs map[*JobHandle]jobMeta
 	recent   []introspect.JobInfo
+	queries  []introspect.QueryInfo
 
 	// queryID tags each SubmitQuery/PrepareQuery with a trace span id.
 	queryID atomic.Uint64
@@ -401,6 +402,7 @@ func Open(opts ...Option) *DB {
 			Addr:    oc.debugAddr,
 			Metrics: db.agg.Snapshot,
 			Jobs:    db.jobInfos,
+			Queries: db.queryInfos,
 			Tracer:  db.tracer,
 		})
 		if err != nil {
@@ -496,6 +498,7 @@ func (db *DB) settleJob(h *JobHandle, deadline time.Duration) {
 	}
 	info := introspect.NewJobInfo(j.ID(), j.Label(), state,
 		h.Attempts(), j.Live(), j.Total(), j.Started(), deadline)
+	info.CommitTS = uint64(h.ts)
 	db.jobsMu.Lock()
 	delete(db.liveJobs, h)
 	db.recent = append(db.recent, info)
@@ -976,7 +979,7 @@ func (db *DB) supervise(ctx context.Context, h *JobHandle, u *itx.Uber,
 				return
 			}
 			if db.dur != nil {
-				if werr := db.dur.appendCommit(ts, distinctTables(run.Attach)); werr != nil {
+				if werr := db.dur.appendCommit(ts, distinctTables(run.Attach), job.ID()); werr != nil {
 					// The append or its fsync failed — the commit may not
 					// survive a restart, so it must not be acknowledged.
 					h.err = werr

@@ -176,8 +176,10 @@ func (d *durability) appendLoad(name string, ts Timestamp, firstRow int, rows []
 // table the run attached, the full-row after-image of every row whose
 // current version begins exactly at ts. Tables and rows untouched by the
 // commit contribute nothing. A commit that published no rows logs nothing.
-func (d *durability) appendCommit(ts Timestamp, tables []*table.Table) error {
-	rec := &wal.Record{Kind: wal.KindCommit, TS: ts}
+// The traceID (0 if untraced) correlates the in-memory WAL batch span
+// with the uber-transaction that produced the commit.
+func (d *durability) appendCommit(ts Timestamp, tables []*table.Table, traceID uint64) error {
+	rec := &wal.Record{Kind: wal.KindCommit, TS: ts, Trace: traceID}
 	for _, tbl := range tables {
 		tu := wal.TableUpdate{Table: tbl.Name()}
 		n := tbl.NumRows()
@@ -235,16 +237,24 @@ type ckptSource struct {
 // file, and truncates the WAL below the checkpoint's LSN. Callers hold
 // d.mu and have already pinned the snapshot meta.TS was scanned at.
 func (d *durability) writeCheckpoint(meta checkpoint.Meta, srcs []ckptSource, pause time.Duration) error {
+	ckptStart := time.Now()
+	ckptAt := d.tracer.Now()
 	sort.Slice(srcs, func(i, j int) bool { return srcs[i].name < srcs[j].name })
 	sections := make([][]byte, len(srcs))
+	var written, reused uint64
 	for i, s := range srcs {
+		secAt := d.tracer.Now()
 		if c, ok := d.cache[s.name]; ok && c.muts == s.muts {
 			sections[i] = c.bytes
+			reused++
+			d.tracer.Span(0, trace.KindCkptSection, 0, 1, secAt, d.tracer.Now()-secAt)
 			continue
 		}
 		b := s.encode()
 		d.cache[s.name] = ckptSection{muts: s.muts, bytes: b}
 		sections[i] = b
+		written++
+		d.tracer.Span(0, trace.KindCkptSection, 0, 0, secAt, d.tracer.Now()-secAt)
 	}
 	seq, err := checkpoint.NextSeq(d.dir)
 	if err != nil {
@@ -270,11 +280,12 @@ func (d *durability) writeCheckpoint(meta checkpoint.Meta, srcs []ckptSource, pa
 	}
 	if d.obs != nil {
 		d.obs.Add(0, obs.Checkpoints, 1)
+		d.obs.Add(0, obs.CkptSectionsWritten, written)
+		d.obs.Add(0, obs.CkptSectionsReused, reused)
 		d.obs.RecordLatency(0, obs.CheckpointPauseLatency, int64(pause))
+		d.obs.RecordLatency(0, obs.CheckpointDuration, time.Since(ckptStart).Nanoseconds())
 	}
-	if d.tracer != nil {
-		d.tracer.Instant(0, trace.KindCheckpoint, 0, int64(len(sections)))
-	}
+	d.tracer.Span(0, trace.KindCheckpoint, 0, int64(len(sections)), ckptAt, d.tracer.Now()-ckptAt)
 	return nil
 }
 
@@ -378,6 +389,7 @@ func (db *DB) restore(oc openConfig) {
 	maxTS := ckptTS
 	replayed := 0
 	for _, rec := range replayOrder(recs, ckptLSN, ckptTS) {
+		replayAt := db.tracer.Now()
 		switch rec.Kind {
 		case wal.KindCreateTable:
 			if db.tables[rec.Table] != nil {
@@ -422,6 +434,7 @@ func (db *DB) restore(oc openConfig) {
 			maxTS = rec.TS
 		}
 		replayed++
+		db.tracer.Span(0, trace.KindReplay, 0, int64(rec.LSN), replayAt, db.tracer.Now()-replayAt)
 	}
 	if maxTS > 0 {
 		db.mgr.RestoreStable(maxTS)
@@ -522,10 +535,19 @@ func (db *ShardedDB) restoreSharded(oc openConfig) {
 		ckptLSN, ckptTS = loaded.Meta.LSN, loaded.Meta.TS
 	}
 
+	var durObs *obs.Observer
+	if db.agg != nil {
+		durObs = obs.New()
+		// Durability telemetry is cluster-level; it lives on shard 0's
+		// aggregator, like the coordinator's.
+		db.agg.Shard(0).Attach(durObs)
+	}
 	log, err := wal.Open(wal.Options{
 		Dir:      oc.walDir,
 		Policy:   oc.walPolicy,
 		Interval: oc.walInterval,
+		Observer: durObs,
+		Tracer:   db.coTracer,
 		Killer:   oc.crash,
 	})
 	if err != nil {
@@ -539,6 +561,7 @@ func (db *ShardedDB) restoreSharded(oc openConfig) {
 	maxTS := ckptTS
 	replayed := 0
 	for _, rec := range replayOrder(recs, ckptLSN, ckptTS) {
+		replayAt := db.coTracer.Now()
 		switch rec.Kind {
 		case wal.KindCreateTable:
 			if db.tables[rec.Table] != nil {
@@ -582,22 +605,27 @@ func (db *ShardedDB) restoreSharded(oc openConfig) {
 			maxTS = rec.TS
 		}
 		replayed++
+		db.coTracer.Span(0, trace.KindReplay, 0, int64(rec.LSN), replayAt, db.coTracer.Now()-replayAt)
 	}
 	if maxTS > 0 {
 		for s := 0; s < db.cluster.Shards(); s++ {
 			db.cluster.Kernel(s).Mgr().RestoreStable(maxTS)
 		}
 	}
-	_ = replayed
+	if durObs != nil && replayed > 0 {
+		durObs.Add(0, obs.RecoveryReplays, uint64(replayed))
+	}
 
 	if oc.crash != nil {
 		db.co.SetCrash(oc.crash)
 	}
 	db.dur = &durability{
-		log:   log,
-		dir:   oc.walDir,
-		crash: oc.crash,
-		cache: make(map[string]ckptSection),
+		log:    log,
+		dir:    oc.walDir,
+		crash:  oc.crash,
+		obs:    durObs,
+		tracer: db.coTracer,
+		cache:  make(map[string]ckptSection),
 	}
 }
 

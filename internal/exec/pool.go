@@ -59,6 +59,11 @@ type JobConfig struct {
 	// not job-shaped — size one with the pool's worker count and share it
 	// across every job submitted.
 	Tracer *trace.Tracer
+	// TraceID, when nonzero, overrides the pool-assigned job id on every
+	// trace event this job records. The shard coordinator sets one id on
+	// all per-shard fragments of a distributed uber-transaction, so spans
+	// recorded by different pools correlate in a merged cross-shard trace.
+	TraceID uint64
 	// Label names the job in telemetry snapshots; defaults to "job-<id>".
 	Label string
 	// Chaos, when non-nil, perturbs this job's scheduling at the chaos
@@ -322,6 +327,10 @@ func (p *Pool) Submit(subs []itx.Sub, opts isolation.Options, jc JobConfig) (*Jo
 		return nil, ErrPoolClosed
 	}
 	j.id = p.nextID.Add(1)
+	j.traceID = jc.TraceID
+	if j.traceID == 0 {
+		j.traceID = j.id
+	}
 	j.label = jc.Label
 	if j.label == "" {
 		j.label = fmt.Sprintf("job-%d", j.id)
@@ -335,7 +344,7 @@ func (p *Pool) Submit(subs []itx.Sub, opts isolation.Options, jc JobConfig) (*Jo
 		// only now — before any batch is published to a queue.
 		for _, s := range perRegion {
 			for _, sc := range s {
-				sc.ctx.SetTracer(jc.Tracer, j.id)
+				sc.ctx.SetTracer(jc.Tracer, j.traceID)
 			}
 		}
 	}
@@ -452,7 +461,7 @@ func (p *Pool) worker(w int) {
 				o.RecordLatency(w, obs.QueueWaitLatency, wait)
 			}
 			if tr := j.cfg.Tracer; tr != nil {
-				tr.Span(w, trace.KindQueueWait, j.id, int64(b.home), tr.Now()-wait, wait)
+				tr.Span(w, trace.KindQueueWait, j.traceID, int64(b.home), tr.Now()-wait, wait)
 			}
 		}
 		if stolen {
@@ -461,7 +470,7 @@ func (p *Pool) worker(w int) {
 				o.Inc(w, obs.Steals)
 			}
 			if tr := j.cfg.Tracer; tr != nil {
-				tr.Instant(w, trace.KindSteal, j.id, int64(b.home))
+				tr.Instant(w, trace.KindSteal, j.traceID, int64(b.home))
 			}
 		}
 		j.running.Add(1)
@@ -505,7 +514,7 @@ func (p *Pool) processBatch(w int, j *Job, b *batch) {
 						o.RecordLatency(w, obs.BarrierWaitLatency, skew)
 					}
 					if tr := j.cfg.Tracer; tr != nil {
-						tr.Span(w, trace.KindBarrier, j.id, int64(phase), tr.Now()-skew, skew)
+						tr.Span(w, trace.KindBarrier, j.traceID, int64(phase), tr.Now()-skew, skew)
 					}
 				}
 			}
@@ -611,7 +620,7 @@ func (p *Pool) injectBatchFault(w int, j *Job) {
 		o.Inc(w, obs.ChaosFaults)
 	}
 	if tr := j.cfg.Tracer; tr != nil {
-		tr.Instant(w, trace.KindFault, j.id, int64(f))
+		tr.Instant(w, trace.KindFault, j.traceID, int64(f))
 	}
 	switch f {
 	case chaos.Stall:
@@ -642,7 +651,7 @@ func (p *Pool) perturbVerdict(w int, j *Job, action itx.Action) itx.Action {
 		o.Inc(w, obs.ChaosFaults)
 	}
 	if tr := j.cfg.Tracer; tr != nil {
-		tr.Instant(w, trace.KindFault, j.id, int64(f))
+		tr.Instant(w, trace.KindFault, j.traceID, int64(f))
 	}
 	switch f {
 	case chaos.Stall:
@@ -682,7 +691,7 @@ func (p *Pool) processQueued(w int, j *Job, b *batch, republished *bool) {
 		o.RecordLatency(w, obs.BatchPassLatency, busy)
 	}
 	if tr := j.cfg.Tracer; tr != nil {
-		tr.Span(w, trace.KindBatch, j.id, int64(b.home), tr.Now()-busy, busy)
+		tr.Span(w, trace.KindBatch, j.traceID, int64(b.home), tr.Now()-busy, busy)
 	}
 	if j.cancelled.Load() {
 		// Cancelled (or failed) mid-pass: retire the rest of the batch now
@@ -919,7 +928,7 @@ func (p *Pool) processSyncPhase(w int, j *Job, b *batch, phase int32) {
 		o.RecordLatency(w, obs.BatchPassLatency, busy)
 	}
 	if tr := j.cfg.Tracer; tr != nil {
-		tr.Span(w, trace.KindBatch, j.id, int64(phase), tr.Now()-busy, busy)
+		tr.Span(w, trace.KindBatch, j.traceID, int64(phase), tr.Now()-busy, busy)
 	}
 }
 
@@ -1093,9 +1102,9 @@ func (p *Pool) finishJob(j *Job) {
 	}
 	if tr := j.cfg.Tracer; tr != nil {
 		dur := int64(j.final.Elapsed)
-		tr.Span(0, trace.KindJob, j.id, 0, tr.Now()-dur, dur)
+		tr.Span(0, trace.KindJob, j.traceID, 0, tr.Now()-dur, dur)
 		if j.err != nil {
-			tr.Instant(0, trace.KindAbort, j.id, abortReason(j.err))
+			tr.Instant(0, trace.KindAbort, j.traceID, abortReason(j.err))
 		}
 	}
 	p.removeJob(j)
@@ -1170,8 +1179,9 @@ func (j *Job) startWatchdog() func() {
 // jobs on the same pool are fully independent — each has its own queues,
 // barrier, caps, and observer.
 type Job struct {
-	id    uint64
-	label string
+	id      uint64
+	traceID uint64 // id stamped on trace events: cfg.TraceID, or id
+	label   string
 	pool  *Pool
 	opts  isolation.Options
 	cfg   JobConfig

@@ -10,7 +10,7 @@ func quickOpts(buf *strings.Builder) Options {
 }
 
 func TestRegistryCoversEveryPaperExperiment(t *testing.T) {
-	want := []string{"fig1", "tab1", "fig8", "fig9", "fig10a", "fig10b", "fig11", "tab2", "fig12", "fig13", "fig14", "locality", "mixed", "concurrent", "chaos", "resilience", "gc", "plan", "shard", "recovery"}
+	want := []string{"fig1", "tab1", "fig8", "fig9", "fig10a", "fig10b", "fig11", "tab2", "fig12", "fig13", "fig14", "locality", "mixed", "concurrent", "chaos", "resilience", "gc", "plan", "shard", "recovery", "explain"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))

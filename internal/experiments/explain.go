@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"db4ml"
+)
+
+// ExplainResult is the machine-readable output of the explain experiment
+// (db4ml-bench -exp explain -benchjson ...).
+type ExplainResult struct {
+	Experiment string `json:"experiment"`
+	FactRows   int    `json:"fact_rows"`
+	DimRows    int    `json:"dim_rows"`
+	// Logical is the EXPLAIN rendering: planner estimates, pushdown and
+	// pre-sizing annotations, no execution.
+	Logical string `json:"logical"`
+	// Analyzed is the EXPLAIN ANALYZE rendering: measured per-operator
+	// rows and wall time from one supervised run.
+	Analyzed string `json:"analyzed"`
+	// ScanRowsOut is what the fact scan measurably emitted — the pushdown
+	// effect confirmed by execution, not just promised by the plan.
+	ScanRowsOut uint64 `json:"scan_rows_out"`
+	ResultRows  int    `json:"result_rows"`
+}
+
+// Explain demonstrates the two flavours of the plan debug surface on the
+// plan experiment's star query: EXPLAIN renders the planner's decisions
+// (cardinality estimates, predicate pushdown compiled into the scan,
+// hash-build pre-sizing) without executing, and EXPLAIN ANALYZE re-renders
+// the same tree with measured per-operator rows and time after a
+// supervised run. The experiment fails unless the promises and the
+// measurements agree: the plan must carry the pushdown annotation, and the
+// executed scan must emit only the filtered fraction.
+func Explain(opts Options) error {
+	opts = opts.withDefaults()
+	factRows, dimRows := 50_000, 5_000
+	if opts.Quick {
+		factRows, dimRows = 5_000, 500
+	}
+	const selectPct = 0.05
+
+	db := db4ml.Open(db4ml.WithWorkers(2))
+	defer db.Close()
+
+	fact, err := db.CreateTable("Fact",
+		db4ml.Column{Name: "ID", Type: db4ml.Int64},
+		db4ml.Column{Name: "K", Type: db4ml.Int64},
+		db4ml.Column{Name: "V", Type: db4ml.Float64})
+	if err != nil {
+		return err
+	}
+	dim, err := db.CreateTable("Dim",
+		db4ml.Column{Name: "DK", Type: db4ml.Int64},
+		db4ml.Column{Name: "W", Type: db4ml.Float64})
+	if err != nil {
+		return err
+	}
+	load := make([]db4ml.Payload, factRows)
+	for i := range load {
+		p := fact.Schema().NewPayload()
+		p.SetInt64(0, int64(i))
+		p.SetInt64(1, int64(i%dimRows))
+		p.SetFloat64(2, float64((uint64(i)*2654435761)%uint64(factRows)))
+		load[i] = p
+	}
+	if err := db.BulkLoad(fact, load); err != nil {
+		return err
+	}
+	dload := make([]db4ml.Payload, dimRows)
+	for k := range dload {
+		p := dim.Schema().NewPayload()
+		p.SetInt64(0, int64(k))
+		p.SetFloat64(1, 1+float64(k%7))
+		dload[k] = p
+	}
+	if err := db.BulkLoad(dim, dload); err != nil {
+		return err
+	}
+
+	thresh := selectPct * float64(factRows)
+	query := db4ml.Aggregate(
+		db4ml.Join(
+			db4ml.Filter(db4ml.Scan(fact), db4ml.FloatCmp("V", db4ml.Lt, thresh)),
+			db4ml.Scan(dim), "K", "DK"),
+		db4ml.Sum, "K", "s", db4ml.Mul(db4ml.Col("V"), db4ml.Col("W")))
+
+	// EXPLAIN: the rewritten tree with the planner's annotations.
+	logical, err := db.ExplainQuery(query)
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(logical.Render(), "scan(Fact)+pushdown") {
+		return fmt.Errorf("explain: filter not pushed into the fact scan:\n%s", logical.Render())
+	}
+
+	// EXPLAIN ANALYZE: run it, then read the measured operator tree.
+	h, err := db.SubmitQuery(context.Background(), db4ml.QueryRun{Plan: query})
+	if err != nil {
+		return err
+	}
+	rel, err := h.Wait()
+	if err != nil {
+		return err
+	}
+	analyzed := h.Explain()
+	if analyzed == nil || !analyzed.Analyzed {
+		return fmt.Errorf("explain: no analyzed tree on the handle after a run")
+	}
+	var scanOut uint64
+	var walk func(n *db4ml.ExplainNode)
+	walk = func(n *db4ml.ExplainNode) {
+		if strings.HasPrefix(n.Op, "scan(Fact)") {
+			scanOut = n.RowsOut
+		}
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	walk(analyzed)
+	if scanOut == 0 || scanOut >= uint64(factRows)/10 {
+		return fmt.Errorf("explain: measured fact scan emitted %d of %d rows — pushdown promise not kept",
+			scanOut, factRows)
+	}
+	if analyzed.RowsOut != uint64(len(rel.Rows)) {
+		return fmt.Errorf("explain: root reports %d rows, relation has %d",
+			analyzed.RowsOut, len(rel.Rows))
+	}
+
+	header(opts.Out, "EXPLAIN / EXPLAIN ANALYZE: planner promises vs measured execution")
+	fmt.Fprintf(opts.Out, "fact %d rows, dim %d rows, filter keeps ~%.0f%%\n", factRows, dimRows, 100*selectPct)
+	fmt.Fprintf(opts.Out, "\nEXPLAIN\n%s", logical.Render())
+	fmt.Fprintf(opts.Out, "\nEXPLAIN ANALYZE\n%s", analyzed.Render())
+	fmt.Fprintf(opts.Out, "\nfact scan emitted %d of %d rows; %d result groups\n",
+		scanOut, factRows, len(rel.Rows))
+
+	if opts.BenchFile != "" {
+		res := ExplainResult{
+			Experiment: "explain", FactRows: factRows, DimRows: dimRows,
+			Logical: logical.Render(), Analyzed: analyzed.Render(),
+			ScanRowsOut: scanOut, ResultRows: len(rel.Rows),
+		}
+		js, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.BenchFile, append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(opts.Out, "\nwrote %s\n", opts.BenchFile)
+	}
+	return nil
+}

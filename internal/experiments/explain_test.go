@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExplainQuick runs the explain experiment end to end in quick mode:
+// both plan renderings must be printed, the pushdown check must pass, and
+// the machine-readable result must round-trip with the measured scan
+// cardinality.
+func TestExplainQuick(t *testing.T) {
+	var buf strings.Builder
+	opts := quickOpts(&buf)
+	opts.BenchFile = filepath.Join(t.TempDir(), "explain.json")
+	if err := Explain(opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"EXPLAIN\n", "EXPLAIN ANALYZE\n",
+		"scan(Fact)+pushdown", "presize=", "rows=", "time=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	js, err := os.ReadFile(opts.BenchFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res ExplainResult
+	if err := json.Unmarshal(js, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.ScanRowsOut == 0 || res.ScanRowsOut >= uint64(res.FactRows)/10 {
+		t.Fatalf("result scan_rows_out = %d of %d", res.ScanRowsOut, res.FactRows)
+	}
+	if !strings.Contains(res.Analyzed, "rows=") {
+		t.Fatalf("analyzed rendering missing measurements: %q", res.Analyzed)
+	}
+}

@@ -32,6 +32,7 @@ var registry = []struct {
 	{"plan", Plan, "extra: declarative plan layer — materialized baseline vs streamed vs predicate pushdown vs hash pre-sizing"},
 	{"shard", Shard, "extra: shard-per-node scale-out — distributed uber-transaction throughput on 1/2/4-shard clusters"},
 	{"recovery", Recovery, "extra: durability — kill-point recovery matrix and group-commit throughput by fsync policy"},
+	{"explain", Explain, "extra: EXPLAIN / EXPLAIN ANALYZE — planner annotations vs measured per-operator execution"},
 }
 
 // Run executes the experiment with the given id, or every experiment when

@@ -53,6 +53,57 @@ func (a *Aggregator) Complete(o *obs.Observer) {
 	a.mu.Unlock()
 }
 
+// ShardedAggregator folds a cluster's per-shard aggregators into one
+// process-wide /metrics view while retaining per-shard snapshots for
+// /debug/shards. Each shard's runs attach to that shard's aggregator;
+// cluster-level observers (durability, coordinator) conventionally live on
+// shard 0's.
+type ShardedAggregator struct {
+	shards []*Aggregator
+}
+
+// NewShardedAggregator returns an aggregator per shard, all empty.
+func NewShardedAggregator(n int) *ShardedAggregator {
+	s := &ShardedAggregator{shards: make([]*Aggregator, n)}
+	for i := range s.shards {
+		s.shards[i] = NewAggregator()
+	}
+	return s
+}
+
+// Shard returns shard i's aggregator.
+func (s *ShardedAggregator) Shard(i int) *Aggregator { return s.shards[i] }
+
+// Shards returns the shard count.
+func (s *ShardedAggregator) Shards() int { return len(s.shards) }
+
+// Snapshot merges every shard's snapshot into the cluster-wide view:
+// counters and latency histograms sum across shards, gauges sum their last
+// samples (cluster-wide queue depth is the sum of the shards' queues).
+func (s *ShardedAggregator) Snapshot() obs.Snapshot {
+	var out obs.Snapshot
+	for _, a := range s.shards {
+		snap := a.Snapshot()
+		out.Counters.Add(snap.Counters)
+		out.Cumulative.Add(snap.Cumulative)
+		out.Latencies = out.Latencies.Merge(snap.Latencies)
+		out.LiveSubs.Last += snap.LiveSubs.Last
+		out.QueueDepth.Last += snap.QueueDepth.Last
+		out.Workers += snap.Workers
+	}
+	return out
+}
+
+// ShardSnapshots returns each shard's own aggregated snapshot (index =
+// shard id) — the per-shard breakdown behind the merged Snapshot.
+func (s *ShardedAggregator) ShardSnapshots() []obs.Snapshot {
+	out := make([]obs.Snapshot, len(s.shards))
+	for i, a := range s.shards {
+		out[i] = a.Snapshot()
+	}
+	return out
+}
+
 // Snapshot returns the process-wide telemetry view: base totals from
 // completed jobs plus every live observer's cumulative state. Counters and
 // Cumulative carry the same (already cross-attempt) totals; gauges report

@@ -41,6 +41,40 @@ type JobInfo struct {
 	// DeadlineRemainingMillis is the time left in the job's wall-clock
 	// budget; negative when expired, absent when unbounded.
 	DeadlineRemainingMillis *int64 `json:"deadline_remaining_ms,omitempty"`
+	// CommitTS is the uber-transaction's commit timestamp: 0 while the job
+	// runs, and forever if it aborted.
+	CommitTS uint64 `json:"commit_ts,omitempty"`
+	// Shard is the shard this row reports on. Sharded databases emit one
+	// row per (job, shard); single-kernel rows omit it.
+	Shard *int `json:"shard,omitempty"`
+}
+
+// QueryInfo is one row of the /debug/query table: a recent query execution
+// with its rendered EXPLAIN tree (EXPLAIN ANALYZE — measured per-operator
+// rows and time — when the execution collected operator stats; the
+// planner's EXPLAIN otherwise, e.g. scattered queries).
+type QueryInfo struct {
+	ID    uint64 `json:"id"`
+	State string `json:"state"`
+	// Rows is the materialized result size.
+	Rows          int   `json:"rows"`
+	Attempts      int   `json:"attempts"`
+	ElapsedMillis int64 `json:"elapsed_ms"`
+	// Explain is the rendered operator tree, one indented line per operator.
+	Explain string `json:"explain,omitempty"`
+}
+
+// ShardInfo is one row of the /debug/shards table: one shard's live
+// telemetry totals, worker count, stable watermark, and trace-ring
+// population.
+type ShardInfo struct {
+	Shard       int    `json:"shard"`
+	Workers     int    `json:"workers"`
+	TraceEvents int    `json:"trace_events"`
+	Stable      uint64 `json:"stable"`
+	// Counters are the shard's cumulative counter totals (completed runs
+	// folded plus live runs).
+	Counters obs.CounterTotals `json:"counters"`
 }
 
 // Config wires a Server to the process's observability state. Every field
@@ -54,9 +88,20 @@ type Config struct {
 	Metrics func() obs.Snapshot
 	// Jobs returns the live job table for /debug/jobs.
 	Jobs func() []JobInfo
+	// Queries returns the recent-query table for /debug/query; nil renders
+	// an empty list.
+	Queries func() []QueryInfo
+	// Shards returns the per-shard table for /debug/shards; nil renders an
+	// empty list (single-kernel databases).
+	Shards func() []ShardInfo
 	// Tracer is the ring-buffer tracer /debug/trace downloads; nil serves an
 	// empty trace.
 	Tracer *trace.Tracer
+	// Sources, when non-nil, lists the tracers /debug/trace merges into one
+	// cross-process Chrome trace — one named process per source (sharded
+	// databases: the coordinator plus every shard). nil falls back to
+	// Tracer as the single source; both paths share the same merge code.
+	Sources func() []trace.Source
 }
 
 // Server is a running debug HTTP server. Construct with Start; stop with
@@ -78,6 +123,8 @@ func Start(cfg Config) (*Server, error) {
 	mux.HandleFunc("/", cfg.handleIndex)
 	mux.HandleFunc("/metrics", cfg.handleMetrics)
 	mux.HandleFunc("/debug/jobs", cfg.handleJobs)
+	mux.HandleFunc("/debug/query", cfg.handleQueries)
+	mux.HandleFunc("/debug/shards", cfg.handleShards)
 	mux.HandleFunc("/debug/trace", cfg.handleTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -104,7 +151,9 @@ func (cfg Config) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, `<!DOCTYPE html><title>db4ml debug</title><h1>db4ml debug server</h1><ul>
 <li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
 <li><a href="/debug/jobs">/debug/jobs</a> — live job table (JSON)</li>
-<li><a href="/debug/trace">/debug/trace</a> — Chrome trace_event JSON (open in Perfetto / about:tracing)</li>
+<li><a href="/debug/query">/debug/query</a> — recent queries with EXPLAIN ANALYZE trees (JSON)</li>
+<li><a href="/debug/shards">/debug/shards</a> — per-shard telemetry breakdown (JSON)</li>
+<li><a href="/debug/trace">/debug/trace</a> — Chrome trace_event JSON, all shards merged (open in Perfetto / about:tracing)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — Go runtime profiles</li>
 </ul>`)
 }
@@ -119,7 +168,40 @@ func (cfg Config) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		jobs = cfg.Jobs()
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	writePrometheus(w, snap, jobs, cfg.Tracer.Len())
+	events := cfg.Tracer.Len()
+	if cfg.Sources != nil {
+		events = 0
+		for _, s := range cfg.Sources() {
+			events += s.Tracer.Len()
+		}
+	}
+	writePrometheus(w, snap, jobs, events)
+}
+
+func (cfg Config) handleQueries(w http.ResponseWriter, r *http.Request) {
+	queries := []QueryInfo{}
+	if cfg.Queries != nil {
+		if q := cfg.Queries(); q != nil {
+			queries = q
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(queries) //nolint:errcheck // best-effort write to the client
+}
+
+func (cfg Config) handleShards(w http.ResponseWriter, r *http.Request) {
+	shards := []ShardInfo{}
+	if cfg.Shards != nil {
+		if s := cfg.Shards(); s != nil {
+			shards = s
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(shards) //nolint:errcheck // best-effort write to the client
 }
 
 func (cfg Config) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -138,6 +220,10 @@ func (cfg Config) handleJobs(w http.ResponseWriter, r *http.Request) {
 func (cfg Config) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", `attachment; filename="db4ml-trace.json"`)
+	if cfg.Sources != nil {
+		trace.WriteChromeTraceMulti(w, cfg.Sources()) //nolint:errcheck // best-effort write
+		return
+	}
 	cfg.Tracer.WriteChromeTrace(w) //nolint:errcheck // best-effort write
 }
 

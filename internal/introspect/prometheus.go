@@ -44,6 +44,10 @@ func counterMetrics(c obs.CounterTotals) []struct {
 		{"wal_fsyncs", "Fsync calls issued by the WAL group-commit batcher.", c.WALFsyncs},
 		{"recovery_replays", "WAL records replayed into the kernel on Open.", c.RecoveryReplays},
 		{"checkpoints", "Fuzzy checkpoint passes that produced a durable checkpoint file.", c.Checkpoints},
+		{"ckpt_sections_written", "Checkpoint table sections freshly encoded (mutation counter moved).", c.CkptSectionsWritten},
+		{"ckpt_sections_reused", "Checkpoint table sections reused from the section cache (table unchanged).", c.CkptSectionsReused},
+		{"twopc_prepares", "Per-shard prepare calls in distributed uber-transaction commits.", c.TwoPCPrepares},
+		{"twopc_aborts", "Distributed uber-transaction aborts this shard caused (abort-by-shard).", c.TwoPCAborts},
 	}
 }
 
@@ -64,7 +68,11 @@ func latencyFamilies(ls obs.LatencySnapshot) []struct {
 		{"gc_pause_latency", "Duration of one version-GC reclaimer pass (background, not stop-the-world).", ls.GCPause},
 		{"query_latency", "End-to-end relational plan execution latency, Execute to cursor close.", ls.Query},
 		{"wal_append_latency", "WAL append latency as the committer observes it, enqueue to group-commit ack.", ls.WALAppend},
+		{"wal_fsync_latency", "Duration of one WAL group-commit fsync call.", ls.WALFsync},
 		{"checkpoint_pause_latency", "Commit-lock hold time of one fuzzy checkpoint's consistent-cut pin.", ls.CkptPause},
+		{"checkpoint_duration", "End-to-end duration of one fuzzy checkpoint pass, cut pin to durable rename.", ls.CkptDuration},
+		{"twopc_prepare_latency", "Duration of one shard's prepare in a distributed uber-commit.", ls.Prepare},
+		{"twopc_commit_window_latency", "Distributed commit window: first shard prepare to last CommitPrepared.", ls.CommitWindow},
 	}
 }
 
@@ -100,6 +108,29 @@ func writePrometheus(w io.Writer, snap obs.Snapshot, jobs []JobInfo, traceEvents
 	for _, fam := range latencyFamilies(snap.Latencies) {
 		writeHistogram(w, "db4ml_"+fam.name+"_seconds", fam.help, fam.h)
 	}
+	// The batch-size distribution rides the same log-bucketed machinery but
+	// its unit is records, not nanoseconds — render bounds raw.
+	writeHistogramRaw(w, "db4ml_wal_batch_records",
+		"Group-commit batch size distribution, records per flushed batch.",
+		snap.Latencies.WALBatch)
+}
+
+// writeHistogramRaw renders a histogram whose samples are raw counts (not
+// nanoseconds): bucket bounds and the sum stay in the native unit.
+func writeHistogramRaw(w io.Writer, name, help string, h obs.HistogramStats) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if b.UpperNanos == math.MaxInt64 {
+			continue
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.UpperNanos, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.SumNanos)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
 }
 
 // writeHistogram renders one log-bucketed histogram as a Prometheus

@@ -41,6 +41,24 @@ const (
 	// checkpoint pass: the time commit locks are held to pin a consistent
 	// cut. The scan and file write happen after release, off-worker.
 	CheckpointPauseLatency
+	// WALFsyncLatency is the duration of one WAL fsync call, as issued by
+	// the group-commit batcher (SyncAlways: per batch; Interval: per tick).
+	WALFsyncLatency
+	// WALBatchRecords is the group-commit batch-size distribution. The
+	// recorded unit is records per flushed batch, not nanoseconds — use the
+	// raw-unit export path, never the seconds conversion.
+	WALBatchRecords
+	// CheckpointDuration is the end-to-end duration of one fuzzy checkpoint
+	// pass: cut pin through durable rename and WAL truncation — the
+	// off-worker cost CheckpointPauseLatency deliberately excludes.
+	CheckpointDuration
+	// TwoPCPrepareLatency is the duration of one shard's prepare call in a
+	// distributed uber-commit.
+	TwoPCPrepareLatency
+	// TwoPCCommitWindowLatency is the distributed commit window of one
+	// uber-transaction: first prepare through last per-shard commit — the
+	// span during which a crash needs coordinated recovery.
+	TwoPCCommitWindowLatency
 
 	numLatencies
 )
@@ -55,6 +73,11 @@ var latencyNames = [numLatencies]string{
 	"query",
 	"wal_append",
 	"checkpoint_pause",
+	"wal_fsync",
+	"wal_batch_records",
+	"checkpoint_duration",
+	"twopc_prepare",
+	"twopc_commit_window",
 }
 
 func (l Latency) String() string {
@@ -235,6 +258,13 @@ type LatencySnapshot struct {
 	Query       HistogramStats `json:"query"`
 	WALAppend   HistogramStats `json:"wal_append"`
 	CkptPause   HistogramStats `json:"checkpoint_pause"`
+	WALFsync    HistogramStats `json:"wal_fsync"`
+	// WALBatch is a size distribution (records per flushed group-commit
+	// batch), recorded through the same log₂ buckets as the latencies.
+	WALBatch     HistogramStats `json:"wal_batch_records"`
+	CkptDuration HistogramStats `json:"checkpoint_duration"`
+	Prepare      HistogramStats `json:"twopc_prepare"`
+	CommitWindow HistogramStats `json:"twopc_commit_window"`
 }
 
 // ByName returns the named histogram (see Latency.String), ok=false for an
@@ -259,6 +289,16 @@ func (ls LatencySnapshot) ByName(name string) (HistogramStats, bool) {
 		return ls.WALAppend, true
 	case "checkpoint_pause":
 		return ls.CkptPause, true
+	case "wal_fsync":
+		return ls.WALFsync, true
+	case "wal_batch_records":
+		return ls.WALBatch, true
+	case "checkpoint_duration":
+		return ls.CkptDuration, true
+	case "twopc_prepare":
+		return ls.Prepare, true
+	case "twopc_commit_window":
+		return ls.CommitWindow, true
 	}
 	return HistogramStats{}, false
 }
@@ -266,15 +306,20 @@ func (ls LatencySnapshot) ByName(name string) (HistogramStats, bool) {
 // Merge combines two latency snapshots histogram-by-histogram.
 func (ls LatencySnapshot) Merge(o LatencySnapshot) LatencySnapshot {
 	return LatencySnapshot{
-		Attempt:     ls.Attempt.Merge(o.Attempt),
-		BatchPass:   ls.BatchPass.Merge(o.BatchPass),
-		QueueWait:   ls.QueueWait.Merge(o.QueueWait),
-		BarrierWait: ls.BarrierWait.Merge(o.BarrierWait),
-		JobCommit:   ls.JobCommit.Merge(o.JobCommit),
-		GCPause:     ls.GCPause.Merge(o.GCPause),
-		Query:       ls.Query.Merge(o.Query),
-		WALAppend:   ls.WALAppend.Merge(o.WALAppend),
-		CkptPause:   ls.CkptPause.Merge(o.CkptPause),
+		Attempt:      ls.Attempt.Merge(o.Attempt),
+		BatchPass:    ls.BatchPass.Merge(o.BatchPass),
+		QueueWait:    ls.QueueWait.Merge(o.QueueWait),
+		BarrierWait:  ls.BarrierWait.Merge(o.BarrierWait),
+		JobCommit:    ls.JobCommit.Merge(o.JobCommit),
+		GCPause:      ls.GCPause.Merge(o.GCPause),
+		Query:        ls.Query.Merge(o.Query),
+		WALAppend:    ls.WALAppend.Merge(o.WALAppend),
+		CkptPause:    ls.CkptPause.Merge(o.CkptPause),
+		WALFsync:     ls.WALFsync.Merge(o.WALFsync),
+		WALBatch:     ls.WALBatch.Merge(o.WALBatch),
+		CkptDuration: ls.CkptDuration.Merge(o.CkptDuration),
+		Prepare:      ls.Prepare.Merge(o.Prepare),
+		CommitWindow: ls.CommitWindow.Merge(o.CommitWindow),
 	}
 }
 
@@ -310,14 +355,19 @@ func (o *Observer) latencySnapshot() LatencySnapshot {
 		return h
 	}
 	return LatencySnapshot{
-		Attempt:     build(AttemptLatency),
-		BatchPass:   build(BatchPassLatency),
-		QueueWait:   build(QueueWaitLatency),
-		BarrierWait: build(BarrierWaitLatency),
-		JobCommit:   build(JobCommitLatency),
-		GCPause:     build(GCPauseLatency),
-		Query:       build(QueryLatency),
-		WALAppend:   build(WALAppendLatency),
-		CkptPause:   build(CheckpointPauseLatency),
+		Attempt:      build(AttemptLatency),
+		BatchPass:    build(BatchPassLatency),
+		QueueWait:    build(QueueWaitLatency),
+		BarrierWait:  build(BarrierWaitLatency),
+		JobCommit:    build(JobCommitLatency),
+		GCPause:      build(GCPauseLatency),
+		Query:        build(QueryLatency),
+		WALAppend:    build(WALAppendLatency),
+		CkptPause:    build(CheckpointPauseLatency),
+		WALFsync:     build(WALFsyncLatency),
+		WALBatch:     build(WALBatchRecords),
+		CkptDuration: build(CheckpointDuration),
+		Prepare:      build(TwoPCPrepareLatency),
+		CommitWindow: build(TwoPCCommitWindowLatency),
 	}
 }

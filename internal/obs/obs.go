@@ -95,6 +95,20 @@ const (
 	// Checkpoints counts fuzzy checkpoint passes that produced a durable
 	// checkpoint file.
 	Checkpoints
+	// CkptSectionsWritten counts checkpoint table sections serialized from
+	// a live scan (the cold path of the unchanged-section reuse cache).
+	CkptSectionsWritten
+	// CkptSectionsReused counts checkpoint table sections copied from the
+	// previous checkpoint because their mutation counter was unchanged.
+	CkptSectionsReused
+	// TwoPCPrepares counts per-shard prepare calls of distributed
+	// uber-commits. On a sharded database each shard's observer counts its
+	// own prepares, so the sharded aggregator can break them out by shard.
+	TwoPCPrepares
+	// TwoPCAborts counts distributed uber-transactions whose abort this
+	// shard caused (its job failed, or its prepare was refused) — the
+	// abort-by-shard counter.
+	TwoPCAborts
 
 	numCounters
 )
@@ -123,6 +137,10 @@ var counterNames = [numCounters]string{
 	"wal_fsyncs",
 	"recovery_replays",
 	"checkpoints",
+	"ckpt_sections_written",
+	"ckpt_sections_reused",
+	"twopc_prepares",
+	"twopc_aborts",
 }
 
 func (c Counter) String() string {
@@ -344,6 +362,10 @@ type CounterTotals struct {
 	WALFsyncs            uint64 `json:"wal_fsyncs,omitempty"`
 	RecoveryReplays      uint64 `json:"recovery_replays,omitempty"`
 	Checkpoints          uint64 `json:"checkpoints,omitempty"`
+	CkptSectionsWritten  uint64 `json:"ckpt_sections_written,omitempty"`
+	CkptSectionsReused   uint64 `json:"ckpt_sections_reused,omitempty"`
+	TwoPCPrepares        uint64 `json:"twopc_prepares,omitempty"`
+	TwoPCAborts          uint64 `json:"twopc_aborts,omitempty"`
 }
 
 // WorkerStats is one worker's share of the run — the paper's Figure 9
@@ -431,6 +453,10 @@ func (o *Observer) counterTotals() CounterTotals {
 		t.WALFsyncs += sh.counts[WALFsyncs].Load()
 		t.RecoveryReplays += sh.counts[RecoveryReplays].Load()
 		t.Checkpoints += sh.counts[Checkpoints].Load()
+		t.CkptSectionsWritten += sh.counts[CkptSectionsWritten].Load()
+		t.CkptSectionsReused += sh.counts[CkptSectionsReused].Load()
+		t.TwoPCPrepares += sh.counts[TwoPCPrepares].Load()
+		t.TwoPCAborts += sh.counts[TwoPCAborts].Load()
 	}
 	t.Rollbacks = t.UserRollbacks + t.StalenessRollbacks
 	return t
@@ -463,6 +489,10 @@ func (t *CounterTotals) Add(o CounterTotals) {
 	t.WALFsyncs += o.WALFsyncs
 	t.RecoveryReplays += o.RecoveryReplays
 	t.Checkpoints += o.Checkpoints
+	t.CkptSectionsWritten += o.CkptSectionsWritten
+	t.CkptSectionsReused += o.CkptSectionsReused
+	t.TwoPCPrepares += o.TwoPCPrepares
+	t.TwoPCAborts += o.TwoPCAborts
 }
 
 // Snapshot aggregates the current telemetry. Safe to call concurrently

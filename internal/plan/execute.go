@@ -43,10 +43,16 @@ type opNode struct {
 	tracer  *trace.Tracer
 	job     uint64
 	openAt  int64
+
+	// openWall/elapsed measure the operator's open-to-close wall time for
+	// EXPLAIN ANALYZE, independent of whether a tracer is attached.
+	openWall time.Time
+	elapsed  time.Duration
 }
 
 func (o *opNode) Open() {
 	o.rowsOut = 0
+	o.openWall = time.Now()
 	o.openAt = o.tracer.Now()
 	if o.hints.BuildRows > 0 {
 		relational.OpenHinted(o.inner, o.hints)
@@ -65,6 +71,7 @@ func (o *opNode) Next() (relational.Tuple, bool) {
 
 func (o *opNode) Close() {
 	o.inner.Close()
+	o.elapsed = time.Since(o.openWall)
 	o.tracer.Span(0, trace.KindPlanOp, o.job, int64(o.rowsOut), o.openAt, o.tracer.Now()-o.openAt)
 }
 

@@ -1,0 +1,161 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ExplainNode is one operator of an EXPLAIN plan tree. Two flavors share
+// the type: Prepared.Explain renders the planner's decisions (estimates,
+// pushdown, pre-sizing) without executing — EXPLAIN — while Cursor.Explain
+// adds the measured per-operator row counts and open-to-close elapsed time
+// of one execution — EXPLAIN ANALYZE (Analyzed = true).
+type ExplainNode struct {
+	// Op names the operator, matching the physical tree's names exactly:
+	// "scan(T)" (with "+pushdown" when a storage-level hint was compiled),
+	// "filter(residual)", "filter", "project", "join"/"left-join",
+	// "aggregate", "sort", "limit", "static", "iterate(T)".
+	Op string `json:"op"`
+	// Est and EstExact are the planner's output-cardinality upper bound and
+	// whether it is provably exact (only exact estimates pre-size hash
+	// builds). Planner-side explains only.
+	Est      int  `json:"est,omitempty"`
+	EstExact bool `json:"est_exact,omitempty"`
+	// Presize is the hash-build pre-sizing hint applied to this operator
+	// (join/aggregate), 0 when the build grows incrementally.
+	Presize int `json:"presize,omitempty"`
+	// Analyzed marks an EXPLAIN ANALYZE node: RowsIn/RowsOut/TimeNanos are
+	// measured from a real execution rather than estimated.
+	Analyzed bool `json:"analyzed,omitempty"`
+	// RowsIn is the total tuples pulled from the children; RowsOut the
+	// tuples emitted.
+	RowsIn  uint64 `json:"rows_in"`
+	RowsOut uint64 `json:"rows_out"`
+	// TimeNanos is the operator's open-to-close elapsed time, inclusive of
+	// its children (the usual EXPLAIN ANALYZE convention).
+	TimeNanos int64 `json:"time_ns,omitempty"`
+
+	Kids []*ExplainNode `json:"kids,omitempty"`
+}
+
+// Explain prepares root against env — the same validation and rewrite
+// pipeline Execute would run — and returns the rewritten tree annotated
+// with the planner's pushdown and pre-sizing decisions, without executing
+// anything.
+func Explain(root *Node, env Env) (*ExplainNode, error) {
+	prep, err := Prepare(root, env)
+	if err != nil {
+		return nil, err
+	}
+	return prep.Explain(), nil
+}
+
+// Explain returns the prepared plan's operator tree with the planner's
+// annotations (EXPLAIN: estimates, pushdown, pre-sizing — no execution).
+func (p *Prepared) Explain() *ExplainNode { return p.explainNode(p.root) }
+
+func (p *Prepared) explainNode(n *Node) *ExplainNode {
+	kids := make([]*ExplainNode, 0, len(n.children))
+	for _, c := range n.children {
+		kids = append(kids, p.explainNode(c))
+	}
+	e := &ExplainNode{Est: n.est, EstExact: n.estExact, Kids: kids}
+	switch n.kind {
+	case kScan:
+		e.Op = "scan(" + n.tbl.Name() + ")"
+		if n.hinted {
+			e.Op += "+pushdown"
+		}
+		if len(n.residual) > 0 {
+			// Mirror build(): residual conjuncts run as a filter just above
+			// the storage layer.
+			e = &ExplainNode{Op: "filter(residual)", Est: n.est, Kids: []*ExplainNode{e}}
+		}
+	case kStatic:
+		e.Op = "static"
+	case kFilter:
+		e.Op = "filter"
+	case kProject:
+		e.Op = "project"
+	case kJoin:
+		e.Op = "join"
+		if n.outer {
+			e.Op = "left-join"
+		}
+		if !p.env.NoPresize {
+			e.Presize = presizeOf(n.children[1])
+		}
+	case kAgg:
+		e.Op = "aggregate"
+		if !p.env.NoPresize {
+			e.Presize = presizeOf(n.children[0])
+		}
+	case kSort:
+		e.Op = "sort"
+	case kLimit:
+		e.Op = "limit"
+	case kIterate:
+		e.Op = "iterate(" + n.iter.Table.Name() + ")"
+	}
+	return e
+}
+
+// Explain returns the execution's operator tree with measured row counts
+// and per-operator elapsed time (EXPLAIN ANALYZE). Row counts and times are
+// final once the stream is drained or the cursor closed; calling earlier
+// reports the progress so far.
+func (c *Cursor) Explain() *ExplainNode {
+	if c.root == nil {
+		return nil
+	}
+	return explainOp(c.root)
+}
+
+func explainOp(o *opNode) *ExplainNode {
+	e := &ExplainNode{
+		Op: o.name, Analyzed: true,
+		RowsOut:   o.rowsOut,
+		TimeNanos: int64(o.elapsed),
+		Presize:   o.hints.BuildRows,
+	}
+	for _, k := range o.kids {
+		e.RowsIn += k.rowsOut
+		e.Kids = append(e.Kids, explainOp(k))
+	}
+	return e
+}
+
+// Render formats the tree as an indented multi-line string, one operator
+// per line, children indented under their parent:
+//
+//	aggregate (rows=1 in=500 time=1.2ms presize=1000)
+//	  scan(Node)+pushdown (rows=500 in=0 time=1.1ms)
+func (n *ExplainNode) Render() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *ExplainNode) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(n.Op)
+	if n.Analyzed {
+		fmt.Fprintf(b, " (rows=%d in=%d time=%s", n.RowsOut, n.RowsIn, time.Duration(n.TimeNanos).Round(time.Microsecond))
+		if n.Presize > 0 {
+			fmt.Fprintf(b, " presize=%d", n.Presize)
+		}
+	} else {
+		fmt.Fprintf(b, " (est=%d", n.Est)
+		if n.EstExact {
+			b.WriteString(" exact")
+		}
+		if n.Presize > 0 {
+			fmt.Fprintf(b, " presize=%d", n.Presize)
+		}
+	}
+	b.WriteString(")\n")
+	for _, k := range n.Kids {
+		k.render(b, depth+1)
+	}
+}

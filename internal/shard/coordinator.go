@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"db4ml/internal/chaos"
 	"db4ml/internal/exec"
 	"db4ml/internal/isolation"
 	"db4ml/internal/itx"
+	"db4ml/internal/obs"
 	"db4ml/internal/storage"
 	"db4ml/internal/table"
 	"db4ml/internal/trace"
@@ -76,10 +78,26 @@ type Handle struct {
 	cancelOnce sync.Once
 	cancelCh   chan struct{}
 
-	jobs  []*exec.Job // index = shard; nil for shards that ran no job
-	stats []exec.Stats
-	ts    storage.Timestamp
-	err   error
+	jobs    []*exec.Job // index = shard; nil for shards that ran no job
+	stats   []exec.Stats
+	traceID uint64 // correlation id shared by every shard's spans
+	ts      storage.Timestamp
+	err     error
+}
+
+// TraceID returns the coordinator-assigned correlation id every shard's
+// trace spans of this uber-transaction carry.
+func (h *Handle) TraceID() uint64 { return h.traceID }
+
+// ShardJob returns shard i's engine job for this run, or nil when the
+// shard ran no sub-transactions (it still attached and voted in the
+// commit). Valid immediately after Submit; the debug server's job table
+// reads per-shard progress through it.
+func (h *Handle) ShardJob(i int) *exec.Job {
+	if i < 0 || i >= len(h.jobs) {
+		return nil
+	}
+	return h.jobs[i]
 }
 
 // Wait blocks until every shard's job finished and the distributed commit
@@ -106,6 +124,7 @@ type Coordinator struct {
 	cluster *Cluster
 	tracer  *trace.Tracer
 	crash   *chaos.Killer
+	uberSeq atomic.Uint64 // correlation ids for runs whose plans carry none
 
 	mu       sync.Mutex
 	closed   bool
@@ -115,8 +134,11 @@ type Coordinator struct {
 // NewCoordinator builds a coordinator over the cluster.
 func NewCoordinator(c *Cluster) *Coordinator { return &Coordinator{cluster: c} }
 
-// SetTracer attaches a span tracer recording coordinator-level events:
-// one commit instant per resolved run (the global timestamp) on ring 0.
+// SetTracer attaches a span tracer recording coordinator-level events on
+// ring 0: the begin+attach span, one prepare span per shard, the 2PC
+// commit window, and the commit instant of every resolved run — all
+// stamped with the run's correlation id (Handle.TraceID), so they line up
+// with the per-shard job spans in a merged cross-shard trace.
 func (co *Coordinator) SetTracer(t *trace.Tracer) { co.tracer = t }
 
 // SetCrash arms a crash kill-point inside the two-phase commit: the
@@ -171,7 +193,25 @@ func (co *Coordinator) Submit(run UberRun) (*Handle, error) {
 		return nil, fmt.Errorf("shard: %d plans for %d shards", len(run.Plans), n)
 	}
 
+	// Correlation id: honor a caller-assigned id (the facade numbers runs
+	// and queries from one sequence) or draw a coordinator-local one, then
+	// stamp it on every shard's job so all fragments trace under one id.
+	var uid uint64
+	for i := range run.Plans {
+		if run.Plans[i].Config.TraceID != 0 {
+			uid = run.Plans[i].Config.TraceID
+			break
+		}
+	}
+	if uid == 0 {
+		uid = co.uberSeq.Add(1)
+	}
+	for i := range run.Plans {
+		run.Plans[i].Config.TraceID = uid
+	}
+
 	// Phase 0: begin + attach everywhere before anything executes.
+	beginAt := co.tracer.Now()
 	ubers := make([]*itx.Uber, 0, n)
 	abortBegun := func() {
 		for _, u := range ubers {
@@ -199,6 +239,8 @@ func (co *Coordinator) Submit(run UberRun) (*Handle, error) {
 		}
 	}
 
+	co.tracer.Span(0, trace.KindUberBegin, uid, int64(n), beginAt, co.tracer.Now()-beginAt)
+
 	parties := 0
 	for i := range run.Plans {
 		if len(run.Plans[i].Subs) > 0 {
@@ -215,6 +257,7 @@ func (co *Coordinator) Submit(run UberRun) (*Handle, error) {
 		cancelCh: make(chan struct{}),
 		jobs:     make([]*exec.Job, n),
 		stats:    make([]exec.Stats, n),
+		traceID:  uid,
 	}
 	for i := 0; i < n; i++ {
 		if len(run.Plans[i].Subs) == 0 {
@@ -227,12 +270,25 @@ func (co *Coordinator) Submit(run UberRun) (*Handle, error) {
 		// still frozen at their seed values.
 		cfg.Hold = true
 		if rz != nil {
-			cfg.BarrierHook = func(uint64, int32) { rz.Arrive() }
+			// The rendezvous waits are where cross-shard skew hides; span
+			// them on the shard's own tracer (ring 0 — the hooks run at
+			// barrier granularity) under the run's correlation id.
+			shardID, str := int64(i), cfg.Tracer
+			cfg.BarrierHook = func(uint64, int32) {
+				at := str.Now()
+				rz.Arrive()
+				str.Span(0, trace.KindRendezvous, uid, shardID, at, str.Now()-at)
+			}
 			// ConvergeTogether must be decided globally or shards retire at
 			// different rounds and the distributed fixpoint diverges from
 			// the single-kernel one. Every shard's install barrier casts its
 			// local tally; all retire in the same round or none do.
-			cfg.ConvergeVote = rz.ArriveVote
+			cfg.ConvergeVote = func(unanimous bool) bool {
+				at := str.Now()
+				v := rz.ArriveVote(unanimous)
+				str.Span(0, trace.KindRendezvous, uid, shardID, at, str.Now()-at)
+				return v
+			}
 		}
 		j, err := co.cluster.Kernel(i).Pool().Submit(run.Plans[i].Subs, run.Isolation, cfg)
 		if err != nil {
@@ -306,6 +362,7 @@ func (co *Coordinator) resolve(h *Handle, run UberRun, ubers []*itx.Uber, rz *Re
 	}()
 
 	var firstErr error
+	failedShard := -1 // the shard convicted of causing a distributed abort
 	quiesced := true
 	for i, j := range h.jobs {
 		if j == nil {
@@ -318,11 +375,19 @@ func (co *Coordinator) resolve(h *Handle, run UberRun, ubers []*itx.Uber, rz *Re
 		}
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("shard %d: %w", i, err)
+			failedShard = i
 		}
 	}
 	_ = quiesced // informational: a non-quiesced shard still cannot publish (its uber aborts below)
 
 	recorders := distinctRecorders(run)
+	abortBy := func(shard int) {
+		if shard >= 0 && shard < len(run.Plans) {
+			if o := run.Plans[shard].Config.Observer; o != nil {
+				o.Inc(0, obs.TwoPCAborts)
+			}
+		}
+	}
 	if firstErr != nil {
 		for _, u := range ubers {
 			_ = u.Abort()
@@ -330,6 +395,7 @@ func (co *Coordinator) resolve(h *Handle, run UberRun, ubers []*itx.Uber, rz *Re
 		for _, r := range recorders {
 			r.RecordUberAbort()
 		}
+		abortBy(failedShard)
 		h.err = firstErr
 		return
 	}
@@ -349,10 +415,23 @@ func (co *Coordinator) resolve(h *Handle, run UberRun, ubers []*itx.Uber, rz *Re
 	}
 
 	// Two-phase commit: prepare every shard in shard-id order (holding
-	// each manager's commit lock), choose one timestamp, publish all.
+	// each manager's commit lock), choose one timestamp, publish all. The
+	// window from the first prepare to the last per-shard publish is the
+	// stretch a crash turns into coordinated recovery — it gets its own
+	// span and histogram.
+	windowStart := time.Now()
+	windowAt := co.tracer.Now()
 	preps := make([]*txn.Prepared, len(ubers))
 	for i, u := range ubers {
+		prepStart := time.Now()
+		prepAt := co.tracer.Now()
 		p, err := u.Prepare()
+		prepNanos := int64(time.Since(prepStart))
+		co.tracer.Span(0, trace.KindPrepare, h.traceID, int64(i), prepAt, co.tracer.Now()-prepAt)
+		if o := run.Plans[i].Config.Observer; o != nil {
+			o.Inc(0, obs.TwoPCPrepares)
+			o.RecordLatency(0, obs.TwoPCPrepareLatency, prepNanos)
+		}
 		if err != nil {
 			for k := 0; k < i; k++ {
 				preps[k].Abort()
@@ -363,6 +442,7 @@ func (co *Coordinator) resolve(h *Handle, run UberRun, ubers []*itx.Uber, rz *Re
 			for _, r := range recorders {
 				r.RecordUberAbort()
 			}
+			abortBy(i)
 			h.err = err
 			return
 		}
@@ -406,22 +486,17 @@ func (co *Coordinator) resolve(h *Handle, run UberRun, ubers []*itx.Uber, rz *Re
 		return
 	}
 	h.ts = ts
+	windowNanos := int64(time.Since(windowStart))
+	co.tracer.Span(0, trace.KindCommitWindow, h.traceID, int64(ts), windowAt, co.tracer.Now()-windowAt)
+	co.tracer.Instant(0, trace.KindCommit, h.traceID, int64(ts))
+	for i := range run.Plans {
+		if o := run.Plans[i].Config.Observer; o != nil {
+			o.RecordLatency(0, obs.TwoPCCommitWindowLatency, windowNanos)
+		}
+	}
 	for _, r := range recorders {
 		r.RecordUberCommit(ts)
 	}
-	if co.tracer != nil {
-		co.tracer.Instant(0, trace.KindCommit, jobID(h), int64(ts))
-	}
-}
-
-// jobID picks a representative engine job id for coordinator-level spans.
-func jobID(h *Handle) uint64 {
-	for _, j := range h.jobs {
-		if j != nil {
-			return j.ID()
-		}
-	}
-	return 0
 }
 
 // distinctRecorders collects the unique RunRecorders across all shard

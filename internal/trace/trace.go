@@ -74,6 +74,27 @@ const (
 	// KindCheckpoint marks one completed fuzzy checkpoint pass; Arg is the
 	// number of table sections written.
 	KindCheckpoint
+	// KindUberBegin spans a distributed uber-transaction's begin+attach
+	// phase across every participating shard; Job is the coordinator's
+	// uber-transaction correlation id.
+	KindUberBegin
+	// KindPrepare spans one shard's 2PC prepare; Arg is the shard index.
+	KindPrepare
+	// KindCommitWindow spans the distributed commit window of one
+	// uber-transaction: first prepare through last per-shard commit. Arg is
+	// the commit timestamp.
+	KindCommitWindow
+	// KindRendezvous spans a cross-shard rendezvous wait (global barrier
+	// arrival or convergence vote); Arg is the shard index.
+	KindRendezvous
+	// KindFsync spans one WAL fsync.
+	KindFsync
+	// KindReplay spans one recovery replay step (one committed
+	// uber-transaction re-applied from the log); Arg is the record's LSN.
+	KindReplay
+	// KindCkptSection spans one checkpoint table-section write; Arg is 1
+	// when the section was reused from the unchanged-section cache.
+	KindCkptSection
 
 	numKinds
 )
@@ -91,6 +112,8 @@ var kindNames = [numKinds]string{
 	"job", "batch", "barrier", "queue-wait", "steal",
 	"retry", "abort", "fault", "commit", "gc",
 	"plan", "plan-op", "wal", "checkpoint",
+	"uber-begin", "prepare", "commit-window", "rendezvous",
+	"fsync", "replay", "ckpt-section",
 }
 
 func (k Kind) String() string {
@@ -157,6 +180,18 @@ func New(workers, capacity int) *Tracer {
 
 // Enabled reports whether the tracer records anything (i.e. is non-nil).
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// Epoch returns the wall-clock instant this tracer's Start offsets are
+// relative to. Merging rings from tracers constructed at different times
+// (one per shard) requires re-basing every event onto one shared epoch;
+// WriteChromeTraceMulti does this with the deltas between source epochs.
+// The zero time on a nil tracer.
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
+}
 
 // Now returns the current time in nanoseconds since the tracer's epoch —
 // the Start argument for Span. Monotonic (time.Since). Returns 0 on a nil
@@ -270,14 +305,34 @@ type chromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// WriteChromeTrace renders the retained events as Chrome trace_event JSON
-// (the object form: {"traceEvents": [...]}), loadable directly in
-// about:tracing and Perfetto. Spans become complete ("X") events, instants
-// become thread-scoped instant ("i") events; each job renders as one
-// process row group with named worker threads. A nil tracer writes an
-// empty trace.
+// Source is one named ring feeding a merged Chrome-trace export: a shard's
+// kernel tracer, a coordinator tracer, a single kernel. The Name becomes
+// the process row's name in the rendered trace.
+type Source struct {
+	Name   string
+	Tracer *Tracer
+}
+
+// WriteChromeTrace renders this tracer's retained events as Chrome
+// trace_event JSON — the single-source form of WriteChromeTraceMulti, so
+// the one-kernel path and the cross-shard merge share one exporter. A nil
+// tracer writes an empty trace.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	events := t.Events()
+	return WriteChromeTraceMulti(w, []Source{{Name: "kernel", Tracer: t}})
+}
+
+// WriteChromeTraceMulti merges the retained events of every source into
+// one Chrome trace_event JSON document (the object form:
+// {"traceEvents": [...]}), loadable directly in about:tracing and
+// Perfetto. Each source renders as one named process (pid = source index)
+// with one thread row per worker; spans become complete ("X") events and
+// instants thread-scoped instant ("i") events. Every event carries its
+// causal correlation id (the coordinator-assigned uber-transaction or
+// query id) in args.id, so spans of the same uber-transaction share an id
+// across shard processes. Sources constructed at different times are
+// re-based onto the earliest source epoch, so cross-shard timestamps are
+// directly comparable. Nil tracers contribute nothing.
+func WriteChromeTraceMulti(w io.Writer, sources []Source) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
 		return err
@@ -295,56 +350,70 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		// Encoder writes a trailing newline; acceptable inside the array.
 		return enc.Encode(ce)
 	}
-	// Metadata: name each job's process row and each worker thread once.
-	type jw struct {
-		job    uint64
-		worker int32
-	}
-	seenJob := make(map[uint64]bool)
-	seenThread := make(map[jw]bool)
-	for _, e := range events {
-		if !seenJob[e.Job] {
-			seenJob[e.Job] = true
-			if err := emit(chromeEvent{
-				Name: "process_name", Ph: "M", Pid: e.Job,
-				Args: map[string]any{"name": fmt.Sprintf("job %d", e.Job)},
-			}); err != nil {
-				return err
-			}
+	// Common epoch: the earliest live source's. Events from later-built
+	// tracers shift forward by the epoch delta.
+	var base time.Time
+	for _, s := range sources {
+		if s.Tracer == nil {
+			continue
 		}
-		key := jw{e.Job, e.Worker}
-		if !seenThread[key] {
-			seenThread[key] = true
-			if err := emit(chromeEvent{
-				Name: "thread_name", Ph: "M", Pid: e.Job, Tid: e.Worker,
-				Args: map[string]any{"name": fmt.Sprintf("worker %d", e.Worker)},
-			}); err != nil {
-				return err
-			}
+		if base.IsZero() || s.Tracer.epoch.Before(base) {
+			base = s.Tracer.epoch
 		}
 	}
-	for _, e := range events {
-		ce := chromeEvent{
-			Name: e.Kind.String(),
-			Cat:  "db4ml",
-			Ts:   float64(e.Start) / 1e3,
-			Pid:  e.Job,
-			Tid:  e.Worker,
+	for pid, s := range sources {
+		if s.Tracer == nil {
+			continue
 		}
-		if e.Dur > 0 || e.Kind == KindJob || e.Kind == KindBatch ||
-			e.Kind == KindBarrier || e.Kind == KindQueueWait {
-			ce.Ph = "X"
-			d := float64(e.Dur) / 1e3
-			ce.Dur = &d
-		} else {
-			ce.Ph = "i"
-			ce.S = "t"
+		events := s.Tracer.Events()
+		if len(events) == 0 {
+			continue
 		}
-		if e.Arg != 0 || e.Kind == KindAbort || e.Kind == KindFault || e.Kind == KindRetry {
-			ce.Args = map[string]any{"arg": e.Arg}
+		shift := int64(s.Tracer.epoch.Sub(base))
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("source %d", pid)
 		}
-		if err := emit(ce); err != nil {
+		if err := emit(chromeEvent{
+			Name: "process_name", Ph: "M", Pid: uint64(pid),
+			Args: map[string]any{"name": name},
+		}); err != nil {
 			return err
+		}
+		seenThread := make(map[int32]bool)
+		for _, e := range events {
+			if !seenThread[e.Worker] {
+				seenThread[e.Worker] = true
+				if err := emit(chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: uint64(pid), Tid: e.Worker,
+					Args: map[string]any{"name": fmt.Sprintf("worker %d", e.Worker)},
+				}); err != nil {
+					return err
+				}
+			}
+			ce := chromeEvent{
+				Name: e.Kind.String(),
+				Cat:  "db4ml",
+				Ts:   float64(e.Start+shift) / 1e3,
+				Pid:  uint64(pid),
+				Tid:  e.Worker,
+			}
+			if e.Dur > 0 || e.Kind == KindJob || e.Kind == KindBatch ||
+				e.Kind == KindBarrier || e.Kind == KindQueueWait {
+				ce.Ph = "X"
+				d := float64(e.Dur) / 1e3
+				ce.Dur = &d
+			} else {
+				ce.Ph = "i"
+				ce.S = "t"
+			}
+			ce.Args = map[string]any{"id": e.Job}
+			if e.Arg != 0 || e.Kind == KindAbort || e.Kind == KindFault || e.Kind == KindRetry {
+				ce.Args["arg"] = e.Arg
+			}
+			if err := emit(ce); err != nil {
+				return err
+			}
 		}
 	}
 	if _, err := bw.WriteString("]}\n"); err != nil {

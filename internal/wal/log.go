@@ -25,11 +25,13 @@ type Options struct {
 	// SegmentBytes is the segment roll threshold (default 8 MiB).
 	SegmentBytes int64
 	// Observer, when non-nil, receives wal_appends/wal_bytes/wal_fsyncs
-	// counters and wal_append latency samples (charged to worker 0 — WAL
-	// work is log-level, not worker-level).
+	// counters, wal_append/wal_fsync latency samples, and the
+	// wal_batch_records group-commit size distribution (all charged to
+	// worker 0 — WAL work is log-level, not worker-level).
 	Observer *obs.Observer
-	// Tracer, when non-nil, receives a KindWAL instant per group-commit
-	// batch (Arg = batch size).
+	// Tracer, when non-nil, receives a KindWAL span per group-commit batch
+	// flush (Arg = batch size, Job = the batch's first traced record's
+	// correlation id) and a KindFsync span per fsync.
 	Tracer *trace.Tracer
 	// Killer, when non-nil, arms the mid-append / after-append kill-points
 	// inside the appender.
@@ -167,14 +169,18 @@ func (l *Log) newSegment(firstLSN uint64) error {
 }
 
 func (l *Log) syncFile() {
+	start := time.Now()
+	at := l.opts.Tracer.Now()
 	if err := l.f.Sync(); err != nil {
 		l.broken.Store(err)
 		return
 	}
 	l.lastSync = time.Now()
-	if l.opts.Observer != nil {
-		l.opts.Observer.Inc(0, obs.WALFsyncs)
+	if o := l.opts.Observer; o != nil {
+		o.Inc(0, obs.WALFsyncs)
+		o.RecordLatency(0, obs.WALFsyncLatency, l.lastSync.Sub(start).Nanoseconds())
 	}
+	l.opts.Tracer.Span(0, trace.KindFsync, 0, 0, at, l.opts.Tracer.Now()-at)
 }
 
 func (l *Log) err() error {
@@ -295,6 +301,7 @@ func (l *Log) appender() {
 // the appender, so a "crash" tears the log at a byte-exact, single-threaded
 // point.
 func (l *Log) processBatch(batch []*appendReq) {
+	batchAt := l.opts.Tracer.Now()
 	settleOne := func(r *appendReq, err error) {
 		r.settled = true
 		r.err = err
@@ -395,17 +402,24 @@ func (l *Log) processBatch(batch []*appendReq) {
 		return
 	}
 	n := 0
+	var uid uint64 // correlation id for the batch span: first traced record wins
 	for _, r := range batch {
 		if !r.settled && r.rec != nil {
 			n++
+			if uid == 0 {
+				uid = r.rec.Trace
+			}
 		}
 	}
 	settleRest(nil)
 	if n > 0 {
 		if o := l.opts.Observer; o != nil {
 			o.Add(0, obs.WALAppends, uint64(n))
+			// Batch-size distribution: the recorded unit is records per
+			// flushed batch, through the same log₂ buckets as the latencies.
+			o.RecordLatency(0, obs.WALBatchRecords, int64(n))
 		}
-		l.opts.Tracer.Instant(0, trace.KindWAL, 0, int64(n))
+		l.opts.Tracer.Span(0, trace.KindWAL, uid, int64(n), batchAt, l.opts.Tracer.Now()-batchAt)
 	}
 }
 

@@ -97,6 +97,11 @@ type Record struct {
 	LSN  uint64
 	TS   storage.Timestamp
 
+	// Trace is the appending transaction's correlation id, stamped on the
+	// group-commit batch's trace span. In-memory only — never serialized,
+	// zero after replay.
+	Trace uint64
+
 	Table    string
 	Cols     []table.Column
 	FirstRow uint64

@@ -1,0 +1,64 @@
+package db4ml
+
+// Overhead benchmarks for the observability surface. The acceptance budget
+// is <2% on the instrumented hot paths: a 2PC prepare or WAL group-commit
+// flush runs tens of microseconds, so the per-event costs measured here
+// (nanoseconds, zero allocations) keep the instrumentation far inside it.
+// Run with -benchmem: every sub-benchmark must report 0 allocs/op.
+
+import (
+	"testing"
+
+	"db4ml/internal/obs"
+	"db4ml/internal/trace"
+)
+
+// BenchmarkDistTraceOverhead measures the distributed-tracing hot path:
+// the disabled branch (nil tracer — what every instrumented call site in
+// the coordinator, WAL, and checkpointer pays when tracing is off) and the
+// enabled record path writing one 2PC prepare span into the ring.
+func BenchmarkDistTraceOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		var tr *trace.Tracer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			at := tr.Now()
+			tr.Span(0, trace.KindPrepare, uint64(i), 0, at, tr.Now()-at)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		tr := trace.New(1, 0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			at := tr.Now()
+			tr.Span(0, trace.KindPrepare, uint64(i), 0, at, tr.Now()-at)
+		}
+	})
+}
+
+// BenchmarkWALMetricsOverhead measures the durability metrics hot path as
+// the WAL's group-commit flusher exercises it: one fsync counter bump, the
+// fsync-latency histogram record, and the batch-size histogram record per
+// flushed batch.
+func BenchmarkWALMetricsOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		var o *obs.Observer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if o != nil {
+				o.Inc(0, obs.WALFsyncs)
+				o.RecordLatency(0, obs.WALFsyncLatency, 1234)
+				o.RecordLatency(0, obs.WALBatchRecords, 8)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		o := obs.New()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o.Inc(0, obs.WALFsyncs)
+			o.RecordLatency(0, obs.WALFsyncLatency, 1234)
+			o.RecordLatency(0, obs.WALBatchRecords, 8)
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"db4ml/internal/introspect"
 	"db4ml/internal/obs"
 	"db4ml/internal/plan"
 	"db4ml/internal/relational"
@@ -35,6 +36,10 @@ type (
 	QueryCursor = plan.Cursor
 	// QueryOpStat is one operator's rows-in/rows-out account.
 	QueryOpStat = plan.OpStat
+	// ExplainNode is one operator of an EXPLAIN / EXPLAIN ANALYZE plan
+	// tree (see DB.ExplainQuery and QueryHandle.Explain; Render formats
+	// it as an indented tree).
+	ExplainNode = plan.ExplainNode
 	// IterStats is the executor account of one iterate node's ML job.
 	IterStats = plan.IterStats
 	// Relation is a materialized query result.
@@ -125,10 +130,11 @@ type QueryHandle struct {
 	cancelCh   chan struct{}
 	attempts   atomic.Int32
 
-	result *Relation
-	stats  []QueryOpStat
-	iters  []IterStats
-	err    error
+	result  *Relation
+	stats   []QueryOpStat
+	iters   []IterStats
+	explain *ExplainNode
+	err     error
 }
 
 // Wait blocks until the query finished and returns the materialized
@@ -156,6 +162,16 @@ func (h *QueryHandle) Stats() []QueryOpStat { return h.stats }
 // IterStats returns the final execution's iterate-node accounts (one per
 // embedded ML job); valid after Wait.
 func (h *QueryHandle) IterStats() []IterStats { return h.iters }
+
+// Explain returns the final execution's plan tree: EXPLAIN ANALYZE — per-
+// operator rows in/out, elapsed time, and the planner's pushdown/pre-size
+// annotations — for single-kernel queries, and the planner's EXPLAIN tree
+// for scattered queries (whose fragments report no single cursor). Valid
+// after Wait; nil when the query failed before planning.
+func (h *QueryHandle) Explain() *ExplainNode {
+	<-h.done
+	return h.explain
+}
 
 // queryEnv assembles a plan.Env from the database's engine state plus the
 // per-run overrides, mirroring how SubmitML resolves its JobConfig.
@@ -188,6 +204,15 @@ func (db *DB) queryEnv(run QueryRun) plan.Env {
 // for supervised, materialized execution.
 func (db *DB) PrepareQuery(p *Plan) (*PreparedQuery, error) {
 	return plan.Prepare(p, db.queryEnv(QueryRun{}))
+}
+
+// ExplainQuery validates and rewrites p exactly as execution would —
+// filter merge, predicate pushdown, pre-sizing — and returns the annotated
+// operator tree without executing anything: EXPLAIN. Render the result
+// with ExplainNode.Render; run the query through SubmitQuery and read
+// QueryHandle.Explain for the measured EXPLAIN ANALYZE form.
+func (db *DB) ExplainQuery(p *Plan) (*ExplainNode, error) {
+	return plan.Explain(p, db.queryEnv(QueryRun{}))
 }
 
 // SubmitQuery starts one supervised query execution and returns without
@@ -252,6 +277,26 @@ func (db *DB) superviseQuery(ctx context.Context, h *QueryHandle, prep *Prepared
 	if db.agg != nil {
 		defer db.agg.Complete(env.Obs)
 	}
+	started := time.Now()
+	defer func() {
+		rows := 0
+		if h.result != nil {
+			rows = len(h.result.Rows)
+		}
+		state := "done"
+		if h.err != nil {
+			state = "failed: " + h.err.Error()
+		}
+		info := introspect.QueryInfo{
+			ID: env.Job, State: state, Rows: rows,
+			Attempts:      int(h.attempts.Load()),
+			ElapsedMillis: time.Since(started).Milliseconds(),
+		}
+		if h.explain != nil {
+			info.Explain = h.explain.Render()
+		}
+		db.recordQuery(info)
+	}()
 	defer close(h.done)
 
 	token := env.Job
@@ -272,9 +317,15 @@ func (db *DB) superviseQuery(ctx context.Context, h *QueryHandle, prep *Prepared
 			case <-watcherDone:
 			}
 		}()
-		rel, stats, iters, err := runOnce(qctx, prep)
+		rel, stats, iters, expl, err := runOnce(qctx, prep)
 		close(watcherDone)
 		cancel()
+		if expl == nil {
+			// The execution died before producing a cursor; fall back to the
+			// planner's tree so Explain (and /debug/query) still show the plan.
+			expl = prep.Explain()
+		}
+		h.explain = expl
 		switch {
 		case err == nil:
 			h.result, h.stats, h.iters = rel, stats, iters
@@ -319,11 +370,12 @@ func (db *DB) superviseQuery(ctx context.Context, h *QueryHandle, prep *Prepared
 	}
 }
 
-// runOnce executes the prepared plan once and materializes the result.
-func runOnce(ctx context.Context, prep *PreparedQuery) (*Relation, []QueryOpStat, []IterStats, error) {
+// runOnce executes the prepared plan once and materializes the result,
+// returning the drained cursor's EXPLAIN ANALYZE tree alongside.
+func runOnce(ctx context.Context, prep *PreparedQuery) (*Relation, []QueryOpStat, []IterStats, *ExplainNode, error) {
 	cur, err := prep.Execute(ctx)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	defer cur.Close()
 	out := &Relation{Cols: append([]string(nil), prep.Columns()...)}
@@ -335,10 +387,32 @@ func runOnce(ctx context.Context, prep *PreparedQuery) (*Relation, []QueryOpStat
 		out.Rows = append(out.Rows, t.Clone())
 	}
 	if err := cur.Err(); err != nil {
-		return nil, nil, nil, err
+		cur.Close()
+		return nil, nil, nil, cur.Explain(), err
 	}
 	cur.Close()
-	return out, cur.Stats(), cur.IterStats(), nil
+	return out, cur.Stats(), cur.IterStats(), cur.Explain(), nil
+}
+
+// queryInfos returns the recent-query table for /debug/query.
+func (db *DB) queryInfos() []introspect.QueryInfo {
+	db.jobsMu.Lock()
+	defer db.jobsMu.Unlock()
+	return append([]introspect.QueryInfo(nil), db.queries...)
+}
+
+// recordQuery appends one settled query to the /debug/query ring. No-op
+// without a debug server.
+func (db *DB) recordQuery(info introspect.QueryInfo) {
+	if db.debug == nil {
+		return
+	}
+	db.jobsMu.Lock()
+	db.queries = append(db.queries, info)
+	if len(db.queries) > maxRecentJobs {
+		db.queries = db.queries[len(db.queries)-maxRecentJobs:]
+	}
+	db.jobsMu.Unlock()
 }
 
 // RunQuery executes one query and blocks until its materialized result is

@@ -11,6 +11,7 @@ import (
 	"db4ml/internal/chaos"
 	"db4ml/internal/exec"
 	"db4ml/internal/gc"
+	"db4ml/internal/introspect"
 	"db4ml/internal/numa"
 	"db4ml/internal/obs"
 	"db4ml/internal/partition"
@@ -18,6 +19,7 @@ import (
 	"db4ml/internal/resilience"
 	"db4ml/internal/shard"
 	"db4ml/internal/table"
+	"db4ml/internal/trace"
 	"db4ml/internal/txn"
 )
 
@@ -98,6 +100,21 @@ type ShardedDB struct {
 	runID      atomic.Uint64
 	queryID    atomic.Uint64
 
+	// Introspection state, non-nil only under WithDebugServer: the
+	// coordinator's own tracer (uber-begin, per-shard prepare, 2PC commit
+	// windows), one engine tracer per shard, the per-shard aggregator
+	// behind the cluster-wide /metrics and the /debug/shards breakdown,
+	// and the debug server itself.
+	coTracer     *trace.Tracer
+	shardTracers []*trace.Tracer
+	agg          *introspect.ShardedAggregator
+	debug        *introspect.Server
+
+	jobsMu   sync.Mutex
+	liveJobs map[*ShardedJobHandle]jobMeta
+	recent   []introspect.JobInfo
+	queries  []introspect.QueryInfo
+
 	mu      sync.Mutex
 	closed  bool
 	handles sync.WaitGroup
@@ -112,9 +129,6 @@ func OpenSharded(opts ...Option) *ShardedDB {
 	oc := openConfig{shardScheme: ShardHash}
 	for _, o := range opts {
 		o(&oc)
-	}
-	if oc.debugAddr != "" {
-		panic("db4ml: WithDebugServer is not supported on a sharded database")
 	}
 	if oc.shards <= 0 {
 		oc.shards = 2
@@ -152,6 +166,33 @@ func OpenSharded(opts ...Option) *ShardedDB {
 			cluster.Kernel(s).Pool().Maintain(oc.gcInterval, func() { db.reclaimers[s].Pass() })
 		}
 	}
+	if oc.debugAddr != "" {
+		// Cluster-wide introspection: the coordinator's 2PC spans get their
+		// own tracer, each shard's engine spans its own, and /debug/trace
+		// merges them into one Chrome trace with a named process per source.
+		workers := cfg.Resolved().Workers
+		db.coTracer = trace.New(1, 0)
+		db.tracerOnce.Do(func() { db.co.SetTracer(db.coTracer) })
+		db.shardTracers = make([]*trace.Tracer, oc.shards)
+		for s := range db.shardTracers {
+			db.shardTracers[s] = trace.New(workers, 0)
+		}
+		db.agg = introspect.NewShardedAggregator(oc.shards)
+		db.liveJobs = make(map[*ShardedJobHandle]jobMeta)
+		srv, err := introspect.Start(introspect.Config{
+			Addr:    oc.debugAddr,
+			Metrics: db.agg.Snapshot,
+			Jobs:    db.jobInfos,
+			Queries: db.queryInfos,
+			Shards:  db.shardInfos,
+			Sources: db.traceSources,
+		})
+		if err != nil {
+			cluster.Close()
+			panic("db4ml: " + err.Error())
+		}
+		db.debug = srv
+	}
 	if oc.walDir != "" {
 		db.restoreSharded(oc)
 		if oc.ckptEvery > 0 {
@@ -161,6 +202,120 @@ func OpenSharded(opts ...Option) *ShardedDB {
 		}
 	}
 	return db
+}
+
+// DebugAddr returns the debug server's bound address (host:port), or ""
+// when WithDebugServer was not used.
+func (db *ShardedDB) DebugAddr() string {
+	if db.debug == nil {
+		return ""
+	}
+	return db.debug.Addr()
+}
+
+// traceSources lists the cluster's tracers for the merged /debug/trace
+// export: the coordinator first, then every shard as its own named process.
+func (db *ShardedDB) traceSources() []trace.Source {
+	out := make([]trace.Source, 0, len(db.shardTracers)+1)
+	out = append(out, trace.Source{Name: "coordinator", Tracer: db.coTracer})
+	for s, t := range db.shardTracers {
+		out = append(out, trace.Source{Name: fmt.Sprintf("shard%d", s), Tracer: t})
+	}
+	return out
+}
+
+// shardInfos assembles the /debug/shards table from the per-shard
+// aggregators plus each kernel's live state.
+func (db *ShardedDB) shardInfos() []introspect.ShardInfo {
+	snaps := db.agg.ShardSnapshots()
+	out := make([]introspect.ShardInfo, len(snaps))
+	for s, snap := range snaps {
+		out[s] = introspect.ShardInfo{
+			Shard:       s,
+			Workers:     db.cluster.Kernel(s).Pool().Workers(),
+			TraceEvents: db.shardTracers[s].Len(),
+			Stable:      uint64(db.cluster.Kernel(s).Mgr().Stable()),
+			Counters:    snap.Cumulative,
+		}
+	}
+	return out
+}
+
+// jobInfos assembles the sharded /debug/jobs table: one row per (job,
+// shard) so per-shard progress of one distributed run reads side by side —
+// all rows of one run share its correlation id.
+func (db *ShardedDB) jobInfos() []introspect.JobInfo {
+	db.jobsMu.Lock()
+	defer db.jobsMu.Unlock()
+	out := append([]introspect.JobInfo(nil), db.recent...)
+	for h, m := range db.liveJobs {
+		inner := h.inner.Load()
+		for s := 0; s < db.cluster.Shards(); s++ {
+			j := inner.ShardJob(s)
+			if j == nil {
+				continue
+			}
+			info := introspect.NewJobInfo(inner.TraceID(), j.Label(), "running",
+				h.Attempts(), j.Live(), j.Total(), j.Started(), m.deadline)
+			sh := s
+			info.Shard = &sh
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// settleJob moves a resolved distributed handle's per-shard rows from the
+// live job table to the recent list, stamping the global commit timestamp.
+// No-op without a debug server.
+func (db *ShardedDB) settleJob(h *ShardedJobHandle, deadline time.Duration) {
+	if db.debug == nil {
+		return
+	}
+	inner := h.inner.Load()
+	state := "done"
+	if h.err != nil {
+		state = "failed: " + h.err.Error()
+	}
+	db.jobsMu.Lock()
+	delete(db.liveJobs, h)
+	for s := 0; s < db.cluster.Shards(); s++ {
+		j := inner.ShardJob(s)
+		if j == nil {
+			continue
+		}
+		info := introspect.NewJobInfo(inner.TraceID(), j.Label(), state,
+			h.Attempts(), j.Live(), j.Total(), j.Started(), deadline)
+		sh := s
+		info.Shard = &sh
+		info.CommitTS = uint64(h.ts)
+		db.recent = append(db.recent, info)
+	}
+	if len(db.recent) > maxRecentJobs {
+		db.recent = db.recent[len(db.recent)-maxRecentJobs:]
+	}
+	db.jobsMu.Unlock()
+}
+
+// queryInfos returns the recent scattered-query table for /debug/query.
+func (db *ShardedDB) queryInfos() []introspect.QueryInfo {
+	db.jobsMu.Lock()
+	defer db.jobsMu.Unlock()
+	return append([]introspect.QueryInfo(nil), db.queries...)
+}
+
+// recordQuery appends one settled query to the /debug/query ring. No-op
+// without a debug server.
+func (db *ShardedDB) recordQuery(info introspect.QueryInfo) {
+	if db.debug == nil {
+		return
+	}
+	db.jobsMu.Lock()
+	db.queries = append(db.queries, info)
+	if len(db.queries) > maxRecentJobs {
+		db.queries = db.queries[len(db.queries)-maxRecentJobs:]
+	}
+	db.jobsMu.Unlock()
 }
 
 // localTables snapshots shard s's local tables for its reclaimer.
@@ -194,6 +349,9 @@ func (db *ShardedDB) Close() error {
 	db.cluster.Close()
 	if db.dur != nil {
 		_ = db.dur.log.Close()
+	}
+	if db.debug != nil {
+		_ = db.debug.Close()
 	}
 	return nil
 }
@@ -519,11 +677,21 @@ func (db *ShardedDB) SubmitML(ctx context.Context, run MLRun) (*ShardedJobHandle
 		batch = db.degrade(db.gate.Pressure(), batch)
 	}
 	var observers []*Observer
-	if run.Observer != nil {
+	if run.Observer != nil || db.agg != nil {
 		observers = make([]*Observer, n)
 		observers[0] = run.Observer
+		if observers[0] == nil {
+			// The debug server aggregates across runs; give uninstrumented
+			// runs observers so /metrics and /debug/shards reflect them too.
+			observers[0] = obs.New()
+		}
 		for s := 1; s < n; s++ {
 			observers[s] = obs.New()
+		}
+	}
+	if db.agg != nil {
+		for s, o := range observers {
+			db.agg.Shard(s).Attach(o)
 		}
 	}
 	if run.Tracer != nil {
@@ -539,6 +707,12 @@ func (db *ShardedDB) SubmitML(ctx context.Context, run MLRun) (*ShardedJobHandle
 		if label != "" {
 			label = fmt.Sprintf("%s@s%d", run.Label, s)
 		}
+		tracer := run.Tracer
+		if tracer == nil && db.shardTracers != nil {
+			// Each shard's engine spans land on that shard's own ring, so
+			// the merged /debug/trace shows them as separate processes.
+			tracer = db.shardTracers[s]
+		}
 		cfg := exec.JobConfig{
 			BatchSize:        batch,
 			MaxIterations:    run.MaxIterations,
@@ -547,7 +721,7 @@ func (db *ShardedDB) SubmitML(ctx context.Context, run MLRun) (*ShardedJobHandle
 			RegionOf:         run.RegionOf,
 			IterationHook:    run.IterationHook,
 			ConvergeTogether: run.ConvergeTogether,
-			Tracer:           run.Tracer,
+			Tracer:           tracer,
 			Label:            label,
 			Chaos:            run.Chaos,
 			Recorder:         run.Recorder,
@@ -580,6 +754,11 @@ func (db *ShardedDB) SubmitML(ctx context.Context, run MLRun) (*ShardedJobHandle
 	}
 	h.inner.Store(inner)
 	h.attempts.Store(1)
+	if db.debug != nil {
+		db.jobsMu.Lock()
+		db.liveJobs[h] = jobMeta{deadline: deadline}
+		db.jobsMu.Unlock()
+	}
 	// The supervisor logs commits from the global views (their chains are
 	// the locals' chains, so after-images read identically), deduplicated
 	// here since attachments may repeat a table.
@@ -596,7 +775,7 @@ func (db *ShardedDB) SubmitML(ctx context.Context, run MLRun) (*ShardedJobHandle
 			views = append(views, st.View())
 		}
 	}
-	go db.superviseSharded(ctx, h, uber, policy, views)
+	go db.superviseSharded(ctx, h, uber, policy, views, deadline)
 	return h, nil
 }
 
@@ -605,9 +784,17 @@ func (db *ShardedDB) SubmitML(ctx context.Context, run MLRun) (*ShardedJobHandle
 // coordinator aborted the failed attempt on every shard, so resubmission
 // re-begins from scratch), resolve terminally otherwise.
 func (db *ShardedDB) superviseSharded(ctx context.Context, h *ShardedJobHandle,
-	uber shard.UberRun, policy RetryPolicy, views []*Table) {
+	uber shard.UberRun, policy RetryPolicy, views []*Table, deadline time.Duration) {
 	defer db.handles.Done()
 	defer db.gate.Release()
+	if db.agg != nil {
+		defer func() {
+			for s, o := range h.observers {
+				db.agg.Shard(s).Complete(o)
+			}
+		}()
+	}
+	defer db.settleJob(h, deadline)
 	defer close(h.done)
 
 	token := db.runID.Add(1)
@@ -624,7 +811,7 @@ func (db *ShardedDB) superviseSharded(ctx context.Context, h *ShardedJobHandle,
 		h.stats = stats
 		if err == nil {
 			if db.dur != nil {
-				if werr := db.dur.appendCommit(ts, views); werr != nil {
+				if werr := db.dur.appendCommit(ts, views, inner.TraceID()); werr != nil {
 					// Durably uncertain commits are never acknowledged.
 					h.err = werr
 					return
@@ -691,11 +878,15 @@ func (db *ShardedDB) shardEnvs(run QueryRun) []plan.Env {
 	id := db.queryID.Add(1)
 	envs := make([]plan.Env, db.cluster.Shards())
 	for s := range envs {
+		tracer := run.Tracer
+		if tracer == nil && db.shardTracers != nil {
+			tracer = db.shardTracers[s]
+		}
 		envs[s] = plan.Env{
 			Mgr:        db.cluster.Kernel(s).Mgr(),
 			Pool:       db.cluster.Kernel(s).Pool(),
 			Obs:        run.Observer,
-			Tracer:     run.Tracer,
+			Tracer:     tracer,
 			Job:        id,
 			NoPushdown: run.NoPushdown,
 			NoPresize:  run.NoPresize,
@@ -750,10 +941,29 @@ func (db *ShardedDB) SubmitQuery(ctx context.Context, run QueryRun) (*QueryHandl
 		policy = *run.Retry
 	}
 	envs := db.shardEnvs(run)
+	if db.agg != nil {
+		qobs := run.Observer
+		if qobs == nil {
+			qobs = obs.New()
+		}
+		// One observer serves every shard's fragment; it lives on shard 0's
+		// aggregator (the fragments' counters are a cluster-wide account).
+		for i := range envs {
+			envs[i].Obs = qobs
+		}
+		db.agg.Shard(0).Attach(qobs)
+	}
 
 	h := &QueryHandle{done: make(chan struct{}), cancelCh: make(chan struct{})}
 	go db.superviseShardedQuery(ctx, h, run.Plan, envs, deadline, policy)
 	return h, nil
+}
+
+// ExplainQuery prepares p with the same rewrite pipeline a scattered
+// execution uses and returns the planner's annotated tree (EXPLAIN —
+// pushdown and pre-sizing decisions, no execution).
+func (db *ShardedDB) ExplainQuery(p *Plan) (*ExplainNode, error) {
+	return plan.Explain(p, db.shardEnvs(QueryRun{})[0])
 }
 
 // superviseShardedQuery drives one scattered query to resolution with the
@@ -762,6 +972,34 @@ func (db *ShardedDB) superviseShardedQuery(ctx context.Context, h *QueryHandle,
 	p *Plan, envs []plan.Env, deadline time.Duration, policy RetryPolicy) {
 	defer db.handles.Done()
 	defer db.gate.Release()
+	if db.agg != nil {
+		defer db.agg.Shard(0).Complete(envs[0].Obs)
+	}
+	started := time.Now()
+	// Scattered execution has no single root cursor, so the handle carries
+	// the planner's EXPLAIN tree instead of a measured ANALYZE one.
+	if expl, err := plan.Explain(p, envs[0]); err == nil {
+		h.explain = expl
+	}
+	defer func() {
+		rows := 0
+		if h.result != nil {
+			rows = len(h.result.Rows)
+		}
+		state := "done"
+		if h.err != nil {
+			state = "failed: " + h.err.Error()
+		}
+		info := introspect.QueryInfo{
+			ID: envs[0].Job, State: state, Rows: rows,
+			Attempts:      int(h.attempts.Load()),
+			ElapsedMillis: time.Since(started).Milliseconds(),
+		}
+		if h.explain != nil {
+			info.Explain = h.explain.Render()
+		}
+		db.recordQuery(info)
+	}()
 	defer close(h.done)
 
 	token := envs[0].Job
